@@ -1,0 +1,126 @@
+// Shared configuration for the experiment harnesses: the locked synthetic-
+// data calibrations, training recipes, and small table-printing helpers.
+//
+// Scaling note (see EXPERIMENTS.md): the accuracy experiments run scaled
+// versions of the paper's workloads sized for a small CPU — same
+// architectures, same training algorithms, synthetic data with the same
+// discriminative structure. Set RRAMBNN_FULL=1 to enlarge workloads
+// (more trials, folds and epochs).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "data/ecg_synth.h"
+#include "data/eeg_synth.h"
+#include "data/image_synth.h"
+#include "data/preprocess.h"
+#include "models/ecg_model.h"
+#include "models/eeg_model.h"
+#include "nn/trainer.h"
+#include "tensor/stats.h"
+
+namespace rrambnn::bench {
+
+inline bool FullScale() {
+  const char* env = std::getenv("RRAMBNN_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+// ---------------------------------------------------------------------------
+// Locked dataset calibrations (chosen so the paper's accuracy orderings are
+// resolvable at CPU scale; see DESIGN.md).
+// ---------------------------------------------------------------------------
+
+inline data::EcgSynthConfig EcgDataConfig() {
+  data::EcgSynthConfig c;
+  c.samples = 200;  // 2 s at 100 Hz
+  c.sample_rate_hz = 100.0;
+  c.noise_amplitude = 0.12;
+  c.amplitude_jitter = 0.4;
+  return c;
+}
+
+inline data::EegSynthConfig EegDataConfig() {
+  data::EegSynthConfig c;
+  c.channels = 16;
+  c.samples = 192;  // 2.4 s at 80 Hz
+  c.sample_rate_hz = 80.0;
+  c.erd_attenuation = 0.55;
+  c.noise_amplitude = 1.4;
+  c.mu_amplitude = 0.9;
+  return c;
+}
+
+inline std::int64_t EcgTrials() { return FullScale() ? 1000 : 600; }
+inline std::int64_t EegTrials() { return FullScale() ? 800 : 500; }
+inline std::int64_t NumFolds() { return FullScale() ? 5 : 2; }
+
+// ---------------------------------------------------------------------------
+// Training recipes per strategy.
+// ---------------------------------------------------------------------------
+
+inline nn::TrainConfig EcgTrainConfig(core::BinarizationStrategy s) {
+  nn::TrainConfig tc;
+  tc.epochs = FullScale() ? 60 : 40;
+  tc.batch_size = 16;
+  tc.learning_rate =
+      s == core::BinarizationStrategy::kFullBinary ? 2e-3f : 1e-3f;
+  tc.seed = 42;
+  return tc;
+}
+
+inline nn::TrainConfig EegTrainConfig(core::BinarizationStrategy s) {
+  nn::TrainConfig tc;
+  tc.epochs = s == core::BinarizationStrategy::kFullBinary
+                  ? (FullScale() ? 90 : 60)
+                  : (FullScale() ? 45 : 30);
+  tc.batch_size = 16;
+  tc.learning_rate =
+      s == core::BinarizationStrategy::kFullBinary ? 2e-3f : 1e-3f;
+  tc.noise_std = 0.1f;  // the paper's additive-noise data augmentation
+  tc.seed = 42;
+  return tc;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-validated accuracy of a model builder on a dataset.
+// ---------------------------------------------------------------------------
+
+struct CvResult {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+template <typename BuildFn>
+CvResult CrossValidatedAccuracy(const nn::Dataset& data, BuildFn&& build,
+                                const nn::TrainConfig& config,
+                                std::int64_t folds) {
+  Rng fold_rng(1234);
+  const auto fold_idx = nn::StratifiedKFold(data.y, folds, fold_rng);
+  std::vector<double> accs;
+  for (std::int64_t f = 0; f < folds; ++f) {
+    const nn::FoldSplit split = nn::MakeFold(data, fold_idx, f);
+    Rng mrng(1000 + static_cast<std::uint64_t>(f));
+    auto built = build(mrng);
+    nn::TrainConfig tc = config;
+    tc.seed = config.seed + static_cast<std::uint64_t>(f);
+    const auto fit = nn::Fit(built.net, split.train, split.validation, tc);
+    accs.push_back(fit.final_val_accuracy);
+  }
+  return CvResult{Mean(accs), StdDev(accs)};
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRow(const std::string& label, const CvResult& r) {
+  std::printf("%-34s %5.1f %% (+/- %.1f)\n", label.c_str(), 100.0 * r.mean,
+              100.0 * r.stddev);
+}
+
+}  // namespace rrambnn::bench

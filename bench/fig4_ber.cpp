@@ -1,0 +1,46 @@
+// Reproduces Fig. 4: mean bit error rate of 1T1R (BL and BLb separately)
+// versus 2T2R differential storage, as a function of programming cycles
+// from 100 to 700 million. The analytic lognormal-mixture model provides
+// the full curve; Monte-Carlo device simulation validates the high-cycle
+// points where its statistical resolution suffices.
+#include <cstdio>
+
+#include "rram/ber_model.h"
+#include "tensor/stats.h"
+
+using namespace rrambnn;
+
+int main() {
+  const rram::DeviceParams params;
+  const rram::BerModel model(params);
+
+  std::printf("Fig. 4 reproduction: bit error rate vs programming cycles\n");
+  std::printf("(device model: healthy/weak lognormal mixture; see DESIGN.md)\n\n");
+  std::printf("%12s  %12s  %12s  %12s  %8s\n", "Mcycles", "1T1R BL",
+              "1T1R BLb", "2T2R", "gap(dec)");
+  for (double cycles = 1e8; cycles <= 7.001e8; cycles += 0.5e8) {
+    const rram::BerEstimate e = model.Analytic(cycles);
+    const double mean_1t1r = 0.5 * (e.one_t1r_bl + e.one_t1r_blb);
+    std::printf("%12.0f  %12.3e  %12.3e  %12.3e  %8.2f\n", cycles / 1e6,
+                e.one_t1r_bl, e.one_t1r_blb, e.two_t2r,
+                std::log10(mean_1t1r / e.two_t2r));
+  }
+
+  std::printf("\nMonte-Carlo validation (device-level program/sense)\n");
+  std::printf("%12s  %10s  %12s  %12s  %12s\n", "Mcycles", "trials",
+              "MC 1T1R BL", "MC 2T2R", "an 2T2R");
+  Rng rng(2020);
+  for (const double cycles : {5e8, 6e8, 7e8}) {
+    const std::int64_t trials = 2000000;
+    const rram::BerEstimate mc = model.MonteCarlo(cycles, trials, rng);
+    const rram::BerEstimate an = model.Analytic(cycles);
+    std::printf("%12.0f  %10lld  %12.3e  %12.3e  %12.3e\n", cycles / 1e6,
+                static_cast<long long>(trials), mc.one_t1r_bl, mc.two_t2r,
+                an.two_t2r);
+  }
+  std::printf(
+      "\nPaper claim check: 2T2R error rate ~2 orders of magnitude below "
+      "1T1R across the\n100-700M cycle range, with the gap narrowing "
+      "slightly at high cycle counts.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Google-benchmark microbenchmarks of the deployment-path kernels: packed
+// XNOR-popcount layers versus float dense products (the Eq. (3) speedup),
+// plus simulated RRAM array transactions.
+#include <benchmark/benchmark.h>
+
+#include "core/bitops.h"
+#include "core/bnn_model.h"
+#include "nn/gemm.h"
+#include "rram/array.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace rrambnn;
+
+/// Float dense layer y = W x for the EEG classifier geometry.
+void BM_FloatDense2520x80(benchmark::State& state) {
+  Rng rng(1);
+  Tensor w({80, 2520}), x({1, 2520}), y({1, 80});
+  rng.FillNormal(w, 0.0f, 1.0f);
+  rng.FillNormal(x, 0.0f, 1.0f);
+  for (auto _ : state) {
+    y.Fill(0.0f);
+    nn::GemmTransBAccumulate(x.data(), w.data(), y.data(), 1, 2520, 80);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2520 * 80);
+}
+BENCHMARK(BM_FloatDense2520x80);
+
+/// Packed XNOR-popcount for the same geometry (deployed BNN inference).
+void BM_XnorPopcount2520x80(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<float> wf(80 * 2520), xf(2520);
+  for (auto& v : wf) v = rng.Normal(0.0f, 1.0f);
+  for (auto& v : xf) v = rng.Normal(0.0f, 1.0f);
+  const core::BitMatrix w = core::BitMatrix::FromSigns(wf, 80, 2520);
+  const core::BitVector x = core::BitVector::FromSigns(xf);
+  std::vector<std::int64_t> pops(80);
+  for (auto _ : state) {
+    for (std::int64_t j = 0; j < 80; ++j) {
+      pops[static_cast<std::size_t>(j)] = w.RowXnorPopcount(j, x);
+    }
+    benchmark::DoNotOptimize(pops.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2520 * 80);
+}
+BENCHMARK(BM_XnorPopcount2520x80);
+
+/// Full compiled-BNN classifier inference (hidden + output layer).
+void BM_BnnModelPredict(benchmark::State& state) {
+  Rng rng(3);
+  core::BnnModel model;
+  core::BnnDenseLayer hidden;
+  hidden.weights = core::BitMatrix(80, 2520);
+  hidden.thresholds.assign(80, 1260);
+  model.AddHidden(std::move(hidden));
+  core::BnnOutputLayer out;
+  out.weights = core::BitMatrix(2, 80);
+  out.scale.assign(2, 1.0f);
+  out.offset.assign(2, 0.0f);
+  model.SetOutput(std::move(out));
+  std::vector<float> xf(2520);
+  for (auto& v : xf) v = rng.Normal(0.0f, 1.0f);
+  const core::BitVector x = core::BitVector::FromSigns(xf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(x));
+  }
+}
+BENCHMARK(BM_BnnModelPredict);
+
+/// Simulated RRAM row read with XNOR (32 columns, the fabricated die's
+/// word width).
+void BM_RramRowXnorRead(benchmark::State& state) {
+  rram::DeviceParams params;
+  rram::RramArray array(32, 32, params, 7);
+  Rng rng(4);
+  std::vector<int> weights(32), inputs(32);
+  for (auto& w : weights) w = rng.Bernoulli(0.5) ? +1 : -1;
+  for (auto& i : inputs) i = rng.Bernoulli(0.5) ? +1 : -1;
+  array.ProgramRow(0, weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.RowXnorPopcount(0, inputs));
+  }
+}
+BENCHMARK(BM_RramRowXnorRead);
+
+/// Device programming transaction (SET/RESET sampling + aging update).
+void BM_RramProgramSynapse(benchmark::State& state) {
+  rram::DeviceParams params;
+  rram::RramArray array(8, 8, params, 9);
+  int w = +1;
+  for (auto _ : state) {
+    array.ProgramWeight(0, 0, w);
+    w = -w;
+  }
+}
+BENCHMARK(BM_RramProgramSynapse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

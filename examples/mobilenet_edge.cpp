@@ -1,0 +1,82 @@
+// Scenario: a vision model for an edge device (paper Sec. IV). Trains the
+// scaled MobileNet V1 with its float classifier and with the paper's
+// binarized two-layer classifier, then reports accuracy and the share of
+// parameters the binarization moves into dense RRAM storage — including a
+// stochastic-input-encoding demo (the ref [14] extension).
+#include <cstdio>
+
+#include "core/compile.h"
+#include "core/memory_analysis.h"
+#include "core/stochastic.h"
+#include "data/image_synth.h"
+#include "models/mobilenet.h"
+#include "nn/trainer.h"
+
+using namespace rrambnn;
+
+int main() {
+  const std::int64_t n = 600;
+  Rng rng(3);
+  data::ImageSynthConfig ic;
+  ic.num_classes = 16;
+  nn::Dataset data = data::MakeImageDataset(ic, n, rng);
+  std::vector<std::int64_t> tr, va;
+  for (std::int64_t i = 0; i < n * 4 / 5; ++i) tr.push_back(i);
+  for (std::int64_t i = n * 4 / 5; i < n; ++i) va.push_back(i);
+  const nn::Dataset train = data.Subset(tr), val = data.Subset(va);
+
+  nn::TrainConfig tc;
+  tc.epochs = 12;
+  tc.batch_size = 32;
+  tc.learning_rate = 2e-3f;
+
+  std::printf("MobileNet V1 (scaled) on the synthetic vision task\n\n");
+  double base_acc = 0.0;
+  {
+    auto cfg = models::MobileNetConfig::BenchScale(16);
+    Rng mrng(11);
+    auto built = models::BuildMobileNetV1(cfg, mrng);
+    base_acc = nn::Fit(built.net, train, val, tc).final_val_accuracy;
+    std::printf("original classifier:  top-1 %.1f%%\n", 100.0 * base_acc);
+  }
+  {
+    auto cfg = models::MobileNetConfig::BenchScale(16);
+    cfg.binary_classifier = true;
+    Rng mrng(11);
+    auto built = models::BuildMobileNetV1(cfg, mrng);
+    const double acc = nn::Fit(built.net, train, val, tc).final_val_accuracy;
+    std::printf("binarized classifier: top-1 %.1f%% (gap %.1f points)\n",
+                100.0 * acc, 100.0 * (base_acc - acc));
+
+    const auto compiled =
+        core::CompileClassifier(built.net, built.classifier_start);
+    std::printf("compiled classifier: %lld binary weights = %s\n",
+                static_cast<long long>(compiled.TotalWeightBits()),
+                core::FormatBytes(compiled.TotalWeightBits() / 8.0).c_str());
+
+    // Stochastic input encoding (ref [14]): feed the classifier stochastic
+    // bitstreams instead of deterministic signs of the pooled features.
+    Tensor features = core::ForwardPrefix(built.net, val.x,
+                                          built.classifier_start);
+    Rng srng(17);
+    std::int64_t hits_det = 0, hits_sto = 0;
+    const std::int64_t f = features.dim(1);
+    for (std::int64_t i = 0; i < val.size(); ++i) {
+      const std::span<const float> row(features.data() + i * f,
+                                       static_cast<std::size_t>(f));
+      const auto det = compiled.Predict(core::BitVector::FromSigns(row));
+      const auto sto =
+          core::StochasticEncoder::Predict(compiled, row, 15, srng);
+      hits_det += det == val.y[static_cast<std::size_t>(i)];
+      hits_sto += sto == val.y[static_cast<std::size_t>(i)];
+    }
+    std::printf("deterministic sign input: %.1f%% | stochastic 15-stream "
+                "input: %.1f%%\n",
+                100.0 * hits_det / val.size(), 100.0 * hits_sto / val.size());
+  }
+  std::printf("\nPaper conclusion (Sec. IV): classifier binarization is "
+              "accuracy-neutral even on a\nconvolution-dominated model, "
+              "though the memory savings are smaller than for the\n"
+              "classifier-dominated biomedical networks.\n");
+  return 0;
+}

@@ -1,0 +1,220 @@
+#include "arch/bnn_mapper.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rrambnn::arch {
+
+namespace {
+std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+}  // namespace
+
+MappedBnn::MappedBnn(const core::BnnModel& model, const MapperConfig& config)
+    : model_(model), config_(config) {
+  model_.Validate();
+  if (config.macro_rows <= 0 || config.macro_cols <= 0) {
+    throw std::invalid_argument("MappedBnn: non-positive macro geometry");
+  }
+  for (const auto& hidden : model_.hidden()) {
+    layers_.push_back(MapMatrix(hidden.weights));
+  }
+  layers_.push_back(MapMatrix(model_.output().weights));
+}
+
+MappedBnn::MappedLayer MappedBnn::MapMatrix(const core::BitMatrix& weights) {
+  MappedLayer layer;
+  layer.in_features = weights.cols();
+  layer.out_features = weights.rows();
+  layer.row_tiles = CeilDiv(layer.out_features, config_.macro_rows);
+  layer.col_tiles = CeilDiv(layer.in_features, config_.macro_cols);
+  layer.macros.reserve(
+      static_cast<std::size_t>(layer.row_tiles * layer.col_tiles));
+  for (std::int64_t rt = 0; rt < layer.row_tiles; ++rt) {
+    for (std::int64_t ct = 0; ct < layer.col_tiles; ++ct) {
+      auto macro = std::make_unique<XnorMacro>(
+          config_.macro_rows, config_.macro_cols, config_.device,
+          config_.seed + (++seed_counter_) * 0x9e3779b9ull);
+      if (config_.pre_stress_cycles > 0) {
+        macro->Stress(config_.pre_stress_cycles);
+      }
+      const std::int64_t rows_here =
+          std::min(config_.macro_rows,
+                   layer.out_features - rt * config_.macro_rows);
+      const std::int64_t cols_here =
+          std::min(config_.macro_cols,
+                   layer.in_features - ct * config_.macro_cols);
+      std::vector<int> row_weights(static_cast<std::size_t>(cols_here));
+      for (std::int64_t r = 0; r < rows_here; ++r) {
+        const std::int64_t global_row = rt * config_.macro_rows + r;
+        for (std::int64_t c = 0; c < cols_here; ++c) {
+          row_weights[static_cast<std::size_t>(c)] =
+              weights.Get(global_row, ct * config_.macro_cols + c);
+        }
+        macro->ProgramRow(r, row_weights);
+      }
+      layer.macros.push_back(std::move(macro));
+    }
+  }
+  return layer;
+}
+
+std::vector<std::int64_t> MappedBnn::LayerPopcounts(MappedLayer& layer,
+                                                    const core::BitVector& x) {
+  if (x.size() != layer.in_features) {
+    throw std::invalid_argument("MappedBnn: input width mismatch");
+  }
+  // Slice the input into per-column-tile {-1,+1} segments once.
+  std::vector<std::vector<int>> tile_inputs(
+      static_cast<std::size_t>(layer.col_tiles));
+  for (std::int64_t ct = 0; ct < layer.col_tiles; ++ct) {
+    const std::int64_t begin = ct * config_.macro_cols;
+    const std::int64_t end =
+        std::min(layer.in_features, begin + config_.macro_cols);
+    auto& seg = tile_inputs[static_cast<std::size_t>(ct)];
+    seg.resize(static_cast<std::size_t>(end - begin));
+    for (std::int64_t c = begin; c < end; ++c) {
+      seg[static_cast<std::size_t>(c - begin)] = x.Get(c);
+    }
+  }
+  std::vector<std::int64_t> popcounts(
+      static_cast<std::size_t>(layer.out_features), 0);
+  for (std::int64_t rt = 0; rt < layer.row_tiles; ++rt) {
+    const std::int64_t rows_here = std::min(
+        config_.macro_rows, layer.out_features - rt * config_.macro_rows);
+    for (std::int64_t ct = 0; ct < layer.col_tiles; ++ct) {
+      XnorMacro& macro =
+          *layer.macros[static_cast<std::size_t>(rt * layer.col_tiles + ct)];
+      const auto& seg = tile_inputs[static_cast<std::size_t>(ct)];
+      for (std::int64_t r = 0; r < rows_here; ++r) {
+        popcounts[static_cast<std::size_t>(rt * config_.macro_rows + r)] +=
+            macro.RowXnorPopcount(r, seg);
+      }
+    }
+  }
+  return popcounts;
+}
+
+std::vector<float> MappedBnn::Scores(const core::BitVector& x) {
+  core::BitVector activ = x;
+  for (std::size_t l = 0; l < model_.num_hidden(); ++l) {
+    const auto& spec = model_.hidden()[l];
+    const std::vector<std::int64_t> pops = LayerPopcounts(layers_[l], activ);
+    core::BitVector next(spec.out_features());
+    for (std::int64_t j = 0; j < spec.out_features(); ++j) {
+      next.Set(j, pops[static_cast<std::size_t>(j)] >=
+                          spec.thresholds[static_cast<std::size_t>(j)]
+                      ? +1
+                      : -1);
+    }
+    activ = std::move(next);
+  }
+  const auto& out_spec = model_.output();
+  const std::vector<std::int64_t> pops =
+      LayerPopcounts(layers_.back(), activ);
+  std::vector<float> scores(static_cast<std::size_t>(out_spec.num_classes()));
+  for (std::int64_t k = 0; k < out_spec.num_classes(); ++k) {
+    const auto dot = static_cast<float>(2 * pops[static_cast<std::size_t>(k)] -
+                                        out_spec.in_features());
+    scores[static_cast<std::size_t>(k)] =
+        out_spec.scale[static_cast<std::size_t>(k)] * dot +
+        out_spec.offset[static_cast<std::size_t>(k)];
+  }
+  return scores;
+}
+
+std::int64_t MappedBnn::Predict(const core::BitVector& x) {
+  const std::vector<float> s = Scores(x);
+  return std::distance(s.begin(), std::max_element(s.begin(), s.end()));
+}
+
+std::vector<std::int64_t> MappedBnn::PredictBatch(const Tensor& features) {
+  if (features.rank() != 2) {
+    throw std::invalid_argument("MappedBnn::PredictBatch: expected [N, F]");
+  }
+  const std::int64_t n = features.dim(0), f = features.dim(1);
+  if (f != input_size()) {
+    throw std::invalid_argument("MappedBnn::PredictBatch: width mismatch");
+  }
+  std::vector<std::int64_t> preds(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto x = core::BitVector::FromSigns(std::span<const float>(
+        features.data() + i * f, static_cast<std::size_t>(f)));
+    preds[static_cast<std::size_t>(i)] = Predict(x);
+  }
+  return preds;
+}
+
+void MappedBnn::Stress(std::uint64_t cycles, bool reprogram_after) {
+  for (auto& layer : layers_) {
+    for (auto& macro : layer.macros) {
+      macro->Stress(cycles);
+      if (reprogram_after) macro->Reprogram();
+    }
+  }
+}
+
+std::int64_t MappedBnn::num_macros() const {
+  std::int64_t n = 0;
+  for (const auto& layer : layers_) {
+    n += static_cast<std::int64_t>(layer.macros.size());
+  }
+  return n;
+}
+
+double MappedBnn::Utilization() const {
+  double used = 0.0, total = 0.0;
+  for (const auto& layer : layers_) {
+    for (const auto& macro : layer.macros) {
+      used += static_cast<double>(macro->used_synapses());
+      total += static_cast<double>(macro->rows() * macro->cols());
+    }
+  }
+  return total > 0.0 ? used / total : 0.0;
+}
+
+CostReport MappedBnn::ProgrammingCost() const {
+  CostReport cost;
+  const double per_synapse = SynapseProgramEnergyPj(config_.energy);
+  for (const auto& layer : layers_) {
+    for (const auto& macro : layer.macros) {
+      cost.program_ops += macro->array().program_ops();
+    }
+  }
+  cost.program_energy_pj = per_synapse * static_cast<double>(cost.program_ops);
+  cost.latency_us = config_.energy.program_latency_ns * 1e-3 *
+                    static_cast<double>(cost.program_ops);
+  return cost;
+}
+
+CostReport MappedBnn::InferenceCost() const {
+  CostReport cost;
+  for (const auto& layer : layers_) {
+    // One inference activates every row of every macro once.
+    const double row_energy =
+        RowReadEnergyPj(config_.energy, config_.macro_cols);
+    const double rows =
+        static_cast<double>(layer.macros.size()) *
+        static_cast<double>(config_.macro_rows);
+    cost.read_energy_pj += row_energy * rows;
+    cost.sense_ops += static_cast<std::uint64_t>(
+        rows * static_cast<double>(config_.macro_cols));
+    // Row tiles of one layer read in parallel across macros; rows within a
+    // macro are sequential.
+    cost.latency_us += config_.energy.sense_latency_ns * 1e-3 *
+                       static_cast<double>(config_.macro_rows);
+  }
+  return cost;
+}
+
+double MappedBnn::AreaMm2() const {
+  double area = 0.0;
+  for (const auto& layer : layers_) {
+    area += static_cast<double>(layer.macros.size()) *
+            MacroArea(config_.energy, config_.macro_rows, config_.macro_cols);
+  }
+  return area;
+}
+
+}  // namespace rrambnn::arch

@@ -1,0 +1,93 @@
+// Maps a compiled core::BnnModel onto a fleet of XNOR macros and runs
+// bit-true inference through the simulated RRAM arrays — the full Fig. 5
+// execution model: weights programmed once by the memory controller, then
+// inference = row activations + in-sense-amplifier XNOR + popcount +
+// threshold, with partial popcounts of column tiles accumulated in shared
+// logic.
+//
+// At zero device error the mapped engine is bit-exact against
+// core::BnnModel (enforced by tests); with device non-idealities enabled it
+// exhibits exactly the Fig. 4 error statistics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/energy_model.h"
+#include "arch/xnor_macro.h"
+#include "core/bnn_model.h"
+
+namespace rrambnn::arch {
+
+struct MapperConfig {
+  std::int64_t macro_rows = 64;
+  std::int64_t macro_cols = 64;
+  rram::DeviceParams device;
+  EnergyParams energy;
+  std::uint64_t seed = 1;
+  /// Endurance age (cycles) applied to every device before programming:
+  /// set to e.g. 7e8 to deploy on a heavily cycled chip.
+  std::uint64_t pre_stress_cycles = 0;
+};
+
+/// A BnnModel deployed on simulated RRAM macros.
+class MappedBnn {
+ public:
+  MappedBnn(const core::BnnModel& model, const MapperConfig& config);
+
+  std::int64_t num_classes() const { return model_.num_classes(); }
+  std::int64_t input_size() const { return model_.input_size(); }
+
+  /// Class scores computed entirely through array reads.
+  std::vector<float> Scores(const core::BitVector& x);
+
+  /// Argmax prediction through the arrays.
+  std::int64_t Predict(const core::BitVector& x);
+
+  /// Batch prediction over real feature rows [N, F] (binarized by sign).
+  std::vector<std::int64_t> PredictBatch(const Tensor& features);
+
+  /// Ages all devices, then optionally reprograms (refresh).
+  void Stress(std::uint64_t cycles, bool reprogram_after);
+
+  /// Total number of macros across all layers.
+  std::int64_t num_macros() const;
+
+  /// Fraction of programmed synapses that carry model weights (vs padding).
+  double Utilization() const;
+
+  /// Cost of the one-time weight programming phase.
+  CostReport ProgrammingCost() const;
+
+  /// Cost of a single inference (all row reads + popcounts), using the
+  /// analytic energy model; independent of input values.
+  CostReport InferenceCost() const;
+
+  /// Total fabric area.
+  double AreaMm2() const;
+
+ private:
+  struct MappedLayer {
+    std::int64_t in_features = 0;
+    std::int64_t out_features = 0;
+    std::int64_t row_tiles = 0;
+    std::int64_t col_tiles = 0;
+    // Tile (rt, ct) at index rt * col_tiles + ct.
+    std::vector<std::unique_ptr<XnorMacro>> macros;
+  };
+
+  /// Computes popcount(XNOR(w_j, x)) for every neuron of a mapped layer by
+  /// accumulating per-tile partial popcounts.
+  std::vector<std::int64_t> LayerPopcounts(MappedLayer& layer,
+                                           const core::BitVector& x);
+
+  MappedLayer MapMatrix(const core::BitMatrix& weights);
+
+  core::BnnModel model_;  // thresholds/affine params (the digital periphery)
+  MapperConfig config_;
+  std::vector<MappedLayer> layers_;  // hidden layers then output layer
+  std::uint64_t seed_counter_ = 0;
+};
+
+}  // namespace rrambnn::arch

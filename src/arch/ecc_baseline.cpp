@@ -1,0 +1,77 @@
+#include "arch/ecc_baseline.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "arch/hamming.h"
+#include "rram/cell.h"
+
+namespace rrambnn::arch {
+
+double SecdedResidualBer(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("SecdedResidualBer: p outside [0, 1]");
+  }
+  constexpr int n = SecdedCodec::kCodeBits;
+  // Binomial sum over k >= 2 raw errors per 72-bit word.
+  double residual_bits = 0.0;
+  double log_p = p > 0.0 ? std::log(p) : -1e30;
+  double log_q = p < 1.0 ? std::log1p(-p) : -1e30;
+  double log_comb = 0.0;  // log C(n, 0)
+  for (int k = 1; k <= n; ++k) {
+    log_comb += std::log(static_cast<double>(n - k + 1) /
+                         static_cast<double>(k));
+    if (k < 2) continue;
+    const double prob =
+        std::exp(log_comb + k * log_p + (n - k) * log_q);
+    // k raw wrong bits survive; odd k >= 3 triggers a miscorrection that
+    // flips one more bit.
+    const double wrong = static_cast<double>(k) + ((k % 2 == 1) ? 1.0 : 0.0);
+    residual_bits += prob * wrong;
+  }
+  // A wrong bit is a data bit with probability 64/72.
+  return residual_bits * (64.0 / 72.0) / 64.0;
+}
+
+EccComparison CompareEccVs2T2R(const rram::DeviceParams& params,
+                               double cycles) {
+  const rram::BerModel model(params);
+  const rram::BerEstimate e = model.Analytic(cycles);
+  EccComparison c;
+  c.cycles = cycles;
+  c.raw_1t1r_ber = 0.5 * (e.one_t1r_bl + e.one_t1r_blb);
+  c.post_ecc_ber = SecdedResidualBer(c.raw_1t1r_ber);
+  c.two_t2r_ber = e.two_t2r;
+  return c;
+}
+
+double SecdedMonteCarloBer(const rram::DeviceParams& params, double cycles,
+                           std::int64_t num_words, Rng& rng) {
+  if (num_words <= 0) {
+    throw std::invalid_argument("SecdedMonteCarloBer: num_words <= 0");
+  }
+  const rram::Pcsa pcsa(params);
+  rram::Cell1T1R cell(params);
+  const auto aging = static_cast<std::uint64_t>(cycles);
+  std::int64_t wrong_data_bits = 0;
+  for (std::int64_t w = 0; w < num_words; ++w) {
+    std::uint64_t data = rng.engine()();
+    const auto codeword = SecdedCodec::Encode(data);
+    std::bitset<SecdedCodec::kCodeBits> readback;
+    for (int b = 0; b < SecdedCodec::kCodeBits; ++b) {
+      cell.device().SetCycles(aging);
+      cell.ProgramWeight(codeword[static_cast<std::size_t>(b)] ? +1 : -1,
+                         rng);
+      readback[static_cast<std::size_t>(b)] =
+          cell.ReadWeight(pcsa, rng) == +1;
+    }
+    const auto decoded = SecdedCodec::Decode(readback);
+    const std::uint64_t diff = decoded.data ^ data;
+    wrong_data_bits += std::popcount(diff);
+  }
+  return static_cast<double>(wrong_data_bits) /
+         (static_cast<double>(num_words) * SecdedCodec::kDataBits);
+}
+
+}  // namespace rrambnn::arch

@@ -1,0 +1,37 @@
+#include "arch/energy_model.h"
+
+#include <stdexcept>
+
+namespace rrambnn::arch {
+
+double MacroArea(const EnergyParams& p, std::int64_t rows, std::int64_t cols) {
+  if (rows <= 0 || cols <= 0) {
+    throw std::invalid_argument("MacroArea: non-positive geometry");
+  }
+  const double cells = static_cast<double>(rows * cols);
+  const double um2 =
+      cells * p.cell_2t2r_area_um2 +
+      static_cast<double>(cols) * (p.pcsa_area_um2 + p.xnor_area_um2 +
+                                   p.popcount_area_per_bit_um2) +
+      static_cast<double>(rows + 2 * cols) * p.decoder_area_per_line_um2;
+  return um2 * 1e-6;  // um^2 -> mm^2
+}
+
+double RowReadEnergyPj(const EnergyParams& p, std::int64_t cols) {
+  if (cols <= 0) {
+    throw std::invalid_argument("RowReadEnergyPj: non-positive cols");
+  }
+  const double fj =
+      p.wordline_activation_fj +
+      static_cast<double>(cols) *
+          (p.pcsa_sense_energy_fj + p.xnor_overhead_fj +
+           p.popcount_per_bit_fj) +
+      p.threshold_compare_fj;
+  return fj * 1e-3;  // fJ -> pJ
+}
+
+double SynapseProgramEnergyPj(const EnergyParams& p) {
+  return p.set_energy_pj + p.reset_energy_pj;
+}
+
+}  // namespace rrambnn::arch

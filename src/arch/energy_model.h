@@ -1,0 +1,70 @@
+// Energy / area / latency accounting for the Fig. 5 in-memory BNN fabric.
+//
+// The constants are synthetic calibration values representative of 130 nm
+// CMOS + BEOL HfO2 RRAM designs of the paper's family (PCSA-based reads,
+// ~pJ-class SET/RESET programming); see DESIGN.md. The *relative* claims —
+// reads are orders of magnitude cheaper than programming, the XNOR adds a
+// negligible 4-transistor overhead, ECC decode logic dwarfs the 2T2R
+// approach — are what the model is meant to exhibit, not absolute numbers.
+#pragma once
+
+#include <cstdint>
+
+namespace rrambnn::arch {
+
+struct EnergyParams {
+  // Read path, per sensing event.
+  double pcsa_sense_energy_fj = 25.0;
+  double xnor_overhead_fj = 3.0;      // the 4 extra transistors of Fig. 3(b)
+  double popcount_per_bit_fj = 8.0;   // adder tree, per popcount input bit
+  double threshold_compare_fj = 12.0;
+  double wordline_activation_fj = 40.0;  // row decoder + WL driver, per row
+
+  // Programming, per device.
+  double set_energy_pj = 4.0;
+  double reset_energy_pj = 6.0;
+
+  // Area (um^2, 130 nm-class).
+  double cell_2t2r_area_um2 = 1.6;
+  double pcsa_area_um2 = 45.0;
+  double xnor_area_um2 = 8.0;
+  double popcount_area_per_bit_um2 = 18.0;
+  double decoder_area_per_line_um2 = 6.0;
+
+  // Timing.
+  double sense_latency_ns = 2.0;
+  double program_latency_ns = 100.0;
+};
+
+/// Accumulated cost of a mapped network or a workload run on it.
+struct CostReport {
+  double read_energy_pj = 0.0;
+  double program_energy_pj = 0.0;
+  double area_mm2 = 0.0;
+  double latency_us = 0.0;
+  std::uint64_t sense_ops = 0;
+  std::uint64_t program_ops = 0;
+
+  CostReport& operator+=(const CostReport& other) {
+    read_energy_pj += other.read_energy_pj;
+    program_energy_pj += other.program_energy_pj;
+    area_mm2 += other.area_mm2;
+    latency_us += other.latency_us;
+    sense_ops += other.sense_ops;
+    program_ops += other.program_ops;
+    return *this;
+  }
+};
+
+/// Area of one rows x cols XNOR macro (array + PCSAs + popcount tree +
+/// decoders), in mm^2.
+double MacroArea(const EnergyParams& p, std::int64_t rows, std::int64_t cols);
+
+/// Energy of one XNOR row read (WL activation + cols sense+XNOR + popcount
+/// + threshold), in pJ.
+double RowReadEnergyPj(const EnergyParams& p, std::int64_t cols);
+
+/// Energy of programming one 2T2R synapse (one SET + one RESET), in pJ.
+double SynapseProgramEnergyPj(const EnergyParams& p);
+
+}  // namespace rrambnn::arch

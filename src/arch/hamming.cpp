@@ -1,0 +1,89 @@
+#include "arch/hamming.h"
+
+namespace rrambnn::arch {
+
+namespace {
+
+// Codeword layout: bit 0 holds the overall parity; bits 1..71 are the
+// classic Hamming positions, with parity bits at powers of two (1, 2, 4, 8,
+// 16, 32, 64) and data bits filling the remaining 64 positions in order.
+
+constexpr bool IsPowerOfTwo(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+std::bitset<SecdedCodec::kCodeBits> SecdedCodec::Encode(std::uint64_t data) {
+  std::bitset<kCodeBits> word;
+  int data_index = 0;
+  for (int pos = 1; pos < kCodeBits; ++pos) {
+    if (IsPowerOfTwo(pos)) continue;
+    word[static_cast<std::size_t>(pos)] = (data >> data_index) & 1ull;
+    ++data_index;
+  }
+  // Hamming parity bits: parity bit at position p covers positions with
+  // bit p set in their index.
+  for (int p = 1; p < kCodeBits; p <<= 1) {
+    bool parity = false;
+    for (int pos = 1; pos < kCodeBits; ++pos) {
+      if (pos == p || !(pos & p)) continue;
+      parity ^= word[static_cast<std::size_t>(pos)];
+    }
+    word[static_cast<std::size_t>(p)] = parity;
+  }
+  // Overall parity over positions 1..71.
+  bool overall = false;
+  for (int pos = 1; pos < kCodeBits; ++pos) {
+    overall ^= word[static_cast<std::size_t>(pos)];
+  }
+  word[0] = overall;
+  return word;
+}
+
+std::uint64_t SecdedCodec::ExtractData(const std::bitset<kCodeBits>& word) {
+  std::uint64_t data = 0;
+  int data_index = 0;
+  for (int pos = 1; pos < kCodeBits; ++pos) {
+    if (IsPowerOfTwo(pos)) continue;
+    if (word[static_cast<std::size_t>(pos)]) data |= (1ull << data_index);
+    ++data_index;
+  }
+  return data;
+}
+
+SecdedCodec::DecodeResult SecdedCodec::Decode(std::bitset<kCodeBits> word) {
+  int syndrome = 0;
+  for (int p = 1; p < kCodeBits; p <<= 1) {
+    bool parity = false;
+    for (int pos = 1; pos < kCodeBits; ++pos) {
+      if (!(pos & p)) continue;
+      parity ^= word[static_cast<std::size_t>(pos)];
+    }
+    if (parity) syndrome |= p;
+  }
+  bool overall = word[0];
+  for (int pos = 1; pos < kCodeBits; ++pos) {
+    overall ^= word[static_cast<std::size_t>(pos)];
+  }
+  // `overall` is now the parity of the whole word including bit 0; a clean
+  // or even-error word has overall == 0.
+  DecodeResult result;
+  if (syndrome == 0 && !overall) {
+    result.status = DecodeStatus::kClean;
+  } else if (syndrome != 0 && overall) {
+    // Single error at `syndrome` (within 1..71): correct it.
+    if (syndrome < kCodeBits) {
+      word.flip(static_cast<std::size_t>(syndrome));
+    }
+    result.status = DecodeStatus::kCorrected;
+  } else if (syndrome == 0 && overall) {
+    // Error confined to the overall parity bit; data is intact.
+    result.status = DecodeStatus::kCorrected;
+  } else {
+    // syndrome != 0 && even overall parity: double error detected.
+    result.status = DecodeStatus::kDoubleDetected;
+  }
+  result.data = ExtractData(word);
+  return result;
+}
+
+}  // namespace rrambnn::arch

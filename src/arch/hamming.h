@@ -1,0 +1,39 @@
+// Extended Hamming (72,64) SECDED codec — the conventional error-correction
+// baseline the paper's ECC-less 2T2R approach replaces (Sec. II-B). Used by
+// the ablation bench to compare corrected 1T1R storage against differential
+// 2T2R storage at matched redundancy assumptions.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+
+namespace rrambnn::arch {
+
+class SecdedCodec {
+ public:
+  static constexpr int kDataBits = 64;
+  static constexpr int kCodeBits = 72;  // 7 Hamming parity + 1 overall
+
+  enum class DecodeStatus {
+    kClean,           // no error detected
+    kCorrected,       // single error corrected
+    kDoubleDetected,  // double error detected, data not corrected
+  };
+
+  struct DecodeResult {
+    std::uint64_t data = 0;
+    DecodeStatus status = DecodeStatus::kClean;
+  };
+
+  /// Encodes 64 data bits into a 72-bit SECDED codeword.
+  static std::bitset<kCodeBits> Encode(std::uint64_t data);
+
+  /// Decodes a (possibly corrupted) codeword; corrects single-bit errors
+  /// and flags double-bit errors.
+  static DecodeResult Decode(std::bitset<kCodeBits> word);
+
+  /// Extracts the data bits of a codeword without correction.
+  static std::uint64_t ExtractData(const std::bitset<kCodeBits>& word);
+};
+
+}  // namespace rrambnn::arch

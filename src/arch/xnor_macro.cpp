@@ -1,0 +1,32 @@
+#include "arch/xnor_macro.h"
+
+#include <stdexcept>
+
+namespace rrambnn::arch {
+
+XnorMacro::XnorMacro(std::int64_t rows, std::int64_t cols,
+                     const rram::DeviceParams& device, std::uint64_t seed)
+    : array_(rows, cols, device, seed),
+      input_buffer_(static_cast<std::size_t>(cols), -1) {}
+
+void XnorMacro::ProgramRow(std::int64_t row, std::span<const int> weights) {
+  if (static_cast<std::int64_t>(weights.size()) > cols()) {
+    throw std::invalid_argument("XnorMacro::ProgramRow: too many weights");
+  }
+  std::vector<int> padded(static_cast<std::size_t>(cols()), +1);
+  std::copy(weights.begin(), weights.end(), padded.begin());
+  array_.ProgramRow(row, padded);
+  used_synapses_ += static_cast<std::int64_t>(weights.size());
+}
+
+std::int64_t XnorMacro::RowXnorPopcount(std::int64_t row,
+                                        std::span<const int> inputs) {
+  if (static_cast<std::int64_t>(inputs.size()) > cols()) {
+    throw std::invalid_argument("XnorMacro::RowXnorPopcount: too many inputs");
+  }
+  std::fill(input_buffer_.begin(), input_buffer_.end(), -1);
+  std::copy(inputs.begin(), inputs.end(), input_buffer_.begin());
+  return array_.RowXnorPopcount(row, input_buffer_);
+}
+
+}  // namespace rrambnn::arch

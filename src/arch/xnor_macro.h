@@ -1,0 +1,53 @@
+// One in-memory computing block of the Fig. 5 architecture: an RRAM 2T2R
+// array whose column PCSAs are XNOR-augmented (Fig. 3b), followed by a
+// digital popcount tree. Activating word line r while presenting input bits
+// on the columns yields popcount(XNOR(w_r, x)) in one sensing step.
+//
+// Tiles of large layers pad unused columns: padding synapses are programmed
+// to +1 and padding inputs driven to -1, so XNOR = -1 contributes nothing
+// to the popcount.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rram/array.h"
+
+namespace rrambnn::arch {
+
+class XnorMacro {
+ public:
+  XnorMacro(std::int64_t rows, std::int64_t cols,
+            const rram::DeviceParams& device, std::uint64_t seed);
+
+  std::int64_t rows() const { return array_.rows(); }
+  std::int64_t cols() const { return array_.cols(); }
+
+  /// Programs `weights` (+1/-1) into local row `row`; remaining columns are
+  /// padded with +1.
+  void ProgramRow(std::int64_t row, std::span<const int> weights);
+
+  /// Popcount of XNOR(row weights, inputs); `inputs` shorter than the array
+  /// width is padded with -1.
+  std::int64_t RowXnorPopcount(std::int64_t row, std::span<const int> inputs);
+
+  /// Ages every device (endurance stress) without reprogramming.
+  void Stress(std::uint64_t cycles) { array_.StressAll(cycles); }
+
+  /// Re-programs all rows to their stored weights (refresh).
+  void Reprogram() { array_.Reprogram(); }
+
+  const rram::RramArray& array() const { return array_; }
+  rram::RramArray& array() { return array_; }
+
+  /// Synapses carrying real (non-padding) weights.
+  std::int64_t used_synapses() const { return used_synapses_; }
+
+ private:
+  rram::RramArray array_;
+  std::vector<int> input_buffer_;
+  std::int64_t used_synapses_ = 0;
+};
+
+}  // namespace rrambnn::arch

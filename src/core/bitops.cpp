@@ -1,0 +1,227 @@
+#include "core/bitops.h"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+namespace rrambnn::core {
+
+namespace {
+constexpr std::int64_t kWordBits = 64;
+
+std::int64_t WordsFor(std::int64_t bits) {
+  return (bits + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+BitVector::BitVector(std::int64_t size)
+    : size_(size), words_(static_cast<std::size_t>(WordsFor(size)), 0) {
+  if (size < 0) throw std::invalid_argument("BitVector: negative size");
+}
+
+BitVector BitVector::FromSigns(std::span<const float> values) {
+  BitVector v(static_cast<std::int64_t>(values.size()));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= 0.0f) {
+      v.words_[i / kWordBits] |= (1ull << (i % kWordBits));
+    }
+  }
+  return v;
+}
+
+BitVector BitVector::FromPm1(std::span<const int> values) {
+  BitVector v(static_cast<std::int64_t>(values.size()));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] != +1 && values[i] != -1) {
+      throw std::invalid_argument("BitVector::FromPm1: value not in {-1,+1}");
+    }
+    if (values[i] == +1) {
+      v.words_[i / kWordBits] |= (1ull << (i % kWordBits));
+    }
+  }
+  return v;
+}
+
+void BitVector::CheckIndex(std::int64_t i) const {
+  if (i < 0 || i >= size_) {
+    throw std::invalid_argument("BitVector: index " + std::to_string(i) +
+                                " out of range [0, " + std::to_string(size_) +
+                                ")");
+  }
+}
+
+int BitVector::Get(std::int64_t i) const {
+  CheckIndex(i);
+  const bool bit = (words_[static_cast<std::size_t>(i / kWordBits)] >>
+                    (i % kWordBits)) &
+                   1ull;
+  return bit ? +1 : -1;
+}
+
+void BitVector::Set(std::int64_t i, int pm1) {
+  CheckIndex(i);
+  if (pm1 != +1 && pm1 != -1) {
+    throw std::invalid_argument("BitVector::Set: value not in {-1,+1}");
+  }
+  const std::uint64_t mask = 1ull << (i % kWordBits);
+  auto& w = words_[static_cast<std::size_t>(i / kWordBits)];
+  if (pm1 == +1) {
+    w |= mask;
+  } else {
+    w &= ~mask;
+  }
+}
+
+void BitVector::Flip(std::int64_t i) {
+  CheckIndex(i);
+  words_[static_cast<std::size_t>(i / kWordBits)] ^= (1ull << (i % kWordBits));
+}
+
+std::uint64_t BitVector::TailMask() const {
+  const std::int64_t rem = size_ % kWordBits;
+  return rem == 0 ? ~0ull : ((1ull << rem) - 1);
+}
+
+std::int64_t BitVector::XnorPopcount(const BitVector& other) const {
+  if (size_ != other.size_) {
+    throw std::invalid_argument("XnorPopcount: size mismatch");
+  }
+  std::int64_t count = 0;
+  const std::size_t n = words_.size();
+  if (n == 0) return 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    count += std::popcount(~(words_[i] ^ other.words_[i]));
+  }
+  count += std::popcount(~(words_[n - 1] ^ other.words_[n - 1]) & TailMask());
+  return count;
+}
+
+std::int64_t BitVector::CountOnes() const {
+  std::int64_t count = 0;
+  const std::size_t n = words_.size();
+  if (n == 0) return 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) count += std::popcount(words_[i]);
+  count += std::popcount(words_[n - 1] & TailMask());
+  return count;
+}
+
+std::vector<int> BitVector::ToPm1() const {
+  std::vector<int> out(static_cast<std::size_t>(size_));
+  for (std::int64_t i = 0; i < size_; ++i) {
+    out[static_cast<std::size_t>(i)] = Get(i);
+  }
+  return out;
+}
+
+BitMatrix::BitMatrix(std::int64_t rows, std::int64_t cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_(WordsFor(cols)),
+      words_(static_cast<std::size_t>(rows * words_per_row_), 0) {
+  if (rows < 0 || cols < 0) {
+    throw std::invalid_argument("BitMatrix: negative dimensions");
+  }
+}
+
+BitMatrix BitMatrix::FromSigns(std::span<const float> values,
+                               std::int64_t rows, std::int64_t cols) {
+  if (static_cast<std::int64_t>(values.size()) != rows * cols) {
+    throw std::invalid_argument("BitMatrix::FromSigns: size mismatch");
+  }
+  BitMatrix m(rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (values[static_cast<std::size_t>(r * cols + c)] >= 0.0f) {
+        m.Set(r, c, +1);
+      }
+    }
+  }
+  return m;
+}
+
+void BitMatrix::CheckAddress(std::int64_t r, std::int64_t c) const {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
+    throw std::invalid_argument("BitMatrix: address out of range");
+  }
+}
+
+int BitMatrix::Get(std::int64_t r, std::int64_t c) const {
+  CheckAddress(r, c);
+  const bool bit =
+      (words_[static_cast<std::size_t>(r * words_per_row_ + c / kWordBits)] >>
+       (c % kWordBits)) &
+      1ull;
+  return bit ? +1 : -1;
+}
+
+void BitMatrix::Set(std::int64_t r, std::int64_t c, int pm1) {
+  CheckAddress(r, c);
+  if (pm1 != +1 && pm1 != -1) {
+    throw std::invalid_argument("BitMatrix::Set: value not in {-1,+1}");
+  }
+  const std::uint64_t mask = 1ull << (c % kWordBits);
+  auto& w =
+      words_[static_cast<std::size_t>(r * words_per_row_ + c / kWordBits)];
+  if (pm1 == +1) {
+    w |= mask;
+  } else {
+    w &= ~mask;
+  }
+}
+
+void BitMatrix::Flip(std::int64_t r, std::int64_t c) {
+  CheckAddress(r, c);
+  words_[static_cast<std::size_t>(r * words_per_row_ + c / kWordBits)] ^=
+      (1ull << (c % kWordBits));
+}
+
+void BitMatrix::FlipRow(std::int64_t r) {
+  CheckAddress(r, 0);
+  const std::int64_t rem = cols_ % kWordBits;
+  const std::uint64_t tail = rem == 0 ? ~0ull : ((1ull << rem) - 1);
+  for (std::int64_t w = 0; w < words_per_row_; ++w) {
+    auto& word = words_[static_cast<std::size_t>(r * words_per_row_ + w)];
+    word = ~word;
+    if (w == words_per_row_ - 1) word &= tail;
+  }
+}
+
+std::int64_t BitMatrix::RowXnorPopcount(std::int64_t r,
+                                        const BitVector& x) const {
+  CheckAddress(r, 0);
+  if (x.size() != cols_) {
+    throw std::invalid_argument("RowXnorPopcount: input size != cols");
+  }
+  const std::uint64_t* row =
+      words_.data() + static_cast<std::size_t>(r * words_per_row_);
+  std::int64_t count = 0;
+  const std::size_t n = static_cast<std::size_t>(words_per_row_);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    count += std::popcount(~(row[i] ^ x.words_[i]));
+  }
+  count += std::popcount(~(row[n - 1] ^ x.words_[n - 1]) & x.TailMask());
+  return count;
+}
+
+BitVector BitMatrix::Row(std::int64_t r) const {
+  CheckAddress(r, 0);
+  BitVector v(cols_);
+  for (std::int64_t w = 0; w < words_per_row_; ++w) {
+    v.words_[static_cast<std::size_t>(w)] =
+        words_[static_cast<std::size_t>(r * words_per_row_ + w)];
+  }
+  return v;
+}
+
+void BitMatrix::SetRow(std::int64_t r, const BitVector& v) {
+  CheckAddress(r, 0);
+  if (v.size() != cols_) {
+    throw std::invalid_argument("BitMatrix::SetRow: size mismatch");
+  }
+  for (std::int64_t w = 0; w < words_per_row_; ++w) {
+    words_[static_cast<std::size_t>(r * words_per_row_ + w)] =
+        v.words_[static_cast<std::size_t>(w)];
+  }
+}
+
+}  // namespace rrambnn::core

@@ -1,0 +1,114 @@
+// Packed binary vectors/matrices and the XNOR-popcount kernels of Eq. (3).
+//
+// Encoding: bit 1 represents +1, bit 0 represents -1. For two {-1,+1}
+// vectors a and w of length L,
+//     dot(a, w) = 2 * popcount(XNOR(a, w)) - L,
+// which is the arithmetic the paper's in-memory fabric executes (XNOR in the
+// PCSA, popcount in shared logic). These kernels are the software-exact
+// counterpart used for deployment-mode inference and as the golden reference
+// for the hardware-mapped engine in src/arch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rrambnn::core {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::int64_t size);
+
+  /// Packs a float vector by sign: v >= 0 -> +1 (bit 1), v < 0 -> -1.
+  static BitVector FromSigns(std::span<const float> values);
+
+  /// Packs a {-1,+1} integer vector.
+  static BitVector FromPm1(std::span<const int> values);
+
+  std::int64_t size() const { return size_; }
+
+  /// Element i as +1/-1.
+  int Get(std::int64_t i) const;
+  void Set(std::int64_t i, int pm1);
+
+  /// Flips element i.
+  void Flip(std::int64_t i);
+
+  /// Number of matching bits between two equal-length vectors:
+  /// popcount(XNOR(a, b)).
+  std::int64_t XnorPopcount(const BitVector& other) const;
+
+  /// {-1,+1} dot product via XNOR-popcount.
+  std::int64_t DotPm1(const BitVector& other) const {
+    return 2 * XnorPopcount(other) - size_;
+  }
+
+  /// Number of +1 entries.
+  std::int64_t CountOnes() const;
+
+  /// Unpacks to a {-1,+1} integer vector.
+  std::vector<int> ToPm1() const;
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  bool operator==(const BitVector& other) const = default;
+
+ private:
+  friend class BitMatrix;
+  void CheckIndex(std::int64_t i) const;
+  /// Mask selecting the valid bits of the final word.
+  std::uint64_t TailMask() const;
+
+  std::int64_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Row-major packed binary matrix; each row is word-aligned.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(std::int64_t rows, std::int64_t cols);
+
+  /// Packs a float matrix (row-major, rows x cols) by sign.
+  static BitMatrix FromSigns(std::span<const float> values, std::int64_t rows,
+                             std::int64_t cols);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+  int Get(std::int64_t r, std::int64_t c) const;
+  void Set(std::int64_t r, std::int64_t c, int pm1);
+  void Flip(std::int64_t r, std::int64_t c);
+
+  /// Flips every bit of a row (used to absorb negative BN gains so all
+  /// neurons share the popcount >= threshold comparison).
+  void FlipRow(std::int64_t r);
+
+  /// XNOR-popcount of row r against x (x.size() must equal cols).
+  std::int64_t RowXnorPopcount(std::int64_t r, const BitVector& x) const;
+
+  /// {-1,+1} dot product of row r with x.
+  std::int64_t RowDotPm1(std::int64_t r, const BitVector& x) const {
+    return 2 * RowXnorPopcount(r, x) - cols_;
+  }
+
+  /// Row as a BitVector copy.
+  BitVector Row(std::int64_t r) const;
+  void SetRow(std::int64_t r, const BitVector& v);
+
+  /// Total storage in bits (rows * cols; padding excluded).
+  std::int64_t bits() const { return rows_ * cols_; }
+
+  bool operator==(const BitMatrix& other) const = default;
+
+ private:
+  void CheckAddress(std::int64_t r, std::int64_t c) const;
+
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::int64_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rrambnn::core

@@ -1,0 +1,118 @@
+#include "core/bnn_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rrambnn::core {
+
+BitVector BnnDenseLayer::Forward(const BitVector& x) const {
+  if (x.size() != in_features()) {
+    throw std::invalid_argument("BnnDenseLayer: input size mismatch");
+  }
+  BitVector out(out_features());
+  for (std::int64_t j = 0; j < out_features(); ++j) {
+    const std::int64_t pop = weights.RowXnorPopcount(j, x);
+    out.Set(j, pop >= thresholds[static_cast<std::size_t>(j)] ? +1 : -1);
+  }
+  return out;
+}
+
+std::vector<float> BnnOutputLayer::Forward(const BitVector& x) const {
+  if (x.size() != in_features()) {
+    throw std::invalid_argument("BnnOutputLayer: input size mismatch");
+  }
+  std::vector<float> scores(static_cast<std::size_t>(num_classes()));
+  for (std::int64_t k = 0; k < num_classes(); ++k) {
+    const auto dot = static_cast<float>(weights.RowDotPm1(k, x));
+    scores[static_cast<std::size_t>(k)] =
+        scale[static_cast<std::size_t>(k)] * dot +
+        offset[static_cast<std::size_t>(k)];
+  }
+  return scores;
+}
+
+void BnnModel::AddHidden(BnnDenseLayer layer) {
+  if (layer.thresholds.size() !=
+      static_cast<std::size_t>(layer.weights.rows())) {
+    throw std::invalid_argument("AddHidden: threshold count != rows");
+  }
+  hidden_.push_back(std::move(layer));
+}
+
+void BnnModel::SetOutput(BnnOutputLayer layer) {
+  if (layer.scale.size() != static_cast<std::size_t>(layer.weights.rows()) ||
+      layer.offset.size() != static_cast<std::size_t>(layer.weights.rows())) {
+    throw std::invalid_argument("SetOutput: scale/offset count != classes");
+  }
+  output_ = std::move(layer);
+  has_output_ = true;
+}
+
+std::int64_t BnnModel::input_size() const {
+  if (!hidden_.empty()) return hidden_.front().in_features();
+  if (has_output_) return output_.in_features();
+  throw std::invalid_argument("BnnModel: empty model has no input size");
+}
+
+void BnnModel::Validate() const {
+  if (!has_output_) {
+    throw std::invalid_argument("BnnModel: missing output layer");
+  }
+  std::int64_t width = input_size();
+  for (std::size_t i = 0; i < hidden_.size(); ++i) {
+    const auto& layer = hidden_[i];
+    if (layer.in_features() != width) {
+      throw std::invalid_argument("BnnModel: layer " + std::to_string(i) +
+                                  " input width mismatch");
+    }
+    for (const std::int32_t t : layer.thresholds) {
+      // A threshold outside [0, in+1] makes the neuron constant in a way
+      // that cannot arise from BN folding over finite statistics.
+      if (t < 0 || t > layer.in_features() + 1) {
+        throw std::invalid_argument("BnnModel: threshold out of range");
+      }
+    }
+    width = layer.out_features();
+  }
+  if (output_.in_features() != width) {
+    throw std::invalid_argument("BnnModel: output layer width mismatch");
+  }
+}
+
+std::vector<float> BnnModel::Scores(const BitVector& x) const {
+  BitVector h = x;
+  for (const auto& layer : hidden_) h = layer.Forward(h);
+  return output_.Forward(h);
+}
+
+std::int64_t BnnModel::Predict(const BitVector& x) const {
+  const std::vector<float> s = Scores(x);
+  return std::distance(s.begin(), std::max_element(s.begin(), s.end()));
+}
+
+std::vector<std::int64_t> BnnModel::PredictBatch(const Tensor& features) const {
+  if (features.rank() != 2) {
+    throw std::invalid_argument("PredictBatch: expected [N, F]");
+  }
+  const std::int64_t n = features.dim(0), f = features.dim(1);
+  if (f != input_size()) {
+    throw std::invalid_argument("PredictBatch: feature width mismatch");
+  }
+  std::vector<std::int64_t> preds(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const BitVector x = BitVector::FromSigns(
+        std::span<const float>(features.data() + i * f,
+                               static_cast<std::size_t>(f)));
+    preds[static_cast<std::size_t>(i)] = Predict(x);
+  }
+  return preds;
+}
+
+std::int64_t BnnModel::TotalWeightBits() const {
+  std::int64_t bits = 0;
+  for (const auto& layer : hidden_) bits += layer.weights.bits();
+  if (has_output_) bits += output_.weights.bits();
+  return bits;
+}
+
+}  // namespace rrambnn::core

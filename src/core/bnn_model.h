@@ -1,0 +1,84 @@
+// Deployed (compiled) binarized classifier: the bit-exact software model of
+// what the in-memory fabric of Fig. 5 executes.
+//
+// Hidden layers compute   out_j = (popcount(XNOR(w_j, x)) >= theta_j)
+// with batch normalization folded into the integer threshold theta_j (and
+// negative BN gains absorbed by flipping the row weights), following the
+// paper's companion implementations (refs [15][16]). The output layer keeps
+// a per-class affine (scale, offset) over the integer dot product so the
+// softmax-free argmax decision matches the trained network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bitops.h"
+#include "tensor/tensor.h"
+
+namespace rrambnn::core {
+
+/// Hidden binarized dense layer: binary in -> binary out.
+struct BnnDenseLayer {
+  BitMatrix weights;                     // [out, in]
+  std::vector<std::int32_t> thresholds;  // popcount thresholds, one per row
+
+  std::int64_t in_features() const { return weights.cols(); }
+  std::int64_t out_features() const { return weights.rows(); }
+
+  /// out_j = +1 iff popcount(XNOR(w_j, x)) >= theta_j.
+  BitVector Forward(const BitVector& x) const;
+};
+
+/// Output layer: binary in -> real class scores.
+struct BnnOutputLayer {
+  BitMatrix weights;           // [classes, in]
+  std::vector<float> scale;    // per-class multiplier on the +/-1 dot
+  std::vector<float> offset;   // per-class additive term
+
+  std::int64_t in_features() const { return weights.cols(); }
+  std::int64_t num_classes() const { return weights.rows(); }
+
+  std::vector<float> Forward(const BitVector& x) const;
+};
+
+/// Compiled BNN classifier: a chain of hidden layers plus an output layer.
+class BnnModel {
+ public:
+  BnnModel() = default;
+
+  void AddHidden(BnnDenseLayer layer);
+  void SetOutput(BnnOutputLayer layer);
+
+  std::int64_t input_size() const;
+  std::int64_t num_classes() const { return output_.num_classes(); }
+  std::size_t num_hidden() const { return hidden_.size(); }
+  const std::vector<BnnDenseLayer>& hidden() const { return hidden_; }
+  std::vector<BnnDenseLayer>& hidden() { return hidden_; }
+  const BnnOutputLayer& output() const { return output_; }
+  BnnOutputLayer& output() { return output_; }
+
+  /// Class scores for one packed input.
+  std::vector<float> Scores(const BitVector& x) const;
+
+  /// Argmax class for one packed input.
+  std::int64_t Predict(const BitVector& x) const;
+
+  /// Batch prediction over real-valued feature rows [N, F]: each row is
+  /// binarized by sign and pushed through the compiled network.
+  std::vector<std::int64_t> PredictBatch(const Tensor& features) const;
+
+  /// Total weight bits across all layers (Table IV accounting).
+  std::int64_t TotalWeightBits() const;
+
+  /// Structural validation (layer chaining, threshold ranges); throws
+  /// std::invalid_argument on inconsistency.
+  void Validate() const;
+
+ private:
+  std::vector<BnnDenseLayer> hidden_;
+  BnnOutputLayer output_;
+  bool has_output_ = false;
+};
+
+}  // namespace rrambnn::core

@@ -1,0 +1,206 @@
+#include "core/compile.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+
+namespace rrambnn::core {
+
+namespace {
+
+/// Per-neuron folded linear form: sign/score of (scale * dot + offset).
+struct FoldedAffine {
+  double scale = 1.0;
+  double offset = 0.0;
+};
+
+FoldedAffine FoldNeuron(const nn::Dense& dense, const nn::BatchNorm* bn,
+                        std::int64_t j) {
+  FoldedAffine f;
+  f.offset = dense.has_bias() ? dense.bias().value[j] : 0.0f;
+  if (bn != nullptr) {
+    const double sigma =
+        std::sqrt(static_cast<double>(bn->running_var()[j]) + bn->eps());
+    const double gamma = bn->gamma().value[j];
+    const double beta = bn->beta().value[j];
+    const double mu = bn->running_mean()[j];
+    // gamma * (dot + bias - mu) / sigma + beta
+    f.scale = gamma / sigma;
+    f.offset = gamma * (f.offset - mu) / sigma + beta;
+  }
+  return f;
+}
+
+/// Converts "scale * dot + offset >= 0" into a popcount threshold over a
+/// possibly row-flipped weight row. dot = 2p - L.
+std::int32_t FoldThreshold(const FoldedAffine& f, std::int64_t width,
+                           bool* flip_row) {
+  const auto l = static_cast<double>(width);
+  *flip_row = false;
+  if (f.scale == 0.0) {
+    // Constant neuron: always +1 when offset >= 0, else never.
+    return f.offset >= 0.0 ? 0 : static_cast<std::int32_t>(width + 1);
+  }
+  // scale*dot + offset >= 0  <=>  dot >= t (scale>0) or dot <= t (scale<0),
+  // with t = -offset/scale.
+  const double t = -f.offset / f.scale;
+  double theta;
+  if (f.scale > 0.0) {
+    theta = std::ceil((t + l) / 2.0);
+  } else {
+    // Flip the row so -dot becomes the stored dot: p' >= ceil((l - t) / 2).
+    *flip_row = true;
+    theta = std::ceil((l - t) / 2.0);
+  }
+  if (theta < 0.0) theta = 0.0;
+  if (theta > l + 1.0) theta = l + 1.0;
+  return static_cast<std::int32_t>(theta);
+}
+
+const nn::Dense* AsBinaryDense(const nn::Layer& layer) {
+  const auto* dense = dynamic_cast<const nn::Dense*>(&layer);
+  if (dense == nullptr) return nullptr;
+  if (!dense->binary()) {
+    throw std::invalid_argument(
+        "CompileClassifier: dense layer '" + layer.Describe() +
+        "' is not binary; only binarized classifiers compile to RRAM");
+  }
+  return dense;
+}
+
+}  // namespace
+
+BnnModel CompileClassifier(const nn::Sequential& model,
+                           std::size_t start_layer) {
+  if (start_layer >= model.size()) {
+    throw std::invalid_argument("CompileClassifier: start_layer out of range");
+  }
+  BnnModel compiled;
+  std::size_t i = start_layer;
+
+  // Leading Flatten / Dropout / Sign layers are structural no-ops for the
+  // compiled network (input arrives packed by sign already).
+  while (i < model.size()) {
+    const nn::Layer& layer = model[i];
+    if (dynamic_cast<const nn::Flatten*>(&layer) != nullptr ||
+        dynamic_cast<const nn::Dropout*>(&layer) != nullptr ||
+        dynamic_cast<const nn::SignSte*>(&layer) != nullptr) {
+      ++i;
+      continue;
+    }
+    break;
+  }
+
+  while (i < model.size()) {
+    const nn::Dense* dense = AsBinaryDense(model[i]);
+    if (dense == nullptr) {
+      throw std::invalid_argument(
+          "CompileClassifier: unsupported layer '" + model[i].Describe() +
+          "' at position " + std::to_string(i));
+    }
+    ++i;
+    const nn::BatchNorm* bn = nullptr;
+    if (i < model.size()) {
+      bn = dynamic_cast<const nn::BatchNorm*>(&model[i]);
+      if (bn != nullptr) ++i;
+    }
+    // A Sign after (Dense, BN?) makes this a hidden layer; otherwise it is
+    // the output layer and must be last (modulo trailing dropout).
+    bool is_hidden = false;
+    if (i < model.size() &&
+        dynamic_cast<const nn::SignSte*>(&model[i]) != nullptr) {
+      is_hidden = true;
+      ++i;
+    }
+
+    const std::int64_t out = dense->out_features();
+    const std::int64_t in = dense->in_features();
+    const Tensor w_eff = dense->EffectiveWeight();
+    BitMatrix weights = BitMatrix::FromSigns(
+        std::span<const float>(w_eff.data(),
+                               static_cast<std::size_t>(w_eff.size())),
+        out, in);
+
+    if (is_hidden) {
+      BnnDenseLayer layer;
+      layer.thresholds.resize(static_cast<std::size_t>(out));
+      for (std::int64_t j = 0; j < out; ++j) {
+        bool flip = false;
+        const FoldedAffine f = FoldNeuron(*dense, bn, j);
+        layer.thresholds[static_cast<std::size_t>(j)] =
+            FoldThreshold(f, in, &flip);
+        if (flip) weights.FlipRow(j);
+      }
+      layer.weights = std::move(weights);
+      compiled.AddHidden(std::move(layer));
+      // Dropout between blocks is an inference no-op.
+      while (i < model.size() &&
+             dynamic_cast<const nn::Dropout*>(&model[i]) != nullptr) {
+        ++i;
+      }
+      continue;
+    }
+
+    BnnOutputLayer out_layer;
+    out_layer.scale.resize(static_cast<std::size_t>(out));
+    out_layer.offset.resize(static_cast<std::size_t>(out));
+    for (std::int64_t j = 0; j < out; ++j) {
+      const FoldedAffine f = FoldNeuron(*dense, bn, j);
+      out_layer.scale[static_cast<std::size_t>(j)] =
+          static_cast<float>(f.scale);
+      out_layer.offset[static_cast<std::size_t>(j)] =
+          static_cast<float>(f.offset);
+    }
+    out_layer.weights = std::move(weights);
+    compiled.SetOutput(std::move(out_layer));
+    if (i != model.size()) {
+      throw std::invalid_argument(
+          "CompileClassifier: layers after the output dense layer");
+    }
+    compiled.Validate();
+    return compiled;
+  }
+  throw std::invalid_argument(
+      "CompileClassifier: model ended without an output dense layer");
+}
+
+Tensor ForwardPrefix(nn::Sequential& model, const Tensor& x,
+                     std::size_t end_layer) {
+  if (end_layer > model.size()) {
+    throw std::invalid_argument("ForwardPrefix: end_layer out of range");
+  }
+  Tensor y = x;
+  for (std::size_t i = 0; i < end_layer; ++i) {
+    y = model[i].Forward(y, /*training=*/false);
+  }
+  return y;
+}
+
+double HybridAccuracy(nn::Sequential& feature_extractor, std::size_t split,
+                      const BnnModel& classifier, const nn::Dataset& data,
+                      std::int64_t batch_size) {
+  data.Validate();
+  if (data.size() == 0) return 0.0;
+  std::int64_t hits = 0;
+  for (std::int64_t start = 0; start < data.size(); start += batch_size) {
+    const std::int64_t stop = std::min(data.size(), start + batch_size);
+    std::vector<std::int64_t> idx;
+    idx.reserve(static_cast<std::size_t>(stop - start));
+    for (std::int64_t i = start; i < stop; ++i) idx.push_back(i);
+    const nn::Dataset batch = data.Subset(idx);
+    Tensor features = ForwardPrefix(feature_extractor, batch.x, split);
+    if (features.rank() > 2) features = features.Reshape({stop - start, -1});
+    const std::vector<std::int64_t> preds = classifier.PredictBatch(features);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == batch.y[i]) ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+}  // namespace rrambnn::core

@@ -1,0 +1,36 @@
+// Compilation of a trained nn::Sequential classifier into the deployed
+// BnnModel: batch normalization folds into integer popcount thresholds,
+// negative BN gains are absorbed by flipping row weights, dropout vanishes,
+// and the output layer keeps a per-class affine so argmax matches training.
+//
+// Supported classifier grammar, starting at `start_layer`:
+//   [Flatten] [Dropout|Sign]* ( BinaryDense [BatchNorm] Sign [Dropout]* )*
+//   BinaryDense [BatchNorm]
+// Leading Sign layers are absorbed into the input packing (BitVector is
+// already a sign encoding). Anything else throws std::invalid_argument.
+#pragma once
+
+#include <cstddef>
+
+#include "core/bnn_model.h"
+#include "nn/dataset.h"
+#include "nn/sequential.h"
+
+namespace rrambnn::core {
+
+/// Compiles layers [start_layer, end) of `model` into a BnnModel.
+BnnModel CompileClassifier(const nn::Sequential& model,
+                           std::size_t start_layer = 0);
+
+/// Runs layers [0, end_layer) in inference mode (the real-valued feature
+/// extractor of a partially binarized network).
+Tensor ForwardPrefix(nn::Sequential& model, const Tensor& x,
+                     std::size_t end_layer);
+
+/// Accuracy of the hybrid pipeline: float feature extractor (layers
+/// [0, split)) followed by the compiled binary classifier.
+double HybridAccuracy(nn::Sequential& feature_extractor, std::size_t split,
+                      const BnnModel& classifier, const nn::Dataset& data,
+                      std::int64_t batch_size = 64);
+
+}  // namespace rrambnn::core

@@ -1,0 +1,36 @@
+#include "core/fault_injection.h"
+
+#include <stdexcept>
+
+namespace rrambnn::core {
+
+std::int64_t InjectFaults(BitMatrix& matrix, double ber, Rng& rng) {
+  if (ber < 0.0 || ber > 1.0) {
+    throw std::invalid_argument("InjectFaults: ber outside [0, 1]");
+  }
+  if (ber == 0.0) return 0;
+  std::int64_t flips = 0;
+  for (std::int64_t r = 0; r < matrix.rows(); ++r) {
+    for (std::int64_t c = 0; c < matrix.cols(); ++c) {
+      if (rng.Bernoulli(ber)) {
+        matrix.Flip(r, c);
+        ++flips;
+      }
+    }
+  }
+  return flips;
+}
+
+FaultInjectionReport InjectWeightFaults(BnnModel& model, double ber,
+                                        Rng& rng) {
+  FaultInjectionReport report;
+  for (auto& layer : model.hidden()) {
+    report.total_bits += layer.weights.bits();
+    report.flipped_bits += InjectFaults(layer.weights, ber, rng);
+  }
+  report.total_bits += model.output().weights.bits();
+  report.flipped_bits += InjectFaults(model.output().weights, ber, rng);
+  return report;
+}
+
+}  // namespace rrambnn::core

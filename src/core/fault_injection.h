@@ -1,0 +1,26 @@
+// Weight-bit fault injection: evaluates the BNN's tolerance to residual RRAM
+// bit errors, the property that makes the paper's ECC-less 2T2R approach
+// viable (Sec. II-B and its refs [15][16]). Each stored weight bit is
+// flipped independently with probability `ber` — the same statistics the
+// Fig. 4 device model produces at a given cycling age.
+#pragma once
+
+#include <cstdint>
+
+#include "core/bnn_model.h"
+#include "tensor/rng.h"
+
+namespace rrambnn::core {
+
+struct FaultInjectionReport {
+  std::int64_t total_bits = 0;
+  std::int64_t flipped_bits = 0;
+};
+
+/// Flips each weight bit of `matrix` independently with probability `ber`.
+std::int64_t InjectFaults(BitMatrix& matrix, double ber, Rng& rng);
+
+/// Applies InjectFaults to every layer of a compiled model.
+FaultInjectionReport InjectWeightFaults(BnnModel& model, double ber, Rng& rng);
+
+}  // namespace rrambnn::core

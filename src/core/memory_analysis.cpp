@@ -1,0 +1,62 @@
+#include "core/memory_analysis.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/dense.h"
+
+namespace rrambnn::core {
+
+MemoryReport AnalyzeMemory(nn::Sequential& model,
+                           std::size_t classifier_start) {
+  if (classifier_start > model.size()) {
+    throw std::invalid_argument("AnalyzeMemory: classifier_start out of range");
+  }
+  MemoryReport r;
+  std::int64_t classifier_neurons = 0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    const std::int64_t p = model[i].NumParams();
+    r.total_params += p;
+    if (i < classifier_start) {
+      r.feature_params += p;
+    } else {
+      r.classifier_params += p;
+      if (const auto* dense = dynamic_cast<const nn::Dense*>(&model[i])) {
+        classifier_neurons += dense->out_features();
+      }
+    }
+  }
+  const auto total = static_cast<double>(r.total_params);
+  const auto feat = static_cast<double>(r.feature_params);
+  const auto clf = static_cast<double>(r.classifier_params);
+
+  r.bytes_fp32 = 4.0 * total;
+  r.bytes_int8 = total;
+  r.bytes_full_binary = total / 8.0;
+  r.bytes_bin_classifier_fp32 = 4.0 * feat + clf / 8.0;
+  r.bytes_bin_classifier_int8 = feat + clf / 8.0;
+  r.overhead_threshold_bytes = 4.0 * static_cast<double>(classifier_neurons);
+  r.saving_vs_fp32 =
+      r.bytes_fp32 > 0.0 ? 1.0 - r.bytes_bin_classifier_fp32 / r.bytes_fp32
+                         : 0.0;
+  r.saving_vs_int8 =
+      r.bytes_int8 > 0.0 ? 1.0 - r.bytes_bin_classifier_int8 / r.bytes_int8
+                         : 0.0;
+  return r;
+}
+
+std::string FormatBytes(double bytes) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (bytes >= 1024.0 * 1024.0) {
+    os << std::setprecision(2) << bytes / (1024.0 * 1024.0) << " MB";
+  } else if (bytes >= 1024.0) {
+    os << std::setprecision(0) << bytes / 1024.0 << " KB";
+  } else {
+    os << std::setprecision(0) << bytes << " B";
+  }
+  return os.str();
+}
+
+}  // namespace rrambnn::core

@@ -1,0 +1,49 @@
+// Model-size accounting behind Table IV of the paper: parameters split into
+// feature-extractor vs classifier, and the memory footprint under each
+// storage regime (32-bit float, 8-bit quantized, binarized classifier,
+// fully binarized).
+//
+// Convention (matching the paper's arithmetic): binarizing a network part
+// stores *all* of its parameters at 1 bit each; per-neuron popcount
+// thresholds are reported separately as overhead_threshold_bytes because at
+// Table IV's scale they are negligible (the paper ignores them).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "nn/sequential.h"
+
+namespace rrambnn::core {
+
+struct MemoryReport {
+  std::int64_t total_params = 0;
+  std::int64_t feature_params = 0;     // layers [0, classifier_start)
+  std::int64_t classifier_params = 0;  // layers [classifier_start, end)
+
+  double bytes_fp32 = 0.0;
+  double bytes_int8 = 0.0;
+  double bytes_full_binary = 0.0;
+  /// Features at fp32 / int8, classifier at 1 bit per parameter.
+  double bytes_bin_classifier_fp32 = 0.0;
+  double bytes_bin_classifier_int8 = 0.0;
+  /// 32-bit thresholds/affine terms of the compiled classifier (one per
+  /// classifier neuron), excluded from the paper-style savings numbers.
+  double overhead_threshold_bytes = 0.0;
+
+  /// Table IV "Bin classif. saving %" columns.
+  double saving_vs_fp32 = 0.0;
+  double saving_vs_int8 = 0.0;
+};
+
+/// Computes the report for a model whose classifier starts at layer index
+/// `classifier_start` (first dense layer of the classifier head or the
+/// Flatten preceding it).
+MemoryReport AnalyzeMemory(nn::Sequential& model,
+                           std::size_t classifier_start);
+
+/// "1.17 MB" / "305 KB" formatting helper used by the Table IV bench.
+std::string FormatBytes(double bytes);
+
+}  // namespace rrambnn::core

@@ -1,0 +1,26 @@
+// The three binarization regimes the paper evaluates (Table III, Fig. 7).
+#pragma once
+
+#include <string>
+
+namespace rrambnn::core {
+
+enum class BinarizationStrategy {
+  kReal,              // 32-bit float weights and activations (baseline)
+  kFullBinary,        // all conv + dense layers binarized (BNN)
+  kBinaryClassifier,  // real conv features, binarized dense classifier
+};
+
+inline std::string ToString(BinarizationStrategy s) {
+  switch (s) {
+    case BinarizationStrategy::kReal:
+      return "Real-weight NN";
+    case BinarizationStrategy::kFullBinary:
+      return "BNN";
+    case BinarizationStrategy::kBinaryClassifier:
+      return "Bin. Classifier";
+  }
+  return "?";
+}
+
+}  // namespace rrambnn::core

@@ -1,0 +1,220 @@
+#include "data/ecg_synth.h"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "data/signal.h"
+
+namespace rrambnn::data {
+
+namespace {
+
+/// PQRST beat as a sum of Gaussian bumps; `t` is the phase within the beat
+/// in seconds, `rr` the beat period. Returns (depolarization source s1,
+/// repolarization source s2) so electrodes can weight them differently.
+struct BeatSources {
+  double s1;
+  double s2;
+};
+
+BeatSources BeatWave(double t, double rr) {
+  // Wave timing as fractions of the RR interval (roughly physiological).
+  struct Wave {
+    double amp, center, width;
+  };
+  // P, Q, R, S waves drive s1 (depolarization).
+  constexpr std::array<Wave, 4> kDepol = {{
+      {0.15, 0.15, 0.020},   // P
+      {-0.12, 0.265, 0.008}, // Q
+      {1.00, 0.285, 0.010},  // R
+      {-0.25, 0.310, 0.009}, // S
+  }};
+  // T wave dominates s2 (repolarization), plus a small R echo.
+  constexpr std::array<Wave, 2> kRepol = {{
+      {0.35, 0.55, 0.045},   // T
+      {0.20, 0.285, 0.012},  // R echo
+  }};
+  BeatSources out{0.0, 0.0};
+  for (const Wave& w : kDepol) {
+    out.s1 += GaussianPulse(t, w.amp, w.center * rr, w.width * rr * 3.0);
+  }
+  for (const Wave& w : kRepol) {
+    out.s2 += GaussianPulse(t, w.amp, w.center * rr, w.width * rr * 3.0);
+  }
+  return out;
+}
+
+/// Electrode projection coefficients (s1, s2) for the 9 physical
+/// electrodes: RA, LA, LL, V1..V6. Chosen so derived leads have
+/// physiological polarity (lead I, II positive R; aVR negative).
+struct Projection {
+  double a;  // weight of s1
+  double b;  // weight of s2
+};
+
+constexpr std::array<Projection, 9> kElectrodes = {{
+    {-0.60, -0.25},  // RA
+    {0.25, 0.15},    // LA
+    {0.55, 0.45},    // LL
+    {-0.35, -0.10},  // V1
+    {-0.10, 0.10},   // V2
+    {0.15, 0.30},    // V3
+    {0.45, 0.45},    // V4
+    {0.60, 0.50},    // V5
+    {0.70, 0.50},    // V6
+}};
+
+constexpr std::int64_t kRa = 0, kLa = 1, kLl = 2, kV1 = 3;
+
+}  // namespace
+
+void EcgSynthConfig::Validate() const {
+  if (samples <= 0 || sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("EcgSynthConfig: non-positive geometry");
+  }
+  if (heart_rate_bpm <= 0.0 ||
+      heart_rate_jitter_bpm >= heart_rate_bpm) {
+    throw std::invalid_argument("EcgSynthConfig: bad heart rate");
+  }
+}
+
+Tensor MakeEcgTrial(const EcgSynthConfig& config, ElectrodeSwap swap,
+                    Rng& rng) {
+  config.Validate();
+  const std::int64_t t = config.samples;
+  const double fs = config.sample_rate_hz;
+
+  const double bpm =
+      config.heart_rate_bpm + rng.UniformDouble(-config.heart_rate_jitter_bpm,
+                                                config.heart_rate_jitter_bpm);
+  const double rr = 60.0 / bpm;
+  const double gain = 1.0 + rng.UniformDouble(-config.amplitude_jitter,
+                                              config.amplitude_jitter);
+  const double start_offset = rng.UniformDouble(0.0, rr);
+
+  // Beat onset times with per-beat jitter.
+  std::vector<double> onsets;
+  for (double onset = -start_offset;
+       onset < static_cast<double>(t) / fs + rr; onset += rr) {
+    onsets.push_back(onset + rng.NormalDouble(0.0, config.beat_jitter));
+  }
+
+  // Latent sources sampled on the trial grid.
+  std::vector<double> s1(static_cast<std::size_t>(t), 0.0);
+  std::vector<double> s2(static_cast<std::size_t>(t), 0.0);
+  for (std::int64_t i = 0; i < t; ++i) {
+    const double time = static_cast<double>(i) / fs;
+    for (const double onset : onsets) {
+      const double phase = time - onset;
+      if (phase < -0.2 * rr || phase > 1.2 * rr) continue;
+      const BeatSources b = BeatWave(phase, rr);
+      s1[static_cast<std::size_t>(i)] += gain * b.s1;
+      s2[static_cast<std::size_t>(i)] += gain * b.s2;
+    }
+  }
+
+  // Electrode potentials with independent contact noise + baseline wander.
+  std::array<std::vector<double>, 9> phi;
+  const double wander_freq = rng.UniformDouble(0.15, 0.4);
+  for (std::size_t e = 0; e < kElectrodes.size(); ++e) {
+    phi[e].assign(static_cast<std::size_t>(t), 0.0);
+    const double wander_phase = rng.UniformDouble(0.0, 2.0 * std::numbers::pi);
+    for (std::int64_t i = 0; i < t; ++i) {
+      const double time = static_cast<double>(i) / fs;
+      double v = kElectrodes[e].a * s1[static_cast<std::size_t>(i)] +
+                 kElectrodes[e].b * s2[static_cast<std::size_t>(i)];
+      v += config.baseline_wander *
+           std::sin(2.0 * std::numbers::pi * wander_freq * time +
+                    wander_phase);
+      v += rng.NormalDouble(0.0, config.noise_amplitude);
+      phi[e][static_cast<std::size_t>(i)] = v;
+    }
+  }
+
+  // The cable swap exchanges electrode *potentials* before lead derivation.
+  std::array<std::int64_t, 9> wire;
+  for (std::size_t e = 0; e < wire.size(); ++e) {
+    wire[e] = static_cast<std::int64_t>(e);
+  }
+  switch (swap) {
+    case ElectrodeSwap::kNone:
+      break;
+    case ElectrodeSwap::kRaLa:
+      std::swap(wire[kRa], wire[kLa]);
+      break;
+    case ElectrodeSwap::kRaLl:
+      std::swap(wire[kRa], wire[kLl]);
+      break;
+    case ElectrodeSwap::kLaLl:
+      std::swap(wire[kLa], wire[kLl]);
+      break;
+    case ElectrodeSwap::kV1V6:
+      std::swap(wire[kV1], wire[kV1 + 5]);
+      break;
+    case ElectrodeSwap::kV2V5:
+      std::swap(wire[kV1 + 1], wire[kV1 + 4]);
+      break;
+  }
+  const auto& ra = phi[static_cast<std::size_t>(wire[kRa])];
+  const auto& la = phi[static_cast<std::size_t>(wire[kLa])];
+  const auto& ll = phi[static_cast<std::size_t>(wire[kLl])];
+
+  Tensor out({12, t, 1});
+  for (std::int64_t i = 0; i < t; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double wct = (ra[idx] + la[idx] + ll[idx]) / 3.0;
+    out.at(0, i, 0) = static_cast<float>(la[idx] - ra[idx]);            // I
+    out.at(1, i, 0) = static_cast<float>(ll[idx] - ra[idx]);            // II
+    out.at(2, i, 0) = static_cast<float>(ll[idx] - la[idx]);            // III
+    out.at(3, i, 0) =
+        static_cast<float>(ra[idx] - (la[idx] + ll[idx]) / 2.0);        // aVR
+    out.at(4, i, 0) =
+        static_cast<float>(la[idx] - (ra[idx] + ll[idx]) / 2.0);        // aVL
+    out.at(5, i, 0) =
+        static_cast<float>(ll[idx] - (ra[idx] + la[idx]) / 2.0);        // aVF
+    for (std::int64_t v = 0; v < 6; ++v) {
+      out.at(6 + v, i, 0) = static_cast<float>(
+          phi[static_cast<std::size_t>(wire[kV1 + v])][idx] - wct);
+    }
+  }
+  return out;
+}
+
+nn::Dataset MakeEcgDataset(const EcgSynthConfig& config,
+                           std::int64_t num_trials, Rng& rng) {
+  config.Validate();
+  if (num_trials <= 0) {
+    throw std::invalid_argument("MakeEcgDataset: non-positive trial count");
+  }
+  nn::Dataset data;
+  data.x = Tensor({num_trials, 12, config.samples, 1});
+  data.y.resize(static_cast<std::size_t>(num_trials));
+  data.num_classes = 2;
+  for (std::int64_t trial = 0; trial < num_trials; ++trial) {
+    const std::int64_t label = trial % 2;
+    ElectrodeSwap swap = ElectrodeSwap::kNone;
+    if (label == 1) {
+      if (config.mixed_swaps) {
+        static constexpr ElectrodeSwap kSwaps[] = {
+            ElectrodeSwap::kRaLa, ElectrodeSwap::kRaLl,
+            ElectrodeSwap::kLaLl, ElectrodeSwap::kV1V6,
+            ElectrodeSwap::kV2V5};
+        swap = kSwaps[rng.UniformInt(5)];
+      } else {
+        swap = ElectrodeSwap::kRaLa;
+      }
+    }
+    data.x.SetRow(trial, MakeEcgTrial(config, swap, rng));
+    data.y[static_cast<std::size_t>(trial)] = label;
+  }
+  std::vector<std::int64_t> order(static_cast<std::size_t>(num_trials));
+  for (std::int64_t i = 0; i < num_trials; ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  rng.Shuffle(order);
+  return data.Subset(order);
+}
+
+}  // namespace rrambnn::data

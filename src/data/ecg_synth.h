@@ -1,0 +1,62 @@
+// Synthetic 12-lead ECG generator with electrode-inversion labels —
+// substitute for the Challenge-Data "electrode inversion detection" dataset
+// of the paper (Sec. III-B).
+//
+// The generator builds electrode *potentials* first and derives the 12
+// standard leads with the physical lead algebra:
+//   I = LA - RA,  II = LL - RA,  III = LL - LA,
+//   aVR = RA - (LA + LL)/2,  aVL = LA - (RA + LL)/2, aVF = LL - (RA + LA)/2,
+//   V1..V6 = phi_Vi - WCT,   WCT = (RA + LA + LL)/3.
+// Each electrode potential is a projection of two latent cardiac sources
+// (a PQRST depolarization waveform and a repolarization-weighted variant),
+// so swapping two *electrodes* transforms the leads exactly the way a
+// physical cable swap does — e.g. the classic RA/LA swap flips lead I,
+// exchanges II<->III and aVR<->aVL, and leaves the precordials almost
+// unchanged. Class 0 = correct placement, class 1 = a random limb-electrode
+// swap (RA<->LA, RA<->LL or LA<->LL), which is the detection task.
+//
+// Output tensor layout: [N, 12, time, 1] — leads as channels, matching the
+// Table II network ("Conv 32 13x1x12").
+#pragma once
+
+#include "nn/dataset.h"
+#include "tensor/rng.h"
+
+namespace rrambnn::data {
+
+enum class ElectrodeSwap {
+  kNone,
+  kRaLa,  // classic arm swap: lead I flips, II<->III, aVR<->aVL
+  kRaLl,
+  kLaLl,
+  kV1V6,  // precordial misplacements: corrupt the graded R-wave
+  kV2V5,  // progression across the chest leads (amplitude signature)
+};
+
+struct EcgSynthConfig {
+  std::int64_t samples = 750;   // 3 s at 250 Hz (paper geometry)
+  double sample_rate_hz = 250.0;
+  double heart_rate_bpm = 75.0;
+  double heart_rate_jitter_bpm = 15.0;  // per-trial rate variation
+  double beat_jitter = 0.03;            // per-beat timing jitter (s)
+  double amplitude_jitter = 0.25;       // per-trial gain spread
+  double noise_amplitude = 0.06;        // measurement noise (mV-ish units)
+  double baseline_wander = 0.08;        // slow respiratory drift amplitude
+  /// When true, class 1 draws uniformly among the three limb swaps and the
+  /// two precordial swaps (the paper's task is detecting *any* inversion);
+  /// when false it is always the RA/LA swap (the easiest signature).
+  bool mixed_swaps = true;
+
+  void Validate() const;
+};
+
+/// Generates `num_trials` labeled trials (balanced classes, shuffled).
+nn::Dataset MakeEcgDataset(const EcgSynthConfig& config,
+                           std::int64_t num_trials, Rng& rng);
+
+/// Generates a single trial with an explicit swap (testing / examples).
+/// Output shape [12, samples, 1].
+Tensor MakeEcgTrial(const EcgSynthConfig& config, ElectrodeSwap swap,
+                    Rng& rng);
+
+}  // namespace rrambnn::data

@@ -1,0 +1,106 @@
+#include "data/eeg_synth.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "data/signal.h"
+
+namespace rrambnn::data {
+
+void EegSynthConfig::Validate() const {
+  if (channels <= 0 || samples <= 0 || sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("EegSynthConfig: non-positive geometry");
+  }
+  if (erd_attenuation < 0.0 || erd_attenuation >= 1.0) {
+    throw std::invalid_argument(
+        "EegSynthConfig: erd_attenuation must be in [0, 1)");
+  }
+  if (group_width_channels <= 0.0) {
+    throw std::invalid_argument("EegSynthConfig: non-positive group width");
+  }
+}
+
+nn::Dataset MakeEegDataset(const EegSynthConfig& config,
+                           std::int64_t num_trials, Rng& rng) {
+  config.Validate();
+  if (num_trials <= 0) {
+    throw std::invalid_argument("MakeEegDataset: non-positive trial count");
+  }
+  const std::int64_t c = config.channels;
+  const std::int64_t t = config.samples;
+
+  // Spatial mu-power profile: two Gaussian patches over the motor strip.
+  const double left_center =
+      config.left_group_center_frac * static_cast<double>(c - 1);
+  const double right_center =
+      config.right_group_center_frac * static_cast<double>(c - 1);
+  std::vector<double> left_profile(static_cast<std::size_t>(c));
+  std::vector<double> right_profile(static_cast<std::size_t>(c));
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const double dl = (static_cast<double>(ch) - left_center) /
+                      config.group_width_channels;
+    const double dr = (static_cast<double>(ch) - right_center) /
+                      config.group_width_channels;
+    left_profile[static_cast<std::size_t>(ch)] = std::exp(-0.5 * dl * dl);
+    right_profile[static_cast<std::size_t>(ch)] = std::exp(-0.5 * dr * dr);
+  }
+
+  nn::Dataset data;
+  data.x = Tensor({num_trials, 1, t, c});
+  data.y.resize(static_cast<std::size_t>(num_trials));
+  data.num_classes = 2;
+
+  for (std::int64_t trial = 0; trial < num_trials; ++trial) {
+    const std::int64_t label = trial % 2;  // balanced; order shuffled below
+    data.y[static_cast<std::size_t>(trial)] = label;
+
+    const double freq =
+        config.mu_freq_hz +
+        rng.UniformDouble(-config.mu_freq_jitter_hz, config.mu_freq_jitter_hz);
+    const double phase = rng.UniformDouble(0.0, 2.0 * std::numbers::pi);
+    const double trial_gain =
+        1.0 + rng.UniformDouble(-config.amplitude_jitter,
+                                config.amplitude_jitter);
+    // ERD is contralateral: left-fist imagery (label 0) suppresses the
+    // right-hemisphere group; right-fist imagery suppresses the left one.
+    const double left_gain =
+        label == 1 ? config.erd_attenuation : 1.0;
+    const double right_gain =
+        label == 0 ? config.erd_attenuation : 1.0;
+
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      PinkNoise background(rng);
+      const double mu_gain =
+          config.mu_amplitude * trial_gain *
+          (left_gain * left_profile[static_cast<std::size_t>(ch)] +
+           right_gain * right_profile[static_cast<std::size_t>(ch)]);
+      const double hum_phase = rng.UniformDouble(0.0, 2.0 * std::numbers::pi);
+      // Amplitude envelope of the mu burst: slow random modulation.
+      const double env_freq = rng.UniformDouble(0.1, 0.4);
+      const double env_phase = rng.UniformDouble(0.0, 2.0 * std::numbers::pi);
+      for (std::int64_t i = 0; i < t; ++i) {
+        const double time = static_cast<double>(i) / config.sample_rate_hz;
+        const double envelope =
+            0.75 + 0.25 * std::sin(2.0 * std::numbers::pi * env_freq * time +
+                                   env_phase);
+        double v = config.noise_amplitude * background.Next();
+        v += mu_gain * envelope *
+             std::sin(2.0 * std::numbers::pi * freq * time + phase);
+        v += config.hum_amplitude *
+             std::sin(2.0 * std::numbers::pi * 50.0 * time + hum_phase);
+        data.x.at(trial, 0, i, ch) = static_cast<float>(v);
+      }
+    }
+  }
+
+  // Shuffle trials so folds/batches are not label-alternating.
+  std::vector<std::int64_t> order(static_cast<std::size_t>(num_trials));
+  for (std::int64_t i = 0; i < num_trials; ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  rng.Shuffle(order);
+  return data.Subset(order);
+}
+
+}  // namespace rrambnn::data

@@ -1,0 +1,52 @@
+// Synthetic EEG motor-imagery generator — substitute for the PhysioNet EEG
+// Motor Movement/Imagery dataset the paper uses (Sec. III-A).
+//
+// Physiology being modeled: imagining a left- or right-fist movement causes
+// event-related desynchronization (ERD) of the mu rhythm (8-12 Hz) over the
+// *contralateral* motor cortex. The generator emits:
+//   - per-channel 1/f background noise,
+//   - a shared mu-rhythm oscillation with a spatial amplitude profile
+//     peaking over two motor-cortex electrode groups (C3-like / C4-like),
+//   - class-dependent attenuation (ERD) of the group contralateral to the
+//     imagined hand: class 0 = left fist -> right-hemisphere ERD,
+//     class 1 = right fist -> left-hemisphere ERD,
+//   - optional mains hum and trial-level amplitude/frequency jitter.
+// The discriminative statistic (lateralized band power) matches what the
+// paper's end-to-end EEG network (Fig. 6) learns from the real recordings,
+// so the real/BNN/binarized-classifier comparison transfers.
+//
+// Output tensor layout: [N, 1, time, channels] — one "image" per trial with
+// time as height and electrodes as width, exactly how the Table I network
+// convolves ("Conv 1D in time" k x 1, then "Conv 1D in space" 1 x C).
+#pragma once
+
+#include "nn/dataset.h"
+#include "tensor/rng.h"
+
+namespace rrambnn::data {
+
+struct EegSynthConfig {
+  std::int64_t channels = 64;
+  std::int64_t samples = 960;      // 6 s at 160 Hz (paper geometry)
+  double sample_rate_hz = 160.0;
+  double mu_freq_hz = 10.0;        // mu rhythm center frequency
+  double mu_freq_jitter_hz = 1.0;  // per-trial frequency variation
+  double mu_amplitude = 1.0;
+  double erd_attenuation = 0.35;   // contralateral mu multiplier in [0, 1)
+  double noise_amplitude = 1.0;    // 1/f background level
+  double hum_amplitude = 0.1;      // 50 Hz mains leakage
+  double amplitude_jitter = 0.2;   // per-trial multiplicative spread
+  /// Electrode-group geometry: Gaussian spatial profiles centered at
+  /// fractions of the channel axis (C3 ~ 35 %, C4 ~ 65 % of the montage).
+  double left_group_center_frac = 0.35;
+  double right_group_center_frac = 0.65;
+  double group_width_channels = 4.0;
+
+  void Validate() const;
+};
+
+/// Generates `num_trials` labeled trials (balanced classes, shuffled).
+nn::Dataset MakeEegDataset(const EegSynthConfig& config,
+                           std::int64_t num_trials, Rng& rng);
+
+}  // namespace rrambnn::data

@@ -1,0 +1,124 @@
+#include "data/image_synth.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace rrambnn::data {
+
+namespace {
+
+/// One 3x3 box-blur pass with wrap-around borders.
+void BoxBlur(std::vector<float>& img, std::int64_t h, std::int64_t w) {
+  std::vector<float> out(img.size());
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        for (std::int64_t dx = -1; dx <= 1; ++dx) {
+          const std::int64_t yy = (y + dy + h) % h;
+          const std::int64_t xx = (x + dx + w) % w;
+          acc += img[static_cast<std::size_t>(yy * w + xx)];
+        }
+      }
+      out[static_cast<std::size_t>(y * w + x)] = acc / 9.0f;
+    }
+  }
+  img = std::move(out);
+}
+
+}  // namespace
+
+void ImageSynthConfig::Validate() const {
+  if (num_classes <= 1 || size <= 0 || channels <= 0) {
+    throw std::invalid_argument("ImageSynthConfig: bad geometry");
+  }
+  if (max_shift < 0 || max_shift >= size) {
+    throw std::invalid_argument("ImageSynthConfig: bad max_shift");
+  }
+}
+
+nn::Dataset MakeImageDataset(const ImageSynthConfig& config,
+                             std::int64_t num_samples, Rng& rng) {
+  config.Validate();
+  if (num_samples <= 0) {
+    throw std::invalid_argument("MakeImageDataset: non-positive sample count");
+  }
+  const std::int64_t k = config.num_classes;
+  const std::int64_t s = config.size;
+  const std::int64_t c = config.channels;
+  const std::int64_t plane = s * s;
+
+  // Class prototypes are derived from prototype_seed only, independent of
+  // the sampling rng: the "dataset" is a fixed world, draws are i.i.d.
+  std::vector<std::vector<float>> prototypes(
+      static_cast<std::size_t>(k),
+      std::vector<float>(static_cast<std::size_t>(c * plane)));
+  for (std::int64_t cls = 0; cls < k; ++cls) {
+    Rng proto_rng(config.prototype_seed * 1000003ull +
+                  static_cast<std::uint64_t>(cls));
+    auto& proto = prototypes[static_cast<std::size_t>(cls)];
+    for (auto& v : proto) v = proto_rng.Normal(0.0f, 1.0f);
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      std::vector<float> planebuf(
+          proto.begin() + static_cast<std::ptrdiff_t>(ch * plane),
+          proto.begin() + static_cast<std::ptrdiff_t>((ch + 1) * plane));
+      for (std::int64_t pass = 0; pass < config.smooth_passes; ++pass) {
+        BoxBlur(planebuf, s, s);
+      }
+      // Re-normalize contrast after blurring.
+      float mean = 0.0f, var = 0.0f;
+      for (const float v : planebuf) mean += v;
+      mean /= static_cast<float>(plane);
+      for (const float v : planebuf) var += (v - mean) * (v - mean);
+      var /= static_cast<float>(plane);
+      const float inv_std = 1.0f / std::sqrt(var + 1e-6f);
+      for (std::int64_t i = 0; i < plane; ++i) {
+        proto[static_cast<std::size_t>(ch * plane + i)] =
+            (planebuf[static_cast<std::size_t>(i)] - mean) * inv_std;
+      }
+    }
+  }
+
+  nn::Dataset data;
+  data.x = Tensor({num_samples, c, s, s});
+  data.y.resize(static_cast<std::size_t>(num_samples));
+  data.num_classes = k;
+
+  for (std::int64_t n = 0; n < num_samples; ++n) {
+    const std::int64_t label = n % k;
+    data.y[static_cast<std::size_t>(n)] = label;
+    const auto& proto = prototypes[static_cast<std::size_t>(label)];
+    const std::int64_t shift_y = rng.UniformInt(2 * config.max_shift + 1) -
+                                 config.max_shift;
+    const std::int64_t shift_x = rng.UniformInt(2 * config.max_shift + 1) -
+                                 config.max_shift;
+    const float contrast =
+        1.0f + rng.Uniform(-static_cast<float>(config.contrast_jitter),
+                           static_cast<float>(config.contrast_jitter));
+    const float brightness =
+        rng.Uniform(-static_cast<float>(config.brightness_jitter),
+                    static_cast<float>(config.brightness_jitter));
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t y = 0; y < s; ++y) {
+        for (std::int64_t x = 0; x < s; ++x) {
+          const std::int64_t sy = (y + shift_y + s) % s;
+          const std::int64_t sx = (x + shift_x + s) % s;
+          float v =
+              proto[static_cast<std::size_t>(ch * plane + sy * s + sx)];
+          v = v * contrast + brightness +
+              rng.Normal(0.0f, static_cast<float>(config.noise_amplitude));
+          data.x.at(n, ch, y, x) = v;
+        }
+      }
+    }
+  }
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(num_samples));
+  for (std::int64_t i = 0; i < num_samples; ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  rng.Shuffle(order);
+  return data.Subset(order);
+}
+
+}  // namespace rrambnn::data

@@ -1,0 +1,36 @@
+// Synthetic multi-class vision task — the scaled stand-in for ImageNet in
+// the MobileNet experiments (paper Sec. IV / Fig. 8).
+//
+// Each class k owns a fixed, seed-derived prototype: a smoothed random RGB
+// field. A sample is its prototype under a random circular shift, contrast
+// and brightness jitter, plus pixel noise. Class identity is carried by
+// texture/structure (not trivially by mean color), intra-class variance by
+// the augmentations — the same regime (many visually similar classes,
+// nuisance transforms) a compact CNN faces on natural images.
+#pragma once
+
+#include "nn/dataset.h"
+#include "tensor/rng.h"
+
+namespace rrambnn::data {
+
+struct ImageSynthConfig {
+  std::int64_t num_classes = 16;
+  std::int64_t size = 32;          // square images, `size` x `size`
+  std::int64_t channels = 3;
+  std::int64_t smooth_passes = 3;  // box-blur passes on the prototypes
+  std::int64_t max_shift = 5;      // circular shift range (pixels)
+  double contrast_jitter = 0.3;
+  double brightness_jitter = 0.2;
+  double noise_amplitude = 0.35;
+  std::uint64_t prototype_seed = 7;  // class prototypes derive from this
+
+  void Validate() const;
+};
+
+/// Generates `num_samples` labeled images, balanced and shuffled.
+/// Output layout: [N, channels, size, size].
+nn::Dataset MakeImageDataset(const ImageSynthConfig& config,
+                             std::int64_t num_samples, Rng& rng);
+
+}  // namespace rrambnn::data

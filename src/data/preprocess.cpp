@@ -1,0 +1,34 @@
+#include "data/preprocess.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rrambnn::data {
+
+void NormalizePerChannel(Tensor& x, float eps) {
+  if (x.rank() != 4) {
+    throw std::invalid_argument("NormalizePerChannel: expected [N, C, H, W]");
+  }
+  const std::int64_t planes = x.dim(0) * x.dim(1);
+  const std::int64_t plane_size = x.dim(2) * x.dim(3);
+  if (plane_size == 0) return;
+  for (std::int64_t p = 0; p < planes; ++p) {
+    float* plane = x.data() + p * plane_size;
+    double mean = 0.0;
+    for (std::int64_t i = 0; i < plane_size; ++i) mean += plane[i];
+    mean /= static_cast<double>(plane_size);
+    double var = 0.0;
+    for (std::int64_t i = 0; i < plane_size; ++i) {
+      const double d = plane[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(plane_size);
+    const auto inv_std =
+        static_cast<float>(1.0 / std::sqrt(var + static_cast<double>(eps)));
+    for (std::int64_t i = 0; i < plane_size; ++i) {
+      plane[i] = (plane[i] - static_cast<float>(mean)) * inv_std;
+    }
+  }
+}
+
+}  // namespace rrambnn::data

@@ -1,0 +1,19 @@
+// Dataset preprocessing: the paper's only EEG preprocessing step is
+// per-channel normalization ("subtracting the mean and dividing by
+// variance", Sec. III-A).
+#pragma once
+
+#include "nn/dataset.h"
+
+namespace rrambnn::data {
+
+/// Normalizes each (sample, channel) plane of a [N, C, H, W] tensor to zero
+/// mean / unit standard deviation in place.
+void NormalizePerChannel(Tensor& x, float eps = 1e-6f);
+
+/// Convenience overload over a dataset.
+inline void NormalizePerChannel(nn::Dataset& data, float eps = 1e-6f) {
+  NormalizePerChannel(data.x, eps);
+}
+
+}  // namespace rrambnn::data

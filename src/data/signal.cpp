@@ -1,0 +1,41 @@
+#include "data/signal.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace rrambnn::data {
+
+float PinkNoise::Next() {
+  const float white = rng_.Normal(0.0f, 1.0f);
+  // Coefficients from Kellet's "economy" pink filter.
+  b0_ = 0.99765f * b0_ + white * 0.0990460f;
+  b1_ = 0.96300f * b1_ + white * 0.2965164f;
+  b2_ = 0.57000f * b2_ + white * 1.0526913f;
+  return (b0_ + b1_ + b2_ + white * 0.1848f) * 0.25f;
+}
+
+std::vector<float> PinkNoise::Generate(std::int64_t n) {
+  if (n < 0) throw std::invalid_argument("PinkNoise: negative length");
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (auto& v : out) v = Next();
+  return out;
+}
+
+float GaussianPulse(double t, double amplitude, double center, double width) {
+  const double d = (t - center) / width;
+  return static_cast<float>(amplitude * std::exp(-0.5 * d * d));
+}
+
+void AddSine(std::vector<float>& signal, double fs, double freq_hz,
+             double amplitude, double phase) {
+  if (fs <= 0.0) throw std::invalid_argument("AddSine: non-positive fs");
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    const double t = static_cast<double>(i) / fs;
+    signal[i] += static_cast<float>(
+        amplitude *
+        std::sin(2.0 * std::numbers::pi * freq_hz * t + phase));
+  }
+}
+
+}  // namespace rrambnn::data

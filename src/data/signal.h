@@ -1,0 +1,34 @@
+// Signal-synthesis primitives shared by the EEG and ECG generators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace rrambnn::data {
+
+/// 1/f ("pink") noise via Paul Kellet's 3-pole IIR approximation of a
+/// -10 dB/decade slope; good enough as an EEG background spectrum.
+class PinkNoise {
+ public:
+  explicit PinkNoise(Rng& rng) : rng_(rng.Fork()) {}
+
+  float Next();
+
+  /// Generates n samples with unit-ish variance.
+  std::vector<float> Generate(std::int64_t n);
+
+ private:
+  Rng rng_;
+  float b0_ = 0.0f, b1_ = 0.0f, b2_ = 0.0f;
+};
+
+/// A Gaussian bump a * exp(-(t - mu)^2 / (2 sigma^2)).
+float GaussianPulse(double t, double amplitude, double center, double width);
+
+/// Adds `amplitude * sin(2 pi f t + phase)` to a signal sampled at `fs`.
+void AddSine(std::vector<float>& signal, double fs, double freq_hz,
+             double amplitude, double phase);
+
+}  // namespace rrambnn::data

@@ -1,0 +1,109 @@
+#include "models/ecg_model.h"
+
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/pool.h"
+
+namespace rrambnn::models {
+
+EcgNetConfig EcgNetConfig::PaperScale() { return EcgNetConfig{}; }
+
+EcgNetConfig EcgNetConfig::BenchScale() {
+  EcgNetConfig c;
+  c.samples = 200;       // 2 s at 100 Hz
+  c.base_filters = 8;    // augmentation sweeps stay CPU-trainable
+  c.fc_units = 32;
+  c.kernels[0] = 9;
+  c.kernels[1] = 7;
+  c.kernels[2] = 5;
+  c.kernels[3] = 5;
+  c.kernels[4] = 3;
+  return c;
+}
+
+BuiltEcgNet BuildEcgNet(const EcgNetConfig& config, Rng& rng) {
+  using core::BinarizationStrategy;
+  if (config.filter_augmentation <= 0) {
+    throw std::invalid_argument("BuildEcgNet: non-positive augmentation");
+  }
+  const std::int64_t filters =
+      config.base_filters * config.filter_augmentation;
+  const bool conv_binary =
+      config.strategy == BinarizationStrategy::kFullBinary;
+  const bool clf_binary =
+      config.strategy != BinarizationStrategy::kReal;
+  // Dropout on +/-1 sign activations destroys the popcount statistics the
+  // fully binarized network computes with; BN + weight binarization already
+  // regularize it heavily, so the all-binarized variant trains without
+  // dropout (the real and binary-classifier variants keep the paper's
+  // 0.95 / 0.85 keep probabilities).
+  const float keep_conv =
+      conv_binary ? 1.0f : config.dropout_keep_conv;
+  const float keep_fc = conv_binary ? 1.0f : config.dropout_keep_fc;
+
+  BuiltEcgNet built;
+  nn::Sequential& net = built.net;
+
+  // "We also perform batch normalization of the input data."
+  net.Emplace<nn::BatchNorm>(config.leads);
+
+  std::int64_t in_ch = config.leads;
+  for (int layer = 0; layer < 5; ++layer) {
+    // Conv -> pool -> BN -> activation: pooling acts on pre-activations, so
+    // binarized variants do not max-pool over +/-1 signs (the standard BNN
+    // layer ordering of Courbariaux et al.).
+    net.Emplace<nn::Conv2d>(in_ch, filters, config.kernels[layer],
+                            std::int64_t{1}, rng,
+                            nn::Conv2dOptions{.binary = conv_binary,
+                                              .use_bias = !conv_binary});
+    if (config.pool_after[layer]) {
+      net.Emplace<nn::Pool2d>(nn::PoolKind::kMax, std::int64_t{2},
+                              std::int64_t{1});
+    }
+    net.Emplace<nn::BatchNorm>(filters);
+    if (conv_binary) {
+      net.Emplace<nn::SignSte>();
+    } else {
+      net.Emplace<nn::HardTanh>();
+    }
+    if (keep_conv < 1.0f) {
+      net.Emplace<nn::Dropout>(keep_conv, rng);
+    }
+    in_ch = filters;
+  }
+  if (config.strategy == BinarizationStrategy::kBinaryClassifier) {
+    // Re-center features per channel so the classifier's sign binarization
+    // is informative (part of the real feature extractor).
+    net.Emplace<nn::BatchNorm>(filters);
+  }
+
+  built.classifier_start = net.size();
+
+  net.Emplace<nn::Flatten>();
+  if (clf_binary) net.Emplace<nn::SignSte>();
+  if (keep_fc < 1.0f) {
+    net.Emplace<nn::Dropout>(keep_fc, rng);
+  }
+  const Shape flat = net.OutputShape({config.leads, config.samples, 1});
+  net.Emplace<nn::Dense>(flat[0], config.fc_units, rng,
+                         nn::DenseOptions{.binary = clf_binary});
+  net.Emplace<nn::BatchNorm>(config.fc_units);
+  if (clf_binary) {
+    net.Emplace<nn::SignSte>();
+  } else {
+    net.Emplace<nn::HardTanh>();
+  }
+  net.Emplace<nn::Dense>(config.fc_units, config.num_classes, rng,
+                         nn::DenseOptions{.binary = clf_binary});
+  // Final BN keeps binarized integer logits softmax-friendly in training;
+  // deployment folds it into the output layer's per-class affine.
+  if (clf_binary) net.Emplace<nn::BatchNorm>(config.num_classes);
+  return built;
+}
+
+}  // namespace rrambnn::models

@@ -1,0 +1,47 @@
+// The paper's custom ECG electrode-inversion CNN (Table II):
+//   BN(input) -> Conv 32@13x1 -> MaxPool 2x1 -> Conv 32@11x1 -> MaxPool 2x1
+//   -> Conv 32@9x1 -> Conv 32@7x1 -> Conv 32@5x1 -> Flatten
+//   -> FC 75 -> FC 2 (softmax at training time)
+// with batch normalization + activation after every conv/linear layer,
+// hardtanh activations in the real-valued setting replaced by sign when
+// binarized, input batch normalization, and dropout (keep 0.95 in convs,
+// 0.85 in the classifier) — Sec. III-B verbatim.
+//
+// `filter_augmentation` scales the 32 base filters (the Fig. 7 x-axis).
+#pragma once
+
+#include <cstddef>
+
+#include "core/strategy.h"
+#include "nn/sequential.h"
+
+namespace rrambnn::models {
+
+struct EcgNetConfig {
+  std::int64_t leads = 12;
+  std::int64_t samples = 750;  // 3 s at 250 Hz (Table II geometry)
+  std::int64_t base_filters = 32;
+  std::int64_t fc_units = 75;
+  std::int64_t num_classes = 2;
+  std::int64_t filter_augmentation = 1;
+  core::BinarizationStrategy strategy =
+      core::BinarizationStrategy::kReal;
+  float dropout_keep_conv = 0.95f;
+  float dropout_keep_fc = 0.85f;
+  /// Table II kernel heights, in layer order.
+  std::int64_t kernels[5] = {13, 11, 9, 7, 5};
+  /// Max-pool after these conv indices (Table II: after conv 0 and 1).
+  bool pool_after[5] = {true, true, false, false, false};
+
+  static EcgNetConfig PaperScale();
+  static EcgNetConfig BenchScale();
+};
+
+struct BuiltEcgNet {
+  nn::Sequential net;
+  std::size_t classifier_start = 0;
+};
+
+BuiltEcgNet BuildEcgNet(const EcgNetConfig& config, Rng& rng);
+
+}  // namespace rrambnn::models

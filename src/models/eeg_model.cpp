@@ -1,0 +1,108 @@
+#include "models/eeg_model.h"
+
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/pool.h"
+
+namespace rrambnn::models {
+
+EegNetConfig EegNetConfig::PaperScale() { return EegNetConfig{}; }
+
+EegNetConfig EegNetConfig::BenchScale() {
+  EegNetConfig c;
+  c.channels = 16;
+  c.samples = 192;          // 2.4 s at 80 Hz
+  c.temporal_filters = 8;
+  c.temporal_kernel = 15;
+  c.temporal_pad = 7;
+  c.pool_kernel = 15;
+  c.pool_stride = 8;
+  c.fc_units = 40;
+  return c;
+}
+
+BuiltEegNet BuildEegNet(const EegNetConfig& config, Rng& rng) {
+  using core::BinarizationStrategy;
+  if (config.filter_augmentation <= 0) {
+    throw std::invalid_argument("BuildEegNet: non-positive augmentation");
+  }
+  const std::int64_t filters =
+      config.temporal_filters * config.filter_augmentation;
+  const bool conv_binary =
+      config.strategy == BinarizationStrategy::kFullBinary;
+  const bool clf_binary =
+      config.strategy != BinarizationStrategy::kReal;
+
+  BuiltEegNet built;
+  nn::Sequential& net = built.net;
+
+  auto add_conv_act = [&](std::int64_t features) {
+    net.Emplace<nn::BatchNorm>(features);
+    if (conv_binary) {
+      net.Emplace<nn::SignSte>();
+    } else {
+      net.Emplace<nn::Relu>();
+    }
+  };
+
+  // Conv 1D in time: per-electrode temporal convolution (k x 1 on
+  // [1, time, channels]).
+  net.Emplace<nn::Conv2d>(
+      1, filters, config.temporal_kernel, std::int64_t{1}, rng,
+      nn::Conv2dOptions{.pad_h = config.temporal_pad,
+                        .binary = conv_binary,
+                        .use_bias = !conv_binary});
+  add_conv_act(filters);
+  // Conv 1D in space: correlates all electrodes (1 x channels kernel);
+  // the average pool acts on its pre-activations so binarized variants do
+  // not pool over +/-1 signs.
+  net.Emplace<nn::Conv2d>(filters, filters, std::int64_t{1}, config.channels,
+                          rng,
+                          nn::Conv2dOptions{.binary = conv_binary,
+                                            .use_bias = !conv_binary});
+  net.Emplace<nn::Pool2d>(
+      nn::PoolKind::kAverage, config.pool_kernel, std::int64_t{1},
+      nn::Pool2dOptions{.stride_h = config.pool_stride, .stride_w = 1});
+  add_conv_act(filters);
+  if (config.strategy == BinarizationStrategy::kBinaryClassifier) {
+    // Per-channel BN re-centers the (non-negative, post-ReLU) features so
+    // the classifier's sign binarization is informative; it belongs to the
+    // real-valued feature extractor.
+    net.Emplace<nn::BatchNorm>(filters);
+  }
+
+  built.classifier_start = net.size();
+
+  net.Emplace<nn::Flatten>();
+  if (clf_binary) net.Emplace<nn::SignSte>();
+  // As in the ECG model, dropout is incompatible with +/-1 popcount
+  // statistics, so the fully binarized variant omits it.
+  if (config.dropout_keep_fc < 1.0f && !conv_binary) {
+    net.Emplace<nn::Dropout>(config.dropout_keep_fc, rng);
+  }
+  // FC 80.
+  const Shape pooled = net.OutputShape(
+      {1, config.samples, config.channels});
+  net.Emplace<nn::Dense>(pooled[0], config.fc_units, rng,
+                         nn::DenseOptions{.binary = clf_binary});
+  net.Emplace<nn::BatchNorm>(config.fc_units);
+  if (clf_binary) {
+    net.Emplace<nn::SignSte>();
+  } else {
+    net.Emplace<nn::Relu>();
+  }
+  // FC -> classes (softmax lives in the loss). Binarized output layers get
+  // a final BN so the integer +/-1 dot products do not saturate the softmax
+  // during training; deployment folds it into the per-class affine.
+  net.Emplace<nn::Dense>(config.fc_units, config.num_classes, rng,
+                         nn::DenseOptions{.binary = clf_binary});
+  if (clf_binary) net.Emplace<nn::BatchNorm>(config.num_classes);
+  return built;
+}
+
+}  // namespace rrambnn::models

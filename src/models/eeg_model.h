@@ -1,0 +1,55 @@
+// The end-to-end EEG motor-imagery classification network of the paper's
+// Fig. 6 / Table I (after Dose et al. 2018, the paper's ref [27]):
+//   Conv 40 @ 30x1 pad 15 ("conv 1D in time", per electrode)
+//   Conv 40 @ 1x64      ("conv 1D in space", across all electrodes)
+//   AvgPool 30x1 stride 15
+//   Flatten -> FC 80 -> FC 2 (softmax at training time)
+// ReLU activations in the real-valued setting, sign in binarized settings
+// (Sec. III-A). Batch normalization after each conv/dense layer provides
+// the thresholds that deployment folds into integer popcount comparisons.
+//
+// The builder is scale-parametric: `filter_augmentation` multiplies the
+// number of conv filters (the Fig. 7-style augmentation axis), and the
+// geometry can be shrunk for CPU-scale training while keeping Table I's
+// exact shape checks available at full scale.
+#pragma once
+
+#include <cstddef>
+
+#include "core/strategy.h"
+#include "nn/sequential.h"
+
+namespace rrambnn::models {
+
+struct EegNetConfig {
+  std::int64_t channels = 64;   // electrodes (Table I: 64)
+  std::int64_t samples = 960;   // time samples (Table I: 960)
+  std::int64_t temporal_filters = 40;
+  std::int64_t temporal_kernel = 30;
+  std::int64_t temporal_pad = 15;
+  std::int64_t pool_kernel = 30;
+  std::int64_t pool_stride = 15;
+  std::int64_t fc_units = 80;
+  std::int64_t num_classes = 2;
+  std::int64_t filter_augmentation = 1;
+  core::BinarizationStrategy strategy =
+      core::BinarizationStrategy::kReal;
+  float dropout_keep_fc = 1.0f;  // optional classifier regularization
+
+  /// Paper-scale configuration (Table I exactly).
+  static EegNetConfig PaperScale();
+
+  /// CPU-trainable configuration used by the accuracy experiments.
+  static EegNetConfig BenchScale();
+};
+
+struct BuiltEegNet {
+  nn::Sequential net;
+  /// Index of the first classifier layer (for memory analysis and
+  /// classifier compilation).
+  std::size_t classifier_start = 0;
+};
+
+BuiltEegNet BuildEegNet(const EegNetConfig& config, Rng& rng);
+
+}  // namespace rrambnn::models

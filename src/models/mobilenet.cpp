@@ -1,0 +1,106 @@
+#include "models/mobilenet.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/depthwise_conv.h"
+#include "nn/pool.h"
+
+namespace rrambnn::models {
+
+MobileNetConfig MobileNetConfig::PaperScale() { return MobileNetConfig{}; }
+
+MobileNetConfig MobileNetConfig::BenchScale(std::int64_t num_classes) {
+  MobileNetConfig c;
+  c.input_size = 32;
+  c.num_classes = num_classes;
+  c.stem_channels = 32;
+  c.stem_stride = 1;
+  c.width_multiplier = 0.25;
+  c.blocks = {{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2}};
+  // Keep the paper's ~2.75x expansion ratio (1024 -> 2816) at this width:
+  // a thin binary bottleneck needs the wide hidden layer to stay accuracy-
+  // neutral.
+  c.binary_hidden = 512;
+  return c;
+}
+
+namespace {
+std::int64_t Scaled(std::int64_t channels, double multiplier) {
+  return std::max<std::int64_t>(
+      8, static_cast<std::int64_t>(channels * multiplier));
+}
+}  // namespace
+
+BuiltMobileNet BuildMobileNetV1(const MobileNetConfig& config, Rng& rng) {
+  if (config.blocks.empty()) {
+    throw std::invalid_argument("BuildMobileNetV1: empty block list");
+  }
+  BuiltMobileNet built;
+  nn::Sequential& net = built.net;
+
+  const std::int64_t stem = Scaled(config.stem_channels,
+                                   config.width_multiplier);
+  // Stem: standard 3x3 conv, stride 2 at paper scale.
+  net.Emplace<nn::Conv2d>(
+      config.input_channels, stem, std::int64_t{3}, std::int64_t{3}, rng,
+      nn::Conv2dOptions{.stride_h = config.stem_stride,
+                        .stride_w = config.stem_stride,
+                        .pad_h = 1,
+                        .pad_w = 1,
+                        .use_bias = false});
+  net.Emplace<nn::BatchNorm>(stem);
+  net.Emplace<nn::Relu>();
+
+  std::int64_t in_ch = stem;
+  for (const MobileNetBlock& block : config.blocks) {
+    const std::int64_t out_ch =
+        Scaled(block.out_channels, config.width_multiplier);
+    // Depthwise 3x3.
+    net.Emplace<nn::DepthwiseConv2d>(
+        in_ch, std::int64_t{3}, std::int64_t{3}, rng,
+        nn::DepthwiseConv2dOptions{.stride_h = block.stride,
+                                   .stride_w = block.stride,
+                                   .pad_h = 1,
+                                   .pad_w = 1,
+                                   .use_bias = false});
+    net.Emplace<nn::BatchNorm>(in_ch);
+    net.Emplace<nn::Relu>();
+    // Pointwise 1x1.
+    net.Emplace<nn::Conv2d>(in_ch, out_ch, std::int64_t{1}, std::int64_t{1},
+                            rng, nn::Conv2dOptions{.use_bias = false});
+    net.Emplace<nn::BatchNorm>(out_ch);
+    net.Emplace<nn::Relu>();
+    in_ch = out_ch;
+  }
+
+  net.Emplace<nn::GlobalAvgPool>();
+  if (config.binary_classifier) {
+    // Re-centers the (post-ReLU, non-negative) pooled features so the
+    // classifier's sign binarization carries information; stays with the
+    // real feature extractor.
+    net.Emplace<nn::BatchNorm>(in_ch);
+  }
+
+  built.classifier_start = net.size();
+  if (config.binary_classifier) {
+    net.Emplace<nn::SignSte>();
+    net.Emplace<nn::Dense>(in_ch, config.binary_hidden, rng,
+                           nn::DenseOptions{.binary = true});
+    net.Emplace<nn::BatchNorm>(config.binary_hidden);
+    net.Emplace<nn::SignSte>();
+    net.Emplace<nn::Dense>(config.binary_hidden, config.num_classes, rng,
+                           nn::DenseOptions{.binary = true});
+    // Final BN keeps the integer logits softmax-friendly during training.
+    net.Emplace<nn::BatchNorm>(config.num_classes);
+  } else {
+    net.Emplace<nn::Dense>(in_ch, config.num_classes, rng);
+  }
+  return built;
+}
+
+}  // namespace rrambnn::models

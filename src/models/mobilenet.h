@@ -1,0 +1,58 @@
+// MobileNet V1 (Howard et al. 2017, the paper's ref [8]) built from
+// depthwise-separable blocks, with the paper's Sec. IV modification: the
+// single fully connected classifier can be replaced by a *binarized*
+// two-layer classifier (1024 -> 2816 -> 1000 at paper scale, 5.7 M binary
+// parameters = 696 KB — the Table IV MobileNet row).
+//
+// The builder supports the published full-scale configuration (for
+// parameter/memory accounting) and scaled variants (width multiplier,
+// custom block list, small inputs) that train on a CPU for the Fig. 8
+// reproduction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/strategy.h"
+#include "nn/sequential.h"
+
+namespace rrambnn::models {
+
+struct MobileNetBlock {
+  std::int64_t out_channels = 0;
+  std::int64_t stride = 1;
+};
+
+struct MobileNetConfig {
+  std::int64_t input_size = 224;
+  std::int64_t input_channels = 3;
+  std::int64_t num_classes = 1000;
+  std::int64_t stem_channels = 32;
+  std::int64_t stem_stride = 2;
+  double width_multiplier = 1.0;
+  /// Depthwise-separable blocks after the stem (channels, stride); the
+  /// default is the published MobileNet-224 configuration.
+  std::vector<MobileNetBlock> blocks = {
+      {64, 1},  {128, 2}, {128, 1}, {256, 2},  {256, 1},
+      {512, 2}, {512, 1}, {512, 1}, {512, 1},  {512, 1},
+      {512, 1}, {1024, 2}, {1024, 1},
+  };
+  /// When true, replaces the FC-1000 classifier by the paper's two-layer
+  /// binarized classifier with `binary_hidden` units.
+  bool binary_classifier = false;
+  std::int64_t binary_hidden = 2816;
+
+  static MobileNetConfig PaperScale();
+  /// CPU-trainable: 32x32 inputs, width 0.25, shallow block list.
+  static MobileNetConfig BenchScale(std::int64_t num_classes);
+};
+
+struct BuiltMobileNet {
+  nn::Sequential net;
+  std::size_t classifier_start = 0;
+};
+
+BuiltMobileNet BuildMobileNetV1(const MobileNetConfig& config, Rng& rng);
+
+}  // namespace rrambnn::models

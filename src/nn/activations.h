@@ -1,0 +1,61 @@
+// Pointwise activations. SignSTE is the binarized-network activation: it
+// forwards sign(x) in {-1,+1} and backpropagates with the straight-through
+// estimator (gradient passes where |x| <= 1, the derivative of hardtanh),
+// following Courbariaux et al. 2016 — the training recipe behind Eq. (3) of
+// the paper.
+#pragma once
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace rrambnn::nn {
+
+class Relu : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "ReLU"; }
+  Shape OutputShape(const Shape& in) const override { return in; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// hardtanh(x) = clamp(x, -1, 1); the real-valued ECG model's activation.
+class HardTanh : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "HardTanh"; }
+  Shape OutputShape(const Shape& in) const override { return in; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Binarizing activation: forward sign(x), backward straight-through.
+class SignSte : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "Sign"; }
+  Shape OutputShape(const Shape& in) const override { return in; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Reshapes [N, ...] to [N, F]; the Table I/II "Flatten" rows.
+class Flatten : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "Flatten"; }
+  Shape OutputShape(const Shape& in) const override;
+
+ private:
+  Shape cached_shape_;
+};
+
+}  // namespace rrambnn::nn

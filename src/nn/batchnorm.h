@@ -1,0 +1,61 @@
+// Batch normalization over [N, F] (per feature) or [N, C, H, W] (per
+// channel). The paper applies BN after every conv/linear layer (Sec. III-B);
+// in the deployed BNN, BN folds into the integer popcount threshold
+// (core/compile.h), so exposing running statistics here is part of the
+// public contract.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace rrambnn::nn {
+
+struct BatchNormOptions {
+  float momentum = 0.1f;  // running = (1-m)*running + m*batch
+  float eps = 1e-5f;
+};
+
+class BatchNorm : public Layer {
+ public:
+  explicit BatchNorm(std::int64_t num_features, BatchNormOptions options = {});
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> Params() override;
+  std::string Name() const override { return "BatchNorm"; }
+  Shape OutputShape(const Shape& in) const override;
+  std::string Describe() const override;
+
+  std::int64_t num_features() const { return num_features_; }
+  float eps() const { return options_.eps; }
+
+  const Param& gamma() const { return gamma_; }
+  const Param& beta() const { return beta_; }
+  /// Running statistics used at inference; consumed by BN-threshold folding.
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  Tensor& mutable_running_mean() { return running_mean_; }
+  Tensor& mutable_running_var() { return running_var_; }
+
+ private:
+  /// Maps x to (reduction size M, per-element feature index).
+  void CheckShape(const Tensor& x) const;
+
+  std::int64_t num_features_;
+  BatchNormOptions options_;
+  Param gamma_;
+  Param beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Cached forward state (training mode).
+  bool cached_training_ = false;
+  Tensor cached_xhat_;
+  Tensor cached_x_minus_mean_;
+  std::vector<float> cached_inv_std_;  // per feature
+  Shape cached_shape_;
+};
+
+}  // namespace rrambnn::nn

@@ -1,0 +1,147 @@
+#include "nn/conv2d.h"
+
+#include <stdexcept>
+
+#include "nn/gemm.h"
+#include "nn/init.h"
+
+namespace rrambnn::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel_h, std::int64_t kernel_w, Rng& rng,
+               Conv2dOptions options)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_h_(kernel_h),
+      kernel_w_(kernel_w),
+      options_(options) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel_h <= 0 ||
+      kernel_w <= 0) {
+    throw std::invalid_argument("Conv2d: non-positive constructor argument");
+  }
+  const std::int64_t patch = in_channels_ * kernel_h_ * kernel_w_;
+  weight_.value = Tensor({out_channels_, patch});
+  weight_.grad = Tensor({out_channels_, patch});
+  weight_.latent_binary = options_.binary;
+  GlorotUniform(weight_.value, patch, out_channels_, rng);
+  if (options_.use_bias) {
+    bias_.value = Tensor({out_channels_});
+    bias_.grad = Tensor({out_channels_});
+  }
+}
+
+ConvGeometry Conv2d::GeometryFor(const Shape& sample_shape) const {
+  if (sample_shape.size() != 3 || sample_shape[0] != in_channels_) {
+    throw std::invalid_argument(
+        "Conv2d: expected per-sample shape [C=" +
+        std::to_string(in_channels_) + ", H, W], got " +
+        ShapeToString(sample_shape));
+  }
+  ConvGeometry g;
+  g.in_channels = in_channels_;
+  g.in_h = sample_shape[1];
+  g.in_w = sample_shape[2];
+  g.kernel_h = kernel_h_;
+  g.kernel_w = kernel_w_;
+  g.stride_h = options_.stride_h;
+  g.stride_w = options_.stride_w;
+  g.pad_h = options_.pad_h;
+  g.pad_w = options_.pad_w;
+  g.Validate();
+  return g;
+}
+
+Tensor Conv2d::EffectiveWeight() const {
+  if (!options_.binary) return weight_.value;
+  Tensor w = weight_.value;
+  for (std::int64_t i = 0; i < w.size(); ++i) w[i] = SignBin(w[i]);
+  return w;
+}
+
+Tensor Conv2d::Forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 4) {
+    throw std::invalid_argument("Conv2d::Forward: expected [N, C, H, W]");
+  }
+  geom_ = GeometryFor({x.dim(1), x.dim(2), x.dim(3)});
+  const std::int64_t n = x.dim(0);
+  const std::int64_t patch = geom_.PatchSize();
+  const std::int64_t q = geom_.NumPatches();
+  cached_batch_ = n;
+  cached_cols_ = Tensor({n, patch, q});
+
+  Tensor y({n, out_channels_, geom_.OutH(), geom_.OutW()});
+  const Tensor w_eff = EffectiveWeight();
+  for (std::int64_t s = 0; s < n; ++s) {
+    float* cols = cached_cols_.data() + s * patch * q;
+    Im2Col(x.data() + s * in_channels_ * geom_.in_h * geom_.in_w, geom_, cols);
+    // y_s[OC, Q] = W[OC, P] * cols[P, Q]
+    GemmAccumulate(w_eff.data(), cols, y.data() + s * out_channels_ * q,
+                   out_channels_, patch, q);
+  }
+  if (options_.use_bias) {
+    for (std::int64_t s = 0; s < n; ++s) {
+      for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+        float* plane = y.data() + (s * out_channels_ + oc) * q;
+        const float b = bias_.value[oc];
+        for (std::int64_t i = 0; i < q; ++i) plane[i] += b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_out) {
+  const std::int64_t n = cached_batch_;
+  const std::int64_t patch = geom_.PatchSize();
+  const std::int64_t q = geom_.NumPatches();
+  if (grad_out.rank() != 4 || grad_out.dim(0) != n ||
+      grad_out.dim(1) != out_channels_ || grad_out.dim(2) != geom_.OutH() ||
+      grad_out.dim(3) != geom_.OutW()) {
+    throw std::invalid_argument("Conv2d::Backward: gradient shape mismatch");
+  }
+  Tensor grad_in({n, in_channels_, geom_.in_h, geom_.in_w});
+  Tensor grad_cols({patch, q});
+  const Tensor w_eff = EffectiveWeight();
+  for (std::int64_t s = 0; s < n; ++s) {
+    const float* gy = grad_out.data() + s * out_channels_ * q;
+    const float* cols = cached_cols_.data() + s * patch * q;
+    // dW[OC, P] += dY[OC, Q] * cols^T[Q, P]
+    GemmTransBAccumulate(gy, cols, weight_.grad.data(), out_channels_, q,
+                         patch);
+    // dcols[P, Q] = W^T[P, OC] * dY[OC, Q]
+    grad_cols.Fill(0.0f);
+    GemmTransAAccumulate(w_eff.data(), gy, grad_cols.data(), patch,
+                         out_channels_, q);
+    Col2Im(grad_cols.data(), geom_,
+           grad_in.data() + s * in_channels_ * geom_.in_h * geom_.in_w);
+    if (options_.use_bias) {
+      for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+        const float* plane = gy + oc * q;
+        float acc = 0.0f;
+        for (std::int64_t i = 0; i < q; ++i) acc += plane[i];
+        bias_.grad[oc] += acc;
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Conv2d::Params() {
+  if (options_.use_bias) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+Shape Conv2d::OutputShape(const Shape& in) const {
+  const ConvGeometry g = GeometryFor(in);
+  return {out_channels_, g.OutH(), g.OutW()};
+}
+
+std::string Conv2d::Describe() const {
+  return Name() + " " + std::to_string(out_channels_) + " k=" +
+         std::to_string(kernel_h_) + "x" + std::to_string(kernel_w_) +
+         " s=" + std::to_string(options_.stride_h) + "x" +
+         std::to_string(options_.stride_w) + " p=" +
+         std::to_string(options_.pad_h) + "x" + std::to_string(options_.pad_w);
+}
+
+}  // namespace rrambnn::nn

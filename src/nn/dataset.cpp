@@ -1,0 +1,83 @@
+#include "nn/dataset.h"
+
+#include <stdexcept>
+
+namespace rrambnn::nn {
+
+void Dataset::Validate() const {
+  if (x.rank() < 1 || x.dim(0) != size()) {
+    throw std::invalid_argument("Dataset: x/y sample count mismatch");
+  }
+  for (const std::int64_t label : y) {
+    if (label < 0 || label >= num_classes) {
+      throw std::invalid_argument("Dataset: label out of range");
+    }
+  }
+}
+
+Dataset Dataset::Subset(const std::vector<std::int64_t>& indices) const {
+  Shape sub_shape = x.shape();
+  sub_shape[0] = static_cast<std::int64_t>(indices.size());
+  Dataset out;
+  out.x = Tensor(sub_shape);
+  out.y.reserve(indices.size());
+  out.num_classes = num_classes;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::int64_t src = indices[i];
+    if (src < 0 || src >= size()) {
+      throw std::invalid_argument("Dataset::Subset: index out of range");
+    }
+    out.x.SetRow(static_cast<std::int64_t>(i), x.Row(src));
+    out.y.push_back(y[static_cast<std::size_t>(src)]);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::int64_t>> StratifiedKFold(
+    const std::vector<std::int64_t>& labels, std::int64_t k, Rng& rng) {
+  if (k < 2) throw std::invalid_argument("StratifiedKFold: k must be >= 2");
+  if (static_cast<std::int64_t>(labels.size()) < k) {
+    throw std::invalid_argument("StratifiedKFold: fewer samples than folds");
+  }
+  // Group indices per class, shuffle within class, then deal round-robin.
+  std::int64_t max_label = 0;
+  for (std::int64_t l : labels) max_label = std::max(max_label, l);
+  std::vector<std::vector<std::int64_t>> per_class(
+      static_cast<std::size_t>(max_label + 1));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) {
+      throw std::invalid_argument("StratifiedKFold: negative label");
+    }
+    per_class[static_cast<std::size_t>(labels[i])].push_back(
+        static_cast<std::int64_t>(i));
+  }
+  std::vector<std::vector<std::int64_t>> folds(static_cast<std::size_t>(k));
+  std::int64_t cursor = 0;
+  for (auto& cls : per_class) {
+    rng.Shuffle(cls);
+    for (const std::int64_t idx : cls) {
+      folds[static_cast<std::size_t>(cursor % k)].push_back(idx);
+      ++cursor;
+    }
+  }
+  return folds;
+}
+
+FoldSplit MakeFold(const Dataset& data,
+                   const std::vector<std::vector<std::int64_t>>& folds,
+                   std::int64_t validation_fold) {
+  if (validation_fold < 0 ||
+      validation_fold >= static_cast<std::int64_t>(folds.size())) {
+    throw std::invalid_argument("MakeFold: fold index out of range");
+  }
+  std::vector<std::int64_t> train_idx;
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    if (static_cast<std::int64_t>(f) == validation_fold) continue;
+    train_idx.insert(train_idx.end(), folds[f].begin(), folds[f].end());
+  }
+  return FoldSplit{
+      data.Subset(train_idx),
+      data.Subset(folds[static_cast<std::size_t>(validation_fold)])};
+}
+
+}  // namespace rrambnn::nn

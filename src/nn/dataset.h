@@ -1,0 +1,44 @@
+// Labeled dataset container plus the stratified k-fold splitter used by the
+// paper's five-fold cross-validation protocol (Sec. III-A/B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace rrambnn::nn {
+
+struct Dataset {
+  /// Samples, first axis is the sample index.
+  Tensor x;
+  /// Class labels, one per sample.
+  std::vector<std::int64_t> y;
+  std::int64_t num_classes = 0;
+
+  std::int64_t size() const { return static_cast<std::int64_t>(y.size()); }
+
+  /// Subset by sample indices (copying).
+  Dataset Subset(const std::vector<std::int64_t>& indices) const;
+
+  /// Throws std::invalid_argument if x/y sizes disagree or labels are out of
+  /// range.
+  void Validate() const;
+};
+
+/// Splits sample indices into k folds with per-class balance. Returns k
+/// disjoint index sets covering every sample exactly once.
+std::vector<std::vector<std::int64_t>> StratifiedKFold(
+    const std::vector<std::int64_t>& labels, std::int64_t k, Rng& rng);
+
+/// Train/validation split helper built on StratifiedKFold.
+struct FoldSplit {
+  Dataset train;
+  Dataset validation;
+};
+FoldSplit MakeFold(const Dataset& data,
+                   const std::vector<std::vector<std::int64_t>>& folds,
+                   std::int64_t validation_fold);
+
+}  // namespace rrambnn::nn

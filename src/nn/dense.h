@@ -1,0 +1,61 @@
+// Fully connected layer, optionally with binarized weights.
+//
+// In binary mode the layer keeps *latent* real-valued weights and forwards
+// with sign(W) in {-1,+1}; gradients w.r.t. the latent weights use the
+// straight-through estimator (identity pass-through), and the optimizer
+// clips latent weights to [-1, 1]. This is the training procedure of
+// Courbariaux et al. (2016) that the paper relies on (its ref [12]).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace rrambnn::nn {
+
+struct DenseOptions {
+  bool binary = false;
+  bool use_bias = true;
+};
+
+class Dense : public Layer {
+ public:
+  /// Creates a dense layer mapping [N, in_features] -> [N, out_features].
+  Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+        DenseOptions options = {});
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> Params() override;
+  std::string Name() const override {
+    return options_.binary ? "BinaryDense" : "Dense";
+  }
+  Shape OutputShape(const Shape& in) const override;
+  std::string Describe() const override;
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+  bool binary() const { return options_.binary; }
+  bool has_bias() const { return options_.use_bias; }
+
+  /// Weight matrix, stored [out_features, in_features].
+  const Param& weight() const { return weight_; }
+  Param& weight() { return weight_; }
+  const Param& bias() const { return bias_; }
+  Param& bias() { return bias_; }
+
+  /// Weights as used in the forward pass: sign(W) in binary mode, W itself
+  /// otherwise. This is what gets programmed into RRAM at deployment.
+  Tensor EffectiveWeight() const;
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  DenseOptions options_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace rrambnn::nn

@@ -1,0 +1,145 @@
+#include "nn/depthwise_conv.h"
+
+#include <stdexcept>
+
+#include "nn/init.h"
+
+namespace rrambnn::nn {
+
+DepthwiseConv2d::DepthwiseConv2d(std::int64_t channels, std::int64_t kernel_h,
+                                 std::int64_t kernel_w, Rng& rng,
+                                 DepthwiseConv2dOptions options)
+    : channels_(channels),
+      kernel_h_(kernel_h),
+      kernel_w_(kernel_w),
+      options_(options) {
+  if (channels <= 0 || kernel_h <= 0 || kernel_w <= 0) {
+    throw std::invalid_argument(
+        "DepthwiseConv2d: non-positive constructor argument");
+  }
+  weight_.value = Tensor({channels_, kernel_h_ * kernel_w_});
+  weight_.grad = Tensor({channels_, kernel_h_ * kernel_w_});
+  GlorotUniform(weight_.value, kernel_h_ * kernel_w_, kernel_h_ * kernel_w_,
+                rng);
+  if (options_.use_bias) {
+    bias_.value = Tensor({channels_});
+    bias_.grad = Tensor({channels_});
+  }
+}
+
+ConvGeometry DepthwiseConv2d::GeometryFor(const Shape& sample_shape) const {
+  if (sample_shape.size() != 3 || sample_shape[0] != channels_) {
+    throw std::invalid_argument("DepthwiseConv2d: expected [C=" +
+                                std::to_string(channels_) + ", H, W], got " +
+                                ShapeToString(sample_shape));
+  }
+  ConvGeometry g;
+  g.in_channels = 1;  // each channel is convolved independently
+  g.in_h = sample_shape[1];
+  g.in_w = sample_shape[2];
+  g.kernel_h = kernel_h_;
+  g.kernel_w = kernel_w_;
+  g.stride_h = options_.stride_h;
+  g.stride_w = options_.stride_w;
+  g.pad_h = options_.pad_h;
+  g.pad_w = options_.pad_w;
+  g.Validate();
+  return g;
+}
+
+Tensor DepthwiseConv2d::Forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 4) {
+    throw std::invalid_argument(
+        "DepthwiseConv2d::Forward: expected [N, C, H, W]");
+  }
+  geom_ = GeometryFor({x.dim(1), x.dim(2), x.dim(3)});
+  cached_input_ = x;
+  const std::int64_t n = x.dim(0);
+  const std::int64_t oh = geom_.OutH(), ow = geom_.OutW();
+  Tensor y({n, channels_, oh, ow});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float* plane =
+          x.data() + (s * channels_ + c) * geom_.in_h * geom_.in_w;
+      const float* ker = weight_.value.data() + c * kernel_h_ * kernel_w_;
+      float* out = y.data() + (s * channels_ + c) * oh * ow;
+      const float b = options_.use_bias ? bias_.value[c] : 0.0f;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float acc = b;
+          for (std::int64_t ky = 0; ky < kernel_h_; ++ky) {
+            const std::int64_t iy = oy * geom_.stride_h + ky - geom_.pad_h;
+            if (iy < 0 || iy >= geom_.in_h) continue;
+            for (std::int64_t kx = 0; kx < kernel_w_; ++kx) {
+              const std::int64_t ix = ox * geom_.stride_w + kx - geom_.pad_w;
+              if (ix < 0 || ix >= geom_.in_w) continue;
+              acc += ker[ky * kernel_w_ + kx] * plane[iy * geom_.in_w + ix];
+            }
+          }
+          out[oy * ow + ox] = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor DepthwiseConv2d::Backward(const Tensor& grad_out) {
+  const std::int64_t n = cached_input_.dim(0);
+  const std::int64_t oh = geom_.OutH(), ow = geom_.OutW();
+  if (grad_out.rank() != 4 || grad_out.dim(0) != n ||
+      grad_out.dim(1) != channels_ || grad_out.dim(2) != oh ||
+      grad_out.dim(3) != ow) {
+    throw std::invalid_argument(
+        "DepthwiseConv2d::Backward: gradient shape mismatch");
+  }
+  Tensor grad_in({n, channels_, geom_.in_h, geom_.in_w});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float* plane =
+          cached_input_.data() + (s * channels_ + c) * geom_.in_h * geom_.in_w;
+      const float* gy = grad_out.data() + (s * channels_ + c) * oh * ow;
+      const float* ker = weight_.value.data() + c * kernel_h_ * kernel_w_;
+      float* gker = weight_.grad.data() + c * kernel_h_ * kernel_w_;
+      float* gx = grad_in.data() + (s * channels_ + c) * geom_.in_h * geom_.in_w;
+      float gb = 0.0f;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const float g = gy[oy * ow + ox];
+          gb += g;
+          for (std::int64_t ky = 0; ky < kernel_h_; ++ky) {
+            const std::int64_t iy = oy * geom_.stride_h + ky - geom_.pad_h;
+            if (iy < 0 || iy >= geom_.in_h) continue;
+            for (std::int64_t kx = 0; kx < kernel_w_; ++kx) {
+              const std::int64_t ix = ox * geom_.stride_w + kx - geom_.pad_w;
+              if (ix < 0 || ix >= geom_.in_w) continue;
+              gker[ky * kernel_w_ + kx] += g * plane[iy * geom_.in_w + ix];
+              gx[iy * geom_.in_w + ix] += g * ker[ky * kernel_w_ + kx];
+            }
+          }
+        }
+      }
+      if (options_.use_bias) bias_.grad[c] += gb;
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> DepthwiseConv2d::Params() {
+  if (options_.use_bias) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+Shape DepthwiseConv2d::OutputShape(const Shape& in) const {
+  const ConvGeometry g = GeometryFor(in);
+  return {channels_, g.OutH(), g.OutW()};
+}
+
+std::string DepthwiseConv2d::Describe() const {
+  return "DepthwiseConv2d " + std::to_string(channels_) + " k=" +
+         std::to_string(kernel_h_) + "x" + std::to_string(kernel_w_) +
+         " s=" + std::to_string(options_.stride_h) + "x" +
+         std::to_string(options_.stride_w);
+}
+
+}  // namespace rrambnn::nn

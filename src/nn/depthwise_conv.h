@@ -1,0 +1,54 @@
+// Depthwise 2-D convolution (channel multiplier 1), the building block of
+// MobileNet V1's depthwise-separable convolutions (paper Sec. IV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/im2col.h"
+#include "nn/layer.h"
+
+namespace rrambnn::nn {
+
+struct DepthwiseConv2dOptions {
+  std::int64_t stride_h = 1;
+  std::int64_t stride_w = 1;
+  std::int64_t pad_h = 0;
+  std::int64_t pad_w = 0;
+  bool use_bias = true;
+};
+
+class DepthwiseConv2d : public Layer {
+ public:
+  DepthwiseConv2d(std::int64_t channels, std::int64_t kernel_h,
+                  std::int64_t kernel_w, Rng& rng,
+                  DepthwiseConv2dOptions options = {});
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> Params() override;
+  std::string Name() const override { return "DepthwiseConv2d"; }
+  Shape OutputShape(const Shape& in) const override;
+  std::string Describe() const override;
+
+  std::int64_t channels() const { return channels_; }
+
+  /// Weights stored [channels, kernel_h * kernel_w].
+  const Param& weight() const { return weight_; }
+  const Param& bias() const { return bias_; }
+
+ private:
+  ConvGeometry GeometryFor(const Shape& sample_shape) const;
+
+  std::int64_t channels_;
+  std::int64_t kernel_h_;
+  std::int64_t kernel_w_;
+  DepthwiseConv2dOptions options_;
+  Param weight_;
+  Param bias_;
+
+  ConvGeometry geom_;
+  Tensor cached_input_;
+};
+
+}  // namespace rrambnn::nn

@@ -1,0 +1,40 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace rrambnn::nn {
+
+Dropout::Dropout(float keep_prob, Rng& rng)
+    : keep_prob_(keep_prob), rng_(rng.Fork()) {
+  if (keep_prob <= 0.0f || keep_prob > 1.0f) {
+    throw std::invalid_argument("Dropout: keep_prob must be in (0, 1]");
+  }
+}
+
+Tensor Dropout::Forward(const Tensor& x, bool training) {
+  cached_training_ = training;
+  if (!training || keep_prob_ >= 1.0f) return x;
+  mask_ = Tensor(x.shape());
+  const float scale = 1.0f / keep_prob_;
+  Tensor y = x;
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    const float m = rng_.Bernoulli(keep_prob_) ? scale : 0.0f;
+    mask_[i] = m;
+    y[i] *= m;
+  }
+  return y;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_out) {
+  if (!cached_training_ || keep_prob_ >= 1.0f) return grad_out;
+  if (grad_out.shape() != mask_.shape()) {
+    throw std::invalid_argument("Dropout::Backward: shape mismatch");
+  }
+  return Tensor::Hadamard(grad_out, mask_);
+}
+
+std::string Dropout::Describe() const {
+  return "Dropout keep=" + std::to_string(keep_prob_);
+}
+
+}  // namespace rrambnn::nn

@@ -1,0 +1,31 @@
+// Inverted dropout. The paper regularizes the ECG model with keep
+// probability 0.95 in convolutions and 0.85 in the classifier (Sec. III-B).
+#pragma once
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace rrambnn::nn {
+
+class Dropout : public Layer {
+ public:
+  /// `keep_prob` is the probability a unit survives (paper convention).
+  Dropout(float keep_prob, Rng& rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "Dropout"; }
+  Shape OutputShape(const Shape& in) const override { return in; }
+  std::string Describe() const override;
+
+  float keep_prob() const { return keep_prob_; }
+
+ private:
+  float keep_prob_;
+  Rng rng_;
+  Tensor mask_;  // scaled 0 / (1/keep) mask from the last training forward
+  bool cached_training_ = false;
+};
+
+}  // namespace rrambnn::nn

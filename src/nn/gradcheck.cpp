@@ -1,0 +1,97 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rrambnn::nn {
+
+namespace {
+
+double ProjectedLoss(Layer& layer, const Tensor& x, const Tensor& projection,
+                     bool training) {
+  const Tensor y = layer.Forward(x, training);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    loss += static_cast<double>(y[i]) * static_cast<double>(projection[i]);
+  }
+  return loss;
+}
+
+double RelError(double analytic, double numeric) {
+  const double denom =
+      std::max({std::abs(analytic), std::abs(numeric), 1e-4});
+  return std::abs(analytic - numeric) / denom;
+}
+
+}  // namespace
+
+GradCheckResult CheckLayerGradients(Layer& layer, const Shape& input_shape,
+                                    Rng& rng, GradCheckOptions options) {
+  GradCheckResult result;
+  Tensor x(input_shape);
+  rng.FillNormal(x, 0.0f, 1.0f);
+
+  // Fixed random projection defines the scalar loss L = <P, y>.
+  const Tensor y0 = layer.Forward(x, options.training);
+  Tensor projection(y0.shape());
+  rng.FillNormal(projection, 0.0f, 1.0f);
+
+  // Analytic gradients.
+  for (Param* p : layer.Params()) p->ZeroGrad();
+  (void)layer.Forward(x, options.training);
+  const Tensor grad_x = layer.Backward(projection);
+
+  std::ostringstream detail;
+
+  // Numerical gradient w.r.t. inputs.
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    const float saved = x[i];
+    x[i] = saved + static_cast<float>(options.epsilon);
+    const double lp = ProjectedLoss(layer, x, projection, options.training);
+    x[i] = saved - static_cast<float>(options.epsilon);
+    const double lm = ProjectedLoss(layer, x, projection, options.training);
+    x[i] = saved;
+    const double numeric = (lp - lm) / (2.0 * options.epsilon);
+    const double err = RelError(grad_x[i], numeric);
+    if (err > result.max_input_error) result.max_input_error = err;
+    if (err > options.tolerance &&
+        std::abs(grad_x[i] - numeric) > 5e-3) {
+      result.ok = false;
+      detail << "input[" << i << "]: analytic " << grad_x[i] << " numeric "
+             << numeric << "\n";
+    }
+  }
+
+  if (options.check_params) {
+    // Re-establish the analytic parameter gradients for unperturbed state.
+    for (Param* p : layer.Params()) p->ZeroGrad();
+    (void)layer.Forward(x, options.training);
+    (void)layer.Backward(projection);
+    for (Param* p : layer.Params()) {
+      for (std::int64_t i = 0; i < p->value.size(); ++i) {
+        const float saved = p->value[i];
+        p->value[i] = saved + static_cast<float>(options.epsilon);
+        const double lp =
+            ProjectedLoss(layer, x, projection, options.training);
+        p->value[i] = saved - static_cast<float>(options.epsilon);
+        const double lm =
+            ProjectedLoss(layer, x, projection, options.training);
+        p->value[i] = saved;
+        const double numeric = (lp - lm) / (2.0 * options.epsilon);
+        const double err = RelError(p->grad[i], numeric);
+        if (err > result.max_param_error) result.max_param_error = err;
+        if (err > options.tolerance &&
+            std::abs(p->grad[i] - numeric) > 5e-3) {
+          result.ok = false;
+          detail << "param[" << i << "]: analytic " << p->grad[i]
+                 << " numeric " << numeric << "\n";
+        }
+      }
+    }
+  }
+  result.detail = detail.str();
+  return result;
+}
+
+}  // namespace rrambnn::nn

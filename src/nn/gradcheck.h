@@ -1,0 +1,34 @@
+// Central-difference numerical gradient checking used by the test suite to
+// validate every layer's hand-written Backward().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/layer.h"
+#include "tensor/rng.h"
+
+namespace rrambnn::nn {
+
+struct GradCheckOptions {
+  double epsilon = 1e-3;      // finite-difference step
+  double tolerance = 2e-2;    // max allowed relative error
+  bool check_params = true;   // also perturb layer parameters
+  bool training = true;       // forward mode used during the check
+};
+
+struct GradCheckResult {
+  bool ok = true;
+  double max_input_error = 0.0;
+  double max_param_error = 0.0;
+  std::string detail;
+};
+
+/// Checks dL/dx (and optionally dL/dtheta) of `layer` against central
+/// differences, where L = sum(P .* y) for a fixed random projection P.
+/// Layers with non-differentiable forward (Sign) or stochastic forward
+/// (Dropout with keep < 1) are not checkable this way — test those directly.
+GradCheckResult CheckLayerGradients(Layer& layer, const Shape& input_shape,
+                                    Rng& rng, GradCheckOptions options = {});
+
+}  // namespace rrambnn::nn

@@ -1,0 +1,75 @@
+#include "nn/im2col.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace rrambnn::nn {
+
+void ConvGeometry::Validate() const {
+  if (in_channels <= 0 || in_h <= 0 || in_w <= 0) {
+    throw std::invalid_argument("ConvGeometry: non-positive input dims");
+  }
+  if (kernel_h <= 0 || kernel_w <= 0 || stride_h <= 0 || stride_w <= 0) {
+    throw std::invalid_argument("ConvGeometry: non-positive kernel/stride");
+  }
+  if (pad_h < 0 || pad_w < 0) {
+    throw std::invalid_argument("ConvGeometry: negative padding");
+  }
+  if (in_h + 2 * pad_h < kernel_h || in_w + 2 * pad_w < kernel_w) {
+    throw std::invalid_argument(
+        "ConvGeometry: kernel " + std::to_string(kernel_h) + "x" +
+        std::to_string(kernel_w) + " does not fit padded input " +
+        std::to_string(in_h + 2 * pad_h) + "x" +
+        std::to_string(in_w + 2 * pad_w));
+  }
+}
+
+void Im2Col(const float* x, const ConvGeometry& g, float* cols) {
+  const std::int64_t oh = g.OutH(), ow = g.OutW();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel_w; ++kx, ++row) {
+        float* out_row = cols + row * (oh * ow);
+        const float* plane = x + c * g.in_h * g.in_w;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * g.stride_h + ky - g.pad_h;
+          if (iy < 0 || iy >= g.in_h) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) out_row[oy * ow + ox] = 0;
+            continue;
+          }
+          const float* src = plane + iy * g.in_w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * g.stride_w + kx - g.pad_w;
+            out_row[oy * ow + ox] =
+                (ix >= 0 && ix < g.in_w) ? src[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const float* cols, const ConvGeometry& g, float* x) {
+  const std::int64_t oh = g.OutH(), ow = g.OutW();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel_w; ++kx, ++row) {
+        const float* in_row = cols + row * (oh * ow);
+        float* plane = x + c * g.in_h * g.in_w;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * g.stride_h + ky - g.pad_h;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* dst = plane + iy * g.in_w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * g.stride_w + kx - g.pad_w;
+            if (ix >= 0 && ix < g.in_w) dst[ix] += in_row[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace rrambnn::nn

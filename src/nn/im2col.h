@@ -1,0 +1,46 @@
+// im2col / col2im transforms used to lower 2-D (and 1-D-as-2-D) convolution
+// onto GEMM, the standard approach for CPU convolution.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace rrambnn::nn {
+
+/// Static geometry of a convolution / pooling window.
+struct ConvGeometry {
+  std::int64_t in_channels = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t kernel_h = 1;
+  std::int64_t kernel_w = 1;
+  std::int64_t stride_h = 1;
+  std::int64_t stride_w = 1;
+  std::int64_t pad_h = 0;
+  std::int64_t pad_w = 0;
+
+  std::int64_t OutH() const {
+    return (in_h + 2 * pad_h - kernel_h) / stride_h + 1;
+  }
+  std::int64_t OutW() const {
+    return (in_w + 2 * pad_w - kernel_w) / stride_w + 1;
+  }
+  /// Rows of the im2col matrix: one per (channel, ky, kx) tap.
+  std::int64_t PatchSize() const { return in_channels * kernel_h * kernel_w; }
+  /// Columns of the im2col matrix: one per output pixel.
+  std::int64_t NumPatches() const { return OutH() * OutW(); }
+
+  /// Throws std::invalid_argument when the window does not fit the input.
+  void Validate() const;
+};
+
+/// Expands one sample `x` of shape [C, H, W] into `cols` of shape
+/// [PatchSize, NumPatches]; zero padding outside the input.
+void Im2Col(const float* x, const ConvGeometry& g, float* cols);
+
+/// Adjoint of Im2Col: scatters `cols` back into `x` (accumulating), used for
+/// the data gradient of convolution. `x` must be pre-zeroed by the caller.
+void Col2Im(const float* cols, const ConvGeometry& g, float* x);
+
+}  // namespace rrambnn::nn

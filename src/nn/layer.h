@@ -1,0 +1,76 @@
+// Layer abstraction for the from-scratch training framework.
+//
+// The framework deliberately avoids a dynamic autodiff graph: every layer
+// implements an explicit Backward() that consumes the upstream gradient and
+// returns the gradient with respect to its input, caching whatever it needs
+// from the last Forward() call. Each layer's gradients are validated against
+// central-difference numerical gradients in tests/nn/gradcheck_test.cpp.
+//
+// Data layout conventions:
+//  - Dense-style layers:  [N, F]           (batch, features)
+//  - Conv-style layers:   [N, C, H, W]     (batch, channels, height, width)
+//    Biomedical 1-D time series map onto this as H = time, W = space
+//    (EEG: C=1, H=960 samples, W=64 electrodes; ECG: C=12 leads, H=750, W=1),
+//    matching the paper's "Conv 1D in time" / "Conv 1D in space" usage.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace rrambnn::nn {
+
+/// A trainable parameter: value plus accumulated gradient.
+struct Param {
+  Tensor value;
+  Tensor grad;
+  /// Latent weight of a binarized layer: the optimizer clips it to [-1, 1]
+  /// after each step (Courbariaux et al. 2016).
+  bool latent_binary = false;
+
+  void ZeroGrad() { grad.Fill(0.0f); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output. `training` enables dropout / batch-stat
+  /// collection. Implementations cache activations needed by Backward.
+  virtual Tensor Forward(const Tensor& x, bool training) = 0;
+
+  /// Propagates `grad_out` (dL/d output) and returns dL/d input, accumulating
+  /// parameter gradients into Params(). Must be preceded by Forward().
+  virtual Tensor Backward(const Tensor& grad_out) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> Params() { return {}; }
+
+  /// Layer type name, e.g. "Conv2d".
+  virtual std::string Name() const = 0;
+
+  /// Per-sample output shape given a per-sample input shape (no batch dim).
+  /// Throws std::invalid_argument if the input shape is unsupported.
+  virtual Shape OutputShape(const Shape& in) const = 0;
+
+  /// One-line human description used by architecture tables (Tables I, II).
+  virtual std::string Describe() const { return Name(); }
+
+  /// Total number of trainable scalars.
+  std::int64_t NumParams() {
+    std::int64_t n = 0;
+    for (const Param* p : Params()) n += p->value.size();
+    return n;
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace rrambnn::nn

@@ -1,0 +1,87 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rrambnn::nn {
+
+double SoftmaxCrossEntropy::Forward(const Tensor& logits,
+                                    const std::vector<std::int64_t>& labels) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: logits must be [N, K]");
+  }
+  const std::int64_t n = logits.dim(0), k = logits.dim(1);
+  if (static_cast<std::int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
+  }
+  probs_ = Tensor({n, k});
+  labels_ = labels;
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (labels[static_cast<std::size_t>(i)] < 0 ||
+        labels[static_cast<std::size_t>(i)] >= k) {
+      throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
+    }
+    const float* row = logits.data() + i * k;
+    float mx = row[0];
+    for (std::int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      denom += std::exp(static_cast<double>(row[j] - mx));
+    }
+    float* prow = probs_.data() + i * k;
+    for (std::int64_t j = 0; j < k; ++j) {
+      prow[j] = static_cast<float>(
+          std::exp(static_cast<double>(row[j] - mx)) / denom);
+    }
+    loss -= std::log(std::max(
+        1e-12, static_cast<double>(
+                   prow[labels[static_cast<std::size_t>(i)]])));
+  }
+  return loss / static_cast<double>(n);
+}
+
+Tensor SoftmaxCrossEntropy::Backward() const {
+  if (probs_.empty()) {
+    throw std::invalid_argument(
+        "SoftmaxCrossEntropy::Backward: call Forward first");
+  }
+  const std::int64_t n = probs_.dim(0), k = probs_.dim(1);
+  Tensor grad = probs_;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    grad[i * k + labels_[static_cast<std::size_t>(i)]] -= 1.0f;
+    for (std::int64_t j = 0; j < k; ++j) grad[i * k + j] *= inv_n;
+  }
+  return grad;
+}
+
+double ArgmaxAccuracy(const Tensor& logits,
+                      const std::vector<std::int64_t>& labels) {
+  return TopKAccuracy(logits, labels, 1);
+}
+
+double TopKAccuracy(const Tensor& logits,
+                    const std::vector<std::int64_t>& labels, std::int64_t k) {
+  if (logits.rank() != 2 ||
+      logits.dim(0) != static_cast<std::int64_t>(labels.size())) {
+    throw std::invalid_argument("TopKAccuracy: shape mismatch");
+  }
+  const std::int64_t n = logits.dim(0), classes = logits.dim(1);
+  if (n == 0) return 0.0;
+  std::int64_t hits = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * classes;
+    const float target = row[labels[static_cast<std::size_t>(i)]];
+    // Rank of the target score: number of strictly larger entries.
+    std::int64_t larger = 0;
+    for (std::int64_t j = 0; j < classes; ++j) {
+      if (row[j] > target) ++larger;
+    }
+    if (larger < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+}  // namespace rrambnn::nn

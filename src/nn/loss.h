@@ -1,0 +1,37 @@
+// Softmax + cross-entropy loss with fused, numerically stable backward.
+// The paper's softmax output layer is "necessary only for training"
+// (Sec. III-A): at deployment the argmax over logits/popcounts decides.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rrambnn::nn {
+
+class SoftmaxCrossEntropy {
+ public:
+  /// Mean cross-entropy over the batch; logits [N, K], labels in [0, K).
+  double Forward(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+  /// dL/dlogits = (softmax - onehot) / N for the last Forward() call.
+  Tensor Backward() const;
+
+  /// Softmax probabilities from the last Forward() call, shape [N, K].
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<std::int64_t> labels_;
+};
+
+/// Fraction of rows whose argmax equals the label.
+double ArgmaxAccuracy(const Tensor& logits,
+                      const std::vector<std::int64_t>& labels);
+
+/// Top-k accuracy (Fig. 8 reports top-1 and top-5).
+double TopKAccuracy(const Tensor& logits,
+                    const std::vector<std::int64_t>& labels, std::int64_t k);
+
+}  // namespace rrambnn::nn

@@ -1,0 +1,75 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace rrambnn::nn {
+
+void Optimizer::ClipLatentBinary() {
+  for (Param* p : params_) {
+    if (!p->latent_binary) continue;
+    for (std::int64_t i = 0; i < p->value.size(); ++i) {
+      if (p->value[i] > 1.0f) p->value[i] = 1.0f;
+      if (p->value[i] < -1.0f) p->value[i] = -1.0f;
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<Param*> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  learning_rate_ = lr;
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::Step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param* p = params_[k];
+    Tensor& vel = velocity_[k];
+    for (std::int64_t i = 0; i < p->value.size(); ++i) {
+      float g = p->grad[i];
+      if (weight_decay_ > 0.0f) g += weight_decay_ * p->value[i];
+      vel[i] = momentum_ * vel[i] - learning_rate_ * g;
+      p->value[i] += vel[i];
+    }
+  }
+  ClipLatentBinary();
+}
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  learning_rate_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 =
+      1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param* p = params_[k];
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (std::int64_t i = 0; i < p->value.size(); ++i) {
+      const float g = p->grad[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      p->value[i] -= learning_rate_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+  ClipLatentBinary();
+}
+
+}  // namespace rrambnn::nn

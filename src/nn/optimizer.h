@@ -1,0 +1,64 @@
+// Gradient-descent optimizers. Both clip latent binary weights to [-1, 1]
+// after each step, as required by BNN training (Courbariaux et al. 2016):
+// without clipping, latent weights drift and the sign gradient signal dies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace rrambnn::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update step from accumulated gradients.
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (Param* p : params_) p->ZeroGrad();
+  }
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+ protected:
+  /// Clamps latent binary weights to [-1, 1].
+  void ClipLatentBinary();
+
+  std::vector<Param*> params_;
+  float learning_rate_ = 1e-3f;
+};
+
+/// SGD with classical momentum and optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba 2014) — the paper's training optimizer (its ref [28]).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void Step() override;
+
+ private:
+  float beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace rrambnn::nn

@@ -1,0 +1,61 @@
+// Max and average pooling over [N, C, H, W] tensors.
+// The EEG model uses average pooling 30x1 with stride 15 (Table I); the ECG
+// model uses max pooling 2x1 (Table II).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/im2col.h"
+#include "nn/layer.h"
+
+namespace rrambnn::nn {
+
+enum class PoolKind { kMax, kAverage };
+
+struct Pool2dOptions {
+  std::int64_t stride_h = -1;  // -1: defaults to kernel_h
+  std::int64_t stride_w = -1;  // -1: defaults to kernel_w
+};
+
+class Pool2d : public Layer {
+ public:
+  Pool2d(PoolKind kind, std::int64_t kernel_h, std::int64_t kernel_w,
+         Pool2dOptions options = {});
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override {
+    return kind_ == PoolKind::kMax ? "MaxPool2d" : "AvgPool2d";
+  }
+  Shape OutputShape(const Shape& in) const override;
+  std::string Describe() const override;
+
+ private:
+  ConvGeometry GeometryFor(const Shape& sample_shape) const;
+
+  PoolKind kind_;
+  std::int64_t kernel_h_;
+  std::int64_t kernel_w_;
+  std::int64_t stride_h_;
+  std::int64_t stride_w_;
+
+  ConvGeometry geom_;
+  std::int64_t cached_batch_ = 0;
+  std::int64_t cached_channels_ = 0;
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C]; MobileNet's final pool.
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "GlobalAvgPool"; }
+  Shape OutputShape(const Shape& in) const override;
+
+ private:
+  Shape cached_shape_;
+};
+
+}  // namespace rrambnn::nn

@@ -1,0 +1,63 @@
+#include "nn/sequential.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace rrambnn::nn {
+
+Tensor Sequential::Forward(const Tensor& x, bool training) {
+  Tensor y = x;
+  for (auto& layer : layers_) y = layer->Forward(y, training);
+  return y;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Sequential::Params() {
+  std::vector<Param*> params;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+std::int64_t Sequential::NumParams() {
+  std::int64_t n = 0;
+  for (auto& layer : layers_) n += layer->NumParams();
+  return n;
+}
+
+Shape Sequential::OutputShape(const Shape& input_shape) const {
+  Shape s = input_shape;
+  for (const auto& layer : layers_) s = layer->OutputShape(s);
+  return s;
+}
+
+std::string Sequential::Summary(const Shape& input_shape) const {
+  std::ostringstream os;
+  os << std::left << std::setw(36) << "Layer" << std::setw(22)
+     << "Output shape" << std::setw(12) << "Params" << '\n';
+  os << std::string(70, '-') << '\n';
+  os << std::left << std::setw(36) << "Input" << std::setw(22)
+     << ShapeToString(input_shape) << std::setw(12) << 0 << '\n';
+  Shape s = input_shape;
+  std::int64_t total = 0;
+  for (const auto& layer : layers_) {
+    s = layer->OutputShape(s);
+    const std::int64_t p = layer->NumParams();
+    total += p;
+    os << std::left << std::setw(36) << layer->Describe() << std::setw(22)
+       << ShapeToString(s) << std::setw(12) << p << '\n';
+  }
+  os << std::string(70, '-') << '\n';
+  os << "Total params: " << total << '\n';
+  return os.str();
+}
+
+}  // namespace rrambnn::nn

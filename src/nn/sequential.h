@@ -1,0 +1,54 @@
+// Sequential container: the whole paper's model zoo (Tables I, II, MobileNet)
+// is expressible as a linear chain of layers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace rrambnn::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  /// Appends a layer constructed in place; returns a reference to it.
+  template <typename L, typename... Args>
+  L& Emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  void Add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+
+  Tensor Forward(const Tensor& x, bool training);
+  Tensor Backward(const Tensor& grad_out);
+
+  std::vector<Param*> Params();
+  std::int64_t NumParams();
+
+  const std::vector<LayerPtr>& layers() const { return layers_; }
+  std::vector<LayerPtr>& layers() { return layers_; }
+  std::size_t size() const { return layers_.size(); }
+  Layer& operator[](std::size_t i) { return *layers_[i]; }
+  const Layer& operator[](std::size_t i) const { return *layers_[i]; }
+
+  /// Per-sample output shape after the whole chain.
+  Shape OutputShape(const Shape& input_shape) const;
+
+  /// Architecture table (layer, description, output shape, params) in the
+  /// style of the paper's Tables I and II.
+  std::string Summary(const Shape& input_shape) const;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace rrambnn::nn

@@ -1,0 +1,151 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <numeric>
+
+#include "nn/optimizer.h"
+
+namespace rrambnn::nn {
+
+namespace {
+
+std::unique_ptr<Optimizer> MakeOptimizer(Sequential& model,
+                                         const TrainConfig& config) {
+  if (config.optimizer == OptimizerKind::kSgd) {
+    return std::make_unique<Sgd>(model.Params(), config.learning_rate,
+                                 config.momentum, config.weight_decay);
+  }
+  return std::make_unique<Adam>(model.Params(), config.learning_rate);
+}
+
+/// Gathers a minibatch (rows `indices[begin, end)`) with optional noise.
+std::pair<Tensor, std::vector<std::int64_t>> GatherBatch(
+    const Dataset& data, const std::vector<std::int64_t>& indices,
+    std::size_t begin, std::size_t end, float noise_std, Rng* rng) {
+  Shape batch_shape = data.x.shape();
+  batch_shape[0] = static_cast<std::int64_t>(end - begin);
+  Tensor bx(batch_shape);
+  std::vector<std::int64_t> by;
+  by.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    bx.SetRow(static_cast<std::int64_t>(i - begin), data.x.Row(indices[i]));
+    by.push_back(data.y[static_cast<std::size_t>(indices[i])]);
+  }
+  if (noise_std > 0.0f && rng != nullptr) {
+    for (std::int64_t i = 0; i < bx.size(); ++i) {
+      bx[i] += rng->Normal(0.0f, noise_std);
+    }
+  }
+  return {std::move(bx), std::move(by)};
+}
+
+}  // namespace
+
+FitResult Fit(Sequential& model, const Dataset& train,
+              const Dataset& validation, const TrainConfig& config) {
+  train.Validate();
+  validation.Validate();
+  if (config.epochs <= 0 || config.batch_size <= 0) {
+    throw std::invalid_argument("Fit: non-positive epochs or batch size");
+  }
+  Rng rng(config.seed);
+  auto optimizer = MakeOptimizer(model, config);
+  SoftmaxCrossEntropy loss;
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(train.size()));
+  std::iota(order.begin(), order.end(), 0);
+
+  FitResult result;
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.shuffle) rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    std::int64_t num_batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(config.batch_size)) {
+      const std::size_t stop =
+          std::min(order.size(),
+                   start + static_cast<std::size_t>(config.batch_size));
+      // A 1-sample batch breaks BatchNorm's variance estimate; skip the
+      // trailing remainder in that case.
+      if (stop - start < 2 && order.size() > 2) continue;
+      auto [bx, by] = GatherBatch(train, order, start, stop, config.noise_std,
+                                  &rng);
+      optimizer->ZeroGrad();
+      const Tensor logits = model.Forward(bx, /*training=*/true);
+      epoch_loss += loss.Forward(logits, by);
+      model.Backward(loss.Backward());
+      optimizer->Step();
+      ++num_batches;
+    }
+    epoch_loss /= std::max<std::int64_t>(1, num_batches);
+    const double val_acc = Evaluate(model, validation);
+    result.history.push_back(EpochStats{epoch_loss, val_acc});
+    result.best_val_accuracy = std::max(result.best_val_accuracy, val_acc);
+    if (config.verbose) {
+      std::cout << "epoch " << (epoch + 1) << "/" << config.epochs
+                << "  loss " << epoch_loss << "  val_acc " << val_acc
+                << std::endl;
+    }
+    if (config.on_epoch) config.on_epoch(epoch, epoch_loss, val_acc);
+  }
+  result.final_val_accuracy =
+      result.history.empty() ? 0.0 : result.history.back().val_accuracy;
+  return result;
+}
+
+namespace {
+
+double EvaluateImpl(Sequential& model, const Dataset& data, std::int64_t k,
+                    std::int64_t batch_size) {
+  data.Validate();
+  if (data.size() == 0) return 0.0;
+  std::vector<std::int64_t> order(static_cast<std::size_t>(data.size()));
+  std::iota(order.begin(), order.end(), 0);
+  double hits_weighted = 0.0;
+  for (std::size_t start = 0; start < order.size();
+       start += static_cast<std::size_t>(batch_size)) {
+    const std::size_t stop = std::min(
+        order.size(), start + static_cast<std::size_t>(batch_size));
+    auto [bx, by] = GatherBatch(data, order, start, stop, 0.0f, nullptr);
+    const Tensor logits = model.Forward(bx, /*training=*/false);
+    hits_weighted +=
+        TopKAccuracy(logits, by, k) * static_cast<double>(stop - start);
+  }
+  return hits_weighted / static_cast<double>(data.size());
+}
+
+}  // namespace
+
+double Evaluate(Sequential& model, const Dataset& data,
+                std::int64_t batch_size) {
+  return EvaluateImpl(model, data, 1, batch_size);
+}
+
+double EvaluateTopK(Sequential& model, const Dataset& data, std::int64_t k,
+                    std::int64_t batch_size) {
+  return EvaluateImpl(model, data, k, batch_size);
+}
+
+std::vector<double> CrossValidate(
+    const std::function<Sequential(Rng&)>& make_model, const Dataset& data,
+    std::int64_t num_folds, const TrainConfig& config) {
+  Rng rng(config.seed);
+  const auto folds = StratifiedKFold(data.y, num_folds, rng);
+  std::vector<double> accuracies;
+  accuracies.reserve(static_cast<std::size_t>(num_folds));
+  for (std::int64_t f = 0; f < num_folds; ++f) {
+    const FoldSplit split = MakeFold(data, folds, f);
+    Rng model_rng = rng.Fork();
+    Sequential model = make_model(model_rng);
+    TrainConfig fold_config = config;
+    fold_config.seed = config.seed + static_cast<std::uint64_t>(f) + 1;
+    const FitResult fit = Fit(model, split.train, split.validation,
+                              fold_config);
+    accuracies.push_back(fit.final_val_accuracy);
+  }
+  return accuracies;
+}
+
+}  // namespace rrambnn::nn

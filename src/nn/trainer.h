@@ -1,0 +1,66 @@
+// Training loop and evaluation utilities: minibatch SGD/Adam with optional
+// Gaussian noise augmentation (the paper's EEG data augmentation) and the
+// repeated k-fold cross-validation protocol of Sec. III.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/loss.h"
+#include "nn/sequential.h"
+
+namespace rrambnn::nn {
+
+enum class OptimizerKind { kSgd, kAdam };
+
+struct TrainConfig {
+  std::int64_t epochs = 20;
+  std::int64_t batch_size = 32;
+  float learning_rate = 1e-3f;
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  float momentum = 0.9f;       // SGD only
+  float weight_decay = 0.0f;   // SGD only
+  /// Std-dev of additive Gaussian noise applied to training inputs each
+  /// epoch (paper: "small amplitude noise ... for data-augmentation").
+  float noise_std = 0.0f;
+  std::uint64_t seed = 42;
+  bool shuffle = true;
+  bool verbose = false;
+  /// Optional per-epoch callback (epoch, train_loss, val_acc).
+  std::function<void(std::int64_t, double, double)> on_epoch;
+};
+
+struct EpochStats {
+  double train_loss = 0.0;
+  double val_accuracy = 0.0;
+};
+
+struct FitResult {
+  std::vector<EpochStats> history;
+  double final_val_accuracy = 0.0;
+  double best_val_accuracy = 0.0;
+};
+
+/// Trains `model` on `train`, evaluating on `validation` after each epoch.
+FitResult Fit(Sequential& model, const Dataset& train,
+              const Dataset& validation, const TrainConfig& config);
+
+/// Argmax accuracy of the model (inference mode) over a dataset, evaluated
+/// in minibatches.
+double Evaluate(Sequential& model, const Dataset& data,
+                std::int64_t batch_size = 64);
+
+/// Top-k accuracy over a dataset (inference mode).
+double EvaluateTopK(Sequential& model, const Dataset& data, std::int64_t k,
+                    std::int64_t batch_size = 64);
+
+/// Cross-validation: trains a fresh model per fold (via `make_model`) and
+/// returns the per-fold final validation accuracies.
+std::vector<double> CrossValidate(
+    const std::function<Sequential(Rng&)>& make_model, const Dataset& data,
+    std::int64_t num_folds, const TrainConfig& config);
+
+}  // namespace rrambnn::nn

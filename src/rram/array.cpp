@@ -1,0 +1,115 @@
+#include "rram/array.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace rrambnn::rram {
+
+RramArray::RramArray(std::int64_t rows, std::int64_t cols,
+                     const DeviceParams& params, std::uint64_t seed)
+    : rows_(rows), cols_(cols), params_(params), pcsa_(params_), rng_(seed) {
+  if (rows <= 0 || cols <= 0) {
+    throw std::invalid_argument("RramArray: non-positive geometry");
+  }
+  cells_.assign(static_cast<std::size_t>(rows_ * cols_), Cell2T2R(params_));
+}
+
+void RramArray::CheckAddress(std::int64_t row, std::int64_t col) const {
+  if (row < 0 || row >= rows_ || col < 0 || col >= cols_) {
+    throw std::invalid_argument("RramArray: address (" + std::to_string(row) +
+                                ", " + std::to_string(col) +
+                                ") outside array " + std::to_string(rows_) +
+                                "x" + std::to_string(cols_));
+  }
+}
+
+const Cell2T2R& RramArray::cell(std::int64_t row, std::int64_t col) const {
+  CheckAddress(row, col);
+  return cells_[static_cast<std::size_t>(row * cols_ + col)];
+}
+
+Cell2T2R& RramArray::cell(std::int64_t row, std::int64_t col) {
+  CheckAddress(row, col);
+  return cells_[static_cast<std::size_t>(row * cols_ + col)];
+}
+
+void RramArray::ProgramWeight(std::int64_t row, std::int64_t col, int weight) {
+  cell(row, col).ProgramWeight(weight, rng_);
+  ++program_ops_;
+}
+
+void RramArray::ProgramRow(std::int64_t row,
+                           const std::vector<int>& weights) {
+  if (static_cast<std::int64_t>(weights.size()) != cols_) {
+    throw std::invalid_argument("ProgramRow: weight count != cols");
+  }
+  for (std::int64_t c = 0; c < cols_; ++c) {
+    ProgramWeight(row, c, weights[static_cast<std::size_t>(c)]);
+  }
+}
+
+int RramArray::ReadWeight(std::int64_t row, std::int64_t col) {
+  ++sense_ops_;
+  return cell(row, col).ReadWeight(pcsa_, rng_);
+}
+
+std::vector<int> RramArray::ReadRow(std::int64_t row) {
+  std::vector<int> out(static_cast<std::size_t>(cols_));
+  for (std::int64_t c = 0; c < cols_; ++c) {
+    out[static_cast<std::size_t>(c)] = ReadWeight(row, c);
+  }
+  return out;
+}
+
+std::vector<int> RramArray::ReadRowXnor(std::int64_t row,
+                                        const std::vector<int>& inputs) {
+  if (static_cast<std::int64_t>(inputs.size()) != cols_) {
+    throw std::invalid_argument("ReadRowXnor: input count != cols");
+  }
+  std::vector<int> out(static_cast<std::size_t>(cols_));
+  for (std::int64_t c = 0; c < cols_; ++c) {
+    ++sense_ops_;
+    out[static_cast<std::size_t>(c)] =
+        cell(row, c).ReadXnor(pcsa_, inputs[static_cast<std::size_t>(c)],
+                              rng_);
+  }
+  return out;
+}
+
+std::int64_t RramArray::RowXnorPopcount(std::int64_t row,
+                                        const std::vector<int>& inputs) {
+  const std::vector<int> bits = ReadRowXnor(row, inputs);
+  std::int64_t count = 0;
+  for (const int b : bits) {
+    if (b == +1) ++count;
+  }
+  return count;
+}
+
+void RramArray::StressAll(std::uint64_t n) {
+  for (auto& c : cells_) {
+    c.bl().Stress(n);
+    c.blb().Stress(n);
+  }
+}
+
+void RramArray::Reprogram() {
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t c = 0; c < cols_; ++c) {
+      const int w = cell(r, c).programmed_weight();
+      ProgramWeight(r, c, w);
+    }
+  }
+}
+
+std::int64_t RramArray::CountReadErrors() {
+  std::int64_t errors = 0;
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t c = 0; c < cols_; ++c) {
+      if (ReadWeight(r, c) != cell(r, c).programmed_weight()) ++errors;
+    }
+  }
+  return errors;
+}
+
+}  // namespace rrambnn::rram

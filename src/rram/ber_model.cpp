@@ -1,0 +1,119 @@
+#include "rram/ber_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rram/cell.h"
+#include "tensor/stats.h"
+
+namespace rrambnn::rram {
+
+namespace {
+
+/// P(X > Y) for independent X ~ N(mu_x, sx^2), Y ~ N(mu_y, sy^2) plus an
+/// extra zero-mean offset of variance so2 on the comparison.
+double GaussianCross(double mu_x, double sx, double mu_y, double sy,
+                     double so) {
+  const double sigma = std::sqrt(sx * sx + sy * sy + so * so);
+  return NormalTail((mu_y - mu_x) / sigma);
+}
+
+}  // namespace
+
+double BerModel::SingleEndedError(double p_weak, ResistiveState state) const {
+  const double so = params_.sense_offset_sigma;
+  const double ref = params_.read_reference_log;
+  double healthy_err;
+  double weak_err;
+  if (state == ResistiveState::kLrs) {
+    // LRS must read below the reference; error when log R + offset > ref.
+    healthy_err = GaussianCross(params_.lrs_log_mean, params_.lrs_log_sigma,
+                                ref, 0.0, so);
+    weak_err = GaussianCross(params_.weak_log_mean, params_.weak_log_sigma,
+                             ref, 0.0, so);
+  } else {
+    healthy_err = GaussianCross(ref, 0.0, params_.hrs_log_mean,
+                                params_.hrs_log_sigma, so);
+    weak_err = GaussianCross(ref, 0.0, params_.weak_log_mean,
+                             params_.weak_log_sigma, so);
+  }
+  return (1.0 - p_weak) * healthy_err + p_weak * weak_err;
+}
+
+double BerModel::DifferentialError(double p_weak_lrs_dev,
+                                   double p_weak_hrs_dev) const {
+  const double so = params_.sense_offset_sigma;
+  // Error when the device programmed LRS reads *above* the device
+  // programmed HRS. Mixture over healthy/weak of both devices.
+  const double hh =
+      GaussianCross(params_.lrs_log_mean, params_.lrs_log_sigma,
+                    params_.hrs_log_mean, params_.hrs_log_sigma, so);
+  const double wh =
+      GaussianCross(params_.weak_log_mean, params_.weak_log_sigma,
+                    params_.hrs_log_mean, params_.hrs_log_sigma, so);
+  const double hw =
+      GaussianCross(params_.lrs_log_mean, params_.lrs_log_sigma,
+                    params_.weak_log_mean, params_.weak_log_sigma, so);
+  const double ww = 0.5;
+  const double pl = p_weak_lrs_dev, ph = p_weak_hrs_dev;
+  return (1.0 - pl) * (1.0 - ph) * hh + pl * (1.0 - ph) * wh +
+         (1.0 - pl) * ph * hw + pl * ph * ww;
+}
+
+BerEstimate BerModel::Analytic(double cycles) const {
+  if (cycles < 0.0) throw std::invalid_argument("Analytic: negative cycles");
+  const double p_bl =
+      params_.WeakProbability(cycles, params_.bl_weak_scale);
+  const double p_blb =
+      params_.WeakProbability(cycles, params_.blb_weak_scale);
+
+  BerEstimate e;
+  // Fig. 4 alternates LRS/HRS programming, so average the two states.
+  e.one_t1r_bl = 0.5 * (SingleEndedError(p_bl, ResistiveState::kLrs) +
+                        SingleEndedError(p_bl, ResistiveState::kHrs));
+  e.one_t1r_blb = 0.5 * (SingleEndedError(p_blb, ResistiveState::kLrs) +
+                         SingleEndedError(p_blb, ResistiveState::kHrs));
+  // Weight +1: BL holds LRS, BLb holds HRS. Weight -1: roles swap. The two
+  // cases differ only through the branch-dependent weak probability.
+  const double err_plus = DifferentialError(p_bl, p_blb);
+  const double err_minus = DifferentialError(p_blb, p_bl);
+  e.two_t2r = 0.5 * (err_plus + err_minus);
+  return e;
+}
+
+BerEstimate BerModel::MonteCarlo(double cycles, std::int64_t trials,
+                                 Rng& rng) const {
+  if (trials <= 0) throw std::invalid_argument("MonteCarlo: trials <= 0");
+  Cell2T2R pair(params_);
+  Pcsa pcsa(params_);
+  const auto aging = static_cast<std::uint64_t>(cycles);
+
+  std::int64_t err_bl = 0, err_blb = 0, err_pair = 0;
+  for (std::int64_t t = 0; t < trials; ++t) {
+    // Pin both devices at the target aging point so every trial measures
+    // the same abscissa of Fig. 4.
+    pair.bl().SetCycles(aging);
+    pair.blb().SetCycles(aging);
+    const int weight = (t % 2 == 0) ? +1 : -1;  // alternating programming
+    pair.ProgramWeight(weight, rng);
+
+    if (pair.ReadWeight(pcsa, rng) != weight) ++err_pair;
+
+    // 1T1R comparison: sense each device against the fixed reference.
+    const int bl_expected = weight;        // BL stores the weight directly
+    const int blb_expected = -weight;      // BLb stores the complement
+    if (pcsa.SenseSingle(pair.bl().log_resistance(), rng) != bl_expected) {
+      ++err_bl;
+    }
+    if (pcsa.SenseSingle(pair.blb().log_resistance(), rng) != blb_expected) {
+      ++err_blb;
+    }
+  }
+  BerEstimate e;
+  e.one_t1r_bl = static_cast<double>(err_bl) / static_cast<double>(trials);
+  e.one_t1r_blb = static_cast<double>(err_blb) / static_cast<double>(trials);
+  e.two_t2r = static_cast<double>(err_pair) / static_cast<double>(trials);
+  return e;
+}
+
+}  // namespace rrambnn::rram

@@ -1,0 +1,52 @@
+// Bit-error-rate models for 1T1R and 2T2R storage (Fig. 4 of the paper).
+//
+// Two independent estimators are provided and must agree (a property the
+// test suite enforces):
+//  - Analytic(): closed-form error probabilities from the healthy/weak
+//    lognormal mixture of DeviceParams, using Gaussian tail integrals;
+//  - MonteCarlo(): program/read simulation through the RramDevice + Pcsa
+//    models, mirroring the paper's measurement protocol (a pair is
+//    reprogrammed with alternating weights; after each programming event
+//    the weight is read differentially via PCSA, and each single device is
+//    also read against the fixed reference for the 1T1R comparison).
+#pragma once
+
+#include <cstdint>
+
+#include "rram/device_params.h"
+#include "tensor/rng.h"
+
+namespace rrambnn::rram {
+
+struct BerEstimate {
+  double one_t1r_bl = 0.0;   // single-device error rate, BL device
+  double one_t1r_blb = 0.0;  // single-device error rate, BLb device
+  double two_t2r = 0.0;      // differential (PCSA) error rate
+};
+
+class BerModel {
+ public:
+  explicit BerModel(const DeviceParams& params) : params_(params) {}
+
+  /// Closed-form error rates after `cycles` program/erase cycles.
+  BerEstimate Analytic(double cycles) const;
+
+  /// Simulated error rates: `trials` program+read events at the given aged
+  /// cycle count. Statistical resolution is ~1/trials.
+  BerEstimate MonteCarlo(double cycles, std::int64_t trials, Rng& rng) const;
+
+  const DeviceParams& params() const { return params_; }
+
+ private:
+  /// P(healthy/weak device programmed to `state` reads on the wrong side of
+  /// the fixed 1T1R reference), including sense offset.
+  double SingleEndedError(double p_weak, ResistiveState state) const;
+
+  /// P(PCSA reads the pair wrong) for one programmed weight, including the
+  /// four healthy/weak mixture branches.
+  double DifferentialError(double p_weak_lrs_dev, double p_weak_hrs_dev) const;
+
+  DeviceParams params_;
+};
+
+}  // namespace rrambnn::rram

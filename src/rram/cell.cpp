@@ -1,0 +1,42 @@
+#include "rram/cell.h"
+
+#include <stdexcept>
+
+namespace rrambnn::rram {
+
+void Cell1T1R::ProgramWeight(int weight, Rng& rng) {
+  if (weight != +1 && weight != -1) {
+    throw std::invalid_argument("Cell1T1R: weight must be +1 or -1");
+  }
+  device_.Program(weight == +1 ? ResistiveState::kLrs : ResistiveState::kHrs,
+                  rng);
+}
+
+int Cell1T1R::ReadWeight(const Pcsa& pcsa, Rng& rng) const {
+  return pcsa.SenseSingle(device_.log_resistance(), rng);
+}
+
+void Cell2T2R::ProgramWeight(int weight, Rng& rng) {
+  if (weight != +1 && weight != -1) {
+    throw std::invalid_argument("Cell2T2R: weight must be +1 or -1");
+  }
+  programmed_weight_ = weight;
+  if (weight == +1) {
+    bl_.Program(ResistiveState::kLrs, rng);
+    blb_.Program(ResistiveState::kHrs, rng);
+  } else {
+    bl_.Program(ResistiveState::kHrs, rng);
+    blb_.Program(ResistiveState::kLrs, rng);
+  }
+}
+
+int Cell2T2R::ReadWeight(const Pcsa& pcsa, Rng& rng) const {
+  return pcsa.SensePair(bl_.log_resistance(), blb_.log_resistance(), rng);
+}
+
+int Cell2T2R::ReadXnor(const Pcsa& pcsa, int input, Rng& rng) const {
+  return pcsa.SenseXnor(bl_.log_resistance(), blb_.log_resistance(), input,
+                        rng);
+}
+
+}  // namespace rrambnn::rram

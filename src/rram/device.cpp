@@ -1,0 +1,28 @@
+#include "rram/device.h"
+
+namespace rrambnn::rram {
+
+void RramDevice::Program(ResistiveState target, Rng& rng) {
+  ++cycles_;
+  target_ = target;
+  const double branch_scale = branch_ == PairBranch::kBl
+                                  ? params_->bl_weak_scale
+                                  : params_->blb_weak_scale;
+  const double p_weak =
+      params_->WeakProbability(static_cast<double>(cycles_), branch_scale);
+  last_weak_ = rng.Bernoulli(p_weak);
+  if (last_weak_) {
+    log_resistance_ =
+        rng.NormalDouble(params_->weak_log_mean, params_->weak_log_sigma);
+    return;
+  }
+  if (target == ResistiveState::kLrs) {
+    log_resistance_ =
+        rng.NormalDouble(params_->lrs_log_mean, params_->lrs_log_sigma);
+  } else {
+    log_resistance_ =
+        rng.NormalDouble(params_->hrs_log_mean, params_->hrs_log_sigma);
+  }
+}
+
+}  // namespace rrambnn::rram

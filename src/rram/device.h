@@ -1,0 +1,49 @@
+// Single HfO2 resistive memory device with programming stochasticity and
+// endurance cycling.
+#pragma once
+
+#include <cstdint>
+
+#include "rram/device_params.h"
+#include "tensor/rng.h"
+
+namespace rrambnn::rram {
+
+class RramDevice {
+ public:
+  explicit RramDevice(const DeviceParams& params,
+                      PairBranch branch = PairBranch::kBl)
+      : params_(&params), branch_(branch) {}
+
+  /// Programs the device toward `target`, sampling the post-programming
+  /// resistance from the healthy/weak mixture. Counts one endurance cycle.
+  void Program(ResistiveState target, Rng& rng);
+
+  /// Ages the device by `n` additional program/erase cycles without
+  /// changing its state (models the reprogramming stress of Fig. 4's
+  /// 700-million-cycle experiment between measurements).
+  void Stress(std::uint64_t n) { cycles_ += n; }
+
+  /// Pins the endurance counter (measurement harnesses that probe a fixed
+  /// aging point repeatedly).
+  void SetCycles(std::uint64_t n) { cycles_ = n; }
+
+  /// Log-resistance (natural log of ohms) as seen by a sense amplifier.
+  double log_resistance() const { return log_resistance_; }
+  double resistance() const { return std::exp(log_resistance_); }
+
+  ResistiveState target_state() const { return target_; }
+  std::uint64_t cycles() const { return cycles_; }
+  bool last_program_weak() const { return last_weak_; }
+  PairBranch branch() const { return branch_; }
+
+ private:
+  const DeviceParams* params_;
+  PairBranch branch_;
+  ResistiveState target_ = ResistiveState::kHrs;
+  double log_resistance_ = std::log(250.0e3);
+  std::uint64_t cycles_ = 0;
+  bool last_weak_ = false;
+};
+
+}  // namespace rrambnn::rram

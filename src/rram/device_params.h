@@ -1,0 +1,68 @@
+// Technology parameters of the HfO2 resistive memory modeled after the
+// paper's hybrid 130 nm CMOS / RRAM test chip (Fig. 2, Fig. 4 and its
+// companion studies, refs [15][16]).
+//
+// Model structure. A programmed device's log-resistance is a *mixture*:
+//  - with probability (1 - p_weak): a healthy program, log R ~ N(mu_state,
+//    sigma_state) around the intended LRS or HRS level;
+//  - with probability p_weak(n): a weak (incomplete) switching event whose
+//    resistance lands in the broad region between the two states.
+// Endurance cycling mainly raises p_weak:  p_weak(n) = weak_prob_ref *
+// (n / cycles_ref)^weak_exponent — this reproduces the rising error-rate
+// trend of Fig. 4. Single-device (1T1R) reads compare against a fixed
+// reference near the geometric middle, so a weak device flips a coin;
+// differential (2T2R) reads compare the two devices of the pair, so a weak
+// device still reads correctly unless it crosses its healthy partner —
+// which is why the paper measures ~2 decades fewer errors for 2T2R, the
+// same benefit as single-error-correction ECC at equal redundancy.
+#pragma once
+
+#include <cmath>
+
+namespace rrambnn::rram {
+
+struct DeviceParams {
+  // Healthy-state log-resistance statistics (natural log of ohms).
+  double lrs_log_mean = std::log(8.0e3);    // ~8 kOhm low-resistance state
+  double lrs_log_sigma = 0.15;
+  double hrs_log_mean = std::log(250.0e3);  // ~250 kOhm high-resistance state
+  double hrs_log_sigma = 0.35;
+
+  // Weak-programming mixture: probability grows polynomially with cycling.
+  double weak_prob_ref = 4.0e-5;  // p_weak at cycles_ref
+  double weak_exponent = 2.8;
+  double cycles_ref = 1.0e8;      // 100 million cycles (Fig. 4 x-axis start)
+  double weak_prob_max = 0.2;     // saturation guard
+  // Weak-state log-resistance: centered between LRS and HRS.
+  double weak_log_mean = 0.5 * (std::log(8.0e3) + std::log(250.0e3));
+  double weak_log_sigma = 0.5;
+
+  // Programming-order asymmetry between the BL and BLb device of a pair
+  // (Fig. 4 plots the two 1T1R curves separately; they differ slightly).
+  double bl_weak_scale = 1.2;
+  double blb_weak_scale = 0.8;
+
+  // Read path: fixed 1T1R reference (log ohms) and PCSA input-referred
+  // offset, expressed in the log-resistance domain.
+  double read_reference_log = 0.5 * (std::log(8.0e3) + std::log(250.0e3));
+  double sense_offset_sigma = 0.02;
+
+  /// Weak-programming probability after `cycles` program/erase cycles.
+  double WeakProbability(double cycles, double scale = 1.0) const {
+    if (cycles <= 0.0) return 0.0;
+    const double p = weak_prob_ref *
+                     std::pow(cycles / cycles_ref, weak_exponent) * scale;
+    return p < weak_prob_max ? p : weak_prob_max;
+  }
+};
+
+/// Resistance state a device is programmed toward.
+enum class ResistiveState {
+  kLrs,  // low resistance (SET)
+  kHrs,  // high resistance (RESET)
+};
+
+/// Which device of a differential pair.
+enum class PairBranch { kBl, kBlb };
+
+}  // namespace rrambnn::rram

@@ -1,0 +1,3 @@
+#include "tensor/rng.h"
+
+// Header-only implementation; this translation unit anchors the library.

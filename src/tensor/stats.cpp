@@ -1,0 +1,50 @@
+#include "tensor/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rrambnn {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("Percentile: empty sample");
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("Percentile: p out of [0, 100]");
+  }
+  std::sort(xs.begin(), xs.end());
+  const double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double NormalTail(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+double WilsonHalfWidth(std::int64_t successes, std::int64_t trials) {
+  if (trials <= 0) return 1.0;
+  const double z = 1.96;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  return z / (1.0 + z * z / n) *
+         std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n));
+}
+
+}  // namespace rrambnn

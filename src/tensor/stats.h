@@ -1,0 +1,28 @@
+// Small statistics helpers shared by tests, device models and benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rrambnn {
+
+/// Arithmetic mean; returns 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample standard deviation; returns 0 for n < 2.
+double StdDev(const std::vector<double>& xs);
+
+/// p-th percentile (0..100) by linear interpolation on the sorted sample.
+double Percentile(std::vector<double> xs, double p);
+
+/// Standard normal CDF Phi(x), accurate enough for tail probabilities used
+/// by the analytic bit-error-rate model (via std::erfc).
+double NormalCdf(double x);
+
+/// Upper-tail probability Q(x) = 1 - Phi(x), numerically stable for large x.
+double NormalTail(double x);
+
+/// Wilson score interval half-width for a binomial proportion (95%).
+double WilsonHalfWidth(std::int64_t successes, std::int64_t trials);
+
+}  // namespace rrambnn

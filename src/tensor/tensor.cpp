@@ -1,0 +1,313 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rrambnn {
+
+std::int64_t NumElements(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("NumElements: negative dimension");
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(NumElements(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(NumElements(shape_)), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (static_cast<std::int64_t>(data_.size()) != NumElements(shape_)) {
+    throw std::invalid_argument("Tensor: data size " +
+                                std::to_string(data_.size()) +
+                                " does not match shape " +
+                                ShapeToString(shape_));
+  }
+}
+
+Tensor Tensor::FromList(std::initializer_list<float> values) {
+  return Tensor({static_cast<std::int64_t>(values.size())},
+                std::vector<float>(values));
+}
+
+Tensor Tensor::FromList2d(
+    std::initializer_list<std::initializer_list<float>> rows) {
+  const auto r = static_cast<std::int64_t>(rows.size());
+  if (r == 0) return Tensor(Shape{0, 0});
+  const auto c = static_cast<std::int64_t>(rows.begin()->size());
+  std::vector<float> data;
+  data.reserve(static_cast<std::size_t>(r * c));
+  for (const auto& row : rows) {
+    if (static_cast<std::int64_t>(row.size()) != c) {
+      throw std::invalid_argument("FromList2d: ragged rows");
+    }
+    data.insert(data.end(), row.begin(), row.end());
+  }
+  return Tensor({r, c}, std::move(data));
+}
+
+std::int64_t Tensor::dim(std::int64_t i) const {
+  const auto r = rank();
+  if (i < 0) i += r;
+  if (i < 0 || i >= r) {
+    throw std::invalid_argument("Tensor::dim: axis " + std::to_string(i) +
+                                " out of range for rank " + std::to_string(r));
+  }
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+void Tensor::CheckIndex(std::int64_t i, std::int64_t d) const {
+  if (i < 0 || i >= shape_[static_cast<std::size_t>(d)]) {
+    throw std::invalid_argument(
+        "Tensor: index " + std::to_string(i) + " out of range for axis " +
+        std::to_string(d) + " of shape " + ShapeToString(shape_));
+  }
+}
+
+float& Tensor::at(std::int64_t i0) {
+  if (rank() != 1) throw std::invalid_argument("at(i): tensor is not rank 1");
+  CheckIndex(i0, 0);
+  return data_[static_cast<std::size_t>(i0)];
+}
+
+float& Tensor::at(std::int64_t i0, std::int64_t i1) {
+  if (rank() != 2) throw std::invalid_argument("at(i,j): tensor is not rank 2");
+  CheckIndex(i0, 0);
+  CheckIndex(i1, 1);
+  return data_[static_cast<std::size_t>(i0 * shape_[1] + i1)];
+}
+
+float& Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2) {
+  if (rank() != 3) {
+    throw std::invalid_argument("at(i,j,k): tensor is not rank 3");
+  }
+  CheckIndex(i0, 0);
+  CheckIndex(i1, 1);
+  CheckIndex(i2, 2);
+  return data_[static_cast<std::size_t>((i0 * shape_[1] + i1) * shape_[2] +
+                                        i2)];
+}
+
+float& Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                  std::int64_t i3) {
+  if (rank() != 4) {
+    throw std::invalid_argument("at(i,j,k,l): tensor is not rank 4");
+  }
+  CheckIndex(i0, 0);
+  CheckIndex(i1, 1);
+  CheckIndex(i2, 2);
+  CheckIndex(i3, 3);
+  return data_[static_cast<std::size_t>(
+      ((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3)];
+}
+
+float Tensor::at(std::int64_t i0) const {
+  return const_cast<Tensor*>(this)->at(i0);
+}
+float Tensor::at(std::int64_t i0, std::int64_t i1) const {
+  return const_cast<Tensor*>(this)->at(i0, i1);
+}
+float Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2) const {
+  return const_cast<Tensor*>(this)->at(i0, i1, i2);
+}
+float Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                 std::int64_t i3) const {
+  return const_cast<Tensor*>(this)->at(i0, i1, i2, i3);
+}
+
+std::int64_t Tensor::Offset(const Shape& index) const {
+  if (static_cast<std::int64_t>(index.size()) != rank()) {
+    throw std::invalid_argument("Offset: index rank mismatch");
+  }
+  std::int64_t off = 0;
+  for (std::size_t d = 0; d < index.size(); ++d) {
+    CheckIndex(index[d], static_cast<std::int64_t>(d));
+    off = off * shape_[d] + index[d];
+  }
+  return off;
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  std::int64_t known = 1;
+  std::int64_t infer_axis = -1;
+  for (std::size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      if (infer_axis >= 0) {
+        throw std::invalid_argument("Reshape: more than one -1 dimension");
+      }
+      infer_axis = static_cast<std::int64_t>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer_axis >= 0) {
+    if (known == 0 || size() % known != 0) {
+      throw std::invalid_argument("Reshape: cannot infer -1 dimension");
+    }
+    new_shape[static_cast<std::size_t>(infer_axis)] = size() / known;
+  }
+  if (NumElements(new_shape) != size()) {
+    throw std::invalid_argument("Reshape: element count mismatch: " +
+                                ShapeToString(shape_) + " -> " +
+                                ShapeToString(new_shape));
+  }
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument("operator+=: shape mismatch " +
+                                ShapeToString(shape_) + " vs " +
+                                ShapeToString(other.shape_));
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument("operator-=: shape mismatch " +
+                                ShapeToString(shape_) + " vs " +
+                                ShapeToString(other.shape_));
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+Tensor Tensor::Hadamard(const Tensor& a, const Tensor& b) {
+  if (a.shape_ != b.shape_) {
+    throw std::invalid_argument("Hadamard: shape mismatch");
+  }
+  Tensor out = a;
+  for (std::size_t i = 0; i < out.data_.size(); ++i) {
+    out.data_[i] *= b.data_[i];
+  }
+  return out;
+}
+
+Tensor Tensor::Row(std::int64_t r) const {
+  if (rank() < 1) throw std::invalid_argument("Row: rank 0 tensor");
+  CheckIndex(r, 0);
+  Shape row_shape(shape_.begin() + 1, shape_.end());
+  const std::int64_t stride = NumElements(row_shape);
+  std::vector<float> row(data_.begin() + static_cast<std::ptrdiff_t>(r * stride),
+                         data_.begin() +
+                             static_cast<std::ptrdiff_t>((r + 1) * stride));
+  return Tensor(std::move(row_shape), std::move(row));
+}
+
+void Tensor::SetRow(std::int64_t r, const Tensor& src) {
+  if (rank() < 1) throw std::invalid_argument("SetRow: rank 0 tensor");
+  CheckIndex(r, 0);
+  Shape row_shape(shape_.begin() + 1, shape_.end());
+  if (src.shape() != row_shape) {
+    throw std::invalid_argument("SetRow: row shape mismatch: expected " +
+                                ShapeToString(row_shape) + ", got " +
+                                ShapeToString(src.shape()));
+  }
+  const std::int64_t stride = NumElements(row_shape);
+  std::copy(src.data_.begin(), src.data_.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(r * stride));
+}
+
+double Tensor::Sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+std::int64_t Tensor::Argmax() const {
+  if (data_.empty()) throw std::invalid_argument("Argmax: empty tensor");
+  return std::distance(data_.begin(),
+                       std::max_element(data_.begin(), data_.end()));
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("MatMul: incompatible shapes " +
+                                ShapeToString(a.shape()) + " x " +
+                                ShapeToString(b.shape()));
+  }
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  // ikj loop order keeps the inner loop streaming over contiguous rows of b.
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Transpose2d(const Tensor& a) {
+  if (a.rank() != 2) throw std::invalid_argument("Transpose2d: rank != 2");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      out[j * m + i] = a[i * n + j];
+    }
+  }
+  return out;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("MaxAbsDiff: shape mismatch");
+  }
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t) {
+  os << "Tensor" << ShapeToString(t.shape()) << " {";
+  const std::int64_t n = std::min<std::int64_t>(t.size(), 16);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << t[i];
+  }
+  if (t.size() > n) os << ", ...";
+  return os << '}';
+}
+
+}  // namespace rrambnn

@@ -1,0 +1,135 @@
+// Minimal dense float32 N-d tensor used throughout the library.
+//
+// Design notes:
+//  - Row-major, contiguous storage with value semantics. The library trains
+//    small/medium networks; a simple owning container beats a strided view
+//    machinery in clarity and is fast enough when convolutions go through
+//    im2col + GEMM (see nn/im2col.h).
+//  - Shape errors are API-misuse and throw std::invalid_argument; internal
+//    invariants use assertions.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rrambnn {
+
+/// Shape of a tensor; dimensions are signed to keep arithmetic natural.
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements covered by a shape (product of dimensions).
+std::int64_t NumElements(const Shape& shape);
+
+/// Human-readable "[a, b, c]" rendering used in error messages and tables.
+std::string ShapeToString(const Shape& shape);
+
+/// Dense float32 tensor with row-major contiguous storage.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Constant-filled tensor of the given shape.
+  Tensor(Shape shape, float fill);
+
+  /// Tensor adopting existing data; data.size() must equal NumElements(shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  /// 1-D tensor from an initializer list (test convenience).
+  static Tensor FromList(std::initializer_list<float> values);
+
+  /// 2-D tensor from nested initializer lists (test convenience).
+  static Tensor FromList2d(
+      std::initializer_list<std::initializer_list<float>> rows);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t rank() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  /// Dimension i; negative indices count from the back (dim(-1) = last).
+  std::int64_t dim(std::int64_t i) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// Bounds-checked multi-index access (rank 1..4).
+  float& at(std::int64_t i0);
+  float& at(std::int64_t i0, std::int64_t i1);
+  float& at(std::int64_t i0, std::int64_t i1, std::int64_t i2);
+  float& at(std::int64_t i0, std::int64_t i1, std::int64_t i2, std::int64_t i3);
+  float at(std::int64_t i0) const;
+  float at(std::int64_t i0, std::int64_t i1) const;
+  float at(std::int64_t i0, std::int64_t i1, std::int64_t i2) const;
+  float at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+           std::int64_t i3) const;
+
+  /// Flat offset of a multi-index (row-major); bounds-checked.
+  std::int64_t Offset(const Shape& index) const;
+
+  /// Reinterpret the data under a new shape; total element count must match.
+  /// One dimension may be -1 (inferred).
+  Tensor Reshape(Shape new_shape) const;
+
+  /// In-place fill.
+  void Fill(float value);
+
+  /// Elementwise in-place operations.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float s);
+
+  /// Elementwise binary operations (shapes must match exactly).
+  friend Tensor operator+(Tensor a, const Tensor& b) { return a += b; }
+  friend Tensor operator-(Tensor a, const Tensor& b) { return a -= b; }
+  friend Tensor operator*(Tensor a, float s) { return a *= s; }
+  friend Tensor operator*(float s, Tensor a) { return a *= s; }
+
+  /// Hadamard (elementwise) product.
+  static Tensor Hadamard(const Tensor& a, const Tensor& b);
+
+  /// Row `r` of a rank >= 1 tensor as a tensor of shape shape[1:].
+  Tensor Row(std::int64_t r) const;
+
+  /// Copies `src` (shape shape[1:]) into row `r`.
+  void SetRow(std::int64_t r, const Tensor& src);
+
+  /// Sum of all elements.
+  double Sum() const;
+
+  /// Index of the maximum element (first on ties). Requires non-empty.
+  std::int64_t Argmax() const;
+
+  bool operator==(const Tensor& other) const = default;
+
+ private:
+  void CheckIndex(std::int64_t i, std::int64_t d) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// 2-D matrix multiply: [m,k] x [k,n] -> [m,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Transpose of a 2-D tensor.
+Tensor Transpose2d(const Tensor& a);
+
+/// Maximum absolute difference between two same-shaped tensors.
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t);
+
+}  // namespace rrambnn

@@ -1,0 +1,61 @@
+#include "arch/energy_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rrambnn::arch {
+namespace {
+
+TEST(EnergyModel, ReadIsOrdersCheaperThanProgram) {
+  const EnergyParams p;
+  // One row read over 64 columns vs programming those 64 synapses.
+  const double read = RowReadEnergyPj(p, 64);
+  const double program = 64.0 * SynapseProgramEnergyPj(p);
+  EXPECT_GT(program / read, 100.0);
+}
+
+TEST(EnergyModel, RowReadScalesLinearlyInColumns) {
+  const EnergyParams p;
+  const double e64 = RowReadEnergyPj(p, 64);
+  const double e128 = RowReadEnergyPj(p, 128);
+  // Affine in cols: doubling columns slightly less than doubles energy
+  // (fixed WL + threshold cost amortizes).
+  EXPECT_GT(e128, 1.8 * e64 * 0.9);
+  EXPECT_LT(e128, 2.0 * e64);
+}
+
+TEST(EnergyModel, XnorOverheadIsSmallFraction) {
+  // The paper's Fig. 3(b) argument: in-sense-amplifier XNOR costs only four
+  // transistors. The energy model must reflect a small relative overhead.
+  const EnergyParams p;
+  EXPECT_LT(p.xnor_overhead_fj / p.pcsa_sense_energy_fj, 0.25);
+  EXPECT_LT(p.xnor_area_um2 / p.pcsa_area_um2, 0.25);
+}
+
+TEST(EnergyModel, MacroAreaGrowsWithGeometry) {
+  const EnergyParams p;
+  const double a32 = MacroArea(p, 32, 32);
+  const double a64 = MacroArea(p, 64, 64);
+  EXPECT_GT(a64, a32);
+  EXPECT_GT(a32, 0.0);
+  EXPECT_THROW(MacroArea(p, 0, 32), std::invalid_argument);
+  EXPECT_THROW(RowReadEnergyPj(p, 0), std::invalid_argument);
+}
+
+TEST(CostReport, Accumulates) {
+  CostReport a;
+  a.read_energy_pj = 1.0;
+  a.sense_ops = 10;
+  CostReport b;
+  b.read_energy_pj = 2.0;
+  b.sense_ops = 5;
+  b.area_mm2 = 0.5;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.read_energy_pj, 3.0);
+  EXPECT_EQ(a.sense_ops, 15u);
+  EXPECT_DOUBLE_EQ(a.area_mm2, 0.5);
+}
+
+}  // namespace
+}  // namespace rrambnn::arch

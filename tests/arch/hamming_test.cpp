@@ -1,0 +1,70 @@
+#include "arch/hamming.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/rng.h"
+
+namespace rrambnn::arch {
+namespace {
+
+TEST(Secded, EncodeDecodeCleanRoundTrip) {
+  Rng rng(1);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t data = rng.engine()();
+    const auto word = SecdedCodec::Encode(data);
+    const auto result = SecdedCodec::Decode(word);
+    EXPECT_EQ(result.data, data);
+    EXPECT_EQ(result.status, SecdedCodec::DecodeStatus::kClean);
+  }
+}
+
+TEST(Secded, CorrectsEverySingleBitError) {
+  Rng rng(2);
+  const std::uint64_t data = 0xDEADBEEFCAFEF00Dull;
+  const auto word = SecdedCodec::Encode(data);
+  for (int pos = 0; pos < SecdedCodec::kCodeBits; ++pos) {
+    auto corrupted = word;
+    corrupted.flip(static_cast<std::size_t>(pos));
+    const auto result = SecdedCodec::Decode(corrupted);
+    EXPECT_EQ(result.data, data) << "error at bit " << pos;
+    EXPECT_EQ(result.status, SecdedCodec::DecodeStatus::kCorrected)
+        << "error at bit " << pos;
+  }
+}
+
+TEST(Secded, DetectsEveryDoubleBitError) {
+  const std::uint64_t data = 0x0123456789ABCDEFull;
+  const auto word = SecdedCodec::Encode(data);
+  // Exhaustive over a representative stripe of pairs (full 72*71/2 is fine
+  // too, but keep runtime bounded).
+  for (int a = 0; a < SecdedCodec::kCodeBits; a += 3) {
+    for (int b = a + 1; b < SecdedCodec::kCodeBits; b += 5) {
+      auto corrupted = word;
+      corrupted.flip(static_cast<std::size_t>(a));
+      corrupted.flip(static_cast<std::size_t>(b));
+      const auto result = SecdedCodec::Decode(corrupted);
+      EXPECT_EQ(result.status, SecdedCodec::DecodeStatus::kDoubleDetected)
+          << "errors at " << a << "," << b;
+    }
+  }
+}
+
+TEST(Secded, ExtractDataInverseOfEncodePlacement) {
+  Rng rng(3);
+  for (int t = 0; t < 100; ++t) {
+    const std::uint64_t data = rng.engine()();
+    EXPECT_EQ(SecdedCodec::ExtractData(SecdedCodec::Encode(data)), data);
+  }
+}
+
+TEST(Secded, ParityBitsActuallyDependOnData) {
+  const auto w0 = SecdedCodec::Encode(0);
+  const auto w1 = SecdedCodec::Encode(1);
+  EXPECT_NE(w0, w1);
+  // Codewords of distinct data differ in >= 4 positions (SECDED min
+  // distance); spot check.
+  EXPECT_GE((w0 ^ w1).count(), 4u);
+}
+
+}  // namespace
+}  // namespace rrambnn::arch

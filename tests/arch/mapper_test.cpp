@@ -1,0 +1,165 @@
+// The hardware-mapped engine must be bit-exact against the software
+// BnnModel at zero device error, across tiling geometries.
+#include "arch/bnn_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/xnor_macro.h"
+#include "tensor/rng.h"
+
+namespace rrambnn::arch {
+namespace {
+
+rram::DeviceParams IdealDevice() {
+  rram::DeviceParams p;
+  p.sense_offset_sigma = 0.0;
+  p.weak_prob_ref = 0.0;
+  return p;
+}
+
+core::BnnModel RandomModel(std::int64_t in, std::int64_t hidden,
+                           std::int64_t classes, Rng& rng) {
+  core::BnnModel model;
+  core::BnnDenseLayer h;
+  h.weights = core::BitMatrix(hidden, in);
+  for (std::int64_t r = 0; r < hidden; ++r) {
+    for (std::int64_t c = 0; c < in; ++c) {
+      h.weights.Set(r, c, rng.Bernoulli(0.5) ? +1 : -1);
+    }
+  }
+  h.thresholds.resize(static_cast<std::size_t>(hidden));
+  for (auto& t : h.thresholds) {
+    t = static_cast<std::int32_t>(in / 2 + rng.UniformInt(9) - 4);
+  }
+  model.AddHidden(std::move(h));
+  core::BnnOutputLayer out;
+  out.weights = core::BitMatrix(classes, hidden);
+  for (std::int64_t r = 0; r < classes; ++r) {
+    for (std::int64_t c = 0; c < hidden; ++c) {
+      out.weights.Set(r, c, rng.Bernoulli(0.5) ? +1 : -1);
+    }
+  }
+  out.scale.assign(static_cast<std::size_t>(classes), 1.0f);
+  out.offset.assign(static_cast<std::size_t>(classes), 0.0f);
+  for (auto& o : out.offset) o = rng.Normal(0.0f, 0.3f);
+  model.SetOutput(std::move(out));
+  model.Validate();
+  return model;
+}
+
+TEST(XnorMacro, PaddingContributesNothing) {
+  XnorMacro macro(4, 64, IdealDevice(), 1);
+  const std::vector<int> w{+1, -1, +1};
+  macro.ProgramRow(0, w);
+  const std::vector<int> x{+1, -1, -1};
+  // Matches: +1*+1 agree, -1*-1 agree, +1 vs -1 disagree -> popcount 2.
+  EXPECT_EQ(macro.RowXnorPopcount(0, x), 2);
+  EXPECT_EQ(macro.used_synapses(), 3);
+  EXPECT_THROW(macro.ProgramRow(0, std::vector<int>(65, 1)),
+               std::invalid_argument);
+}
+
+struct TileGeometry {
+  std::int64_t rows;
+  std::int64_t cols;
+};
+
+class MapperTiling : public ::testing::TestWithParam<TileGeometry> {};
+
+TEST_P(MapperTiling, BitExactAtZeroError) {
+  Rng rng(42);
+  const core::BnnModel model = RandomModel(150, 70, 4, rng);
+  MapperConfig cfg;
+  cfg.macro_rows = GetParam().rows;
+  cfg.macro_cols = GetParam().cols;
+  cfg.device = IdealDevice();
+  MappedBnn mapped(model, cfg);
+  for (int trial = 0; trial < 30; ++trial) {
+    core::BitVector x(150);
+    for (std::int64_t i = 0; i < 150; ++i) {
+      x.Set(i, rng.Bernoulli(0.5) ? +1 : -1);
+    }
+    const auto sw = model.Scores(x);
+    const auto hw = mapped.Scores(x);
+    ASSERT_EQ(sw.size(), hw.size());
+    for (std::size_t k = 0; k < sw.size(); ++k) {
+      EXPECT_FLOAT_EQ(sw[k], hw[k]) << "tile " << GetParam().rows << "x"
+                                    << GetParam().cols << " trial " << trial;
+    }
+    EXPECT_EQ(model.Predict(x), mapped.Predict(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, MapperTiling,
+    ::testing::Values(TileGeometry{32, 32}, TileGeometry{64, 64},
+                      TileGeometry{16, 128}, TileGeometry{128, 16},
+                      TileGeometry{256, 256}, TileGeometry{13, 17}));
+
+TEST(MappedBnn, MacroCountMatchesTiling) {
+  Rng rng(7);
+  const core::BnnModel model = RandomModel(100, 50, 2, rng);
+  MapperConfig cfg;
+  cfg.macro_rows = 32;
+  cfg.macro_cols = 32;
+  cfg.device = IdealDevice();
+  const MappedBnn mapped(model, cfg);
+  // Hidden: ceil(50/32)*ceil(100/32) = 2*4 = 8; output: 1*2 = 2.
+  EXPECT_EQ(mapped.num_macros(), 10);
+  EXPECT_GT(mapped.Utilization(), 0.3);
+  EXPECT_LE(mapped.Utilization(), 1.0);
+}
+
+TEST(MappedBnn, CostsArePositiveAndConsistent) {
+  Rng rng(8);
+  const core::BnnModel model = RandomModel(64, 32, 2, rng);
+  MapperConfig cfg;
+  cfg.macro_rows = 32;
+  cfg.macro_cols = 64;
+  cfg.device = IdealDevice();
+  const MappedBnn mapped(model, cfg);
+  const CostReport prog = mapped.ProgrammingCost();
+  const CostReport inf = mapped.InferenceCost();
+  EXPECT_GT(prog.program_energy_pj, 0.0);
+  // Hidden 32x64 fills one macro (32 rows x 64 padded cols); the 2x32
+  // output layer programs only its 2 used rows (again padded to 64 cols).
+  EXPECT_EQ(prog.program_ops, 32u * 64u + 2u * 64u);
+  EXPECT_GT(inf.read_energy_pj, 0.0);
+  // Per-inference read energy must be far below one-time programming.
+  EXPECT_LT(inf.read_energy_pj, prog.program_energy_pj);
+  EXPECT_GT(mapped.AreaMm2(), 0.0);
+}
+
+TEST(MappedBnn, AgedUnrefreshedFabricDegradesGracefully) {
+  Rng rng(9);
+  const core::BnnModel model = RandomModel(128, 64, 2, rng);
+  MapperConfig cfg;
+  cfg.macro_rows = 64;
+  cfg.macro_cols = 64;
+  cfg.device = rram::DeviceParams{};  // real device statistics
+  cfg.device.weak_prob_ref = 0.02;    // exaggerated aging
+  cfg.pre_stress_cycles = static_cast<std::uint64_t>(7e8);
+  MappedBnn mapped(model, cfg);
+  // With elevated weak probability, some scores will deviate from the
+  // software model, but outputs stay within the legal range.
+  core::BitVector x(128);
+  for (std::int64_t i = 0; i < 128; ++i) {
+    x.Set(i, rng.Bernoulli(0.5) ? +1 : -1);
+  }
+  const std::int64_t pred = mapped.Predict(x);
+  EXPECT_GE(pred, 0);
+  EXPECT_LT(pred, 2);
+}
+
+TEST(MappedBnn, InputWidthValidated) {
+  Rng rng(10);
+  const core::BnnModel model = RandomModel(64, 32, 2, rng);
+  MapperConfig cfg;
+  cfg.device = IdealDevice();
+  MappedBnn mapped(model, cfg);
+  EXPECT_THROW(mapped.Scores(core::BitVector(63)), std::invalid_argument);
+  EXPECT_THROW(mapped.PredictBatch(Tensor({2, 63})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrambnn::arch

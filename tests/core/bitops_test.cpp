@@ -1,0 +1,139 @@
+#include "core/bitops.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace rrambnn::core {
+namespace {
+
+TEST(BitVector, FromSignsAndGet) {
+  const std::vector<float> vals{0.5f, -0.1f, 0.0f, -3.0f};
+  const BitVector v = BitVector::FromSigns(vals);
+  EXPECT_EQ(v.size(), 4);
+  EXPECT_EQ(v.Get(0), +1);
+  EXPECT_EQ(v.Get(1), -1);
+  EXPECT_EQ(v.Get(2), +1);  // sign(0) = +1
+  EXPECT_EQ(v.Get(3), -1);
+  EXPECT_THROW(v.Get(4), std::invalid_argument);
+}
+
+TEST(BitVector, SetAndFlip) {
+  BitVector v(3);
+  EXPECT_EQ(v.Get(0), -1);  // default all -1 (zero bits)
+  v.Set(1, +1);
+  EXPECT_EQ(v.Get(1), +1);
+  v.Flip(1);
+  EXPECT_EQ(v.Get(1), -1);
+  EXPECT_THROW(v.Set(0, 2), std::invalid_argument);
+}
+
+TEST(BitVector, XnorPopcountEqualsNaive) {
+  Rng rng(1);
+  for (const std::int64_t n : {1, 7, 63, 64, 65, 130, 1000}) {
+    std::vector<int> a_pm(static_cast<std::size_t>(n)),
+        b_pm(static_cast<std::size_t>(n));
+    for (auto& x : a_pm) x = rng.Bernoulli(0.5) ? 1 : -1;
+    for (auto& x : b_pm) x = rng.Bernoulli(0.5) ? 1 : -1;
+    const BitVector a = BitVector::FromPm1(a_pm);
+    const BitVector b = BitVector::FromPm1(b_pm);
+    std::int64_t matches = 0, dot = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (a_pm[idx] == b_pm[idx]) ++matches;
+      dot += a_pm[idx] * b_pm[idx];
+    }
+    EXPECT_EQ(a.XnorPopcount(b), matches) << "n=" << n;
+    EXPECT_EQ(a.DotPm1(b), dot) << "n=" << n;
+  }
+}
+
+TEST(BitVector, TailBitsDoNotLeak) {
+  // 65 elements: one full word + 1 tail bit; padding must not count.
+  BitVector a(65), b(65);
+  for (std::int64_t i = 0; i < 65; ++i) {
+    a.Set(i, +1);
+    b.Set(i, +1);
+  }
+  EXPECT_EQ(a.XnorPopcount(b), 65);
+  EXPECT_EQ(a.CountOnes(), 65);
+}
+
+TEST(BitVector, DotIsCommutativeAndBounded) {
+  Rng rng(2);
+  std::vector<int> a_pm(200), b_pm(200);
+  for (auto& x : a_pm) x = rng.Bernoulli(0.5) ? 1 : -1;
+  for (auto& x : b_pm) x = rng.Bernoulli(0.5) ? 1 : -1;
+  const BitVector a = BitVector::FromPm1(a_pm);
+  const BitVector b = BitVector::FromPm1(b_pm);
+  EXPECT_EQ(a.DotPm1(b), b.DotPm1(a));
+  EXPECT_LE(std::abs(a.DotPm1(b)), 200);
+  EXPECT_EQ(a.DotPm1(a), 200);  // self-dot = length
+}
+
+TEST(BitVector, SizeMismatchThrows) {
+  BitVector a(5), b(6);
+  EXPECT_THROW(a.XnorPopcount(b), std::invalid_argument);
+  EXPECT_THROW(BitVector::FromPm1(std::vector<int>{2}),
+               std::invalid_argument);
+}
+
+TEST(BitVector, ToPm1RoundTrip) {
+  Rng rng(3);
+  std::vector<int> pm(100);
+  for (auto& x : pm) x = rng.Bernoulli(0.5) ? 1 : -1;
+  EXPECT_EQ(BitVector::FromPm1(pm).ToPm1(), pm);
+}
+
+TEST(BitMatrix, RowPopcountMatchesBitVector) {
+  Rng rng(4);
+  const std::int64_t rows = 5, cols = 130;
+  std::vector<float> w(static_cast<std::size_t>(rows * cols));
+  for (auto& x : w) x = rng.Normal(0.0f, 1.0f);
+  const BitMatrix m = BitMatrix::FromSigns(w, rows, cols);
+  std::vector<float> xv(static_cast<std::size_t>(cols));
+  for (auto& x : xv) x = rng.Normal(0.0f, 1.0f);
+  const BitVector x = BitVector::FromSigns(xv);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    EXPECT_EQ(m.RowXnorPopcount(r, x), m.Row(r).XnorPopcount(x));
+    EXPECT_EQ(m.RowDotPm1(r, x), m.Row(r).DotPm1(x));
+  }
+}
+
+TEST(BitMatrix, FlipRowNegatesDot) {
+  Rng rng(5);
+  const std::int64_t cols = 77;
+  std::vector<float> w(static_cast<std::size_t>(cols));
+  for (auto& x : w) x = rng.Normal(0.0f, 1.0f);
+  BitMatrix m = BitMatrix::FromSigns(w, 1, cols);
+  std::vector<float> xv(static_cast<std::size_t>(cols));
+  for (auto& x : xv) x = rng.Normal(0.0f, 1.0f);
+  const BitVector x = BitVector::FromSigns(xv);
+  const std::int64_t before = m.RowDotPm1(0, x);
+  m.FlipRow(0);
+  EXPECT_EQ(m.RowDotPm1(0, x), -before);
+  // Tail padding must stay clean: popcount of row vs all -1 vector.
+  EXPECT_EQ(m.Row(0).size(), cols);
+}
+
+TEST(BitMatrix, SetRowGetRow) {
+  BitMatrix m(3, 70);
+  BitVector v(70);
+  for (std::int64_t i = 0; i < 70; i += 3) v.Set(i, +1);
+  m.SetRow(1, v);
+  EXPECT_EQ(m.Row(1), v);
+  EXPECT_EQ(m.Get(1, 0), +1);
+  EXPECT_EQ(m.Get(1, 1), -1);
+  EXPECT_THROW(m.SetRow(0, BitVector(5)), std::invalid_argument);
+}
+
+TEST(BitMatrix, BitsAccounting) {
+  const BitMatrix m(80, 2520);  // the EEG classifier's first layer
+  EXPECT_EQ(m.bits(), 80 * 2520);
+}
+
+}  // namespace
+}  // namespace rrambnn::core

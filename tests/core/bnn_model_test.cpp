@@ -1,0 +1,102 @@
+#include "core/bnn_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rrambnn::core {
+namespace {
+
+BnnDenseLayer MakeHidden(std::int64_t out, std::int64_t in,
+                         std::int32_t threshold) {
+  BnnDenseLayer layer;
+  layer.weights = BitMatrix(out, in);
+  layer.thresholds.assign(static_cast<std::size_t>(out), threshold);
+  return layer;
+}
+
+BnnOutputLayer MakeOutput(std::int64_t classes, std::int64_t in) {
+  BnnOutputLayer layer;
+  layer.weights = BitMatrix(classes, in);
+  layer.scale.assign(static_cast<std::size_t>(classes), 1.0f);
+  layer.offset.assign(static_cast<std::size_t>(classes), 0.0f);
+  return layer;
+}
+
+TEST(BnnDenseLayer, ThresholdSemantics) {
+  // Weights all -1 (default matrix). Input all -1 -> popcount = in (all
+  // match). Threshold decides the output.
+  BnnDenseLayer layer = MakeHidden(2, 8, 8);
+  layer.thresholds[1] = 9;  // unreachable
+  BitVector x(8);  // all -1
+  const BitVector y = layer.Forward(x);
+  EXPECT_EQ(y.Get(0), +1);  // popcount 8 >= 8
+  EXPECT_EQ(y.Get(1), -1);  // popcount 8 < 9
+}
+
+TEST(BnnOutputLayer, AffineScores) {
+  BnnOutputLayer out = MakeOutput(2, 4);
+  out.scale = {0.5f, -1.0f};
+  out.offset = {1.0f, 2.0f};
+  // weights default -1; input all -1 -> dot = +4 for each row.
+  BitVector x(4);
+  const std::vector<float> s = out.Forward(x);
+  EXPECT_FLOAT_EQ(s[0], 0.5f * 4 + 1.0f);
+  EXPECT_FLOAT_EQ(s[1], -1.0f * 4 + 2.0f);
+}
+
+TEST(BnnModel, ValidateCatchesChainingErrors) {
+  BnnModel model;
+  model.AddHidden(MakeHidden(4, 8, 2));
+  model.SetOutput(MakeOutput(2, 5));  // 5 != 4: broken chain
+  EXPECT_THROW(model.Validate(), std::invalid_argument);
+}
+
+TEST(BnnModel, ValidateCatchesThresholdRange) {
+  BnnModel model;
+  BnnDenseLayer bad = MakeHidden(2, 8, 2);
+  bad.thresholds[0] = 42;  // > in + 1
+  model.AddHidden(std::move(bad));
+  model.SetOutput(MakeOutput(2, 2));
+  EXPECT_THROW(model.Validate(), std::invalid_argument);
+}
+
+TEST(BnnModel, PredictBatchShapesAndDeterminism) {
+  BnnModel model;
+  model.AddHidden(MakeHidden(6, 4, 2));
+  model.SetOutput(MakeOutput(3, 6));
+  model.Validate();
+  Tensor features({5, 4});
+  for (std::int64_t i = 0; i < features.size(); ++i) {
+    features[i] = (i % 3 == 0) ? 1.0f : -1.0f;
+  }
+  const auto p1 = model.PredictBatch(features);
+  const auto p2 = model.PredictBatch(features);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(p1.size(), 5u);
+  for (const auto c : p1) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 3);
+  }
+  EXPECT_THROW(model.PredictBatch(Tensor({2, 9})), std::invalid_argument);
+}
+
+TEST(BnnModel, TotalWeightBits) {
+  BnnModel model;
+  model.AddHidden(MakeHidden(80, 2520, 0));   // EEG FC-80
+  model.SetOutput(MakeOutput(2, 80));          // FC-2
+  EXPECT_EQ(model.TotalWeightBits(), 80 * 2520 + 2 * 80);
+}
+
+TEST(BnnModel, ConstructionValidation) {
+  BnnModel model;
+  EXPECT_THROW(model.input_size(), std::invalid_argument);
+  EXPECT_THROW(model.Validate(), std::invalid_argument);
+  BnnDenseLayer mismatched = MakeHidden(2, 4, 0);
+  mismatched.thresholds.pop_back();
+  EXPECT_THROW(model.AddHidden(std::move(mismatched)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrambnn::core

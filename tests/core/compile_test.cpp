@@ -1,0 +1,183 @@
+// The central correctness property of deployment: the compiled XNOR-
+// popcount-threshold network must agree *bit-exactly* with the trained
+// float network evaluated in inference mode.
+#include "core/compile.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+
+namespace rrambnn::core {
+namespace {
+
+/// Binarized classifier in the library's canonical grammar.
+nn::Sequential MakeBinaryClassifier(std::int64_t in, std::int64_t hidden,
+                                    std::int64_t classes, Rng& rng,
+                                    bool with_hidden_bn = true,
+                                    bool with_output_bn = true) {
+  nn::Sequential net;
+  net.Emplace<nn::SignSte>();
+  net.Emplace<nn::Dense>(in, hidden, rng, nn::DenseOptions{.binary = true});
+  if (with_hidden_bn) net.Emplace<nn::BatchNorm>(hidden);
+  net.Emplace<nn::SignSte>();
+  net.Emplace<nn::Dense>(hidden, classes, rng,
+                         nn::DenseOptions{.binary = true});
+  if (with_output_bn) net.Emplace<nn::BatchNorm>(classes);
+  return net;
+}
+
+/// Runs a few training steps so BN statistics and weights are non-trivial.
+void Warm(nn::Sequential& net, std::int64_t in, Rng& rng) {
+  nn::SoftmaxCrossEntropy loss;
+  nn::Adam opt(net.Params(), 1e-2f);
+  for (int step = 0; step < 25; ++step) {
+    Tensor x({16, in});
+    rng.FillNormal(x, 0.0f, 1.0f);
+    std::vector<std::int64_t> y;
+    for (int i = 0; i < 16; ++i) {
+      y.push_back(x[static_cast<std::int64_t>(i) * in] > 0 ? 1 : 0);
+    }
+    opt.ZeroGrad();
+    const Tensor logits = net.Forward(x, true);
+    (void)loss.Forward(logits, y);
+    net.Backward(loss.Backward());
+    opt.Step();
+  }
+}
+
+TEST(Compile, BitExactAgainstFloatEval) {
+  Rng rng(1);
+  const std::int64_t in = 37, hidden = 19, classes = 3;
+  nn::Sequential net = MakeBinaryClassifier(in, hidden, classes, rng);
+  Warm(net, in, rng);
+  const BnnModel compiled = CompileClassifier(net, 0);
+  compiled.Validate();
+
+  Tensor x({64, in});
+  rng.FillNormal(x, 0.0f, 1.0f);
+  const Tensor logits = net.Forward(x, false);
+  const auto preds = compiled.PredictBatch(x);
+  for (std::int64_t i = 0; i < 64; ++i) {
+    Tensor row({1, in});
+    row.SetRow(0, x.Row(i));
+    EXPECT_EQ(preds[static_cast<std::size_t>(i)],
+              net.Forward(row, false).Argmax())
+        << "sample " << i;
+  }
+  (void)logits;
+}
+
+TEST(Compile, HiddenActivationsMatchExactly) {
+  // Stronger than argmax equality: compare the hidden binary activations
+  // against sign of the float net's intermediate output.
+  Rng rng(2);
+  const std::int64_t in = 24, hidden = 16;
+  nn::Sequential net = MakeBinaryClassifier(in, hidden, 2, rng);
+  Warm(net, in, rng);
+  const BnnModel compiled = CompileClassifier(net, 0);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    Tensor x({1, in});
+    rng.FillNormal(x, 0.0f, 1.0f);
+    // Float path: layers 0..3 are Sign, Dense, BN, Sign.
+    Tensor h = x;
+    for (int l = 0; l < 4; ++l) h = net[static_cast<std::size_t>(l)].Forward(h, false);
+    // Compiled path.
+    const BitVector xb = BitVector::FromSigns(
+        std::span<const float>(x.data(), static_cast<std::size_t>(in)));
+    const BitVector hb = compiled.hidden()[0].Forward(xb);
+    for (std::int64_t j = 0; j < hidden; ++j) {
+      EXPECT_EQ(hb.Get(j), h[j] >= 0 ? 1 : -1)
+          << "trial " << trial << " unit " << j;
+    }
+  }
+}
+
+TEST(Compile, WithoutBatchNormUsesBiasThreshold) {
+  Rng rng(3);
+  nn::Sequential net;
+  net.Emplace<nn::SignSte>();
+  auto& d1 = net.Emplace<nn::Dense>(std::int64_t{8}, std::int64_t{4}, rng,
+                                    nn::DenseOptions{.binary = true});
+  net.Emplace<nn::SignSte>();
+  net.Emplace<nn::Dense>(std::int64_t{4}, std::int64_t{2}, rng,
+                         nn::DenseOptions{.binary = true});
+  d1.bias().value = Tensor::FromList({0.5f, -0.5f, 3.0f, 0.0f});
+  const BnnModel compiled = CompileClassifier(net, 0);
+  Tensor x({20, 8});
+  rng.FillNormal(x, 0.0f, 1.0f);
+  const auto preds = compiled.PredictBatch(x);
+  const Tensor logits = net.Forward(x, false);
+  for (std::int64_t i = 0; i < 20; ++i) {
+    Tensor row({1, 8});
+    row.SetRow(0, x.Row(i));
+    EXPECT_EQ(preds[static_cast<std::size_t>(i)],
+              net.Forward(row, false).Argmax());
+  }
+  (void)logits;
+}
+
+TEST(Compile, DropoutAndFlattenAreTransparent) {
+  Rng rng(4);
+  nn::Sequential net;
+  net.Emplace<nn::Flatten>();
+  net.Emplace<nn::SignSte>();
+  net.Emplace<nn::Dropout>(0.9f, rng);
+  net.Emplace<nn::Dense>(std::int64_t{12}, std::int64_t{6}, rng,
+                         nn::DenseOptions{.binary = true});
+  net.Emplace<nn::BatchNorm>(6);
+  net.Emplace<nn::SignSte>();
+  net.Emplace<nn::Dropout>(0.9f, rng);
+  net.Emplace<nn::Dense>(std::int64_t{6}, std::int64_t{2}, rng,
+                         nn::DenseOptions{.binary = true});
+  const BnnModel compiled = CompileClassifier(net, 0);
+  EXPECT_EQ(compiled.num_hidden(), 1u);
+  EXPECT_EQ(compiled.input_size(), 12);
+}
+
+TEST(Compile, RejectsNonBinaryDense) {
+  Rng rng(5);
+  nn::Sequential net;
+  net.Emplace<nn::Dense>(std::int64_t{4}, std::int64_t{2}, rng);
+  EXPECT_THROW(CompileClassifier(net, 0), std::invalid_argument);
+}
+
+TEST(Compile, RejectsUnsupportedLayer) {
+  Rng rng(6);
+  nn::Sequential net;
+  net.Emplace<nn::Relu>();
+  net.Emplace<nn::Dense>(std::int64_t{4}, std::int64_t{2}, rng,
+                         nn::DenseOptions{.binary = true});
+  EXPECT_THROW(CompileClassifier(net, 0), std::invalid_argument);
+}
+
+TEST(Compile, RejectsModelWithoutOutput) {
+  Rng rng(7);
+  nn::Sequential net;
+  net.Emplace<nn::SignSte>();
+  EXPECT_THROW(CompileClassifier(net, 0), std::invalid_argument);
+  EXPECT_THROW(CompileClassifier(net, 5), std::invalid_argument);
+}
+
+TEST(ForwardPrefix, RunsExactlyTheRequestedLayers) {
+  Rng rng(8);
+  nn::Sequential net;
+  net.Emplace<nn::Dense>(std::int64_t{4}, std::int64_t{4}, rng);
+  net.Emplace<nn::Relu>();
+  net.Emplace<nn::Dense>(std::int64_t{4}, std::int64_t{2}, rng);
+  Tensor x({3, 4});
+  rng.FillNormal(x, 0.0f, 1.0f);
+  const Tensor full = ForwardPrefix(net, x, 3);
+  EXPECT_EQ(full.shape(), (Shape{3, 2}));
+  const Tensor partial = ForwardPrefix(net, x, 1);
+  EXPECT_EQ(partial.shape(), (Shape{3, 4}));
+  EXPECT_THROW(ForwardPrefix(net, x, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrambnn::core

@@ -1,0 +1,101 @@
+#include "core/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rrambnn::core {
+namespace {
+
+BnnModel MakeModel(std::int64_t in, std::int64_t hidden, std::int64_t classes) {
+  BnnModel model;
+  BnnDenseLayer h;
+  h.weights = BitMatrix(hidden, in);
+  h.thresholds.assign(static_cast<std::size_t>(hidden), 0);
+  model.AddHidden(std::move(h));
+  BnnOutputLayer out;
+  out.weights = BitMatrix(classes, hidden);
+  out.scale.assign(static_cast<std::size_t>(classes), 1.0f);
+  out.offset.assign(static_cast<std::size_t>(classes), 0.0f);
+  model.SetOutput(std::move(out));
+  return model;
+}
+
+TEST(FaultInjection, ZeroBerFlipsNothing) {
+  BnnModel model = MakeModel(64, 32, 2);
+  Rng rng(1);
+  const FaultInjectionReport r = InjectWeightFaults(model, 0.0, rng);
+  EXPECT_EQ(r.flipped_bits, 0);
+  EXPECT_EQ(r.total_bits, 64 * 32 + 32 * 2);
+}
+
+TEST(FaultInjection, FlipCountTracksBer) {
+  BnnModel model = MakeModel(256, 128, 4);
+  Rng rng(2);
+  const double ber = 0.05;
+  const FaultInjectionReport r = InjectWeightFaults(model, ber, rng);
+  const double expected = ber * static_cast<double>(r.total_bits);
+  EXPECT_NEAR(static_cast<double>(r.flipped_bits), expected,
+              4.0 * std::sqrt(expected));
+}
+
+TEST(FaultInjection, FlipsActuallyChangeWeights) {
+  BitMatrix m(16, 16);  // all -1
+  Rng rng(3);
+  const std::int64_t flips = InjectFaults(m, 0.5, rng);
+  std::int64_t plus = 0;
+  for (std::int64_t r = 0; r < 16; ++r) {
+    for (std::int64_t c = 0; c < 16; ++c) {
+      if (m.Get(r, c) == +1) ++plus;
+    }
+  }
+  EXPECT_EQ(plus, flips);
+  EXPECT_GT(plus, 80);
+  EXPECT_LT(plus, 176);
+}
+
+TEST(FaultInjection, BerOneFlipsEverything) {
+  BitMatrix m(8, 8);
+  Rng rng(4);
+  EXPECT_EQ(InjectFaults(m, 1.0, rng), 64);
+  for (std::int64_t r = 0; r < 8; ++r) {
+    for (std::int64_t c = 0; c < 8; ++c) EXPECT_EQ(m.Get(r, c), +1);
+  }
+}
+
+TEST(FaultInjection, Validation) {
+  BitMatrix m(4, 4);
+  Rng rng(5);
+  EXPECT_THROW(InjectFaults(m, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(InjectFaults(m, 1.5, rng), std::invalid_argument);
+}
+
+TEST(FaultInjection, SmallBerRarelyChangesPredictions) {
+  // The BNN robustness property underpinning the paper's ECC-less design:
+  // at 1e-4-class BER (2T2R territory), predictions are essentially stable.
+  BnnModel clean = MakeModel(128, 64, 2);
+  Rng wrng(6);
+  // Random weights for a nontrivial decision boundary.
+  for (auto& layer : clean.hidden()) {
+    for (std::int64_t r = 0; r < layer.weights.rows(); ++r) {
+      for (std::int64_t c = 0; c < layer.weights.cols(); ++c) {
+        layer.weights.Set(r, c, wrng.Bernoulli(0.5) ? +1 : -1);
+      }
+    }
+  }
+  Tensor x({50, 128});
+  wrng.FillNormal(x, 0.0f, 1.0f);
+  const auto before = clean.PredictBatch(x);
+  BnnModel faulty = clean;
+  Rng frng(7);
+  (void)InjectWeightFaults(faulty, 1e-4, frng);
+  const auto after = faulty.PredictBatch(x);
+  std::int64_t changed = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) ++changed;
+  }
+  EXPECT_LE(changed, 2);
+}
+
+}  // namespace
+}  // namespace rrambnn::core

@@ -1,0 +1,81 @@
+// Table IV arithmetic. The EEG row's published numbers (1.17 MB / 305 KB,
+// savings 64 % / 57.8 %) must come out of the analyzer on the paper-scale
+// model.
+#include "core/memory_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "models/eeg_model.h"
+#include "models/mobilenet.h"
+
+namespace rrambnn::core {
+namespace {
+
+TEST(MemoryAnalysis, EegPaperRowMatchesTableIV) {
+  Rng rng(1);
+  auto cfg = models::EegNetConfig::PaperScale();
+  auto built = models::BuildEegNet(cfg, rng);
+  const MemoryReport r = AnalyzeMemory(built.net, built.classifier_start);
+  // ~0.31 M total parameters, ~0.2 M in the classifier.
+  EXPECT_NEAR(static_cast<double>(r.total_params), 0.31e6, 0.01e6);
+  EXPECT_NEAR(static_cast<double>(r.classifier_params), 0.2e6, 0.01e6);
+  // 1.17 MB at 32 bit (binary MiB), 305 KB at 8 bit (the paper's Table IV
+  // mixes binary MB with decimal KB; both match our parameter count).
+  EXPECT_NEAR(r.bytes_fp32 / (1024.0 * 1024.0), 1.17, 0.02);
+  EXPECT_NEAR(r.bytes_int8 / 1000.0, 305.0, 6.0);
+  // Savings: 64 % vs fp32, 57.8 % vs int8.
+  EXPECT_NEAR(r.saving_vs_fp32, 0.64, 0.015);
+  EXPECT_NEAR(r.saving_vs_int8, 0.578, 0.015);
+}
+
+TEST(MemoryAnalysis, MobileNetPaperRowMatchesTableIV) {
+  Rng rng(2);
+  auto cfg = models::MobileNetConfig::PaperScale();
+  auto built = models::BuildMobileNetV1(cfg, rng);
+  const MemoryReport r = AnalyzeMemory(built.net, built.classifier_start);
+  // 4.2 M params, 1 M classifier (1024*1000 + biases), 16.2 MB at fp32.
+  EXPECT_NEAR(static_cast<double>(r.total_params), 4.2e6, 0.1e6);
+  EXPECT_NEAR(static_cast<double>(r.classifier_params), 1.025e6, 0.01e6);
+  EXPECT_NEAR(r.bytes_fp32 / (1024.0 * 1024.0), 16.2, 0.3);
+}
+
+TEST(MemoryAnalysis, MobileNetBinaryClassifierIs696KB) {
+  Rng rng(3);
+  auto cfg = models::MobileNetConfig::PaperScale();
+  cfg.binary_classifier = true;
+  auto built = models::BuildMobileNetV1(cfg, rng);
+  std::int64_t clf_params = 0;
+  for (std::size_t i = built.classifier_start; i < built.net.size(); ++i) {
+    clf_params += built.net[i].NumParams();
+  }
+  // The paper: "two layers of 5.7M binary parameters (696KB)".
+  EXPECT_NEAR(static_cast<double>(clf_params), 5.7e6, 0.1e6);
+  EXPECT_NEAR(static_cast<double>(clf_params) / 8.0 / 1024.0, 696.0, 15.0);
+}
+
+TEST(MemoryAnalysis, FullBinaryIsOneEighthOfInt8) {
+  Rng rng(4);
+  auto built = models::BuildEegNet(models::EegNetConfig::BenchScale(), rng);
+  const MemoryReport r = AnalyzeMemory(built.net, built.classifier_start);
+  EXPECT_NEAR(r.bytes_full_binary * 8.0, r.bytes_int8, 1.0);
+  EXPECT_NEAR(r.bytes_fp32, 4.0 * r.bytes_int8, 1.0);
+}
+
+TEST(MemoryAnalysis, SplitAtZeroPutsEverythingInClassifier) {
+  Rng rng(5);
+  auto built = models::BuildEegNet(models::EegNetConfig::BenchScale(), rng);
+  const MemoryReport r = AnalyzeMemory(built.net, 0);
+  EXPECT_EQ(r.feature_params, 0);
+  EXPECT_EQ(r.classifier_params, r.total_params);
+  EXPECT_THROW(AnalyzeMemory(built.net, built.net.size() + 1),
+               std::invalid_argument);
+}
+
+TEST(FormatBytes, HumanReadable) {
+  EXPECT_EQ(FormatBytes(512.0), "512 B");
+  EXPECT_EQ(FormatBytes(305.0 * 1024.0), "305 KB");
+  EXPECT_EQ(FormatBytes(1.17 * 1024.0 * 1024.0), "1.17 MB");
+}
+
+}  // namespace
+}  // namespace rrambnn::core

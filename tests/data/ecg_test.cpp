@@ -1,0 +1,125 @@
+#include "data/ecg_synth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rrambnn::data {
+namespace {
+
+EcgSynthConfig QuietConfig() {
+  EcgSynthConfig c;
+  c.samples = 500;
+  c.sample_rate_hz = 250.0;
+  c.noise_amplitude = 0.0;
+  c.baseline_wander = 0.0;
+  c.beat_jitter = 0.0;
+  c.amplitude_jitter = 0.0;
+  c.heart_rate_jitter_bpm = 0.0;
+  return c;
+}
+
+TEST(EcgSynth, DatasetShapesAndBalance) {
+  Rng rng(1);
+  EcgSynthConfig cfg;
+  cfg.samples = 200;
+  cfg.sample_rate_hz = 100.0;
+  const nn::Dataset d = MakeEcgDataset(cfg, 30, rng);
+  EXPECT_EQ(d.x.shape(), (Shape{30, 12, 200, 1}));
+  d.Validate();
+  std::int64_t ones = 0;
+  for (const auto y : d.y) ones += y;
+  EXPECT_EQ(ones, 15);
+}
+
+TEST(EcgSynth, EinthovenTriangleHolds) {
+  // Kirchhoff on the limb leads: I + III = II, and aVR+aVL+aVF = 0,
+  // exactly, by construction from electrode potentials.
+  Rng rng(2);
+  const Tensor trial = MakeEcgTrial(QuietConfig(), ElectrodeSwap::kNone, rng);
+  for (std::int64_t i = 0; i < trial.dim(1); ++i) {
+    EXPECT_NEAR(trial.at(0, i, 0) + trial.at(2, i, 0), trial.at(1, i, 0),
+                1e-4);
+    EXPECT_NEAR(trial.at(3, i, 0) + trial.at(4, i, 0) + trial.at(5, i, 0),
+                0.0, 1e-4);
+  }
+}
+
+TEST(EcgSynth, RaLaSwapFlipsLeadIAndSwapsIIandIII) {
+  // Same rng state for both trials -> identical physiology, different
+  // cabling. The classic RA/LA swap signature must hold sample-by-sample.
+  Rng rng_a(3), rng_b(3);
+  const EcgSynthConfig cfg = QuietConfig();
+  const Tensor normal = MakeEcgTrial(cfg, ElectrodeSwap::kNone, rng_a);
+  const Tensor swapped = MakeEcgTrial(cfg, ElectrodeSwap::kRaLa, rng_b);
+  for (std::int64_t i = 0; i < cfg.samples; ++i) {
+    EXPECT_NEAR(swapped.at(0, i, 0), -normal.at(0, i, 0), 1e-4);  // I flips
+    EXPECT_NEAR(swapped.at(1, i, 0), normal.at(2, i, 0), 1e-4);   // II = III
+    EXPECT_NEAR(swapped.at(2, i, 0), normal.at(1, i, 0), 1e-4);   // III = II
+    EXPECT_NEAR(swapped.at(3, i, 0), normal.at(4, i, 0), 1e-4);   // aVR=aVL
+    EXPECT_NEAR(swapped.at(4, i, 0), normal.at(3, i, 0), 1e-4);   // aVL=aVR
+    EXPECT_NEAR(swapped.at(5, i, 0), normal.at(5, i, 0), 1e-4);   // aVF same
+    // Precordials reference the (RA,LA-symmetric) Wilson terminal: unchanged.
+    for (std::int64_t v = 6; v < 12; ++v) {
+      EXPECT_NEAR(swapped.at(v, i, 0), normal.at(v, i, 0), 1e-4);
+    }
+  }
+}
+
+TEST(EcgSynth, PrecordialSwapOnlyTouchesChestLeads) {
+  Rng rng_a(4), rng_b(4);
+  const EcgSynthConfig cfg = QuietConfig();
+  const Tensor normal = MakeEcgTrial(cfg, ElectrodeSwap::kNone, rng_a);
+  const Tensor swapped = MakeEcgTrial(cfg, ElectrodeSwap::kV1V6, rng_b);
+  double limb_diff = 0.0, v1_diff = 0.0;
+  for (std::int64_t i = 0; i < cfg.samples; ++i) {
+    for (std::int64_t l = 0; l < 6; ++l) {
+      limb_diff += std::abs(swapped.at(l, i, 0) - normal.at(l, i, 0));
+    }
+    v1_diff += std::abs(swapped.at(6, i, 0) - normal.at(6, i, 0));
+  }
+  EXPECT_LT(limb_diff, 1e-2);
+  EXPECT_GT(v1_diff, 1.0);  // V1 now carries V6's trace
+  // And V1<->V6 are exactly exchanged.
+  for (std::int64_t i = 0; i < cfg.samples; ++i) {
+    EXPECT_NEAR(swapped.at(6, i, 0), normal.at(11, i, 0), 1e-4);
+    EXPECT_NEAR(swapped.at(11, i, 0), normal.at(6, i, 0), 1e-4);
+  }
+}
+
+TEST(EcgSynth, RWavePresentAtExpectedRate) {
+  // Count R peaks in lead II via threshold crossings: ~ heart_rate * dur.
+  EcgSynthConfig cfg = QuietConfig();
+  cfg.samples = 1250;  // 5 s at 250 Hz at 75 bpm -> ~6 beats
+  Rng rng(5);
+  const Tensor trial = MakeEcgTrial(cfg, ElectrodeSwap::kNone, rng);
+  float mx = 0.0f;
+  for (std::int64_t i = 0; i < cfg.samples; ++i) {
+    mx = std::max(mx, trial.at(1, i, 0));
+  }
+  int peaks = 0;
+  bool above = false;
+  for (std::int64_t i = 0; i < cfg.samples; ++i) {
+    const bool now = trial.at(1, i, 0) > 0.6f * mx;
+    if (now && !above) ++peaks;
+    above = now;
+  }
+  EXPECT_GE(peaks, 5);
+  EXPECT_LE(peaks, 8);
+}
+
+TEST(EcgSynth, Validation) {
+  Rng rng(6);
+  EcgSynthConfig bad;
+  bad.samples = 0;
+  EXPECT_THROW(MakeEcgTrial(bad, ElectrodeSwap::kNone, rng),
+               std::invalid_argument);
+  EcgSynthConfig bad_rate;
+  bad_rate.heart_rate_jitter_bpm = 200.0;
+  EXPECT_THROW(MakeEcgDataset(bad_rate, 4, rng), std::invalid_argument);
+  EXPECT_THROW(MakeEcgDataset(EcgSynthConfig{}, -1, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrambnn::data

@@ -1,0 +1,100 @@
+#include "data/eeg_synth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rrambnn::data {
+namespace {
+
+EegSynthConfig SmallConfig() {
+  EegSynthConfig c;
+  c.channels = 16;
+  c.samples = 160;
+  c.sample_rate_hz = 80.0;
+  return c;
+}
+
+TEST(EegSynth, ShapesAndLabels) {
+  Rng rng(1);
+  const nn::Dataset d = MakeEegDataset(SmallConfig(), 20, rng);
+  EXPECT_EQ(d.x.shape(), (Shape{20, 1, 160, 16}));
+  EXPECT_EQ(d.size(), 20);
+  EXPECT_EQ(d.num_classes, 2);
+  d.Validate();
+  std::int64_t ones = 0;
+  for (const auto y : d.y) ones += y;
+  EXPECT_EQ(ones, 10);  // balanced
+}
+
+TEST(EegSynth, DeterministicForSeed) {
+  Rng a(7), b(7);
+  const nn::Dataset da = MakeEegDataset(SmallConfig(), 6, a);
+  const nn::Dataset db = MakeEegDataset(SmallConfig(), 6, b);
+  EXPECT_EQ(da.x, db.x);
+  EXPECT_EQ(da.y, db.y);
+}
+
+/// Band power of the mu rhythm over a channel, via Goertzel-style projection.
+double MuPower(const nn::Dataset& d, std::int64_t trial, std::int64_t ch,
+               double freq, double fs) {
+  double re = 0.0, im = 0.0;
+  const std::int64_t t = d.x.dim(2);
+  for (std::int64_t i = 0; i < t; ++i) {
+    const double phase = 2.0 * 3.14159265358979 * freq * i / fs;
+    const double v = d.x.at(trial, 0, i, ch);
+    re += v * std::cos(phase);
+    im += v * std::sin(phase);
+  }
+  return (re * re + im * im) / static_cast<double>(t * t);
+}
+
+TEST(EegSynth, ContralateralErdLateralization) {
+  // Left-fist imagery (class 0) suppresses the mu rhythm over the RIGHT
+  // electrode group and vice versa; the class-conditional power ratio over
+  // the two groups must separate the classes.
+  EegSynthConfig cfg = SmallConfig();
+  cfg.erd_attenuation = 0.3;
+  cfg.noise_amplitude = 0.5;
+  cfg.mu_freq_jitter_hz = 0.0;
+  Rng rng(3);
+  const nn::Dataset d = MakeEegDataset(cfg, 60, rng);
+  const auto left_ch = static_cast<std::int64_t>(
+      cfg.left_group_center_frac * (cfg.channels - 1));
+  const auto right_ch = static_cast<std::int64_t>(
+      cfg.right_group_center_frac * (cfg.channels - 1));
+  double ratio_class0 = 0.0, ratio_class1 = 0.0;
+  std::int64_t n0 = 0, n1 = 0;
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    const double pl = MuPower(d, i, left_ch, cfg.mu_freq_hz,
+                              cfg.sample_rate_hz);
+    const double pr = MuPower(d, i, right_ch, cfg.mu_freq_hz,
+                              cfg.sample_rate_hz);
+    const double ratio = std::log(pl / (pr + 1e-12) + 1e-12);
+    if (d.y[static_cast<std::size_t>(i)] == 0) {
+      ratio_class0 += ratio;
+      ++n0;
+    } else {
+      ratio_class1 += ratio;
+      ++n1;
+    }
+  }
+  ratio_class0 /= static_cast<double>(n0);
+  ratio_class1 /= static_cast<double>(n1);
+  // Class 0 (left imagery): right group suppressed -> left/right ratio > 0.
+  EXPECT_GT(ratio_class0, ratio_class1 + 0.5);
+}
+
+TEST(EegSynth, Validation) {
+  Rng rng(4);
+  EegSynthConfig bad = SmallConfig();
+  bad.erd_attenuation = 1.5;
+  EXPECT_THROW(MakeEegDataset(bad, 4, rng), std::invalid_argument);
+  bad = SmallConfig();
+  bad.channels = 0;
+  EXPECT_THROW(MakeEegDataset(bad, 4, rng), std::invalid_argument);
+  EXPECT_THROW(MakeEegDataset(SmallConfig(), 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrambnn::data

@@ -1,0 +1,46 @@
+#include "data/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/rng.h"
+
+namespace rrambnn::data {
+namespace {
+
+TEST(NormalizePerChannel, ZeroMeanUnitStd) {
+  Rng rng(1);
+  Tensor x({3, 4, 8, 2});
+  rng.FillNormal(x, 5.0f, 3.0f);
+  NormalizePerChannel(x);
+  const std::int64_t plane = 16;
+  for (std::int64_t p = 0; p < 12; ++p) {
+    double mean = 0.0, var = 0.0;
+    for (std::int64_t i = 0; i < plane; ++i) mean += x[p * plane + i];
+    mean /= plane;
+    for (std::int64_t i = 0; i < plane; ++i) {
+      var += (x[p * plane + i] - mean) * (x[p * plane + i] - mean);
+    }
+    var /= plane;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(std::sqrt(var), 1.0, 1e-3);
+  }
+}
+
+TEST(NormalizePerChannel, ConstantChannelStaysFinite) {
+  Tensor x({1, 1, 4, 4}, 7.0f);
+  NormalizePerChannel(x);
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(x[i]));
+    EXPECT_NEAR(x[i], 0.0f, 1e-3);
+  }
+}
+
+TEST(NormalizePerChannel, RejectsWrongRank) {
+  Tensor x({4, 4});
+  EXPECT_THROW(NormalizePerChannel(x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrambnn::data

@@ -1,0 +1,60 @@
+#include "data/signal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "tensor/stats.h"
+
+namespace rrambnn::data {
+namespace {
+
+TEST(PinkNoise, ZeroMeanBoundedVariance) {
+  Rng rng(1);
+  PinkNoise pink(rng);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(pink.Next());
+  // 1/f noise has heavy low-frequency content, so the sample mean
+  // converges slowly; a loose bound is the correct expectation.
+  EXPECT_NEAR(Mean(xs), 0.0, 0.3);
+  EXPECT_GT(StdDev(xs), 0.1);
+  EXPECT_LT(StdDev(xs), 2.0);
+}
+
+TEST(PinkNoise, LowFrequenciesDominate) {
+  // 1/f spectrum: the lag-1 autocorrelation of pink noise is strongly
+  // positive, unlike white noise.
+  Rng rng(2);
+  PinkNoise pink(rng);
+  const std::vector<float> x = pink.Generate(20000);
+  double num = 0.0, den = 0.0, mean = 0.0;
+  for (const float v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    num += (x[i] - mean) * (x[i + 1] - mean);
+    den += (x[i] - mean) * (x[i] - mean);
+  }
+  EXPECT_GT(num / den, 0.5);
+}
+
+TEST(GaussianPulse, PeakAndDecay) {
+  EXPECT_FLOAT_EQ(GaussianPulse(5.0, 2.0, 5.0, 1.0), 2.0f);
+  EXPECT_NEAR(GaussianPulse(6.0, 2.0, 5.0, 1.0), 2.0 * std::exp(-0.5), 1e-5);
+  EXPECT_LT(GaussianPulse(15.0, 2.0, 5.0, 1.0), 1e-8);
+}
+
+TEST(AddSine, FrequencyAndAmplitude) {
+  std::vector<float> x(1000, 0.0f);
+  AddSine(x, 100.0, 5.0, 2.0, 0.0);  // 5 Hz at 100 Hz sampling
+  // Peak amplitude ~2, period 20 samples.
+  float mx = 0.0f;
+  for (const float v : x) mx = std::max(mx, v);
+  EXPECT_NEAR(mx, 2.0f, 1e-2);
+  EXPECT_NEAR(x[0], 0.0f, 1e-6);
+  EXPECT_NEAR(x[5], 2.0f, 1e-2);  // quarter period
+  EXPECT_THROW(AddSine(x, 0.0, 5.0, 1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrambnn::data

@@ -1,0 +1,93 @@
+#include "nn/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace rrambnn::nn {
+namespace {
+
+Dataset MakeToy(std::int64_t n, std::int64_t classes) {
+  Dataset d;
+  d.x = Tensor({n, 2});
+  d.num_classes = classes;
+  for (std::int64_t i = 0; i < n; ++i) {
+    d.x[i * 2] = static_cast<float>(i);
+    d.y.push_back(i % classes);
+  }
+  return d;
+}
+
+TEST(Dataset, ValidateCatchesErrors) {
+  Dataset d = MakeToy(4, 2);
+  d.Validate();
+  d.y[0] = 5;
+  EXPECT_THROW(d.Validate(), std::invalid_argument);
+  d.y[0] = 0;
+  d.y.pop_back();
+  EXPECT_THROW(d.Validate(), std::invalid_argument);
+}
+
+TEST(Dataset, SubsetCopiesRowsAndLabels) {
+  const Dataset d = MakeToy(6, 3);
+  const Dataset s = d.Subset({4, 1});
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s.x.at(0, 0), 4.0f);
+  EXPECT_EQ(s.x.at(1, 0), 1.0f);
+  EXPECT_EQ(s.y[0], 1);
+  EXPECT_EQ(s.y[1], 1);
+  EXPECT_THROW(d.Subset({6}), std::invalid_argument);
+}
+
+TEST(StratifiedKFold, PartitionCoversEverySampleOnce) {
+  const Dataset d = MakeToy(103, 2);  // odd size, imbalanced remainder
+  Rng rng(5);
+  const auto folds = StratifiedKFold(d.y, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::int64_t> seen;
+  std::int64_t total = 0;
+  for (const auto& fold : folds) {
+    total += static_cast<std::int64_t>(fold.size());
+    for (const std::int64_t idx : fold) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    }
+  }
+  EXPECT_EQ(total, 103);
+}
+
+TEST(StratifiedKFold, FoldsAreClassBalanced) {
+  // 100 samples, 2 classes 50/50 -> every fold of 5 has 10 of each.
+  const Dataset d = MakeToy(100, 2);
+  Rng rng(6);
+  const auto folds = StratifiedKFold(d.y, 5, rng);
+  for (const auto& fold : folds) {
+    std::int64_t c0 = 0;
+    for (const std::int64_t idx : fold) {
+      if (d.y[static_cast<std::size_t>(idx)] == 0) ++c0;
+    }
+    EXPECT_EQ(c0, 10);
+    EXPECT_EQ(static_cast<std::int64_t>(fold.size()), 20);
+  }
+}
+
+TEST(StratifiedKFold, Validation) {
+  Rng rng(7);
+  EXPECT_THROW(StratifiedKFold({0, 1}, 1, rng), std::invalid_argument);
+  EXPECT_THROW(StratifiedKFold({0, 1}, 3, rng), std::invalid_argument);
+  EXPECT_THROW(StratifiedKFold({0, -1, 1}, 2, rng), std::invalid_argument);
+}
+
+TEST(MakeFold, TrainValDisjointAndComplete) {
+  const Dataset d = MakeToy(60, 3);
+  Rng rng(8);
+  const auto folds = StratifiedKFold(d.y, 5, rng);
+  const FoldSplit split = MakeFold(d, folds, 2);
+  EXPECT_EQ(split.train.size() + split.validation.size(), 60);
+  EXPECT_EQ(split.validation.size(), 12);
+  EXPECT_THROW(MakeFold(d, folds, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrambnn::nn

@@ -1,0 +1,144 @@
+// Numerical validation of every hand-written Backward() against central
+// differences. These are the load-bearing tests of the training framework.
+#include "nn/gradcheck.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/depthwise_conv.h"
+#include "nn/pool.h"
+
+namespace rrambnn::nn {
+namespace {
+
+void ExpectGradOk(Layer& layer, const Shape& in, GradCheckOptions opt = {}) {
+  Rng rng(1234);
+  const GradCheckResult r = CheckLayerGradients(layer, in, rng, opt);
+  EXPECT_TRUE(r.ok) << r.detail << "max input err " << r.max_input_error
+                    << " max param err " << r.max_param_error;
+}
+
+TEST(GradCheck, Dense) {
+  Rng rng(1);
+  Dense layer(6, 4, rng);
+  ExpectGradOk(layer, {3, 6});
+}
+
+TEST(GradCheck, DenseNoBias) {
+  Rng rng(2);
+  Dense layer(5, 3, rng, DenseOptions{.use_bias = false});
+  ExpectGradOk(layer, {2, 5});
+}
+
+TEST(GradCheck, BinaryDenseInputGradient) {
+  // Binary weights: the forward map is linear in x, so the input gradient
+  // is exact; parameter gradients are STE (not numerically checkable).
+  Rng rng(3);
+  Dense layer(6, 4, rng, DenseOptions{.binary = true});
+  ExpectGradOk(layer, {3, 6}, GradCheckOptions{.check_params = false});
+}
+
+TEST(GradCheck, Conv2dBasic) {
+  Rng rng(4);
+  Conv2d layer(2, 3, 3, 3, rng, Conv2dOptions{.pad_h = 1, .pad_w = 1});
+  ExpectGradOk(layer, {2, 2, 5, 5});
+}
+
+TEST(GradCheck, Conv2dStrided) {
+  Rng rng(5);
+  Conv2d layer(1, 2, 3, 2, rng,
+               Conv2dOptions{.stride_h = 2, .stride_w = 2});
+  ExpectGradOk(layer, {2, 1, 7, 6});
+}
+
+TEST(GradCheck, Conv2dTemporalGeometry) {
+  // The EEG-style k x 1 temporal kernel with padding.
+  Rng rng(6);
+  Conv2d layer(1, 2, 5, 1, rng, Conv2dOptions{.pad_h = 2});
+  ExpectGradOk(layer, {2, 1, 9, 3});
+}
+
+TEST(GradCheck, BinaryConv2dInputGradient) {
+  Rng rng(7);
+  Conv2d layer(2, 2, 3, 1, rng, Conv2dOptions{.binary = true});
+  ExpectGradOk(layer, {2, 2, 6, 2}, GradCheckOptions{.check_params = false});
+}
+
+TEST(GradCheck, DepthwiseConv2d) {
+  Rng rng(8);
+  DepthwiseConv2d layer(3, 3, 3, rng,
+                        DepthwiseConv2dOptions{.pad_h = 1, .pad_w = 1});
+  ExpectGradOk(layer, {2, 3, 4, 4});
+}
+
+TEST(GradCheck, DepthwiseConv2dStrided) {
+  Rng rng(9);
+  DepthwiseConv2d layer(2, 3, 3, rng,
+                        DepthwiseConv2dOptions{.stride_h = 2, .stride_w = 2,
+                                               .pad_h = 1, .pad_w = 1});
+  ExpectGradOk(layer, {1, 2, 6, 6});
+}
+
+TEST(GradCheck, AvgPool) {
+  Pool2d layer(PoolKind::kAverage, 3, 1, Pool2dOptions{.stride_h = 2});
+  ExpectGradOk(layer, {2, 2, 9, 2});
+}
+
+TEST(GradCheck, MaxPool) {
+  // Max pooling is piecewise linear; away from ties the gradient is exact.
+  Pool2d layer(PoolKind::kMax, 2, 2);
+  ExpectGradOk(layer, {2, 2, 4, 4});
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  GlobalAvgPool layer;
+  ExpectGradOk(layer, {3, 4, 3, 3});
+}
+
+TEST(GradCheck, BatchNormDenseTraining) {
+  BatchNorm layer(5);
+  ExpectGradOk(layer, {8, 5});
+}
+
+TEST(GradCheck, BatchNormConvTraining) {
+  BatchNorm layer(3);
+  ExpectGradOk(layer, {4, 3, 3, 2});
+}
+
+TEST(GradCheck, BatchNormEvalMode) {
+  BatchNorm layer(4);
+  // Populate running stats first.
+  Rng rng(10);
+  Tensor warm({16, 4});
+  rng.FillNormal(warm, 0.5f, 2.0f);
+  for (int i = 0; i < 10; ++i) (void)layer.Forward(warm, true);
+  ExpectGradOk(layer, {6, 4},
+               GradCheckOptions{.check_params = false, .training = false});
+}
+
+TEST(GradCheck, Relu) {
+  Relu layer;
+  ExpectGradOk(layer, {4, 10});
+}
+
+TEST(GradCheck, HardTanhInterior) {
+  // Check in a region away from the +/-1 kinks.
+  HardTanh layer;
+  Rng rng(11);
+  Tensor x({3, 8});
+  rng.FillUniform(x, -0.8f, 0.8f);
+  const Tensor y0 = layer.Forward(x, true);
+  Tensor proj(y0.shape());
+  rng.FillNormal(proj, 0.0f, 1.0f);
+  (void)layer.Forward(x, true);
+  const Tensor gx = layer.Backward(proj);
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(gx[i], proj[i]);  // identity inside the linear region
+  }
+}
+
+}  // namespace
+}  // namespace rrambnn::nn

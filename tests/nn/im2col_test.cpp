@@ -1,0 +1,116 @@
+#include "nn/im2col.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace rrambnn::nn {
+namespace {
+
+TEST(ConvGeometry, OutputDims) {
+  ConvGeometry g{.in_channels = 1, .in_h = 960, .in_w = 64,
+                 .kernel_h = 30, .kernel_w = 1, .stride_h = 1,
+                 .stride_w = 1, .pad_h = 15, .pad_w = 0};
+  g.Validate();
+  // Table I first row: 960 -> 961 with pad 15.
+  EXPECT_EQ(g.OutH(), 961);
+  EXPECT_EQ(g.OutW(), 64);
+}
+
+TEST(ConvGeometry, PoolDims) {
+  // Table I average pool: 961 -> 63 with k=30, stride 15.
+  ConvGeometry g{.in_channels = 1, .in_h = 961, .in_w = 1,
+                 .kernel_h = 30, .kernel_w = 1, .stride_h = 15,
+                 .stride_w = 1};
+  EXPECT_EQ(g.OutH(), 63);
+}
+
+TEST(ConvGeometry, ValidationErrors) {
+  ConvGeometry g{.in_channels = 1, .in_h = 4, .in_w = 4,
+                 .kernel_h = 9, .kernel_w = 1};
+  EXPECT_THROW(g.Validate(), std::invalid_argument);
+  g.kernel_h = 0;
+  EXPECT_THROW(g.Validate(), std::invalid_argument);
+  g = ConvGeometry{.in_channels = 0, .in_h = 4, .in_w = 4};
+  EXPECT_THROW(g.Validate(), std::invalid_argument);
+  g = ConvGeometry{.in_channels = 1, .in_h = 4, .in_w = 4, .pad_h = -1};
+  EXPECT_THROW(g.Validate(), std::invalid_argument);
+}
+
+TEST(Im2Col, IdentityKernel) {
+  // 1x1 kernel: im2col is the identity layout.
+  ConvGeometry g{.in_channels = 2, .in_h = 2, .in_w = 2,
+                 .kernel_h = 1, .kernel_w = 1};
+  const std::vector<float> x{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<float> cols(static_cast<std::size_t>(g.PatchSize() *
+                                                   g.NumPatches()));
+  Im2Col(x.data(), g, cols.data());
+  EXPECT_EQ(cols, x);
+}
+
+TEST(Im2Col, KnownPatch) {
+  // Single channel 3x3, kernel 2x2, no pad: 4 patches of 4 taps.
+  ConvGeometry g{.in_channels = 1, .in_h = 3, .in_w = 3,
+                 .kernel_h = 2, .kernel_w = 2};
+  const std::vector<float> x{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> cols(static_cast<std::size_t>(16));
+  Im2Col(x.data(), g, cols.data());
+  // Row 0 = tap (0,0): top-left of each patch.
+  EXPECT_EQ(cols[0], 1);
+  EXPECT_EQ(cols[1], 2);
+  EXPECT_EQ(cols[2], 4);
+  EXPECT_EQ(cols[3], 5);
+  // Row 3 = tap (1,1): bottom-right of each patch.
+  EXPECT_EQ(cols[12], 5);
+  EXPECT_EQ(cols[15], 9);
+}
+
+TEST(Im2Col, ZeroPadding) {
+  ConvGeometry g{.in_channels = 1, .in_h = 2, .in_w = 2,
+                 .kernel_h = 3, .kernel_w = 3, .stride_h = 1,
+                 .stride_w = 1, .pad_h = 1, .pad_w = 1};
+  const std::vector<float> x{1, 2, 3, 4};
+  std::vector<float> cols(static_cast<std::size_t>(9 * 4));
+  Im2Col(x.data(), g, cols.data());
+  // Patch at output (0,0), tap (0,0) looks at input (-1,-1): zero.
+  EXPECT_EQ(cols[0], 0.0f);
+  // Tap (1,1) of patch (0,0) is input (0,0) = 1.
+  EXPECT_EQ(cols[4 * 4 + 0], 1.0f);
+}
+
+TEST(Col2Im, AdjointOfIm2Col) {
+  // <Im2Col(x), c> == <x, Col2Im(c)> for random x, c (adjoint property,
+  // which is exactly what the conv backward pass needs).
+  ConvGeometry g{.in_channels = 2, .in_h = 5, .in_w = 4,
+                 .kernel_h = 3, .kernel_w = 2, .stride_h = 2,
+                 .stride_w = 1, .pad_h = 1, .pad_w = 0};
+  g.Validate();
+  const std::int64_t xs = g.in_channels * g.in_h * g.in_w;
+  const std::int64_t cs = g.PatchSize() * g.NumPatches();
+  std::vector<float> x(static_cast<std::size_t>(xs));
+  std::vector<float> c(static_cast<std::size_t>(cs));
+  for (std::int64_t i = 0; i < xs; ++i) {
+    x[static_cast<std::size_t>(i)] = static_cast<float>((i * 7 % 13) - 6);
+  }
+  for (std::int64_t i = 0; i < cs; ++i) {
+    c[static_cast<std::size_t>(i)] = static_cast<float>((i * 5 % 11) - 5);
+  }
+  std::vector<float> ax(static_cast<std::size_t>(cs), 0.0f);
+  Im2Col(x.data(), g, ax.data());
+  std::vector<float> atc(static_cast<std::size_t>(xs), 0.0f);
+  Col2Im(c.data(), g, atc.data());
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < cs; ++i) {
+    lhs += static_cast<double>(ax[static_cast<std::size_t>(i)]) *
+           c[static_cast<std::size_t>(i)];
+  }
+  for (std::int64_t i = 0; i < xs; ++i) {
+    rhs += static_cast<double>(x[static_cast<std::size_t>(i)]) *
+           atc[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-6);
+}
+
+}  // namespace
+}  // namespace rrambnn::nn

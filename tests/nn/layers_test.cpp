@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/depthwise_conv.h"
+#include "nn/dropout.h"
+#include "nn/init.h"
+#include "nn/pool.h"
+
+namespace rrambnn::nn {
+namespace {
+
+TEST(SignBin, ZeroMapsToPlusOne) {
+  EXPECT_EQ(SignBin(0.0f), 1.0f);
+  EXPECT_EQ(SignBin(-0.0f), 1.0f);
+  EXPECT_EQ(SignBin(3.0f), 1.0f);
+  EXPECT_EQ(SignBin(-0.001f), -1.0f);
+}
+
+TEST(Dense, ForwardMatchesManual) {
+  Rng rng(1);
+  Dense d(2, 2, rng);
+  d.weight().value = Tensor::FromList2d({{1.0f, 2.0f}, {-1.0f, 0.5f}});
+  d.bias().value = Tensor::FromList({0.5f, -0.5f});
+  const Tensor x = Tensor::FromList2d({{1.0f, 1.0f}});
+  const Tensor y = d.Forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 3.5f);   // 1 + 2 + 0.5
+  EXPECT_FLOAT_EQ(y.at(0, 1), -1.0f);  // -1 + 0.5 - 0.5
+}
+
+TEST(Dense, BinaryForwardUsesSignOfWeights) {
+  Rng rng(1);
+  Dense d(3, 1, rng, DenseOptions{.binary = true, .use_bias = false});
+  d.weight().value = Tensor::FromList2d({{0.2f, -0.7f, 0.0f}});
+  const Tensor x = Tensor::FromList2d({{1.0f, 1.0f, 1.0f}});
+  // sign weights = [+1, -1, +1] -> dot = 1.
+  EXPECT_FLOAT_EQ(d.Forward(x, false).at(0, 0), 1.0f);
+  const Tensor w_eff = d.EffectiveWeight();
+  EXPECT_FLOAT_EQ(w_eff[0], 1.0f);
+  EXPECT_FLOAT_EQ(w_eff[1], -1.0f);
+  EXPECT_FLOAT_EQ(w_eff[2], 1.0f);
+}
+
+TEST(Dense, ShapeValidation) {
+  Rng rng(1);
+  Dense d(4, 2, rng);
+  EXPECT_THROW(d.Forward(Tensor({1, 3}), false), std::invalid_argument);
+  EXPECT_THROW(d.OutputShape({3}), std::invalid_argument);
+  EXPECT_EQ(d.OutputShape({4}), (Shape{2}));
+  EXPECT_THROW(Dense(0, 2, rng), std::invalid_argument);
+}
+
+TEST(Conv2d, ForwardMatchesManual1x1) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 1, 1, rng);
+  conv.weight().value = Tensor({1, 1}, 2.0f);
+  conv.bias().value = Tensor({1}, 1.0f);
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1.0f; x[1] = 2.0f; x[2] = 3.0f; x[3] = 4.0f;
+  const Tensor y = conv.Forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+  EXPECT_FLOAT_EQ(y[3], 9.0f);
+}
+
+TEST(Conv2d, TemporalKernelShape) {
+  Rng rng(1);
+  // Table I layer 1: 1 -> 40 channels, kernel 30x1, pad 15x0.
+  Conv2d conv(1, 40, 30, 1, rng, Conv2dOptions{.pad_h = 15});
+  EXPECT_EQ(conv.OutputShape({1, 960, 64}), (Shape{40, 961, 64}));
+  // Weight count: 40 * 30.
+  EXPECT_EQ(conv.weight().value.size(), 1200);
+}
+
+TEST(Conv2d, CrossCheckAgainstNaive) {
+  Rng rng(5);
+  Conv2d conv(2, 3, 3, 2, rng,
+              Conv2dOptions{.stride_h = 2, .stride_w = 1, .pad_h = 1});
+  Tensor x({2, 2, 5, 4});
+  rng.FillNormal(x, 0.0f, 1.0f);
+  const Tensor y = conv.Forward(x, false);
+  // Naive direct convolution.
+  const auto& w = conv.weight().value;  // [3, 2*3*2]
+  for (std::int64_t n = 0; n < 2; ++n) {
+    for (std::int64_t oc = 0; oc < 3; ++oc) {
+      for (std::int64_t oy = 0; oy < y.dim(2); ++oy) {
+        for (std::int64_t ox = 0; ox < y.dim(3); ++ox) {
+          float acc = conv.bias().value[oc];
+          std::int64_t tap = 0;
+          for (std::int64_t c = 0; c < 2; ++c) {
+            for (std::int64_t ky = 0; ky < 3; ++ky) {
+              for (std::int64_t kx = 0; kx < 2; ++kx, ++tap) {
+                const std::int64_t iy = oy * 2 + ky - 1;
+                const std::int64_t ix = ox + kx;
+                if (iy < 0 || iy >= 5 || ix < 0 || ix >= 4) continue;
+                acc += w[oc * 12 + tap] * x.at(n, c, iy, ix);
+              }
+            }
+          }
+          EXPECT_NEAR(y.at(n, oc, oy, ox), acc, 1e-4);
+        }
+      }
+    }
+  }
+}
+
+TEST(DepthwiseConv2d, ChannelsIndependent) {
+  Rng rng(2);
+  DepthwiseConv2d dw(2, 3, 3, rng,
+                     DepthwiseConv2dOptions{.pad_h = 1, .pad_w = 1,
+                                            .use_bias = false});
+  Tensor x({1, 2, 4, 4});
+  // Only channel 0 has content; channel 1 output must be zero.
+  for (std::int64_t i = 0; i < 16; ++i) x[i] = 1.0f;
+  const Tensor y = dw.Forward(x, false);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(y[16 + i], 0.0f);
+  }
+}
+
+TEST(DepthwiseConv2d, OutputShapeAndParams) {
+  Rng rng(2);
+  DepthwiseConv2d dw(8, 3, 3, rng,
+                     DepthwiseConv2dOptions{.stride_h = 2, .stride_w = 2,
+                                            .pad_h = 1, .pad_w = 1});
+  EXPECT_EQ(dw.OutputShape({8, 16, 16}), (Shape{8, 8, 8}));
+  EXPECT_EQ(dw.NumParams(), 8 * 9 + 8);
+}
+
+TEST(MaxPool, ForwardAndRouting) {
+  Pool2d pool(PoolKind::kMax, 2, 1);
+  Tensor x({1, 1, 4, 1});
+  x[0] = 1.0f; x[1] = 5.0f; x[2] = 2.0f; x[3] = 3.0f;
+  const Tensor y = pool.Forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 1}));
+  EXPECT_EQ(y[0], 5.0f);
+  EXPECT_EQ(y[1], 3.0f);
+  // Gradient routes to argmax only.
+  Tensor g({1, 1, 2, 1}, 1.0f);
+  const Tensor gx = pool.Backward(g);
+  EXPECT_EQ(gx[0], 0.0f);
+  EXPECT_EQ(gx[1], 1.0f);
+  EXPECT_EQ(gx[3], 1.0f);
+}
+
+TEST(AvgPool, StridedTableIGeometry) {
+  Pool2d pool(PoolKind::kAverage, 30, 1, Pool2dOptions{.stride_h = 15});
+  EXPECT_EQ(pool.OutputShape({40, 961, 1}), (Shape{40, 63, 1}));
+  Tensor x({1, 1, 30, 1}, 2.0f);
+  EXPECT_FLOAT_EQ(pool.Forward(x, false)[0], 2.0f);
+}
+
+TEST(BatchNorm, NormalizesBatch) {
+  BatchNorm bn(2);
+  Tensor x = Tensor::FromList2d({{1.0f, 10.0f}, {3.0f, 30.0f}});
+  const Tensor y = bn.Forward(x, true);
+  // Per feature: zero mean, unit variance (biased).
+  EXPECT_NEAR(y.at(0, 0) + y.at(1, 0), 0.0f, 1e-5);
+  EXPECT_NEAR(y.at(0, 0), -1.0f, 1e-2);
+  EXPECT_NEAR(y.at(1, 1), 1.0f, 1e-2);
+}
+
+TEST(BatchNorm, RunningStatsConvergeAndEvalUsesThem) {
+  BatchNorm bn(1, BatchNormOptions{.momentum = 0.5f});
+  Tensor x({4, 1});
+  x[0] = 2.0f; x[1] = 4.0f; x[2] = 6.0f; x[3] = 8.0f;  // mean 5, var 5
+  for (int i = 0; i < 20; ++i) (void)bn.Forward(x, true);
+  EXPECT_NEAR(bn.running_mean()[0], 5.0f, 1e-3);
+  EXPECT_NEAR(bn.running_var()[0], 5.0f, 1e-2);
+  Tensor probe({2, 1});
+  probe[0] = 5.0f;
+  probe[1] = 5.0f + std::sqrt(5.0f);
+  const Tensor y = bn.Forward(probe, false);
+  EXPECT_NEAR(y[0], 0.0f, 1e-3);
+  EXPECT_NEAR(y[1], 1.0f, 1e-3);
+}
+
+TEST(BatchNorm, PerChannelOnConvTensors) {
+  BatchNorm bn(2);
+  Tensor x({2, 2, 2, 2});
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(i);
+  }
+  const Tensor y = bn.Forward(x, true);
+  // Each channel normalized over N*H*W = 8 elements.
+  double sum_c0 = 0.0;
+  for (std::int64_t n = 0; n < 2; ++n) {
+    for (std::int64_t s = 0; s < 4; ++s) {
+      sum_c0 += y[n * 8 + s];
+    }
+  }
+  EXPECT_NEAR(sum_c0, 0.0, 1e-4);
+}
+
+TEST(BatchNorm, RejectsWrongShapes) {
+  BatchNorm bn(4);
+  EXPECT_THROW(bn.Forward(Tensor({2, 3}), true), std::invalid_argument);
+  EXPECT_THROW(bn.Forward(Tensor({2, 3, 4}), true), std::invalid_argument);
+  EXPECT_THROW(bn.Forward(Tensor({1, 4}), true), std::invalid_argument)
+      << "single-sample batch statistics are degenerate";
+}
+
+TEST(Activations, ReluForwardBackward) {
+  Relu relu;
+  Tensor x = Tensor::FromList({-1.0f, 0.0f, 2.0f});
+  x = x.Reshape({1, 3});
+  const Tensor y = relu.Forward(x, true);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  const Tensor g = relu.Backward(Tensor({1, 3}, 1.0f));
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[1], 0.0f);  // derivative at 0 treated as 0
+  EXPECT_EQ(g[2], 1.0f);
+}
+
+TEST(Activations, HardTanhClamps) {
+  HardTanh ht;
+  Tensor x = Tensor::FromList({-2.0f, 0.5f, 3.0f}).Reshape({1, 3});
+  const Tensor y = ht.Forward(x, true);
+  EXPECT_EQ(y[0], -1.0f);
+  EXPECT_EQ(y[1], 0.5f);
+  EXPECT_EQ(y[2], 1.0f);
+  const Tensor g = ht.Backward(Tensor({1, 3}, 2.0f));
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[1], 2.0f);
+  EXPECT_EQ(g[2], 0.0f);
+}
+
+TEST(Activations, SignSteSemantics) {
+  SignSte sign;
+  Tensor x = Tensor::FromList({-0.5f, 0.0f, 0.5f, 2.0f}).Reshape({1, 4});
+  const Tensor y = sign.Forward(x, true);
+  EXPECT_EQ(y[0], -1.0f);
+  EXPECT_EQ(y[1], 1.0f);  // sign(0) = +1 convention
+  EXPECT_EQ(y[2], 1.0f);
+  // STE: gradient passes inside [-1, 1], blocked outside.
+  const Tensor g = sign.Backward(Tensor({1, 4}, 3.0f));
+  EXPECT_EQ(g[0], 3.0f);
+  EXPECT_EQ(g[2], 3.0f);
+  EXPECT_EQ(g[3], 0.0f);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten flat;
+  Tensor x({2, 3, 4, 5});
+  const Tensor y = flat.Forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 60}));
+  const Tensor g = flat.Backward(Tensor({2, 60}));
+  EXPECT_EQ(g.shape(), x.shape());
+  EXPECT_EQ(flat.OutputShape({3, 4, 5}), (Shape{60}));
+}
+
+TEST(Dropout, InferenceIsIdentity) {
+  Rng rng(1);
+  Dropout drop(0.5f, rng);
+  Tensor x({4, 4}, 3.0f);
+  EXPECT_EQ(drop.Forward(x, false), x);
+}
+
+TEST(Dropout, TrainingMaskAndScaling) {
+  Rng rng(1);
+  Dropout drop(0.8f, rng);
+  Tensor x({100, 100}, 1.0f);
+  const Tensor y = drop.Forward(x, true);
+  std::int64_t kept = 0;
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    if (y[i] != 0.0f) {
+      EXPECT_NEAR(y[i], 1.0f / 0.8f, 1e-5);  // inverted dropout scaling
+      ++kept;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / y.size(), 0.8, 0.02);
+  // Backward applies the identical mask.
+  const Tensor g = drop.Backward(Tensor({100, 100}, 1.0f));
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_EQ(g[i] == 0.0f, y[i] == 0.0f);
+  }
+}
+
+TEST(Dropout, RejectsBadKeepProb) {
+  Rng rng(1);
+  EXPECT_THROW(Dropout(0.0f, rng), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.5f, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrambnn::nn

@@ -1,0 +1,99 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rrambnn::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogits) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits({3, 4});  // all zeros -> uniform probs
+  const double l = loss.Forward(logits, {0, 1, 2});
+  EXPECT_NEAR(l, std::log(4.0), 1e-6);
+  for (std::int64_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(loss.probabilities()[i], 0.25f, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectIsLowLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 2});
+  logits[0] = 10.0f;
+  logits[1] = -10.0f;
+  EXPECT_LT(loss.Forward(logits, {0}), 1e-6);
+  EXPECT_GT(loss.Forward(logits, {1}), 10.0);
+}
+
+TEST(SoftmaxCrossEntropy, BackwardIsSoftmaxMinusOneHot) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 3});
+  logits[0] = 1.0f; logits[1] = 2.0f; logits[2] = 3.0f;
+  logits[3] = 0.0f; logits[4] = 0.0f; logits[5] = 0.0f;
+  (void)loss.Forward(logits, {2, 0});
+  const Tensor g = loss.Backward();
+  // Row sums of (softmax - onehot)/N are zero.
+  EXPECT_NEAR(g[0] + g[1] + g[2], 0.0f, 1e-6);
+  EXPECT_NEAR(g[3] + g[4] + g[5], 0.0f, 1e-6);
+  // Correct-class gradient is negative.
+  EXPECT_LT(g[2], 0.0f);
+  EXPECT_LT(g[3], 0.0f);
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesNumerical) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 3});
+  for (std::int64_t i = 0; i < 6; ++i) {
+    logits[i] = 0.3f * static_cast<float>(i) - 0.7f;
+  }
+  const std::vector<std::int64_t> labels{1, 2};
+  (void)loss.Forward(logits, labels);
+  const Tensor g = loss.Backward();
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < 6; ++i) {
+    SoftmaxCrossEntropy probe;
+    const float saved = logits[i];
+    logits[i] = saved + static_cast<float>(eps);
+    const double lp = probe.Forward(logits, labels);
+    logits[i] = saved - static_cast<float>(eps);
+    const double lm = probe.Forward(logits, labels);
+    logits[i] = saved;
+    EXPECT_NEAR(g[i], (lp - lm) / (2 * eps), 1e-4);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, NumericallyStableForHugeLogits) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 2});
+  logits[0] = 5000.0f;
+  logits[1] = -5000.0f;
+  const double l = loss.Forward(logits, {0});
+  EXPECT_TRUE(std::isfinite(l));
+  EXPECT_LT(l, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, Validation) {
+  SoftmaxCrossEntropy loss;
+  EXPECT_THROW(loss.Forward(Tensor({2}), {0, 1}), std::invalid_argument);
+  EXPECT_THROW(loss.Forward(Tensor({2, 2}), {0}), std::invalid_argument);
+  EXPECT_THROW(loss.Forward(Tensor({1, 2}), {5}), std::invalid_argument);
+  SoftmaxCrossEntropy fresh;
+  EXPECT_THROW(fresh.Backward(), std::invalid_argument);
+}
+
+TEST(TopKAccuracy, Basics) {
+  Tensor logits({2, 4});
+  // Row 0 ranking: 3 > 2 > 1 > 0. Row 1 ranking: 0 > 2 > 3 > 1.
+  logits[0] = 0.0f; logits[1] = 1.0f; logits[2] = 2.0f; logits[3] = 3.0f;
+  logits[4] = 9.0f; logits[5] = 0.0f; logits[6] = 5.0f; logits[7] = 3.0f;
+  EXPECT_DOUBLE_EQ(TopKAccuracy(logits, {3, 0}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(TopKAccuracy(logits, {2, 1}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(TopKAccuracy(logits, {2, 1}, 2), 0.5);
+  EXPECT_DOUBLE_EQ(TopKAccuracy(logits, {0, 1}, 4), 1.0);
+  EXPECT_DOUBLE_EQ(ArgmaxAccuracy(logits, {3, 1}), 0.5);
+}
+
+}  // namespace
+}  // namespace rrambnn::nn

@@ -1,0 +1,97 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rrambnn::nn {
+namespace {
+
+Param MakeParam(std::initializer_list<float> values, bool latent_binary = false) {
+  Param p;
+  p.value = Tensor::FromList(values);
+  p.grad = Tensor(p.value.shape());
+  p.latent_binary = latent_binary;
+  return p;
+}
+
+TEST(Sgd, PlainStep) {
+  Param p = MakeParam({1.0f, -2.0f});
+  p.grad[0] = 0.5f;
+  p.grad[1] = -1.0f;
+  Sgd opt({&p}, /*lr=*/0.1f);
+  opt.Step();
+  EXPECT_FLOAT_EQ(p.value[0], 0.95f);
+  EXPECT_FLOAT_EQ(p.value[1], -1.9f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p = MakeParam({0.0f});
+  Sgd opt({&p}, 0.1f, /*momentum=*/0.9f);
+  p.grad[0] = 1.0f;
+  opt.Step();  // v = -0.1
+  EXPECT_FLOAT_EQ(p.value[0], -0.1f);
+  p.grad[0] = 1.0f;
+  opt.Step();  // v = -0.9*0.1 - 0.1 = -0.19
+  EXPECT_NEAR(p.value[0], -0.29f, 1e-6);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  Param p = MakeParam({1.0f});
+  Sgd opt({&p}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  p.grad[0] = 0.0f;
+  opt.Step();
+  EXPECT_FLOAT_EQ(p.value[0], 0.95f);
+}
+
+TEST(Sgd, ClipsLatentBinaryWeights) {
+  Param p = MakeParam({0.95f, -0.95f}, /*latent_binary=*/true);
+  Sgd opt({&p}, 1.0f);
+  p.grad[0] = -1.0f;  // would push to 1.95
+  p.grad[1] = 1.0f;   // would push to -1.95
+  opt.Step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f);
+  EXPECT_FLOAT_EQ(p.value[1], -1.0f);
+}
+
+TEST(Adam, FirstStepMagnitudeIsLr) {
+  // With bias correction, |first step| ~= lr regardless of gradient scale.
+  Param p = MakeParam({0.0f});
+  Adam opt({&p}, 0.01f);
+  p.grad[0] = 123.0f;
+  opt.Step();
+  EXPECT_NEAR(p.value[0], -0.01f, 1e-4);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w - 3)^2.
+  Param p = MakeParam({0.0f});
+  Adam opt({&p}, 0.1f);
+  for (int i = 0; i < 500; ++i) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    opt.Step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 1e-2);
+}
+
+TEST(Adam, ClipsLatentBinaryWeights) {
+  Param p = MakeParam({0.999f}, true);
+  Adam opt({&p}, 0.5f);
+  p.grad[0] = -10.0f;
+  opt.Step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f);
+}
+
+TEST(Optimizer, ZeroGradClearsAll) {
+  Param a = MakeParam({1.0f});
+  Param b = MakeParam({2.0f, 3.0f});
+  a.grad[0] = 5.0f;
+  b.grad[1] = 7.0f;
+  Sgd opt({&a, &b}, 0.1f);
+  opt.ZeroGrad();
+  EXPECT_EQ(a.grad[0], 0.0f);
+  EXPECT_EQ(b.grad[1], 0.0f);
+}
+
+}  // namespace
+}  // namespace rrambnn::nn

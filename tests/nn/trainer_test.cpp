@@ -1,0 +1,141 @@
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/dense.h"
+
+namespace rrambnn::nn {
+namespace {
+
+/// Two Gaussian blobs in 2-D: linearly separable.
+Dataset MakeBlobs(std::int64_t n, Rng& rng) {
+  Dataset d;
+  d.x = Tensor({n, 2});
+  d.num_classes = 2;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t label = i % 2;
+    const float cx = label == 0 ? -1.5f : 1.5f;
+    d.x[i * 2] = cx + rng.Normal(0.0f, 0.7f);
+    d.x[i * 2 + 1] = rng.Normal(0.0f, 0.7f);
+    d.y.push_back(label);
+  }
+  return d;
+}
+
+Sequential MakeMlp(Rng& rng) {
+  Sequential net;
+  net.Emplace<Dense>(std::int64_t{2}, std::int64_t{16}, rng);
+  net.Emplace<Relu>();
+  net.Emplace<Dense>(std::int64_t{16}, std::int64_t{2}, rng);
+  return net;
+}
+
+TEST(Fit, LearnsSeparableBlobs) {
+  Rng rng(1);
+  const Dataset train = MakeBlobs(200, rng);
+  const Dataset val = MakeBlobs(80, rng);
+  Sequential net = MakeMlp(rng);
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.batch_size = 16;
+  cfg.learning_rate = 1e-2f;
+  const FitResult result = Fit(net, train, val, cfg);
+  EXPECT_GT(result.final_val_accuracy, 0.9);
+  EXPECT_EQ(result.history.size(), 30u);
+  // Loss must come down substantially.
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss * 0.5);
+}
+
+TEST(Fit, DeterministicForSeed) {
+  Rng rng(2);
+  const Dataset train = MakeBlobs(100, rng);
+  const Dataset val = MakeBlobs(40, rng);
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  cfg.seed = 77;
+  Rng m1(9), m2(9);
+  Sequential a = MakeMlp(m1);
+  Sequential b = MakeMlp(m2);
+  const FitResult ra = Fit(a, train, val, cfg);
+  const FitResult rb = Fit(b, train, val, cfg);
+  for (std::size_t e = 0; e < ra.history.size(); ++e) {
+    EXPECT_DOUBLE_EQ(ra.history[e].train_loss, rb.history[e].train_loss);
+    EXPECT_DOUBLE_EQ(ra.history[e].val_accuracy, rb.history[e].val_accuracy);
+  }
+}
+
+TEST(Fit, SgdAlsoLearns) {
+  Rng rng(3);
+  const Dataset train = MakeBlobs(200, rng);
+  const Dataset val = MakeBlobs(80, rng);
+  Sequential net = MakeMlp(rng);
+  TrainConfig cfg;
+  cfg.epochs = 40;
+  cfg.optimizer = OptimizerKind::kSgd;
+  cfg.learning_rate = 5e-2f;
+  cfg.momentum = 0.9f;
+  EXPECT_GT(Fit(net, train, val, cfg).final_val_accuracy, 0.9);
+}
+
+TEST(Fit, OnEpochCallbackFires) {
+  Rng rng(4);
+  const Dataset train = MakeBlobs(60, rng);
+  const Dataset val = MakeBlobs(20, rng);
+  Sequential net = MakeMlp(rng);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  int calls = 0;
+  cfg.on_epoch = [&calls](std::int64_t, double, double) { ++calls; };
+  (void)Fit(net, train, val, cfg);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Fit, RejectsBadConfig) {
+  Rng rng(5);
+  const Dataset d = MakeBlobs(20, rng);
+  Sequential net = MakeMlp(rng);
+  TrainConfig cfg;
+  cfg.epochs = 0;
+  EXPECT_THROW(Fit(net, d, d, cfg), std::invalid_argument);
+}
+
+TEST(Evaluate, MatchesManualCount) {
+  Rng rng(6);
+  const Dataset d = MakeBlobs(50, rng);
+  Sequential net = MakeMlp(rng);
+  const double acc = Evaluate(net, d, 16);
+  // Manual evaluation.
+  std::int64_t hits = 0;
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    std::vector<std::int64_t> idx{i};
+    const Dataset one = d.Subset(idx);
+    const Tensor logits = net.Forward(one.x, false);
+    if (logits.Argmax() == one.y[0]) ++hits;
+  }
+  EXPECT_NEAR(acc, static_cast<double>(hits) / d.size(), 1e-9);
+}
+
+TEST(CrossValidate, ReturnsOneAccuracyPerFold) {
+  Rng rng(7);
+  const Dataset d = MakeBlobs(100, rng);
+  TrainConfig cfg;
+  cfg.epochs = 10;
+  cfg.learning_rate = 1e-2f;
+  const std::vector<double> accs = CrossValidate(
+      [](Rng& r) { return MakeMlp(r); }, d, 4, cfg);
+  ASSERT_EQ(accs.size(), 4u);
+  for (const double a : accs) EXPECT_GT(a, 0.75);
+}
+
+TEST(EvaluateTopK, TopNumClassesIsAlwaysPerfect) {
+  Rng rng(8);
+  const Dataset d = MakeBlobs(30, rng);
+  Sequential net = MakeMlp(rng);
+  EXPECT_DOUBLE_EQ(EvaluateTopK(net, d, 2), 1.0);
+}
+
+}  // namespace
+}  // namespace rrambnn::nn

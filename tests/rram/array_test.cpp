@@ -1,0 +1,106 @@
+#include "rram/array.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rrambnn::rram {
+namespace {
+
+DeviceParams FreshParams() {
+  DeviceParams p;
+  p.sense_offset_sigma = 0.0;  // deterministic reads for fresh devices
+  return p;
+}
+
+TEST(RramArray, GeometryAndValidation) {
+  RramArray array(32, 32, FreshParams(), 1);
+  EXPECT_EQ(array.rows(), 32);
+  EXPECT_EQ(array.cols(), 32);
+  EXPECT_EQ(array.num_devices(), 2048);  // the paper's 1K synapse / 2K cell die
+  EXPECT_THROW(array.ReadWeight(32, 0), std::invalid_argument);
+  EXPECT_THROW(array.ReadWeight(0, -1), std::invalid_argument);
+  EXPECT_THROW(RramArray(0, 4, FreshParams(), 1), std::invalid_argument);
+}
+
+TEST(RramArray, ProgramReadRoundTripWholeArray) {
+  RramArray array(16, 16, FreshParams(), 2);
+  for (std::int64_t r = 0; r < 16; ++r) {
+    for (std::int64_t c = 0; c < 16; ++c) {
+      array.ProgramWeight(r, c, ((r + c) % 2 == 0) ? +1 : -1);
+    }
+  }
+  EXPECT_EQ(array.CountReadErrors(), 0);
+}
+
+TEST(RramArray, RowOperations) {
+  RramArray array(4, 8, FreshParams(), 3);
+  std::vector<int> weights{+1, -1, +1, -1, +1, +1, -1, -1};
+  array.ProgramRow(2, weights);
+  EXPECT_EQ(array.ReadRow(2), weights);
+  EXPECT_THROW(array.ProgramRow(0, {+1}), std::invalid_argument);
+}
+
+TEST(RramArray, XnorReadMatchesLogic) {
+  RramArray array(1, 6, FreshParams(), 4);
+  const std::vector<int> weights{+1, +1, -1, -1, +1, -1};
+  const std::vector<int> inputs{+1, -1, +1, -1, +1, +1};
+  array.ProgramRow(0, weights);
+  const std::vector<int> out = array.ReadRowXnor(0, inputs);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(out[i], weights[i] * inputs[i]);
+  }
+  // Popcount = number of agreements = 3 (+1*+1, -1*-1, +1*+1).
+  EXPECT_EQ(array.RowXnorPopcount(0, inputs), 3);
+}
+
+TEST(RramArray, TransactionCountersTrackOps) {
+  RramArray array(4, 4, FreshParams(), 5);
+  std::vector<int> row(4, +1);
+  array.ProgramRow(0, row);
+  EXPECT_EQ(array.program_ops(), 4u);
+  (void)array.ReadRow(0);
+  EXPECT_EQ(array.sense_ops(), 4u);
+  (void)array.RowXnorPopcount(0, row);
+  EXPECT_EQ(array.sense_ops(), 8u);
+}
+
+TEST(RramArray, StressAgesEveryDevice) {
+  RramArray array(2, 2, FreshParams(), 6);
+  array.StressAll(1000);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    for (std::int64_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(array.cell(r, c).bl().cycles(), 1000u);
+      EXPECT_EQ(array.cell(r, c).blb().cycles(), 1000u);
+    }
+  }
+}
+
+TEST(RramArray, ReprogramRestoresStoredWeights) {
+  RramArray array(4, 4, FreshParams(), 7);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    for (std::int64_t c = 0; c < 4; ++c) {
+      array.ProgramWeight(r, c, (r == c) ? +1 : -1);
+    }
+  }
+  array.Reprogram();
+  EXPECT_EQ(array.CountReadErrors(), 0);
+  EXPECT_EQ(array.program_ops(), 32u);
+}
+
+TEST(RramArray, HeavilyAgedArrayShowsErrors) {
+  DeviceParams p = FreshParams();
+  p.weak_prob_ref = 0.05;  // exaggerated aging for a fast statistical test
+  RramArray array(32, 32, p, 8);
+  array.StressAll(static_cast<std::uint64_t>(5e8));
+  for (std::int64_t r = 0; r < 32; ++r) {
+    for (std::int64_t c = 0; c < 32; ++c) {
+      array.ProgramWeight(r, c, +1);
+    }
+  }
+  // p_weak ~ 0.05 * 5^2.8 ~ saturated at 0.2; half of weak events misread.
+  EXPECT_GT(array.CountReadErrors(), 20);
+}
+
+}  // namespace
+}  // namespace rrambnn::rram

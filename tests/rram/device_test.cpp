@@ -1,0 +1,150 @@
+#include "rram/device.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rram/cell.h"
+#include "rram/pcsa.h"
+#include "tensor/stats.h"
+
+namespace rrambnn::rram {
+namespace {
+
+TEST(DeviceParams, WeakProbabilityGrowsWithCycles) {
+  const DeviceParams p;
+  EXPECT_EQ(p.WeakProbability(0.0), 0.0);
+  const double p1 = p.WeakProbability(1e8);
+  const double p7 = p.WeakProbability(7e8);
+  EXPECT_GT(p7, p1);
+  EXPECT_NEAR(p1, p.weak_prob_ref, 1e-12);
+  // Polynomial growth: p(7e8)/p(1e8) = 7^exponent.
+  EXPECT_NEAR(p7 / p1, std::pow(7.0, p.weak_exponent), 1e-6);
+}
+
+TEST(DeviceParams, WeakProbabilitySaturates) {
+  const DeviceParams p;
+  EXPECT_LE(p.WeakProbability(1e15), p.weak_prob_max);
+}
+
+TEST(RramDevice, FreshProgrammingHitsTargetState) {
+  const DeviceParams p;
+  RramDevice dev(p);
+  Rng rng(1);
+  std::vector<double> lrs, hrs;
+  for (int i = 0; i < 2000; ++i) {
+    dev.SetCycles(0);
+    dev.Program(ResistiveState::kLrs, rng);
+    lrs.push_back(dev.log_resistance());
+    dev.SetCycles(0);
+    dev.Program(ResistiveState::kHrs, rng);
+    hrs.push_back(dev.log_resistance());
+  }
+  EXPECT_NEAR(Mean(lrs), p.lrs_log_mean, 0.02);
+  EXPECT_NEAR(StdDev(lrs), p.lrs_log_sigma, 0.02);
+  EXPECT_NEAR(Mean(hrs), p.hrs_log_mean, 0.05);
+  EXPECT_NEAR(StdDev(hrs), p.hrs_log_sigma, 0.03);
+}
+
+TEST(RramDevice, CyclesAccumulate) {
+  const DeviceParams p;
+  RramDevice dev(p);
+  Rng rng(2);
+  dev.Program(ResistiveState::kLrs, rng);
+  dev.Program(ResistiveState::kHrs, rng);
+  EXPECT_EQ(dev.cycles(), 2u);
+  dev.Stress(100);
+  EXPECT_EQ(dev.cycles(), 102u);
+  dev.SetCycles(5);
+  EXPECT_EQ(dev.cycles(), 5u);
+}
+
+TEST(RramDevice, AgedDevicesProduceWeakEvents) {
+  DeviceParams p;
+  p.weak_prob_ref = 0.05;  // exaggerate for test speed
+  RramDevice dev(p);
+  Rng rng(3);
+  int weak = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    dev.SetCycles(static_cast<std::uint64_t>(1e8));
+    dev.Program(ResistiveState::kLrs, rng);
+    if (dev.last_program_weak()) ++weak;
+  }
+  const double expected = p.WeakProbability(1e8 + 1, p.bl_weak_scale);
+  EXPECT_NEAR(weak / static_cast<double>(trials), expected, 0.015);
+}
+
+TEST(Pcsa, SensesCleanPairsCorrectly) {
+  DeviceParams p;
+  p.sense_offset_sigma = 0.0;
+  const Pcsa pcsa(p);
+  Rng rng(4);
+  EXPECT_EQ(pcsa.SensePair(std::log(8e3), std::log(250e3), rng), +1);
+  EXPECT_EQ(pcsa.SensePair(std::log(250e3), std::log(8e3), rng), -1);
+}
+
+TEST(Pcsa, SingleEndedAgainstReference) {
+  DeviceParams p;
+  p.sense_offset_sigma = 0.0;
+  const Pcsa pcsa(p);
+  Rng rng(5);
+  EXPECT_EQ(pcsa.SenseSingle(std::log(8e3), rng), +1);   // LRS conducts
+  EXPECT_EQ(pcsa.SenseSingle(std::log(250e3), rng), -1); // HRS blocks
+}
+
+TEST(Pcsa, XnorTruthTable) {
+  DeviceParams p;
+  p.sense_offset_sigma = 0.0;
+  const Pcsa pcsa(p);
+  Rng rng(6);
+  const double lrs = std::log(8e3), hrs = std::log(250e3);
+  // weight +1 (BL=LRS), input +1 -> +1; input -1 -> -1.
+  EXPECT_EQ(pcsa.SenseXnor(lrs, hrs, +1, rng), +1);
+  EXPECT_EQ(pcsa.SenseXnor(lrs, hrs, -1, rng), -1);
+  // weight -1, input -1 -> XNOR = +1.
+  EXPECT_EQ(pcsa.SenseXnor(hrs, lrs, -1, rng), +1);
+  EXPECT_EQ(pcsa.SenseXnor(hrs, lrs, +1, rng), -1);
+  EXPECT_THROW(pcsa.SenseXnor(lrs, hrs, 0, rng), std::invalid_argument);
+}
+
+TEST(Cell2T2R, ProgramAndReadRoundTrip) {
+  DeviceParams p;  // fresh devices: error rate astronomically small
+  const Pcsa pcsa(p);
+  Cell2T2R cell(p);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const int w = (i % 2 == 0) ? +1 : -1;
+    cell.ProgramWeight(w, rng);
+    EXPECT_EQ(cell.ReadWeight(pcsa, rng), w);
+    EXPECT_EQ(cell.programmed_weight(), w);
+  }
+  EXPECT_THROW(cell.ProgramWeight(0, rng), std::invalid_argument);
+}
+
+TEST(Cell2T2R, ComplementaryProgramming) {
+  DeviceParams p;
+  Cell2T2R cell(p);
+  Rng rng(8);
+  cell.ProgramWeight(+1, rng);
+  EXPECT_EQ(cell.bl().target_state(), ResistiveState::kLrs);
+  EXPECT_EQ(cell.blb().target_state(), ResistiveState::kHrs);
+  cell.ProgramWeight(-1, rng);
+  EXPECT_EQ(cell.bl().target_state(), ResistiveState::kHrs);
+  EXPECT_EQ(cell.blb().target_state(), ResistiveState::kLrs);
+}
+
+TEST(Cell1T1R, ProgramAndReadRoundTrip) {
+  DeviceParams p;
+  const Pcsa pcsa(p);
+  Cell1T1R cell(p);
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const int w = (i % 2 == 0) ? +1 : -1;
+    cell.ProgramWeight(w, rng);
+    EXPECT_EQ(cell.ReadWeight(pcsa, rng), w);
+  }
+}
+
+}  // namespace
+}  // namespace rrambnn::rram

@@ -1,0 +1,55 @@
+#include "tensor/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rrambnn {
+namespace {
+
+TEST(Stats, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+}
+
+TEST(Stats, Percentile) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25.0), 2.0);
+  EXPECT_THROW(Percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(Percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(Stats, NormalTailComplement) {
+  for (double x : {-3.0, -1.0, 0.0, 0.5, 2.0, 4.0}) {
+    EXPECT_NEAR(NormalCdf(x) + NormalTail(x), 1.0, 1e-12);
+  }
+}
+
+TEST(Stats, NormalTailDeepTail) {
+  // Q(6) ~ 9.87e-10; the erfc-based form must not underflow to zero.
+  EXPECT_NEAR(NormalTail(6.0) / 9.866e-10, 1.0, 1e-3);
+  EXPECT_GT(NormalTail(8.0), 0.0);
+}
+
+TEST(Stats, WilsonHalfWidthShrinksWithTrials) {
+  const double w100 = WilsonHalfWidth(50, 100);
+  const double w10000 = WilsonHalfWidth(5000, 10000);
+  EXPECT_GT(w100, w10000);
+  EXPECT_NEAR(w10000, 0.0098, 1e-3);
+  EXPECT_EQ(WilsonHalfWidth(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace rrambnn

@@ -1,0 +1,134 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rrambnn {
+namespace {
+
+TEST(Shape, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({3}), 3);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({5, 0}), 0);
+  EXPECT_THROW(NumElements({-1, 2}), std::invalid_argument);
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.rank(), 2);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({4}, 2.5f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, DataConstructorSizeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1.0f}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, FromList2d) {
+  const Tensor t = Tensor::FromList2d({{1.0f, 2.0f}, {3.0f, 4.0f}});
+  EXPECT_EQ(t.shape(), (Shape{2, 2}));
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_THROW(Tensor::FromList2d({{1.0f}, {1.0f, 2.0f}}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, MultiIndexAccess) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 7.0f);
+  EXPECT_THROW(t.at(2, 0, 0), std::invalid_argument);
+  EXPECT_THROW(t.at(0, 0), std::invalid_argument);  // wrong rank
+}
+
+TEST(Tensor, NegativeDim) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+  EXPECT_THROW(t.dim(3), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapeInference) {
+  Tensor t({2, 6});
+  const Tensor r = t.Reshape({3, -1});
+  EXPECT_EQ(r.shape(), (Shape{3, 4}));
+  EXPECT_THROW(t.Reshape({5, -1}), std::invalid_argument);
+  EXPECT_THROW(t.Reshape({-1, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a = Tensor::FromList({1.0f, 2.0f});
+  Tensor b = Tensor::FromList({3.0f, 5.0f});
+  const Tensor sum = a + b;
+  EXPECT_EQ(sum[0], 4.0f);
+  EXPECT_EQ(sum[1], 7.0f);
+  const Tensor diff = b - a;
+  EXPECT_EQ(diff[1], 3.0f);
+  const Tensor scaled = a * 2.0f;
+  EXPECT_EQ(scaled[1], 4.0f);
+  EXPECT_THROW(a += Tensor({3}), std::invalid_argument);
+}
+
+TEST(Tensor, Hadamard) {
+  const Tensor p = Tensor::Hadamard(Tensor::FromList({2.0f, 3.0f}),
+                                    Tensor::FromList({4.0f, -1.0f}));
+  EXPECT_EQ(p[0], 8.0f);
+  EXPECT_EQ(p[1], -3.0f);
+}
+
+TEST(Tensor, RowAndSetRow) {
+  Tensor t({3, 2});
+  t.SetRow(1, Tensor::FromList({5.0f, 6.0f}));
+  const Tensor row = t.Row(1);
+  EXPECT_EQ(row.shape(), (Shape{2}));
+  EXPECT_EQ(row[0], 5.0f);
+  EXPECT_EQ(t.Row(0)[0], 0.0f);
+  EXPECT_THROW(t.SetRow(0, Tensor({3})), std::invalid_argument);
+  EXPECT_THROW(t.Row(3), std::invalid_argument);
+}
+
+TEST(Tensor, SumAndArgmax) {
+  const Tensor t = Tensor::FromList({1.0f, 5.0f, 3.0f});
+  EXPECT_DOUBLE_EQ(t.Sum(), 9.0);
+  EXPECT_EQ(t.Argmax(), 1);
+  EXPECT_THROW(Tensor().Argmax(), std::invalid_argument);
+}
+
+TEST(MatMul, Basic) {
+  const Tensor a = Tensor::FromList2d({{1.0f, 2.0f}, {3.0f, 4.0f}});
+  const Tensor b = Tensor::FromList2d({{5.0f, 6.0f}, {7.0f, 8.0f}});
+  const Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_EQ(c.at(1, 1), 50.0f);
+  EXPECT_THROW(MatMul(a, Tensor({3, 2})), std::invalid_argument);
+}
+
+TEST(Transpose2d, Basic) {
+  const Tensor a = Tensor::FromList2d({{1.0f, 2.0f, 3.0f}});
+  const Tensor t = Transpose2d(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 1}));
+  EXPECT_EQ(t.at(2, 0), 3.0f);
+}
+
+TEST(MaxAbsDiff, Basic) {
+  EXPECT_FLOAT_EQ(MaxAbsDiff(Tensor::FromList({1.0f, 2.0f}),
+                             Tensor::FromList({1.5f, 2.0f})),
+                  0.5f);
+}
+
+}  // namespace
+}  // namespace rrambnn

@@ -3,11 +3,13 @@
 // 2T2R error rate (<= ~1e-4 across Fig. 4's cycling range) sits orders of
 // magnitude below the BER where the network starts losing accuracy
 // (the argument of Sec. II-B and refs [15][16]).
+//
+// The sweep is one Engine trained and compiled once; every (BER, draw)
+// point is a Deploy("fault") with that BER/seed followed by Evaluate.
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/compile.h"
-#include "core/fault_injection.h"
+#include "engine/engine.h"
 #include "rram/ber_model.h"
 
 using namespace rrambnn;
@@ -21,15 +23,21 @@ int main() {
   for (std::int64_t i = 400; i < 500; ++i) va.push_back(i);
   const nn::Dataset train = ecg.Subset(tr), val = ecg.Subset(va);
 
-  auto cfg = models::EcgNetConfig::BenchScale();
-  cfg.strategy = core::BinarizationStrategy::kBinaryClassifier;
-  Rng mrng(3);
-  auto built = models::BuildEcgNet(cfg, mrng);
-  (void)nn::Fit(built.net, train, val, bench::EcgTrainConfig(cfg.strategy));
-  const core::BnnModel clean =
-      core::CompileClassifier(built.net, built.classifier_start);
-  const double base = core::HybridAccuracy(
-      built.net, built.classifier_start, clean, val);
+  engine::EngineConfig cfg;
+  cfg.WithStrategy(core::BinarizationStrategy::kBinaryClassifier)
+      .WithTrain(bench::EcgTrainConfig(
+          core::BinarizationStrategy::kBinaryClassifier));
+  engine::Engine eng(cfg, [](const engine::EngineConfig& ec, Rng& mrng) {
+    auto mc = models::EcgNetConfig::BenchScale();
+    mc.strategy = ec.strategy;
+    auto built = models::BuildEcgNet(mc, mrng);
+    return engine::ModelSpec{std::move(built.net), built.classifier_start};
+  });
+  (void)eng.Train(train, val);
+  const core::BnnModel& clean = eng.Compile();
+
+  eng.Deploy("reference");
+  const double base = eng.Evaluate(val);
 
   std::printf("Ablation A: accuracy vs injected weight bit-error rate\n");
   std::printf("(trained scaled ECG model, binarized classifier, %lld weight"
@@ -42,11 +50,9 @@ int main() {
     double acc = 0.0;
     const int draws = 5;
     for (int d = 0; d < draws; ++d) {
-      core::BnnModel faulty = clean;
-      Rng frng(100 + static_cast<std::uint64_t>(d));
-      (void)core::InjectWeightFaults(faulty, ber, frng);
-      acc += core::HybridAccuracy(built.net, built.classifier_start, faulty,
-                                  val);
+      eng.config().WithFaultBer(ber, 100 + static_cast<std::uint64_t>(d));
+      eng.Deploy("fault");
+      acc += eng.Evaluate(val);
     }
     acc /= draws;
     std::printf("%10.0e  %9.1f%%  %+9.1f%%\n", ber, 100.0 * acc,

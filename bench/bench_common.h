@@ -118,9 +118,13 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
+inline void PrintRow(const std::string& label, double mean, double stddev) {
+  std::printf("%-34s %5.1f %% (+/- %.1f)\n", label.c_str(), 100.0 * mean,
+              100.0 * stddev);
+}
+
 inline void PrintRow(const std::string& label, const CvResult& r) {
-  std::printf("%-34s %5.1f %% (+/- %.1f)\n", label.c_str(), 100.0 * r.mean,
-              100.0 * r.stddev);
+  PrintRow(label, r.mean, r.stddev);
 }
 
 }  // namespace rrambnn::bench

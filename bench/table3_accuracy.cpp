@@ -1,6 +1,8 @@
 // Reproduces Table III: cross-validated accuracy of the real-weight CNN,
 // the fully binarized CNN (at 1x filters and with filter augmentation),
 // and the binarized-classifier CNN, on the synthetic EEG and ECG tasks.
+// Each table row is one engine::Engine::CrossValidate call; the strategy
+// and augmentation knobs live in EngineConfig / the model factory.
 //
 // Scaled workloads (see EXPERIMENTS.md): the orderings and gaps are the
 // reproduction target, not the paper's absolute accuracies, which belong
@@ -8,29 +10,47 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "engine/engine.h"
 
 using namespace rrambnn;
-using bench::CvResult;
 using S = core::BinarizationStrategy;
 
 namespace {
 
-CvResult RunEcg(const nn::Dataset& data, S strategy, std::int64_t aug) {
-  auto cfg = models::EcgNetConfig::BenchScale();
-  cfg.strategy = strategy;
-  cfg.filter_augmentation = aug;
-  return bench::CrossValidatedAccuracy(
-      data, [&](Rng& rng) { return models::BuildEcgNet(cfg, rng); },
-      bench::EcgTrainConfig(strategy), bench::NumFolds());
+engine::CvStats RunEcg(const nn::Dataset& data, S strategy,
+                       std::int64_t aug) {
+  engine::EngineConfig cfg;
+  cfg.WithStrategy(strategy)
+      .WithTrain(bench::EcgTrainConfig(strategy))
+      .WithModelSeed(1000);
+  engine::Engine eng(cfg, [aug](const engine::EngineConfig& ec, Rng& rng) {
+    auto mc = models::EcgNetConfig::BenchScale();
+    mc.strategy = ec.strategy;
+    mc.filter_augmentation = aug;
+    auto built = models::BuildEcgNet(mc, rng);
+    return engine::ModelSpec{std::move(built.net), built.classifier_start};
+  });
+  return eng.CrossValidate(data, bench::NumFolds());
 }
 
-CvResult RunEeg(const nn::Dataset& data, S strategy, std::int64_t aug) {
-  auto cfg = models::EegNetConfig::BenchScale();
-  cfg.strategy = strategy;
-  cfg.filter_augmentation = aug;
-  return bench::CrossValidatedAccuracy(
-      data, [&](Rng& rng) { return models::BuildEegNet(cfg, rng); },
-      bench::EegTrainConfig(strategy), bench::NumFolds());
+engine::CvStats RunEeg(const nn::Dataset& data, S strategy,
+                       std::int64_t aug) {
+  engine::EngineConfig cfg;
+  cfg.WithStrategy(strategy)
+      .WithTrain(bench::EegTrainConfig(strategy))
+      .WithModelSeed(1000);
+  engine::Engine eng(cfg, [aug](const engine::EngineConfig& ec, Rng& rng) {
+    auto mc = models::EegNetConfig::BenchScale();
+    mc.strategy = ec.strategy;
+    mc.filter_augmentation = aug;
+    auto built = models::BuildEegNet(mc, rng);
+    return engine::ModelSpec{std::move(built.net), built.classifier_start};
+  });
+  return eng.CrossValidate(data, bench::NumFolds());
+}
+
+void PrintRow(const std::string& label, const engine::CvStats& r) {
+  bench::PrintRow(label, r.mean, r.stddev);
 }
 
 }  // namespace
@@ -51,17 +71,17 @@ int main() {
 
   bench::PrintHeader("ECG task (paper: real 96.3%, BNN 92.1% (1x) / 94.9% "
                      "(7x), bin classifier 95.9%)");
-  bench::PrintRow("Real-weight NN", RunEcg(ecg, S::kReal, 1));
-  bench::PrintRow("BNN (1x filters)", RunEcg(ecg, S::kFullBinary, 1));
-  bench::PrintRow("BNN (4x filters)", RunEcg(ecg, S::kFullBinary, 4));
-  bench::PrintRow("Binarized classifier", RunEcg(ecg, S::kBinaryClassifier, 1));
+  PrintRow("Real-weight NN", RunEcg(ecg, S::kReal, 1));
+  PrintRow("BNN (1x filters)", RunEcg(ecg, S::kFullBinary, 1));
+  PrintRow("BNN (4x filters)", RunEcg(ecg, S::kFullBinary, 4));
+  PrintRow("Binarized classifier", RunEcg(ecg, S::kBinaryClassifier, 1));
 
   bench::PrintHeader("EEG task (paper: real 88%, BNN 84.6% (1x) / 86% "
                      "(11x), bin classifier 87%)");
-  bench::PrintRow("Real-weight NN", RunEeg(eeg, S::kReal, 1));
-  bench::PrintRow("BNN (1x filters)", RunEeg(eeg, S::kFullBinary, 1));
-  bench::PrintRow("BNN (2x filters)", RunEeg(eeg, S::kFullBinary, 2));
-  bench::PrintRow("Binarized classifier", RunEeg(eeg, S::kBinaryClassifier, 1));
+  PrintRow("Real-weight NN", RunEeg(eeg, S::kReal, 1));
+  PrintRow("BNN (1x filters)", RunEeg(eeg, S::kFullBinary, 1));
+  PrintRow("BNN (2x filters)", RunEeg(eeg, S::kFullBinary, 2));
+  PrintRow("Binarized classifier", RunEeg(eeg, S::kBinaryClassifier, 1));
 
   std::printf("\nShape claims under reproduction:\n"
               "  (1) binarized classifier matches the real network "

@@ -3,31 +3,17 @@
 // 2T2R RRAM; we age the arrays through hundreds of millions of cycles and
 // watch accuracy with and without a reprogramming refresh — demonstrating
 // the ECC-less reliability story of the paper on a concrete workload.
+//
+// One Engine is trained and compiled once; each aging point is just a fresh
+// Deploy("rram") with a different pre-stress, the rest of the pipeline
+// (feature prefix, batching, accuracy accounting) is owned by the engine.
 #include <cstdio>
 
-#include "arch/bnn_mapper.h"
-#include "core/compile.h"
 #include "data/ecg_synth.h"
+#include "engine/engine.h"
 #include "models/ecg_model.h"
-#include "nn/trainer.h"
 
 using namespace rrambnn;
-
-namespace {
-
-double FabricAccuracy(arch::MappedBnn& fabric, nn::Sequential& net,
-                      std::size_t split, const nn::Dataset& val) {
-  Tensor features = core::ForwardPrefix(net, val.x, split);
-  if (features.rank() > 2) features = features.Reshape({val.size(), -1});
-  const auto preds = fabric.PredictBatch(features);
-  std::int64_t hits = 0;
-  for (std::size_t i = 0; i < preds.size(); ++i) {
-    if (preds[i] == val.y[i]) ++hits;
-  }
-  return static_cast<double>(hits) / static_cast<double>(preds.size());
-}
-
-}  // namespace
 
 int main() {
   Rng rng(7);
@@ -40,39 +26,45 @@ int main() {
   for (std::int64_t i = 320; i < 400; ++i) va.push_back(i);
   const nn::Dataset train = data.Subset(tr), val = data.Subset(va);
 
-  models::EcgNetConfig cfg = models::EcgNetConfig::BenchScale();
-  cfg.strategy = core::BinarizationStrategy::kBinaryClassifier;
-  Rng mrng(3);
-  auto built = models::BuildEcgNet(cfg, mrng);
   nn::TrainConfig tc;
   tc.epochs = 25;
   tc.batch_size = 16;
   tc.learning_rate = 1e-3f;
-  (void)nn::Fit(built.net, train, val, tc);
-  const auto compiled =
-      core::CompileClassifier(built.net, built.classifier_start);
 
-  std::printf("ECG electrode-inversion monitor on aging RRAM\n\n");
-  std::printf("%12s  %18s  %18s\n", "age (cycles)", "no refresh",
-              "refresh (reprogram)");
   // An aggressive device corner so aging effects show at example scale.
   rram::DeviceParams device;
   device.weak_prob_ref = 5e-3;
 
+  engine::EngineConfig cfg;
+  cfg.WithStrategy(core::BinarizationStrategy::kBinaryClassifier)
+      .WithTrain(tc)
+      .WithDevice(device)
+      .WithBackend("rram");
+
+  engine::Engine eng(cfg, [](const engine::EngineConfig& ec, Rng& mrng) {
+    models::EcgNetConfig mc = models::EcgNetConfig::BenchScale();
+    mc.strategy = ec.strategy;
+    auto built = models::BuildEcgNet(mc, mrng);
+    return engine::ModelSpec{std::move(built.net), built.classifier_start};
+  });
+  (void)eng.Train(train, val);
+  (void)eng.Compile();
+
+  std::printf("ECG electrode-inversion monitor on aging RRAM\n\n");
+  std::printf("%12s  %18s  %18s\n", "age (cycles)", "no refresh",
+              "refresh (reprogram)");
+
   for (const double age : {0.0, 1e8, 3e8, 5e8, 7e8}) {
-    arch::MapperConfig mc;
-    mc.device = device;
-    mc.pre_stress_cycles = static_cast<std::uint64_t>(age);
+    eng.config().backend.mapper.pre_stress_cycles =
+        static_cast<std::uint64_t>(age);
     // "No refresh": weights were written once on the aged fabric and read
     // with its error statistics. "Refresh": identical fabric, but the
     // controller reprograms the stored weights (fresh write noise draw).
-    arch::MappedBnn worn(compiled, mc);
-    const double acc_worn =
-        FabricAccuracy(worn, built.net, built.classifier_start, val);
-    arch::MappedBnn refreshed(compiled, mc);
-    refreshed.Stress(0, /*reprogram_after=*/true);
-    const double acc_ref =
-        FabricAccuracy(refreshed, built.net, built.classifier_start, val);
+    eng.Deploy();
+    const double acc_worn = eng.Evaluate(val);
+    auto& refreshed = dynamic_cast<engine::RramBackend&>(eng.Deploy());
+    refreshed.fabric().Stress(0, /*reprogram_after=*/true);
+    const double acc_ref = eng.Evaluate(val);
     std::printf("%12.0e  %17.1f%%  %17.1f%%\n", age, 100.0 * acc_worn,
                 100.0 * acc_ref);
   }

@@ -1,14 +1,15 @@
 // Scenario: a motor-imagery brain-computer interface. Compares the three
 // binarization strategies of the paper on the synthetic EEG task and shows
 // the memory each one needs on the device — the accuracy/memory trade-off
-// of Tables III and IV, end to end.
+// of Tables III and IV, end to end. Each strategy is one Engine; the
+// strategy knob is the only thing that changes between rows.
 #include <cstdio>
 
 #include "core/memory_analysis.h"
 #include "data/eeg_synth.h"
 #include "data/preprocess.h"
+#include "engine/engine.h"
 #include "models/eeg_model.h"
-#include "nn/trainer.h"
 
 using namespace rrambnn;
 using S = core::BinarizationStrategy;
@@ -28,22 +29,32 @@ int main() {
   for (std::int64_t i = 320; i < 400; ++i) va.push_back(i);
   const nn::Dataset train = data.Subset(tr), val = data.Subset(va);
 
+  const auto make_model = [](const engine::EngineConfig& ec, Rng& mrng) {
+    models::EegNetConfig mc = models::EegNetConfig::BenchScale();
+    mc.strategy = ec.strategy;
+    auto built = models::BuildEegNet(mc, mrng);
+    return engine::ModelSpec{std::move(built.net), built.classifier_start};
+  };
+
   std::printf("EEG motor-imagery BCI: strategy comparison\n\n");
   std::printf("%-22s %10s %16s %18s\n", "Strategy", "accuracy",
               "weight memory", "non-volatile need");
   for (const S strategy :
        {S::kReal, S::kFullBinary, S::kBinaryClassifier}) {
-    models::EegNetConfig cfg = models::EegNetConfig::BenchScale();
-    cfg.strategy = strategy;
-    Rng mrng(3);
-    auto built = models::BuildEegNet(cfg, mrng);
     nn::TrainConfig tc;
     tc.epochs = strategy == S::kFullBinary ? 50 : 25;
     tc.batch_size = 16;
     tc.learning_rate = strategy == S::kFullBinary ? 2e-3f : 1e-3f;
     tc.noise_std = 0.1f;
-    const auto fit = nn::Fit(built.net, train, val, tc);
-    const auto mem = core::AnalyzeMemory(built.net, built.classifier_start);
+
+    engine::EngineConfig cfg;
+    cfg.WithStrategy(strategy).WithTrain(tc);
+    engine::Engine eng(cfg, make_model);
+    (void)eng.Train(train, val);
+    const double accuracy = eng.Evaluate(val);
+
+    const auto mem =
+        core::AnalyzeMemory(eng.net(), eng.classifier_start());
     double bytes = 0.0;
     switch (strategy) {
       case S::kReal:
@@ -57,8 +68,7 @@ int main() {
         break;
     }
     std::printf("%-22s %9.1f%% %16s %17.1f%%\n",
-                core::ToString(strategy).c_str(),
-                100.0 * fit.final_val_accuracy,
+                core::ToString(strategy).c_str(), 100.0 * accuracy,
                 core::FormatBytes(bytes).c_str(),
                 100.0 * bytes / mem.bytes_fp32);
   }

@@ -1,18 +1,19 @@
-// Quickstart: the full library pipeline in ~80 lines.
-//   1. generate a synthetic ECG electrode-inversion dataset,
-//   2. train a CNN with a binarized classifier (the paper's recommended
-//      partial-binarization strategy),
-//   3. compile the classifier to XNOR-popcount form (BN folded into
-//      integer thresholds),
-//   4. deploy it onto simulated 2T2R RRAM arrays and run inference through
-//      the in-memory fabric.
+// Quickstart: the paper's whole workflow through the engine::Engine facade.
+//
+// One EngineConfig describes the pipeline; one Engine runs it:
+//   Train   -- fit a CNN whose classifier is binarized (the paper's
+//              recommended partial-binarization strategy),
+//   Compile -- fold batch normalization into integer popcount thresholds,
+//              producing the deployable XNOR-popcount model,
+//   Deploy  -- instantiate an execution backend by name from the registry
+//              ("reference" = exact software, "rram" = simulated 2T2R
+//              fabric with energy accounting, "fault" = BER injection),
+//   Evaluate/Predict -- batched serving, rows sharded across threads.
 #include <cstdio>
 
-#include "arch/bnn_mapper.h"
-#include "core/compile.h"
 #include "data/ecg_synth.h"
+#include "engine/engine.h"
 #include "models/ecg_model.h"
-#include "nn/trainer.h"
 
 using namespace rrambnn;
 
@@ -28,51 +29,52 @@ int main() {
   for (std::int64_t i = 320; i < 400; ++i) va.push_back(i);
   const nn::Dataset train = data.Subset(tr), val = data.Subset(va);
 
-  // 2. Model: Table II CNN, classifier binarized.
-  models::EcgNetConfig model_cfg = models::EcgNetConfig::BenchScale();
-  model_cfg.samples = data_cfg.samples;
-  model_cfg.strategy = core::BinarizationStrategy::kBinaryClassifier;
-  Rng model_rng(3);
-  auto built = models::BuildEcgNet(model_cfg, model_rng);
-  std::printf("%s\n", built.net.Summary({12, 200, 1}).c_str());
-
+  // 2. Pipeline configuration: strategy, training recipe, RRAM geometry.
   nn::TrainConfig tc;
   tc.epochs = 20;
   tc.batch_size = 16;
   tc.learning_rate = 1e-3f;
   tc.verbose = true;
-  const auto fit = nn::Fit(built.net, train, val, tc);
+
+  arch::MapperConfig mapper;  // 64x64 2T2R arrays with XNOR-PCSAs
+  mapper.macro_rows = 64;
+  mapper.macro_cols = 64;
+
+  engine::EngineConfig cfg;
+  cfg.WithStrategy(core::BinarizationStrategy::kBinaryClassifier)
+      .WithTrain(tc)
+      .WithMapper(mapper)
+      .WithThreads(2);
+
+  // 3. The engine builds the Table II CNN through this factory.
+  engine::Engine eng(cfg, [&](const engine::EngineConfig& ec, Rng& mrng) {
+    models::EcgNetConfig mc = models::EcgNetConfig::BenchScale();
+    mc.samples = data_cfg.samples;
+    mc.strategy = ec.strategy;
+    auto built = models::BuildEcgNet(mc, mrng);
+    return engine::ModelSpec{std::move(built.net), built.classifier_start};
+  });
+
+  // 4. Train -> compile -> deploy -> evaluate, one call each.
+  const auto fit = eng.Train(train, val);
   std::printf("trained: val accuracy %.1f%%\n",
               100.0 * fit.final_val_accuracy);
 
-  // 3. Compile: batch norm folds into integer popcount thresholds.
-  const core::BnnModel compiled =
-      core::CompileClassifier(built.net, built.classifier_start);
+  const core::BnnModel& compiled = eng.Compile();
   std::printf("compiled classifier: %zu hidden layer(s), %lld weight bits\n",
               compiled.num_hidden(),
               static_cast<long long>(compiled.TotalWeightBits()));
-  const double hybrid = core::HybridAccuracy(
-      built.net, built.classifier_start, compiled, val);
-  std::printf("compiled accuracy:  %.1f%% (bit-exact vs trained model)\n",
-              100.0 * hybrid);
 
-  // 4. Deploy onto simulated RRAM: 64x64 2T2R arrays with XNOR-PCSAs.
-  arch::MapperConfig mc;
-  mc.macro_rows = 64;
-  mc.macro_cols = 64;
-  arch::MappedBnn fabric(compiled, mc);
-  Tensor features = core::ForwardPrefix(built.net, val.x,
-                                        built.classifier_start);
-  if (features.rank() > 2) features = features.Reshape({val.size(), -1});
-  const auto preds = fabric.PredictBatch(features);
-  std::int64_t hits = 0;
-  for (std::size_t i = 0; i < preds.size(); ++i) {
-    if (preds[i] == val.y[i]) ++hits;
-  }
+  eng.Deploy("reference");
+  std::printf("compiled accuracy:  %.1f%% (bit-exact vs trained model)\n",
+              100.0 * eng.Evaluate(val));
+
+  eng.Deploy("rram");
+  const engine::EnergyBreakdown energy = eng.EnergyReport();
   std::printf("on-RRAM accuracy:   %.1f%%  (%lld macros, %.3f mm2, "
               "%.1f pJ / inference)\n",
-              100.0 * hits / preds.size(),
-              static_cast<long long>(fabric.num_macros()), fabric.AreaMm2(),
-              fabric.InferenceCost().read_energy_pj);
+              100.0 * eng.Evaluate(val),
+              static_cast<long long>(energy.num_macros), energy.area_mm2,
+              energy.per_inference.read_energy_pj);
   return 0;
 }

@@ -1,0 +1,38 @@
+#include "engine/backend.h"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+
+namespace rrambnn::engine {
+
+std::int64_t InferenceBackend::Predict(const core::BitVector& x) {
+  const std::vector<float> scores = Scores(x);
+  return std::distance(scores.begin(),
+                       std::max_element(scores.begin(), scores.end()));
+}
+
+std::vector<std::int64_t> InferenceBackend::PredictBatch(
+    const Tensor& features) {
+  if (features.rank() != 2) {
+    throw std::invalid_argument("InferenceBackend::PredictBatch: features "
+                                "must be rank 2, got " +
+                                ShapeToString(features.shape()));
+  }
+  const std::int64_t n = features.dim(0);
+  const std::int64_t f = features.dim(1);
+  if (f != input_size()) {
+    throw std::invalid_argument(
+        "InferenceBackend::PredictBatch: feature width " + std::to_string(f) +
+        " != backend input size " + std::to_string(input_size()));
+  }
+  std::vector<std::int64_t> preds(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const core::BitVector x = core::BitVector::FromSigns(std::span<const float>(
+        features.data() + i * f, static_cast<std::size_t>(f)));
+    preds[static_cast<std::size_t>(i)] = Predict(x);
+  }
+  return preds;
+}
+
+}  // namespace rrambnn::engine

@@ -1,0 +1,70 @@
+// Execution-backend interface of the serving engine: one trained-and-compiled
+// binarized classifier, many possible execution substrates. A backend answers
+// class scores for packed binary inputs; everything upstream (float feature
+// extractor, batching, threading) is owned by engine::Engine.
+//
+// Implementations (see engine/backends.h):
+//   ReferenceBackend       exact bit-packed software model (core::BnnModel)
+//   RramBackend            simulated 2T2R RRAM fabric (arch::MappedBnn) with
+//                          device non-idealities and energy accounting
+//   FaultInjectionBackend  software model with i.i.d. weight-bit flips at a
+//                          configurable BER (core::fault_injection)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/energy_model.h"
+#include "core/bitops.h"
+#include "tensor/tensor.h"
+
+namespace rrambnn::engine {
+
+/// Deployment-cost summary of a backend. Pure software backends report
+/// `available = false` and zeroed figures; hardware-model backends fill in
+/// the arch-level energy/area accounting.
+struct EnergyBreakdown {
+  bool available = false;
+  arch::CostReport programming;    // one-time weight programming
+  arch::CostReport per_inference;  // each Scores() call
+  double area_mm2 = 0.0;
+  std::int64_t num_macros = 0;
+};
+
+/// An execution substrate for a compiled binarized classifier.
+class InferenceBackend {
+ public:
+  virtual ~InferenceBackend() = default;
+
+  /// Registry key of this backend ("reference", "rram", "fault").
+  virtual std::string name() const = 0;
+
+  virtual std::int64_t input_size() const = 0;
+  virtual std::int64_t num_classes() const = 0;
+
+  /// Class scores for one packed binary input.
+  virtual std::vector<float> Scores(const core::BitVector& x) = 0;
+
+  /// Argmax class for one packed input. Default: argmax of Scores().
+  virtual std::int64_t Predict(const core::BitVector& x);
+
+  /// Batch prediction over real-valued feature rows [N, F]: each row is
+  /// binarized by sign and scored. Rows are independent; the default
+  /// implementation runs them in order.
+  virtual std::vector<std::int64_t> PredictBatch(const Tensor& features);
+
+  /// One-line human-readable description (substrate, key parameters).
+  virtual std::string Describe() const = 0;
+
+  /// Deployment/inference cost figures (see EnergyBreakdown).
+  virtual EnergyBreakdown EnergyReport() const = 0;
+
+  /// True when Scores() is safe to call from several threads at once and
+  /// each result depends only on the input (no hidden per-call state).
+  /// Engine::Evaluate shards rows across threads only for such backends, so
+  /// the multi-threaded result is identical to the single-threaded one.
+  virtual bool SupportsConcurrentInference() const { return false; }
+};
+
+}  // namespace rrambnn::engine

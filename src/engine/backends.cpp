@@ -1,0 +1,109 @@
+#include "engine/backends.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "tensor/rng.h"
+
+namespace rrambnn::engine {
+
+namespace {
+
+std::string ModelShapeString(std::int64_t in, std::size_t hidden,
+                             std::int64_t classes) {
+  return std::to_string(in) + " inputs, " + std::to_string(hidden) +
+         " hidden layer(s), " + std::to_string(classes) + " classes";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ReferenceBackend
+// ---------------------------------------------------------------------------
+
+ReferenceBackend::ReferenceBackend(core::BnnModel model)
+    : model_(std::move(model)) {
+  model_.Validate();
+}
+
+std::vector<float> ReferenceBackend::Scores(const core::BitVector& x) {
+  return model_.Scores(x);
+}
+
+std::string ReferenceBackend::Describe() const {
+  return "reference: exact XNOR-popcount software model (" +
+         ModelShapeString(model_.input_size(), model_.num_hidden(),
+                          model_.num_classes()) +
+         ", " + std::to_string(model_.TotalWeightBits()) + " weight bits)";
+}
+
+EnergyBreakdown ReferenceBackend::EnergyReport() const {
+  return EnergyBreakdown{};  // pure software: no hardware cost model
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionBackend
+// ---------------------------------------------------------------------------
+
+FaultInjectionBackend::FaultInjectionBackend(core::BnnModel model, double ber,
+                                             std::uint64_t seed)
+    : model_(std::move(model)), ber_(ber) {
+  model_.Validate();
+  Rng rng(seed);
+  report_ = core::InjectWeightFaults(model_, ber_, rng);
+}
+
+std::vector<float> FaultInjectionBackend::Scores(const core::BitVector& x) {
+  return model_.Scores(x);
+}
+
+std::string FaultInjectionBackend::Describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "fault: software model with i.i.d. weight flips, BER %.2e "
+                "(%lld / %lld bits flipped)",
+                ber_, static_cast<long long>(report_.flipped_bits),
+                static_cast<long long>(report_.total_bits));
+  return buf;
+}
+
+EnergyBreakdown FaultInjectionBackend::EnergyReport() const {
+  return EnergyBreakdown{};  // pure software: no hardware cost model
+}
+
+// ---------------------------------------------------------------------------
+// RramBackend
+// ---------------------------------------------------------------------------
+
+RramBackend::RramBackend(const core::BnnModel& model,
+                         const arch::MapperConfig& config)
+    : fabric_(model, config), config_(config) {}
+
+std::vector<float> RramBackend::Scores(const core::BitVector& x) {
+  return fabric_.Scores(x);
+}
+
+std::string RramBackend::Describe() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "rram: simulated 2T2R fabric, %lld macro(s) of %lldx%lld, "
+                "%.3f mm2, %.1f%% utilization, pre-stress %.1e cycles",
+                static_cast<long long>(fabric_.num_macros()),
+                static_cast<long long>(config_.macro_rows),
+                static_cast<long long>(config_.macro_cols), fabric_.AreaMm2(),
+                100.0 * fabric_.Utilization(),
+                static_cast<double>(config_.pre_stress_cycles));
+  return buf;
+}
+
+EnergyBreakdown RramBackend::EnergyReport() const {
+  EnergyBreakdown report;
+  report.available = true;
+  report.programming = fabric_.ProgrammingCost();
+  report.per_inference = fabric_.InferenceCost();
+  report.area_mm2 = fabric_.AreaMm2();
+  report.num_macros = fabric_.num_macros();
+  return report;
+}
+
+}  // namespace rrambnn::engine

@@ -1,0 +1,99 @@
+// The three built-in execution backends (see engine/backend.h) and the
+// parameter bundle the registry hands every factory.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/bnn_mapper.h"
+#include "core/bnn_model.h"
+#include "core/fault_injection.h"
+#include "engine/backend.h"
+
+namespace rrambnn::engine {
+
+/// Construction parameters shared by all backend factories; each backend
+/// reads the fields it cares about and ignores the rest.
+struct BackendSpec {
+  /// RRAM mapping geometry, device statistics, energy calibration and
+  /// pre-deployment endurance stress (RramBackend).
+  arch::MapperConfig mapper;
+  /// Weight bit-error rate injected once at deployment
+  /// (FaultInjectionBackend).
+  double fault_ber = 0.0;
+  /// Seed of the fault draw (FaultInjectionBackend).
+  std::uint64_t fault_seed = 100;
+};
+
+/// Exact software execution of the compiled model — the golden reference the
+/// other substrates are measured against.
+class ReferenceBackend : public InferenceBackend {
+ public:
+  explicit ReferenceBackend(core::BnnModel model);
+
+  std::string name() const override { return "reference"; }
+  std::int64_t input_size() const override { return model_.input_size(); }
+  std::int64_t num_classes() const override { return model_.num_classes(); }
+  std::vector<float> Scores(const core::BitVector& x) override;
+  std::string Describe() const override;
+  EnergyBreakdown EnergyReport() const override;
+  bool SupportsConcurrentInference() const override { return true; }
+
+  const core::BnnModel& model() const { return model_; }
+
+ private:
+  const core::BnnModel model_;
+};
+
+/// Software model with independent weight-bit flips applied once at
+/// construction — the ideal-BER sweep substrate of Sec. II-B. After the
+/// single fault draw the model is immutable, so inference is pure.
+class FaultInjectionBackend : public InferenceBackend {
+ public:
+  FaultInjectionBackend(core::BnnModel model, double ber, std::uint64_t seed);
+
+  std::string name() const override { return "fault"; }
+  std::int64_t input_size() const override { return model_.input_size(); }
+  std::int64_t num_classes() const override { return model_.num_classes(); }
+  std::vector<float> Scores(const core::BitVector& x) override;
+  std::string Describe() const override;
+  EnergyBreakdown EnergyReport() const override;
+  bool SupportsConcurrentInference() const override { return true; }
+
+  double ber() const { return ber_; }
+  const core::FaultInjectionReport& fault_report() const { return report_; }
+
+ private:
+  core::BnnModel model_;
+  double ber_ = 0.0;
+  core::FaultInjectionReport report_;
+};
+
+/// Inference through the simulated 2T2R RRAM fabric of Fig. 5, with device
+/// non-idealities and full energy/area accounting. The simulated chip is a
+/// single stateful physical resource (per-read sense-offset draws advance
+/// device RNG state), so concurrent inference is not supported; Engine
+/// serializes rows through it regardless of its thread count.
+class RramBackend : public InferenceBackend {
+ public:
+  RramBackend(const core::BnnModel& model, const arch::MapperConfig& config);
+
+  std::string name() const override { return "rram"; }
+  std::int64_t input_size() const override { return fabric_.input_size(); }
+  std::int64_t num_classes() const override { return fabric_.num_classes(); }
+  std::vector<float> Scores(const core::BitVector& x) override;
+  std::string Describe() const override;
+  EnergyBreakdown EnergyReport() const override;
+
+  /// The underlying mapped fabric, for aging/refresh experiments.
+  arch::MappedBnn& fabric() { return fabric_; }
+  const arch::MappedBnn& fabric() const { return fabric_; }
+
+ private:
+  arch::MappedBnn fabric_;
+  arch::MapperConfig config_;
+};
+
+}  // namespace rrambnn::engine

@@ -1,0 +1,182 @@
+// Engine: the one front door to the paper's whole workflow.
+//
+//   train -> compile -> deploy -> serve
+//
+// An Engine owns a (partially) binarized network, compiles its classifier
+// into XNOR-popcount form (BN folded into integer thresholds), deploys the
+// compiled model onto a pluggable execution backend selected by name from
+// the BackendRegistry, and serves batched predictions, sharding feature rows
+// across worker threads when the backend allows concurrent inference.
+//
+//   engine::EngineConfig cfg;
+//   cfg.WithStrategy(core::BinarizationStrategy::kBinaryClassifier)
+//      .WithTrain(tc)
+//      .WithBackend("rram")
+//      .WithThreads(4);
+//   engine::Engine eng(cfg, MakeEcgModel);
+//   eng.Train(train, val);
+//   eng.Compile();
+//   eng.Deploy();
+//   double acc = eng.Evaluate(val);
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compile.h"
+#include "core/strategy.h"
+#include "engine/registry.h"
+#include "nn/dataset.h"
+#include "nn/sequential.h"
+#include "nn/trainer.h"
+
+namespace rrambnn::engine {
+
+/// Builder-style configuration of the full pipeline. Plain-struct access
+/// works too; the With* setters exist for fluent call sites.
+struct EngineConfig {
+  /// Which parts of the network are binarized (decides whether Compile()
+  /// has a classifier to fold).
+  core::BinarizationStrategy strategy =
+      core::BinarizationStrategy::kBinaryClassifier;
+  /// Training recipe forwarded to nn::Fit.
+  nn::TrainConfig train;
+  /// Backend construction parameters (mapper geometry, device statistics,
+  /// energy calibration, fault-injection BER/seed).
+  BackendSpec backend;
+  /// Registry key used by Deploy() with no argument.
+  std::string backend_name = "reference";
+  /// Worker threads for Evaluate/Predict row sharding. Backends that do not
+  /// support concurrent inference are served by one worker regardless.
+  int threads = 1;
+  /// Minibatch size of the float feature-extractor prefix.
+  std::int64_t batch_size = 64;
+  /// Seed of the model-building Rng (weight init).
+  std::uint64_t model_seed = 3;
+  /// Seed of the cross-validation fold split.
+  std::uint64_t fold_seed = 1234;
+
+  EngineConfig& WithStrategy(core::BinarizationStrategy s);
+  EngineConfig& WithTrain(const nn::TrainConfig& t);
+  EngineConfig& WithMapper(const arch::MapperConfig& m);
+  EngineConfig& WithDevice(const rram::DeviceParams& d);
+  EngineConfig& WithEnergy(const arch::EnergyParams& e);
+  EngineConfig& WithFaultBer(double ber, std::uint64_t seed = 100);
+  EngineConfig& WithBackend(const std::string& name);
+  EngineConfig& WithBackend(BackendKind kind);
+  EngineConfig& WithThreads(int n);
+  EngineConfig& WithBatchSize(std::int64_t n);
+  EngineConfig& WithModelSeed(std::uint64_t seed);
+};
+
+/// A freshly built (untrained) network plus the index of its first
+/// classifier layer — what a ModelFactory returns.
+struct ModelSpec {
+  nn::Sequential net;
+  std::size_t classifier_start = 0;
+};
+
+/// Builds a model for the configured strategy. Called once by Train() and
+/// once per fold by CrossValidate().
+using ModelFactory = std::function<ModelSpec(const EngineConfig&, Rng&)>;
+
+/// Cross-validation summary (per-fold final validation accuracies).
+struct CvStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::vector<double> per_fold;
+};
+
+class Engine {
+ public:
+  /// Engine that builds its own model through `factory`.
+  Engine(EngineConfig config, ModelFactory factory);
+
+  /// Engine around an externally trained network (skips Train()).
+  static Engine FromTrained(EngineConfig config, nn::Sequential net,
+                            std::size_t classifier_start);
+
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+
+  // -- Lifecycle ------------------------------------------------------------
+
+  /// Builds the model (ModelFactory) and trains it. Invalidates any earlier
+  /// Compile()/Deploy() state.
+  nn::FitResult Train(const nn::Dataset& train, const nn::Dataset& val);
+
+  /// Folds the trained classifier into the deployable XNOR-popcount model.
+  /// Throws std::logic_error before Train() and for the kReal strategy
+  /// (nothing is binarized).
+  const core::BnnModel& Compile();
+
+  /// Instantiates the configured (or named) backend for the compiled model.
+  /// Compiles first if needed. Returns the live backend.
+  InferenceBackend& Deploy();
+  InferenceBackend& Deploy(const std::string& backend_name);
+  InferenceBackend& Deploy(BackendKind kind);
+
+  // -- Serving --------------------------------------------------------------
+
+  /// Class predictions for a batch of raw inputs (same layout the network
+  /// was trained on). Runs the float prefix in minibatches, then shards
+  /// classifier rows across worker threads. Requires Deploy().
+  std::vector<std::int64_t> Predict(const Tensor& batch);
+
+  /// Argmax accuracy over a dataset. After Deploy() this measures the
+  /// deployed pipeline (prefix + backend); before Deploy() it measures the
+  /// trained float network. Thread count never changes the result.
+  double Evaluate(const nn::Dataset& data);
+
+  /// Trains a fresh model per fold (stratified k-fold) and reports the
+  /// final float validation accuracies. Does not disturb the engine's own
+  /// trained model.
+  CvStats CrossValidate(const nn::Dataset& data, std::int64_t folds);
+
+  // -- Introspection --------------------------------------------------------
+
+  bool trained() const { return trained_; }
+  bool compiled() const { return compiled_ != nullptr; }
+  bool deployed() const { return backend_ != nullptr; }
+
+  nn::Sequential& net();
+  std::size_t classifier_start() const { return classifier_start_; }
+  const core::BnnModel& compiled_model() const;
+  InferenceBackend& backend() const;
+
+  /// Deployment cost figures of the live backend.
+  EnergyBreakdown EnergyReport() const;
+
+  /// Multi-line summary of the pipeline state.
+  std::string Describe() const;
+
+  const EngineConfig& config() const { return config_; }
+  EngineConfig& config() { return config_; }
+
+ private:
+  /// FromTrained delegate: pre-trained network, no factory.
+  Engine(EngineConfig config, nn::Sequential net, std::size_t classifier_start);
+
+  /// Float feature rows [N, F] of the prefix [0, classifier_start), computed
+  /// in minibatches.
+  Tensor Features(const Tensor& x);
+
+  /// Backend predictions for feature rows, sharded across threads when the
+  /// backend supports concurrent inference.
+  std::vector<std::int64_t> PredictRows(const Tensor& features);
+
+  void RequireTrained(const char* what) const;
+
+  EngineConfig config_;
+  ModelFactory factory_;
+  nn::Sequential net_;
+  std::size_t classifier_start_ = 0;
+  bool trained_ = false;
+  std::unique_ptr<core::BnnModel> compiled_;
+  std::unique_ptr<InferenceBackend> backend_;
+};
+
+}  // namespace rrambnn::engine

@@ -1,0 +1,86 @@
+#include "engine/registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rrambnn::engine {
+
+std::string ToString(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kReference:
+      return "reference";
+    case BackendKind::kRram:
+      return "rram";
+    case BackendKind::kFaultInjection:
+      return "fault";
+  }
+  return "?";
+}
+
+BackendRegistry::BackendRegistry() {
+  Register("reference",
+           [](const core::BnnModel& model, const BackendSpec& /*spec*/) {
+             return std::make_unique<ReferenceBackend>(model);
+           });
+  Register("rram", [](const core::BnnModel& model, const BackendSpec& spec) {
+    return std::make_unique<RramBackend>(model, spec.mapper);
+  });
+  Register("fault", [](const core::BnnModel& model, const BackendSpec& spec) {
+    return std::make_unique<FaultInjectionBackend>(model, spec.fault_ber,
+                                                   spec.fault_seed);
+  });
+}
+
+BackendRegistry& BackendRegistry::Instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::Register(const std::string& name,
+                               BackendFactory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("BackendRegistry: backend name is empty");
+  }
+  factories_[name] = std::move(factory);
+}
+
+bool BackendRegistry::Contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> BackendRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<InferenceBackend> BackendRegistry::Create(
+    const std::string& name, const core::BnnModel& model,
+    const BackendSpec& spec) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& n : Names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("BackendRegistry: unknown backend \"" + name +
+                                "\"; registered: " + known);
+  }
+  return it->second(model, spec);
+}
+
+std::unique_ptr<InferenceBackend> MakeBackend(const std::string& name,
+                                              const core::BnnModel& model,
+                                              const BackendSpec& spec) {
+  return BackendRegistry::Instance().Create(name, model, spec);
+}
+
+std::unique_ptr<InferenceBackend> MakeBackend(BackendKind kind,
+                                              const core::BnnModel& model,
+                                              const BackendSpec& spec) {
+  return MakeBackend(ToString(kind), model, spec);
+}
+
+}  // namespace rrambnn::engine

@@ -10,6 +10,7 @@
 #include "nn/dense.h"
 #include "nn/dropout.h"
 #include "nn/optimizer.h"
+#include "nn/pool.h"
 #include "nn/trainer.h"
 
 namespace rrambnn::core {
@@ -154,6 +155,100 @@ TEST(Compile, RejectsUnsupportedLayer) {
   net.Emplace<nn::Dense>(std::int64_t{4}, std::int64_t{2}, rng,
                          nn::DenseOptions{.binary = true});
   EXPECT_THROW(CompileClassifier(net, 0), std::invalid_argument);
+}
+
+/// Compiles and returns the rejection message, failing if nothing throws.
+std::string RejectionMessage(const nn::Sequential& net,
+                             std::size_t start_layer = 0) {
+  try {
+    (void)CompileClassifier(net, start_layer);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "CompileClassifier accepted an unsupported model";
+  return "";
+}
+
+TEST(Compile, NonBinaryDenseMessageNamesTheLayer) {
+  Rng rng(21);
+  nn::Sequential net;
+  net.Emplace<nn::Dense>(std::int64_t{4}, std::int64_t{2}, rng);
+  const std::string message = RejectionMessage(net);
+  EXPECT_NE(message.find("not binary"), std::string::npos) << message;
+  EXPECT_NE(message.find("Dense"), std::string::npos) << message;
+}
+
+TEST(Compile, UnsupportedLayerMessageNamesLayerAndPosition) {
+  Rng rng(22);
+  nn::Sequential net;
+  net.Emplace<nn::SignSte>();
+  net.Emplace<nn::HardTanh>();
+  net.Emplace<nn::Dense>(std::int64_t{4}, std::int64_t{2}, rng,
+                         nn::DenseOptions{.binary = true});
+  const std::string message = RejectionMessage(net);
+  EXPECT_NE(message.find("unsupported layer"), std::string::npos) << message;
+  EXPECT_NE(message.find("position 1"), std::string::npos) << message;
+}
+
+TEST(Compile, RejectsPoolInsideClassifier) {
+  Rng rng(23);
+  nn::Sequential net;
+  net.Emplace<nn::Dense>(std::int64_t{8}, std::int64_t{4}, rng,
+                         nn::DenseOptions{.binary = true});
+  net.Emplace<nn::BatchNorm>(4);
+  net.Emplace<nn::SignSte>();
+  net.Emplace<nn::Pool2d>(nn::PoolKind::kMax, std::int64_t{2},
+                          std::int64_t{1});
+  net.Emplace<nn::Dense>(std::int64_t{4}, std::int64_t{2}, rng,
+                         nn::DenseOptions{.binary = true});
+  EXPECT_THROW(CompileClassifier(net, 0), std::invalid_argument);
+}
+
+TEST(Compile, RejectsBatchNormBeforeAnyDense) {
+  Rng rng(24);
+  nn::Sequential net;
+  net.Emplace<nn::BatchNorm>(4);
+  net.Emplace<nn::Dense>(std::int64_t{4}, std::int64_t{2}, rng,
+                         nn::DenseOptions{.binary = true});
+  const std::string message = RejectionMessage(net);
+  EXPECT_NE(message.find("position 0"), std::string::npos) << message;
+}
+
+TEST(Compile, RejectsTrailingLayersAfterOutput) {
+  Rng rng(25);
+  nn::Sequential net;
+  net.Emplace<nn::Dense>(std::int64_t{8}, std::int64_t{4}, rng,
+                         nn::DenseOptions{.binary = true});
+  net.Emplace<nn::BatchNorm>(4);
+  net.Emplace<nn::SignSte>();
+  net.Emplace<nn::Dense>(std::int64_t{4}, std::int64_t{2}, rng,
+                         nn::DenseOptions{.binary = true});
+  net.Emplace<nn::BatchNorm>(2);
+  net.Emplace<nn::Relu>();
+  const std::string message = RejectionMessage(net);
+  EXPECT_NE(message.find("after the output dense layer"), std::string::npos)
+      << message;
+}
+
+TEST(Compile, RejectsHiddenChainWithoutOutputLayer) {
+  Rng rng(26);
+  nn::Sequential net;
+  net.Emplace<nn::Dense>(std::int64_t{8}, std::int64_t{4}, rng,
+                         nn::DenseOptions{.binary = true});
+  net.Emplace<nn::BatchNorm>(4);
+  net.Emplace<nn::SignSte>();
+  const std::string message = RejectionMessage(net);
+  EXPECT_NE(message.find("without an output dense layer"), std::string::npos)
+      << message;
+}
+
+TEST(Compile, RejectsStartLayerOutOfRange) {
+  Rng rng(27);
+  nn::Sequential net;
+  net.Emplace<nn::Dense>(std::int64_t{4}, std::int64_t{2}, rng,
+                         nn::DenseOptions{.binary = true});
+  const std::string message = RejectionMessage(net, 1);
+  EXPECT_NE(message.find("start_layer"), std::string::npos) << message;
 }
 
 TEST(Compile, RejectsModelWithoutOutput) {

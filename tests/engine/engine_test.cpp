@@ -1,0 +1,260 @@
+// Engine facade and backend registry: lifecycle ordering, name-keyed
+// backend selection, threading determinism, energy reporting.
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace rrambnn::engine {
+namespace {
+
+constexpr std::int64_t kIn = 24, kHidden = 16, kClasses = 3;
+
+/// Small binarized classifier in the canonical compile grammar, with a few
+/// training steps so BN statistics and weights are non-trivial.
+nn::Sequential WarmClassifier(Rng& rng) {
+  nn::Sequential net;
+  net.Emplace<nn::SignSte>();
+  net.Emplace<nn::Dense>(kIn, kHidden, rng, nn::DenseOptions{.binary = true});
+  net.Emplace<nn::BatchNorm>(kHidden);
+  net.Emplace<nn::SignSte>();
+  net.Emplace<nn::Dense>(kHidden, kClasses, rng,
+                         nn::DenseOptions{.binary = true});
+  net.Emplace<nn::BatchNorm>(kClasses);
+  nn::SoftmaxCrossEntropy loss;
+  nn::Adam opt(net.Params(), 1e-2f);
+  for (int step = 0; step < 25; ++step) {
+    Tensor x({16, kIn});
+    rng.FillNormal(x, 0.0f, 1.0f);
+    std::vector<std::int64_t> y;
+    for (int i = 0; i < 16; ++i) {
+      y.push_back(x[static_cast<std::int64_t>(i) * kIn] > 0 ? 1 : 0);
+    }
+    opt.ZeroGrad();
+    (void)loss.Forward(net.Forward(x, true), y);
+    net.Backward(loss.Backward());
+    opt.Step();
+  }
+  return net;
+}
+
+nn::Dataset RandomData(std::int64_t n, Rng& rng) {
+  nn::Dataset data;
+  data.x = Tensor({n, kIn});
+  rng.FillNormal(data.x, 0.0f, 1.0f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    data.y.push_back(data.x[i * kIn] > 0 ? 1 : 0);
+  }
+  data.num_classes = kClasses;
+  return data;
+}
+
+Engine MakeTrainedEngine(EngineConfig cfg = {}) {
+  Rng rng(1);
+  return Engine::FromTrained(std::move(cfg), WarmClassifier(rng), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(BackendRegistry, BuiltInsRegisteredByName) {
+  auto& registry = BackendRegistry::Instance();
+  EXPECT_TRUE(registry.Contains("reference"));
+  EXPECT_TRUE(registry.Contains("rram"));
+  EXPECT_TRUE(registry.Contains("fault"));
+  const auto names = registry.Names();
+  EXPECT_GE(names.size(), 3u);
+}
+
+TEST(BackendRegistry, KindToStringMatchesRegistryKeys) {
+  auto& registry = BackendRegistry::Instance();
+  for (const BackendKind kind :
+       {BackendKind::kReference, BackendKind::kRram,
+        BackendKind::kFaultInjection}) {
+    EXPECT_TRUE(registry.Contains(ToString(kind))) << ToString(kind);
+  }
+}
+
+TEST(BackendRegistry, UnknownNameThrowsWithRegisteredList) {
+  Engine eng = MakeTrainedEngine();
+  eng.Compile();
+  try {
+    eng.Deploy("no-such-backend");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("no-such-backend"), std::string::npos) << message;
+    EXPECT_NE(message.find("reference"), std::string::npos) << message;
+  }
+}
+
+TEST(BackendRegistry, CustomBackendSelectableByName) {
+  BackendRegistry::Instance().Register(
+      "custom-reference",
+      [](const core::BnnModel& model, const BackendSpec& /*spec*/) {
+        return std::make_unique<ReferenceBackend>(model);
+      });
+  Engine eng = MakeTrainedEngine();
+  InferenceBackend& backend = eng.Deploy("custom-reference");
+  EXPECT_EQ(backend.name(), "reference");  // wraps the reference substrate
+  Rng rng(5);
+  const nn::Dataset data = RandomData(10, rng);
+  EXPECT_EQ(eng.Predict(data.x).size(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(Engine, LifecycleOrderingEnforced) {
+  EngineConfig cfg;
+  Engine eng(cfg, [](const EngineConfig&, Rng& rng) {
+    return ModelSpec{WarmClassifier(rng), 0};
+  });
+  EXPECT_FALSE(eng.trained());
+  EXPECT_THROW(eng.Compile(), std::logic_error);
+  EXPECT_THROW((void)eng.net(), std::logic_error);
+  EXPECT_THROW((void)eng.compiled_model(), std::logic_error);
+  EXPECT_THROW((void)eng.backend(), std::logic_error);
+  EXPECT_THROW((void)eng.Predict(Tensor({1, kIn})), std::logic_error);
+}
+
+TEST(Engine, RealStrategyHasNothingToCompile) {
+  EngineConfig cfg;
+  cfg.WithStrategy(core::BinarizationStrategy::kReal);
+  Engine eng = MakeTrainedEngine(cfg);
+  EXPECT_THROW(eng.Compile(), std::logic_error);
+}
+
+TEST(Engine, FromTrainedCannotRetrain) {
+  Engine eng = MakeTrainedEngine();
+  Rng rng(2);
+  const nn::Dataset data = RandomData(8, rng);
+  EXPECT_THROW((void)eng.Train(data, data), std::logic_error);
+  EXPECT_THROW((void)eng.CrossValidate(data, 2), std::logic_error);
+}
+
+TEST(Engine, DeployAutoCompilesAndEvaluateSwitchesPath) {
+  Engine eng = MakeTrainedEngine();
+  Rng rng(3);
+  const nn::Dataset data = RandomData(40, rng);
+  const double float_acc = eng.Evaluate(data);  // float path, not deployed
+  EXPECT_FALSE(eng.compiled());
+  eng.Deploy(BackendKind::kReference);  // compiles on demand
+  EXPECT_TRUE(eng.compiled());
+  EXPECT_TRUE(eng.deployed());
+  // The compiled classifier is bit-exact against the float network.
+  EXPECT_EQ(eng.Evaluate(data), float_acc);
+}
+
+TEST(Engine, EmptyBatchPredictReturnsEmpty) {
+  Engine eng = MakeTrainedEngine();
+  eng.Deploy("reference");
+  EXPECT_TRUE(eng.Predict(Tensor({0, kIn})).empty());
+  EXPECT_THROW((void)eng.Predict(Tensor()), std::invalid_argument);
+}
+
+TEST(Engine, DescribeReflectsState) {
+  Engine eng = MakeTrainedEngine();
+  eng.Deploy("rram");
+  const std::string description = eng.Describe();
+  EXPECT_NE(description.find("rram"), std::string::npos) << description;
+  EXPECT_NE(description.find("compiled"), std::string::npos) << description;
+}
+
+// ---------------------------------------------------------------------------
+// Config builder
+// ---------------------------------------------------------------------------
+
+TEST(EngineConfig, BuilderChainsAndValidates) {
+  EngineConfig cfg;
+  cfg.WithStrategy(core::BinarizationStrategy::kFullBinary)
+      .WithBackend(BackendKind::kRram)
+      .WithThreads(4)
+      .WithBatchSize(128)
+      .WithFaultBer(1e-3, 7)
+      .WithModelSeed(11);
+  EXPECT_EQ(cfg.strategy, core::BinarizationStrategy::kFullBinary);
+  EXPECT_EQ(cfg.backend_name, "rram");
+  EXPECT_EQ(cfg.threads, 4);
+  EXPECT_EQ(cfg.batch_size, 128);
+  EXPECT_EQ(cfg.backend.fault_ber, 1e-3);
+  EXPECT_EQ(cfg.backend.fault_seed, 7u);
+  EXPECT_EQ(cfg.model_seed, 11u);
+  EXPECT_THROW(cfg.WithThreads(0), std::invalid_argument);
+  EXPECT_THROW(cfg.WithBatchSize(0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Threading determinism
+// ---------------------------------------------------------------------------
+
+TEST(Engine, MultiThreadedEvaluateMatchesSingleThreaded) {
+  Rng rng(4);
+  const nn::Dataset data = RandomData(101, rng);  // odd size: ragged shards
+  for (const char* backend : {"reference", "fault"}) {
+    Engine single = MakeTrainedEngine();
+    single.config().WithThreads(1);
+    single.Deploy(backend);
+    const double acc1 = single.Evaluate(data);
+    const auto preds1 = single.Predict(data.x);
+    for (const int threads : {2, 4, 7}) {
+      Engine multi = MakeTrainedEngine();
+      multi.config().WithThreads(threads);
+      multi.Deploy(backend);
+      EXPECT_EQ(multi.Evaluate(data), acc1)
+          << backend << " threads=" << threads;
+      EXPECT_EQ(multi.Predict(data.x), preds1)
+          << backend << " threads=" << threads;
+    }
+  }
+}
+
+TEST(Engine, RramBackendSerializedButThreadCountStillHarmless) {
+  Rng rng(6);
+  const nn::Dataset data = RandomData(30, rng);
+  rram::DeviceParams ideal;
+  ideal.sense_offset_sigma = 0.0;
+  ideal.weak_prob_ref = 0.0;
+
+  EngineConfig cfg;
+  cfg.WithDevice(ideal);
+  Engine single = MakeTrainedEngine(cfg);
+  single.config().WithThreads(1);
+  single.Deploy("rram");
+  EXPECT_FALSE(single.backend().SupportsConcurrentInference());
+  const double acc1 = single.Evaluate(data);
+
+  Engine multi = MakeTrainedEngine(cfg);
+  multi.config().WithThreads(8);
+  multi.Deploy("rram");
+  EXPECT_EQ(multi.Evaluate(data), acc1);
+}
+
+// ---------------------------------------------------------------------------
+// Energy reporting
+// ---------------------------------------------------------------------------
+
+TEST(Engine, EnergyReportAvailabilityPerBackend) {
+  Engine eng = MakeTrainedEngine();
+  eng.Deploy("reference");
+  EXPECT_FALSE(eng.EnergyReport().available);
+  eng.Deploy("rram");
+  const EnergyBreakdown report = eng.EnergyReport();
+  EXPECT_TRUE(report.available);
+  EXPECT_GT(report.num_macros, 0);
+  EXPECT_GT(report.area_mm2, 0.0);
+  EXPECT_GT(report.programming.program_energy_pj, 0.0);
+  EXPECT_GT(report.per_inference.read_energy_pj, 0.0);
+  EXPECT_LT(report.per_inference.read_energy_pj,
+            report.programming.program_energy_pj);
+}
+
+}  // namespace
+}  // namespace rrambnn::engine

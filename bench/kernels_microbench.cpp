@@ -1,8 +1,10 @@
 // Google-benchmark microbenchmarks of the deployment-path kernels: packed
 // XNOR-popcount layers versus float dense products (the Eq. (3) speedup),
-// plus simulated RRAM array transactions.
+// the batched bit-plane GEMM versus the per-row loop, plus simulated RRAM
+// array transactions.
 #include <benchmark/benchmark.h>
 
+#include "core/bitgemm.h"
 #include "core/bitops.h"
 #include "core/bnn_model.h"
 #include "nn/gemm.h"
@@ -68,6 +70,82 @@ void BM_BnnModelPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BnnModelPredict);
+
+/// Random packed matrix for the GEMM benchmarks.
+core::BitMatrix RandomBits(std::int64_t rows, std::int64_t cols,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> values(static_cast<std::size_t>(rows * cols));
+  for (auto& v : values) v = rng.Normal(0.0f, 1.0f);
+  return core::BitMatrix::FromSignRows(values, rows, cols);
+}
+
+/// Batched bit-plane GEMM on the EEG geometry: an N-row activation batch
+/// against the 80x2520 weight plane in one fused kernel.
+void BM_XnorGemmBatch2520x80(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const core::BitMatrix x = RandomBits(n, 2520, 5);
+  const core::BitMatrix w = RandomBits(80, 2520, 6);
+  std::vector<std::int32_t> pops;
+  for (auto _ : state) {
+    core::XnorPopcountGemm(x, w, pops);
+    benchmark::DoNotOptimize(pops.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2520 * 80);
+}
+BENCHMARK(BM_XnorGemmBatch2520x80)->Arg(16)->Arg(64)->Arg(256);
+
+/// Same work through the per-row kernel loop (the pre-batching path).
+void BM_XnorRowLoopBatch2520x80(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const core::BitMatrix x = RandomBits(n, 2520, 5);
+  const core::BitMatrix w = RandomBits(80, 2520, 6);
+  std::vector<std::int64_t> pops(static_cast<std::size_t>(n * 80));
+  core::BitVector row;
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      x.ExtractRow(i, row);
+      for (std::int64_t j = 0; j < 80; ++j) {
+        pops[static_cast<std::size_t>(i * 80 + j)] = w.RowXnorPopcount(j, row);
+      }
+    }
+    benchmark::DoNotOptimize(pops.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2520 * 80);
+}
+BENCHMARK(BM_XnorRowLoopBatch2520x80)->Arg(16)->Arg(64)->Arg(256);
+
+/// The scalar GEMM kernel, for the AVX2-vs-scalar ratio on this host.
+void BM_XnorGemmBatchScalar2520x80(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const core::BitMatrix x = RandomBits(n, 2520, 5);
+  const core::BitMatrix w = RandomBits(80, 2520, 6);
+  std::vector<std::int32_t> pops;
+  const bool prev = core::SetXnorGemmForceScalar(true);
+  for (auto _ : state) {
+    core::XnorPopcountGemm(x, w, pops);
+    benchmark::DoNotOptimize(pops.data());
+  }
+  core::SetXnorGemmForceScalar(prev);
+  state.SetItemsProcessed(state.iterations() * n * 2520 * 80);
+}
+BENCHMARK(BM_XnorGemmBatchScalar2520x80)->Arg(64);
+
+/// Float dense batch on the same geometry, for the Eq. (3) speedup context.
+void BM_FloatDenseBatch2520x80(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(7);
+  Tensor w({80, 2520}), x({n, 2520}), y({n, 80});
+  rng.FillNormal(w, 0.0f, 1.0f);
+  rng.FillNormal(x, 0.0f, 1.0f);
+  for (auto _ : state) {
+    y.Fill(0.0f);
+    nn::GemmTransBAccumulate(x.data(), w.data(), y.data(), n, 2520, 80);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2520 * 80);
+}
+BENCHMARK(BM_FloatDenseBatch2520x80)->Arg(16)->Arg(64);
 
 /// Simulated RRAM row read with XNOR (32 columns, the fabricated die's
 /// word width).

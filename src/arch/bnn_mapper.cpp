@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/bitgemm.h"
+
 namespace rrambnn::arch {
 
 namespace {
@@ -60,33 +62,35 @@ MappedBnn::MappedLayer MappedBnn::MapMatrix(const core::BitMatrix& weights) {
   return layer;
 }
 
-std::vector<std::int64_t> MappedBnn::LayerPopcounts(MappedLayer& layer,
-                                                    const core::BitVector& x) {
+const std::vector<std::int64_t>& MappedBnn::LayerPopcounts(
+    MappedLayer& layer, const core::BitVector& x) {
   if (x.size() != layer.in_features) {
     throw std::invalid_argument("MappedBnn: input width mismatch");
   }
-  // Slice the input into per-column-tile {-1,+1} segments once.
-  std::vector<std::vector<int>> tile_inputs(
-      static_cast<std::size_t>(layer.col_tiles));
+  // Slice the input into per-column-tile {-1,+1} segments once. The segment
+  // buffers are member scratch reused across the rows of a batch.
+  if (tile_input_scratch_.size() < static_cast<std::size_t>(layer.col_tiles)) {
+    tile_input_scratch_.resize(static_cast<std::size_t>(layer.col_tiles));
+  }
   for (std::int64_t ct = 0; ct < layer.col_tiles; ++ct) {
     const std::int64_t begin = ct * config_.macro_cols;
     const std::int64_t end =
         std::min(layer.in_features, begin + config_.macro_cols);
-    auto& seg = tile_inputs[static_cast<std::size_t>(ct)];
+    auto& seg = tile_input_scratch_[static_cast<std::size_t>(ct)];
     seg.resize(static_cast<std::size_t>(end - begin));
     for (std::int64_t c = begin; c < end; ++c) {
       seg[static_cast<std::size_t>(c - begin)] = x.Get(c);
     }
   }
-  std::vector<std::int64_t> popcounts(
-      static_cast<std::size_t>(layer.out_features), 0);
+  std::vector<std::int64_t>& popcounts = popcount_scratch_;
+  popcounts.assign(static_cast<std::size_t>(layer.out_features), 0);
   for (std::int64_t rt = 0; rt < layer.row_tiles; ++rt) {
     const std::int64_t rows_here = std::min(
         config_.macro_rows, layer.out_features - rt * config_.macro_rows);
     for (std::int64_t ct = 0; ct < layer.col_tiles; ++ct) {
       XnorMacro& macro =
           *layer.macros[static_cast<std::size_t>(rt * layer.col_tiles + ct)];
-      const auto& seg = tile_inputs[static_cast<std::size_t>(ct)];
+      const auto& seg = tile_input_scratch_[static_cast<std::size_t>(ct)];
       for (std::int64_t r = 0; r < rows_here; ++r) {
         popcounts[static_cast<std::size_t>(rt * config_.macro_rows + r)] +=
             macro.RowXnorPopcount(r, seg);
@@ -100,7 +104,7 @@ std::vector<float> MappedBnn::Scores(const core::BitVector& x) {
   core::BitVector activ = x;
   for (std::size_t l = 0; l < model_.num_hidden(); ++l) {
     const auto& spec = model_.hidden()[l];
-    const std::vector<std::int64_t> pops = LayerPopcounts(layers_[l], activ);
+    const std::vector<std::int64_t>& pops = LayerPopcounts(layers_[l], activ);
     core::BitVector next(spec.out_features());
     for (std::int64_t j = 0; j < spec.out_features(); ++j) {
       next.Set(j, pops[static_cast<std::size_t>(j)] >=
@@ -111,7 +115,7 @@ std::vector<float> MappedBnn::Scores(const core::BitVector& x) {
     activ = std::move(next);
   }
   const auto& out_spec = model_.output();
-  const std::vector<std::int64_t> pops =
+  const std::vector<std::int64_t>& pops =
       LayerPopcounts(layers_.back(), activ);
   std::vector<float> scores(static_cast<std::size_t>(out_spec.num_classes()));
   for (std::int64_t k = 0; k < out_spec.num_classes(); ++k) {
@@ -127,6 +131,153 @@ std::vector<float> MappedBnn::Scores(const core::BitVector& x) {
 std::int64_t MappedBnn::Predict(const core::BitVector& x) {
   const std::vector<float> s = Scores(x);
   return std::distance(s.begin(), std::max_element(s.begin(), s.end()));
+}
+
+bool MappedBnn::DeterministicReads() const {
+  return config_.device.sense_offset_sigma == 0.0;
+}
+
+const MappedBnn::ReadbackPlanes& MappedBnn::Planes() {
+  if (!DeterministicReads()) {
+    throw std::logic_error(
+        "MappedBnn: senses are stochastic (sense_offset_sigma > 0); the "
+        "fabric's reads cannot be snapshotted into bit planes");
+  }
+  if (planes_) return *planes_;
+
+  // One full read of every programmed synapse through the PCSAs. With a
+  // deterministic sense path each cell always reads the same value, so the
+  // planes below are exactly what every future inference would sense —
+  // programming errors (weak devices crossing their partner) included.
+  auto planes = std::make_unique<ReadbackPlanes>();
+  for (auto& layer : layers_) {
+    core::BitMatrix readback(layer.out_features, layer.in_features);
+    // Padding cells are programmed to +1 and driven with -1 inputs, so a
+    // padding cell only contributes to a row's popcount when it reads back
+    // -1 (a programming error): XNOR(-1, -1) = +1. That contribution is
+    // input-independent, so it is tallied per row.
+    std::vector<std::int32_t> pad_errors(
+        static_cast<std::size_t>(layer.out_features), 0);
+    for (std::int64_t rt = 0; rt < layer.row_tiles; ++rt) {
+      const std::int64_t rows_here = std::min(
+          config_.macro_rows, layer.out_features - rt * config_.macro_rows);
+      for (std::int64_t ct = 0; ct < layer.col_tiles; ++ct) {
+        XnorMacro& macro =
+            *layer.macros[static_cast<std::size_t>(rt * layer.col_tiles + ct)];
+        const std::int64_t cols_here = std::min(
+            config_.macro_cols, layer.in_features - ct * config_.macro_cols);
+        for (std::int64_t r = 0; r < rows_here; ++r) {
+          const std::int64_t global_row = rt * config_.macro_rows + r;
+          for (std::int64_t c = 0; c < config_.macro_cols; ++c) {
+            const int sensed = macro.array().ReadWeight(r, c);
+            if (c < cols_here) {
+              readback.Set(global_row, ct * config_.macro_cols + c, sensed);
+            } else if (sensed == -1) {
+              ++pad_errors[static_cast<std::size_t>(global_row)];
+            }
+          }
+        }
+      }
+    }
+    planes->weights.push_back(std::move(readback));
+    planes->pad_errors.push_back(std::move(pad_errors));
+  }
+  planes_ = std::move(planes);
+  return *planes_;
+}
+
+const core::BnnModel& MappedBnn::ReadbackSnapshot() {
+  if (snapshot_) return *snapshot_;
+  const ReadbackPlanes& planes = Planes();
+  auto snapshot = std::make_unique<core::BnnModel>();
+  for (std::size_t l = 0; l < model_.num_hidden(); ++l) {
+    core::BnnDenseLayer hidden;
+    hidden.weights = planes.weights[l];
+    hidden.thresholds = model_.hidden()[l].thresholds;
+    for (std::size_t j = 0; j < hidden.thresholds.size(); ++j) {
+      hidden.thresholds[j] -= planes.pad_errors[l][j];
+    }
+    snapshot->AddHidden(std::move(hidden));
+  }
+  const auto& out_spec = model_.output();
+  core::BnnOutputLayer out;
+  out.weights = planes.weights.back();
+  out.scale = out_spec.scale;
+  out.offset = out_spec.offset;
+  for (std::size_t k = 0; k < out.offset.size(); ++k) {
+    out.offset[k] +=
+        out.scale[k] * 2.0f *
+        static_cast<float>(planes.pad_errors.back()[k]);
+  }
+  snapshot->SetOutput(std::move(out));
+  snapshot_ = std::move(snapshot);
+  return *snapshot_;
+}
+
+std::vector<float> MappedBnn::ScoresBatch(const core::BitMatrix& batch) {
+  if (batch.cols() != input_size()) {
+    throw std::invalid_argument("MappedBnn::ScoresBatch: width mismatch");
+  }
+  const std::int64_t n = batch.rows();
+  const std::int64_t m = num_classes();
+  if (!DeterministicReads()) {
+    // Stochastic senses: serve the batch through the per-row transaction-
+    // level simulation (same RNG draw order as repeated Scores() calls).
+    std::vector<float> out(static_cast<std::size_t>(n * m));
+    core::BitVector x;
+    for (std::int64_t i = 0; i < n; ++i) {
+      batch.ExtractRow(i, x);
+      const std::vector<float> scores = Scores(x);
+      std::copy(scores.begin(), scores.end(), out.begin() + i * m);
+    }
+    return out;
+  }
+
+  // Deterministic senses: serve through the readback planes and the packed
+  // bit-plane GEMM. Padding read errors are applied as integer popcount
+  // biases, so every comparison and float expression below matches the
+  // transaction-level path bit for bit.
+  const ReadbackPlanes& planes = Planes();
+  std::vector<std::int32_t> pops;
+  const core::BitMatrix* cur = &batch;
+  core::BitMatrix act;
+  for (std::size_t l = 0; l < model_.num_hidden(); ++l) {
+    const auto& spec = model_.hidden()[l];
+    core::XnorPopcountGemm(*cur, planes.weights[l], pops);
+    const std::int64_t width = spec.out_features();
+    core::BitMatrix next(n, width);
+    const std::vector<std::int32_t>& pad = planes.pad_errors[l];
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int32_t* row = pops.data() + i * width;
+      for (std::int64_t j = 0; j < width; ++j) {
+        const std::size_t sj = static_cast<std::size_t>(j);
+        if (row[j] + pad[sj] >= spec.thresholds[sj]) next.Set(i, j, +1);
+      }
+    }
+    act = std::move(next);
+    cur = &act;
+  }
+  const auto& out_spec = model_.output();
+  core::XnorPopcountGemm(*cur, planes.weights.back(), pops);
+  const std::vector<std::int32_t>& pad = planes.pad_errors.back();
+  std::vector<float> scores(static_cast<std::size_t>(n * m));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t* row = pops.data() + i * m;
+    float* out_row = scores.data() + i * m;
+    for (std::int64_t k = 0; k < m; ++k) {
+      const std::size_t sk = static_cast<std::size_t>(k);
+      const auto dot = static_cast<float>(
+          2 * (static_cast<std::int64_t>(row[k]) + pad[sk]) -
+          out_spec.in_features());
+      out_row[k] = out_spec.scale[sk] * dot + out_spec.offset[sk];
+    }
+  }
+  return scores;
+}
+
+std::vector<std::int64_t> MappedBnn::PredictPacked(
+    const core::BitMatrix& batch) {
+  return core::ArgmaxRows(ScoresBatch(batch), batch.rows(), num_classes());
 }
 
 std::vector<std::int64_t> MappedBnn::PredictBatch(const Tensor& features) {
@@ -147,6 +298,8 @@ std::vector<std::int64_t> MappedBnn::PredictBatch(const Tensor& features) {
 }
 
 void MappedBnn::Stress(std::uint64_t cycles, bool reprogram_after) {
+  planes_.reset();  // device state changes: the readback planes are stale
+  snapshot_.reset();
   for (auto& layer : layers_) {
     for (auto& macro : layer.macros) {
       macro->Stress(cycles);

@@ -45,8 +45,35 @@ class MappedBnn {
   /// Argmax prediction through the arrays.
   std::int64_t Predict(const core::BitVector& x);
 
+  /// Class scores for a packed batch [N, input_size], row-major
+  /// [N, num_classes]. With deterministic senses (DeterministicReads())
+  /// this serves through the packed readback snapshot and the bit-plane
+  /// GEMM; otherwise it falls back to the per-row transaction-level
+  /// simulation. Either way the result is bit-identical to calling
+  /// Scores() row by row.
+  std::vector<float> ScoresBatch(const core::BitMatrix& batch);
+
+  /// Argmax per row of a packed batch (first maximum wins, as Predict).
+  std::vector<std::int64_t> PredictPacked(const core::BitMatrix& batch);
+
   /// Batch prediction over real feature rows [N, F] (binarized by sign).
   std::vector<std::int64_t> PredictBatch(const Tensor& features);
+
+  /// True when every PCSA sense is deterministic (zero sense offset), so
+  /// the fabric's read behaviour can be snapshotted into packed bit planes.
+  bool DeterministicReads() const;
+
+  /// Packed bit-plane snapshot of what the chip's PCSAs return for every
+  /// programmed synapse: the deployed model *as the hardware reads it*,
+  /// including programming errors — an introspection/export view. Read
+  /// errors on padding cells are folded into the thresholds (hidden
+  /// layers, exact integer fold) and offsets (output layer, a float fold
+  /// that is algebraically equivalent but can differ from the fabric in
+  /// the last ulp when padding read errors exist). ScoresBatch() does NOT
+  /// serve through this model — it uses the internal planes with integer
+  /// popcount biases, which are bit-exact in every case. Requires
+  /// DeterministicReads(); rebuilt lazily after Stress().
+  const core::BnnModel& ReadbackSnapshot();
 
   /// Ages all devices, then optionally reprograms (refresh).
   void Stress(std::uint64_t cycles, bool reprogram_after);
@@ -78,16 +105,42 @@ class MappedBnn {
   };
 
   /// Computes popcount(XNOR(w_j, x)) for every neuron of a mapped layer by
-  /// accumulating per-tile partial popcounts.
-  std::vector<std::int64_t> LayerPopcounts(MappedLayer& layer,
-                                           const core::BitVector& x);
+  /// accumulating per-tile partial popcounts. Returns a reference to the
+  /// member scratch buffer (valid until the next call).
+  const std::vector<std::int64_t>& LayerPopcounts(MappedLayer& layer,
+                                                  const core::BitVector& x);
 
   MappedLayer MapMatrix(const core::BitMatrix& weights);
+
+  /// Deterministic readback of the whole fabric: per mapped layer, the
+  /// packed bit plane of sensed logical weights plus the per-row count of
+  /// padding cells that read back -1 (each contributes +1 to every popcount
+  /// of that row, independent of the input). Keeping the padding term as an
+  /// integer keeps the batched path bit-exact against the transaction-level
+  /// simulation even when padding cells carry programming errors.
+  struct ReadbackPlanes {
+    std::vector<core::BitMatrix> weights;
+    std::vector<std::vector<std::int32_t>> pad_errors;
+  };
+
+  /// Lazily builds (and caches) the readback planes; requires
+  /// DeterministicReads().
+  const ReadbackPlanes& Planes();
 
   core::BnnModel model_;  // thresholds/affine params (the digital periphery)
   MapperConfig config_;
   std::vector<MappedLayer> layers_;  // hidden layers then output layer
   std::uint64_t seed_counter_ = 0;
+
+  // Lazily built readback state (DeterministicReads() only); invalidated
+  // whenever device state changes.
+  std::unique_ptr<ReadbackPlanes> planes_;
+  std::unique_ptr<core::BnnModel> snapshot_;
+
+  // Scratch hoisted out of the per-row hot loop, reused across the rows of
+  // a batch (the fabric is a serialized resource, so member scratch is safe).
+  std::vector<std::vector<int>> tile_input_scratch_;
+  std::vector<std::int64_t> popcount_scratch_;
 };
 
 }  // namespace rrambnn::arch

@@ -1,0 +1,38 @@
+// Packed bit-plane GEMM: the batched XNOR-popcount kernel of Eq. (3).
+//
+// For an activation batch X [N, L] and a weight matrix W [M, L], both packed
+// as BitMatrix (bit 1 = +1), computes the popcount matrix
+//     P[i][j] = popcount(XNOR(X.row(i), W.row(j)))
+// over the logical L columns — one fused pass instead of N*M row kernels.
+// Word-level cache blocking keeps the streamed operand resident in L1; the
+// scalar kernel runs a 4x-unrolled std::popcount inner loop; on x86-64 a
+// runtime dispatcher upgrades to an AVX2 kernel (256-bit XNOR + nibble-LUT
+// popcount). Both kernels produce identical integers — the AVX2 path is an
+// implementation detail, never a semantic one.
+//
+// Padding discipline: BitMatrix keeps all padding bits of the final word
+// zero, so XNOR sets exactly (words*64 - L) spurious ones per row pair; the
+// kernels count full words and the wrapper subtracts that constant, which
+// keeps tail masking out of the inner loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bitops.h"
+
+namespace rrambnn::core {
+
+/// out[i * w.rows() + j] = popcount(XNOR(x.row(i), w.row(j))).
+/// Requires x.cols() == w.cols(); `out` is resized to x.rows() * w.rows().
+void XnorPopcountGemm(const BitMatrix& x, const BitMatrix& w,
+                      std::vector<std::int32_t>& out);
+
+/// Name of the kernel the runtime dispatcher selected ("avx2" or "scalar").
+const char* XnorGemmKernelName();
+
+/// Forces the scalar kernel regardless of CPU support (tests/benchmarks
+/// compare the two). Returns the previous setting.
+bool SetXnorGemmForceScalar(bool force);
+
+}  // namespace rrambnn::core

@@ -1,5 +1,6 @@
 #include "core/bitops.h"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 #include <string>
@@ -125,15 +126,26 @@ BitMatrix::BitMatrix(std::int64_t rows, std::int64_t cols)
 
 BitMatrix BitMatrix::FromSigns(std::span<const float> values,
                                std::int64_t rows, std::int64_t cols) {
+  return FromSignRows(values, rows, cols);
+}
+
+BitMatrix BitMatrix::FromSignRows(std::span<const float> values,
+                                  std::int64_t rows, std::int64_t cols) {
   if (static_cast<std::int64_t>(values.size()) != rows * cols) {
-    throw std::invalid_argument("BitMatrix::FromSigns: size mismatch");
+    throw std::invalid_argument("BitMatrix::FromSignRows: size mismatch");
   }
   BitMatrix m(rows, cols);
   for (std::int64_t r = 0; r < rows; ++r) {
-    for (std::int64_t c = 0; c < cols; ++c) {
-      if (values[static_cast<std::size_t>(r * cols + c)] >= 0.0f) {
-        m.Set(r, c, +1);
+    const float* src = values.data() + r * cols;
+    std::uint64_t* dst = m.words_.data() + r * m.words_per_row_;
+    for (std::int64_t w = 0; w < m.words_per_row_; ++w) {
+      const std::int64_t base = w * kWordBits;
+      const std::int64_t nbits = std::min<std::int64_t>(kWordBits, cols - base);
+      std::uint64_t bits = 0;
+      for (std::int64_t k = 0; k < nbits; ++k) {
+        bits |= static_cast<std::uint64_t>(src[base + k] >= 0.0f) << k;
       }
+      dst[w] = bits;
     }
   }
   return m;
@@ -196,6 +208,7 @@ std::int64_t BitMatrix::RowXnorPopcount(std::int64_t r,
       words_.data() + static_cast<std::size_t>(r * words_per_row_);
   std::int64_t count = 0;
   const std::size_t n = static_cast<std::size_t>(words_per_row_);
+  if (n == 0) return 0;
   for (std::size_t i = 0; i + 1 < n; ++i) {
     count += std::popcount(~(row[i] ^ x.words_[i]));
   }
@@ -222,6 +235,33 @@ void BitMatrix::SetRow(std::int64_t r, const BitVector& v) {
     words_[static_cast<std::size_t>(r * words_per_row_ + w)] =
         v.words_[static_cast<std::size_t>(w)];
   }
+}
+
+void BitMatrix::ExtractRow(std::int64_t r, BitVector& out) const {
+  CheckAddress(r, 0);
+  if (out.size_ != cols_) {
+    out.size_ = cols_;
+    out.words_.resize(static_cast<std::size_t>(words_per_row_));
+  }
+  const std::uint64_t* src =
+      words_.data() + static_cast<std::size_t>(r * words_per_row_);
+  std::copy(src, src + words_per_row_, out.words_.begin());
+}
+
+BitMatrix BitMatrix::RowSlice(std::int64_t begin, std::int64_t end) const {
+  if (begin < 0 || end < begin || end > rows_) {
+    throw std::invalid_argument("BitMatrix::RowSlice: bad row range");
+  }
+  BitMatrix out(end - begin, cols_);
+  std::copy(words_.begin() + begin * words_per_row_,
+            words_.begin() + end * words_per_row_, out.words_.begin());
+  return out;
+}
+
+std::span<const std::uint64_t> BitMatrix::RowWords(std::int64_t r) const {
+  CheckAddress(r, 0);
+  return {words_.data() + static_cast<std::size_t>(r * words_per_row_),
+          static_cast<std::size_t>(words_per_row_)};
 }
 
 }  // namespace rrambnn::core

@@ -74,6 +74,12 @@ class BitMatrix {
   static BitMatrix FromSigns(std::span<const float> values, std::int64_t rows,
                              std::int64_t cols);
 
+  /// Packs a batch of float feature rows by sign in one word-building pass —
+  /// the deployment-path packer: builds each 64-bit word directly instead of
+  /// setting bits one at a time. Bit semantics identical to FromSigns.
+  static BitMatrix FromSignRows(std::span<const float> values,
+                                std::int64_t rows, std::int64_t cols);
+
   std::int64_t rows() const { return rows_; }
   std::int64_t cols() const { return cols_; }
 
@@ -96,6 +102,18 @@ class BitMatrix {
   /// Row as a BitVector copy.
   BitVector Row(std::int64_t r) const;
   void SetRow(std::int64_t r, const BitVector& v);
+
+  /// Copies row r into `out`, reusing out's storage when the width already
+  /// matches (the allocation-free row extractor of the serving hot loop).
+  void ExtractRow(std::int64_t r, BitVector& out) const;
+
+  /// Copies rows [begin, end) into a new matrix of the same width.
+  BitMatrix RowSlice(std::int64_t begin, std::int64_t end) const;
+
+  /// 64-bit words of one packed row (padding bits are always zero).
+  std::span<const std::uint64_t> RowWords(std::int64_t r) const;
+
+  std::int64_t words_per_row() const { return words_per_row_; }
 
   /// Total storage in bits (rows * cols; padding excluded).
   std::int64_t bits() const { return rows_ * cols_; }

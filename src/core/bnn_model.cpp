@@ -1,18 +1,58 @@
 #include "core/bnn_model.h"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
+
+#include "core/bitgemm.h"
 
 namespace rrambnn::core {
 
+std::vector<std::int64_t> ArgmaxRows(std::span<const float> scores,
+                                     std::int64_t rows,
+                                     std::int64_t classes) {
+  if (static_cast<std::int64_t>(scores.size()) != rows * classes) {
+    throw std::invalid_argument("ArgmaxRows: score count mismatch");
+  }
+  std::vector<std::int64_t> preds(static_cast<std::size_t>(rows));
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float* row = scores.data() + i * classes;
+    preds[static_cast<std::size_t>(i)] =
+        std::distance(row, std::max_element(row, row + classes));
+  }
+  return preds;
+}
+
 BitVector BnnDenseLayer::Forward(const BitVector& x) const {
+  BitVector out;
+  ForwardInto(x, out);
+  return out;
+}
+
+void BnnDenseLayer::ForwardInto(const BitVector& x, BitVector& out) const {
   if (x.size() != in_features()) {
     throw std::invalid_argument("BnnDenseLayer: input size mismatch");
   }
-  BitVector out(out_features());
+  if (out.size() != out_features()) out = BitVector(out_features());
   for (std::int64_t j = 0; j < out_features(); ++j) {
     const std::int64_t pop = weights.RowXnorPopcount(j, x);
     out.Set(j, pop >= thresholds[static_cast<std::size_t>(j)] ? +1 : -1);
+  }
+}
+
+BitMatrix BnnDenseLayer::ForwardBatch(
+    const BitMatrix& x, std::vector<std::int32_t>& pop_scratch) const {
+  if (x.cols() != in_features()) {
+    throw std::invalid_argument("BnnDenseLayer: batch width mismatch");
+  }
+  XnorPopcountGemm(x, weights, pop_scratch);
+  const std::int64_t n = x.rows(), m = out_features();
+  BitMatrix out(n, m);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t* pops = pop_scratch.data() + i * m;
+    for (std::int64_t j = 0; j < m; ++j) {
+      if (pops[j] >= thresholds[static_cast<std::size_t>(j)]) out.Set(i, j, +1);
+    }
   }
   return out;
 }
@@ -27,6 +67,30 @@ std::vector<float> BnnOutputLayer::Forward(const BitVector& x) const {
     scores[static_cast<std::size_t>(k)] =
         scale[static_cast<std::size_t>(k)] * dot +
         offset[static_cast<std::size_t>(k)];
+  }
+  return scores;
+}
+
+std::vector<float> BnnOutputLayer::ForwardBatch(
+    const BitMatrix& x, std::vector<std::int32_t>& pop_scratch) const {
+  if (x.cols() != in_features()) {
+    throw std::invalid_argument("BnnOutputLayer: batch width mismatch");
+  }
+  XnorPopcountGemm(x, weights, pop_scratch);
+  const std::int64_t n = x.rows(), m = num_classes();
+  std::vector<float> scores(static_cast<std::size_t>(n * m));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t* pops = pop_scratch.data() + i * m;
+    float* row = scores.data() + i * m;
+    for (std::int64_t k = 0; k < m; ++k) {
+      // Same int -> float conversion and affine as the per-row path, so the
+      // resulting floats are bit-identical.
+      const auto dot =
+          static_cast<float>(2 * static_cast<std::int64_t>(pops[k]) -
+                             in_features());
+      row[k] = scale[static_cast<std::size_t>(k)] * dot +
+               offset[static_cast<std::size_t>(k)];
+    }
   }
   return scores;
 }
@@ -80,14 +144,39 @@ void BnnModel::Validate() const {
 }
 
 std::vector<float> BnnModel::Scores(const BitVector& x) const {
-  BitVector h = x;
-  for (const auto& layer : hidden_) h = layer.Forward(h);
-  return output_.Forward(h);
+  if (hidden_.empty()) return output_.Forward(x);
+  // Two ping-pong activation buffers instead of one allocation per layer.
+  BitVector a, b;
+  hidden_.front().ForwardInto(x, a);
+  for (std::size_t l = 1; l < hidden_.size(); ++l) {
+    hidden_[l].ForwardInto(a, b);
+    std::swap(a, b);
+  }
+  return output_.Forward(a);
+}
+
+std::vector<float> BnnModel::ScoresBatch(const BitMatrix& batch) const {
+  if (batch.cols() != input_size()) {
+    throw std::invalid_argument("ScoresBatch: batch width mismatch");
+  }
+  std::vector<std::int32_t> pops;  // shared popcount scratch across layers
+  const BitMatrix* cur = &batch;
+  BitMatrix act;
+  for (const auto& layer : hidden_) {
+    act = layer.ForwardBatch(*cur, pops);
+    cur = &act;
+  }
+  return output_.ForwardBatch(*cur, pops);
 }
 
 std::int64_t BnnModel::Predict(const BitVector& x) const {
   const std::vector<float> s = Scores(x);
   return std::distance(s.begin(), std::max_element(s.begin(), s.end()));
+}
+
+std::vector<std::int64_t> BnnModel::PredictPacked(
+    const BitMatrix& batch) const {
+  return ArgmaxRows(ScoresBatch(batch), batch.rows(), num_classes());
 }
 
 std::vector<std::int64_t> BnnModel::PredictBatch(const Tensor& features) const {
@@ -98,14 +187,10 @@ std::vector<std::int64_t> BnnModel::PredictBatch(const Tensor& features) const {
   if (f != input_size()) {
     throw std::invalid_argument("PredictBatch: feature width mismatch");
   }
-  std::vector<std::int64_t> preds(static_cast<std::size_t>(n));
-  for (std::int64_t i = 0; i < n; ++i) {
-    const BitVector x = BitVector::FromSigns(
-        std::span<const float>(features.data() + i * f,
-                               static_cast<std::size_t>(f)));
-    preds[static_cast<std::size_t>(i)] = Predict(x);
-  }
-  return preds;
+  const BitMatrix packed = BitMatrix::FromSignRows(
+      std::span<const float>(features.data(), static_cast<std::size_t>(n * f)),
+      n, f);
+  return PredictPacked(packed);
 }
 
 std::int64_t BnnModel::TotalWeightBits() const {

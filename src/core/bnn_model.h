@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,11 @@
 #include "tensor/tensor.h"
 
 namespace rrambnn::core {
+
+/// Argmax per row of a row-major [rows, classes] score matrix; the first
+/// maximum wins, matching single-row Predict() everywhere.
+std::vector<std::int64_t> ArgmaxRows(std::span<const float> scores,
+                                     std::int64_t rows, std::int64_t classes);
 
 /// Hidden binarized dense layer: binary in -> binary out.
 struct BnnDenseLayer {
@@ -28,6 +34,16 @@ struct BnnDenseLayer {
 
   /// out_j = +1 iff popcount(XNOR(w_j, x)) >= theta_j.
   BitVector Forward(const BitVector& x) const;
+
+  /// Forward into a caller-owned output vector (resized on width mismatch)
+  /// so the per-row serving loop reuses activation storage across layers.
+  void ForwardInto(const BitVector& x, BitVector& out) const;
+
+  /// Batched forward over a packed activation batch [N, in] -> [N, out]
+  /// through the bit-plane GEMM. `pop_scratch` is the reusable popcount
+  /// buffer shared across the layers of one batch.
+  BitMatrix ForwardBatch(const BitMatrix& x,
+                         std::vector<std::int32_t>& pop_scratch) const;
 };
 
 /// Output layer: binary in -> real class scores.
@@ -40,6 +56,10 @@ struct BnnOutputLayer {
   std::int64_t num_classes() const { return weights.rows(); }
 
   std::vector<float> Forward(const BitVector& x) const;
+
+  /// Batched scores over a packed batch [N, in]: row-major [N, classes].
+  std::vector<float> ForwardBatch(const BitMatrix& x,
+                                  std::vector<std::int32_t>& pop_scratch) const;
 };
 
 /// Compiled BNN classifier: a chain of hidden layers plus an output layer.
@@ -61,11 +81,20 @@ class BnnModel {
   /// Class scores for one packed input.
   std::vector<float> Scores(const BitVector& x) const;
 
+  /// Class scores for a packed batch [N, input_size], computed layer by
+  /// layer through the bit-plane GEMM; row-major [N, num_classes].
+  /// Bit-identical to calling Scores() per row.
+  std::vector<float> ScoresBatch(const BitMatrix& batch) const;
+
   /// Argmax class for one packed input.
   std::int64_t Predict(const BitVector& x) const;
 
-  /// Batch prediction over real-valued feature rows [N, F]: each row is
-  /// binarized by sign and pushed through the compiled network.
+  /// Argmax class per row of a packed batch (first maximum wins, exactly as
+  /// Predict).
+  std::vector<std::int64_t> PredictPacked(const BitMatrix& batch) const;
+
+  /// Batch prediction over real-valued feature rows [N, F]: the batch is
+  /// sign-packed in one pass and pushed through the batched kernels.
   std::vector<std::int64_t> PredictBatch(const Tensor& features) const;
 
   /// Total weight bits across all layers (Table IV accounting).

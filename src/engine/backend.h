@@ -46,12 +46,27 @@ class InferenceBackend {
   /// Class scores for one packed binary input.
   virtual std::vector<float> Scores(const core::BitVector& x) = 0;
 
+  /// Class scores for a packed batch [N, input_size], row-major
+  /// [N, num_classes]. The default runs Scores() per row in order.
+  /// Contract: at zero device noise every backend's batch path is
+  /// bit-identical to its per-row path (enforced by
+  /// tests/engine/batch_serving_test.cpp). Backends with per-resource
+  /// stochasticity may route batch rows differently from repeated
+  /// single-row calls — ShardedRramBackend serves Scores() on chip 0 but
+  /// shards a batch across all chips, so at nonzero device noise the two
+  /// paths sample different chips (see its class comment).
+  virtual std::vector<float> ScoresBatch(const core::BitMatrix& batch);
+
   /// Argmax class for one packed input. Default: argmax of Scores().
   virtual std::int64_t Predict(const core::BitVector& x);
 
-  /// Batch prediction over real-valued feature rows [N, F]: each row is
-  /// binarized by sign and scored. Rows are independent; the default
-  /// implementation runs them in order.
+  /// Argmax class per row of a packed batch (first maximum wins, exactly
+  /// as Predict). Default: argmax over ScoresBatch().
+  virtual std::vector<std::int64_t> PredictPacked(
+      const core::BitMatrix& batch);
+
+  /// Batch prediction over real-valued feature rows [N, F]: the whole batch
+  /// is sign-packed in one pass, then dispatched through PredictPacked().
   virtual std::vector<std::int64_t> PredictBatch(const Tensor& features);
 
   /// One-line human-readable description (substrate, key parameters).

@@ -1,6 +1,10 @@
 #include "engine/backends.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "tensor/rng.h"
@@ -30,6 +34,11 @@ std::vector<float> ReferenceBackend::Scores(const core::BitVector& x) {
   return model_.Scores(x);
 }
 
+std::vector<float> ReferenceBackend::ScoresBatch(
+    const core::BitMatrix& batch) {
+  return model_.ScoresBatch(batch);
+}
+
 std::string ReferenceBackend::Describe() const {
   return "reference: exact XNOR-popcount software model (" +
          ModelShapeString(model_.input_size(), model_.num_hidden(),
@@ -55,6 +64,11 @@ FaultInjectionBackend::FaultInjectionBackend(core::BnnModel model, double ber,
 
 std::vector<float> FaultInjectionBackend::Scores(const core::BitVector& x) {
   return model_.Scores(x);
+}
+
+std::vector<float> FaultInjectionBackend::ScoresBatch(
+    const core::BitMatrix& batch) {
+  return model_.ScoresBatch(batch);
 }
 
 std::string FaultInjectionBackend::Describe() const {
@@ -103,6 +117,136 @@ EnergyBreakdown RramBackend::EnergyReport() const {
   report.per_inference = fabric_.InferenceCost();
   report.area_mm2 = fabric_.AreaMm2();
   report.num_macros = fabric_.num_macros();
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedRramBackend
+// ---------------------------------------------------------------------------
+
+std::uint64_t ShardedRramBackend::ShardSeed(std::uint64_t base_seed,
+                                            int shard) {
+  // Chip 0 keeps the base seed so a 1-shard deployment reproduces the
+  // single-fabric RramBackend bit for bit.
+  return base_seed ^ (static_cast<std::uint64_t>(shard) *
+                      0x9e3779b97f4a7c15ull);
+}
+
+ShardedRramBackend::ShardedRramBackend(const core::BnnModel& model,
+                                       const arch::MapperConfig& config,
+                                       int num_shards)
+    : config_(config) {
+  if (num_shards < 1) {
+    throw std::invalid_argument(
+        "ShardedRramBackend: need >= 1 shard, got " +
+        std::to_string(num_shards));
+  }
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    arch::MapperConfig chip = config;
+    chip.seed = ShardSeed(config.seed, s);
+    shards_.push_back(std::make_unique<arch::MappedBnn>(model, chip));
+  }
+}
+
+std::int64_t ShardedRramBackend::input_size() const {
+  return shards_.front()->input_size();
+}
+
+std::int64_t ShardedRramBackend::num_classes() const {
+  return shards_.front()->num_classes();
+}
+
+std::vector<float> ShardedRramBackend::Scores(const core::BitVector& x) {
+  return shards_.front()->Scores(x);
+}
+
+void ShardedRramBackend::ForEachShard(
+    std::int64_t rows,
+    const std::function<void(std::size_t, std::int64_t, std::int64_t)>&
+        serve) {
+  const std::int64_t s = static_cast<std::int64_t>(shards_.size());
+  const std::int64_t chunk = (rows + s - 1) / s;
+  if (chunk == 0) return;
+  // Row -> chip routing is fixed by the chunk arithmetic, so inline and
+  // threaded execution produce identical results; threads only change
+  // wall-clock. On a single-hardware-thread host (or with one occupied
+  // chip) spawn/teardown would dominate, so serve inline.
+  const std::int64_t occupied = std::min(s, (rows + chunk - 1) / chunk);
+  const bool inline_serve =
+      occupied <= 1 || std::thread::hardware_concurrency() <= 1;
+  if (inline_serve) {
+    for (std::int64_t c = 0; c < occupied; ++c) {
+      serve(static_cast<std::size_t>(c), c * chunk,
+            std::min(rows, (c + 1) * chunk));
+    }
+    return;
+  }
+  std::vector<std::thread> pool;
+  std::vector<std::exception_ptr> errors(shards_.size());
+  for (std::int64_t c = 0; c < occupied; ++c) {
+    const std::int64_t begin = c * chunk;
+    const std::int64_t end = std::min(rows, begin + chunk);
+    pool.emplace_back([&, c, begin, end] {
+      try {
+        serve(static_cast<std::size_t>(c), begin, end);
+      } catch (...) {
+        errors[static_cast<std::size_t>(c)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+std::vector<float> ShardedRramBackend::ScoresBatch(
+    const core::BitMatrix& batch) {
+  if (batch.cols() != input_size()) {
+    throw std::invalid_argument("ShardedRramBackend::ScoresBatch: width " +
+                                std::to_string(batch.cols()) +
+                                " != input size " +
+                                std::to_string(input_size()));
+  }
+  const std::int64_t m = num_classes();
+  std::vector<float> out(static_cast<std::size_t>(batch.rows() * m));
+  ForEachShard(batch.rows(), [&](std::size_t chip, std::int64_t begin,
+                                 std::int64_t end) {
+    const std::vector<float> scores =
+        shards_[chip]->ScoresBatch(batch.RowSlice(begin, end));
+    std::copy(scores.begin(), scores.end(), out.begin() + begin * m);
+  });
+  return out;
+}
+
+std::string ShardedRramBackend::Describe() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "rram-sharded: %d independently programmed 2T2R fabric(s), "
+                "%lld macro(s) each of %lldx%lld, %.3f mm2 total, %s reads",
+                num_shards(),
+                static_cast<long long>(shards_.front()->num_macros()),
+                static_cast<long long>(config_.macro_rows),
+                static_cast<long long>(config_.macro_cols),
+                static_cast<double>(num_shards()) *
+                    shards_.front()->AreaMm2(),
+                shards_.front()->DeterministicReads() ? "deterministic"
+                                                      : "stochastic");
+  return buf;
+}
+
+EnergyBreakdown ShardedRramBackend::EnergyReport() const {
+  EnergyBreakdown report;
+  report.available = true;
+  for (const auto& shard : shards_) {
+    report.programming += shard->ProgrammingCost();
+    report.area_mm2 += shard->AreaMm2();
+    report.num_macros += shard->num_macros();
+  }
+  // A batch row is served by exactly one chip, so the per-inference cost is
+  // that of a single fabric.
+  report.per_inference = shards_.front()->InferenceCost();
   return report;
 }
 

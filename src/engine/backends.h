@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,13 +19,17 @@ namespace rrambnn::engine {
 /// reads the fields it cares about and ignores the rest.
 struct BackendSpec {
   /// RRAM mapping geometry, device statistics, energy calibration and
-  /// pre-deployment endurance stress (RramBackend).
+  /// pre-deployment endurance stress (RramBackend, ShardedRramBackend).
   arch::MapperConfig mapper;
   /// Weight bit-error rate injected once at deployment
   /// (FaultInjectionBackend).
   double fault_ber = 0.0;
   /// Seed of the fault draw (FaultInjectionBackend).
   std::uint64_t fault_seed = 100;
+  /// Number of independently programmed fabrics of the "rram-sharded"
+  /// backend; each chip derives its programming-noise seed from
+  /// mapper.seed (chip 0 uses mapper.seed itself).
+  int rram_shards = 4;
 };
 
 /// Exact software execution of the compiled model — the golden reference the
@@ -37,6 +42,7 @@ class ReferenceBackend : public InferenceBackend {
   std::int64_t input_size() const override { return model_.input_size(); }
   std::int64_t num_classes() const override { return model_.num_classes(); }
   std::vector<float> Scores(const core::BitVector& x) override;
+  std::vector<float> ScoresBatch(const core::BitMatrix& batch) override;
   std::string Describe() const override;
   EnergyBreakdown EnergyReport() const override;
   bool SupportsConcurrentInference() const override { return true; }
@@ -58,6 +64,7 @@ class FaultInjectionBackend : public InferenceBackend {
   std::int64_t input_size() const override { return model_.input_size(); }
   std::int64_t num_classes() const override { return model_.num_classes(); }
   std::vector<float> Scores(const core::BitVector& x) override;
+  std::vector<float> ScoresBatch(const core::BitMatrix& batch) override;
   std::string Describe() const override;
   EnergyBreakdown EnergyReport() const override;
   bool SupportsConcurrentInference() const override { return true; }
@@ -93,6 +100,60 @@ class RramBackend : public InferenceBackend {
 
  private:
   arch::MappedBnn fabric_;
+  arch::MapperConfig config_;
+};
+
+/// A fleet of independently programmed RRAM fabrics serving one model — the
+/// multi-macro parallelism of Yin et al.'s monolithic chip lifted to chip
+/// level. Every shard is a full MappedBnn programmed under its own
+/// programming-noise seed (derived from the base seed; chip 0 reproduces the
+/// single-fabric RramBackend exactly), so batch rows can be sharded across
+/// chips concurrently: contiguous row ranges, one worker thread per chip.
+/// With deterministic senses each chip additionally serves its shard through
+/// its packed readback snapshot and the bit-plane GEMM.
+///
+/// Accuracy semantics: chips differ in their programming-noise draws, so at
+/// nonzero device error rates a row's scores depend on which chip served it
+/// (deterministically: row i of an N-row batch over S shards always lands on
+/// chip i / ceil(N/S)). At zero device noise all chips agree bit-for-bit and
+/// results are independent of the shard count.
+class ShardedRramBackend : public InferenceBackend {
+ public:
+  ShardedRramBackend(const core::BnnModel& model,
+                     const arch::MapperConfig& config, int num_shards);
+
+  std::string name() const override { return "rram-sharded"; }
+  std::int64_t input_size() const override;
+  std::int64_t num_classes() const override;
+  /// Single-row inference is served by chip 0.
+  std::vector<float> Scores(const core::BitVector& x) override;
+  /// Shards rows across chips (contiguous ranges, one worker per chip; on a
+  /// single-hardware-thread host the chips are served inline instead).
+  /// PredictPacked is inherited: argmax over this.
+  std::vector<float> ScoresBatch(const core::BitMatrix& batch) override;
+  std::string Describe() const override;
+  /// Aggregated over chips: programming energy, area and macro count sum;
+  /// per-inference cost is per chip (a row is served by exactly one chip).
+  EnergyBreakdown EnergyReport() const override;
+  /// The backend parallelizes internally (one worker per chip); the engine
+  /// must not also shard rows across threads.
+  bool SupportsConcurrentInference() const override { return false; }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  arch::MappedBnn& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+
+  /// Seed of chip `shard` derived from the base mapper seed.
+  static std::uint64_t ShardSeed(std::uint64_t base_seed, int shard);
+
+ private:
+  /// Runs `serve(chip, begin, end)` for each chip's contiguous row range,
+  /// one thread per occupied chip.
+  void ForEachShard(
+      std::int64_t rows,
+      const std::function<void(std::size_t, std::int64_t, std::int64_t)>&
+          serve);
+
+  std::vector<std::unique_ptr<arch::MappedBnn>> shards_;
   arch::MapperConfig config_;
 };
 

@@ -47,6 +47,14 @@ EngineConfig& EngineConfig::WithFaultBer(double ber, std::uint64_t seed) {
   return *this;
 }
 
+EngineConfig& EngineConfig::WithRramShards(int shards) {
+  if (shards < 1) {
+    throw std::invalid_argument("EngineConfig::WithRramShards: need >= 1");
+  }
+  backend.rram_shards = shards;
+  return *this;
+}
+
 EngineConfig& EngineConfig::WithBackend(const std::string& name) {
   backend_name = name;
   return *this;
@@ -185,27 +193,24 @@ std::vector<std::int64_t> Engine::PredictRows(const Tensor& features) {
         "Engine: feature width " + std::to_string(f) +
         " != backend input size " + std::to_string(backend_->input_size()));
   }
+  // Pack the whole feature set once (it used to be re-packed row by row on
+  // every prediction call); every downstream path works on packed batches.
+  const core::BitMatrix packed = core::BitMatrix::FromSignRows(
+      std::span<const float>(features.data(), static_cast<std::size_t>(n * f)),
+      n, f);
+
   std::int64_t workers = config_.threads;
   if (!backend_->SupportsConcurrentInference()) workers = 1;
   workers = std::clamp<std::int64_t>(workers, 1, std::max<std::int64_t>(n, 1));
 
   if (workers == 1) {
-    return backend_->PredictBatch(features);
+    return backend_->PredictPacked(packed);
   }
 
   // Each row's prediction is a pure function of the row for concurrent-safe
-  // backends, and workers own disjoint contiguous shards, so the result is
-  // identical for any worker count.
+  // backends, and workers own disjoint contiguous shards served as one
+  // packed batch each, so the result is identical for any worker count.
   std::vector<std::int64_t> preds(static_cast<std::size_t>(n));
-  const auto run_shard = [&](std::int64_t begin, std::int64_t end) {
-    for (std::int64_t i = begin; i < end; ++i) {
-      const core::BitVector x =
-          core::BitVector::FromSigns(std::span<const float>(
-              features.data() + i * f, static_cast<std::size_t>(f)));
-      preds[static_cast<std::size_t>(i)] = backend_->Predict(x);
-    }
-  };
-
   const std::int64_t chunk = (n + workers - 1) / workers;
   std::vector<std::thread> pool;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
@@ -215,7 +220,9 @@ std::vector<std::int64_t> Engine::PredictRows(const Tensor& features) {
     if (begin >= end) break;
     pool.emplace_back([&, w, begin, end] {
       try {
-        run_shard(begin, end);
+        const std::vector<std::int64_t> shard =
+            backend_->PredictPacked(packed.RowSlice(begin, end));
+        std::copy(shard.begin(), shard.end(), preds.begin() + begin);
       } catch (...) {
         errors[static_cast<std::size_t>(w)] = std::current_exception();
       }

@@ -65,6 +65,7 @@ struct EngineConfig {
   EngineConfig& WithDevice(const rram::DeviceParams& d);
   EngineConfig& WithEnergy(const arch::EnergyParams& e);
   EngineConfig& WithFaultBer(double ber, std::uint64_t seed = 100);
+  EngineConfig& WithRramShards(int shards);
   EngineConfig& WithBackend(const std::string& name);
   EngineConfig& WithBackend(BackendKind kind);
   EngineConfig& WithThreads(int n);
@@ -164,8 +165,9 @@ class Engine {
   /// in minibatches.
   Tensor Features(const Tensor& x);
 
-  /// Backend predictions for feature rows, sharded across threads when the
-  /// backend supports concurrent inference.
+  /// Backend predictions for feature rows: the whole feature set is
+  /// sign-packed once, then served in packed batches — sharded across
+  /// threads when the backend supports concurrent inference.
   std::vector<std::int64_t> PredictRows(const Tensor& features);
 
   void RequireTrained(const char* what) const;

@@ -11,6 +11,8 @@ std::string ToString(BackendKind kind) {
       return "reference";
     case BackendKind::kRram:
       return "rram";
+    case BackendKind::kRramSharded:
+      return "rram-sharded";
     case BackendKind::kFaultInjection:
       return "fault";
   }
@@ -25,6 +27,11 @@ BackendRegistry::BackendRegistry() {
   Register("rram", [](const core::BnnModel& model, const BackendSpec& spec) {
     return std::make_unique<RramBackend>(model, spec.mapper);
   });
+  Register("rram-sharded",
+           [](const core::BnnModel& model, const BackendSpec& spec) {
+             return std::make_unique<ShardedRramBackend>(model, spec.mapper,
+                                                         spec.rram_shards);
+           });
   Register("fault", [](const core::BnnModel& model, const BackendSpec& spec) {
     return std::make_unique<FaultInjectionBackend>(model, spec.fault_ber,
                                                    spec.fault_seed);

@@ -18,6 +18,7 @@ namespace rrambnn::engine {
 enum class BackendKind {
   kReference,
   kRram,
+  kRramSharded,
   kFaultInjection,
 };
 

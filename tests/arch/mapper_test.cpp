@@ -151,6 +151,102 @@ TEST(MappedBnn, AgedUnrefreshedFabricDegradesGracefully) {
   EXPECT_LT(pred, 2);
 }
 
+/// The packed readback-snapshot path must reproduce the transaction-level
+/// simulation bit for bit even when programming errors are present (heavy
+/// pre-deployment stress), including errors on padding cells — those fold
+/// into integer popcount biases.
+TEST(MappedBnn, BatchedSnapshotExactUnderProgrammingErrors) {
+  Rng rng(31);
+  const std::int64_t in = 150, hidden = 40, classes = 4, rows = 24;
+  const core::BnnModel model = RandomModel(in, hidden, classes, rng);
+  MapperConfig config;
+  config.macro_rows = 32;
+  config.macro_cols = 64;
+  config.device = IdealDevice();
+  // Deterministic senses, but devices cycled to weak-probability saturation:
+  // cells where both devices land weak (padding included) read back wrong
+  // about half the time.
+  config.device.weak_prob_ref = 4.0e-5;
+  config.pre_stress_cycles = 3000000000ull;
+  config.seed = 5;
+  MappedBnn row_fabric(model, config);
+  MappedBnn batch_fabric(model, config);
+  ASSERT_TRUE(batch_fabric.DeterministicReads());
+
+  core::BitMatrix batch(rows, in);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < in; ++c) {
+      batch.Set(r, c, rng.Bernoulli(0.5) ? +1 : -1);
+    }
+  }
+  const std::vector<float> batched = batch_fabric.ScoresBatch(batch);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const std::vector<float> per_row = row_fabric.Scores(batch.Row(i));
+    for (std::int64_t k = 0; k < classes; ++k) {
+      ASSERT_EQ(batched[static_cast<std::size_t>(i * classes + k)],
+                per_row[static_cast<std::size_t>(k)])
+          << "row " << i << " class " << k;
+    }
+  }
+  // Sanity: the stress level actually produced readback errors, so the
+  // equality above exercised the error-folding path.
+  std::int64_t errors = 0;
+  const auto& snapshot = batch_fabric.ReadbackSnapshot();
+  for (std::int64_t r = 0; r < hidden; ++r) {
+    for (std::int64_t c = 0; c < in; ++c) {
+      if (snapshot.hidden()[0].weights.Get(r, c) !=
+          model.hidden()[0].weights.Get(r, c)) {
+        ++errors;
+      }
+    }
+  }
+  EXPECT_GT(errors, 0) << "stress produced no programming errors; the "
+                          "snapshot equality was trivial";
+}
+
+TEST(MappedBnn, SnapshotInvalidatedByStress) {
+  Rng rng(37);
+  const core::BnnModel model = RandomModel(70, 20, 3, rng);
+  MapperConfig config;
+  config.device = IdealDevice();
+  config.device.weak_prob_ref = 4.0e-5;  // refresh on worn devices can fail
+  config.seed = 2;
+  MappedBnn fabric(model, config);
+  core::BitMatrix batch(4, 70);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    for (std::int64_t c = 0; c < 70; ++c) {
+      batch.Set(r, c, rng.Bernoulli(0.5) ? +1 : -1);
+    }
+  }
+  const std::vector<float> before = fabric.ScoresBatch(batch);
+  // Heavy aging plus refresh: weights are re-programmed on worn devices, so
+  // the cached snapshot is stale and must be rebuilt; the per-row path must
+  // agree with the rebuilt snapshot afterwards.
+  fabric.Stress(2000000000ull, /*reprogram_after=*/true);
+  const std::vector<float> after = fabric.ScoresBatch(batch);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    const std::vector<float> per_row = fabric.Scores(batch.Row(i));
+    for (std::int64_t k = 0; k < 3; ++k) {
+      EXPECT_EQ(after[static_cast<std::size_t>(i * 3 + k)],
+                per_row[static_cast<std::size_t>(k)])
+          << "row " << i << " class " << k;
+    }
+  }
+  (void)before;
+}
+
+TEST(MappedBnn, SnapshotRequiresDeterministicSenses) {
+  Rng rng(41);
+  const core::BnnModel model = RandomModel(40, 12, 2, rng);
+  MapperConfig config;  // default device: sense_offset_sigma > 0
+  MappedBnn fabric(model, config);
+  EXPECT_FALSE(fabric.DeterministicReads());
+  EXPECT_THROW(fabric.ReadbackSnapshot(), std::logic_error);
+  // The stochastic fallback still serves batches (per-row simulation).
+  core::BitMatrix batch(2, 40);
+  EXPECT_EQ(fabric.ScoresBatch(batch).size(), 4u);
+}
+
 TEST(MappedBnn, InputWidthValidated) {
   Rng rng(10);
   const core::BnnModel model = RandomModel(64, 32, 2, rng);

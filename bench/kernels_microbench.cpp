@@ -147,6 +147,36 @@ void BM_FloatDenseBatch2520x80(benchmark::State& state) {
 }
 BENCHMARK(BM_FloatDenseBatch2520x80)->Arg(16)->Arg(64);
 
+/// Feature packing on the EEG serving geometry — ROADMAP named it the
+/// dominant batched-serving cost (~3x the GEMM time); this tracks the
+/// runtime-dispatched (AVX2 where available) sign-packer.
+void BM_FromSignRows2520(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(8);
+  std::vector<float> values(static_cast<std::size_t>(n * 2520));
+  for (auto& v : values) v = rng.Normal(0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BitMatrix::FromSignRows(values, n, 2520));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2520);
+}
+BENCHMARK(BM_FromSignRows2520)->Arg(16)->Arg(64)->Arg(256);
+
+/// The scalar packing kernel, for the AVX2-vs-scalar ratio on this host.
+void BM_FromSignRowsScalar2520(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(8);
+  std::vector<float> values(static_cast<std::size_t>(n * 2520));
+  for (auto& v : values) v = rng.Normal(0.0f, 1.0f);
+  const bool prev = core::SetSignPackForceScalar(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BitMatrix::FromSignRows(values, n, 2520));
+  }
+  core::SetSignPackForceScalar(prev);
+  state.SetItemsProcessed(state.iterations() * n * 2520);
+}
+BENCHMARK(BM_FromSignRowsScalar2520)->Arg(64);
+
 /// Simulated RRAM row read with XNOR (32 columns, the fabricated die's
 /// word width).
 void BM_RramRowXnorRead(benchmark::State& state) {

@@ -4,10 +4,22 @@
 // watch accuracy with and without a reprogramming refresh — demonstrating
 // the ECC-less reliability story of the paper on a concrete workload.
 //
-// One Engine is trained and compiled once; each aging point is just a fresh
-// Deploy("rram") with a different pre-stress, the rest of the pipeline
-// (feature prefix, batching, accuracy accounting) is owned by the engine.
+// The example is split along the paper's deployment model (train once
+// offline, program the fabric, serve indefinitely):
+//
+//   example_ecg_monitor train [artifact]   trains + compiles the classifier
+//                                          and saves it as an engine artifact
+//   example_ecg_monitor serve [artifact]   loads the artifact in a process
+//                                          that never calls Train()/Compile()
+//                                          and runs the aging/refresh study —
+//                                          each aging point is just a fresh
+//                                          Deploy("rram") with more pre-stress
+//
+// With no arguments both phases run back to back through the default
+// artifact path, preserving the old single-shot behaviour.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "data/ecg_synth.h"
 #include "engine/engine.h"
@@ -15,7 +27,24 @@
 
 using namespace rrambnn;
 
-int main() {
+namespace {
+
+constexpr const char* kDefaultArtifact = "ecg_monitor.rbnn";
+
+/// The validation split every phase regenerates from fixed seeds — the
+/// serving process never needs the training data shipped to it.
+nn::Dataset MakeValidation() {
+  Rng rng(7);
+  data::EcgSynthConfig dc;
+  dc.samples = 200;
+  dc.sample_rate_hz = 100.0;
+  nn::Dataset data = data::MakeEcgDataset(dc, 400, rng);
+  std::vector<std::int64_t> va;
+  for (std::int64_t i = 320; i < 400; ++i) va.push_back(i);
+  return data.Subset(va);
+}
+
+int Train(const std::string& artifact) {
   Rng rng(7);
   data::EcgSynthConfig dc;
   dc.samples = 200;
@@ -47,10 +76,25 @@ int main() {
     auto built = models::BuildEcgNet(mc, mrng);
     return engine::ModelSpec{std::move(built.net), built.classifier_start};
   });
-  (void)eng.Train(train, val);
-  (void)eng.Compile();
+  const nn::FitResult fit = eng.Train(train, val);
+  eng.SaveArtifact(artifact);
+  std::printf("trained the ECG electrode-inversion classifier "
+              "(val accuracy %.1f%%)\nsaved engine artifact: %s\n",
+              100.0 * fit.final_val_accuracy, artifact.c_str());
+  std::printf("serve it (possibly on another machine) with:\n"
+              "  example_ecg_monitor serve %s\n", artifact.c_str());
+  return 0;
+}
 
-  std::printf("ECG electrode-inversion monitor on aging RRAM\n\n");
+int Serve(const std::string& artifact) {
+  const nn::Dataset val = MakeValidation();
+  // The serving half: everything — trained prefix, compiled bit planes,
+  // mapper/device configuration — comes from the artifact.
+  engine::Engine eng = engine::Engine::FromArtifact(artifact);
+
+  std::printf("ECG electrode-inversion monitor on aging RRAM\n");
+  std::printf("(model loaded from %s; this process never trains)\n\n",
+              artifact.c_str());
   std::printf("%12s  %18s  %18s\n", "age (cycles)", "no refresh",
               "refresh (reprogram)");
 
@@ -60,9 +104,10 @@ int main() {
     // "No refresh": weights were written once on the aged fabric and read
     // with its error statistics. "Refresh": identical fabric, but the
     // controller reprograms the stored weights (fresh write noise draw).
-    eng.Deploy();
+    eng.Deploy("rram");
     const double acc_worn = eng.Evaluate(val);
-    auto& refreshed = dynamic_cast<engine::RramBackend&>(eng.Deploy());
+    auto& refreshed =
+        dynamic_cast<engine::RramBackend&>(eng.Deploy("rram"));
     refreshed.fabric().Stress(0, /*reprogram_after=*/true);
     const double acc_ref = eng.Evaluate(val);
     std::printf("%12.0e  %17.1f%%  %17.1f%%\n", age, 100.0 * acc_worn,
@@ -72,4 +117,22 @@ int main() {
               "across its endurance life\nwithout any error-correcting "
               "code - the paper's core hardware claim.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  const std::string artifact = argc > 2 ? argv[2] : kDefaultArtifact;
+  if (mode == "train") return Train(artifact);
+  if (mode == "serve") return Serve(artifact);
+  if (!mode.empty()) {
+    std::fprintf(stderr,
+                 "usage: example_ecg_monitor [train|serve] [artifact]\n");
+    return 2;
+  }
+  const int rc = Train(artifact);
+  if (rc != 0) return rc;
+  std::printf("\n");
+  return Serve(artifact);
 }

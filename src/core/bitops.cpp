@@ -1,9 +1,16 @@
 #include "core/bitops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RRAMBNN_BITOPS_X86 1
+#include <immintrin.h>
+#endif
 
 namespace rrambnn::core {
 
@@ -13,6 +20,101 @@ constexpr std::int64_t kWordBits = 64;
 std::int64_t WordsFor(std::int64_t bits) {
   return (bits + kWordBits - 1) / kWordBits;
 }
+
+// ---------------------------------------------------------------------------
+// Sign-packing kernels for FromSignRows. ROADMAP flagged packing as the
+// dominant cost of the batched reference serving path (~3x the GEMM time on
+// the EEG geometry), so the word-builder is runtime-dispatched like the
+// bit-plane GEMM: a scalar shift-or loop, upgraded to AVX2 (8-lane
+// compare-to-zero + movemask, 8 lanes per iteration -> one 64-bit word per
+// 8 iterations) when the CPU supports it. Both kernels implement exactly
+// `value >= 0.0f` per element (NaN packs as -1, -0.0f as +1 in both), so
+// kernel choice is never observable in the packed bits.
+// ---------------------------------------------------------------------------
+
+using SignPackKernel = void (*)(const float* src, std::int64_t rows,
+                                std::int64_t cols, std::int64_t wpr,
+                                std::uint64_t* dst);
+
+/// Builds the final (partial) word of a row, and full words on the scalar
+/// path.
+inline std::uint64_t PackWordScalar(const float* src, std::int64_t nbits) {
+  std::uint64_t bits = 0;
+  for (std::int64_t k = 0; k < nbits; ++k) {
+    bits |= static_cast<std::uint64_t>(src[k] >= 0.0f) << k;
+  }
+  return bits;
+}
+
+void SignPackScalar(const float* src, std::int64_t rows, std::int64_t cols,
+                    std::int64_t wpr, std::uint64_t* dst) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* src_row = src + r * cols;
+    std::uint64_t* dst_row = dst + r * wpr;
+    for (std::int64_t w = 0; w < wpr; ++w) {
+      const std::int64_t base = w * kWordBits;
+      dst_row[w] = PackWordScalar(src_row + base,
+                                  std::min<std::int64_t>(kWordBits, cols - base));
+    }
+  }
+}
+
+#ifdef RRAMBNN_BITOPS_X86
+
+__attribute__((target("avx2"))) void SignPackAvx2(const float* src,
+                                                  std::int64_t rows,
+                                                  std::int64_t cols,
+                                                  std::int64_t wpr,
+                                                  std::uint64_t* dst) {
+  const __m256 zero = _mm256_setzero_ps();
+  const std::int64_t full_words = cols / kWordBits;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* src_row = src + r * cols;
+    std::uint64_t* dst_row = dst + r * wpr;
+    for (std::int64_t w = 0; w < full_words; ++w) {
+      const float* p = src_row + w * kWordBits;
+      std::uint64_t bits = 0;
+      for (int k = 0; k < 8; ++k) {
+        // cmp_ps(GE, ordered) sets a lane to all-ones iff v >= 0 (false for
+        // NaN, true for -0.0f — exactly the scalar predicate); movemask
+        // gathers the 8 lane sign bits into the next byte of the word.
+        const __m256 v = _mm256_loadu_ps(p + 8 * k);
+        const int mask = _mm256_movemask_ps(_mm256_cmp_ps(v, zero, _CMP_GE_OQ));
+        bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(mask))
+                << (8 * k);
+      }
+      dst_row[w] = bits;
+    }
+    if (full_words < wpr) {
+      const std::int64_t base = full_words * kWordBits;
+      dst_row[full_words] = PackWordScalar(src_row + base, cols - base);
+    }
+  }
+}
+
+bool CpuHasAvx2ForPack() { return __builtin_cpu_supports("avx2"); }
+
+#endif  // RRAMBNN_BITOPS_X86
+
+std::atomic<bool> g_pack_force_scalar{false};
+
+/// Kernel and its reported name come from one dispatch decision, so
+/// SignPackKernelName can never drift from what FromSignRows actually runs.
+struct SignPackDispatch {
+  SignPackKernel fn;
+  const char* name;
+};
+
+SignPackDispatch ActiveSignPack() {
+#ifdef RRAMBNN_BITOPS_X86
+  static const bool has_avx2 = CpuHasAvx2ForPack();
+  if (has_avx2 && !g_pack_force_scalar.load(std::memory_order_relaxed)) {
+    return {SignPackAvx2, "avx2"};
+  }
+#endif
+  return {SignPackScalar, "scalar"};
+}
+
 }  // namespace
 
 BitVector::BitVector(std::int64_t size)
@@ -135,19 +237,34 @@ BitMatrix BitMatrix::FromSignRows(std::span<const float> values,
     throw std::invalid_argument("BitMatrix::FromSignRows: size mismatch");
   }
   BitMatrix m(rows, cols);
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* src = values.data() + r * cols;
-    std::uint64_t* dst = m.words_.data() + r * m.words_per_row_;
-    for (std::int64_t w = 0; w < m.words_per_row_; ++w) {
-      const std::int64_t base = w * kWordBits;
-      const std::int64_t nbits = std::min<std::int64_t>(kWordBits, cols - base);
-      std::uint64_t bits = 0;
-      for (std::int64_t k = 0; k < nbits; ++k) {
-        bits |= static_cast<std::uint64_t>(src[base + k] >= 0.0f) << k;
+  if (rows == 0 || cols == 0) return m;
+  ActiveSignPack().fn(values.data(), rows, cols, m.words_per_row_,
+                      m.words_.data());
+  return m;
+}
+
+BitMatrix BitMatrix::FromWords(std::int64_t rows, std::int64_t cols,
+                               std::vector<std::uint64_t> words) {
+  BitMatrix m(rows, cols);
+  if (words.size() != m.words_.size()) {
+    throw std::invalid_argument(
+        "BitMatrix::FromWords: " + std::to_string(words.size()) +
+        " word(s) for a " + std::to_string(rows) + "x" + std::to_string(cols) +
+        " matrix (need " + std::to_string(m.words_.size()) + ")");
+  }
+  const std::int64_t rem = cols % kWordBits;
+  if (rem != 0) {
+    const std::uint64_t pad_mask = ~((1ull << rem) - 1);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      if (words[static_cast<std::size_t>((r + 1) * m.words_per_row_ - 1)] &
+          pad_mask) {
+        throw std::invalid_argument(
+            "BitMatrix::FromWords: nonzero padding bits in row " +
+            std::to_string(r));
       }
-      dst[w] = bits;
     }
   }
+  m.words_ = std::move(words);
   return m;
 }
 
@@ -262,6 +379,12 @@ std::span<const std::uint64_t> BitMatrix::RowWords(std::int64_t r) const {
   CheckAddress(r, 0);
   return {words_.data() + static_cast<std::size_t>(r * words_per_row_),
           static_cast<std::size_t>(words_per_row_)};
+}
+
+const char* SignPackKernelName() { return ActiveSignPack().name; }
+
+bool SetSignPackForceScalar(bool force) {
+  return g_pack_force_scalar.exchange(force);
 }
 
 }  // namespace rrambnn::core

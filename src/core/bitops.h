@@ -76,9 +76,19 @@ class BitMatrix {
 
   /// Packs a batch of float feature rows by sign in one word-building pass —
   /// the deployment-path packer: builds each 64-bit word directly instead of
-  /// setting bits one at a time. Bit semantics identical to FromSigns.
+  /// setting bits one at a time, with a runtime-dispatched AVX2 kernel
+  /// (cmp_ps + movemask) on x86-64. Both kernels produce identical bits;
+  /// see SignPackKernelName / SetSignPackForceScalar. Bit semantics
+  /// identical to FromSigns.
   static BitMatrix FromSignRows(std::span<const float> values,
                                 std::int64_t rows, std::int64_t cols);
+
+  /// Rebuilds a matrix from its packed words (the artifact loader's inverse
+  /// of words()). `words` must hold rows * ceil(cols/64) entries with every
+  /// padding bit of each row's final word zero; throws
+  /// std::invalid_argument otherwise.
+  static BitMatrix FromWords(std::int64_t rows, std::int64_t cols,
+                             std::vector<std::uint64_t> words);
 
   std::int64_t rows() const { return rows_; }
   std::int64_t cols() const { return cols_; }
@@ -113,6 +123,9 @@ class BitMatrix {
   /// 64-bit words of one packed row (padding bits are always zero).
   std::span<const std::uint64_t> RowWords(std::int64_t r) const;
 
+  /// All packed words, row-major with word-aligned rows (serialization).
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
   std::int64_t words_per_row() const { return words_per_row_; }
 
   /// Total storage in bits (rows * cols; padding excluded).
@@ -128,5 +141,13 @@ class BitMatrix {
   std::int64_t words_per_row_ = 0;
   std::vector<std::uint64_t> words_;
 };
+
+/// Name of the sign-packing kernel the runtime dispatcher selected for
+/// BitMatrix::FromSignRows ("avx2" or "scalar").
+const char* SignPackKernelName();
+
+/// Forces the scalar sign-packer regardless of CPU support
+/// (tests/benchmarks compare the two). Returns the previous setting.
+bool SetSignPackForceScalar(bool force);
 
 }  // namespace rrambnn::core

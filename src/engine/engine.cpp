@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "io/artifact.h"
 #include "tensor/stats.h"
 
 namespace rrambnn::engine {
@@ -115,6 +116,30 @@ Engine::Engine(EngineConfig config, nn::Sequential net,
       net_(std::move(net)),
       classifier_start_(classifier_start),
       trained_(true) {}
+
+Engine Engine::FromArtifact(const std::string& path) {
+  io::LoadedArtifact artifact = io::LoadEngineArtifact(path);
+  Engine engine(std::move(artifact.config), std::move(artifact.net),
+                artifact.classifier_start);
+  engine.compiled_ =
+      std::make_unique<core::BnnModel>(std::move(artifact.model));
+  return engine;
+}
+
+Engine Engine::FromArtifact(const std::string& path, EngineConfig config) {
+  io::LoadedArtifact artifact = io::LoadEngineArtifact(path);
+  Engine engine(std::move(config), std::move(artifact.net),
+                artifact.classifier_start);
+  engine.compiled_ =
+      std::make_unique<core::BnnModel>(std::move(artifact.model));
+  return engine;
+}
+
+void Engine::SaveArtifact(const std::string& path) {
+  RequireTrained("SaveArtifact");
+  if (!compiled_) Compile();
+  io::SaveEngineArtifact(path, config_, net_, classifier_start_, *compiled_);
+}
 
 nn::FitResult Engine::Train(const nn::Dataset& train, const nn::Dataset& val) {
   if (!factory_) {

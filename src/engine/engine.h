@@ -100,6 +100,17 @@ class Engine {
   static Engine FromTrained(EngineConfig config, nn::Sequential net,
                             std::size_t classifier_start);
 
+  /// Engine rebuilt from a saved artifact (see io/artifact.h): trained and
+  /// compiled on arrival, so Deploy()/Evaluate()/Predict() work with no
+  /// Train() or Compile() in the process — the serve half of the
+  /// train-once / serve-anywhere lifecycle. The first overload serves under
+  /// the configuration stored in the artifact; the second replaces it with
+  /// `config` (e.g. a server's thread count or backend choice) while keeping
+  /// the stored network and compiled model. Throws std::runtime_error for
+  /// missing/corrupt/version-mismatched files.
+  static Engine FromArtifact(const std::string& path);
+  static Engine FromArtifact(const std::string& path, EngineConfig config);
+
   Engine(Engine&&) = default;
   Engine& operator=(Engine&&) = default;
 
@@ -113,6 +124,12 @@ class Engine {
   /// Throws std::logic_error before Train() and for the kReal strategy
   /// (nothing is binarized).
   const core::BnnModel& Compile();
+
+  /// Writes the trained-and-compiled pipeline to a versioned, checksummed
+  /// artifact file (compiling first if needed — so kReal strategies throw,
+  /// as in Compile()). The artifact is everything a serving process needs;
+  /// load it with Engine::FromArtifact.
+  void SaveArtifact(const std::string& path);
 
   /// Instantiates the configured (or named) backend for the compiled model.
   /// Compiles first if needed. Returns the live backend.

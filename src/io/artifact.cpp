@@ -1,0 +1,255 @@
+#include "io/artifact.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "io/chunk_file.h"
+#include "io/layer_serde.h"
+#include "io/serde.h"
+#include "io/tensor_serde.h"
+
+namespace rrambnn::io {
+
+namespace {
+
+constexpr char kConfigTag[] = "engine-config";
+constexpr char kNetworkTag[] = "network";
+constexpr char kCompiledTag[] = "compiled-bnn";
+
+void SaveDeviceParams(const rram::DeviceParams& d, ByteWriter& w) {
+  w.WriteF64(d.lrs_log_mean);
+  w.WriteF64(d.lrs_log_sigma);
+  w.WriteF64(d.hrs_log_mean);
+  w.WriteF64(d.hrs_log_sigma);
+  w.WriteF64(d.weak_prob_ref);
+  w.WriteF64(d.weak_exponent);
+  w.WriteF64(d.cycles_ref);
+  w.WriteF64(d.weak_prob_max);
+  w.WriteF64(d.weak_log_mean);
+  w.WriteF64(d.weak_log_sigma);
+  w.WriteF64(d.bl_weak_scale);
+  w.WriteF64(d.blb_weak_scale);
+  w.WriteF64(d.read_reference_log);
+  w.WriteF64(d.sense_offset_sigma);
+}
+
+rram::DeviceParams LoadDeviceParams(ByteReader& r) {
+  rram::DeviceParams d;
+  d.lrs_log_mean = r.ReadF64();
+  d.lrs_log_sigma = r.ReadF64();
+  d.hrs_log_mean = r.ReadF64();
+  d.hrs_log_sigma = r.ReadF64();
+  d.weak_prob_ref = r.ReadF64();
+  d.weak_exponent = r.ReadF64();
+  d.cycles_ref = r.ReadF64();
+  d.weak_prob_max = r.ReadF64();
+  d.weak_log_mean = r.ReadF64();
+  d.weak_log_sigma = r.ReadF64();
+  d.bl_weak_scale = r.ReadF64();
+  d.blb_weak_scale = r.ReadF64();
+  d.read_reference_log = r.ReadF64();
+  d.sense_offset_sigma = r.ReadF64();
+  return d;
+}
+
+void SaveEnergyParams(const arch::EnergyParams& e, ByteWriter& w) {
+  w.WriteF64(e.pcsa_sense_energy_fj);
+  w.WriteF64(e.xnor_overhead_fj);
+  w.WriteF64(e.popcount_per_bit_fj);
+  w.WriteF64(e.threshold_compare_fj);
+  w.WriteF64(e.wordline_activation_fj);
+  w.WriteF64(e.set_energy_pj);
+  w.WriteF64(e.reset_energy_pj);
+  w.WriteF64(e.cell_2t2r_area_um2);
+  w.WriteF64(e.pcsa_area_um2);
+  w.WriteF64(e.xnor_area_um2);
+  w.WriteF64(e.popcount_area_per_bit_um2);
+  w.WriteF64(e.decoder_area_per_line_um2);
+  w.WriteF64(e.sense_latency_ns);
+  w.WriteF64(e.program_latency_ns);
+}
+
+arch::EnergyParams LoadEnergyParams(ByteReader& r) {
+  arch::EnergyParams e;
+  e.pcsa_sense_energy_fj = r.ReadF64();
+  e.xnor_overhead_fj = r.ReadF64();
+  e.popcount_per_bit_fj = r.ReadF64();
+  e.threshold_compare_fj = r.ReadF64();
+  e.wordline_activation_fj = r.ReadF64();
+  e.set_energy_pj = r.ReadF64();
+  e.reset_energy_pj = r.ReadF64();
+  e.cell_2t2r_area_um2 = r.ReadF64();
+  e.pcsa_area_um2 = r.ReadF64();
+  e.xnor_area_um2 = r.ReadF64();
+  e.popcount_area_per_bit_um2 = r.ReadF64();
+  e.decoder_area_per_line_um2 = r.ReadF64();
+  e.sense_latency_ns = r.ReadF64();
+  e.program_latency_ns = r.ReadF64();
+  return e;
+}
+
+std::vector<std::uint8_t> BuildConfigChunk(const engine::EngineConfig& config,
+                                           std::size_t classifier_start) {
+  ByteWriter w;
+  w.WriteU8(static_cast<std::uint8_t>(config.strategy));
+  w.WriteString(config.backend_name);
+  w.WriteI32(config.threads);
+  w.WriteI64(config.batch_size);
+  w.WriteU64(config.model_seed);
+  w.WriteU64(config.fold_seed);
+  w.WriteU64(classifier_start);
+  // BackendSpec: mapper geometry, then the physical parameter blocks.
+  w.WriteI64(config.backend.mapper.macro_rows);
+  w.WriteI64(config.backend.mapper.macro_cols);
+  w.WriteU64(config.backend.mapper.seed);
+  w.WriteU64(config.backend.mapper.pre_stress_cycles);
+  SaveDeviceParams(config.backend.mapper.device, w);
+  SaveEnergyParams(config.backend.mapper.energy, w);
+  w.WriteF64(config.backend.fault_ber);
+  w.WriteU64(config.backend.fault_seed);
+  w.WriteI32(config.backend.rram_shards);
+  return w.TakeBytes();
+}
+
+void ParseConfigChunk(const std::vector<std::uint8_t>& payload,
+                      engine::EngineConfig& config,
+                      std::size_t& classifier_start) {
+  ByteReader r(payload, std::string("chunk '") + kConfigTag + "'");
+  const std::uint8_t strategy = r.ReadU8();
+  if (strategy > static_cast<std::uint8_t>(
+                     core::BinarizationStrategy::kBinaryClassifier)) {
+    throw std::runtime_error("artifact corrupt: unknown binarization strategy " +
+                             std::to_string(strategy));
+  }
+  config.strategy = static_cast<core::BinarizationStrategy>(strategy);
+  config.backend_name = r.ReadString();
+  config.threads = r.ReadI32();
+  config.batch_size = r.ReadI64();
+  config.model_seed = r.ReadU64();
+  config.fold_seed = r.ReadU64();
+  classifier_start = static_cast<std::size_t>(r.ReadU64());
+  config.backend.mapper.macro_rows = r.ReadI64();
+  config.backend.mapper.macro_cols = r.ReadI64();
+  config.backend.mapper.seed = r.ReadU64();
+  config.backend.mapper.pre_stress_cycles = r.ReadU64();
+  config.backend.mapper.device = LoadDeviceParams(r);
+  config.backend.mapper.energy = LoadEnergyParams(r);
+  config.backend.fault_ber = r.ReadF64();
+  config.backend.fault_seed = r.ReadU64();
+  config.backend.rram_shards = r.ReadI32();
+  if (config.threads < 1 || config.batch_size < 1 ||
+      config.backend.rram_shards < 1) {
+    throw std::runtime_error(
+        "artifact corrupt: non-positive threads/batch_size/rram_shards");
+  }
+  r.ExpectExhausted();
+}
+
+const std::vector<std::uint8_t>& FindChunk(const std::vector<Chunk>& chunks,
+                                           const std::string& tag,
+                                           const std::string& path) {
+  for (const Chunk& chunk : chunks) {
+    if (chunk.tag == tag) return chunk.payload;
+  }
+  throw std::runtime_error("artifact: '" + path + "' has no '" + tag +
+                           "' chunk (not an engine artifact?)");
+}
+
+}  // namespace
+
+void SaveEngineArtifact(const std::string& path,
+                        const engine::EngineConfig& config,
+                        const nn::Sequential& net,
+                        std::size_t classifier_start,
+                        const core::BnnModel& model) {
+  if (classifier_start > net.size()) {
+    throw std::invalid_argument("SaveEngineArtifact: classifier_start " +
+                                std::to_string(classifier_start) +
+                                " > network size " +
+                                std::to_string(net.size()));
+  }
+  std::vector<Chunk> chunks;
+  chunks.push_back({kConfigTag, BuildConfigChunk(config, classifier_start)});
+  ByteWriter net_writer;
+  SaveSequential(net, net_writer);
+  chunks.push_back({kNetworkTag, net_writer.TakeBytes()});
+  ByteWriter model_writer;
+  SaveBnnModel(model, model_writer);
+  chunks.push_back({kCompiledTag, model_writer.TakeBytes()});
+  WriteChunkFile(path, chunks);
+}
+
+namespace {
+
+LoadedArtifact ArtifactFromChunks(const std::vector<Chunk>& chunks,
+                                  const std::string& path) {
+  LoadedArtifact artifact;
+  ParseConfigChunk(FindChunk(chunks, kConfigTag, path), artifact.config,
+                   artifact.classifier_start);
+  {
+    ByteReader r(FindChunk(chunks, kNetworkTag, path),
+                 std::string("chunk '") + kNetworkTag + "'");
+    artifact.net = LoadSequential(r);
+    r.ExpectExhausted();
+  }
+  {
+    ByteReader r(FindChunk(chunks, kCompiledTag, path),
+                 std::string("chunk '") + kCompiledTag + "'");
+    artifact.model = LoadBnnModel(r);
+    r.ExpectExhausted();
+  }
+  if (artifact.classifier_start > artifact.net.size()) {
+    throw std::runtime_error("artifact corrupt: classifier_start " +
+                             std::to_string(artifact.classifier_start) +
+                             " > network size " +
+                             std::to_string(artifact.net.size()));
+  }
+  return artifact;
+}
+
+}  // namespace
+
+LoadedArtifact LoadEngineArtifact(const std::string& path) {
+  return ArtifactFromChunks(ReadChunkFile(path), path);
+}
+
+std::string DescribeArtifact(const std::string& path) {
+  // One file read and CRC sweep serves both the directory listing and the
+  // decoded contents.
+  ChunkFileInfo info;
+  const std::vector<Chunk> chunks = ReadChunkFile(path, &info);
+  LoadedArtifact artifact = ArtifactFromChunks(chunks, path);
+  std::ostringstream os;
+  os << "artifact: " << path << "\n";
+  os << "format version " << info.version << ", " << info.file_bytes
+     << " bytes, " << info.chunks.size() << " chunk(s)\n";
+  for (const auto& chunk : info.chunks) {
+    os << "  chunk '" << chunk.tag << "': " << chunk.bytes << " bytes, crc32 "
+       << chunk.crc32 << "\n";
+  }
+  os << "config: strategy=" << core::ToString(artifact.config.strategy)
+     << ", backend=" << artifact.config.backend_name
+     << ", threads=" << artifact.config.threads
+     << ", batch_size=" << artifact.config.batch_size
+     << ", rram_shards=" << artifact.config.backend.rram_shards << "\n";
+  os << "mapper: " << artifact.config.backend.mapper.macro_rows << "x"
+     << artifact.config.backend.mapper.macro_cols
+     << " macros, seed=" << artifact.config.backend.mapper.seed
+     << ", pre_stress_cycles="
+     << artifact.config.backend.mapper.pre_stress_cycles << "\n";
+  os << "network: " << artifact.net.size() << " layer(s), classifier starts at "
+     << artifact.classifier_start << "\n";
+  for (std::size_t i = 0; i < artifact.net.size(); ++i) {
+    os << "  [" << i << "] " << artifact.net[i].Describe()
+       << (i == artifact.classifier_start ? "   <- classifier start" : "")
+       << "\n";
+  }
+  os << "compiled model: " << artifact.model.num_hidden()
+     << " hidden layer(s), input " << artifact.model.input_size() << ", "
+     << artifact.model.num_classes() << " classes, "
+     << artifact.model.TotalWeightBits() << " weight bits\n";
+  return os.str();
+}
+
+}  // namespace rrambnn::io

@@ -1,0 +1,62 @@
+// Versioned, checksummed engine artifacts: the train-once / serve-anywhere
+// seam of the pipeline.
+//
+// An artifact bundles everything a serving process needs to stand up a
+// deployed Engine without calling Train() or Compile():
+//
+//   chunk "engine-config"  serving-relevant EngineConfig fields: strategy,
+//                          default backend name, threads, prefix batch size,
+//                          the full BackendSpec (mapper geometry, device and
+//                          energy parameters, fault BER/seed, shard count)
+//                          and the classifier split index
+//   chunk "network"        the trained nn::Sequential (layer-type registry;
+//                          parameter tensors and BatchNorm running
+//                          statistics round-trip bit-exactly)
+//   chunk "compiled-bnn"   the compiled core::BnnModel (packed bit planes,
+//                          integer thresholds, output affine)
+//
+// The training recipe (nn::TrainConfig) is deliberately NOT serialized: an
+// artifact describes a deployable model, not an experiment; a loaded engine
+// that should be retrained gets a fresh TrainConfig from its operator.
+//
+// Versioning policy: io::kFormatVersion is bumped whenever the meaning of an
+// existing chunk changes; loaders accept exactly their own version. New
+// information ships as new chunks, which old loaders skip.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/bnn_model.h"
+#include "engine/engine.h"
+#include "nn/sequential.h"
+
+namespace rrambnn::io {
+
+/// Writes a complete engine artifact. `classifier_start` is the index of the
+/// first compiled classifier layer in `net` (the float prefix is
+/// [0, classifier_start)).
+void SaveEngineArtifact(const std::string& path,
+                        const engine::EngineConfig& config,
+                        const nn::Sequential& net, std::size_t classifier_start,
+                        const core::BnnModel& model);
+
+/// Everything SaveEngineArtifact wrote, reconstructed.
+struct LoadedArtifact {
+  engine::EngineConfig config;
+  nn::Sequential net;
+  std::size_t classifier_start = 0;
+  core::BnnModel model;
+};
+
+/// Reads and validates an artifact. Throws std::runtime_error for missing
+/// files, bad magic, version mismatches, CRC failures, truncation and
+/// structurally invalid payloads.
+LoadedArtifact LoadEngineArtifact(const std::string& path);
+
+/// Human-readable report of an artifact (container directory, config,
+/// network architecture, compiled-model statistics) — the `inspect` view of
+/// examples/artifact_tool.cpp.
+std::string DescribeArtifact(const std::string& path);
+
+}  // namespace rrambnn::io

@@ -1,0 +1,119 @@
+#include "io/chunk_file.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "io/serde.h"
+
+namespace rrambnn::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'R', 'A', 'M', 'B', 'N', 'N', '\0'};
+
+std::vector<std::uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw std::runtime_error("artifact: cannot open '" + path +
+                             "' for reading");
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    throw std::runtime_error("artifact: failed reading '" + path + "'");
+  }
+  return bytes;
+}
+
+/// Parses and validates the container in one pass; `chunks` (payload
+/// copies) and `info` (directory summary) are each filled when non-null.
+void ParseChunkFile(const std::string& path, std::vector<Chunk>* chunks,
+                    ChunkFileInfo* info) {
+  const std::vector<std::uint8_t> bytes = ReadFileBytes(path);
+  ByteReader reader(bytes, "chunk file '" + path + "'");
+
+  const std::span<const std::uint8_t> magic = reader.ReadBytes(sizeof(kMagic));
+  if (std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("artifact: '" + path +
+                             "' is not an rrambnn artifact (bad magic)");
+  }
+  const std::uint32_t version = reader.ReadU32();
+  if (version != kFormatVersion) {
+    throw std::runtime_error(
+        "artifact: '" + path + "' has format version " +
+        std::to_string(version) + "; this build reads version " +
+        std::to_string(kFormatVersion) +
+        " (re-save the artifact with a matching build)");
+  }
+  const std::uint32_t count = reader.ReadU32();
+  if (info != nullptr) {
+    info->version = version;
+    info->file_bytes = bytes.size();
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string tag = reader.ReadString();
+    const std::uint64_t size = reader.ReadU64();
+    const std::uint32_t stored_crc = reader.ReadU32();
+    const std::span<const std::uint8_t> payload = reader.ReadBytes(size);
+    const std::uint32_t actual_crc = Crc32(payload);
+    if (actual_crc != stored_crc) {
+      throw std::runtime_error("artifact: chunk '" + tag + "' of '" + path +
+                               "' failed its CRC-32 check (stored " +
+                               std::to_string(stored_crc) + ", computed " +
+                               std::to_string(actual_crc) +
+                               "): file is corrupted");
+    }
+    if (chunks != nullptr) {
+      chunks->push_back(Chunk{tag, {payload.begin(), payload.end()}});
+    }
+    if (info != nullptr) {
+      info->chunks.push_back({tag, size, stored_crc});
+    }
+  }
+  reader.ExpectExhausted();
+}
+
+}  // namespace
+
+void WriteChunkFile(const std::string& path,
+                    const std::vector<Chunk>& chunks) {
+  ByteWriter writer;
+  writer.WriteBytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kMagic), sizeof(kMagic)));
+  writer.WriteU32(kFormatVersion);
+  writer.WriteU32(static_cast<std::uint32_t>(chunks.size()));
+  for (const Chunk& chunk : chunks) {
+    writer.WriteString(chunk.tag);
+    writer.WriteU64(chunk.payload.size());
+    writer.WriteU32(Crc32(chunk.payload));
+    writer.WriteBytes(chunk.payload);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("artifact: cannot open '" + path +
+                             "' for writing");
+  }
+  out.write(reinterpret_cast<const char*>(writer.bytes().data()),
+            static_cast<std::streamsize>(writer.bytes().size()));
+  if (!out) {
+    throw std::runtime_error("artifact: failed writing '" + path + "'");
+  }
+}
+
+std::vector<Chunk> ReadChunkFile(const std::string& path,
+                                 ChunkFileInfo* info) {
+  std::vector<Chunk> chunks;
+  ParseChunkFile(path, &chunks, info);
+  return chunks;
+}
+
+ChunkFileInfo InspectChunkFile(const std::string& path) {
+  ChunkFileInfo info;
+  ParseChunkFile(path, nullptr, &info);
+  return info;
+}
+
+}  // namespace rrambnn::io

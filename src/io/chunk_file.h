@@ -1,0 +1,64 @@
+// Chunked artifact container: magic + format version + checksummed chunks.
+//
+// On-disk layout (all integers little-endian):
+//
+//   bytes 0..7   magic "RRAMBNN\0"
+//   u32          format version (kFormatVersion)
+//   u32          chunk count
+//   per chunk:   tag (u64-length-prefixed string)
+//                u64 payload size
+//                u32 CRC-32 of the payload
+//                payload bytes
+//
+// The reader rejects wrong magic, unknown versions, CRC mismatches,
+// truncation and trailing garbage with descriptive std::runtime_errors.
+// Unknown chunk *tags* are preserved and ignored by consumers, which is the
+// forward-compatibility seam: additions ship as new chunks, anything that
+// changes the meaning of an existing chunk bumps kFormatVersion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rrambnn::io {
+
+/// Current artifact format version. Readers accept exactly this version.
+constexpr std::uint32_t kFormatVersion = 1;
+
+/// One tagged, checksummed payload of a chunk file.
+struct Chunk {
+  std::string tag;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Writes a chunk file atomically enough for our purposes (single write of a
+/// fully built buffer). Throws std::runtime_error when the file cannot be
+/// written.
+void WriteChunkFile(const std::string& path, const std::vector<Chunk>& chunks);
+
+struct ChunkFileInfo;
+
+/// Reads and fully validates a chunk file (magic, version, CRCs, sizes).
+/// When `info` is non-null the container directory is reported through it
+/// in the same pass (one file read, one CRC sweep).
+std::vector<Chunk> ReadChunkFile(const std::string& path,
+                                 ChunkFileInfo* info = nullptr);
+
+/// Directory metadata of a chunk file (for the inspect CLI): validates
+/// framing and CRCs like ReadChunkFile but reports instead of returning
+/// payloads.
+struct ChunkFileInfo {
+  std::uint32_t version = 0;
+  std::uint64_t file_bytes = 0;
+  struct Entry {
+    std::string tag;
+    std::uint64_t bytes = 0;
+    std::uint32_t crc32 = 0;
+  };
+  std::vector<Entry> chunks;
+};
+
+ChunkFileInfo InspectChunkFile(const std::string& path);
+
+}  // namespace rrambnn::io

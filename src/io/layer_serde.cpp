@@ -1,0 +1,326 @@
+#include "io/layer_serde.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "io/tensor_serde.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/depthwise_conv.h"
+#include "nn/dropout.h"
+#include "nn/pool.h"
+#include "tensor/rng.h"
+
+namespace rrambnn::io {
+
+namespace {
+
+/// Overwrites a layer parameter with a loaded tensor after checking that the
+/// shape matches what the reconstructed layer allocated — a mismatch means
+/// the payload disagrees with its own constructor parameters.
+void LoadParamInto(nn::Param& p, ByteReader& r, const std::string& what) {
+  Tensor t = LoadTensor(r);
+  if (t.shape() != p.value.shape()) {
+    throw std::runtime_error("artifact corrupt: " + what + " has shape " +
+                             ShapeToString(t.shape()) +
+                             " but the layer allocates " +
+                             ShapeToString(p.value.shape()));
+  }
+  p.value = std::move(t);
+}
+
+/// Seed of the throwaway Rng used to construct layers whose initializer is
+/// immediately overwritten by loaded parameters ("load").
+constexpr std::uint64_t kLoadRngSeed = 0x6c6f6164;
+
+template <typename L>
+LayerSerde Stateless(const std::string& tag) {
+  return {tag,
+          [](const nn::Layer& l) { return dynamic_cast<const L*>(&l) != nullptr; },
+          [](const nn::Layer&, ByteWriter&) {},
+          [](ByteReader&) -> nn::LayerPtr { return std::make_unique<L>(); }};
+}
+
+LayerSerde DenseSerde() {
+  return {
+      "dense",
+      [](const nn::Layer& l) {
+        return dynamic_cast<const nn::Dense*>(&l) != nullptr;
+      },
+      [](const nn::Layer& l, ByteWriter& w) {
+        const auto& d = dynamic_cast<const nn::Dense&>(l);
+        w.WriteI64(d.in_features());
+        w.WriteI64(d.out_features());
+        w.WriteU8(d.binary() ? 1 : 0);
+        w.WriteU8(d.has_bias() ? 1 : 0);
+        SaveTensor(d.weight().value, w);
+        if (d.has_bias()) SaveTensor(d.bias().value, w);
+      },
+      [](ByteReader& r) -> nn::LayerPtr {
+        const std::int64_t in = r.ReadI64();
+        const std::int64_t out = r.ReadI64();
+        nn::DenseOptions opt;
+        opt.binary = r.ReadU8() != 0;
+        opt.use_bias = r.ReadU8() != 0;
+        Rng rng(kLoadRngSeed);
+        auto layer = std::make_unique<nn::Dense>(in, out, rng, opt);
+        LoadParamInto(layer->weight(), r, "Dense weight");
+        if (opt.use_bias) LoadParamInto(layer->bias(), r, "Dense bias");
+        return layer;
+      }};
+}
+
+LayerSerde Conv2dSerde() {
+  return {
+      "conv2d",
+      [](const nn::Layer& l) {
+        return dynamic_cast<const nn::Conv2d*>(&l) != nullptr;
+      },
+      [](const nn::Layer& l, ByteWriter& w) {
+        const auto& c = dynamic_cast<const nn::Conv2d&>(l);
+        w.WriteI64(c.in_channels());
+        w.WriteI64(c.out_channels());
+        w.WriteI64(c.kernel_h());
+        w.WriteI64(c.kernel_w());
+        w.WriteI64(c.options().stride_h);
+        w.WriteI64(c.options().stride_w);
+        w.WriteI64(c.options().pad_h);
+        w.WriteI64(c.options().pad_w);
+        w.WriteU8(c.options().binary ? 1 : 0);
+        w.WriteU8(c.options().use_bias ? 1 : 0);
+        SaveTensor(c.weight().value, w);
+        if (c.options().use_bias) SaveTensor(c.bias().value, w);
+      },
+      [](ByteReader& r) -> nn::LayerPtr {
+        const std::int64_t in_ch = r.ReadI64();
+        const std::int64_t out_ch = r.ReadI64();
+        const std::int64_t kh = r.ReadI64();
+        const std::int64_t kw = r.ReadI64();
+        nn::Conv2dOptions opt;
+        opt.stride_h = r.ReadI64();
+        opt.stride_w = r.ReadI64();
+        opt.pad_h = r.ReadI64();
+        opt.pad_w = r.ReadI64();
+        opt.binary = r.ReadU8() != 0;
+        opt.use_bias = r.ReadU8() != 0;
+        Rng rng(kLoadRngSeed);
+        auto layer = std::make_unique<nn::Conv2d>(in_ch, out_ch, kh, kw, rng,
+                                                  opt);
+        LoadParamInto(layer->weight(), r, "Conv2d weight");
+        if (opt.use_bias) LoadParamInto(layer->bias(), r, "Conv2d bias");
+        return layer;
+      }};
+}
+
+LayerSerde DepthwiseConv2dSerde() {
+  return {
+      "dwconv2d",
+      [](const nn::Layer& l) {
+        return dynamic_cast<const nn::DepthwiseConv2d*>(&l) != nullptr;
+      },
+      [](const nn::Layer& l, ByteWriter& w) {
+        const auto& c = dynamic_cast<const nn::DepthwiseConv2d&>(l);
+        w.WriteI64(c.channels());
+        w.WriteI64(c.kernel_h());
+        w.WriteI64(c.kernel_w());
+        w.WriteI64(c.options().stride_h);
+        w.WriteI64(c.options().stride_w);
+        w.WriteI64(c.options().pad_h);
+        w.WriteI64(c.options().pad_w);
+        w.WriteU8(c.options().use_bias ? 1 : 0);
+        SaveTensor(c.weight().value, w);
+        if (c.options().use_bias) SaveTensor(c.bias().value, w);
+      },
+      [](ByteReader& r) -> nn::LayerPtr {
+        const std::int64_t channels = r.ReadI64();
+        const std::int64_t kh = r.ReadI64();
+        const std::int64_t kw = r.ReadI64();
+        nn::DepthwiseConv2dOptions opt;
+        opt.stride_h = r.ReadI64();
+        opt.stride_w = r.ReadI64();
+        opt.pad_h = r.ReadI64();
+        opt.pad_w = r.ReadI64();
+        opt.use_bias = r.ReadU8() != 0;
+        Rng rng(kLoadRngSeed);
+        auto layer =
+            std::make_unique<nn::DepthwiseConv2d>(channels, kh, kw, rng, opt);
+        LoadParamInto(layer->weight(), r, "DepthwiseConv2d weight");
+        if (opt.use_bias) {
+          LoadParamInto(layer->bias(), r, "DepthwiseConv2d bias");
+        }
+        return layer;
+      }};
+}
+
+LayerSerde BatchNormSerde() {
+  return {
+      "batchnorm",
+      [](const nn::Layer& l) {
+        return dynamic_cast<const nn::BatchNorm*>(&l) != nullptr;
+      },
+      [](const nn::Layer& l, ByteWriter& w) {
+        const auto& bn = dynamic_cast<const nn::BatchNorm&>(l);
+        w.WriteI64(bn.num_features());
+        w.WriteF32(bn.momentum());
+        w.WriteF32(bn.eps());
+        SaveTensor(bn.gamma().value, w);
+        SaveTensor(bn.beta().value, w);
+        SaveTensor(bn.running_mean(), w);
+        SaveTensor(bn.running_var(), w);
+      },
+      [](ByteReader& r) -> nn::LayerPtr {
+        const std::int64_t features = r.ReadI64();
+        nn::BatchNormOptions opt;
+        opt.momentum = r.ReadF32();
+        opt.eps = r.ReadF32();
+        auto layer = std::make_unique<nn::BatchNorm>(features, opt);
+        LoadParamInto(layer->mutable_gamma(), r, "BatchNorm gamma");
+        LoadParamInto(layer->mutable_beta(), r, "BatchNorm beta");
+        // Running statistics carry the trained inference behaviour (they are
+        // what BN-threshold folding consumes); restore them bit-exactly.
+        Tensor mean = LoadTensor(r);
+        Tensor var = LoadTensor(r);
+        if (mean.shape() != layer->running_mean().shape() ||
+            var.shape() != layer->running_var().shape()) {
+          throw std::runtime_error(
+              "artifact corrupt: BatchNorm running statistics shape mismatch");
+        }
+        layer->mutable_running_mean() = std::move(mean);
+        layer->mutable_running_var() = std::move(var);
+        return layer;
+      }};
+}
+
+LayerSerde DropoutSerde() {
+  return {
+      "dropout",
+      [](const nn::Layer& l) {
+        return dynamic_cast<const nn::Dropout*>(&l) != nullptr;
+      },
+      [](const nn::Layer& l, ByteWriter& w) {
+        const auto& d = dynamic_cast<const nn::Dropout&>(l);
+        w.WriteF32(d.keep_prob());
+      },
+      [](ByteReader& r) -> nn::LayerPtr {
+        const float keep = r.ReadF32();
+        // Dropout is the identity at inference; its mask RNG only matters
+        // for further training and restarts from a fresh stream.
+        Rng rng(kLoadRngSeed);
+        return std::make_unique<nn::Dropout>(keep, rng);
+      }};
+}
+
+LayerSerde Pool2dSerde() {
+  return {
+      "pool2d",
+      [](const nn::Layer& l) {
+        return dynamic_cast<const nn::Pool2d*>(&l) != nullptr;
+      },
+      [](const nn::Layer& l, ByteWriter& w) {
+        const auto& p = dynamic_cast<const nn::Pool2d&>(l);
+        w.WriteU8(p.kind() == nn::PoolKind::kMax ? 0 : 1);
+        w.WriteI64(p.kernel_h());
+        w.WriteI64(p.kernel_w());
+        w.WriteI64(p.stride_h());
+        w.WriteI64(p.stride_w());
+      },
+      [](ByteReader& r) -> nn::LayerPtr {
+        const nn::PoolKind kind =
+            r.ReadU8() == 0 ? nn::PoolKind::kMax : nn::PoolKind::kAverage;
+        const std::int64_t kh = r.ReadI64();
+        const std::int64_t kw = r.ReadI64();
+        nn::Pool2dOptions opt;
+        opt.stride_h = r.ReadI64();
+        opt.stride_w = r.ReadI64();
+        return std::make_unique<nn::Pool2d>(kind, kh, kw, opt);
+      }};
+}
+
+}  // namespace
+
+LayerSerdeRegistry::LayerSerdeRegistry() {
+  Register(DenseSerde());
+  Register(Conv2dSerde());
+  Register(DepthwiseConv2dSerde());
+  Register(BatchNormSerde());
+  Register(DropoutSerde());
+  Register(Pool2dSerde());
+  Register(Stateless<nn::Relu>("relu"));
+  Register(Stateless<nn::HardTanh>("hardtanh"));
+  Register(Stateless<nn::SignSte>("sign"));
+  Register(Stateless<nn::Flatten>("flatten"));
+  Register(Stateless<nn::GlobalAvgPool>("gap"));
+}
+
+LayerSerdeRegistry& LayerSerdeRegistry::Instance() {
+  static LayerSerdeRegistry registry;
+  return registry;
+}
+
+void LayerSerdeRegistry::Register(LayerSerde serde) {
+  for (auto& entry : entries_) {
+    if (entry.tag == serde.tag) {
+      entry = std::move(serde);
+      return;
+    }
+  }
+  entries_.push_back(std::move(serde));
+}
+
+const LayerSerde& LayerSerdeRegistry::ForLayer(const nn::Layer& layer) const {
+  for (const auto& entry : entries_) {
+    if (entry.matches(layer)) return entry;
+  }
+  throw std::runtime_error("artifact: layer type '" + layer.Name() +
+                           "' has no registered serializer "
+                           "(LayerSerdeRegistry::Register one)");
+}
+
+const LayerSerde& LayerSerdeRegistry::ForTag(const std::string& tag) const {
+  for (const auto& entry : entries_) {
+    if (entry.tag == tag) return entry;
+  }
+  throw std::runtime_error(
+      "artifact: unknown layer type tag '" + tag +
+      "' (saved by a newer build, or a serializer is not registered)");
+}
+
+void SaveSequential(const nn::Sequential& net, ByteWriter& w) {
+  const auto& registry = LayerSerdeRegistry::Instance();
+  w.WriteU64(net.size());
+  for (const nn::LayerPtr& layer : net.layers()) {
+    const LayerSerde& serde = registry.ForLayer(*layer);
+    w.WriteString(serde.tag);
+    ByteWriter payload;
+    serde.save(*layer, payload);
+    w.WriteU64(payload.bytes().size());
+    w.WriteBytes(payload.bytes());
+  }
+}
+
+nn::Sequential LoadSequential(ByteReader& r) {
+  const auto& registry = LayerSerdeRegistry::Instance();
+  nn::Sequential net;
+  const std::uint64_t count = r.ReadU64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string tag = r.ReadString();
+    const std::uint64_t size = r.ReadU64();
+    ByteReader payload(r.ReadBytes(size),
+                       "layer " + std::to_string(i) + " ('" + tag + "')");
+    try {
+      net.Add(registry.ForTag(tag).load(payload));
+    } catch (const std::invalid_argument& e) {
+      // Layer constructors validate their parameters; surface their
+      // complaints as artifact corruption, which is what they mean here.
+      throw std::runtime_error("artifact corrupt: layer " + std::to_string(i) +
+                               " ('" + tag + "'): " + e.what());
+    }
+    payload.ExpectExhausted();
+  }
+  return net;
+}
+
+}  // namespace rrambnn::io

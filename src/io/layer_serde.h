@@ -1,0 +1,65 @@
+// Layer-type registry and nn::Sequential serializer of the artifact format.
+//
+// Each serializable layer type registers a tag plus three hooks: a matcher
+// (is this Layer instance mine?), a saver (constructor parameters + trained
+// state into a ByteWriter) and a loader (rebuild the layer from a
+// ByteReader). All built-in layers — Dense, Conv2d, DepthwiseConv2d,
+// BatchNorm (including running statistics), Dropout, Pool2d, the pointwise
+// activations, Flatten and GlobalAvgPool — are registered on first use, so
+// every model in src/models round-trips. External layer types register
+// through LayerSerdeRegistry::Instance().Register without touching this
+// file, mirroring the engine's BackendRegistry pattern.
+//
+// Wire format per layer: tag string, u64 payload size, payload. The payload
+// length prefix lets the loader produce a precise error for an unknown tag
+// and guarantees a layer cannot over- or under-read its neighbours.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "io/serde.h"
+#include "nn/sequential.h"
+
+namespace rrambnn::io {
+
+struct LayerSerde {
+  /// Stable wire tag ("dense", "conv2d", ...); never reuse a tag for a
+  /// different payload layout without bumping kFormatVersion.
+  std::string tag;
+  /// True when this entry serializes the given layer instance.
+  std::function<bool(const nn::Layer&)> matches;
+  std::function<void(const nn::Layer&, ByteWriter&)> save;
+  std::function<nn::LayerPtr(ByteReader&)> load;
+};
+
+class LayerSerdeRegistry {
+ public:
+  static LayerSerdeRegistry& Instance();
+
+  void Register(LayerSerde serde);
+
+  /// Entry whose matcher accepts `layer`; throws std::runtime_error naming
+  /// the layer when no registered type matches (unserializable model).
+  const LayerSerde& ForLayer(const nn::Layer& layer) const;
+
+  /// Entry for a wire tag; throws std::runtime_error for unknown tags.
+  const LayerSerde& ForTag(const std::string& tag) const;
+
+ private:
+  LayerSerdeRegistry();
+
+  std::vector<LayerSerde> entries_;
+};
+
+/// Serializes every layer of `net` (type tag + parameters + trained state).
+void SaveSequential(const nn::Sequential& net, ByteWriter& w);
+
+/// Rebuilds a network saved by SaveSequential. Loaded layers are
+/// inference-equivalent to the saved ones: parameter tensors and BatchNorm
+/// running statistics are restored bit-exactly (training caches and dropout
+/// RNG state are not part of an artifact).
+nn::Sequential LoadSequential(ByteReader& r);
+
+}  // namespace rrambnn::io

@@ -1,0 +1,145 @@
+#include "io/serde.h"
+
+#include <array>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+namespace rrambnn::io {
+
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::span<const std::uint8_t> bytes) {
+  static const std::array<std::uint32_t, 256> table = MakeCrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t b : bytes) {
+    crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::WriteU8(std::uint8_t v) { bytes_.push_back(v); }
+
+void ByteWriter::WriteU32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::WriteU64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::WriteI32(std::int32_t v) {
+  WriteU32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::WriteI64(std::int64_t v) {
+  WriteU64(static_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::WriteF32(float v) { WriteU32(std::bit_cast<std::uint32_t>(v)); }
+
+void ByteWriter::WriteF64(double v) {
+  WriteU64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::WriteBytes(std::span<const std::uint8_t> bytes) {
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+}
+
+ByteReader::ByteReader(std::span<const std::uint8_t> bytes, std::string context)
+    : data_(bytes.data()), size_(bytes.size()), context_(std::move(context)) {}
+
+void ByteReader::Require(std::uint64_t n) const {
+  if (size_ - pos_ < n) {
+    throw std::runtime_error("artifact truncated while reading " + context_ +
+                             ": need " + std::to_string(n) + " byte(s) at " +
+                             std::to_string(pos_) + ", have " +
+                             std::to_string(size_ - pos_));
+  }
+}
+
+std::uint8_t ByteReader::ReadU8() {
+  Require(1);
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::ReadU32() {
+  Require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::ReadU64() {
+  Require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::int32_t ByteReader::ReadI32() {
+  return static_cast<std::int32_t>(ReadU32());
+}
+
+std::int64_t ByteReader::ReadI64() {
+  return static_cast<std::int64_t>(ReadU64());
+}
+
+float ByteReader::ReadF32() { return std::bit_cast<float>(ReadU32()); }
+
+double ByteReader::ReadF64() { return std::bit_cast<double>(ReadU64()); }
+
+std::string ByteReader::ReadString() {
+  const std::uint64_t n = ReadU64();
+  Require(n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<std::size_t>(n));
+  pos_ += n;
+  return s;
+}
+
+std::span<const std::uint8_t> ByteReader::ReadBytes(std::uint64_t n) {
+  Require(n);
+  std::span<const std::uint8_t> out(data_ + pos_, static_cast<std::size_t>(n));
+  pos_ += n;
+  return out;
+}
+
+void ByteReader::ExpectExhausted() const {
+  if (pos_ != size_) {
+    throw std::runtime_error("artifact corrupt: " + context_ + " has " +
+                             std::to_string(size_ - pos_) +
+                             " unexpected trailing byte(s)");
+  }
+}
+
+}  // namespace rrambnn::io

@@ -1,0 +1,78 @@
+// Byte-level serialization primitives of the artifact format (io/artifact.h).
+//
+// ByteWriter appends little-endian primitives to an in-memory buffer;
+// ByteReader parses them back with bounds checks that throw
+// std::runtime_error on truncation (a corrupted or cut-off artifact must
+// fail loudly, never read garbage). Endianness is pinned to little-endian
+// explicitly so an artifact written on one host loads on any other.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rrambnn::io {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a byte range; the chunk
+/// checksum of the artifact format. Crc32("123456789") == 0xCBF43926.
+std::uint32_t Crc32(std::span<const std::uint8_t> bytes);
+
+/// Appends little-endian primitives to a growable byte buffer.
+class ByteWriter {
+ public:
+  void WriteU8(std::uint8_t v);
+  void WriteU32(std::uint32_t v);
+  void WriteU64(std::uint64_t v);
+  void WriteI32(std::int32_t v);
+  void WriteI64(std::int64_t v);
+  void WriteF32(float v);
+  void WriteF64(double v);
+  /// u64 length prefix + raw bytes.
+  void WriteString(const std::string& s);
+  /// Raw bytes, no length prefix.
+  void WriteBytes(std::span<const std::uint8_t> bytes);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Parses little-endian primitives out of a byte range. Every read is
+/// bounds-checked; reading past the end throws std::runtime_error with the
+/// caller-supplied context string ("what are we inside of") so truncation
+/// errors name the structure that was cut off.
+class ByteReader {
+ public:
+  ByteReader(std::span<const std::uint8_t> bytes, std::string context);
+
+  std::uint8_t ReadU8();
+  std::uint32_t ReadU32();
+  std::uint64_t ReadU64();
+  std::int32_t ReadI32();
+  std::int64_t ReadI64();
+  float ReadF32();
+  double ReadF64();
+  std::string ReadString();
+  /// Next `n` raw bytes as a span into the underlying buffer.
+  std::span<const std::uint8_t> ReadBytes(std::uint64_t n);
+
+  std::uint64_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+  /// Throws std::runtime_error unless every byte was consumed — catches
+  /// payloads longer than the structure they claim to encode.
+  void ExpectExhausted() const;
+
+ private:
+  void Require(std::uint64_t n) const;
+
+  const std::uint8_t* data_;
+  std::uint64_t size_;
+  std::uint64_t pos_ = 0;
+  std::string context_;
+};
+
+}  // namespace rrambnn::io

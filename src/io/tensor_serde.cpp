@@ -1,0 +1,147 @@
+#include "io/tensor_serde.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace rrambnn::io {
+
+namespace {
+
+/// Guards every allocation driven by a file-supplied element count: the
+/// elements still have to be read out of this reader, so a count whose
+/// encoded size exceeds the remaining payload is corrupt by construction.
+/// Checking BEFORE allocating turns a crafted huge count into the
+/// documented std::runtime_error instead of std::bad_alloc/OOM.
+void CheckCountFitsPayload(const ByteReader& r, std::uint64_t count,
+                           std::uint64_t elem_bytes, const char* what) {
+  if (count > r.remaining() / elem_bytes) {
+    throw std::runtime_error("artifact corrupt: " + std::string(what) +
+                             " count " + std::to_string(count) +
+                             " exceeds the remaining payload");
+  }
+}
+
+}  // namespace
+
+void SaveTensor(const Tensor& t, ByteWriter& w) {
+  w.WriteU32(static_cast<std::uint32_t>(t.rank()));
+  for (const std::int64_t d : t.shape()) w.WriteI64(d);
+  for (std::int64_t i = 0; i < t.size(); ++i) w.WriteF32(t[i]);
+}
+
+Tensor LoadTensor(ByteReader& r) {
+  const std::uint32_t rank = r.ReadU32();
+  if (rank > 8) {
+    throw std::runtime_error("artifact corrupt: tensor rank " +
+                             std::to_string(rank) + " is implausible");
+  }
+  // A default-constructed Tensor has empty shape AND empty data, which the
+  // shape/data constructor rejects (NumElements({}) == 1); mirror it here.
+  if (rank == 0) return Tensor();
+  Shape shape(rank);
+  std::uint64_t n = 1;
+  for (auto& d : shape) {
+    d = r.ReadI64();
+    if (d < 0) {
+      throw std::runtime_error("artifact corrupt: negative tensor dimension");
+    }
+    // Overflow-safe product: a dimension set that overflows u64 certainly
+    // does not fit the payload either.
+    if (d > 0 && n > std::numeric_limits<std::uint64_t>::max() /
+                         static_cast<std::uint64_t>(d)) {
+      throw std::runtime_error("artifact corrupt: tensor element count "
+                               "overflows");
+    }
+    n *= static_cast<std::uint64_t>(d);
+  }
+  CheckCountFitsPayload(r, n, sizeof(float), "tensor element");
+  std::vector<float> data(static_cast<std::size_t>(n));
+  for (auto& v : data) v = r.ReadF32();
+  return Tensor(std::move(shape), std::move(data));
+}
+
+void SaveBitMatrix(const core::BitMatrix& m, ByteWriter& w) {
+  w.WriteI64(m.rows());
+  w.WriteI64(m.cols());
+  for (const std::uint64_t word : m.words()) w.WriteU64(word);
+}
+
+core::BitMatrix LoadBitMatrix(ByteReader& r) {
+  const std::int64_t rows = r.ReadI64();
+  const std::int64_t cols = r.ReadI64();
+  if (rows < 0 || cols < 0 ||
+      cols > std::numeric_limits<std::int64_t>::max() - 63) {
+    throw std::runtime_error("artifact corrupt: bad bit-matrix shape");
+  }
+  const std::uint64_t words_per_row = static_cast<std::uint64_t>(cols + 63) / 64;
+  if (words_per_row != 0 &&
+      static_cast<std::uint64_t>(rows) >
+          std::numeric_limits<std::uint64_t>::max() / words_per_row) {
+    throw std::runtime_error("artifact corrupt: bit-matrix word count "
+                             "overflows");
+  }
+  const std::uint64_t word_count = static_cast<std::uint64_t>(rows) *
+                                   words_per_row;
+  CheckCountFitsPayload(r, word_count, sizeof(std::uint64_t),
+                        "bit-matrix word");
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(word_count));
+  for (auto& word : words) word = r.ReadU64();
+  try {
+    return core::BitMatrix::FromWords(rows, cols, std::move(words));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("artifact corrupt: ") + e.what());
+  }
+}
+
+void SaveBnnModel(const core::BnnModel& model, ByteWriter& w) {
+  w.WriteU64(model.num_hidden());
+  for (const core::BnnDenseLayer& layer : model.hidden()) {
+    SaveBitMatrix(layer.weights, w);
+    w.WriteU64(layer.thresholds.size());
+    for (const std::int32_t t : layer.thresholds) w.WriteI32(t);
+  }
+  const core::BnnOutputLayer& out = model.output();
+  SaveBitMatrix(out.weights, w);
+  w.WriteU64(out.scale.size());
+  for (const float s : out.scale) w.WriteF32(s);
+  w.WriteU64(out.offset.size());
+  for (const float o : out.offset) w.WriteF32(o);
+}
+
+core::BnnModel LoadBnnModel(ByteReader& r) {
+  core::BnnModel model;
+  const std::uint64_t num_hidden = r.ReadU64();
+  for (std::uint64_t i = 0; i < num_hidden; ++i) {
+    core::BnnDenseLayer layer;
+    layer.weights = LoadBitMatrix(r);
+    const std::uint64_t num_thresholds = r.ReadU64();
+    CheckCountFitsPayload(r, num_thresholds, sizeof(std::int32_t),
+                          "threshold");
+    layer.thresholds.resize(static_cast<std::size_t>(num_thresholds));
+    for (auto& t : layer.thresholds) t = r.ReadI32();
+    try {
+      model.AddHidden(std::move(layer));
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error(std::string("artifact corrupt: ") + e.what());
+    }
+  }
+  core::BnnOutputLayer out;
+  out.weights = LoadBitMatrix(r);
+  const std::uint64_t num_scale = r.ReadU64();
+  CheckCountFitsPayload(r, num_scale, sizeof(float), "output scale");
+  out.scale.resize(static_cast<std::size_t>(num_scale));
+  for (auto& s : out.scale) s = r.ReadF32();
+  const std::uint64_t num_offset = r.ReadU64();
+  CheckCountFitsPayload(r, num_offset, sizeof(float), "output offset");
+  out.offset.resize(static_cast<std::size_t>(num_offset));
+  for (auto& o : out.offset) o = r.ReadF32();
+  try {
+    model.SetOutput(std::move(out));
+    model.Validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("artifact corrupt: ") + e.what());
+  }
+  return model;
+}
+
+}  // namespace rrambnn::io

@@ -1,0 +1,26 @@
+// Binary serializers for the numeric value types of an artifact: dense
+// float tensors, packed bit matrices, and the compiled core::BnnModel.
+// Float data is stored as raw IEEE-754 bits and bit matrices as their packed
+// 64-bit words, so a round trip is bit-identical by construction — the
+// property the artifact lifecycle (train once, serve anywhere) rests on.
+#pragma once
+
+#include "core/bnn_model.h"
+#include "io/serde.h"
+#include "tensor/tensor.h"
+
+namespace rrambnn::io {
+
+void SaveTensor(const Tensor& t, ByteWriter& w);
+Tensor LoadTensor(ByteReader& r);
+
+void SaveBitMatrix(const core::BitMatrix& m, ByteWriter& w);
+core::BitMatrix LoadBitMatrix(ByteReader& r);
+
+/// The whole compiled classifier: hidden layers (weights + thresholds) and
+/// the output layer (weights + per-class affine). LoadBnnModel validates the
+/// result (layer chaining, threshold ranges) before returning it.
+void SaveBnnModel(const core::BnnModel& model, ByteWriter& w);
+core::BnnModel LoadBnnModel(ByteReader& r);
+
+}  // namespace rrambnn::io

@@ -30,9 +30,12 @@ class BatchNorm : public Layer {
 
   std::int64_t num_features() const { return num_features_; }
   float eps() const { return options_.eps; }
+  float momentum() const { return options_.momentum; }
 
   const Param& gamma() const { return gamma_; }
   const Param& beta() const { return beta_; }
+  Param& mutable_gamma() { return gamma_; }
+  Param& mutable_beta() { return beta_; }
   /// Running statistics used at inference; consumed by BN-threshold folding.
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }

@@ -32,10 +32,15 @@ class DepthwiseConv2d : public Layer {
   std::string Describe() const override;
 
   std::int64_t channels() const { return channels_; }
+  std::int64_t kernel_h() const { return kernel_h_; }
+  std::int64_t kernel_w() const { return kernel_w_; }
+  const DepthwiseConv2dOptions& options() const { return options_; }
 
   /// Weights stored [channels, kernel_h * kernel_w].
   const Param& weight() const { return weight_; }
   const Param& bias() const { return bias_; }
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
 
  private:
   ConvGeometry GeometryFor(const Shape& sample_shape) const;

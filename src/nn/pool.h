@@ -31,6 +31,14 @@ class Pool2d : public Layer {
   Shape OutputShape(const Shape& in) const override;
   std::string Describe() const override;
 
+  PoolKind kind() const { return kind_; }
+  std::int64_t kernel_h() const { return kernel_h_; }
+  std::int64_t kernel_w() const { return kernel_w_; }
+  /// Strides as resolved at construction (a -1 option defaults to the
+  /// kernel size).
+  std::int64_t stride_h() const { return stride_h_; }
+  std::int64_t stride_w() const { return stride_w_; }
+
  private:
   ConvGeometry GeometryFor(const Shape& sample_shape) const;
 

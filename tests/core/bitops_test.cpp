@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "tensor/rng.h"
@@ -133,6 +135,45 @@ TEST(BitMatrix, SetRowGetRow) {
 TEST(BitMatrix, BitsAccounting) {
   const BitMatrix m(80, 2520);  // the EEG classifier's first layer
   EXPECT_EQ(m.bits(), 80 * 2520);
+}
+
+/// The runtime-dispatched sign-packer must be bit-identical to the scalar
+/// word builder on every geometry, including awkward tails and the special
+/// float values whose packing the predicate `v >= 0.0f` pins down
+/// (-0.0f packs as +1, NaN packs as -1).
+TEST(SignPacker, DispatchedKernelMatchesScalar) {
+  Rng rng(23);
+  for (const auto& [rows, cols] :
+       std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {1, 1}, {3, 63}, {4, 64}, {5, 65}, {7, 100}, {2, 512},
+           {16, 2520} /* EEG serving geometry */}) {
+    std::vector<float> values(static_cast<std::size_t>(rows * cols));
+    for (auto& v : values) v = rng.Normal(0.0f, 1.0f);
+    values[0] = -0.0f;
+    values.back() = 0.0f;
+    if (values.size() > 2) values[1] = std::nanf("");
+
+    const bool prev = SetSignPackForceScalar(true);
+    const BitMatrix scalar = BitMatrix::FromSignRows(values, rows, cols);
+    SetSignPackForceScalar(false);
+    const BitMatrix dispatched = BitMatrix::FromSignRows(values, rows, cols);
+    SetSignPackForceScalar(prev);
+
+    EXPECT_EQ(dispatched, scalar) << rows << "x" << cols << " (dispatched "
+                                  << SignPackKernelName() << ")";
+    // Spot-check semantics against the bit-by-bit packer.
+    EXPECT_EQ(scalar, BitMatrix::FromSigns(values, rows, cols));
+    EXPECT_EQ(scalar.Get(0, 0), +1) << "-0.0f must pack as +1";
+    if (values.size() > 2 && cols > 1) {
+      EXPECT_EQ(scalar.Get(0, 1), -1) << "NaN must pack as -1";
+    }
+  }
+}
+
+TEST(SignPacker, ForceScalarRoundTrips) {
+  const bool prev = SetSignPackForceScalar(true);
+  EXPECT_STREQ(SignPackKernelName(), "scalar");
+  SetSignPackForceScalar(prev);
 }
 
 }  // namespace

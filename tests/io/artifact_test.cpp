@@ -1,0 +1,253 @@
+// The train-once / serve-anywhere guarantee: an Engine saved to an artifact
+// and reloaded (as a serving process would) produces bit-identical
+// predictions on every built-in backend with no Train()/Compile() call, and
+// damaged artifacts are rejected loudly. Uses a really trained ECG
+// classifier on a device corner with programming noise (weak bits) but
+// deterministic senses, so the RRAM backends exercise real non-idealities
+// while staying reproducible.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "data/ecg_synth.h"
+#include "engine/engine.h"
+#include "io/artifact.h"
+#include "io/chunk_file.h"
+#include "models/ecg_model.h"
+#include "nn/batchnorm.h"
+#include "nn/dense.h"
+
+namespace rrambnn::engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_((fs::temp_directory_path() /
+               ("rrambnn_artifact_test_" + name)).string()) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Programming noise on, sense offsets off: the fabric makes real weak-bit
+/// errors at deployment but every read is deterministic.
+rram::DeviceParams NoisyDeterministicDevice() {
+  rram::DeviceParams p;
+  p.weak_prob_ref = 5e-3;
+  p.sense_offset_sigma = 0.0;
+  return p;
+}
+
+/// One trained-and-saved engine shared by all round-trip tests.
+class SavedEcgArtifact : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    file_ = new TempFile("roundtrip.rbnn");
+
+    Rng rng(7);
+    data::EcgSynthConfig dc;
+    dc.samples = 80;
+    dc.sample_rate_hz = 100.0;
+    data_ = new nn::Dataset(data::MakeEcgDataset(dc, 120, rng));
+
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 16;
+
+    EngineConfig cfg;
+    cfg.WithStrategy(core::BinarizationStrategy::kBinaryClassifier)
+        .WithTrain(tc)
+        .WithDevice(NoisyDeterministicDevice())
+        .WithFaultBer(1e-3, /*seed=*/55)
+        .WithRramShards(2);
+    // Capture dc by value: the factory lives as long as engine_, well past
+    // this stack frame (it fires again on any future Train call).
+    engine_ = new Engine(cfg, [dc](const EngineConfig& ec, Rng& mrng) {
+      models::EcgNetConfig mc = models::EcgNetConfig::BenchScale();
+      mc.samples = dc.samples;
+      mc.strategy = ec.strategy;
+      auto built = models::BuildEcgNet(mc, mrng);
+      return ModelSpec{std::move(built.net), built.classifier_start};
+    });
+    (void)engine_->Train(*data_, *data_);
+    engine_->SaveArtifact(file_->path());
+  }
+
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete data_;
+    delete file_;
+    engine_ = nullptr;
+    data_ = nullptr;
+    file_ = nullptr;
+  }
+
+  static TempFile* file_;
+  static Engine* engine_;
+  static nn::Dataset* data_;
+};
+
+TempFile* SavedEcgArtifact::file_ = nullptr;
+Engine* SavedEcgArtifact::engine_ = nullptr;
+nn::Dataset* SavedEcgArtifact::data_ = nullptr;
+
+TEST_F(SavedEcgArtifact, LoadedEngineIsTrainedAndCompiled) {
+  Engine loaded = Engine::FromArtifact(file_->path());
+  EXPECT_TRUE(loaded.trained());
+  EXPECT_TRUE(loaded.compiled());
+  EXPECT_FALSE(loaded.deployed());
+  EXPECT_EQ(loaded.classifier_start(), engine_->classifier_start());
+  EXPECT_EQ(loaded.net().size(), engine_->net().size());
+  EXPECT_EQ(loaded.compiled_model().TotalWeightBits(),
+            engine_->compiled_model().TotalWeightBits());
+  // A loaded engine has no ModelFactory: retraining needs an explicit one.
+  EXPECT_THROW((void)loaded.Train(*data_, *data_), std::logic_error);
+}
+
+TEST_F(SavedEcgArtifact, ConfigFieldsRoundTrip) {
+  Engine loaded = Engine::FromArtifact(file_->path());
+  const EngineConfig& cfg = loaded.config();
+  EXPECT_EQ(cfg.strategy, core::BinarizationStrategy::kBinaryClassifier);
+  EXPECT_EQ(cfg.backend_name, engine_->config().backend_name);
+  EXPECT_EQ(cfg.threads, engine_->config().threads);
+  EXPECT_EQ(cfg.batch_size, engine_->config().batch_size);
+  EXPECT_EQ(cfg.backend.rram_shards, 2);
+  EXPECT_EQ(cfg.backend.fault_ber, 1e-3);
+  EXPECT_EQ(cfg.backend.fault_seed, 55u);
+  EXPECT_EQ(cfg.backend.mapper.device.weak_prob_ref, 5e-3);
+  EXPECT_EQ(cfg.backend.mapper.device.sense_offset_sigma, 0.0);
+  EXPECT_EQ(cfg.backend.mapper.macro_rows, engine_->config().backend.mapper.macro_rows);
+  EXPECT_EQ(cfg.backend.mapper.seed, engine_->config().backend.mapper.seed);
+}
+
+/// The acceptance property: per backend, deploy the in-process engine and a
+/// freshly loaded engine and compare predictions element-wise. Programming
+/// noise, fault injection and sharding are all in play; determinism comes
+/// from the seeds stored in the artifact.
+TEST_F(SavedEcgArtifact, PredictionsBitIdenticalOnAllBackends) {
+  for (const std::string backend :
+       {"reference", "fault", "rram", "rram-sharded"}) {
+    engine_->Deploy(backend);
+    const std::vector<std::int64_t> expected = engine_->Predict(data_->x);
+
+    Engine loaded = Engine::FromArtifact(file_->path());
+    loaded.Deploy(backend);
+    const std::vector<std::int64_t> actual = loaded.Predict(data_->x);
+    ASSERT_EQ(actual.size(), expected.size()) << backend;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(actual[i], expected[i])
+          << "backend " << backend << ", row " << i;
+    }
+    EXPECT_EQ(loaded.Evaluate(*data_), engine_->Evaluate(*data_)) << backend;
+  }
+}
+
+TEST_F(SavedEcgArtifact, ThreadCountNeverChangesLoadedResults) {
+  Engine loaded1 = Engine::FromArtifact(file_->path());
+  loaded1.Deploy("reference");
+  const std::vector<std::int64_t> preds1 = loaded1.Predict(data_->x);
+
+  EngineConfig cfg = loaded1.config();
+  cfg.WithThreads(3);
+  Engine loaded3 = Engine::FromArtifact(file_->path(), cfg);
+  loaded3.Deploy("reference");
+  EXPECT_EQ(loaded3.Predict(data_->x), preds1);
+}
+
+TEST_F(SavedEcgArtifact, ConfigOverrideControlsServing) {
+  EngineConfig cfg = Engine::FromArtifact(file_->path()).config();
+  cfg.WithBackend("fault").WithThreads(2);
+  Engine loaded = Engine::FromArtifact(file_->path(), cfg);
+  EXPECT_EQ(loaded.Deploy().name(), "fault");
+}
+
+TEST_F(SavedEcgArtifact, DescribeArtifactMentionsStructure) {
+  const std::string report = io::DescribeArtifact(file_->path());
+  EXPECT_NE(report.find("engine-config"), std::string::npos);
+  EXPECT_NE(report.find("network"), std::string::npos);
+  EXPECT_NE(report.find("compiled-bnn"), std::string::npos);
+  EXPECT_NE(report.find("classifier starts at"), std::string::npos);
+}
+
+TEST_F(SavedEcgArtifact, CorruptedArtifactRejected) {
+  std::vector<char> bytes;
+  {
+    std::ifstream in(file_->path(), std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  TempFile corrupt("corrupt.rbnn");
+  bytes[bytes.size() / 2] ^= 0x10;  // flip one bit mid-payload
+  {
+    std::ofstream out(corrupt.path(), std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(Engine::FromArtifact(corrupt.path()), std::runtime_error);
+}
+
+TEST_F(SavedEcgArtifact, TruncatedArtifactRejected) {
+  std::vector<char> bytes;
+  {
+    std::ifstream in(file_->path(), std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  TempFile truncated("truncated.rbnn");
+  bytes.resize(bytes.size() * 2 / 3);
+  {
+    std::ofstream out(truncated.path(), std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(Engine::FromArtifact(truncated.path()), std::runtime_error);
+}
+
+TEST_F(SavedEcgArtifact, VersionBumpedArtifactRejected) {
+  std::vector<char> bytes;
+  {
+    std::ifstream in(file_->path(), std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  TempFile bumped("bumped.rbnn");
+  bytes[8] = static_cast<char>(io::kFormatVersion + 1);
+  {
+    std::ofstream out(bumped.path(), std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    Engine::FromArtifact(bumped.path());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(ArtifactLifecycleTest, SaveBeforeTrainThrows) {
+  EngineConfig cfg;
+  Engine engine(cfg, [](const EngineConfig&, Rng& rng) {
+    nn::Sequential net;
+    net.Emplace<nn::Dense>(std::int64_t{4}, std::int64_t{2}, rng,
+                           nn::DenseOptions{.binary = true});
+    net.Emplace<nn::BatchNorm>(std::int64_t{2});
+    return ModelSpec{std::move(net), 0};
+  });
+  EXPECT_THROW(engine.SaveArtifact("/tmp/never-written.rbnn"),
+               std::logic_error);
+}
+
+TEST(ArtifactLifecycleTest, MissingFileThrows) {
+  EXPECT_THROW(Engine::FromArtifact("/nonexistent/model.rbnn"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rrambnn::engine

@@ -1,0 +1,217 @@
+// Multi-model serving-throughput driver: the ECG and EEG demo artifacts
+// served side by side from one ModelServer on every execution backend —
+// the daemon counterpart of bench/throughput_serving.cpp. Emits
+// machine-readable BENCH_multimodel.json so the multi-model serving
+// trajectory is tracked from PR to PR.
+//
+// Usage: bench_throughput_multimodel [--smoke] [--out PATH]
+//   --smoke   fewer training epochs / short timing windows (CI smoke test)
+//   --out     output path of the JSON report (default BENCH_multimodel.json)
+//
+// Measures, per backend:
+//   - interleaved rows/sec: predict requests alternate ecg/eeg against a
+//     registry with capacity 2, so both engines stay resident (the fleet
+//     steady state);
+//   - thrash rows/sec (reference backend only): the same alternation at
+//     capacity 1, so every request LRU-evicts and reloads the other model —
+//     the cost of running a fleet over capacity.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "serve/demo_tasks.h"
+#include "serve/model_server.h"
+
+namespace {
+
+using namespace rrambnn;
+namespace fs = std::filesystem;
+
+struct TaskArtifact {
+  serve::DemoTask task;
+  std::string path;
+};
+
+/// Runs `serve` (which processes `rows` rows per call) repeatedly for at
+/// least `min_seconds` after one untimed warmup call and reports rows/sec.
+template <typename Fn>
+double MeasureRowsPerSec(std::int64_t rows, double min_seconds, Fn&& serve) {
+  serve();  // warmup: lazy loads, readback snapshots, caches
+  const auto start = std::chrono::steady_clock::now();
+  std::int64_t served = 0;
+  double elapsed = 0.0;
+  do {
+    serve();
+    served += rows;
+    elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(served) / elapsed;
+}
+
+serve::Request PredictRequest(const TaskArtifact& artifact,
+                              std::uint64_t id) {
+  serve::Request request;
+  request.id = id;
+  request.kind = serve::RequestKind::kPredict;
+  request.model = artifact.task.name;
+  request.batch = artifact.task.val.x;
+  return request;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_multimodel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  const std::int64_t epochs = smoke ? 1 : 3;
+  const double min_seconds = smoke ? 0.05 : 0.3;
+
+  // -- Train and save the two demo artifacts once ---------------------------
+  const fs::path dir = fs::temp_directory_path() / "rrambnn_bench_multimodel";
+  fs::create_directories(dir);
+  std::vector<TaskArtifact> artifacts;
+  for (const char* name : {"ecg", "eeg"}) {
+    TaskArtifact artifact{serve::MakeDemoTask(name),
+                          (dir / (std::string(name) + ".rbnn")).string()};
+    engine::Engine trainer(serve::DemoServingConfig(epochs),
+                           artifact.task.factory);
+    std::printf("training %s (%lld epochs)...\n", name,
+                static_cast<long long>(epochs));
+    (void)trainer.Train(artifact.task.train, artifact.task.val);
+    trainer.SaveArtifact(artifact.path);
+    artifacts.push_back(std::move(artifact));
+  }
+  const std::int64_t rows_per_round =
+      artifacts[0].task.val.x.dim(0) + artifacts[1].task.val.x.dim(0);
+
+  struct Result {
+    std::string backend;
+    std::string mode;  // "interleaved" or "thrash"
+    double rows_per_sec = 0.0;
+    std::uint64_t loads = 0;
+    double ecg_rows_per_sec = 0.0;
+    double eeg_rows_per_sec = 0.0;
+  };
+  std::vector<Result> results;
+
+  // -- Interleaved two-model serving per backend ----------------------------
+  for (const std::string& backend : serve::AllBackendNames()) {
+    serve::RegistryConfig config;
+    config.capacity = 2;
+    config.backend_override = backend;
+    serve::ModelServer server(config);
+    for (const TaskArtifact& a : artifacts) {
+      server.registry().Register(a.task.name, a.path);
+    }
+    const serve::Request req_ecg = PredictRequest(artifacts[0], 1);
+    const serve::Request req_eeg = PredictRequest(artifacts[1], 2);
+    const double rps = MeasureRowsPerSec(rows_per_round, min_seconds, [&] {
+      if (!server.Handle(req_ecg).ok || !server.Handle(req_eeg).ok) {
+        std::fprintf(stderr, "predict request failed on %s\n",
+                     backend.c_str());
+        std::exit(1);
+      }
+    });
+    Result result{backend, "interleaved", rps, server.registry().loads(),
+                  0.0, 0.0};
+    for (const auto& info : server.registry().List()) {
+      const double model_rps = info.stats.RowsPerSec();
+      (info.name == "ecg" ? result.ecg_rows_per_sec
+                          : result.eeg_rows_per_sec) = model_rps;
+    }
+    results.push_back(result);
+    std::printf("%-14s interleaved  %10.0f rows/s  (ecg %.0f, eeg %.0f; "
+                "%llu loads)\n",
+                backend.c_str(), rps, result.ecg_rows_per_sec,
+                result.eeg_rows_per_sec,
+                static_cast<unsigned long long>(result.loads));
+  }
+
+  // -- Capacity-1 thrash: every request evicts and reloads ------------------
+  {
+    serve::RegistryConfig config;
+    config.capacity = 1;
+    config.backend_override = "reference";
+    serve::ModelServer server(config);
+    for (const TaskArtifact& a : artifacts) {
+      server.registry().Register(a.task.name, a.path);
+    }
+    const serve::Request req_ecg = PredictRequest(artifacts[0], 1);
+    const serve::Request req_eeg = PredictRequest(artifacts[1], 2);
+    const double rps = MeasureRowsPerSec(rows_per_round, min_seconds, [&] {
+      if (!server.Handle(req_ecg).ok || !server.Handle(req_eeg).ok) {
+        std::fprintf(stderr, "thrash predict request failed\n");
+        std::exit(1);
+      }
+    });
+    Result result{"reference", "thrash", rps, server.registry().loads(),
+                  0.0, 0.0};
+    for (const auto& info : server.registry().List()) {
+      (info.name == "ecg" ? result.ecg_rows_per_sec
+                          : result.eeg_rows_per_sec) = info.stats.RowsPerSec();
+    }
+    results.push_back(result);
+    std::printf("%-14s thrash       %10.0f rows/s  (%llu loads, %llu "
+                "evictions)\n",
+                "reference", rps,
+                static_cast<unsigned long long>(server.registry().loads()),
+                static_cast<unsigned long long>(
+                    server.registry().evictions()));
+  }
+
+  const Result* interleaved_ref = nullptr;
+  const Result* thrash_ref = nullptr;
+  for (const Result& r : results) {
+    if (r.backend == "reference" && r.mode == "interleaved") {
+      interleaved_ref = &r;
+    }
+    if (r.mode == "thrash") thrash_ref = &r;
+  }
+  const double resident_vs_thrash =
+      interleaved_ref && thrash_ref && thrash_ref->rows_per_sec > 0.0
+          ? interleaved_ref->rows_per_sec / thrash_ref->rows_per_sec
+          : 0.0;
+  std::printf("\nresident (capacity 2) vs thrash (capacity 1): %.1fx\n",
+              resident_vs_thrash);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"models\": [\"ecg\", \"eeg\"],\n");
+  std::fprintf(out, "  \"rows_per_round\": %lld,\n",
+               static_cast<long long>(rows_per_round));
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(out,
+                 "    {\"backend\": \"%s\", \"mode\": \"%s\", "
+                 "\"rows_per_sec\": %.1f, \"loads\": %llu, "
+                 "\"ecg_rows_per_sec\": %.1f, \"eeg_rows_per_sec\": %.1f}%s\n",
+                 r.backend.c_str(), r.mode.c_str(), r.rows_per_sec,
+                 static_cast<unsigned long long>(r.loads),
+                 r.ecg_rows_per_sec, r.eeg_rows_per_sec,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"resident_vs_thrash\": %.2f\n", resident_vs_thrash);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

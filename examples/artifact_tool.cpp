@@ -17,9 +17,10 @@
 //       it, and prints the same digest lines.
 //
 // Because data generation, deployment seeds and the serving path are fully
-// deterministic, a digest line printed by `save` in one process must equal
-// the line printed by `eval` in another — that equality (checked in CI) is
-// the artifact round-trip guarantee.
+// deterministic (serve::MakeDemoTask is the single task definition shared
+// with model_client and the benches), a digest line printed by `save` in one
+// process must equal the line printed by `eval` in another — that equality
+// (checked in CI) is the artifact round-trip guarantee.
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -27,78 +28,13 @@
 #include <string>
 #include <vector>
 
-#include "data/ecg_synth.h"
-#include "data/eeg_synth.h"
-#include "data/preprocess.h"
 #include "engine/engine.h"
 #include "io/artifact.h"
-#include "models/ecg_model.h"
-#include "models/eeg_model.h"
+#include "serve/demo_tasks.h"
 
 using namespace rrambnn;
 
 namespace {
-
-struct Task {
-  std::string name;
-  nn::Dataset train;
-  nn::Dataset val;
-  engine::ModelFactory factory;
-};
-
-/// Synthetic train/val split for a task; seeds are fixed so every process
-/// regenerates identical data.
-Task MakeTask(const std::string& name) {
-  Rng rng(7);
-  nn::Dataset data;
-  engine::ModelFactory factory;
-  if (name == "ecg") {
-    data::EcgSynthConfig dc;
-    dc.samples = 200;
-    dc.sample_rate_hz = 100.0;
-    data = data::MakeEcgDataset(dc, 260, rng);
-    factory = [](const engine::EngineConfig& ec, Rng& mrng) {
-      models::EcgNetConfig mc = models::EcgNetConfig::BenchScale();
-      mc.strategy = ec.strategy;
-      auto built = models::BuildEcgNet(mc, mrng);
-      return engine::ModelSpec{std::move(built.net), built.classifier_start};
-    };
-  } else if (name == "eeg") {
-    data::EegSynthConfig dc;
-    dc.channels = 16;
-    dc.samples = 192;
-    dc.sample_rate_hz = 80.0;
-    dc.erd_attenuation = 0.5;
-    dc.noise_amplitude = 1.2;
-    data = data::MakeEegDataset(dc, 260, rng);
-    data::NormalizePerChannel(data);
-    factory = [](const engine::EngineConfig& ec, Rng& mrng) {
-      models::EegNetConfig mc = models::EegNetConfig::BenchScale();
-      mc.strategy = ec.strategy;
-      auto built = models::BuildEegNet(mc, mrng);
-      return engine::ModelSpec{std::move(built.net), built.classifier_start};
-    };
-  } else {
-    throw std::invalid_argument("unknown task '" + name + "' (ecg|eeg)");
-  }
-  std::vector<std::int64_t> tr, va;
-  for (std::int64_t i = 0; i < 200; ++i) tr.push_back(i);
-  for (std::int64_t i = 200; i < 260; ++i) va.push_back(i);
-  return Task{name, data.Subset(tr), data.Subset(va), std::move(factory)};
-}
-
-/// FNV-1a 64 over the predicted labels: a stable fingerprint of the exact
-/// prediction vector, for cross-process comparison.
-std::uint64_t Digest(const std::vector<std::int64_t>& preds) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (const std::int64_t p : preds) {
-    for (int b = 0; b < 8; ++b) {
-      h ^= static_cast<std::uint64_t>(p >> (8 * b)) & 0xFFull;
-      h *= 0x100000001b3ull;
-    }
-  }
-  return h;
-}
 
 /// Deploys `backend` on the engine, serves the validation set once, and
 /// prints the digest line `save` and `eval` are compared on.
@@ -111,36 +47,14 @@ void ServeAndReport(engine::Engine& engine, const std::string& backend,
     if (preds[i] == val.y[i]) ++hits;
   }
   std::printf("backend=%s digest=%016llx accuracy=%.4f\n", backend.c_str(),
-              static_cast<unsigned long long>(Digest(preds)),
+              static_cast<unsigned long long>(serve::PredictionDigest(preds)),
               static_cast<double>(hits) / static_cast<double>(preds.size()));
-}
-
-const std::vector<std::string> kAllBackends = {"reference", "fault", "rram",
-                                               "rram-sharded"};
-
-/// The device corner used by `save`: real programming noise (weak bits),
-/// deterministic senses — interesting for RRAM backends yet reproducible.
-engine::EngineConfig ServingConfig(std::int64_t epochs) {
-  rram::DeviceParams device;
-  device.weak_prob_ref = 5e-3;
-  device.sense_offset_sigma = 0.0;
-  nn::TrainConfig tc;
-  tc.epochs = epochs;
-  tc.batch_size = 16;
-  tc.learning_rate = 1e-3f;
-  engine::EngineConfig cfg;
-  cfg.WithStrategy(core::BinarizationStrategy::kBinaryClassifier)
-      .WithTrain(tc)
-      .WithDevice(device)
-      .WithFaultBer(1e-3)
-      .WithRramShards(2);
-  return cfg;
 }
 
 int Save(const std::string& path, const std::string& task_name,
          std::int64_t epochs) {
-  Task task = MakeTask(task_name);
-  engine::Engine engine(ServingConfig(epochs), task.factory);
+  serve::DemoTask task = serve::MakeDemoTask(task_name);
+  engine::Engine engine(serve::DemoServingConfig(epochs), task.factory);
   std::printf("training %s (bench scale, %lld epochs)...\n", task_name.c_str(),
               static_cast<long long>(epochs));
   const nn::FitResult fit = engine.Train(task.train, task.val);
@@ -149,7 +63,7 @@ int Save(const std::string& path, const std::string& task_name,
   std::printf("saved artifact: %s\n", path.c_str());
   // Reference digests from the training process, one per backend; `eval`
   // in a fresh process must reproduce these lines exactly.
-  for (const std::string& backend : kAllBackends) {
+  for (const std::string& backend : serve::AllBackendNames()) {
     ServeAndReport(engine, backend, task.val);
   }
   return 0;
@@ -157,13 +71,13 @@ int Save(const std::string& path, const std::string& task_name,
 
 int Eval(const std::string& path, const std::string& task_name,
          const std::string& backend, int threads) {
-  Task task = MakeTask(task_name);
+  serve::DemoTask task = serve::MakeDemoTask(task_name);
   engine::Engine engine = engine::Engine::FromArtifact(path);
   if (threads > 0) engine.config().WithThreads(threads);
   std::printf("loaded artifact: %s (no Train/Compile in this process)\n",
               path.c_str());
   if (backend == "all") {
-    for (const std::string& name : kAllBackends) {
+    for (const std::string& name : serve::AllBackendNames()) {
       ServeAndReport(engine, name, task.val);
     }
   } else {

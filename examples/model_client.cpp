@@ -1,0 +1,194 @@
+// Client driver of the model_server daemon: builds framed requests on
+// stdout and decodes framed responses from stdin, so a full serving session
+// is a shell pipeline (see model_server.cpp for the canonical one).
+//
+//   model_client request predict <model> --task ecg|eeg [--id N]
+//       one predict frame carrying the task's full seeded validation set
+//       (the same rows artifact_tool eval serves)
+//   model_client request stats|list [--id N]
+//   model_client request reload <model> [--id N]
+//
+//   model_client decode [--task MODEL=TASK ...]
+//       reads responses; for each predict answer prints
+//         model=<m> backend=<b> digest=<fnv1a> accuracy=<a>
+//       — with the `model=` field stripped, the line is directly diffable
+//       against artifact_tool eval output, which is how CI proves the
+//       daemon's answers are bit-identical to in-process serving. Exits
+//       nonzero if any response carried an error.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/demo_tasks.h"
+#include "serve/protocol.h"
+
+using namespace rrambnn;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  model_client request predict <model> --task ecg|eeg [--id N]\n"
+      "  model_client request stats|list [--id N]\n"
+      "  model_client request reload <model> [--id N]\n"
+      "  model_client decode [--task MODEL=TASK ...]\n"
+      "`request` writes one framed request to stdout; `decode` reads framed\n"
+      "responses from stdin and prints digest/stat lines.\n");
+  return 2;
+}
+
+int RunRequest(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string verb = argv[2];
+  serve::Request request;
+  std::string task_name;
+  int arg_start = 3;
+  if (verb == "predict" || verb == "reload") {
+    if (argc < 4) return Usage();
+    request.model = argv[3];
+    arg_start = 4;
+  }
+  for (int i = arg_start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--task" && has_value) {
+      task_name = argv[++i];
+    } else if (arg == "--id" && has_value) {
+      request.id = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (verb == "predict") {
+    if (task_name.empty()) {
+      std::fprintf(stderr, "model_client: predict needs --task ecg|eeg\n");
+      return Usage();
+    }
+    request.kind = serve::RequestKind::kPredict;
+    request.batch = serve::MakeDemoTask(task_name).val.x;
+  } else if (verb == "stats") {
+    request.kind = serve::RequestKind::kStats;
+  } else if (verb == "list") {
+    request.kind = serve::RequestKind::kList;
+  } else if (verb == "reload") {
+    request.kind = serve::RequestKind::kReload;
+  } else {
+    std::fprintf(stderr, "unknown request verb: %s\n", verb.c_str());
+    return Usage();
+  }
+  serve::WriteRequest(std::cout, request);
+  std::cout.flush();
+  return 0;
+}
+
+int RunDecode(int argc, char** argv) {
+  std::map<std::string, std::string> model_tasks;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--task" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "bad --task spec '%s' (want MODEL=TASK)\n",
+                     spec.c_str());
+        return Usage();
+      }
+      model_tasks[spec.substr(0, eq)] = spec.substr(eq + 1);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  // Validation labels per mapped model, regenerated from the shared seeds.
+  std::map<std::string, std::vector<std::int64_t>> labels;
+  for (const auto& [model, task] : model_tasks) {
+    labels[model] = serve::MakeDemoTask(task).val.y;
+  }
+  bool any_error = false;
+  while (const auto response = serve::ReadResponse(std::cin)) {
+    if (!response->ok) {
+      std::fprintf(stderr, "error id=%llu: %s\n",
+                   static_cast<unsigned long long>(response->id),
+                   response->error.c_str());
+      any_error = true;
+      continue;
+    }
+    switch (response->kind) {
+      case serve::RequestKind::kPredict: {
+        const auto labels_it = labels.find(response->model);
+        if (labels_it == labels.end()) {
+          std::printf("model=%s backend=%s digest=%016llx rows=%zu\n",
+                      response->model.c_str(), response->backend.c_str(),
+                      static_cast<unsigned long long>(
+                          serve::PredictionDigest(response->predictions)),
+                      response->predictions.size());
+          break;
+        }
+        const std::vector<std::int64_t>& y = labels_it->second;
+        std::int64_t hits = 0;
+        for (std::size_t i = 0;
+             i < response->predictions.size() && i < y.size(); ++i) {
+          if (response->predictions[i] == y[i]) ++hits;
+        }
+        std::printf(
+            "model=%s backend=%s digest=%016llx accuracy=%.4f\n",
+            response->model.c_str(), response->backend.c_str(),
+            static_cast<unsigned long long>(
+                serve::PredictionDigest(response->predictions)),
+            static_cast<double>(hits) /
+                static_cast<double>(response->predictions.size()));
+        break;
+      }
+      case serve::RequestKind::kReload:
+        std::printf("reloaded model=%s\n", response->model.c_str());
+        break;
+      case serve::RequestKind::kStats:
+      case serve::RequestKind::kList:
+        for (const serve::ModelStatsWire& m : response->models) {
+          if (response->kind == serve::RequestKind::kList) {
+            std::printf("model=%s resident=%d generation=%llu path=%s\n",
+                        m.name.c_str(), m.resident ? 1 : 0,
+                        static_cast<unsigned long long>(m.generation),
+                        m.path.c_str());
+            continue;
+          }
+          std::printf(
+              "model=%s resident=%d backend=%s requests=%llu rows=%llu "
+              "mean_latency_us=%.1f max_latency_us=%.1f rows_per_sec=%.0f "
+              "energy=%s program_pj=%.1f read_pj_per_inference=%.3f\n",
+              m.name.c_str(), m.resident ? 1 : 0, m.backend.c_str(),
+              static_cast<unsigned long long>(m.requests),
+              static_cast<unsigned long long>(m.rows),
+              m.requests > 0 ? m.total_latency_us /
+                                   static_cast<double>(m.requests)
+                             : 0.0,
+              m.max_latency_us, m.rows_per_sec,
+              m.energy_available ? "yes" : "no", m.program_energy_pj,
+              m.per_inference_read_energy_pj);
+        }
+        break;
+    }
+  }
+  return any_error ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string mode = argv[1];
+  try {
+    if (mode == "request") return RunRequest(argc, argv);
+    if (mode == "decode") return RunDecode(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "model_client: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}

@@ -1,0 +1,110 @@
+// The multi-model serving daemon as a process: registers named `.rbnn`
+// artifacts, then serves length-prefixed requests from stdin and writes
+// responses to stdout until end-of-stream (logs go to stderr, keeping
+// stdout a pure response stream). Pair it with model_client:
+//
+//   { ./model_client request predict ecg --task ecg
+//     ./model_client request predict eeg --task eeg
+//     ./model_client request stats; } |
+//   ./model_server --model ecg=ecg.rbnn --model eeg=eeg.rbnn |
+//   ./model_client decode --task ecg=ecg --task eeg=eeg
+//
+// One process serves any number of models concurrently-resident up to
+// --capacity (LRU eviction beyond it), hot-reloads a model when its
+// artifact file changes on disk, and answers stats/list/reload verbs —
+// the "fleet of pre-programmed monitors" deployment of the paper as a
+// daemon. Served predictions are bit-identical to Engine::FromArtifact +
+// Predict in-process (CI diffs the digests against artifact_tool eval).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "serve/model_server.h"
+
+using namespace rrambnn;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: model_server --model NAME=PATH.rbnn [--model NAME=PATH ...]\n"
+      "                    [--backend NAME] [--threads N] [--capacity N]\n"
+      "                    [--no-hot-reload]\n"
+      "reads framed requests on stdin, writes framed responses on stdout\n"
+      "  --backend NAME     serve every model on this backend instead of the\n"
+      "                     one stored in its artifact\n"
+      "  --threads N        per-model serving thread count override\n"
+      "  --capacity N       max resident models (LRU eviction; default 8)\n"
+      "  --no-hot-reload    do not watch artifact mtimes\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::RegistryConfig config;
+  std::vector<std::pair<std::string, std::string>> models;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--model" && has_value) {
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "bad --model spec '%s' (want NAME=PATH)\n",
+                     spec.c_str());
+        return Usage();
+      }
+      models.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--backend" && has_value) {
+      config.backend_override = argv[++i];
+    } else if (arg == "--threads" && has_value) {
+      config.threads_override = std::atoi(argv[++i]);
+    } else if (arg == "--capacity" && has_value) {
+      config.capacity = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--no-hot-reload") {
+      config.hot_reload = false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (models.empty()) {
+    std::fprintf(stderr, "model_server: no --model registered\n");
+    return Usage();
+  }
+  try {
+    serve::ModelServer server(config);
+    for (const auto& [name, path] : models) {
+      server.registry().Register(name, path);
+      std::fprintf(stderr, "model_server: registered %s = %s\n", name.c_str(),
+                   path.c_str());
+    }
+    std::fprintf(stderr,
+                 "model_server: serving %zu model(s), capacity %zu%s%s\n",
+                 models.size(), config.capacity,
+                 config.hot_reload ? ", hot reload" : "",
+                 config.backend_override.empty()
+                     ? ""
+                     : (", backend " + config.backend_override).c_str());
+    const std::uint64_t served = server.ServeStream(std::cin, std::cout);
+    std::fprintf(stderr, "model_server: end of stream after %llu request(s)\n",
+                 static_cast<unsigned long long>(served));
+    for (const auto& info : server.registry().List()) {
+      const serve::ModelStats& s = info.stats;
+      std::fprintf(stderr,
+                   "model_server:   %-12s %s  requests=%llu rows=%llu "
+                   "mean=%.0fus max=%.0fus rows/s=%.0f\n",
+                   info.name.c_str(), info.resident ? "resident" : "evicted ",
+                   static_cast<unsigned long long>(s.requests),
+                   static_cast<unsigned long long>(s.rows), s.MeanLatencyUs(),
+                   s.max_latency_us, s.RowsPerSec());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "model_server: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -183,6 +183,11 @@ InferenceBackend& Engine::Deploy(const std::string& backend_name) {
   return *backend_;
 }
 
+InferenceBackend& Engine::EnsureDeployed() {
+  if (!backend_) Deploy();
+  return *backend_;
+}
+
 // ---------------------------------------------------------------------------
 // Serving
 // ---------------------------------------------------------------------------
@@ -274,9 +279,16 @@ std::vector<std::int64_t> Engine::Predict(const Tensor& batch) {
 }
 
 double Engine::Evaluate(const nn::Dataset& data) {
-  data.Validate();
-  if (data.size() == 0) return 0.0;
   RequireTrained("Evaluate");
+  data.Validate();
+  if (data.size() == 0) {
+    // Returning 0.0 here would read as "catastrophically broken model" to a
+    // fleet health check; an empty evaluation set is a caller bug, rejected
+    // like Predict rejects malformed batches.
+    throw std::invalid_argument(
+        "Engine::Evaluate: empty dataset (accuracy is undefined over zero "
+        "samples)");
+  }
   if (!backend_) {
     return nn::Evaluate(net_, data, config_.batch_size);
   }
@@ -315,6 +327,11 @@ CvStats Engine::CrossValidate(const nn::Dataset& data, std::int64_t folds) {
 // ---------------------------------------------------------------------------
 
 nn::Sequential& Engine::net() {
+  RequireTrained("net");
+  return net_;
+}
+
+const nn::Sequential& Engine::net() const {
   RequireTrained("net");
   return net_;
 }

@@ -137,6 +137,13 @@ class Engine {
   InferenceBackend& Deploy(const std::string& backend_name);
   InferenceBackend& Deploy(BackendKind kind);
 
+  /// Idempotent Deploy(): returns the live backend, deploying the configured
+  /// one only when none exists yet. Deploy() always rebuilds the backend
+  /// (re-programming an RRAM fabric re-draws its noise), which a model
+  /// registry serving many requests must not do per lookup — this is the
+  /// registry-friendly entry point.
+  InferenceBackend& EnsureDeployed();
+
   // -- Serving --------------------------------------------------------------
 
   /// Class predictions for a batch of raw inputs (same layout the network
@@ -161,6 +168,7 @@ class Engine {
   bool deployed() const { return backend_ != nullptr; }
 
   nn::Sequential& net();
+  const nn::Sequential& net() const;
   std::size_t classifier_start() const { return classifier_start_; }
   const core::BnnModel& compiled_model() const;
   InferenceBackend& backend() const;

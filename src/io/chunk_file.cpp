@@ -1,8 +1,16 @@
 #include "io/chunk_file.h"
 
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "io/serde.h"
 
@@ -13,12 +21,23 @@ namespace {
 constexpr char kMagic[8] = {'R', 'R', 'A', 'M', 'B', 'N', 'N', '\0'};
 
 std::vector<std::uint8_t> ReadFileBytes(const std::string& path) {
+  // ifstream happily opens a directory (and tellg answers LLONG_MAX for
+  // it); reject non-files up front instead of attempting that allocation.
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) {
+    throw std::runtime_error("artifact: '" + path +
+                             "' is not a readable regular file");
+  }
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
     throw std::runtime_error("artifact: cannot open '" + path +
                              "' for reading");
   }
   const std::streamsize size = in.tellg();
+  if (size < 0) {
+    throw std::runtime_error("artifact: cannot determine size of '" + path +
+                             "'");
+  }
   in.seekg(0, std::ios::beg);
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
   if (size > 0 &&
@@ -78,6 +97,8 @@ void ParseChunkFile(const std::string& path, std::vector<Chunk>* chunks,
 
 }  // namespace
 
+std::string TempSavePath(const std::string& path) { return path + ".saving"; }
+
 void WriteChunkFile(const std::string& path,
                     const std::vector<Chunk>& chunks) {
   ByteWriter writer;
@@ -91,16 +112,65 @@ void WriteChunkFile(const std::string& path,
     writer.WriteU32(Crc32(chunk.payload));
     writer.WriteBytes(chunk.payload);
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("artifact: cannot open '" + path +
-                             "' for writing");
+  // Never touch the destination until the full container is durably on
+  // disk: a serving process may be hot-loading `path` while we save, and a
+  // crash or full disk mid-write must not leave a truncated artifact at the
+  // serving path. Write a sibling temp file, verify every stream operation
+  // (including close, which is where buffered ENOSPC surfaces), then rename
+  // over the destination — atomic on POSIX filesystems.
+  const std::string tmp_path = TempSavePath(path);
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("artifact: cannot open temp file '" + tmp_path +
+                               "' for writing '" + path + "'");
+    }
+    out.write(reinterpret_cast<const char*>(writer.bytes().data()),
+              static_cast<std::streamsize>(writer.bytes().size()));
+    out.close();
+    if (!out) {
+      std::remove(tmp_path.c_str());
+      throw std::runtime_error("artifact: failed writing '" + tmp_path +
+                               "' (disk full?); '" + path + "' left untouched");
+    }
   }
-  out.write(reinterpret_cast<const char*>(writer.bytes().data()),
-            static_cast<std::streamsize>(writer.bytes().size()));
-  if (!out) {
-    throw std::runtime_error("artifact: failed writing '" + path + "'");
+#if defined(__unix__) || defined(__APPLE__)
+  // close() only reaches the page cache; without an fsync the journal can
+  // commit the rename before the temp file's data blocks, and a power loss
+  // in that window leaves a truncated file at the destination — the exact
+  // corruption the staging protects against.
+  {
+    const int fd = ::open(tmp_path.c_str(), O_RDONLY);
+    if (fd < 0 || ::fsync(fd) != 0) {
+      if (fd >= 0) ::close(fd);
+      std::remove(tmp_path.c_str());
+      throw std::runtime_error("artifact: cannot sync '" + tmp_path +
+                               "' to disk; '" + path + "' left untouched");
+    }
+    ::close(fd);
   }
+#endif
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::remove(tmp_path.c_str());
+    throw std::runtime_error("artifact: cannot rename '" + tmp_path +
+                             "' over '" + path + "': " + ec.message());
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Best-effort directory sync so the rename itself is durable; a failure
+  // here (exotic filesystem) costs durability of the *rename*, never
+  // integrity of either file, so it is not an error.
+  {
+    const std::string dir =
+        std::filesystem::path(path).parent_path().string();
+    const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      (void)::fsync(fd);
+      ::close(fd);
+    }
+  }
+#endif
 }
 
 std::vector<Chunk> ReadChunkFile(const std::string& path,

@@ -32,10 +32,20 @@ struct Chunk {
   std::vector<std::uint8_t> payload;
 };
 
-/// Writes a chunk file atomically enough for our purposes (single write of a
-/// fully built buffer). Throws std::runtime_error when the file cannot be
-/// written.
+/// Writes a chunk file atomically: the container is fully written, closed
+/// and fsync-ed as the sibling temp file TempSavePath(path), then renamed
+/// over `path` (with a best-effort directory sync), so a crash, full disk,
+/// power loss or failed write mid-save never corrupts an existing artifact
+/// at `path` (a serving process may be hot-loading it). Throws
+/// std::runtime_error when the file cannot be written; the temp file is
+/// removed on failure and the destination is left untouched.
 void WriteChunkFile(const std::string& path, const std::vector<Chunk>& chunks);
+
+/// Sibling temp path WriteChunkFile stages its output at before the rename
+/// (`path + ".saving"`). Deterministic so operators can spot and clean up
+/// leftovers from a hard crash; concurrent savers of the same destination
+/// are not supported (they would race on this staging file).
+std::string TempSavePath(const std::string& path);
 
 struct ChunkFileInfo;
 

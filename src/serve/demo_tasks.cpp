@@ -1,0 +1,87 @@
+#include "serve/demo_tasks.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "data/ecg_synth.h"
+#include "data/eeg_synth.h"
+#include "data/preprocess.h"
+#include "models/ecg_model.h"
+#include "models/eeg_model.h"
+
+namespace rrambnn::serve {
+
+DemoTask MakeDemoTask(const std::string& name) {
+  Rng rng(7);
+  nn::Dataset data;
+  engine::ModelFactory factory;
+  if (name == "ecg") {
+    data::EcgSynthConfig dc;
+    dc.samples = 200;
+    dc.sample_rate_hz = 100.0;
+    data = data::MakeEcgDataset(dc, 260, rng);
+    factory = [](const engine::EngineConfig& ec, Rng& mrng) {
+      models::EcgNetConfig mc = models::EcgNetConfig::BenchScale();
+      mc.strategy = ec.strategy;
+      auto built = models::BuildEcgNet(mc, mrng);
+      return engine::ModelSpec{std::move(built.net), built.classifier_start};
+    };
+  } else if (name == "eeg") {
+    data::EegSynthConfig dc;
+    dc.channels = 16;
+    dc.samples = 192;
+    dc.sample_rate_hz = 80.0;
+    dc.erd_attenuation = 0.5;
+    dc.noise_amplitude = 1.2;
+    data = data::MakeEegDataset(dc, 260, rng);
+    data::NormalizePerChannel(data);
+    factory = [](const engine::EngineConfig& ec, Rng& mrng) {
+      models::EegNetConfig mc = models::EegNetConfig::BenchScale();
+      mc.strategy = ec.strategy;
+      auto built = models::BuildEegNet(mc, mrng);
+      return engine::ModelSpec{std::move(built.net), built.classifier_start};
+    };
+  } else {
+    throw std::invalid_argument("unknown task '" + name + "' (ecg|eeg)");
+  }
+  std::vector<std::int64_t> tr, va;
+  for (std::int64_t i = 0; i < 200; ++i) tr.push_back(i);
+  for (std::int64_t i = 200; i < 260; ++i) va.push_back(i);
+  return DemoTask{name, data.Subset(tr), data.Subset(va), std::move(factory)};
+}
+
+engine::EngineConfig DemoServingConfig(std::int64_t epochs) {
+  rram::DeviceParams device;
+  device.weak_prob_ref = 5e-3;
+  device.sense_offset_sigma = 0.0;
+  nn::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 16;
+  tc.learning_rate = 1e-3f;
+  engine::EngineConfig cfg;
+  cfg.WithStrategy(core::BinarizationStrategy::kBinaryClassifier)
+      .WithTrain(tc)
+      .WithDevice(device)
+      .WithFaultBer(1e-3)
+      .WithRramShards(2);
+  return cfg;
+}
+
+std::uint64_t PredictionDigest(const std::vector<std::int64_t>& preds) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::int64_t p : preds) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= static_cast<std::uint64_t>(p >> (8 * b)) & 0xFFull;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+const std::vector<std::string>& AllBackendNames() {
+  static const std::vector<std::string> names = {"reference", "fault", "rram",
+                                                 "rram-sharded"};
+  return names;
+}
+
+}  // namespace rrambnn::serve

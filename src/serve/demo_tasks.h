@@ -1,0 +1,46 @@
+// Canonical seeded demo tasks of the serving toolchain.
+//
+// artifact_tool, model_client, the multi-model throughput bench and the CI
+// smoke steps all need the *same* deterministic train/validation data and
+// model factory for a task name: a digest printed by one process is only
+// comparable to a digest printed by another if both regenerated identical
+// rows. This header is that single definition (it used to live privately in
+// examples/artifact_tool.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "nn/dataset.h"
+
+namespace rrambnn::serve {
+
+/// A named synthetic task: fixed-seed train/val split plus the model
+/// factory that builds its bench-scale network.
+struct DemoTask {
+  std::string name;
+  nn::Dataset train;
+  nn::Dataset val;
+  engine::ModelFactory factory;
+};
+
+/// Builds the task `name` ("ecg" | "eeg"); seeds are fixed so every process
+/// regenerates identical data. Throws std::invalid_argument for unknown
+/// names.
+DemoTask MakeDemoTask(const std::string& name);
+
+/// The device corner the demo artifacts are saved under: real programming
+/// noise (weak bits), deterministic senses — the RRAM backends exercise
+/// non-idealities yet stay reproducible.
+engine::EngineConfig DemoServingConfig(std::int64_t epochs);
+
+/// FNV-1a 64 over predicted labels: a stable fingerprint of the exact
+/// prediction vector, for cross-process comparison.
+std::uint64_t PredictionDigest(const std::vector<std::int64_t>& preds);
+
+/// Every built-in backend name, in the order the demo tools report them.
+const std::vector<std::string>& AllBackendNames();
+
+}  // namespace rrambnn::serve

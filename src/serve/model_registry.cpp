@@ -1,0 +1,201 @@
+#include "serve/model_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace rrambnn::serve {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// ServedModel
+// ---------------------------------------------------------------------------
+
+void StatsCell::RecordRequest(std::int64_t rows, double latency_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.requests += 1;
+  stats_.rows += static_cast<std::uint64_t>(rows);
+  stats_.total_latency_us += latency_us;
+  stats_.max_latency_us = std::max(stats_.max_latency_us, latency_us);
+}
+
+ModelStats StatsCell::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+ServedModel::ServedModel(std::string name, std::string path,
+                         engine::Engine engine, fs::file_time_type mtime,
+                         std::uint64_t generation,
+                         std::shared_ptr<StatsCell> stats)
+    : name_(std::move(name)),
+      path_(std::move(path)),
+      engine_(std::move(engine)),
+      mtime_(mtime),
+      generation_(generation),
+      stats_(std::move(stats)) {}
+
+void ServedModel::RecordRequest(std::int64_t rows, double latency_us) {
+  stats_->RecordRequest(rows, latency_us);
+}
+
+ModelStats ServedModel::stats() const { return stats_->snapshot(); }
+
+// ---------------------------------------------------------------------------
+// ModelRegistry
+// ---------------------------------------------------------------------------
+
+ModelRegistry::ModelRegistry(RegistryConfig config)
+    : config_(std::move(config)) {
+  if (config_.capacity < 1) {
+    throw std::invalid_argument("ModelRegistry: capacity must be >= 1");
+  }
+  if (config_.threads_override < 0) {
+    throw std::invalid_argument("ModelRegistry: threads_override must be "
+                                ">= 0 (0 = keep the artifact's setting)");
+  }
+}
+
+void ModelRegistry::Register(const std::string& name,
+                             const std::string& path) {
+  if (name.empty()) {
+    throw std::invalid_argument("ModelRegistry::Register: empty model name");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  entry.path = path;
+  entry.model.reset();  // a resident engine under the old mapping is stale
+  if (!entry.stats) entry.stats = std::make_shared<StatsCell>();
+}
+
+std::shared_ptr<ServedModel> ModelRegistry::Acquire(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string registered;
+    for (const auto& [known, entry] : entries_) {
+      (void)entry;
+      registered += registered.empty() ? known : ", " + known;
+    }
+    throw std::invalid_argument(
+        "ModelRegistry: unknown model '" + name + "' (registered: " +
+        (registered.empty() ? "<none>" : registered) + ")");
+  }
+  Entry& entry = it->second;
+  if (entry.model && config_.hot_reload) {
+    // A trainer re-saving the artifact bumps its mtime (the replacement is
+    // an atomic rename, so the file is always a complete container). A stat
+    // failure (file deleted mid-serve) keeps the resident engine: serving
+    // continues from memory until a loadable artifact reappears.
+    std::error_code ec;
+    const fs::file_time_type mtime = fs::last_write_time(entry.path, ec);
+    if (!ec && mtime != entry.model->loaded_mtime()) {
+      entry.model.reset();
+    }
+  }
+  if (!entry.model) {
+    entry.model = LoadLocked(name, entry);
+    EvictOverCapacityLocked(name);
+  }
+  entry.last_use = ++clock_;
+  return entry.model;
+}
+
+std::shared_ptr<ServedModel> ModelRegistry::Peek(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.model;
+}
+
+void ModelRegistry::Reload(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("ModelRegistry::Reload: unknown model '" +
+                                name + "'");
+  }
+  it->second.model.reset();
+}
+
+std::vector<ModelRegistry::ModelInfo> ModelRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ModelInfo> infos;
+  infos.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    ModelInfo info;
+    info.name = name;
+    info.path = entry.path;
+    info.resident = entry.model != nullptr;
+    info.generation = entry.last_generation;
+    if (entry.stats) info.stats = entry.stats->snapshot();
+    infos.push_back(std::move(info));
+  }
+  return infos;  // std::map iteration is already name-sorted
+}
+
+std::size_t ModelRegistry::resident_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& [name, entry] : entries_) {
+    (void)name;
+    if (entry.model) ++count;
+  }
+  return count;
+}
+
+std::uint64_t ModelRegistry::loads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return loads_;
+}
+
+std::uint64_t ModelRegistry::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+std::shared_ptr<ServedModel> ModelRegistry::LoadLocked(const std::string& name,
+                                                       Entry& entry) {
+  // Record the mtime *before* reading: if a save lands between the stat and
+  // the load we serve the newer content under the older watermark and the
+  // next Acquire simply reloads once more — never the reverse (a stale
+  // engine under a fresh watermark would mask the update).
+  std::error_code ec;
+  const fs::file_time_type mtime = fs::last_write_time(entry.path, ec);
+  engine::Engine engine = engine::Engine::FromArtifact(entry.path);
+  if (!config_.backend_override.empty()) {
+    engine.config().WithBackend(config_.backend_override);
+  }
+  if (config_.threads_override > 0) {
+    engine.config().WithThreads(config_.threads_override);
+  }
+  engine.EnsureDeployed();
+  ++loads_;
+  entry.last_generation = loads_;
+  return std::make_shared<ServedModel>(
+      name, entry.path, std::move(engine),
+      ec ? fs::file_time_type::min() : mtime, loads_, entry.stats);
+}
+
+void ModelRegistry::EvictOverCapacityLocked(const std::string& keep) {
+  while (true) {
+    std::size_t resident = 0;
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.model) continue;
+      ++resident;
+      if (it->first == keep) continue;
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (resident <= config_.capacity || victim == entries_.end()) return;
+    victim->second.model.reset();  // in-flight shared_ptr holders keep it
+    ++evictions_;
+  }
+}
+
+}  // namespace rrambnn::serve

@@ -1,0 +1,184 @@
+// Multi-model artifact registry of the serving daemon (see model_server.h).
+//
+// A fleet of always-on medical monitors serves many small BNNs from one
+// process: the registry maps model names to `.rbnn` artifact paths and
+// lazily stands each one up as a deployed engine::Engine on first use
+// (Engine::FromArtifact + EnsureDeployed — predictions are therefore
+// bit-identical to loading the artifact by hand). Resident engines are
+// bounded by an LRU capacity, reloaded when the artifact file's mtime
+// changes (a trainer re-saving over the serving path — safe because
+// io::WriteChunkFile replaces artifacts atomically), and handed out as
+// shared_ptr so eviction or hot-reload never rips a model out from under an
+// in-flight request.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace rrambnn::serve {
+
+/// Construction parameters of a ModelRegistry.
+struct RegistryConfig {
+  /// Maximum number of resident (loaded + deployed) engines; the
+  /// least-recently-used model is evicted when a load would exceed it.
+  std::size_t capacity = 8;
+  /// Re-stat the artifact file on every Acquire and reload the model when
+  /// its mtime changed since the load (hot reload).
+  bool hot_reload = true;
+  /// Non-empty: serve every model on this backend instead of the one stored
+  /// in its artifact ("reference", "rram", "rram-sharded", "fault").
+  std::string backend_override;
+  /// > 0: override the per-model serving thread count from the artifact.
+  int threads_override = 0;
+};
+
+/// Serving statistics of one resident model, accumulated by the server loop.
+struct ModelStats {
+  std::uint64_t requests = 0;
+  std::uint64_t rows = 0;
+  double total_latency_us = 0.0;
+  double max_latency_us = 0.0;
+
+  /// Aggregate serving throughput (rows over summed request latency).
+  double RowsPerSec() const {
+    return total_latency_us > 0.0 ? rows / (total_latency_us * 1e-6) : 0.0;
+  }
+  double MeanLatencyUs() const {
+    return requests > 0 ? total_latency_us / static_cast<double>(requests)
+                        : 0.0;
+  }
+};
+
+/// Shared statistics cell of one registered model. Owned by the registry
+/// entry (not the resident engine), so counters survive LRU eviction and
+/// hot reloads — a fleet operator's `stats` view spans the model's whole
+/// serving history in this process.
+class StatsCell {
+ public:
+  void RecordRequest(std::int64_t rows, double latency_us);
+  ModelStats snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  ModelStats stats_;
+};
+
+/// One resident model: a deployed Engine plus its serving statistics and the
+/// per-model serve mutex (backends own hidden state — a simulated RRAM chip
+/// is one physical resource — so requests to the same model are serialized;
+/// requests to different models run concurrently).
+class ServedModel {
+ public:
+  ServedModel(std::string name, std::string path, engine::Engine engine,
+              std::filesystem::file_time_type mtime, std::uint64_t generation,
+              std::shared_ptr<StatsCell> stats);
+
+  const std::string& name() const { return name_; }
+  const std::string& path() const { return path_; }
+  /// Monotonic load counter of the owning registry: two ServedModels for the
+  /// same name compare by generation to detect a hot reload.
+  std::uint64_t generation() const { return generation_; }
+  /// Artifact mtime observed at load time (the hot-reload watermark).
+  std::filesystem::file_time_type loaded_mtime() const { return mtime_; }
+
+  engine::Engine& engine() { return engine_; }
+  /// Hold while calling engine().Predict/Evaluate — see class comment.
+  std::mutex& serve_mutex() { return serve_mutex_; }
+
+  void RecordRequest(std::int64_t rows, double latency_us);
+  ModelStats stats() const;
+
+ private:
+  std::string name_;
+  std::string path_;
+  engine::Engine engine_;
+  std::filesystem::file_time_type mtime_;
+  std::uint64_t generation_ = 0;
+  std::mutex serve_mutex_;
+  std::shared_ptr<StatsCell> stats_;
+};
+
+/// Name -> artifact mapping with lazy loading, LRU eviction and hot reload.
+/// All public members are safe to call from several threads at once; loads
+/// happen under the registry lock (artifact loading is milliseconds, and a
+/// single load per model beats a thundering herd of redundant ones).
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(RegistryConfig config = {});
+
+  /// Maps `name` to an artifact path (replacing any existing mapping; a
+  /// resident engine under the old mapping is dropped). The file is not
+  /// touched until the first Acquire.
+  void Register(const std::string& name, const std::string& path);
+
+  /// The resident engine for `name`, loading (and deploying) it on first
+  /// use, hot-reloading when the artifact file changed on disk, and
+  /// LRU-evicting over capacity. Throws std::invalid_argument for unknown
+  /// names (the message lists what is registered) and std::runtime_error
+  /// for missing/corrupt artifacts.
+  std::shared_ptr<ServedModel> Acquire(const std::string& name);
+
+  /// The resident engine for `name` if there is one, else null — a pure
+  /// read: no load, no hot-reload check, and no LRU recency update (an
+  /// operator polling stats must not reorder eviction priority or force
+  /// artifact loads). Unknown names also answer null.
+  std::shared_ptr<ServedModel> Peek(const std::string& name) const;
+
+  /// Drops the resident engine of `name` (if any); the next Acquire reloads
+  /// from disk regardless of mtime. Throws std::invalid_argument for
+  /// unknown names.
+  void Reload(const std::string& name);
+
+  /// Directory entry of List().
+  struct ModelInfo {
+    std::string name;
+    std::string path;
+    bool resident = false;
+    std::uint64_t generation = 0;
+    ModelStats stats;
+  };
+  /// Every registered model with residency and statistics, sorted by name.
+  /// Statistics persist across eviction and hot reload (they live with the
+  /// registration, not the resident engine).
+  std::vector<ModelInfo> List() const;
+
+  std::size_t resident_count() const;
+  /// Total artifact loads (initial, hot and forced reloads all count).
+  std::uint64_t loads() const;
+  /// Models dropped by the LRU capacity bound (reload drops not included).
+  std::uint64_t evictions() const;
+
+  const RegistryConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    std::string path;
+    std::shared_ptr<ServedModel> model;  // null when not resident
+    std::uint64_t last_use = 0;          // LRU clock tick of the last Acquire
+    std::shared_ptr<StatsCell> stats;    // outlives evictions and reloads
+    std::uint64_t last_generation = 0;   // generation of the latest load
+  };
+
+  /// Loads and deploys `name` from its artifact (caller holds mutex_).
+  std::shared_ptr<ServedModel> LoadLocked(const std::string& name,
+                                          Entry& entry);
+  /// Evicts least-recently-used residents until within capacity, never
+  /// evicting `keep` (the entry being acquired). Caller holds mutex_.
+  void EvictOverCapacityLocked(const std::string& keep);
+
+  mutable std::mutex mutex_;
+  RegistryConfig config_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t loads_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace rrambnn::serve

@@ -1,0 +1,136 @@
+#include "serve/model_server.h"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <utility>
+
+namespace rrambnn::serve {
+
+ModelServer::ModelServer(RegistryConfig config)
+    : registry_(std::move(config)) {}
+
+Response ModelServer::Handle(const Request& request) {
+  Response response;
+  response.id = request.id;
+  response.kind = request.kind;
+  try {
+    switch (request.kind) {
+      case RequestKind::kPredict: return HandlePredict(request);
+      case RequestKind::kStats:
+      case RequestKind::kList: return HandleStatsOrList(request);
+      case RequestKind::kReload: return HandleReload(request);
+    }
+    response.ok = false;
+    response.error = "unhandled request kind";
+  } catch (const std::exception& e) {
+    response.ok = false;
+    response.error = e.what();
+  }
+  return response;
+}
+
+Response ModelServer::HandlePredict(const Request& request) {
+  Response response;
+  response.id = request.id;
+  response.kind = RequestKind::kPredict;
+  const std::shared_ptr<ServedModel> model = registry_.Acquire(request.model);
+  // One request at a time per model (simulated RRAM chips are stateful
+  // physical resources); requests to *different* models run concurrently.
+  std::lock_guard<std::mutex> lock(model->serve_mutex());
+  const auto start = std::chrono::steady_clock::now();
+  response.predictions = model->engine().Predict(request.batch);
+  const double latency_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  model->RecordRequest(request.batch.dim(0), latency_us);
+  response.model = request.model;
+  response.backend = model->engine().backend().name();
+  response.latency_us = latency_us;
+  return response;
+}
+
+Response ModelServer::HandleStatsOrList(const Request& request) {
+  Response response;
+  response.id = request.id;
+  response.kind = request.kind;
+  for (const ModelRegistry::ModelInfo& info : registry_.List()) {
+    ModelStatsWire wire;
+    wire.name = info.name;
+    wire.path = info.path;
+    wire.resident = info.resident;
+    wire.generation = info.generation;
+    if (request.kind == RequestKind::kStats) {
+      wire.requests = info.stats.requests;
+      wire.rows = info.stats.rows;
+      wire.total_latency_us = info.stats.total_latency_us;
+      wire.max_latency_us = info.stats.max_latency_us;
+      wire.rows_per_sec = info.stats.RowsPerSec();
+      // Live backend/energy figures via Peek, a pure read: a stats request
+      // must never force-load an artifact, trigger a hot reload, or touch
+      // LRU recency (Acquire here would make an operator polling stats
+      // reorder eviction priority under the serving traffic).
+      if (const std::shared_ptr<ServedModel> model =
+              registry_.Peek(info.name)) {
+        std::lock_guard<std::mutex> lock(model->serve_mutex());
+        wire.backend = model->engine().backend().name();
+        const engine::EnergyBreakdown energy = model->engine().EnergyReport();
+        wire.energy_available = energy.available;
+        wire.program_energy_pj = energy.programming.program_energy_pj;
+        wire.per_inference_read_energy_pj =
+            energy.per_inference.read_energy_pj;
+      }
+    }
+    response.models.push_back(std::move(wire));
+  }
+  return response;
+}
+
+Response ModelServer::HandleReload(const Request& request) {
+  Response response;
+  response.id = request.id;
+  response.kind = RequestKind::kReload;
+  registry_.Reload(request.model);
+  response.model = request.model;
+  return response;
+}
+
+std::uint64_t ModelServer::ServeStream(std::istream& in, std::ostream& out) {
+  std::uint64_t served = 0;
+  while (true) {
+    std::optional<std::vector<std::uint8_t>> frame;
+    try {
+      frame = ReadFrame(in);
+    } catch (const std::exception& e) {
+      // Truncated frame or hostile length prefix: the frame boundary is
+      // gone, so later bytes cannot be trusted. Answer and stop reading.
+      Response bail;
+      bail.id = 0;
+      bail.ok = false;
+      bail.error = std::string("request stream corrupt: ") + e.what();
+      WriteResponse(out, bail);
+      out.flush();
+      break;
+    }
+    if (!frame) break;  // clean end-of-stream
+    Response response;
+    try {
+      response = Handle(DecodeRequest(*frame));
+    } catch (const std::exception& e) {
+      // The frame was fully consumed — the boundary is intact — so a
+      // payload that fails to decode (version-skewed client, unknown verb)
+      // is answered as an error and the stream stays alive.
+      response.id = 0;  // the id could not be trusted past the decode error
+      response.ok = false;
+      response.error = std::string("undecodable request: ") + e.what();
+    }
+    WriteResponse(out, response);
+    out.flush();  // clients block on responses; never sit in a buffer
+    ++served;
+  }
+  return served;
+}
+
+}  // namespace rrambnn::serve

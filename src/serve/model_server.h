@@ -1,0 +1,55 @@
+// The artifact-driven multi-model serving daemon: one always-on process,
+// many pre-trained BNN models, each hot-loaded from its `.rbnn` artifact on
+// first request (see model_registry.h) — the paper's fleet of pre-programmed
+// RRAM medical monitors as a server process.
+//
+//   serve::ModelServer server(registry_config);
+//   server.registry().Register("ecg", "ecg.rbnn");
+//   server.registry().Register("eeg", "eeg.rbnn");
+//   server.ServeStream(std::cin, std::cout);   // until EOF
+//
+// Requests arrive as length-prefixed frames (protocol.h) and route to
+// per-model engines; predictions shard through the engine's packed-batch
+// path, so a served answer is bit-identical to loading the artifact with
+// Engine::FromArtifact and calling Predict in-process. Per-model latency,
+// throughput and energy statistics accumulate across requests and are
+// answered by the `stats` verb.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "serve/model_registry.h"
+#include "serve/protocol.h"
+
+namespace rrambnn::serve {
+
+class ModelServer {
+ public:
+  explicit ModelServer(RegistryConfig config = {});
+
+  ModelRegistry& registry() { return registry_; }
+  const ModelRegistry& registry() const { return registry_; }
+
+  /// Handles one decoded request (the testable seam of the daemon): routes
+  /// by kind, times and records predict calls, and converts every
+  /// request-level failure (unknown model, corrupt artifact, geometry
+  /// mismatch) into an ok=false response instead of throwing.
+  Response Handle(const Request& request);
+
+  /// The daemon loop: reads framed requests from `in` until end-of-stream,
+  /// writing one framed response each to `out`. A frame that cannot be
+  /// decoded terminates the loop with a final id=0 error response (the
+  /// stream offset is no longer trustworthy). Returns the number of
+  /// requests served.
+  std::uint64_t ServeStream(std::istream& in, std::ostream& out);
+
+ private:
+  Response HandlePredict(const Request& request);
+  Response HandleStatsOrList(const Request& request);
+  Response HandleReload(const Request& request);
+
+  ModelRegistry registry_;
+};
+
+}  // namespace rrambnn::serve

@@ -1,0 +1,288 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "io/serde.h"
+
+namespace rrambnn::serve {
+
+namespace {
+
+/// Tensor wire form: u32 rank, i64 dims, then raw IEEE-754 element bits.
+void EncodeTensor(io::ByteWriter& writer, const Tensor& t) {
+  writer.WriteU32(static_cast<std::uint32_t>(t.rank()));
+  for (std::int64_t i = 0; i < t.rank(); ++i) {
+    writer.WriteI64(t.dim(i));
+  }
+  writer.WriteBytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(t.data()),
+      static_cast<std::size_t>(t.size()) * sizeof(float)));
+}
+
+Tensor DecodeTensor(io::ByteReader& reader) {
+  const std::uint32_t rank = reader.ReadU32();
+  if (rank > 8) {
+    throw std::runtime_error("serve protocol: tensor rank " +
+                             std::to_string(rank) + " exceeds the wire "
+                             "limit of 8");
+  }
+  Shape shape;
+  constexpr std::uint64_t kMaxElems = kMaxFrameBytes / sizeof(float);
+  std::uint64_t count = 1;
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    const std::int64_t dim = reader.ReadI64();
+    if (dim < 0) {
+      throw std::runtime_error("serve protocol: negative tensor dimension");
+    }
+    // Overflow-safe product bound: reject before multiplying, so a hostile
+    // dim vector cannot wrap `count` past the limit check.
+    if (count > 0 && static_cast<std::uint64_t>(dim) > kMaxElems / count) {
+      throw std::runtime_error("serve protocol: tensor payload larger than "
+                               "the frame limit");
+    }
+    count *= static_cast<std::uint64_t>(dim);
+    shape.push_back(dim);
+  }
+  const std::span<const std::uint8_t> raw =
+      reader.ReadBytes(count * sizeof(float));
+  std::vector<float> data(static_cast<std::size_t>(count));
+  if (count > 0) std::memcpy(data.data(), raw.data(), raw.size());
+  return Tensor(std::move(shape), std::move(data));
+}
+
+RequestKind DecodeKind(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(RequestKind::kList)) {
+    throw std::runtime_error("serve protocol: unknown request kind " +
+                             std::to_string(raw));
+  }
+  return static_cast<RequestKind>(raw);
+}
+
+}  // namespace
+
+std::string ToString(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kPredict: return "predict";
+    case RequestKind::kStats: return "stats";
+    case RequestKind::kReload: return "reload";
+    case RequestKind::kList: return "list";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------------
+
+void WriteFrame(std::ostream& out, std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::invalid_argument("serve protocol: frame of " +
+                                std::to_string(payload.size()) +
+                                " bytes exceeds kMaxFrameBytes");
+  }
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  std::uint8_t prefix[4];
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<std::uint8_t>((size >> (8 * i)) & 0xFF);
+  }
+  out.write(reinterpret_cast<const char*>(prefix), sizeof(prefix));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  if (!out) {
+    throw std::runtime_error("serve protocol: stream write failed");
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> ReadFrame(std::istream& in) {
+  std::uint8_t prefix[4];
+  in.read(reinterpret_cast<char*>(prefix), sizeof(prefix));
+  if (in.gcount() == 0 && in.eof()) {
+    return std::nullopt;  // clean end-of-stream between frames
+  }
+  if (in.gcount() != sizeof(prefix)) {
+    throw std::runtime_error(
+        "serve protocol: stream ended inside a frame length prefix");
+  }
+  std::uint32_t size = 0;
+  for (int i = 0; i < 4; ++i) {
+    size |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+  }
+  if (size > kMaxFrameBytes) {
+    throw std::runtime_error("serve protocol: frame length " +
+                             std::to_string(size) +
+                             " exceeds kMaxFrameBytes (corrupt stream?)");
+  }
+  std::vector<std::uint8_t> payload(size);
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(payload.data()), size);
+    if (in.gcount() != static_cast<std::streamsize>(size)) {
+      throw std::runtime_error(
+          "serve protocol: stream ended inside a frame payload (expected " +
+          std::to_string(size) + " bytes)");
+    }
+  }
+  return payload;
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> EncodeRequest(const Request& request) {
+  io::ByteWriter writer;
+  writer.WriteU64(request.id);
+  writer.WriteU8(static_cast<std::uint8_t>(request.kind));
+  writer.WriteString(request.model);
+  if (request.kind == RequestKind::kPredict) {
+    EncodeTensor(writer, request.batch);
+  }
+  return writer.TakeBytes();
+}
+
+Request DecodeRequest(std::span<const std::uint8_t> payload) {
+  io::ByteReader reader(payload, "serve request");
+  Request request;
+  request.id = reader.ReadU64();
+  request.kind = DecodeKind(reader.ReadU8());
+  request.model = reader.ReadString();
+  if (request.kind == RequestKind::kPredict) {
+    request.batch = DecodeTensor(reader);
+  }
+  reader.ExpectExhausted();
+  return request;
+}
+
+std::vector<std::uint8_t> EncodeResponse(const Response& response) {
+  io::ByteWriter writer;
+  writer.WriteU64(response.id);
+  writer.WriteU8(static_cast<std::uint8_t>(response.kind));
+  writer.WriteU8(response.ok ? 1 : 0);
+  if (!response.ok) {
+    writer.WriteString(response.error);
+    return writer.TakeBytes();
+  }
+  switch (response.kind) {
+    case RequestKind::kPredict:
+      writer.WriteString(response.model);
+      writer.WriteString(response.backend);
+      writer.WriteU64(response.predictions.size());
+      for (const std::int64_t p : response.predictions) writer.WriteI64(p);
+      writer.WriteF64(response.latency_us);
+      break;
+    case RequestKind::kReload:
+      writer.WriteString(response.model);
+      break;
+    case RequestKind::kStats:
+    case RequestKind::kList:
+      writer.WriteU64(response.models.size());
+      for (const ModelStatsWire& m : response.models) {
+        writer.WriteString(m.name);
+        writer.WriteString(m.path);
+        writer.WriteU8(m.resident ? 1 : 0);
+        writer.WriteU64(m.generation);
+        writer.WriteString(m.backend);
+        writer.WriteU64(m.requests);
+        writer.WriteU64(m.rows);
+        writer.WriteF64(m.total_latency_us);
+        writer.WriteF64(m.max_latency_us);
+        writer.WriteF64(m.rows_per_sec);
+        writer.WriteU8(m.energy_available ? 1 : 0);
+        writer.WriteF64(m.program_energy_pj);
+        writer.WriteF64(m.per_inference_read_energy_pj);
+      }
+      break;
+  }
+  return writer.TakeBytes();
+}
+
+Response DecodeResponse(std::span<const std::uint8_t> payload) {
+  io::ByteReader reader(payload, "serve response");
+  Response response;
+  response.id = reader.ReadU64();
+  response.kind = DecodeKind(reader.ReadU8());
+  response.ok = reader.ReadU8() != 0;
+  if (!response.ok) {
+    response.error = reader.ReadString();
+    reader.ExpectExhausted();
+    return response;
+  }
+  switch (response.kind) {
+    case RequestKind::kPredict: {
+      response.model = reader.ReadString();
+      response.backend = reader.ReadString();
+      const std::uint64_t n = reader.ReadU64();
+      if (n > payload.size() / sizeof(std::int64_t)) {  // overflow-safe
+        throw std::runtime_error("serve response: prediction count " +
+                                 std::to_string(n) +
+                                 " exceeds the payload it arrived in");
+      }
+      response.predictions.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        response.predictions.push_back(reader.ReadI64());
+      }
+      response.latency_us = reader.ReadF64();
+      break;
+    }
+    case RequestKind::kReload:
+      response.model = reader.ReadString();
+      break;
+    case RequestKind::kStats:
+    case RequestKind::kList: {
+      const std::uint64_t n = reader.ReadU64();
+      if (n > payload.size()) {  // every entry is many bytes; cheap sanity cap
+        throw std::runtime_error("serve response: model count " +
+                                 std::to_string(n) +
+                                 " exceeds the payload it arrived in");
+      }
+      for (std::uint64_t i = 0; i < n; ++i) {
+        ModelStatsWire m;
+        m.name = reader.ReadString();
+        m.path = reader.ReadString();
+        m.resident = reader.ReadU8() != 0;
+        m.generation = reader.ReadU64();
+        m.backend = reader.ReadString();
+        m.requests = reader.ReadU64();
+        m.rows = reader.ReadU64();
+        m.total_latency_us = reader.ReadF64();
+        m.max_latency_us = reader.ReadF64();
+        m.rows_per_sec = reader.ReadF64();
+        m.energy_available = reader.ReadU8() != 0;
+        m.program_energy_pj = reader.ReadF64();
+        m.per_inference_read_energy_pj = reader.ReadF64();
+        response.models.push_back(std::move(m));
+      }
+      break;
+    }
+  }
+  reader.ExpectExhausted();
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Framed message I/O
+// ---------------------------------------------------------------------------
+
+void WriteRequest(std::ostream& out, const Request& request) {
+  WriteFrame(out, EncodeRequest(request));
+}
+
+std::optional<Request> ReadRequest(std::istream& in) {
+  const auto frame = ReadFrame(in);
+  if (!frame) return std::nullopt;
+  return DecodeRequest(*frame);
+}
+
+void WriteResponse(std::ostream& out, const Response& response) {
+  WriteFrame(out, EncodeResponse(response));
+}
+
+std::optional<Response> ReadResponse(std::istream& in) {
+  const auto frame = ReadFrame(in);
+  if (!frame) return std::nullopt;
+  return DecodeResponse(*frame);
+}
+
+}  // namespace rrambnn::serve

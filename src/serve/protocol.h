@@ -1,0 +1,118 @@
+// Wire protocol of the model-serving daemon: length-prefixed request and
+// response frames over any byte stream (the server reads stdin / writes
+// stdout; tests use stringstreams).
+//
+// Framing: u32 little-endian payload length, then the payload — encoded
+// with the artifact format's ByteWriter/ByteReader primitives (io/serde.h),
+// so every field is bounds-checked on decode and truncation fails loudly.
+//
+// Requests (the daemon's four verbs):
+//   predict <model> <rows>   class predictions for a batch of raw input
+//                            rows (the layout the network was trained on)
+//   stats                    per-model serving statistics + energy figures
+//   reload <model>           drop the resident engine; next predict reloads
+//   list                     registered models with residency
+//
+// Every response echoes the request id, so a client multiplexing requests
+// can match answers; errors travel as ok=false + message instead of
+// breaking the stream.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rrambnn::serve {
+
+/// Frames larger than this are rejected on read before any allocation — a
+/// corrupt or hostile length prefix must not become a giant allocation.
+constexpr std::uint32_t kMaxFrameBytes = 256u << 20;  // 256 MiB
+
+enum class RequestKind : std::uint8_t {
+  kPredict = 0,
+  kStats = 1,
+  kReload = 2,
+  kList = 3,
+};
+
+/// Wire name of a request kind ("predict", "stats", ...).
+std::string ToString(RequestKind kind);
+
+struct Request {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::kPredict;
+  /// Target model (kPredict, kReload); unused otherwise.
+  std::string model;
+  /// Input rows, first axis = samples (kPredict). Floats travel as raw
+  /// IEEE-754 bits, so served predictions are bit-identical to in-process
+  /// ones.
+  Tensor batch;
+};
+
+/// Per-model statistics entry of a stats/list response.
+struct ModelStatsWire {
+  std::string name;
+  std::string path;
+  bool resident = false;
+  std::uint64_t generation = 0;
+  /// Serving backend name (resident models; empty otherwise).
+  std::string backend;
+  std::uint64_t requests = 0;
+  std::uint64_t rows = 0;
+  double total_latency_us = 0.0;
+  double max_latency_us = 0.0;
+  double rows_per_sec = 0.0;
+  /// Deployment energy figures of hardware-model backends (zeroed and
+  /// unavailable for pure software substrates).
+  bool energy_available = false;
+  double program_energy_pj = 0.0;
+  double per_inference_read_energy_pj = 0.0;
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::kPredict;
+  bool ok = true;
+  /// Failure description when !ok (the request itself was understood; a
+  /// frame that cannot be decoded at all terminates the stream instead).
+  std::string error;
+  // -- kPredict --
+  std::string model;
+  std::string backend;
+  std::vector<std::int64_t> predictions;
+  /// Server-side latency of this request's Predict call.
+  double latency_us = 0.0;
+  // -- kStats / kList --
+  std::vector<ModelStatsWire> models;
+};
+
+// -- Frame I/O --------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+void WriteFrame(std::ostream& out, std::span<const std::uint8_t> payload);
+
+/// Reads one frame. Returns std::nullopt at clean end-of-stream (EOF before
+/// any length byte); throws std::runtime_error for truncated frames and
+/// length prefixes beyond kMaxFrameBytes.
+std::optional<std::vector<std::uint8_t>> ReadFrame(std::istream& in);
+
+// -- Payload codecs ---------------------------------------------------------
+
+std::vector<std::uint8_t> EncodeRequest(const Request& request);
+Request DecodeRequest(std::span<const std::uint8_t> payload);
+std::vector<std::uint8_t> EncodeResponse(const Response& response);
+Response DecodeResponse(std::span<const std::uint8_t> payload);
+
+// -- Framed message I/O (frame + codec in one call) -------------------------
+
+void WriteRequest(std::ostream& out, const Request& request);
+std::optional<Request> ReadRequest(std::istream& in);
+void WriteResponse(std::ostream& out, const Response& response);
+std::optional<Response> ReadResponse(std::istream& in);
+
+}  // namespace rrambnn::serve

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
+#include "core/bitops.h"
 #include "nn/activations.h"
 #include "nn/batchnorm.h"
 #include "nn/dense.h"
@@ -160,6 +163,39 @@ TEST(Engine, EmptyBatchPredictReturnsEmpty) {
   EXPECT_THROW((void)eng.Predict(Tensor()), std::invalid_argument);
 }
 
+/// Accuracy over zero samples is undefined; returning 0.0 would read as a
+/// catastrophically broken model to a fleet health check. Covers both
+/// orderings: the lifecycle error dominates on an untrained engine, the
+/// argument error fires once the engine is trained.
+TEST(Engine, EvaluateEmptyDatasetThrows) {
+  nn::Dataset empty;
+  empty.x = Tensor({0, kIn});
+  empty.num_classes = kClasses;
+
+  Engine trained = MakeTrainedEngine();
+  EXPECT_THROW((void)trained.Evaluate(empty), std::invalid_argument);
+  trained.Deploy("reference");  // deployed path validates identically
+  EXPECT_THROW((void)trained.Evaluate(empty), std::invalid_argument);
+
+  EngineConfig cfg;
+  Engine untrained(cfg, [](const EngineConfig&, Rng& rng) {
+    return ModelSpec{WarmClassifier(rng), 0};
+  });
+  EXPECT_THROW((void)untrained.Evaluate(empty), std::logic_error);
+}
+
+TEST(Engine, EnsureDeployedIsIdempotent) {
+  Engine eng = MakeTrainedEngine();
+  EXPECT_FALSE(eng.deployed());
+  InferenceBackend& first = eng.EnsureDeployed();
+  EXPECT_TRUE(eng.deployed());
+  // A second call must hand back the same live backend, not re-program it.
+  EXPECT_EQ(&eng.EnsureDeployed(), &first);
+  // Explicit Deploy() still rebuilds.
+  InferenceBackend& rebuilt = eng.Deploy("reference");
+  EXPECT_EQ(&eng.EnsureDeployed(), &rebuilt);
+}
+
 TEST(Engine, DescribeReflectsState) {
   Engine eng = MakeTrainedEngine();
   eng.Deploy("rram");
@@ -214,6 +250,46 @@ TEST(Engine, MultiThreadedEvaluateMatchesSingleThreaded) {
           << backend << " threads=" << threads;
     }
   }
+}
+
+/// Edge geometries of the sharded serving path: fewer rows than workers
+/// (workers are clamped, no empty shard is ever dispatched), a single row,
+/// and two rows over many threads (maximally ragged shards).
+TEST(Engine, PredictRowsEdgeGeometriesMatchSingleThreaded) {
+  Rng rng(9);
+  for (const std::int64_t rows : {std::int64_t{1}, std::int64_t{2},
+                                  std::int64_t{3}}) {
+    const nn::Dataset data = RandomData(rows, rng);
+    Engine single = MakeTrainedEngine();
+    single.config().WithThreads(1);
+    single.Deploy("reference");
+    const auto preds1 = single.Predict(data.x);
+    ASSERT_EQ(preds1.size(), static_cast<std::size_t>(rows));
+
+    Engine multi = MakeTrainedEngine();
+    multi.config().WithThreads(8);  // threads > rows
+    multi.Deploy("reference");
+    EXPECT_EQ(multi.Predict(data.x), preds1) << "rows=" << rows;
+  }
+}
+
+/// An empty RowSlice(begin, begin) is a legal packed batch: backends answer
+/// it with an empty prediction/score vector instead of tripping on zero-row
+/// geometry.
+TEST(Engine, EmptyRowSliceServesAsEmptyBatch) {
+  Engine eng = MakeTrainedEngine();
+  eng.Deploy("reference");
+  Rng rng(10);
+  const nn::Dataset data = RandomData(4, rng);
+  const core::BitMatrix packed = core::BitMatrix::FromSignRows(
+      std::span<const float>(data.x.data(),
+                             static_cast<std::size_t>(data.x.size())),
+      4, kIn);
+  const core::BitMatrix empty = packed.RowSlice(2, 2);
+  EXPECT_EQ(empty.rows(), 0);
+  EXPECT_EQ(empty.cols(), kIn);
+  EXPECT_TRUE(eng.backend().PredictPacked(empty).empty());
+  EXPECT_TRUE(eng.backend().ScoresBatch(empty).empty());
 }
 
 TEST(Engine, RramBackendSerializedButThreadCountStillHarmless) {

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/ecg_synth.h"
@@ -151,6 +152,38 @@ TEST_F(SavedEcgArtifact, PredictionsBitIdenticalOnAllBackends) {
           << "backend " << backend << ", row " << i;
     }
     EXPECT_EQ(loaded.Evaluate(*data_), engine_->Evaluate(*data_)) << backend;
+  }
+}
+
+/// A multi-model server loads artifacts from several request threads at
+/// once; concurrent FromArtifact calls on the same file must each stand up
+/// an independent, fully correct engine.
+TEST_F(SavedEcgArtifact, ConcurrentLoadsServeIdenticalPredictions) {
+  engine_->Deploy("reference");
+  const std::vector<std::int64_t> expected = engine_->Predict(data_->x);
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<std::int64_t>> results(kThreads);
+  std::vector<std::exception_ptr> errors(kThreads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      try {
+        Engine loaded = Engine::FromArtifact(file_->path());
+        loaded.Deploy("reference");
+        results[static_cast<std::size_t>(t)] = loaded.Predict(data_->x);
+      } catch (...) {
+        errors[static_cast<std::size_t>(t)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    if (errors[static_cast<std::size_t>(t)]) {
+      std::rethrow_exception(errors[static_cast<std::size_t>(t)]);
+    }
+    EXPECT_EQ(results[static_cast<std::size_t>(t)], expected)
+        << "thread " << t;
   }
 }
 

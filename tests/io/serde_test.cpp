@@ -208,6 +208,49 @@ TEST(ChunkFileTest, RoundTripPreservesTagsAndPayloads) {
   EXPECT_EQ(info.chunks[0].bytes, 3u);
 }
 
+TEST(ChunkFileTest, SuccessfulWriteLeavesNoTempFile) {
+  TempFile file("atomic-clean.bin");
+  WriteChunkFile(file.path(), {{"alpha", {1, 2, 3}}});
+  EXPECT_TRUE(fs::exists(file.path()));
+  EXPECT_FALSE(fs::exists(TempSavePath(file.path())));
+}
+
+/// The durable-save guarantee: when a save cannot complete, whatever
+/// artifact already lived at the destination is byte-for-byte intact — a
+/// serving process hot-loading that path never sees a truncated container.
+TEST(ChunkFileTest, FailedSaveLeavesExistingArtifactIntact) {
+  TempFile file("atomic-keep.bin");
+  WriteChunkFile(file.path(), {{"alpha", {1, 2, 3}}});
+  const std::vector<std::uint8_t> before = ReadAll(file.path());
+
+  // Block the staging path with a directory so the temp open fails — the
+  // same observable outcome as a full disk or a crash mid-write: the save
+  // throws and the destination must be untouched.
+  const std::string tmp = TempSavePath(file.path());
+  fs::create_directory(tmp);
+  EXPECT_THROW(WriteChunkFile(file.path(), {{"beta", {9, 9, 9, 9}}}),
+               std::runtime_error);
+  fs::remove(tmp);
+
+  EXPECT_EQ(ReadAll(file.path()), before);
+  const std::vector<Chunk> back = ReadChunkFile(file.path());
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].tag, "alpha");
+}
+
+/// A save over an existing artifact replaces it wholesale (rename, not
+/// in-place truncate+write) and the replacement is fully valid.
+TEST(ChunkFileTest, OverwriteReplacesArtifactAtomically) {
+  TempFile file("atomic-replace.bin");
+  WriteChunkFile(file.path(), {{"alpha", std::vector<std::uint8_t>(256, 1)}});
+  WriteChunkFile(file.path(), {{"beta", {4, 5}}});
+  const std::vector<Chunk> back = ReadChunkFile(file.path());
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].tag, "beta");
+  EXPECT_EQ(back[0].payload, (std::vector<std::uint8_t>{4, 5}));
+  EXPECT_FALSE(fs::exists(TempSavePath(file.path())));
+}
+
 TEST(ChunkFileTest, MissingFileThrows) {
   EXPECT_THROW(ReadChunkFile("/nonexistent/rrambnn-artifact.bin"),
                std::runtime_error);

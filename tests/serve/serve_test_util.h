@@ -1,0 +1,90 @@
+// Shared fixture of the serve test suites: one really trained ECG engine
+// saved to a temp artifact (trained once per test binary), plus its eval
+// dataset. The device corner has programming noise but deterministic
+// senses, so RRAM backends exercise real non-idealities reproducibly —
+// the same corner tests/io/artifact_test.cpp uses.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "data/ecg_synth.h"
+#include "engine/engine.h"
+#include "models/ecg_model.h"
+#include "nn/dataset.h"
+
+namespace rrambnn::serve {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() /
+               ("rrambnn_serve_test_" + name)).string()) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+struct SharedArtifact {
+  std::string path;
+  nn::Dataset data;
+};
+
+/// The process-wide trained-and-saved ECG artifact; training runs once, on
+/// first use.
+inline const SharedArtifact& GetSharedArtifact() {
+  static const SharedArtifact* artifact = [] {
+    static TempFile file("shared.rbnn");
+
+    Rng rng(7);
+    data::EcgSynthConfig dc;
+    dc.samples = 80;
+    dc.sample_rate_hz = 100.0;
+    auto* result = new SharedArtifact;
+    result->path = file.path();
+    result->data = data::MakeEcgDataset(dc, 120, rng);
+
+    rram::DeviceParams device;
+    device.weak_prob_ref = 5e-3;
+    device.sense_offset_sigma = 0.0;
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 16;
+    engine::EngineConfig cfg;
+    cfg.WithStrategy(core::BinarizationStrategy::kBinaryClassifier)
+        .WithTrain(tc)
+        .WithDevice(device)
+        .WithFaultBer(1e-3, /*seed=*/55)
+        .WithRramShards(2);
+    engine::Engine trainer(cfg, [dc](const engine::EngineConfig& ec,
+                                     Rng& mrng) {
+      models::EcgNetConfig mc = models::EcgNetConfig::BenchScale();
+      mc.samples = dc.samples;
+      mc.strategy = ec.strategy;
+      auto built = models::BuildEcgNet(mc, mrng);
+      return engine::ModelSpec{std::move(built.net), built.classifier_start};
+    });
+    (void)trainer.Train(result->data, result->data);
+    trainer.SaveArtifact(result->path);
+    return result;
+  }();
+  return *artifact;
+}
+
+/// In-process ground truth: predictions of a freshly loaded artifact engine
+/// deployed on `backend` — what every served answer must be bit-identical
+/// to.
+inline std::vector<std::int64_t> InProcessPredictions(
+    const std::string& backend, const Tensor& batch) {
+  engine::Engine engine = engine::Engine::FromArtifact(
+      GetSharedArtifact().path);
+  engine.Deploy(backend);
+  return engine.Predict(batch);
+}
+
+}  // namespace rrambnn::serve

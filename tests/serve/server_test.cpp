@@ -1,0 +1,408 @@
+// The serving daemon: wire-protocol round trips and rejection paths, the
+// request router (predict / stats / reload / list), error responses for
+// every request-level failure, and the acceptance property — a served
+// prediction is bit-identical to Engine::FromArtifact + Predict in-process
+// on all four backends.
+#include "serve/model_server.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/serde.h"
+#include "serve_test_util.h"
+
+namespace rrambnn::serve {
+namespace {
+
+Request PredictRequest(std::uint64_t id, const std::string& model,
+                       Tensor batch) {
+  Request request;
+  request.id = id;
+  request.kind = RequestKind::kPredict;
+  request.model = model;
+  request.batch = std::move(batch);
+  return request;
+}
+
+Request VerbRequest(std::uint64_t id, RequestKind kind,
+                    const std::string& model = "") {
+  Request request;
+  request.id = id;
+  request.kind = kind;
+  request.model = model;
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, FrameRoundTripAndCleanEof) {
+  std::stringstream stream;
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 254};
+  WriteFrame(stream, payload);
+  WriteFrame(stream, {});  // empty frames are legal
+  EXPECT_EQ(ReadFrame(stream).value(), payload);
+  EXPECT_TRUE(ReadFrame(stream).value().empty());
+  EXPECT_FALSE(ReadFrame(stream).has_value());  // clean end-of-stream
+}
+
+TEST(ServeProtocol, TruncatedFrameThrows) {
+  std::stringstream stream;
+  WriteFrame(stream, std::vector<std::uint8_t>(16, 9));
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() - 5);  // cut mid-payload
+  std::stringstream cut(bytes);
+  EXPECT_THROW((void)ReadFrame(cut), std::runtime_error);
+
+  std::stringstream prefix_only(std::string("\x02", 1));  // cut mid-prefix
+  EXPECT_THROW((void)ReadFrame(prefix_only), std::runtime_error);
+}
+
+TEST(ServeProtocol, OversizedLengthPrefixRejectedBeforeAllocation) {
+  std::stringstream stream;
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  char prefix[4];
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<char>((huge >> (8 * i)) & 0xFF);
+  }
+  stream.write(prefix, 4);
+  EXPECT_THROW((void)ReadFrame(stream), std::runtime_error);
+}
+
+TEST(ServeProtocol, RequestCodecRoundTrips) {
+  Tensor batch({2, 3}, {1.5f, -2.0f, 0.0f, -0.0f, 3.25f, -7.75f});
+  const Request predict = PredictRequest(42, "ecg", batch);
+  const Request back = DecodeRequest(EncodeRequest(predict));
+  EXPECT_EQ(back.id, 42u);
+  EXPECT_EQ(back.kind, RequestKind::kPredict);
+  EXPECT_EQ(back.model, "ecg");
+  EXPECT_EQ(back.batch.shape(), batch.shape());
+  EXPECT_EQ(back.batch.vec(), batch.vec());  // raw IEEE bits round-trip
+
+  for (const RequestKind kind :
+       {RequestKind::kStats, RequestKind::kReload, RequestKind::kList}) {
+    const Request verb = VerbRequest(7, kind, "m");
+    const Request verb_back = DecodeRequest(EncodeRequest(verb));
+    EXPECT_EQ(verb_back.kind, kind);
+    EXPECT_EQ(verb_back.id, 7u);
+  }
+}
+
+TEST(ServeProtocol, ResponseCodecRoundTrips) {
+  Response predict;
+  predict.id = 9;
+  predict.kind = RequestKind::kPredict;
+  predict.model = "eeg";
+  predict.backend = "rram-sharded";
+  predict.predictions = {1, 0, 2, -3};
+  predict.latency_us = 123.5;
+  const Response predict_back = DecodeResponse(EncodeResponse(predict));
+  EXPECT_EQ(predict_back.id, 9u);
+  EXPECT_EQ(predict_back.model, "eeg");
+  EXPECT_EQ(predict_back.backend, "rram-sharded");
+  EXPECT_EQ(predict_back.predictions, predict.predictions);
+  EXPECT_EQ(predict_back.latency_us, 123.5);
+
+  Response stats;
+  stats.id = 10;
+  stats.kind = RequestKind::kStats;
+  ModelStatsWire wire;
+  wire.name = "ecg";
+  wire.path = "/tmp/ecg.rbnn";
+  wire.resident = true;
+  wire.generation = 3;
+  wire.backend = "rram";
+  wire.requests = 5;
+  wire.rows = 300;
+  wire.total_latency_us = 1000.0;
+  wire.max_latency_us = 400.0;
+  wire.rows_per_sec = 300000.0;
+  wire.energy_available = true;
+  wire.program_energy_pj = 17.5;
+  wire.per_inference_read_energy_pj = 0.25;
+  stats.models.push_back(wire);
+  const Response stats_back = DecodeResponse(EncodeResponse(stats));
+  ASSERT_EQ(stats_back.models.size(), 1u);
+  EXPECT_EQ(stats_back.models[0].name, "ecg");
+  EXPECT_EQ(stats_back.models[0].generation, 3u);
+  EXPECT_EQ(stats_back.models[0].backend, "rram");
+  EXPECT_EQ(stats_back.models[0].rows, 300u);
+  EXPECT_TRUE(stats_back.models[0].energy_available);
+  EXPECT_EQ(stats_back.models[0].program_energy_pj, 17.5);
+
+  Response error;
+  error.id = 11;
+  error.kind = RequestKind::kPredict;
+  error.ok = false;
+  error.error = "unknown model 'x'";
+  const Response error_back = DecodeResponse(EncodeResponse(error));
+  EXPECT_FALSE(error_back.ok);
+  EXPECT_EQ(error_back.error, "unknown model 'x'");
+}
+
+/// A hostile dim vector whose element product wraps past 2^64 must fail the
+/// size guard, not bypass it into a giant allocation or a shape/storage
+/// mismatch.
+TEST(ServeProtocol, OverflowingTensorDimsRejected) {
+  io::ByteWriter writer;
+  writer.WriteU64(1);  // id
+  writer.WriteU8(static_cast<std::uint8_t>(RequestKind::kPredict));
+  writer.WriteString("ecg");
+  writer.WriteU32(2);  // rank
+  writer.WriteI64(std::int64_t{1} << 61);
+  writer.WriteI64(200);  // product wraps u64 to a tiny value
+  try {
+    (void)DecodeRequest(writer.bytes());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("frame limit"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ServeProtocol, OverflowingPredictionCountRejected) {
+  io::ByteWriter writer;
+  writer.WriteU64(1);  // id
+  writer.WriteU8(static_cast<std::uint8_t>(RequestKind::kPredict));
+  writer.WriteU8(1);  // ok
+  writer.WriteString("ecg");
+  writer.WriteString("reference");
+  writer.WriteU64(std::uint64_t{1} << 61);  // n * 8 wraps to 0
+  EXPECT_THROW((void)DecodeResponse(writer.bytes()), std::runtime_error);
+}
+
+TEST(ServeProtocol, MalformedPayloadRejected) {
+  // Unknown request kind byte.
+  std::vector<std::uint8_t> payload = EncodeRequest(
+      VerbRequest(1, RequestKind::kStats));
+  payload[8] = 250;  // kind byte follows the u64 id
+  EXPECT_THROW((void)DecodeRequest(payload), std::runtime_error);
+  // Trailing garbage after a well-formed request.
+  std::vector<std::uint8_t> trailing = EncodeRequest(
+      VerbRequest(1, RequestKind::kList));
+  trailing.push_back(0xAB);
+  EXPECT_THROW((void)DecodeRequest(trailing), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Request routing
+// ---------------------------------------------------------------------------
+
+/// The acceptance property, daemon edition: served predictions equal
+/// in-process ones bit-for-bit on every backend.
+TEST(ModelServer, PredictBitIdenticalToInProcessOnAllBackends) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  for (const std::string backend :
+       {"reference", "fault", "rram", "rram-sharded"}) {
+    RegistryConfig config;
+    config.backend_override = backend;
+    ModelServer server(config);
+    server.registry().Register("ecg", shared.path);
+
+    const Response response =
+        server.Handle(PredictRequest(1, "ecg", shared.data.x));
+    ASSERT_TRUE(response.ok) << backend << ": " << response.error;
+    EXPECT_EQ(response.backend, backend);
+    EXPECT_EQ(response.model, "ecg");
+    EXPECT_GT(response.latency_us, 0.0);
+    EXPECT_EQ(response.predictions,
+              InProcessPredictions(backend, shared.data.x))
+        << backend;
+  }
+}
+
+TEST(ModelServer, UnknownModelIsErrorResponseNotThrow) {
+  ModelServer server;
+  server.registry().Register("ecg", GetSharedArtifact().path);
+  const Response response =
+      server.Handle(PredictRequest(5, "ghost", Tensor({1, 4})));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.id, 5u);
+  EXPECT_NE(response.error.find("ghost"), std::string::npos)
+      << response.error;
+}
+
+TEST(ModelServer, GeometryMismatchIsErrorResponse) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  ModelServer server;
+  server.registry().Register("ecg", shared.path);
+  // Wrong sample width: the engine's validation error becomes a response.
+  const Response response =
+      server.Handle(PredictRequest(6, "ecg", Tensor({2, 7})));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.id, 6u);
+  EXPECT_FALSE(response.error.empty());
+  // The daemon survives; a good request still works.
+  EXPECT_TRUE(server.Handle(PredictRequest(7, "ecg", shared.data.x)).ok);
+}
+
+TEST(ModelServer, StatsAccumulateAndReportEnergy) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  RegistryConfig config;
+  config.backend_override = "rram";  // hardware-model backend: energy figures
+  ModelServer server(config);
+  server.registry().Register("ecg", shared.path);
+
+  ASSERT_TRUE(server.Handle(PredictRequest(1, "ecg", shared.data.x)).ok);
+  ASSERT_TRUE(server.Handle(PredictRequest(2, "ecg", shared.data.x)).ok);
+
+  const Response stats = server.Handle(VerbRequest(3, RequestKind::kStats));
+  ASSERT_TRUE(stats.ok);
+  ASSERT_EQ(stats.models.size(), 1u);
+  const ModelStatsWire& wire = stats.models[0];
+  EXPECT_EQ(wire.name, "ecg");
+  EXPECT_TRUE(wire.resident);
+  EXPECT_EQ(wire.backend, "rram");
+  EXPECT_EQ(wire.requests, 2u);
+  EXPECT_EQ(wire.rows, 2u * static_cast<std::uint64_t>(shared.data.size()));
+  EXPECT_GT(wire.total_latency_us, 0.0);
+  EXPECT_GE(wire.total_latency_us, wire.max_latency_us);
+  EXPECT_TRUE(wire.energy_available);
+  EXPECT_GT(wire.program_energy_pj, 0.0);
+  EXPECT_GT(wire.per_inference_read_energy_pj, 0.0);
+}
+
+/// Stats observe without disturbing: the artifact file vanishing from disk
+/// (or its mtime changing) must not make a stats request fail or reload —
+/// serving continues from the resident engine.
+TEST(ModelServer, StatsSurviveDeletedArtifactWithoutReloading) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  TempFile copy("stats-deleted.rbnn");
+  std::filesystem::copy_file(shared.path, copy.path());
+
+  ModelServer server;
+  server.registry().Register("ecg", copy.path());
+  ASSERT_TRUE(server.Handle(PredictRequest(1, "ecg", shared.data.x)).ok);
+  std::filesystem::remove(copy.path());
+
+  const Response stats = server.Handle(VerbRequest(2, RequestKind::kStats));
+  ASSERT_TRUE(stats.ok);
+  ASSERT_EQ(stats.models.size(), 1u);
+  EXPECT_TRUE(stats.models[0].resident);
+  EXPECT_EQ(stats.models[0].backend, "reference");
+  EXPECT_EQ(server.registry().loads(), 1u);  // no reload attempt
+}
+
+TEST(ModelServer, ListShowsResidencyWithoutForcingLoads) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  ModelServer server;
+  server.registry().Register("ecg", shared.path);
+  server.registry().Register("never-used", shared.path);
+
+  ASSERT_TRUE(server.Handle(PredictRequest(1, "ecg", shared.data.x)).ok);
+  const Response list = server.Handle(VerbRequest(2, RequestKind::kList));
+  ASSERT_TRUE(list.ok);
+  ASSERT_EQ(list.models.size(), 2u);
+  for (const ModelStatsWire& m : list.models) {
+    EXPECT_EQ(m.resident, m.name == "ecg") << m.name;
+  }
+  // list itself never loads a model.
+  EXPECT_EQ(server.registry().loads(), 1u);
+}
+
+TEST(ModelServer, ReloadVerbDropsResidentEngine) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  ModelServer server;
+  server.registry().Register("ecg", shared.path);
+  ASSERT_TRUE(server.Handle(PredictRequest(1, "ecg", shared.data.x)).ok);
+  EXPECT_EQ(server.registry().resident_count(), 1u);
+
+  const Response reload =
+      server.Handle(VerbRequest(2, RequestKind::kReload, "ecg"));
+  ASSERT_TRUE(reload.ok);
+  EXPECT_EQ(reload.model, "ecg");
+  EXPECT_EQ(server.registry().resident_count(), 0u);
+
+  // The next predict transparently reloads — and answers identically.
+  const Response again = server.Handle(PredictRequest(3, "ecg", shared.data.x));
+  ASSERT_TRUE(again.ok);
+  EXPECT_EQ(again.predictions,
+            InProcessPredictions("reference", shared.data.x));
+  EXPECT_EQ(server.registry().loads(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// The daemon loop
+// ---------------------------------------------------------------------------
+
+TEST(ModelServer, ServeStreamAnswersEveryFrameInOrder) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  ModelServer server;
+  server.registry().Register("ecg", shared.path);
+
+  std::stringstream in, out;
+  WriteRequest(in, PredictRequest(1, "ecg", shared.data.x));
+  WriteRequest(in, VerbRequest(2, RequestKind::kList));
+  WriteRequest(in, PredictRequest(3, "ghost", Tensor({1, 4})));  // error
+  WriteRequest(in, VerbRequest(4, RequestKind::kStats));
+  EXPECT_EQ(server.ServeStream(in, out), 4u);
+
+  const auto r1 = ReadResponse(out);
+  const auto r2 = ReadResponse(out);
+  const auto r3 = ReadResponse(out);
+  const auto r4 = ReadResponse(out);
+  ASSERT_TRUE(r1 && r2 && r3 && r4);
+  EXPECT_FALSE(ReadResponse(out).has_value());  // nothing extra
+  EXPECT_EQ(r1->id, 1u);
+  EXPECT_TRUE(r1->ok);
+  EXPECT_EQ(r1->predictions, InProcessPredictions("reference", shared.data.x));
+  EXPECT_EQ(r2->id, 2u);
+  EXPECT_TRUE(r2->ok);
+  EXPECT_FALSE(r3->ok);  // bad request answered, stream kept alive
+  EXPECT_EQ(r4->id, 4u);
+  ASSERT_TRUE(r4->ok);
+  ASSERT_EQ(r4->models.size(), 1u);
+  EXPECT_EQ(r4->models[0].requests, 1u);  // the ghost predict never served
+}
+
+/// A fully-read frame whose *payload* fails to decode (version-skewed
+/// client, unknown verb byte) leaves the frame boundary intact: the daemon
+/// answers an error and keeps serving later requests.
+TEST(ModelServer, ServeStreamSurvivesUndecodablePayload) {
+  ModelServer server;
+  server.registry().Register("ecg", GetSharedArtifact().path);
+
+  std::stringstream in, out;
+  std::vector<std::uint8_t> bad = EncodeRequest(
+      VerbRequest(1, RequestKind::kStats));
+  bad[8] = 250;  // unknown kind byte, frame framing untouched
+  WriteFrame(in, bad);
+  WriteRequest(in, VerbRequest(2, RequestKind::kList));
+  EXPECT_EQ(server.ServeStream(in, out), 2u);
+
+  const auto error = ReadResponse(out);
+  ASSERT_TRUE(error);
+  EXPECT_FALSE(error->ok);
+  EXPECT_NE(error->error.find("undecodable"), std::string::npos)
+      << error->error;
+  const auto list = ReadResponse(out);
+  ASSERT_TRUE(list);
+  EXPECT_TRUE(list->ok);
+  EXPECT_EQ(list->id, 2u);
+}
+
+TEST(ModelServer, ServeStreamBailsOnCorruptFrame) {
+  ModelServer server;
+  server.registry().Register("ecg", GetSharedArtifact().path);
+
+  std::stringstream in, out;
+  WriteRequest(in, VerbRequest(1, RequestKind::kList));
+  in << "\x08\x00\x00\x00ab";  // length 8, only 2 payload bytes: truncated
+  EXPECT_EQ(server.ServeStream(in, out), 1u);
+
+  const auto first = ReadResponse(out);
+  ASSERT_TRUE(first);
+  EXPECT_TRUE(first->ok);
+  const auto bail = ReadResponse(out);
+  ASSERT_TRUE(bail);
+  EXPECT_FALSE(bail->ok);
+  EXPECT_EQ(bail->id, 0u);
+  EXPECT_NE(bail->error.find("corrupt"), std::string::npos) << bail->error;
+}
+
+}  // namespace
+}  // namespace rrambnn::serve

@@ -1,0 +1,239 @@
+// TCP serving-throughput driver: the ECG demo artifact served through the
+// concurrent socket transport (src/serve/tcp_transport.h) over loopback at
+// 1 / 8 / 32 concurrent client connections, on the `reference` and
+// `rram-sharded` backends. The host-side question of high-throughput RRAM
+// serving: is the fabric or the plumbing the bottleneck? Emits
+// machine-readable BENCH_tcp.json so the transport trajectory is tracked
+// from PR to PR.
+//
+// Usage: bench_throughput_tcp [--smoke] [--out PATH]
+//   --smoke   fewer training epochs / short timing windows / client counts
+//             {1, 8} (CI smoke test)
+//   --out     output path of the JSON report (default BENCH_tcp.json)
+//
+// Measures, per backend x client count:
+//   - aggregate rows/sec over the timing window (every client round-trips
+//     the full seeded validation batch in a loop);
+//   - request latency p50 / p99 / mean, client-observed (encode + loopback
+//     + queueing + predict + decode).
+//
+// The artifact is registered under four aliases and clients spread across
+// them: requests to the same model serialize on its serve mutex (a
+// simulated RRAM chip is one physical resource), so aliasing is what lets
+// concurrent connections actually exercise the worker pool. Every response
+// digest is checked against the in-process Handle() answer — a throughput
+// number from wrong predictions would be worthless.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/demo_tasks.h"
+#include "serve/model_server.h"
+#include "serve/tcp_transport.h"
+
+namespace {
+
+using namespace rrambnn;
+namespace fs = std::filesystem;
+
+constexpr int kAliases = 4;
+
+serve::Request PredictRequest(std::uint64_t id, const std::string& model,
+                              const Tensor& batch) {
+  serve::Request request;
+  request.id = id;
+  request.kind = serve::RequestKind::kPredict;
+  request.model = model;
+  request.batch = batch;
+  return request;
+}
+
+struct RunResult {
+  std::string backend;
+  int clients = 0;
+  std::uint64_t requests = 0;
+  double rows_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+};
+
+double Percentile(std::vector<double>& sorted_latencies, double q) {
+  if (sorted_latencies.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted_latencies.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(
+                                       sorted_latencies.size() - 1) + 0.5));
+  return sorted_latencies[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_tcp.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  const std::int64_t epochs = smoke ? 1 : 3;
+  const double min_seconds = smoke ? 0.05 : 0.3;
+  const std::vector<int> client_counts =
+      smoke ? std::vector<int>{1, 8} : std::vector<int>{1, 8, 32};
+
+  // -- Train and save the demo artifact once --------------------------------
+  const fs::path dir = fs::temp_directory_path() / "rrambnn_bench_tcp";
+  fs::create_directories(dir);
+  const std::string artifact_path = (dir / "ecg.rbnn").string();
+  const serve::DemoTask task = serve::MakeDemoTask("ecg");
+  {
+    engine::Engine trainer(serve::DemoServingConfig(epochs), task.factory);
+    std::printf("training ecg (%lld epochs)...\n",
+                static_cast<long long>(epochs));
+    (void)trainer.Train(task.train, task.val);
+    trainer.SaveArtifact(artifact_path);
+  }
+  const std::int64_t rows_per_request = task.val.x.dim(0);
+
+  std::vector<RunResult> results;
+  for (const std::string backend : {"reference", "rram-sharded"}) {
+    // In-process ground truth + warmup loads, before any timing.
+    serve::RegistryConfig registry_config;
+    registry_config.backend_override = backend;
+    registry_config.capacity = kAliases;
+    serve::ModelServer server(registry_config);
+    std::vector<std::string> aliases;
+    for (int a = 0; a < kAliases; ++a) {
+      aliases.push_back("ecg" + std::to_string(a));
+      server.registry().Register(aliases.back(), artifact_path);
+    }
+    std::uint64_t expected_digest = 0;
+    for (const std::string& alias : aliases) {
+      const serve::Response warm =
+          server.Handle(PredictRequest(0, alias, task.val.x));
+      if (!warm.ok) {
+        std::fprintf(stderr, "warmup predict failed on %s: %s\n",
+                     backend.c_str(), warm.error.c_str());
+        return 1;
+      }
+      expected_digest = serve::PredictionDigest(warm.predictions);
+    }
+
+    for (const int clients : client_counts) {
+      serve::TcpServerConfig tcp_config;
+      tcp_config.log_connections = false;
+      tcp_config.worker_threads = kAliases;
+      serve::TcpServer tcp(server, tcp_config);
+      const std::uint16_t port = tcp.Start();
+      std::thread loop([&tcp] { tcp.Run(); });
+
+      std::vector<std::vector<double>> latencies(
+          static_cast<std::size_t>(clients));
+      std::atomic<std::uint64_t> total_requests{0};
+      std::atomic<bool> digest_mismatch{false};
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration<double>(min_seconds);
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::thread> client_threads;
+      for (int c = 0; c < clients; ++c) {
+        client_threads.emplace_back([&, c] {
+          serve::TcpClient client("127.0.0.1", port);
+          const std::string& alias =
+              aliases[static_cast<std::size_t>(c % kAliases)];
+          std::uint64_t id = 0;
+          do {
+            const auto t0 = std::chrono::steady_clock::now();
+            const serve::Response response =
+                client.Roundtrip(PredictRequest(++id, alias, task.val.x));
+            const double us = std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+            if (!response.ok ||
+                serve::PredictionDigest(response.predictions) !=
+                    expected_digest) {
+              digest_mismatch.store(true);
+              return;
+            }
+            latencies[static_cast<std::size_t>(c)].push_back(us);
+            total_requests.fetch_add(1);
+          } while (std::chrono::steady_clock::now() < deadline);
+        });
+      }
+      for (std::thread& t : client_threads) t.join();
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      tcp.RequestStop();
+      loop.join();
+      if (digest_mismatch.load()) {
+        std::fprintf(stderr,
+                     "TCP-served digest mismatch on %s at %d clients\n",
+                     backend.c_str(), clients);
+        return 1;
+      }
+
+      std::vector<double> merged;
+      for (const std::vector<double>& per_client : latencies) {
+        merged.insert(merged.end(), per_client.begin(), per_client.end());
+      }
+      std::sort(merged.begin(), merged.end());
+      double sum = 0.0;
+      for (const double us : merged) sum += us;
+
+      RunResult result;
+      result.backend = backend;
+      result.clients = clients;
+      result.requests = total_requests.load();
+      result.rows_per_sec =
+          static_cast<double>(result.requests * rows_per_request) / elapsed;
+      result.p50_us = Percentile(merged, 0.50);
+      result.p99_us = Percentile(merged, 0.99);
+      result.mean_us = merged.empty() ? 0.0 : sum / merged.size();
+      results.push_back(result);
+      std::printf(
+          "%-14s %2d client(s)  %10.0f rows/s  p50=%.0fus p99=%.0fus "
+          "(%llu requests)\n",
+          backend.c_str(), clients, result.rows_per_sec, result.p50_us,
+          result.p99_us, static_cast<unsigned long long>(result.requests));
+    }
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"task\": \"ecg\",\n");
+  std::fprintf(out, "  \"rows_per_request\": %lld,\n",
+               static_cast<long long>(rows_per_request));
+  std::fprintf(out, "  \"aliases\": %d,\n", kAliases);
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"backend\": \"%s\", \"clients\": %d, "
+                 "\"requests\": %llu, \"rows_per_sec\": %.1f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f, \"mean_us\": %.1f}%s\n",
+                 r.backend.c_str(), r.clients,
+                 static_cast<unsigned long long>(r.requests), r.rows_per_sec,
+                 r.p50_us, r.p99_us, r.mean_us,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,20 +1,31 @@
-// Client driver of the model_server daemon: builds framed requests on
-// stdout and decodes framed responses from stdin, so a full serving session
-// is a shell pipeline (see model_server.cpp for the canonical one).
+// Client driver of the model_server daemon, speaking the framed protocol
+// (docs/protocol.md) over either transport:
 //
-//   model_client request predict <model> --task ecg|eeg [--id N]
-//       one predict frame carrying the task's full seeded validation set
-//       (the same rows artifact_tool eval serves)
-//   model_client request stats|list [--id N]
-//   model_client request reload <model> [--id N]
+//   pipe mode — builds framed requests on stdout / decodes framed
+//   responses from stdin, so a full serving session is a shell pipeline
+//   (see model_server.cpp for the canonical one):
 //
-//   model_client decode [--task MODEL=TASK ...]
-//       reads responses; for each predict answer prints
-//         model=<m> backend=<b> digest=<fnv1a> accuracy=<a>
-//       — with the `model=` field stripped, the line is directly diffable
-//       against artifact_tool eval output, which is how CI proves the
-//       daemon's answers are bit-identical to in-process serving. Exits
-//       nonzero if any response carried an error.
+//     model_client request predict <model> --task ecg|eeg [--id N]
+//         one predict frame carrying the task's full seeded validation set
+//         (the same rows artifact_tool eval serves)
+//     model_client request stats|list [--id N]
+//     model_client request reload <model> [--id N]
+//     model_client decode [--task MODEL=TASK ...]
+//
+//   TCP mode — connects to a --listen daemon, round-trips one request and
+//   prints the same output decode would:
+//
+//     model_client --connect HOST:PORT predict <model> --task ecg|eeg
+//     model_client --connect HOST:PORT stats|list
+//     model_client --connect HOST:PORT reload <model>
+//
+// For each predict answer the client prints
+//   model=<m> backend=<b> digest=<fnv1a> accuracy=<a>
+// — with the `model=` field stripped, the line is directly diffable
+// against artifact_tool eval output, which is how CI proves the daemon's
+// answers are bit-identical to in-process serving on both transports.
+// Exits nonzero with a clear message on connection refused, a truncated
+// response, or any error response.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -24,6 +35,7 @@
 
 #include "serve/demo_tasks.h"
 #include "serve/protocol.h"
+#include "serve/tcp_transport.h"
 
 using namespace rrambnn;
 
@@ -37,52 +49,142 @@ int Usage() {
       "  model_client request stats|list [--id N]\n"
       "  model_client request reload <model> [--id N]\n"
       "  model_client decode [--task MODEL=TASK ...]\n"
+      "  model_client --connect HOST:PORT <verb> [<model>] [--task TASK]\n"
+      "               [--id N]\n"
       "`request` writes one framed request to stdout; `decode` reads framed\n"
-      "responses from stdin and prints digest/stat lines.\n");
+      "responses from stdin; `--connect` round-trips one request over TCP\n"
+      "and prints what decode would.\n");
   return 2;
 }
 
-int RunRequest(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  const std::string verb = argv[2];
+/// Prints one response the way `decode` reports it; `labels` maps model
+/// names to expected labels (for predict accuracy lines). Returns false for
+/// error responses.
+bool PrintResponse(const serve::Response& response,
+                   const std::map<std::string, std::vector<std::int64_t>>&
+                       labels) {
+  if (!response.ok) {
+    std::fprintf(stderr, "error id=%llu: %s\n",
+                 static_cast<unsigned long long>(response.id),
+                 response.error.c_str());
+    return false;
+  }
+  switch (response.kind) {
+    case serve::RequestKind::kPredict: {
+      const auto labels_it = labels.find(response.model);
+      if (labels_it == labels.end()) {
+        std::printf("model=%s backend=%s digest=%016llx rows=%zu\n",
+                    response.model.c_str(), response.backend.c_str(),
+                    static_cast<unsigned long long>(
+                        serve::PredictionDigest(response.predictions)),
+                    response.predictions.size());
+        break;
+      }
+      const std::vector<std::int64_t>& y = labels_it->second;
+      std::int64_t hits = 0;
+      for (std::size_t i = 0;
+           i < response.predictions.size() && i < y.size(); ++i) {
+        if (response.predictions[i] == y[i]) ++hits;
+      }
+      std::printf(
+          "model=%s backend=%s digest=%016llx accuracy=%.4f\n",
+          response.model.c_str(), response.backend.c_str(),
+          static_cast<unsigned long long>(
+              serve::PredictionDigest(response.predictions)),
+          static_cast<double>(hits) /
+              static_cast<double>(response.predictions.size()));
+      break;
+    }
+    case serve::RequestKind::kReload:
+      std::printf("reloaded model=%s\n", response.model.c_str());
+      break;
+    case serve::RequestKind::kStats:
+    case serve::RequestKind::kList:
+      for (const serve::ModelStatsWire& m : response.models) {
+        if (response.kind == serve::RequestKind::kList) {
+          std::printf("model=%s resident=%d generation=%llu path=%s\n",
+                      m.name.c_str(), m.resident ? 1 : 0,
+                      static_cast<unsigned long long>(m.generation),
+                      m.path.c_str());
+          continue;
+        }
+        std::printf(
+            "model=%s resident=%d backend=%s requests=%llu rows=%llu "
+            "mean_latency_us=%.1f max_latency_us=%.1f rows_per_sec=%.0f "
+            "energy=%s program_pj=%.1f read_pj_per_inference=%.3f\n",
+            m.name.c_str(), m.resident ? 1 : 0, m.backend.c_str(),
+            static_cast<unsigned long long>(m.requests),
+            static_cast<unsigned long long>(m.rows),
+            m.requests > 0 ? m.total_latency_us /
+                                 static_cast<double>(m.requests)
+                           : 0.0,
+            m.max_latency_us, m.rows_per_sec,
+            m.energy_available ? "yes" : "no", m.program_energy_pj,
+            m.per_inference_read_energy_pj);
+      }
+      break;
+  }
+  return true;
+}
+
+/// One verb invocation (shared by `request` and `--connect`): the request
+/// plus the --task labels a predict's accuracy is scored against (the demo
+/// task is synthesized once; its rows become the batch, its labels stay
+/// here).
+struct VerbArgs {
   serve::Request request;
-  std::string task_name;
-  int arg_start = 3;
+  std::vector<std::int64_t> labels;
+};
+
+/// Parses `<verb> [<model>] [--task T] [--id N]` starting at argv[start].
+/// Returns true on success.
+bool ParseVerb(int argc, char** argv, int start, VerbArgs* out) {
+  if (start >= argc) return false;
+  const std::string verb = argv[start];
+  std::string task;
+  int arg_start = start + 1;
   if (verb == "predict" || verb == "reload") {
-    if (argc < 4) return Usage();
-    request.model = argv[3];
-    arg_start = 4;
+    if (arg_start >= argc) return false;
+    out->request.model = argv[arg_start++];
   }
   for (int i = arg_start; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
     if (arg == "--task" && has_value) {
-      task_name = argv[++i];
+      task = argv[++i];
     } else if (arg == "--id" && has_value) {
-      request.id = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      out->request.id = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      return Usage();
+      return false;
     }
   }
   if (verb == "predict") {
-    if (task_name.empty()) {
+    if (task.empty()) {
       std::fprintf(stderr, "model_client: predict needs --task ecg|eeg\n");
-      return Usage();
+      return false;
     }
-    request.kind = serve::RequestKind::kPredict;
-    request.batch = serve::MakeDemoTask(task_name).val.x;
+    out->request.kind = serve::RequestKind::kPredict;
+    serve::DemoTask demo = serve::MakeDemoTask(task);
+    out->request.batch = std::move(demo.val.x);
+    out->labels = std::move(demo.val.y);
   } else if (verb == "stats") {
-    request.kind = serve::RequestKind::kStats;
+    out->request.kind = serve::RequestKind::kStats;
   } else if (verb == "list") {
-    request.kind = serve::RequestKind::kList;
+    out->request.kind = serve::RequestKind::kList;
   } else if (verb == "reload") {
-    request.kind = serve::RequestKind::kReload;
+    out->request.kind = serve::RequestKind::kReload;
   } else {
     std::fprintf(stderr, "unknown request verb: %s\n", verb.c_str());
-    return Usage();
+    return false;
   }
-  serve::WriteRequest(std::cout, request);
+  return true;
+}
+
+int RunRequest(int argc, char** argv) {
+  VerbArgs verb;
+  if (!ParseVerb(argc, argv, 2, &verb)) return Usage();
+  serve::WriteRequest(std::cout, verb.request);
   std::cout.flush();
   return 0;
 }
@@ -112,70 +214,43 @@ int RunDecode(int argc, char** argv) {
   }
   bool any_error = false;
   while (const auto response = serve::ReadResponse(std::cin)) {
-    if (!response->ok) {
-      std::fprintf(stderr, "error id=%llu: %s\n",
-                   static_cast<unsigned long long>(response->id),
-                   response->error.c_str());
-      any_error = true;
-      continue;
-    }
-    switch (response->kind) {
-      case serve::RequestKind::kPredict: {
-        const auto labels_it = labels.find(response->model);
-        if (labels_it == labels.end()) {
-          std::printf("model=%s backend=%s digest=%016llx rows=%zu\n",
-                      response->model.c_str(), response->backend.c_str(),
-                      static_cast<unsigned long long>(
-                          serve::PredictionDigest(response->predictions)),
-                      response->predictions.size());
-          break;
-        }
-        const std::vector<std::int64_t>& y = labels_it->second;
-        std::int64_t hits = 0;
-        for (std::size_t i = 0;
-             i < response->predictions.size() && i < y.size(); ++i) {
-          if (response->predictions[i] == y[i]) ++hits;
-        }
-        std::printf(
-            "model=%s backend=%s digest=%016llx accuracy=%.4f\n",
-            response->model.c_str(), response->backend.c_str(),
-            static_cast<unsigned long long>(
-                serve::PredictionDigest(response->predictions)),
-            static_cast<double>(hits) /
-                static_cast<double>(response->predictions.size()));
-        break;
-      }
-      case serve::RequestKind::kReload:
-        std::printf("reloaded model=%s\n", response->model.c_str());
-        break;
-      case serve::RequestKind::kStats:
-      case serve::RequestKind::kList:
-        for (const serve::ModelStatsWire& m : response->models) {
-          if (response->kind == serve::RequestKind::kList) {
-            std::printf("model=%s resident=%d generation=%llu path=%s\n",
-                        m.name.c_str(), m.resident ? 1 : 0,
-                        static_cast<unsigned long long>(m.generation),
-                        m.path.c_str());
-            continue;
-          }
-          std::printf(
-              "model=%s resident=%d backend=%s requests=%llu rows=%llu "
-              "mean_latency_us=%.1f max_latency_us=%.1f rows_per_sec=%.0f "
-              "energy=%s program_pj=%.1f read_pj_per_inference=%.3f\n",
-              m.name.c_str(), m.resident ? 1 : 0, m.backend.c_str(),
-              static_cast<unsigned long long>(m.requests),
-              static_cast<unsigned long long>(m.rows),
-              m.requests > 0 ? m.total_latency_us /
-                                   static_cast<double>(m.requests)
-                             : 0.0,
-              m.max_latency_us, m.rows_per_sec,
-              m.energy_available ? "yes" : "no", m.program_energy_pj,
-              m.per_inference_read_energy_pj);
-        }
-        break;
-    }
+    if (!PrintResponse(*response, labels)) any_error = true;
   }
   return any_error ? 1 : 0;
+}
+
+int RunConnect(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string spec = argv[2];
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    std::fprintf(stderr, "bad --connect spec '%s' (want HOST:PORT)\n",
+                 spec.c_str());
+    return Usage();
+  }
+  const std::string host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  if (port_text.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr, "bad --connect port in '%s'\n", spec.c_str());
+    return Usage();
+  }
+  const long port = std::atol(port_text.c_str());
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bad --connect port in '%s'\n", spec.c_str());
+    return Usage();
+  }
+  VerbArgs verb;
+  if (!ParseVerb(argc, argv, 3, &verb)) return Usage();
+  std::map<std::string, std::vector<std::int64_t>> labels;
+  if (!verb.labels.empty() && !verb.request.model.empty()) {
+    labels[verb.request.model] = std::move(verb.labels);
+  }
+  // Connection refused and truncated responses surface as descriptive
+  // std::runtime_errors from TcpClient; main turns them into a message and
+  // a nonzero exit instead of an unhandled stream error.
+  serve::TcpClient client(host, static_cast<std::uint16_t>(port));
+  const serve::Response response = client.Roundtrip(verb.request);
+  return PrintResponse(response, labels) ? 0 : 1;
 }
 
 }  // namespace
@@ -186,6 +261,7 @@ int main(int argc, char** argv) {
   try {
     if (mode == "request") return RunRequest(argc, argv);
     if (mode == "decode") return RunDecode(argc, argv);
+    if (mode == "--connect") return RunConnect(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "model_client: %s\n", e.what());
     return 1;

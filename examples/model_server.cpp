@@ -1,26 +1,40 @@
 // The multi-model serving daemon as a process: registers named `.rbnn`
-// artifacts, then serves length-prefixed requests from stdin and writes
-// responses to stdout until end-of-stream (logs go to stderr, keeping
-// stdout a pure response stream). Pair it with model_client:
+// artifacts, then serves length-prefixed requests (docs/protocol.md) over
+// one of two transports:
 //
-//   { ./model_client request predict ecg --task ecg
-//     ./model_client request predict eeg --task eeg
-//     ./model_client request stats; } |
-//   ./model_server --model ecg=ecg.rbnn --model eeg=eeg.rbnn |
-//   ./model_client decode --task ecg=ecg --task eeg=eeg
+//   pipe mode (default): requests on stdin, responses on stdout, until
+//   end-of-stream — a serving session is a shell pipeline:
 //
+//     { ./model_client request predict ecg --task ecg
+//       ./model_client request predict eeg --task eeg
+//       ./model_client request stats; } |
+//     ./model_server --model ecg=ecg.rbnn --model eeg=eeg.rbnn |
+//     ./model_client decode --task ecg=ecg --task eeg=eeg
+//
+//   TCP mode (--listen): a concurrent epoll/poll event loop serving many
+//   connections at once (src/serve/tcp_transport.h), drained gracefully on
+//   SIGTERM/SIGINT:
+//
+//     ./model_server --model ecg=ecg.rbnn --listen 127.0.0.1:7070 &
+//     ./model_client --connect 127.0.0.1:7070 predict ecg --task ecg
+//
+// Logs go to stderr in both modes, keeping stdout a pure response stream.
 // One process serves any number of models concurrently-resident up to
 // --capacity (LRU eviction beyond it), hot-reloads a model when its
 // artifact file changes on disk, and answers stats/list/reload verbs —
 // the "fleet of pre-programmed monitors" deployment of the paper as a
 // daemon. Served predictions are bit-identical to Engine::FromArtifact +
-// Predict in-process (CI diffs the digests against artifact_tool eval).
+// Predict in-process (CI diffs the digests against artifact_tool eval on
+// both transports).
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "serve/model_server.h"
+#include "serve/tcp_transport.h"
 
 using namespace rrambnn;
 
@@ -32,19 +46,79 @@ int Usage() {
       "usage: model_server --model NAME=PATH.rbnn [--model NAME=PATH ...]\n"
       "                    [--backend NAME] [--threads N] [--capacity N]\n"
       "                    [--no-hot-reload]\n"
-      "reads framed requests on stdin, writes framed responses on stdout\n"
+      "                    [--listen [HOST:]PORT [--workers N]\n"
+      "                     [--max-connections N] [--idle-timeout-ms N]\n"
+      "                     [--poll] [--port-file PATH]]\n"
+      "default: reads framed requests on stdin, writes responses on stdout\n"
       "  --backend NAME     serve every model on this backend instead of the\n"
       "                     one stored in its artifact\n"
       "  --threads N        per-model serving thread count override\n"
       "  --capacity N       max resident models (LRU eviction; default 8)\n"
-      "  --no-hot-reload    do not watch artifact mtimes\n");
+      "  --no-hot-reload    do not watch artifact mtimes\n"
+      "  --listen [H:]PORT  serve over TCP instead of stdio (port 0 picks an\n"
+      "                     ephemeral port; SIGTERM drains gracefully)\n"
+      "  --workers N        TCP request worker threads (default 4)\n"
+      "  --max-connections N  concurrent TCP connection cap (default 256)\n"
+      "  --idle-timeout-ms N  close TCP connections idle this long\n"
+      "  --poll             use the portable poll() event backend\n"
+      "  --port-file PATH   write the bound TCP port to PATH (for scripts\n"
+      "                     that listen on an ephemeral port)\n");
   return 2;
+}
+
+std::atomic<serve::TcpServer*> g_tcp_server{nullptr};
+
+void HandleStopSignal(int) {
+  // Lock-free atomic load + RequestStop (an atomic store and one pipe
+  // write) — all async-signal-safe.
+  if (serve::TcpServer* server =
+          g_tcp_server.load(std::memory_order_relaxed)) {
+    server->RequestStop();
+  }
+}
+
+/// "HOST:PORT" or bare "PORT" (host defaults to 127.0.0.1).
+bool ParseListenSpec(const std::string& spec, serve::TcpServerConfig* config) {
+  const std::size_t colon = spec.rfind(':');
+  const std::string port_text =
+      colon == std::string::npos ? spec : spec.substr(colon + 1);
+  if (port_text.empty() ||
+      port_text.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  const long port = std::atol(port_text.c_str());
+  if (port < 0 || port > 65535) return false;
+  config->port = static_cast<std::uint16_t>(port);
+  if (colon != std::string::npos && colon > 0) {
+    config->host = spec.substr(0, colon);
+  }
+  return true;
+}
+
+void PrintExitSummary(const serve::ModelServer& server) {
+  std::fprintf(stderr,
+               "model_server: %llu request(s) ok, %llu failed\n",
+               static_cast<unsigned long long>(server.requests_ok()),
+               static_cast<unsigned long long>(server.requests_failed()));
+  for (const auto& info : server.registry().List()) {
+    const serve::ModelStats& s = info.stats;
+    std::fprintf(stderr,
+                 "model_server:   %-12s %s  requests=%llu rows=%llu "
+                 "mean=%.0fus max=%.0fus rows/s=%.0f\n",
+                 info.name.c_str(), info.resident ? "resident" : "evicted ",
+                 static_cast<unsigned long long>(s.requests),
+                 static_cast<unsigned long long>(s.rows), s.MeanLatencyUs(),
+                 s.max_latency_us, s.RowsPerSec());
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   serve::RegistryConfig config;
+  serve::TcpServerConfig tcp_config;
+  bool listen = false;
+  std::string port_file;
   std::vector<std::pair<std::string, std::string>> models;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,6 +140,25 @@ int main(int argc, char** argv) {
       config.capacity = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--no-hot-reload") {
       config.hot_reload = false;
+    } else if (arg == "--listen" && has_value) {
+      if (!ParseListenSpec(argv[++i], &tcp_config)) {
+        std::fprintf(stderr, "bad --listen spec '%s' (want [HOST:]PORT)\n",
+                     argv[i]);
+        return Usage();
+      }
+      listen = true;
+    } else if (arg == "--workers" && has_value) {
+      tcp_config.worker_threads = static_cast<std::size_t>(
+          std::atoll(argv[++i]));
+    } else if (arg == "--max-connections" && has_value) {
+      tcp_config.max_connections = static_cast<std::size_t>(
+          std::atoll(argv[++i]));
+    } else if (arg == "--idle-timeout-ms" && has_value) {
+      tcp_config.idle_timeout_ms = std::atoi(argv[++i]);
+    } else if (arg == "--poll") {
+      tcp_config.force_poll = true;
+    } else if (arg == "--port-file" && has_value) {
+      port_file = argv[++i];
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return Usage();
@@ -89,19 +182,44 @@ int main(int argc, char** argv) {
                  config.backend_override.empty()
                      ? ""
                      : (", backend " + config.backend_override).c_str());
+
+    if (listen) {
+      serve::TcpServer tcp(server, tcp_config);
+      const std::uint16_t port = tcp.Start();
+      if (!port_file.empty()) {
+        std::FILE* f = std::fopen(port_file.c_str(), "w");
+        if (!f) {
+          std::fprintf(stderr, "model_server: cannot write %s\n",
+                       port_file.c_str());
+          return 1;
+        }
+        std::fprintf(f, "%u\n", static_cast<unsigned>(port));
+        std::fclose(f);
+      }
+      g_tcp_server = &tcp;
+      std::signal(SIGTERM, HandleStopSignal);
+      std::signal(SIGINT, HandleStopSignal);
+      try {
+        tcp.Run();  // until a stop signal completes the graceful drain
+      } catch (...) {
+        // Detach the handlers while `tcp` is still alive: a signal arriving
+        // after the unwind must not RequestStop() a destroyed server.
+        g_tcp_server = nullptr;
+        std::signal(SIGTERM, SIG_DFL);
+        std::signal(SIGINT, SIG_DFL);
+        throw;
+      }
+      g_tcp_server = nullptr;
+      std::signal(SIGTERM, SIG_DFL);
+      std::signal(SIGINT, SIG_DFL);
+      PrintExitSummary(server);
+      return 0;
+    }
+
     const std::uint64_t served = server.ServeStream(std::cin, std::cout);
     std::fprintf(stderr, "model_server: end of stream after %llu request(s)\n",
                  static_cast<unsigned long long>(served));
-    for (const auto& info : server.registry().List()) {
-      const serve::ModelStats& s = info.stats;
-      std::fprintf(stderr,
-                   "model_server:   %-12s %s  requests=%llu rows=%llu "
-                   "mean=%.0fus max=%.0fus rows/s=%.0f\n",
-                   info.name.c_str(), info.resident ? "resident" : "evicted ",
-                   static_cast<unsigned long long>(s.requests),
-                   static_cast<unsigned long long>(s.rows), s.MeanLatencyUs(),
-                   s.max_latency_us, s.RowsPerSec());
-    }
+    PrintExitSummary(server);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "model_server: %s\n", e.what());
     return 1;

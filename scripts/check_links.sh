@@ -1,0 +1,32 @@
+#!/bin/sh
+# Docs sanity check (run by CI): every relative markdown link in the
+# repo's documentation set must resolve to an existing file or directory.
+# External links (http/https/mailto) and pure anchors are skipped.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for doc in README.md ROADMAP.md CHANGES.md docs/*.md examples/README.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Fenced code blocks are stripped first: `[](...)` in C++ is not a link.
+  targets=$(awk '/^[[:space:]]*```/ { inblock = !inblock; next } !inblock' \
+                "$doc" |
+            grep -o ']([^)]*)' | sed 's/^](//; s/)$//') || true
+  for target in $targets; do
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN: $doc -> $target"
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "all relative markdown links resolve"
+fi
+exit $status

@@ -1,0 +1,176 @@
+#include "serve/event_loop.h"
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include <poll.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+namespace rrambnn::serve {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw std::runtime_error("event loop: " + what + ": " +
+                           std::strerror(errno));
+}
+
+// ---------------------------------------------------------------------------
+// poll() backend: an fd -> interest table rebuilt into a pollfd vector per
+// Wait. O(n) per wakeup, but n is bounded by the transport's connection cap
+// and the backend runs anywhere POSIX does.
+// ---------------------------------------------------------------------------
+
+class PollLoop final : public EventLoop {
+ public:
+  void Add(int fd, bool want_read, bool want_write) override {
+    if (!interest_.emplace(fd, Interest{want_read, want_write}).second) {
+      throw std::runtime_error("event loop: fd " + std::to_string(fd) +
+                               " registered twice");
+    }
+  }
+
+  void Modify(int fd, bool want_read, bool want_write) override {
+    const auto it = interest_.find(fd);
+    if (it == interest_.end()) {
+      throw std::runtime_error("event loop: Modify of unregistered fd " +
+                               std::to_string(fd));
+    }
+    it->second = Interest{want_read, want_write};
+  }
+
+  void Remove(int fd) override {
+    if (interest_.erase(fd) == 0) {
+      throw std::runtime_error("event loop: Remove of unregistered fd " +
+                               std::to_string(fd));
+    }
+  }
+
+  int Wait(std::vector<IoEvent>& events, int timeout_ms) override {
+    events.clear();
+    pollfds_.clear();
+    for (const auto& [fd, interest] : interest_) {
+      short mask = 0;
+      if (interest.read) mask |= POLLIN;
+      if (interest.write) mask |= POLLOUT;
+      pollfds_.push_back(pollfd{fd, mask, 0});
+    }
+    const int ready = ::poll(pollfds_.data(),
+                             static_cast<nfds_t>(pollfds_.size()), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) return 0;
+      ThrowErrno("poll failed");
+    }
+    for (const pollfd& p : pollfds_) {
+      if (p.revents == 0) continue;
+      IoEvent event;
+      event.fd = p.fd;
+      event.readable = (p.revents & POLLIN) != 0;
+      event.writable = (p.revents & POLLOUT) != 0;
+      event.hangup = (p.revents & POLLHUP) != 0;
+      event.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+      events.push_back(event);
+    }
+    return static_cast<int>(events.size());
+  }
+
+  const char* name() const override { return "poll"; }
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+  std::map<int, Interest> interest_;
+  std::vector<pollfd> pollfds_;
+};
+
+#ifdef __linux__
+
+// ---------------------------------------------------------------------------
+// epoll backend: kernel-side interest set, O(ready) wakeups.
+// ---------------------------------------------------------------------------
+
+class EpollLoop final : public EventLoop {
+ public:
+  EpollLoop() : epoll_fd_(::epoll_create1(0)) {
+    if (epoll_fd_ < 0) ThrowErrno("epoll_create1 failed");
+  }
+
+  ~EpollLoop() override { ::close(epoll_fd_); }
+
+  void Add(int fd, bool want_read, bool want_write) override {
+    Ctl(EPOLL_CTL_ADD, fd, want_read, want_write, "epoll_ctl(ADD) failed");
+  }
+
+  void Modify(int fd, bool want_read, bool want_write) override {
+    Ctl(EPOLL_CTL_MOD, fd, want_read, want_write, "epoll_ctl(MOD) failed");
+  }
+
+  void Remove(int fd) override {
+    epoll_event unused{};
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &unused) < 0) {
+      ThrowErrno("epoll_ctl(DEL) failed");
+    }
+  }
+
+  int Wait(std::vector<IoEvent>& events, int timeout_ms) override {
+    events.clear();
+    epoll_event ready[kMaxEvents];
+    const int n = ::epoll_wait(epoll_fd_, ready, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return 0;
+      ThrowErrno("epoll_wait failed");
+    }
+    for (int i = 0; i < n; ++i) {
+      IoEvent event;
+      event.fd = ready[i].data.fd;
+      event.readable = (ready[i].events & EPOLLIN) != 0;
+      event.writable = (ready[i].events & EPOLLOUT) != 0;
+      // EPOLLRDHUP is never registered in Ctl, so only EPOLLHUP can fire;
+      // half-close is detected by the reader via recv() == 0.
+      event.hangup = (ready[i].events & EPOLLHUP) != 0;
+      event.error = (ready[i].events & EPOLLERR) != 0;
+      events.push_back(event);
+    }
+    return n;
+  }
+
+  const char* name() const override { return "epoll"; }
+
+ private:
+  static constexpr int kMaxEvents = 64;
+
+  void Ctl(int op, int fd, bool want_read, bool want_write,
+           const char* what) {
+    epoll_event event{};
+    event.data.fd = fd;
+    if (want_read) event.events |= EPOLLIN;
+    if (want_write) event.events |= EPOLLOUT;
+    if (::epoll_ctl(epoll_fd_, op, fd, &event) < 0) ThrowErrno(what);
+  }
+
+  int epoll_fd_;
+};
+
+#endif  // __linux__
+
+}  // namespace
+
+std::unique_ptr<EventLoop> MakeEventLoop(bool force_poll) {
+#ifdef __linux__
+  if (!force_poll) return std::make_unique<EpollLoop>();
+#else
+  (void)force_poll;
+#endif
+  return std::make_unique<PollLoop>();
+}
+
+}  // namespace rrambnn::serve

@@ -1,0 +1,56 @@
+// Readiness notification for the TCP serving transport (tcp_transport.h):
+// one thread watches many non-blocking file descriptors and is told which
+// became readable or writable. Two interchangeable backends implement the
+// interface — `epoll` (Linux, O(ready) wakeups, the production path) and
+// `poll` (POSIX, the portable fallback) — selected at runtime by
+// MakeEventLoop, so the transport and its tests run identically on either.
+//
+// Not thread-safe: every method must be called from the thread that calls
+// Wait (the transport wakes that thread through a self-pipe instead of
+// mutating interest sets cross-thread).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace rrambnn::serve {
+
+/// One ready file descriptor out of Wait. `error`/`hangup` are reported
+/// regardless of the registered interest (a dead peer must surface even on
+/// a write-only registration).
+struct IoEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool hangup = false;
+  bool error = false;
+};
+
+class EventLoop {
+ public:
+  virtual ~EventLoop() = default;
+
+  /// Registers `fd` with the given interest set. Registering an fd twice is
+  /// a caller bug (throws std::runtime_error on the epoll backend).
+  virtual void Add(int fd, bool want_read, bool want_write) = 0;
+  /// Replaces the interest set of a registered fd.
+  virtual void Modify(int fd, bool want_read, bool want_write) = 0;
+  /// Deregisters `fd` (before closing it).
+  virtual void Remove(int fd) = 0;
+
+  /// Blocks until at least one registered fd is ready or `timeout_ms`
+  /// elapses (-1 blocks indefinitely, 0 polls). Fills `events` (cleared
+  /// first) and returns the number of ready fds; 0 means timeout. EINTR is
+  /// swallowed and reported as a timeout so signal arrival re-enters the
+  /// caller's loop.
+  virtual int Wait(std::vector<IoEvent>& events, int timeout_ms) = 0;
+
+  /// Backend name: "epoll" or "poll".
+  virtual const char* name() const = 0;
+};
+
+/// The best backend for this platform: epoll on Linux, poll elsewhere.
+/// `force_poll` selects the poll fallback everywhere (tests exercise both).
+std::unique_ptr<EventLoop> MakeEventLoop(bool force_poll = false);
+
+}  // namespace rrambnn::serve

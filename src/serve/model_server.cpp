@@ -17,17 +17,27 @@ Response ModelServer::Handle(const Request& request) {
   response.kind = request.kind;
   try {
     switch (request.kind) {
-      case RequestKind::kPredict: return HandlePredict(request);
+      case RequestKind::kPredict:
+        response = HandlePredict(request);
+        break;
       case RequestKind::kStats:
-      case RequestKind::kList: return HandleStatsOrList(request);
-      case RequestKind::kReload: return HandleReload(request);
+      case RequestKind::kList:
+        response = HandleStatsOrList(request);
+        break;
+      case RequestKind::kReload:
+        response = HandleReload(request);
+        break;
+      default:
+        response.ok = false;
+        response.error = "unhandled request kind";
+        break;
     }
-    response.ok = false;
-    response.error = "unhandled request kind";
   } catch (const std::exception& e) {
     response.ok = false;
     response.error = e.what();
   }
+  (response.ok ? requests_ok_ : requests_failed_)
+      .fetch_add(1, std::memory_order_relaxed);
   return response;
 }
 
@@ -125,6 +135,7 @@ std::uint64_t ModelServer::ServeStream(std::istream& in, std::ostream& out) {
       response.id = 0;  // the id could not be trusted past the decode error
       response.ok = false;
       response.error = std::string("undecodable request: ") + e.what();
+      RecordUndecodable();
     }
     WriteResponse(out, response);
     out.flush();  // clients block on responses; never sit in a buffer

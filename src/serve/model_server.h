@@ -16,6 +16,7 @@
 // answered by the `stats` verb.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 
@@ -34,14 +35,33 @@ class ModelServer {
   /// Handles one decoded request (the testable seam of the daemon): routes
   /// by kind, times and records predict calls, and converts every
   /// request-level failure (unknown model, corrupt artifact, geometry
-  /// mismatch) into an ok=false response instead of throwing.
+  /// mismatch) into an ok=false response instead of throwing. Thread-safe:
+  /// the TCP transport (tcp_transport.h) calls it from a worker pool.
   Response Handle(const Request& request);
 
+  /// Requests answered ok=true / ok=false across every transport, for the
+  /// daemon's operability summary. Frames whose payload never decoded into
+  /// a Request count as failures too — the transports report them via
+  /// RecordUndecodable, since those responses are built outside Handle.
+  std::uint64_t requests_ok() const {
+    return requests_ok_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t requests_failed() const {
+    return requests_failed_.load(std::memory_order_relaxed);
+  }
+  /// Counts a frame that was answered with an error response without ever
+  /// reaching Handle (undecodable payload). Called by transports.
+  void RecordUndecodable() {
+    requests_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// The daemon loop: reads framed requests from `in` until end-of-stream,
-  /// writing one framed response each to `out`. A frame that cannot be
-  /// decoded terminates the loop with a final id=0 error response (the
-  /// stream offset is no longer trustworthy). Returns the number of
-  /// requests served.
+  /// writing one framed response each to `out`. A complete frame whose
+  /// payload fails to decode is answered with an id=0 error and the loop
+  /// keeps serving (the frame boundary is intact); broken *framing* —
+  /// truncation, hostile length prefix — terminates the loop with a final
+  /// id=0 error response (the stream offset is no longer trustworthy).
+  /// See docs/protocol.md §5. Returns the number of requests served.
   std::uint64_t ServeStream(std::istream& in, std::ostream& out);
 
  private:
@@ -50,6 +70,8 @@ class ModelServer {
   Response HandleReload(const Request& request);
 
   ModelRegistry registry_;
+  std::atomic<std::uint64_t> requests_ok_{0};
+  std::atomic<std::uint64_t> requests_failed_{0};
 };
 
 }  // namespace rrambnn::serve

@@ -77,13 +77,22 @@ std::string ToString(RequestKind kind) {
 // Frame I/O
 // ---------------------------------------------------------------------------
 
-void WriteFrame(std::ostream& out, std::span<const std::uint8_t> payload) {
-  if (payload.size() > kMaxFrameBytes) {
+namespace {
+
+/// Shared size validation + LE prefix of both frame writers.
+std::uint32_t CheckedFrameSize(std::size_t payload_size) {
+  if (payload_size > kMaxFrameBytes) {
     throw std::invalid_argument("serve protocol: frame of " +
-                                std::to_string(payload.size()) +
+                                std::to_string(payload_size) +
                                 " bytes exceeds kMaxFrameBytes");
   }
-  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  return static_cast<std::uint32_t>(payload_size);
+}
+
+}  // namespace
+
+void WriteFrame(std::ostream& out, std::span<const std::uint8_t> payload) {
+  const std::uint32_t size = CheckedFrameSize(payload.size());
   std::uint8_t prefix[4];
   for (int i = 0; i < 4; ++i) {
     prefix[i] = static_cast<std::uint8_t>((size >> (8 * i)) & 0xFF);
@@ -94,6 +103,17 @@ void WriteFrame(std::ostream& out, std::span<const std::uint8_t> payload) {
   if (!out) {
     throw std::runtime_error("serve protocol: stream write failed");
   }
+}
+
+std::vector<std::uint8_t> FrameBytes(std::span<const std::uint8_t> payload) {
+  const std::uint32_t size = CheckedFrameSize(payload.size());
+  std::vector<std::uint8_t> framed;
+  framed.reserve(payload.size() + 4);
+  for (int i = 0; i < 4; ++i) {
+    framed.push_back(static_cast<std::uint8_t>((size >> (8 * i)) & 0xFF));
+  }
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  return framed;
 }
 
 std::optional<std::vector<std::uint8_t>> ReadFrame(std::istream& in) {

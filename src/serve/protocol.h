@@ -1,6 +1,9 @@
 // Wire protocol of the model-serving daemon: length-prefixed request and
-// response frames over any byte stream (the server reads stdin / writes
-// stdout; tests use stringstreams).
+// response frames over any byte stream (stdin/stdout in pipe mode, TCP
+// connections through tcp_transport.h; tests use stringstreams).
+// The normative wire-format specification — frame layout, verb payloads,
+// error semantics, compatibility rules — is docs/protocol.md; this header
+// and protocol.cpp implement it.
 //
 // Framing: u32 little-endian payload length, then the payload — encoded
 // with the artifact format's ByteWriter/ByteReader primitives (io/serde.h),
@@ -95,6 +98,12 @@ struct Response {
 
 /// Writes one length-prefixed frame.
 void WriteFrame(std::ostream& out, std::span<const std::uint8_t> payload);
+
+/// The exact bytes WriteFrame puts on a stream (u32 little-endian length
+/// prefix + payload) as one buffer — for socket transports that write to
+/// file descriptors instead of iostreams. Throws std::invalid_argument
+/// past kMaxFrameBytes.
+std::vector<std::uint8_t> FrameBytes(std::span<const std::uint8_t> payload);
 
 /// Reads one frame. Returns std::nullopt at clean end-of-stream (EOF before
 /// any length byte); throws std::runtime_error for truncated frames and

@@ -1,0 +1,787 @@
+#include "serve/tcp_transport.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace rrambnn::serve {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    ThrowErrno("tcp: fcntl(O_NONBLOCK) failed");
+  }
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  // Best effort: latency tuning, not correctness.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in MakeAddress(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("tcp: bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+std::string PeerName(const sockaddr_in& addr) {
+  char ip[INET_ADDRSTRLEN] = "?";
+  ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+/// Blocking full-buffer send on a client socket.
+void SendAll(int fd, const std::uint8_t* data, std::size_t n,
+             const char* what) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno(std::string("tcp client: ") + what + " failed");
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+/// Blocking exact-length receive. `context` names the structure being read
+/// so truncation errors say what was cut off.
+void RecvExact(int fd, std::uint8_t* data, std::size_t n,
+               const char* context) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, data + got, n - got, 0);
+    if (r == 0) {
+      if (got == 0 && std::strcmp(context, "frame length prefix") == 0) {
+        throw std::runtime_error(
+            "tcp client: server closed the connection before a response");
+      }
+      throw std::runtime_error(
+          std::string("tcp client: truncated response (connection closed "
+                      "inside a ") + context + ")");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("tcp client: recv failed");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FrameAssembler
+// ---------------------------------------------------------------------------
+
+void FrameAssembler::Feed(const std::uint8_t* data, std::size_t n) {
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (offset_ > 4096 && offset_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(offset_));
+    offset_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+std::optional<std::vector<std::uint8_t>> FrameAssembler::Next() {
+  if (buffered() < 4) return std::nullopt;
+  std::uint32_t size = 0;
+  for (int i = 0; i < 4; ++i) {
+    size |= static_cast<std::uint32_t>(buffer_[offset_ + i]) << (8 * i);
+  }
+  if (size > kMaxFrameBytes) {
+    throw std::runtime_error("serve protocol: frame length " +
+                             std::to_string(size) +
+                             " exceeds kMaxFrameBytes (corrupt stream?)");
+  }
+  if (buffered() < 4 + static_cast<std::size_t>(size)) return std::nullopt;
+  const auto begin = buffer_.begin() + static_cast<std::ptrdiff_t>(offset_ + 4);
+  std::vector<std::uint8_t> frame(begin, begin + size);
+  offset_ += 4 + static_cast<std::size_t>(size);
+  if (offset_ == buffer_.size()) {
+    buffer_.clear();
+    offset_ = 0;
+  }
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// TcpServer
+// ---------------------------------------------------------------------------
+
+TcpServer::TcpServer(ModelServer& server, TcpServerConfig config)
+    : server_(server), config_(std::move(config)) {
+  if (config_.worker_threads == 0) config_.worker_threads = 1;
+}
+
+TcpServer::~TcpServer() {
+  // Defensive cleanup for a server that was never Run() (or whose Start()
+  // threw): Run() itself leaves everything closed and joined.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    workers_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  for (auto& [fd, conn] : connections_) {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->closed = true;
+    ::close(fd);
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (const int fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+std::uint16_t TcpServer::Start() {
+  loop_ = MakeEventLoop(config_.force_poll);
+
+  if (::pipe(wake_fds_) < 0) ThrowErrno("tcp: wake pipe failed");
+  SetNonBlocking(wake_fds_[0]);
+  SetNonBlocking(wake_fds_[1]);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) ThrowErrno("tcp: socket failed");
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = MakeAddress(config_.host, config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    ThrowErrno("tcp: bind to " + config_.host + ":" +
+               std::to_string(config_.port) + " failed");
+  }
+  if (::listen(listen_fd_, 128) < 0) ThrowErrno("tcp: listen failed");
+  SetNonBlocking(listen_fd_);
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    ThrowErrno("tcp: getsockname failed");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  loop_->Add(listen_fd_, /*want_read=*/true, /*want_write=*/false);
+  loop_->Add(wake_fds_[0], /*want_read=*/true, /*want_write=*/false);
+
+  workers_.reserve(config_.worker_threads);
+  for (std::size_t i = 0; i < config_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+  if (config_.log_connections) {
+    std::fprintf(stderr,
+                 "tcp: listening on %s:%u (%s backend, %zu workers, "
+                 "capacity %zu connections)\n",
+                 config_.host.c_str(), static_cast<unsigned>(port_),
+                 loop_->name(), config_.worker_threads,
+                 config_.max_connections);
+  }
+  return port_;
+}
+
+const char* TcpServer::loop_name() const {
+  return loop_ ? loop_->name() : "unstarted";
+}
+
+void TcpServer::RequestStop() {
+  stop_requested_.store(true, std::memory_order_release);
+  // One byte on the self-pipe interrupts a blocked Wait. write() is
+  // async-signal-safe; a full pipe is fine (the loop is already awake).
+  if (wake_fds_[1] >= 0) {
+    const char byte = 'S';
+    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  }
+}
+
+void TcpServer::Wake() {
+  if (wake_fds_[1] >= 0) {
+    const char byte = 'W';
+    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  }
+}
+
+void TcpServer::DrainWakePipe() {
+  char buf[256];
+  while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+  }
+}
+
+int TcpServer::WaitTimeoutMs() const {
+  if (draining_) return 20;
+  if (config_.idle_timeout_ms > 0) {
+    return std::clamp(config_.idle_timeout_ms / 2, 10, 500);
+  }
+  return 500;  // heartbeat; stop/flush wakeups arrive via the self-pipe
+}
+
+void TcpServer::Run() {
+  if (!loop_) {
+    throw std::logic_error("tcp: Run() before Start()");
+  }
+  std::vector<IoEvent> events;
+  while (!(draining_ && connections_.empty())) {
+    loop_->Wait(events, WaitTimeoutMs());
+
+    if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
+      BeginDrain();
+    }
+
+    for (const IoEvent& event : events) {
+      if (event.fd == wake_fds_[0]) {
+        DrainWakePipe();
+        continue;
+      }
+      if (event.fd == listen_fd_) {
+        AcceptPending();
+        continue;
+      }
+      const auto it = connections_.find(event.fd);
+      if (it == connections_.end()) continue;  // closed earlier in this batch
+      const std::shared_ptr<Connection> conn = it->second;
+      if (event.error) {
+        CloseConnection(conn, "socket error");
+        continue;
+      }
+      if (event.readable || event.hangup) {
+        HandleReadable(conn);
+        if (connections_.find(event.fd) == connections_.end()) continue;
+      }
+      if (event.writable) {
+        FlushConnection(conn);
+      }
+    }
+
+    // Worker output since the last pass: flush it and update write interest.
+    std::vector<std::shared_ptr<Connection>> to_flush;
+    {
+      std::lock_guard<std::mutex> lock(flush_mutex_);
+      to_flush.swap(flush_list_);
+    }
+    for (const std::shared_ptr<Connection>& conn : to_flush) {
+      FlushConnection(conn);
+    }
+
+    if (config_.idle_timeout_ms > 0) CloseIdleConnections();
+
+    if (draining_ && !connections_.empty() &&
+        std::chrono::steady_clock::now() >= drain_deadline_) {
+      if (config_.log_connections) {
+        std::fprintf(stderr, "tcp: drain timeout, dropping %zu connection(s)\n",
+                     connections_.size());
+      }
+      while (!connections_.empty()) {
+        CloseConnection(connections_.begin()->second, "drain timeout");
+      }
+    }
+  }
+
+  // Drained: tear down the worker pool and the remaining fds.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    workers_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // The wake pipe stays open until destruction: RequestStop may be called
+  // from a signal handler racing this teardown, and its write must hit our
+  // own pipe, never a recycled descriptor.
+  if (config_.log_connections) {
+    const TcpServerStats s = stats();
+    std::fprintf(stderr,
+                 "tcp: stopped after %llu connection(s), %llu frame(s) "
+                 "(%llu request error(s), %llu protocol error(s))\n",
+                 static_cast<unsigned long long>(s.accepted),
+                 static_cast<unsigned long long>(s.frames_served),
+                 static_cast<unsigned long long>(s.request_errors),
+                 static_cast<unsigned long long>(s.protocol_errors));
+  }
+}
+
+void TcpServer::BeginDrain() {
+  draining_ = true;
+  drain_deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(config_.drain_timeout_ms);
+  if (listen_fd_ >= 0) {
+    loop_->Remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (config_.log_connections) {
+    std::fprintf(stderr, "tcp: draining %zu connection(s)\n",
+                 connections_.size());
+  }
+  // Snapshot: FlushConnection may close (and erase) connections.
+  std::vector<std::shared_ptr<Connection>> conns;
+  conns.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) conns.push_back(conn);
+  for (const std::shared_ptr<Connection>& conn : conns) {
+    if (!conn->input_closed) {
+      conn->input_closed = true;  // no new requests during drain
+      loop_->Modify(conn->fd, /*want_read=*/false, conn->want_write);
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      conn->close_after_flush = true;
+    }
+    FlushConnection(conn);
+  }
+}
+
+void TcpServer::AcceptPending() {
+  for (;;) {
+    sockaddr_in addr{};
+    socklen_t addr_len = sizeof(addr);
+    const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            &addr_len);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      if (config_.log_connections) {
+        std::fprintf(stderr, "tcp: accept failed: %s\n", std::strerror(errno));
+      }
+      break;
+    }
+    if (connections_.size() >= config_.max_connections) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.refused_over_capacity;
+      }
+      if (config_.log_connections) {
+        std::fprintf(stderr, "tcp: refusing %s (at capacity %zu)\n",
+                     PeerName(addr).c_str(), config_.max_connections);
+      }
+      ::close(fd);
+      continue;
+    }
+    try {
+      SetNonBlocking(fd);
+    } catch (const std::exception&) {
+      ::close(fd);
+      continue;
+    }
+    SetNoDelay(fd);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->id = ++next_connection_id_;
+    conn->peer = PeerName(addr);
+    conn->last_activity = std::chrono::steady_clock::now();
+    connections_.emplace(fd, conn);
+    loop_->Add(fd, /*want_read=*/true, /*want_write=*/false);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.accepted;
+      stats_.active = connections_.size();
+    }
+    if (config_.log_connections) {
+      std::fprintf(stderr, "tcp: conn#%llu %s open (%zu active)\n",
+                   static_cast<unsigned long long>(conn->id),
+                   conn->peer.c_str(), connections_.size());
+    }
+  }
+}
+
+void TcpServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  if (conn->input_closed) return;
+  for (;;) {
+    std::uint8_t buf[65536];
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->last_activity = std::chrono::steady_clock::now();
+      try {
+        conn->assembler.Feed(buf, static_cast<std::size_t>(n));
+        while (std::optional<std::vector<std::uint8_t>> frame =
+                   conn->assembler.Next()) {
+          ++conn->frames_in;
+          ScheduleWork(conn, std::move(*frame));
+        }
+      } catch (const std::exception& e) {
+        // Oversized/hostile length prefix: no later byte of this stream can
+        // be trusted. Answer an error after in-flight responses and close —
+        // this connection only; every other one is unaffected.
+        FailConnection(conn, e.what());
+        return;
+      }
+      // Flow control: a client that pipelines requests without draining
+      // responses must stall itself, not grow this connection's queues
+      // until the whole daemon OOMs. Reading resumes once the backlog
+      // halves (FlushConnection).
+      std::size_t backlog;
+      {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        backlog = conn->buffered_bytes;
+      }
+      if (backlog > config_.max_buffered_bytes) {
+        conn->reads_paused = true;
+        loop_->Modify(conn->fd, /*want_read=*/false, conn->want_write);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {  // peer half-closed: serve what arrived, then close
+      if (conn->assembler.buffered() > 0) {
+        // The stream ended inside a frame — same answer as the stdio
+        // loop's ReadFrame: a final id=0 corruption error, not a silent
+        // drop of the truncated tail.
+        FailConnection(conn,
+                       "stream ended inside a frame (" +
+                           std::to_string(conn->assembler.buffered()) +
+                           " trailing byte(s))");
+        return;
+      }
+      conn->input_closed = true;
+      loop_->Modify(conn->fd, /*want_read=*/false, conn->want_write);
+      {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        conn->close_after_flush = true;
+      }
+      FlushConnection(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConnection(conn, std::string("read failed: ") + std::strerror(errno));
+    return;
+  }
+}
+
+void TcpServer::FailConnection(const std::shared_ptr<Connection>& conn,
+                               const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.protocol_errors;
+  }
+  conn->input_closed = true;
+  loop_->Modify(conn->fd, /*want_read=*/false, conn->want_write);
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    ++conn->errors;
+    conn->fail_message = "request stream corrupt: " + message;
+    conn->fail_pending = true;
+    conn->close_after_flush = true;
+  }
+  FlushConnection(conn);
+}
+
+void TcpServer::ScheduleWork(const std::shared_ptr<Connection>& conn,
+                             std::vector<std::uint8_t> frame) {
+  bool enqueue = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->buffered_bytes += frame.size();
+    conn->pending.push_back(std::move(frame));
+    if (!conn->busy) {
+      conn->busy = true;
+      enqueue = true;
+    }
+  }
+  if (enqueue) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      work_queue_.push_back(conn);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+bool TcpServer::FlushConnection(const std::shared_ptr<Connection>& conn) {
+  bool close_now = false;
+  bool want_write = false;
+  std::string close_reason;
+  {
+    std::unique_lock<std::mutex> lock(conn->mutex);
+    if (conn->closed) return false;
+    for (;;) {
+      while (!conn->outbox.empty()) {
+        const std::vector<std::uint8_t>& front = conn->outbox.front();
+        const ssize_t n =
+            ::send(conn->fd, front.data() + conn->outbox_offset,
+                   front.size() - conn->outbox_offset, MSG_NOSIGNAL);
+        if (n > 0) {
+          conn->last_activity = std::chrono::steady_clock::now();
+          conn->outbox_offset += static_cast<std::size_t>(n);
+          conn->buffered_bytes -= static_cast<std::size_t>(n);
+          if (conn->outbox_offset == front.size()) {
+            conn->outbox.pop_front();
+            conn->outbox_offset = 0;
+          }
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        // EPIPE/ECONNRESET: the client vanished mid-response. Its own
+        // problem — drop this connection, everyone else keeps serving.
+        close_reason = std::string("write failed: ") + std::strerror(errno);
+        close_now = true;
+        break;
+      }
+      if (close_now) break;
+      if (!conn->outbox.empty()) {  // kernel buffer full: backpressure
+        want_write = true;
+        break;
+      }
+      if (conn->close_after_flush && conn->pending.empty() && !conn->busy) {
+        if (conn->fail_pending) {
+          // All real responses are out; append the final error frame and
+          // loop once more to write it.
+          Response bail;
+          bail.id = 0;
+          bail.ok = false;
+          bail.error = conn->fail_message;
+          conn->outbox.push_back(FrameBytes(EncodeResponse(bail)));
+          conn->buffered_bytes += conn->outbox.back().size();
+          conn->fail_pending = false;
+          continue;
+        }
+        // Every close_after_flush setter also closed the input first.
+        close_reason = "end of request stream";
+        close_now = true;
+      }
+      break;
+    }
+  }
+  if (close_now) {
+    CloseConnection(conn, close_reason);
+    return false;
+  }
+  // Resume a flow-controlled connection once its backlog has halved.
+  bool resumed = false;
+  if (conn->reads_paused && !conn->input_closed) {
+    std::size_t backlog;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      backlog = conn->buffered_bytes;
+    }
+    if (backlog <= config_.max_buffered_bytes / 2) {
+      conn->reads_paused = false;
+      resumed = true;
+    }
+  }
+  if (want_write != conn->want_write || resumed) {
+    conn->want_write = want_write;
+    loop_->Modify(conn->fd, !conn->input_closed && !conn->reads_paused,
+                  want_write);
+  }
+  return true;
+}
+
+void TcpServer::CloseConnection(const std::shared_ptr<Connection>& conn,
+                                const std::string& reason) {
+  std::uint64_t errors = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->closed) return;
+    conn->closed = true;
+    errors = conn->errors;
+  }
+  loop_->Remove(conn->fd);
+  ::close(conn->fd);
+  connections_.erase(conn->fd);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.active = connections_.size();
+  }
+  if (config_.log_connections) {
+    std::fprintf(stderr,
+                 "tcp: conn#%llu %s closed after %llu frame(s), %llu "
+                 "error(s): %s (%zu active)\n",
+                 static_cast<unsigned long long>(conn->id), conn->peer.c_str(),
+                 static_cast<unsigned long long>(conn->frames_in),
+                 static_cast<unsigned long long>(errors), reason.c_str(),
+                 connections_.size());
+  }
+}
+
+void TcpServer::CloseIdleConnections() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(config_.idle_timeout_ms);
+  std::vector<std::shared_ptr<Connection>> idle;
+  for (const auto& [fd, conn] : connections_) {
+    if (now - conn->last_activity < limit) continue;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      // In-flight work is not idleness: a slow predict must not get its
+      // connection closed underneath the response.
+      if (conn->busy || !conn->pending.empty()) continue;
+    }
+    idle.push_back(conn);
+  }
+  for (const std::shared_ptr<Connection>& conn : idle) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.idle_closed;
+    }
+    CloseConnection(conn, "idle timeout");
+  }
+}
+
+void TcpServer::WorkerMain() {
+  for (;;) {
+    std::shared_ptr<Connection> conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return workers_stop_ || !work_queue_.empty(); });
+      if (work_queue_.empty()) return;  // workers_stop_
+      conn = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+
+    std::vector<std::uint8_t> frame;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      if (conn->pending.empty() || conn->closed) {
+        conn->busy = false;
+        continue;
+      }
+      frame = std::move(conn->pending.front());
+      conn->pending.pop_front();
+      conn->buffered_bytes -= frame.size();
+    }
+
+    // The same request path as the stdio daemon loop: decode errors answer
+    // id=0 (the id cannot be trusted past the failure), request-level
+    // failures come back ok=false from Handle itself.
+    Response response;
+    try {
+      response = server_.Handle(DecodeRequest(frame));
+    } catch (const std::exception& e) {
+      response.id = 0;
+      response.ok = false;
+      response.error = std::string("undecodable request: ") + e.what();
+      server_.RecordUndecodable();
+    }
+    std::vector<std::uint8_t> framed = FrameBytes(EncodeResponse(response));
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.frames_served;
+      if (!response.ok) ++stats_.request_errors;
+    }
+
+    bool requeue = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      if (!conn->closed) {
+        conn->buffered_bytes += framed.size();
+        conn->outbox.push_back(std::move(framed));
+      }
+      if (!response.ok) ++conn->errors;
+      if (!conn->pending.empty() && !conn->closed) {
+        requeue = true;  // stay busy; round-robin via the back of the queue
+      } else {
+        conn->busy = false;
+      }
+    }
+    if (requeue) {
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        work_queue_.push_back(conn);
+      }
+      queue_cv_.notify_one();
+    }
+    {
+      std::lock_guard<std::mutex> lock(flush_mutex_);
+      flush_list_.push_back(std::move(conn));
+    }
+    Wake();
+  }
+}
+
+TcpServerStats TcpServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// TcpClient
+// ---------------------------------------------------------------------------
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) ThrowErrno("tcp client: socket failed");
+  const sockaddr_in addr = MakeAddress(host, port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    ThrowErrno("tcp client: connect to " + host + ":" + std::to_string(port) +
+               " failed");
+  }
+  SetNoDelay(fd_);
+}
+
+TcpClient::~TcpClient() { Close(); }
+
+void TcpClient::Send(const Request& request) {
+  const std::vector<std::uint8_t> framed =
+      FrameBytes(EncodeRequest(request));
+  SendAll(fd_, framed.data(), framed.size(), "send");
+}
+
+Response TcpClient::Receive() {
+  std::uint8_t prefix[4];
+  RecvExact(fd_, prefix, sizeof(prefix), "frame length prefix");
+  std::uint32_t size = 0;
+  for (int i = 0; i < 4; ++i) {
+    size |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+  }
+  if (size > kMaxFrameBytes) {
+    throw std::runtime_error("tcp client: response frame length " +
+                             std::to_string(size) +
+                             " exceeds kMaxFrameBytes (corrupt stream?)");
+  }
+  std::vector<std::uint8_t> payload(size);
+  if (size > 0) RecvExact(fd_, payload.data(), size, "frame payload");
+  return DecodeResponse(payload);
+}
+
+Response TcpClient::Roundtrip(const Request& request) {
+  Send(request);
+  return Receive();
+}
+
+void TcpClient::ShutdownWrite() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_WR);
+}
+
+void TcpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace rrambnn::serve

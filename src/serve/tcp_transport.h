@@ -1,0 +1,255 @@
+// Concurrent TCP transport of the model-serving daemon: the network front
+// end the stdio daemon loop (model_server.h) was missing. One event-loop
+// thread (event_loop.h: epoll, or poll as the portable fallback) owns every
+// socket and multiplexes many concurrent connections; complete request
+// frames are handed to a small worker pool that routes them through the
+// same ModelServer::Handle the pipe mode uses — every verb behaves
+// identically over stdio and TCP, and served predictions stay bit-identical
+// to in-process eval.
+//
+//   serve::ModelServer server(registry_config);
+//   server.registry().Register("ecg", "ecg.rbnn");
+//   serve::TcpServer tcp(server);
+//   const std::uint16_t port = tcp.Start();   // bind + listen + workers
+//   tcp.Run();                                // event loop until RequestStop
+//
+// Threading / ownership (see docs/engine.md "TCP transport"):
+//   - the Run() thread owns the listen socket, the event loop and the
+//     connection table; it does all reads, writes and fd lifecycle;
+//   - workers only ever touch Connection state behind its mutex (pending
+//     frames in, encoded response bytes out) and wake the loop through a
+//     self-pipe — interest sets are never mutated cross-thread;
+//   - frames of one connection are processed in arrival order (responses
+//     come back in request order); different connections proceed in
+//     parallel, bounded by the worker count and per-model serve mutexes.
+//
+// Lifecycle: per-connection incremental frame reassembly (partial reads,
+// coalesced frames), write backpressure via EPOLLOUT/POLLOUT, an idle
+// timeout, a max-connections cap, per-connection error isolation (a
+// malformed or vanished client closes only its own connection), and a
+// SIGTERM-friendly graceful drain (RequestStop is async-signal-safe).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/event_loop.h"
+#include "serve/model_server.h"
+#include "serve/protocol.h"
+
+namespace rrambnn::serve {
+
+/// Incremental reassembly of length-prefixed frames from a byte stream that
+/// arrives in arbitrary pieces: feed whatever recv() returned, then drain
+/// complete frames. The streaming counterpart of protocol.h's ReadFrame.
+class FrameAssembler {
+ public:
+  void Feed(const std::uint8_t* data, std::size_t n);
+
+  /// Next complete frame payload, or std::nullopt when more bytes are
+  /// needed. Throws std::runtime_error when the buffered length prefix
+  /// exceeds kMaxFrameBytes — the stream is hostile or corrupt and no
+  /// later byte of it can be trusted.
+  std::optional<std::vector<std::uint8_t>> Next();
+
+  /// Bytes buffered but not yet returned as frames.
+  std::size_t buffered() const { return buffer_.size() - offset_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t offset_ = 0;  // consumed prefix of buffer_
+};
+
+struct TcpServerConfig {
+  /// IPv4 dotted-quad listen address.
+  std::string host = "127.0.0.1";
+  /// 0 picks a kernel-assigned ephemeral port (resolved by Start()).
+  std::uint16_t port = 0;
+  std::size_t worker_threads = 4;
+  /// Connections accepted beyond this are closed immediately.
+  std::size_t max_connections = 256;
+  /// > 0: close connections with no traffic for this long.
+  int idle_timeout_ms = 0;
+  /// Per-connection flow control: reading from a connection pauses while
+  /// its queued request frames + unsent response bytes exceed this, and
+  /// resumes once the backlog halves — a client that pipelines requests
+  /// without draining responses stalls itself, not the server.
+  std::size_t max_buffered_bytes = 32u << 20;  // 32 MiB
+  /// Force-close window of a graceful drain: connections that have not
+  /// flushed this long after RequestStop are dropped.
+  int drain_timeout_ms = 5000;
+  /// Use the poll() event backend even where epoll exists.
+  bool force_poll = false;
+  /// Per-connection open/close and error lines on stderr (operability).
+  bool log_connections = true;
+};
+
+/// Counters of one TcpServer, snapshot by stats().
+struct TcpServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t active = 0;
+  std::uint64_t frames_served = 0;
+  /// ok=false responses (request-level failures; the connection survives).
+  std::uint64_t request_errors = 0;
+  /// Oversized or undecodable frames (the connection is closed).
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t idle_closed = 0;
+  std::uint64_t refused_over_capacity = 0;
+};
+
+class TcpServer {
+ public:
+  /// `server` must outlive the TcpServer; its registry is shared with any
+  /// other transport (the stdio loop and a TcpServer can serve one
+  /// registry at once).
+  explicit TcpServer(ModelServer& server, TcpServerConfig config = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens and spawns the worker pool. Returns the bound port
+  /// (resolving an ephemeral config.port == 0). Throws std::runtime_error
+  /// when the address cannot be bound.
+  std::uint16_t Start();
+
+  /// Runs the event loop on the calling thread: accepts, reads, dispatches
+  /// and writes until RequestStop() completes a graceful drain. Joins the
+  /// worker pool before returning.
+  void Run();
+
+  /// Requests a graceful drain: stop accepting, finish in-flight requests,
+  /// flush responses, then Run() returns. Async-signal-safe (an atomic
+  /// store and one write() to the wake pipe), so a SIGTERM handler may
+  /// call it directly. Idempotent.
+  void RequestStop();
+
+  /// The bound port (valid after Start()).
+  std::uint16_t port() const { return port_; }
+  /// The event backend actually in use ("epoll" or "poll").
+  const char* loop_name() const;
+
+  TcpServerStats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;  // monotonic accept counter, for log lines
+    std::string peer;      // "ip:port" of the remote end
+    // -- loop-thread-only state --
+    FrameAssembler assembler;
+    bool want_write = false;   // mirror of the registered interest set
+    bool input_closed = false; // peer half-closed or reading was abandoned
+    bool reads_paused = false; // flow control: backlog over the byte cap
+    std::chrono::steady_clock::time_point last_activity;
+    std::uint64_t frames_in = 0;
+    // -- cross-thread state, guarded by mutex --
+    std::mutex mutex;
+    std::uint64_t errors = 0;  // ok=false responses + protocol errors
+    std::deque<std::vector<std::uint8_t>> pending;  // complete request frames
+    bool busy = false;          // a worker currently owns this connection
+    std::deque<std::vector<std::uint8_t>> outbox;   // framed response bytes
+    std::size_t outbox_offset = 0;  // sent prefix of outbox.front()
+    std::size_t buffered_bytes = 0;  // pending + unsent outbox bytes
+    bool close_after_flush = false;
+    bool closed = false;        // fd is gone; workers must drop their output
+    // A protocol failure (oversized prefix) answers one final id=0 error
+    // frame *after* every in-flight response has flushed, then closes —
+    // same ordering as the stdio loop's bail response.
+    std::string fail_message;
+    bool fail_pending = false;
+  };
+
+  void AcceptPending();
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  /// Writes as much buffered output as the socket accepts; updates write
+  /// interest; closes when flushed and close_after_flush. Returns false if
+  /// the connection was closed.
+  bool FlushConnection(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(const std::shared_ptr<Connection>& conn,
+                       const std::string& reason);
+  /// Queues an error response + close on a connection whose stream can no
+  /// longer be trusted (loop thread).
+  void FailConnection(const std::shared_ptr<Connection>& conn,
+                      const std::string& message);
+  void ScheduleWork(const std::shared_ptr<Connection>& conn,
+                    std::vector<std::uint8_t> frame);
+  void WorkerMain();
+  void Wake();
+  void DrainWakePipe();
+  void BeginDrain();
+  void CloseIdleConnections();
+  int WaitTimeoutMs() const;
+
+  ModelServer& server_;
+  TcpServerConfig config_;
+
+  std::unique_ptr<EventLoop> loop_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] read (loop), [1] write (any)
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_requested_{false};
+  bool draining_ = false;
+  std::chrono::steady_clock::time_point drain_deadline_;
+
+  // Connection table: loop thread only. Workers hold shared_ptrs.
+  std::map<int, std::shared_ptr<Connection>> connections_;
+  std::uint64_t next_connection_id_ = 0;
+
+  // Worker pool.
+  std::vector<std::thread> workers_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Connection>> work_queue_;
+  bool workers_stop_ = false;
+
+  // Connections with fresh worker output, awaiting a loop-thread flush.
+  std::mutex flush_mutex_;
+  std::vector<std::shared_ptr<Connection>> flush_list_;
+
+  mutable std::mutex stats_mutex_;
+  TcpServerStats stats_;
+};
+
+/// Small blocking client of the TCP transport: one connection, framed
+/// request/response round trips. Used by examples/model_client.cpp
+/// (--connect mode), the TCP throughput bench and the transport tests.
+class TcpClient {
+ public:
+  /// Connects (blocking). Throws std::runtime_error with the socket error
+  /// text ("connection refused", ...) on failure.
+  TcpClient(const std::string& host, std::uint16_t port);
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  void Send(const Request& request);
+  /// Blocks for one framed response. Throws std::runtime_error when the
+  /// server closes the connection or the frame arrives truncated.
+  Response Receive();
+  Response Roundtrip(const Request& request);
+
+  /// Half-closes the sending direction (the TCP analogue of request-stream
+  /// EOF); responses can still be received.
+  void ShutdownWrite();
+  void Close();
+
+  /// The raw socket, for tests that need byte-level control.
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace rrambnn::serve

@@ -1,0 +1,133 @@
+// Readiness-notification backends of the TCP transport: both the epoll and
+// the poll event loop must report the same readable/writable transitions on
+// the same fds (the transport is backend-agnostic, so the two must be
+// interchangeable).
+#include "serve/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include <unistd.h>
+
+namespace rrambnn::serve {
+namespace {
+
+class Pipe {
+ public:
+  Pipe() {
+    if (::pipe(fds_) < 0) throw std::runtime_error("pipe failed");
+  }
+  ~Pipe() {
+    ::close(fds_[0]);
+    ::close(fds_[1]);
+  }
+  int read_fd() const { return fds_[0]; }
+  int write_fd() const { return fds_[1]; }
+  void WriteByte() { ASSERT_EQ(::write(fds_[1], "x", 1), 1); }
+
+ private:
+  int fds_[2];
+};
+
+class EventLoopTest : public ::testing::TestWithParam<bool> {
+ protected:
+  std::unique_ptr<EventLoop> MakeLoop() {
+    return MakeEventLoop(/*force_poll=*/GetParam());
+  }
+};
+
+TEST_P(EventLoopTest, ReportsItsBackendName) {
+  const auto loop = MakeLoop();
+#ifdef __linux__
+  EXPECT_STREQ(loop->name(), GetParam() ? "poll" : "epoll");
+#else
+  EXPECT_STREQ(loop->name(), "poll");
+#endif
+}
+
+TEST_P(EventLoopTest, ReadableOnlyAfterDataArrives) {
+  const auto loop = MakeLoop();
+  Pipe pipe;
+  loop->Add(pipe.read_fd(), /*want_read=*/true, /*want_write=*/false);
+
+  std::vector<IoEvent> events;
+  EXPECT_EQ(loop->Wait(events, /*timeout_ms=*/0), 0);  // nothing yet
+
+  pipe.WriteByte();
+  ASSERT_EQ(loop->Wait(events, /*timeout_ms=*/1000), 1);
+  EXPECT_EQ(events[0].fd, pipe.read_fd());
+  EXPECT_TRUE(events[0].readable);
+  EXPECT_FALSE(events[0].writable);
+}
+
+TEST_P(EventLoopTest, WriteInterestFiresOnWritableFd) {
+  const auto loop = MakeLoop();
+  Pipe pipe;
+  loop->Add(pipe.write_fd(), /*want_read=*/false, /*want_write=*/true);
+
+  std::vector<IoEvent> events;
+  ASSERT_EQ(loop->Wait(events, /*timeout_ms=*/1000), 1);
+  EXPECT_EQ(events[0].fd, pipe.write_fd());
+  EXPECT_TRUE(events[0].writable);
+}
+
+TEST_P(EventLoopTest, ModifyTogglesInterest) {
+  const auto loop = MakeLoop();
+  Pipe pipe;
+  pipe.WriteByte();
+  loop->Add(pipe.read_fd(), /*want_read=*/true, /*want_write=*/false);
+
+  std::vector<IoEvent> events;
+  ASSERT_EQ(loop->Wait(events, 1000), 1);
+  loop->Modify(pipe.read_fd(), /*want_read=*/false, /*want_write=*/false);
+  EXPECT_EQ(loop->Wait(events, 0), 0);  // data pending but interest off
+  loop->Modify(pipe.read_fd(), /*want_read=*/true, /*want_write=*/false);
+  ASSERT_EQ(loop->Wait(events, 1000), 1);
+  EXPECT_TRUE(events[0].readable);
+}
+
+TEST_P(EventLoopTest, RemovedFdStopsReporting) {
+  const auto loop = MakeLoop();
+  Pipe pipe;
+  pipe.WriteByte();
+  loop->Add(pipe.read_fd(), /*want_read=*/true, /*want_write=*/false);
+  loop->Remove(pipe.read_fd());
+
+  std::vector<IoEvent> events;
+  EXPECT_EQ(loop->Wait(events, 0), 0);
+}
+
+TEST_P(EventLoopTest, DoubleAddAndUnknownModifyThrow) {
+  const auto loop = MakeLoop();
+  Pipe pipe;
+  loop->Add(pipe.read_fd(), true, false);
+  EXPECT_THROW(loop->Add(pipe.read_fd(), true, false), std::runtime_error);
+  EXPECT_THROW(loop->Modify(pipe.write_fd(), true, false),
+               std::runtime_error);
+  EXPECT_THROW(loop->Remove(pipe.write_fd()), std::runtime_error);
+}
+
+TEST_P(EventLoopTest, HangupReportedWhenWriterCloses) {
+  const auto loop = MakeLoop();
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  loop->Add(fds[0], /*want_read=*/true, /*want_write=*/false);
+  ::close(fds[1]);  // writer gone: POLLHUP/EPOLLHUP on the read end
+
+  std::vector<IoEvent> events;
+  ASSERT_GE(loop->Wait(events, 1000), 1);
+  EXPECT_TRUE(events[0].hangup || events[0].readable);
+  loop->Remove(fds[0]);
+  ::close(fds[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventLoopTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "ForcedPoll" : "PlatformBest";
+                         });
+
+}  // namespace
+}  // namespace rrambnn::serve

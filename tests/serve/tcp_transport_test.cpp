@@ -1,0 +1,455 @@
+// The TCP serving transport: incremental frame reassembly (1-byte reads,
+// coalesced frames), the concurrent server's lifecycle edge cases
+// (oversized-frame isolation, disconnect mid-response, idle timeout,
+// graceful drain, connection cap), the poll() fallback, and the acceptance
+// property — a TCP-served prediction is bit-identical to
+// Engine::FromArtifact + Predict in-process on all four backends.
+#include "serve/tcp_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+
+#include "serve_test_util.h"
+
+namespace rrambnn::serve {
+namespace {
+
+Request PredictRequest(std::uint64_t id, const std::string& model,
+                       Tensor batch) {
+  Request request;
+  request.id = id;
+  request.kind = RequestKind::kPredict;
+  request.model = model;
+  request.batch = std::move(batch);
+  return request;
+}
+
+Request VerbRequest(std::uint64_t id, RequestKind kind,
+                    const std::string& model = "") {
+  Request request;
+  request.id = id;
+  request.kind = kind;
+  request.model = model;
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// FrameAssembler
+// ---------------------------------------------------------------------------
+
+TEST(FrameAssembler, ReassemblesFromOneByteFeeds) {
+  const std::vector<std::uint8_t> payload = {10, 20, 30, 40, 50};
+  const std::vector<std::uint8_t> framed = FrameBytes(payload);
+
+  FrameAssembler assembler;
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    EXPECT_FALSE(assembler.Next().has_value()) << "frame complete early at "
+                                               << i;
+    assembler.Feed(&framed[i], 1);
+  }
+  const auto frame = assembler.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, payload);
+  EXPECT_FALSE(assembler.Next().has_value());
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(FrameAssembler, DrainsCoalescedFramesFromOneFeed) {
+  const std::vector<std::uint8_t> a = {1, 2, 3};
+  const std::vector<std::uint8_t> b = {};  // empty frames are legal
+  const std::vector<std::uint8_t> c = {9, 8};
+  std::vector<std::uint8_t> wire;
+  for (const auto* payload : {&a, &b, &c}) {
+    const std::vector<std::uint8_t> framed = FrameBytes(*payload);
+    wire.insert(wire.end(), framed.begin(), framed.end());
+  }
+  // Plus a partial fourth frame: 4-byte prefix, missing payload.
+  const std::vector<std::uint8_t> partial = FrameBytes(a);
+  wire.insert(wire.end(), partial.begin(), partial.begin() + 5);
+
+  FrameAssembler assembler;
+  assembler.Feed(wire.data(), wire.size());
+  EXPECT_EQ(assembler.Next().value(), a);
+  EXPECT_EQ(assembler.Next().value(), b);
+  EXPECT_EQ(assembler.Next().value(), c);
+  EXPECT_FALSE(assembler.Next().has_value());  // fourth frame incomplete
+  assembler.Feed(partial.data() + 5, partial.size() - 5);
+  EXPECT_EQ(assembler.Next().value(), a);
+}
+
+TEST(FrameAssembler, OversizedPrefixThrowsBeforeAllocation) {
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::uint8_t prefix[4];
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<std::uint8_t>((huge >> (8 * i)) & 0xFF);
+  }
+  FrameAssembler assembler;
+  assembler.Feed(prefix, sizeof(prefix));
+  EXPECT_THROW((void)assembler.Next(), std::runtime_error);
+}
+
+TEST(FrameAssembler, LongLivedStreamDoesNotGrowWithoutBound) {
+  FrameAssembler assembler;
+  const std::vector<std::uint8_t> framed =
+      FrameBytes(std::vector<std::uint8_t>(100, 7));
+  for (int i = 0; i < 1000; ++i) {
+    assembler.Feed(framed.data(), framed.size());
+    ASSERT_TRUE(assembler.Next().has_value());
+  }
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TcpServer integration
+// ---------------------------------------------------------------------------
+
+TcpServerConfig QuietConfig() {
+  TcpServerConfig config;
+  config.log_connections = false;
+  config.worker_threads = 2;
+  return config;
+}
+
+/// A running server over the shared trained artifact: Start() + Run() on a
+/// background thread, drained on destruction.
+class TestServer {
+ public:
+  explicit TestServer(RegistryConfig registry_config = {},
+                      TcpServerConfig tcp_config = QuietConfig())
+      : server_(registry_config), tcp_(server_, tcp_config) {
+    server_.registry().Register("ecg", GetSharedArtifact().path);
+    port_ = tcp_.Start();
+    thread_ = std::thread([this] { tcp_.Run(); });
+  }
+
+  ~TestServer() {
+    tcp_.RequestStop();
+    thread_.join();
+  }
+
+  std::uint16_t port() const { return port_; }
+  ModelServer& server() { return server_; }
+  TcpServer& tcp() { return tcp_; }
+
+ private:
+  ModelServer server_;
+  TcpServer tcp_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+/// The acceptance property, TCP edition: a prediction served over the
+/// socket transport equals the in-process Engine::FromArtifact answer
+/// bit-for-bit, per backend.
+TEST(TcpTransport, PredictBitIdenticalToInProcessOnAllBackends) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  for (const std::string backend :
+       {"reference", "fault", "rram", "rram-sharded"}) {
+    RegistryConfig registry_config;
+    registry_config.backend_override = backend;
+    TestServer server(registry_config);
+
+    TcpClient client("127.0.0.1", server.port());
+    const Response response =
+        client.Roundtrip(PredictRequest(1, "ecg", shared.data.x));
+    ASSERT_TRUE(response.ok) << backend << ": " << response.error;
+    EXPECT_EQ(response.backend, backend);
+    EXPECT_EQ(response.predictions,
+              InProcessPredictions(backend, shared.data.x))
+        << backend;
+  }
+}
+
+TEST(TcpTransport, AllVerbsBehaveLikeTheStdioLoop) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  TestServer server;
+  TcpClient client("127.0.0.1", server.port());
+
+  const Response predict =
+      client.Roundtrip(PredictRequest(1, "ecg", shared.data.x));
+  ASSERT_TRUE(predict.ok) << predict.error;
+  EXPECT_EQ(predict.id, 1u);
+
+  const Response stats = client.Roundtrip(VerbRequest(2, RequestKind::kStats));
+  ASSERT_TRUE(stats.ok);
+  ASSERT_EQ(stats.models.size(), 1u);
+  EXPECT_EQ(stats.models[0].requests, 1u);
+
+  const Response list = client.Roundtrip(VerbRequest(3, RequestKind::kList));
+  ASSERT_TRUE(list.ok);
+  EXPECT_TRUE(list.models[0].resident);
+
+  const Response reload =
+      client.Roundtrip(VerbRequest(4, RequestKind::kReload, "ecg"));
+  ASSERT_TRUE(reload.ok);
+  EXPECT_EQ(server.server().registry().resident_count(), 0u);
+
+  // Request-level failure: an error response, and the connection survives.
+  const Response ghost =
+      client.Roundtrip(PredictRequest(5, "ghost", Tensor({1, 4})));
+  EXPECT_FALSE(ghost.ok);
+  EXPECT_EQ(ghost.id, 5u);
+  const Response again =
+      client.Roundtrip(PredictRequest(6, "ecg", shared.data.x));
+  EXPECT_TRUE(again.ok) << again.error;
+}
+
+TEST(TcpTransport, FrameSplitAcrossManyOneByteTcpWrites) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  TestServer server;
+  TcpClient client("127.0.0.1", server.port());
+
+  const std::vector<std::uint8_t> framed =
+      FrameBytes(EncodeRequest(PredictRequest(7, "ecg", shared.data.x)));
+  for (const std::uint8_t byte : framed) {
+    ASSERT_EQ(::send(client.fd(), &byte, 1, MSG_NOSIGNAL), 1);
+  }
+  const Response response = client.Receive();
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.id, 7u);
+  EXPECT_EQ(response.predictions,
+            InProcessPredictions("reference", shared.data.x));
+}
+
+TEST(TcpTransport, CoalescedFramesInOneWriteAnswerInOrder) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  TestServer server;
+  TcpClient client("127.0.0.1", server.port());
+
+  std::vector<std::uint8_t> wire;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const std::vector<std::uint8_t> framed =
+        FrameBytes(EncodeRequest(id == 2
+                                     ? VerbRequest(id, RequestKind::kList)
+                                     : PredictRequest(id, "ecg",
+                                                      shared.data.x)));
+    wire.insert(wire.end(), framed.begin(), framed.end());
+  }
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(client.fd(), wire.data() + sent, wire.size() - sent,
+               MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+  // One connection's frames are processed in arrival order.
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const Response response = client.Receive();
+    ASSERT_TRUE(response.ok) << response.error;
+    EXPECT_EQ(response.id, id);
+  }
+}
+
+TEST(TcpTransport, PipelineThenHalfCloseFlushesEverythingThenEof) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  TestServer server;
+  TcpClient client("127.0.0.1", server.port());
+
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    client.Send(PredictRequest(id, "ecg", shared.data.x));
+  }
+  client.ShutdownWrite();  // request-stream EOF, TCP edition
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const Response response = client.Receive();
+    ASSERT_TRUE(response.ok) << response.error;
+    EXPECT_EQ(response.id, id);
+  }
+  // All requests answered; the server now closes its side.
+  EXPECT_THROW((void)client.Receive(), std::runtime_error);
+}
+
+/// Half-close with a partial frame still buffered is stream corruption,
+/// answered exactly like the stdio loop: prior responses, one final id=0
+/// error, then EOF — never a silent drop of the truncated tail.
+TEST(TcpTransport, TruncatedTrailingFrameAtHalfCloseIsReported) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  TestServer server;
+  TcpClient client("127.0.0.1", server.port());
+
+  client.Send(PredictRequest(1, "ecg", shared.data.x));
+  const std::uint8_t partial_prefix[2] = {0x08, 0x00};  // cut mid-prefix
+  ASSERT_EQ(::send(client.fd(), partial_prefix, sizeof(partial_prefix),
+                   MSG_NOSIGNAL),
+            2);
+  client.ShutdownWrite();
+
+  const Response first = client.Receive();
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.id, 1u);
+  const Response bail = client.Receive();
+  EXPECT_FALSE(bail.ok);
+  EXPECT_EQ(bail.id, 0u);
+  EXPECT_NE(bail.error.find("corrupt"), std::string::npos) << bail.error;
+  EXPECT_THROW((void)client.Receive(), std::runtime_error);
+}
+
+TEST(TcpTransport, OversizedFrameClosesOnlyTheGuiltyConnection) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  TestServer server;
+  TcpClient guilty("127.0.0.1", server.port());
+  TcpClient innocent("127.0.0.1", server.port());
+
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::uint8_t prefix[4];
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<std::uint8_t>((huge >> (8 * i)) & 0xFF);
+  }
+  ASSERT_EQ(::send(guilty.fd(), prefix, sizeof(prefix), MSG_NOSIGNAL), 4);
+
+  // The guilty connection gets one final id=0 error response, then EOF.
+  const Response bail = guilty.Receive();
+  EXPECT_FALSE(bail.ok);
+  EXPECT_EQ(bail.id, 0u);
+  EXPECT_NE(bail.error.find("corrupt"), std::string::npos) << bail.error;
+  EXPECT_THROW((void)guilty.Receive(), std::runtime_error);
+
+  // Every other connection keeps serving, bit-identically.
+  const Response response =
+      innocent.Roundtrip(PredictRequest(9, "ecg", shared.data.x));
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.predictions,
+            InProcessPredictions("reference", shared.data.x));
+  EXPECT_GE(server.tcp().stats().protocol_errors, 1u);
+}
+
+TEST(TcpTransport, ClientDisconnectMidResponseIsIsolated) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  TestServer server;
+  {
+    TcpClient vanishing("127.0.0.1", server.port());
+    vanishing.Send(PredictRequest(1, "ecg", shared.data.x));
+    // Gone before the response: the server's write hits a dead socket.
+  }
+  // The server survives and other connections serve normally.
+  TcpClient client("127.0.0.1", server.port());
+  for (int i = 0; i < 3; ++i) {
+    const Response response =
+        client.Roundtrip(PredictRequest(10 + i, "ecg", shared.data.x));
+    ASSERT_TRUE(response.ok) << response.error;
+    EXPECT_EQ(response.predictions,
+              InProcessPredictions("reference", shared.data.x));
+  }
+}
+
+TEST(TcpTransport, IdleConnectionsAreClosedAfterTheTimeout) {
+  TcpServerConfig config = QuietConfig();
+  config.idle_timeout_ms = 100;
+  TestServer server({}, config);
+
+  TcpClient idle("127.0.0.1", server.port());
+  // No request: the server closes the connection; the blocking Receive
+  // surfaces that as an error instead of hanging.
+  EXPECT_THROW((void)idle.Receive(), std::runtime_error);
+  EXPECT_GE(server.tcp().stats().idle_closed, 1u);
+}
+
+TEST(TcpTransport, ConnectionCapRefusesTheOverflowOnly) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  TcpServerConfig config = QuietConfig();
+  config.max_connections = 1;
+  TestServer server({}, config);
+
+  TcpClient first("127.0.0.1", server.port());
+  ASSERT_TRUE(first.Roundtrip(PredictRequest(1, "ecg", shared.data.x)).ok);
+
+  TcpClient second("127.0.0.1", server.port());
+  EXPECT_THROW(
+      {
+        second.Send(VerbRequest(2, RequestKind::kList));
+        (void)second.Receive();
+      },
+      std::runtime_error);
+
+  // The resident connection is untouched.
+  EXPECT_TRUE(first.Roundtrip(VerbRequest(3, RequestKind::kList)).ok);
+}
+
+TEST(TcpTransport, GracefulStopDrainsAndRunReturns) {
+  auto server = std::make_unique<TestServer>();
+  TcpClient client("127.0.0.1", server->port());
+  ASSERT_TRUE(client.Roundtrip(VerbRequest(1, RequestKind::kList)).ok);
+
+  // Destruction requests the stop and joins Run(); the open connection is
+  // drained (flushed + closed), not leaked. Hanging here is the failure.
+  server.reset();
+  EXPECT_THROW((void)client.Receive(), std::runtime_error);
+}
+
+TEST(TcpTransport, PollFallbackServesIdentically) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  TcpServerConfig config = QuietConfig();
+  config.force_poll = true;
+  TestServer server({}, config);
+  EXPECT_STREQ(server.tcp().loop_name(), "poll");
+
+  TcpClient client("127.0.0.1", server.port());
+  const Response response =
+      client.Roundtrip(PredictRequest(1, "ecg", shared.data.x));
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.predictions,
+            InProcessPredictions("reference", shared.data.x));
+}
+
+/// Read-side flow control: a client that pipelines requests without
+/// draining responses gets its reads paused (bounded server memory), then
+/// resumed as the backlog flushes — and every request is still answered,
+/// in order, bit-identically.
+TEST(TcpTransport, FlowControlPausesReadsWithoutLosingRequests) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  TcpServerConfig config = QuietConfig();
+  // Smaller than one predict request frame (~19 KB of rows), so every
+  // frame trips the pause and the resume path runs repeatedly.
+  config.max_buffered_bytes = 2048;
+  TestServer server({}, config);
+  TcpClient client("127.0.0.1", server.port());
+
+  constexpr std::uint64_t kRequests = 12;
+  for (std::uint64_t id = 1; id <= kRequests; ++id) {
+    client.Send(PredictRequest(id, "ecg", shared.data.x));
+  }
+  const std::vector<std::int64_t> expected =
+      InProcessPredictions("reference", shared.data.x);
+  for (std::uint64_t id = 1; id <= kRequests; ++id) {
+    const Response response = client.Receive();
+    ASSERT_TRUE(response.ok) << response.error;
+    EXPECT_EQ(response.id, id);
+    EXPECT_EQ(response.predictions, expected);
+  }
+}
+
+TEST(TcpTransport, ManyConcurrentClientsAllServedCorrectly) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  const std::vector<std::int64_t> expected =
+      InProcessPredictions("reference", shared.data.x);
+  TestServer server;
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kClients, 1);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TcpClient client("127.0.0.1", server.port());
+      for (int i = 0; i < 3; ++i) {
+        const Response response = client.Roundtrip(PredictRequest(
+            static_cast<std::uint64_t>(c * 100 + i), "ecg", shared.data.x));
+        if (!response.ok || response.predictions != expected) return;
+      }
+      failures[c] = 0;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+  EXPECT_GE(server.tcp().stats().accepted, 8u);
+}
+
+}  // namespace
+}  // namespace rrambnn::serve

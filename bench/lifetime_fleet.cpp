@@ -1,0 +1,248 @@
+// Fleet-lifetime benchmark: the self-healing argument of the health
+// subsystem, measured. One trained ECG demo model lives through the same
+// simulated aging scenario (per-step drift ramp, a hot-spot chip, one
+// sudden-death chip) on a 4-chip rram-sharded fabric under three regimes:
+//
+//   healing-on   periodic HealthManager sweeps estimate per-chip BER from
+//                readback, route sick chips out of serving, reprogram and
+//                verify them, then route them back in (the subsystem's
+//                full loop);
+//   healing-off  the same sweeps estimate and classify but never heal or
+//                re-route — what an unmanaged fleet experiences;
+//   ecc-secded   the conventional-baseline arm: a 1T1R + SECDED(72,64)
+//                chip exposed to the same cumulative raw BER, served
+//                through the software fault backend at the analytic
+//                residual error rate (arch/ecc_baseline.h), no healing.
+//
+// Emits machine-readable BENCH_lifetime.json with per-step accuracies,
+// health counters and the acceptance verdicts (healing-on end accuracy
+// within 1% of the healthy baseline; healing-off measurably degraded).
+//
+// Usage: bench_lifetime_fleet [--smoke] [--out PATH]
+//   --smoke   fewer training epochs and aging steps (CI smoke test)
+//   --out     output path of the JSON report (default BENCH_lifetime.json)
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "arch/ecc_baseline.h"
+#include "health/aging.h"
+#include "serve/demo_tasks.h"
+
+namespace {
+
+using namespace rrambnn;
+namespace fs = std::filesystem;
+
+constexpr int kShards = 4;
+
+struct ArmResult {
+  std::string name;
+  std::vector<double> accuracy;  // per step, after that step's drift+policy
+  std::uint64_t reprograms = 0;
+  std::uint64_t state_changes = 0;
+  bool saw_sick = false;
+  double final_accuracy = 0.0;
+};
+
+health::AgingScenario MakeScenario(bool smoke) {
+  health::AgingScenario scenario;
+  scenario.base_ber_per_step = 0.004;
+  scenario.ramp_per_step = 0.001;
+  scenario.hot_chip = 2;
+  scenario.hot_multiplier = 3.0;
+  scenario.sudden_death_chip = 1;
+  scenario.sudden_death_step = smoke ? 2 : 5;
+  scenario.sudden_death_ber = 0.25;
+  scenario.seed = 2026;
+  return scenario;
+}
+
+/// Lives one aging lifetime on the rram-sharded backend under `policy`.
+ArmResult RunShardedArm(const std::string& name, const std::string& artifact,
+                        const serve::DemoTask& task,
+                        const health::HealthPolicy& policy,
+                        const health::AgingScenario& scenario,
+                        std::int64_t steps, std::int64_t epochs) {
+  engine::EngineConfig config = serve::DemoServingConfig(epochs);
+  config.WithBackend("rram-sharded").WithRramShards(kShards);
+  config.WithHealthPolicy(policy);
+  engine::Engine engine = engine::Engine::FromArtifact(artifact, config);
+  engine.Deploy();
+  health::AgingSimulator aging(*engine.backend().health_adapter(), scenario);
+  ArmResult result;
+  result.name = name;
+  for (std::int64_t step = 0; step < steps; ++step) {
+    aging.Step();
+    engine.Health().CheckNow();  // heals only when the policy says so
+    result.accuracy.push_back(engine.Evaluate(task.val));
+  }
+  const health::HealthManager& manager = engine.Health();
+  result.reprograms = manager.total_reprograms();
+  result.state_changes = manager.state_changes();
+  for (const health::HealthEvent& event : manager.events()) {
+    if (event.state == health::ChipState::kSick) result.saw_sick = true;
+  }
+  result.final_accuracy = result.accuracy.back();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_lifetime.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  const std::int64_t epochs = smoke ? 1 : 3;
+  const std::int64_t steps = smoke ? 4 : 8;
+  const health::AgingScenario scenario = MakeScenario(smoke);
+
+  // -- Train the demo model once; every arm serves the same artifact --------
+  const fs::path dir = fs::temp_directory_path() / "rrambnn_bench_lifetime";
+  fs::create_directories(dir);
+  const std::string artifact = (dir / "ecg.rbnn").string();
+  serve::DemoTask task = serve::MakeDemoTask("ecg");
+  {
+    engine::Engine trainer(serve::DemoServingConfig(epochs), task.factory);
+    std::printf("training ecg (%lld epochs)...\n",
+                static_cast<long long>(epochs));
+    (void)trainer.Train(task.train, task.val);
+    trainer.SaveArtifact(artifact);
+  }
+
+  // -- Healthy baseline: the sharded fabric before any drift ----------------
+  double baseline = 0.0;
+  {
+    engine::EngineConfig config = serve::DemoServingConfig(epochs);
+    config.WithBackend("rram-sharded").WithRramShards(kShards);
+    engine::Engine engine = engine::Engine::FromArtifact(artifact, config);
+    engine.Deploy();
+    baseline = engine.Evaluate(task.val);
+  }
+  std::printf("healthy baseline accuracy %.4f (%d-chip rram-sharded)\n",
+              baseline, kShards);
+
+  health::HealthPolicy healing_on;  // defaults: auto_heal, route-around
+  health::HealthPolicy healing_off;
+  healing_off.auto_heal = false;
+  healing_off.route_around_sick = false;
+
+  std::vector<ArmResult> arms;
+  arms.push_back(RunShardedArm("healing-on", artifact, task, healing_on,
+                               scenario, steps, epochs));
+  arms.push_back(RunShardedArm("healing-off", artifact, task, healing_off,
+                               scenario, steps, epochs));
+
+  // -- ECC comparison arm ---------------------------------------------------
+  {
+    ArmResult ecc;
+    ecc.name = "ecc-secded";
+    double p_cum = 0.0;  // cumulative raw stored-bit error probability
+    for (std::int64_t step = 0; step < steps; ++step) {
+      // Fleet-wide schedule of a plain chip (no hot spot, no sudden death):
+      // base + ramp * step, composed — a bit flipped twice is correct again.
+      const double b = scenario.base_ber_per_step +
+                       scenario.ramp_per_step * static_cast<double>(step);
+      p_cum = p_cum * (1.0 - b) + (1.0 - p_cum) * b;
+      const double residual = arch::SecdedResidualBer(p_cum);
+      engine::EngineConfig config = serve::DemoServingConfig(epochs);
+      config.WithBackend("fault")
+          .WithFaultBer(residual, scenario.seed + 31 * (step + 1));
+      engine::Engine engine = engine::Engine::FromArtifact(artifact, config);
+      engine.Deploy();
+      ecc.accuracy.push_back(engine.Evaluate(task.val));
+    }
+    ecc.final_accuracy = ecc.accuracy.back();
+    arms.push_back(std::move(ecc));
+  }
+
+  for (const ArmResult& arm : arms) {
+    std::printf("%-12s final accuracy %.4f", arm.name.c_str(),
+                arm.final_accuracy);
+    if (arm.name != "ecc-secded") {
+      std::printf("  (reprograms=%llu state_changes=%llu sick_seen=%d)",
+                  static_cast<unsigned long long>(arm.reprograms),
+                  static_cast<unsigned long long>(arm.state_changes),
+                  arm.saw_sick ? 1 : 0);
+    }
+    std::printf("\n");
+  }
+
+  const ArmResult& on = arms[0];
+  const ArmResult& off = arms[1];
+  const bool healing_holds = on.final_accuracy >= baseline - 0.01;
+  const bool unhealed_degrades = off.final_accuracy <= baseline - 0.03;
+  const bool chip_went_sick = on.saw_sick;
+  const bool healed_at_least_once = on.reprograms >= 1;
+  std::printf(
+      "healing holds within 1%%: %s | unhealed degrades >=3%%: %s | "
+      "sick chip seen: %s | reprogrammed: %s\n",
+      healing_holds ? "yes" : "NO", unhealed_degrades ? "yes" : "NO",
+      chip_went_sick ? "yes" : "NO", healed_at_least_once ? "yes" : "NO");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"task\": \"ecg\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"shards\": %d,\n", kShards);
+  std::fprintf(out, "  \"steps\": %lld,\n", static_cast<long long>(steps));
+  std::fprintf(out,
+               "  \"scenario\": {\"base_ber_per_step\": %g, "
+               "\"ramp_per_step\": %g, \"hot_chip\": %d, "
+               "\"hot_multiplier\": %g, \"sudden_death_chip\": %d, "
+               "\"sudden_death_step\": %lld, \"sudden_death_ber\": %g, "
+               "\"seed\": %llu},\n",
+               scenario.base_ber_per_step, scenario.ramp_per_step,
+               scenario.hot_chip, scenario.hot_multiplier,
+               scenario.sudden_death_chip,
+               static_cast<long long>(scenario.sudden_death_step),
+               scenario.sudden_death_ber,
+               static_cast<unsigned long long>(scenario.seed));
+  std::fprintf(out, "  \"baseline_accuracy\": %.6f,\n", baseline);
+  std::fprintf(out, "  \"arms\": [\n");
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const ArmResult& arm = arms[i];
+    std::fprintf(out, "    {\"name\": \"%s\", \"accuracy\": [",
+                 arm.name.c_str());
+    for (std::size_t s = 0; s < arm.accuracy.size(); ++s) {
+      std::fprintf(out, "%s%.6f", s > 0 ? ", " : "", arm.accuracy[s]);
+    }
+    std::fprintf(out,
+                 "], \"final_accuracy\": %.6f, \"reprograms\": %llu, "
+                 "\"state_changes\": %llu, \"saw_sick\": %s}%s\n",
+                 arm.final_accuracy,
+                 static_cast<unsigned long long>(arm.reprograms),
+                 static_cast<unsigned long long>(arm.state_changes),
+                 arm.saw_sick ? "true" : "false",
+                 i + 1 < arms.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"healing_holds_within_1pct\": %s,\n",
+               healing_holds ? "true" : "false");
+  std::fprintf(out, "  \"unhealed_degrades_3pct\": %s,\n",
+               unhealed_degrades ? "true" : "false");
+  std::fprintf(out, "  \"chip_went_sick\": %s,\n",
+               chip_went_sick ? "true" : "false");
+  std::fprintf(out, "  \"healed_at_least_once\": %s\n",
+               healed_at_least_once ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  return (healing_holds && unhealed_degrades && chip_went_sick &&
+          healed_at_least_once)
+             ? 0
+             : 1;
+}

@@ -10,6 +10,9 @@
 //         (the same rows artifact_tool eval serves)
 //     model_client request stats|list [--id N]
 //     model_client request reload <model> [--id N]
+//     model_client request health [<model>] [--id N]
+//         per-model, per-chip fleet health (BER estimates, chip states,
+//         healing counters)
 //     model_client decode [--task MODEL=TASK ...]
 //
 //   TCP mode — connects to a --listen daemon, round-trips one request and
@@ -18,6 +21,12 @@
 //     model_client --connect HOST:PORT predict <model> --task ecg|eeg
 //     model_client --connect HOST:PORT stats|list
 //     model_client --connect HOST:PORT reload <model>
+//     model_client --connect HOST:PORT health [<model>]
+//
+//   In TCP mode `stats` additionally round-trips a health request on the
+//   same connection; a server too old to know the verb answers it with an
+//   error response, which prints as `health=unavailable (...)` — never a
+//   client failure.
 //
 // For each predict answer the client prints
 //   model=<m> backend=<b> digest=<fnv1a> accuracy=<a>
@@ -48,6 +57,7 @@ int Usage() {
       "  model_client request predict <model> --task ecg|eeg [--id N]\n"
       "  model_client request stats|list [--id N]\n"
       "  model_client request reload <model> [--id N]\n"
+      "  model_client request health [<model>] [--id N]\n"
       "  model_client decode [--task MODEL=TASK ...]\n"
       "  model_client --connect HOST:PORT <verb> [<model>] [--task TASK]\n"
       "               [--id N]\n"
@@ -98,6 +108,35 @@ bool PrintResponse(const serve::Response& response,
     case serve::RequestKind::kReload:
       std::printf("reloaded model=%s\n", response.model.c_str());
       break;
+    case serve::RequestKind::kHealth:
+      for (const serve::ModelHealthWire& m : response.health) {
+        if (!m.supported) {
+          // Reference backend or non-resident model: no health surface.
+          std::printf("model=%s backend=%s health=unsupported\n",
+                      m.name.c_str(),
+                      m.backend.empty() ? "-" : m.backend.c_str());
+          continue;
+        }
+        std::printf(
+            "model=%s backend=%s sweeps=%llu reprograms=%llu "
+            "state_changes=%llu chips=%zu\n",
+            m.name.c_str(), m.backend.c_str(),
+            static_cast<unsigned long long>(m.sweeps),
+            static_cast<unsigned long long>(m.reprograms),
+            static_cast<unsigned long long>(m.state_changes),
+            m.chips.size());
+        for (const serve::ChipHealthWire& c : m.chips) {
+          std::printf(
+            "model=%s chip=%u state=%s serving=%d ewma_ber=%.3e "
+            "raw_ber=%.3e checks=%llu reprograms=%llu generation=%llu\n",
+            m.name.c_str(), c.chip, c.state.c_str(), c.serving ? 1 : 0,
+            c.ewma_ber, c.last_raw_ber,
+            static_cast<unsigned long long>(c.checks),
+            static_cast<unsigned long long>(c.reprograms),
+            static_cast<unsigned long long>(c.generation));
+        }
+      }
+      break;
     case serve::RequestKind::kStats:
     case serve::RequestKind::kList:
       for (const serve::ModelStatsWire& m : response.models) {
@@ -146,6 +185,9 @@ bool ParseVerb(int argc, char** argv, int start, VerbArgs* out) {
   if (verb == "predict" || verb == "reload") {
     if (arg_start >= argc) return false;
     out->request.model = argv[arg_start++];
+  } else if (verb == "health" && arg_start < argc &&
+             argv[arg_start][0] != '-') {
+    out->request.model = argv[arg_start++];  // optional single-model filter
   }
   for (int i = arg_start; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -174,6 +216,8 @@ bool ParseVerb(int argc, char** argv, int start, VerbArgs* out) {
     out->request.kind = serve::RequestKind::kList;
   } else if (verb == "reload") {
     out->request.kind = serve::RequestKind::kReload;
+  } else if (verb == "health") {
+    out->request.kind = serve::RequestKind::kHealth;
   } else {
     std::fprintf(stderr, "unknown request verb: %s\n", verb.c_str());
     return false;
@@ -250,7 +294,24 @@ int RunConnect(int argc, char** argv) {
   // a nonzero exit instead of an unhandled stream error.
   serve::TcpClient client(host, static_cast<std::uint16_t>(port));
   const serve::Response response = client.Roundtrip(verb.request);
-  return PrintResponse(response, labels) ? 0 : 1;
+  if (!PrintResponse(response, labels)) return 1;
+  if (verb.request.kind == serve::RequestKind::kStats) {
+    // Enrich the stats view with fleet health over a follow-up request on
+    // the same connection. A server predating the health verb answers the
+    // unknown kind with an ok=false error and keeps the stream alive
+    // (docs/protocol.md §5.2) — rendered as a note, never a failure, so
+    // `stats` works unchanged against older daemons.
+    serve::Request health_request;
+    health_request.id = verb.request.id + 1;
+    health_request.kind = serve::RequestKind::kHealth;
+    const serve::Response health = client.Roundtrip(health_request);
+    if (health.ok) {
+      PrintResponse(health, labels);
+    } else {
+      std::printf("health=unavailable (%s)\n", health.error.c_str());
+    }
+  }
+  return 0;
 }
 
 }  // namespace

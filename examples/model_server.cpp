@@ -46,6 +46,8 @@ int Usage() {
       "usage: model_server --model NAME=PATH.rbnn [--model NAME=PATH ...]\n"
       "                    [--backend NAME] [--threads N] [--capacity N]\n"
       "                    [--no-hot-reload]\n"
+      "                    [--health-check-every N] [--drift-ber X]\n"
+      "                    [--drift-every N] [--drift-seed N]\n"
       "                    [--listen [HOST:]PORT [--workers N]\n"
       "                     [--max-connections N] [--idle-timeout-ms N]\n"
       "                     [--poll] [--port-file PATH]]\n"
@@ -55,6 +57,14 @@ int Usage() {
       "  --threads N        per-model serving thread count override\n"
       "  --capacity N       max resident models (LRU eviction; default 8)\n"
       "  --no-hot-reload    do not watch artifact mtimes\n"
+      "  --health-check-every N  run a fleet-health sweep (BER estimate,\n"
+      "                     classify, heal, verify) after every Nth predict\n"
+      "                     request per model (0: only on the health verb)\n"
+      "  --drift-ber X      simulated aging: flip a fraction X of each chip's\n"
+      "                     stored bits per drift interval\n"
+      "  --drift-every N    inject drift after every Nth predict request per\n"
+      "                     model (0: no drift simulation)\n"
+      "  --drift-seed N     seed of the simulated drift draws\n"
       "  --listen [H:]PORT  serve over TCP instead of stdio (port 0 picks an\n"
       "                     ephemeral port; SIGTERM drains gracefully)\n"
       "  --workers N        TCP request worker threads (default 4)\n"
@@ -116,6 +126,7 @@ void PrintExitSummary(const serve::ModelServer& server) {
 
 int main(int argc, char** argv) {
   serve::RegistryConfig config;
+  serve::HealthServingConfig health_config;
   serve::TcpServerConfig tcp_config;
   bool listen = false;
   std::string port_file;
@@ -140,6 +151,17 @@ int main(int argc, char** argv) {
       config.capacity = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--no-hot-reload") {
       config.hot_reload = false;
+    } else if (arg == "--health-check-every" && has_value) {
+      health_config.check_every_requests =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--drift-ber" && has_value) {
+      health_config.drift_ber = std::atof(argv[++i]);
+    } else if (arg == "--drift-every" && has_value) {
+      health_config.drift_every_requests =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--drift-seed" && has_value) {
+      health_config.drift_seed =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--listen" && has_value) {
       if (!ParseListenSpec(argv[++i], &tcp_config)) {
         std::fprintf(stderr, "bad --listen spec '%s' (want [HOST:]PORT)\n",
@@ -169,11 +191,23 @@ int main(int argc, char** argv) {
     return Usage();
   }
   try {
-    serve::ModelServer server(config);
+    serve::ModelServer server(config, health_config);
     for (const auto& [name, path] : models) {
       server.registry().Register(name, path);
       std::fprintf(stderr, "model_server: registered %s = %s\n", name.c_str(),
                    path.c_str());
+    }
+    if (health_config.check_every_requests > 0 ||
+        health_config.drift_every_requests > 0) {
+      std::fprintf(stderr,
+                   "model_server: health sweeps every %llu request(s), drift "
+                   "ber=%g every %llu request(s) seed=%llu\n",
+                   static_cast<unsigned long long>(
+                       health_config.check_every_requests),
+                   health_config.drift_ber,
+                   static_cast<unsigned long long>(
+                       health_config.drift_every_requests),
+                   static_cast<unsigned long long>(health_config.drift_seed));
     }
     std::fprintf(stderr,
                  "model_server: serving %zu model(s), capacity %zu%s%s\n",

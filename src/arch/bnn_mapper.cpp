@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/bitgemm.h"
+#include "core/fault_injection.h"
 
 namespace rrambnn::arch {
 
@@ -295,6 +296,21 @@ std::vector<std::int64_t> MappedBnn::PredictBatch(const Tensor& features) {
     preds[static_cast<std::size_t>(i)] = Predict(x);
   }
   return preds;
+}
+
+void MappedBnn::InjectDrift(double ber, Rng& rng) {
+  planes_.reset();  // device state changes: the readback planes are stale
+  snapshot_.reset();
+  for (auto& layer : layers_) {
+    for (auto& macro : layer.macros) {
+      rram::RramArray& array = macro->array();
+      core::ForEachFaultSite(
+          array.rows(), array.cols(), ber, rng,
+          [&array](std::int64_t r, std::int64_t c) {
+            array.cell(r, c).DriftFlip();
+          });
+    }
+  }
 }
 
 void MappedBnn::Stress(std::uint64_t cycles, bool reprogram_after) {

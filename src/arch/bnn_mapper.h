@@ -78,6 +78,14 @@ class MappedBnn {
   /// Ages all devices, then optionally reprograms (refresh).
   void Stress(std::uint64_t cycles, bool reprogram_after);
 
+  /// Conductance-drift event over the whole fabric (fleet health aging
+  /// simulation): each cell — padding included, drift does not know which
+  /// synapses carry weights — flips its sensed value with probability `ber`
+  /// by swapping its 2T2R pair resistances. Fault sites are drawn through
+  /// core::ForEachFaultSite, so the statistics match software fault
+  /// injection at the same rate. Invalidates the readback planes.
+  void InjectDrift(double ber, Rng& rng);
+
   /// Total number of macros across all layers.
   std::int64_t num_macros() const;
 

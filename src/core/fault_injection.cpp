@@ -4,21 +4,29 @@
 
 namespace rrambnn::core {
 
-std::int64_t InjectFaults(BitMatrix& matrix, double ber, Rng& rng) {
+std::int64_t ForEachFaultSite(
+    std::int64_t rows, std::int64_t cols, double ber, Rng& rng,
+    const std::function<void(std::int64_t, std::int64_t)>& fault) {
   if (ber < 0.0 || ber > 1.0) {
-    throw std::invalid_argument("InjectFaults: ber outside [0, 1]");
+    throw std::invalid_argument("ForEachFaultSite: ber outside [0, 1]");
   }
   if (ber == 0.0) return 0;
-  std::int64_t flips = 0;
-  for (std::int64_t r = 0; r < matrix.rows(); ++r) {
-    for (std::int64_t c = 0; c < matrix.cols(); ++c) {
+  std::int64_t faults = 0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
       if (rng.Bernoulli(ber)) {
-        matrix.Flip(r, c);
-        ++flips;
+        fault(r, c);
+        ++faults;
       }
     }
   }
-  return flips;
+  return faults;
+}
+
+std::int64_t InjectFaults(BitMatrix& matrix, double ber, Rng& rng) {
+  return ForEachFaultSite(
+      matrix.rows(), matrix.cols(), ber, rng,
+      [&matrix](std::int64_t r, std::int64_t c) { matrix.Flip(r, c); });
 }
 
 FaultInjectionReport InjectWeightFaults(BnnModel& model, double ber,

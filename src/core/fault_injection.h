@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "core/bnn_model.h"
 #include "tensor/rng.h"
@@ -16,6 +17,18 @@ struct FaultInjectionReport {
   std::int64_t total_bits = 0;
   std::int64_t flipped_bits = 0;
 };
+
+/// The fault-site sampler behind every error process in the library: visits
+/// each (row, col) of a rows x cols grid whose independent Bernoulli(ber)
+/// draw comes up true, in row-major order, and returns the visit count.
+/// InjectFaults flips model weight bits through it; the arch-level drift
+/// simulation (arch::MappedBnn::InjectDrift) swaps 2T2R pair resistances
+/// through it — so software fault injection and physical drift share
+/// identical statistics and draw order. Throws std::invalid_argument for
+/// `ber` outside [0, 1].
+std::int64_t ForEachFaultSite(
+    std::int64_t rows, std::int64_t cols, double ber, Rng& rng,
+    const std::function<void(std::int64_t, std::int64_t)>& fault);
 
 /// Flips each weight bit of `matrix` independently with probability `ber`.
 std::int64_t InjectFaults(BitMatrix& matrix, double ber, Rng& rng);

@@ -19,6 +19,10 @@
 #include "core/bitops.h"
 #include "tensor/tensor.h"
 
+namespace rrambnn::health {
+class BackendHealthAdapter;
+}  // namespace rrambnn::health
+
 namespace rrambnn::engine {
 
 /// Deployment-cost summary of a backend. Pure software backends report
@@ -80,6 +84,12 @@ class InferenceBackend {
   /// Engine::Evaluate shards rows across threads only for such backends, so
   /// the multi-threaded result is identical to the single-threaded one.
   virtual bool SupportsConcurrentInference() const { return false; }
+
+  /// Health introspection/healing surface of this backend's physical
+  /// substrate (see health/adapter.h), or null when the substrate has no
+  /// notion of device health (the exact software reference). The adapter is
+  /// owned by the backend and shares its lifetime.
+  virtual health::BackendHealthAdapter* health_adapter() { return nullptr; }
 };
 
 }  // namespace rrambnn::engine

@@ -56,10 +56,53 @@ EnergyBreakdown ReferenceBackend::EnergyReport() const {
 
 FaultInjectionBackend::FaultInjectionBackend(core::BnnModel model, double ber,
                                              std::uint64_t seed)
-    : model_(std::move(model)), ber_(ber) {
+    : model_(std::move(model)), ber_(ber), seed_(seed) {
   model_.Validate();
-  Rng rng(seed);
+  golden_ = model_;  // pre-fault copy: the healing source
+  Rng rng(seed_);
   report_ = core::InjectWeightFaults(model_, ber_, rng);
+}
+
+void FaultInjectionBackend::CheckChip(int chip) const {
+  if (chip != 0) {
+    throw std::out_of_range("FaultInjectionBackend: chip " +
+                            std::to_string(chip) + " out of range (1 chip)");
+  }
+}
+
+const core::BnnModel& FaultInjectionBackend::ChipReadback(int chip) {
+  CheckChip(chip);
+  return model_;  // the faulted model is exactly what the substrate reads
+}
+
+void FaultInjectionBackend::ReprogramChip(int chip, bool reseed) {
+  CheckChip(chip);
+  if (reseed) ++generation_;
+  model_ = golden_;
+  Rng rng(ShardedRramBackend::ShardSeed(seed_, 0, generation_));
+  report_ = core::InjectWeightFaults(model_, ber_, rng);
+}
+
+void FaultInjectionBackend::SetChipServing(int chip, bool serving) {
+  CheckChip(chip);
+  (void)serving;  // single chip: there is nowhere to route to
+}
+
+bool FaultInjectionBackend::chip_serving(int chip) const {
+  CheckChip(chip);
+  return true;
+}
+
+std::uint64_t FaultInjectionBackend::chip_generation(int chip) const {
+  CheckChip(chip);
+  return generation_;
+}
+
+void FaultInjectionBackend::InjectChipDrift(int chip, double ber,
+                                            std::uint64_t seed) {
+  CheckChip(chip);
+  Rng rng(seed);
+  core::InjectWeightFaults(model_, ber, rng);
 }
 
 std::vector<float> FaultInjectionBackend::Scores(const core::BitVector& x) {
@@ -91,10 +134,55 @@ EnergyBreakdown FaultInjectionBackend::EnergyReport() const {
 
 RramBackend::RramBackend(const core::BnnModel& model,
                          const arch::MapperConfig& config)
-    : fabric_(model, config), config_(config) {}
+    : golden_(model), fabric_(golden_, config), config_(config) {}
 
 std::vector<float> RramBackend::Scores(const core::BitVector& x) {
   return fabric_.Scores(x);
+}
+
+void RramBackend::CheckChip(int chip) const {
+  if (chip != 0) {
+    throw std::out_of_range("RramBackend: chip " + std::to_string(chip) +
+                            " out of range (1 chip)");
+  }
+}
+
+bool RramBackend::SupportsReadback() const {
+  return fabric_.DeterministicReads();
+}
+
+const core::BnnModel& RramBackend::ChipReadback(int chip) {
+  CheckChip(chip);
+  return fabric_.ReadbackSnapshot();
+}
+
+void RramBackend::ReprogramChip(int chip, bool reseed) {
+  CheckChip(chip);
+  if (reseed) ++generation_;
+  arch::MapperConfig config = config_;
+  config.seed = ShardedRramBackend::ShardSeed(config_.seed, 0, generation_);
+  fabric_ = arch::MappedBnn(golden_, config);
+}
+
+void RramBackend::SetChipServing(int chip, bool serving) {
+  CheckChip(chip);
+  (void)serving;  // single chip: there is nowhere to route to
+}
+
+bool RramBackend::chip_serving(int chip) const {
+  CheckChip(chip);
+  return true;
+}
+
+std::uint64_t RramBackend::chip_generation(int chip) const {
+  CheckChip(chip);
+  return generation_;
+}
+
+void RramBackend::InjectChipDrift(int chip, double ber, std::uint64_t seed) {
+  CheckChip(chip);
+  Rng rng(seed);
+  fabric_.InjectDrift(ber, rng);
 }
 
 std::string RramBackend::Describe() const {
@@ -125,17 +213,29 @@ EnergyBreakdown RramBackend::EnergyReport() const {
 // ---------------------------------------------------------------------------
 
 std::uint64_t ShardedRramBackend::ShardSeed(std::uint64_t base_seed,
-                                            int shard) {
-  // Chip 0 keeps the base seed so a 1-shard deployment reproduces the
-  // single-fabric RramBackend bit for bit.
-  return base_seed ^ (static_cast<std::uint64_t>(shard) *
-                      0x9e3779b97f4a7c15ull);
+                                            int shard,
+                                            std::uint64_t generation) {
+  // Chip 0 at generation 0 keeps the base seed so a 1-shard deployment
+  // reproduces the single-fabric RramBackend bit for bit, and the per-chip
+  // XOR keeps generation-0 seeds stable across releases (artifact digests
+  // depend on them). Reseed generations (healing onto a "physically new"
+  // fabric) mix through splitmix64 so every generation gets an independent
+  // stream that no sibling chip can collide with.
+  std::uint64_t seed =
+      base_seed ^ (static_cast<std::uint64_t>(shard) * 0x9e3779b97f4a7c15ull);
+  if (generation > 0) {
+    std::uint64_t z = seed + generation * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    seed = z ^ (z >> 31);
+  }
+  return seed;
 }
 
 ShardedRramBackend::ShardedRramBackend(const core::BnnModel& model,
                                        const arch::MapperConfig& config,
                                        int num_shards)
-    : config_(config) {
+    : golden_(model), config_(config) {
   if (num_shards < 1) {
     throw std::invalid_argument(
         "ShardedRramBackend: need >= 1 shard, got " +
@@ -145,8 +245,59 @@ ShardedRramBackend::ShardedRramBackend(const core::BnnModel& model,
   for (int s = 0; s < num_shards; ++s) {
     arch::MapperConfig chip = config;
     chip.seed = ShardSeed(config.seed, s);
-    shards_.push_back(std::make_unique<arch::MappedBnn>(model, chip));
+    shards_.push_back(std::make_unique<arch::MappedBnn>(golden_, chip));
   }
+  serving_.assign(shards_.size(), 1);
+  generations_.assign(shards_.size(), 0);
+}
+
+void ShardedRramBackend::CheckChip(int chip) const {
+  if (chip < 0 || chip >= num_shards()) {
+    throw std::out_of_range("ShardedRramBackend: chip " +
+                            std::to_string(chip) + " out of range (" +
+                            std::to_string(num_shards()) + " chips)");
+  }
+}
+
+bool ShardedRramBackend::SupportsReadback() const {
+  return shards_.front()->DeterministicReads();
+}
+
+const core::BnnModel& ShardedRramBackend::ChipReadback(int chip) {
+  CheckChip(chip);
+  return shards_[static_cast<std::size_t>(chip)]->ReadbackSnapshot();
+}
+
+void ShardedRramBackend::ReprogramChip(int chip, bool reseed) {
+  CheckChip(chip);
+  auto& generation = generations_[static_cast<std::size_t>(chip)];
+  if (reseed) ++generation;
+  arch::MapperConfig config = config_;
+  config.seed = ShardSeed(config_.seed, chip, generation);
+  shards_[static_cast<std::size_t>(chip)] =
+      std::make_unique<arch::MappedBnn>(golden_, config);
+}
+
+void ShardedRramBackend::SetChipServing(int chip, bool serving) {
+  CheckChip(chip);
+  serving_[static_cast<std::size_t>(chip)] = serving ? 1 : 0;
+}
+
+bool ShardedRramBackend::chip_serving(int chip) const {
+  CheckChip(chip);
+  return serving_[static_cast<std::size_t>(chip)] != 0;
+}
+
+std::uint64_t ShardedRramBackend::chip_generation(int chip) const {
+  CheckChip(chip);
+  return generations_[static_cast<std::size_t>(chip)];
+}
+
+void ShardedRramBackend::InjectChipDrift(int chip, double ber,
+                                         std::uint64_t seed) {
+  CheckChip(chip);
+  Rng rng(seed);
+  shards_[static_cast<std::size_t>(chip)]->InjectDrift(ber, rng);
 }
 
 std::int64_t ShardedRramBackend::input_size() const {
@@ -158,38 +309,53 @@ std::int64_t ShardedRramBackend::num_classes() const {
 }
 
 std::vector<float> ShardedRramBackend::Scores(const core::BitVector& x) {
-  return shards_.front()->Scores(x);
+  for (std::size_t chip = 0; chip < shards_.size(); ++chip) {
+    if (serving_[chip] != 0) return shards_[chip]->Scores(x);
+  }
+  throw std::runtime_error(
+      "rram-sharded: every chip is routed out of serving");
 }
 
 void ShardedRramBackend::ForEachShard(
     std::int64_t rows,
     const std::function<void(std::size_t, std::int64_t, std::int64_t)>&
         serve) {
-  const std::int64_t s = static_cast<std::int64_t>(shards_.size());
+  // Rows route across serving chips only: chips the health layer marked
+  // sick receive nothing until they are healed and routed back in.
+  std::vector<std::size_t> active;
+  active.reserve(shards_.size());
+  for (std::size_t chip = 0; chip < shards_.size(); ++chip) {
+    if (serving_[chip] != 0) active.push_back(chip);
+  }
+  if (active.empty()) {
+    throw std::runtime_error(
+        "rram-sharded: every chip is routed out of serving");
+  }
+  const std::int64_t s = static_cast<std::int64_t>(active.size());
   const std::int64_t chunk = (rows + s - 1) / s;
   if (chunk == 0) return;
-  // Row -> chip routing is fixed by the chunk arithmetic, so inline and
-  // threaded execution produce identical results; threads only change
-  // wall-clock. On a single-hardware-thread host (or with one occupied
-  // chip) spawn/teardown would dominate, so serve inline.
+  // Row -> chip routing is fixed by the chunk arithmetic over the serving
+  // set, so inline and threaded execution produce identical results;
+  // threads only change wall-clock. On a single-hardware-thread host (or
+  // with one occupied chip) spawn/teardown would dominate, so serve inline.
   const std::int64_t occupied = std::min(s, (rows + chunk - 1) / chunk);
   const bool inline_serve =
       occupied <= 1 || std::thread::hardware_concurrency() <= 1;
   if (inline_serve) {
     for (std::int64_t c = 0; c < occupied; ++c) {
-      serve(static_cast<std::size_t>(c), c * chunk,
+      serve(active[static_cast<std::size_t>(c)], c * chunk,
             std::min(rows, (c + 1) * chunk));
     }
     return;
   }
   std::vector<std::thread> pool;
-  std::vector<std::exception_ptr> errors(shards_.size());
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(occupied));
   for (std::int64_t c = 0; c < occupied; ++c) {
     const std::int64_t begin = c * chunk;
     const std::int64_t end = std::min(rows, begin + chunk);
     pool.emplace_back([&, c, begin, end] {
       try {
-        serve(static_cast<std::size_t>(c), begin, end);
+        serve(active[static_cast<std::size_t>(c)], begin, end);
       } catch (...) {
         errors[static_cast<std::size_t>(c)] = std::current_exception();
       }

@@ -12,6 +12,7 @@
 #include "core/bnn_model.h"
 #include "core/fault_injection.h"
 #include "engine/backend.h"
+#include "health/adapter.h"
 
 namespace rrambnn::engine {
 
@@ -28,7 +29,9 @@ struct BackendSpec {
   std::uint64_t fault_seed = 100;
   /// Number of independently programmed fabrics of the "rram-sharded"
   /// backend; each chip derives its programming-noise seed from
-  /// mapper.seed (chip 0 uses mapper.seed itself).
+  /// mapper.seed through ShardedRramBackend::ShardSeed (chip 0 uses
+  /// mapper.seed itself), so any single chip can be rebuilt bit-identically
+  /// without touching its siblings.
   int rram_shards = 4;
 };
 
@@ -54,9 +57,15 @@ class ReferenceBackend : public InferenceBackend {
 };
 
 /// Software model with independent weight-bit flips applied once at
-/// construction — the ideal-BER sweep substrate of Sec. II-B. After the
-/// single fault draw the model is immutable, so inference is pure.
-class FaultInjectionBackend : public InferenceBackend {
+/// construction — the ideal-BER sweep substrate of Sec. II-B. Between
+/// health interventions (drift injection, healing reprograms) the faulted
+/// model is immutable, so inference is pure. As a health "chip" it is its
+/// own readback: the faulted model *is* what the substrate reads, drift is
+/// further weight-fault injection, and a reprogram restores the golden
+/// model and re-draws the construction-time faults (same seed unless
+/// reseeded, so a default heal is bit-identical to generation 0).
+class FaultInjectionBackend : public InferenceBackend,
+                              public health::BackendHealthAdapter {
  public:
   FaultInjectionBackend(core::BnnModel model, double ber, std::uint64_t seed);
 
@@ -68,13 +77,30 @@ class FaultInjectionBackend : public InferenceBackend {
   std::string Describe() const override;
   EnergyBreakdown EnergyReport() const override;
   bool SupportsConcurrentInference() const override { return true; }
+  health::BackendHealthAdapter* health_adapter() override { return this; }
+
+  // health::BackendHealthAdapter (the one software "chip"):
+  int num_chips() const override { return 1; }
+  bool SupportsReadback() const override { return true; }
+  const core::BnnModel& ChipReadback(int chip) override;
+  void ReprogramChip(int chip, bool reseed) override;
+  /// Single chip: there is nowhere to route to, so the flag is ignored.
+  void SetChipServing(int chip, bool serving) override;
+  bool chip_serving(int chip) const override;
+  std::uint64_t chip_generation(int chip) const override;
+  void InjectChipDrift(int chip, double ber, std::uint64_t seed) override;
 
   double ber() const { return ber_; }
   const core::FaultInjectionReport& fault_report() const { return report_; }
 
  private:
+  void CheckChip(int chip) const;
+
   core::BnnModel model_;
+  core::BnnModel golden_;  // pre-fault copy, the healing source
   double ber_ = 0.0;
+  std::uint64_t seed_ = 0;
+  std::uint64_t generation_ = 0;
   core::FaultInjectionReport report_;
 };
 
@@ -83,7 +109,8 @@ class FaultInjectionBackend : public InferenceBackend {
 /// single stateful physical resource (per-read sense-offset draws advance
 /// device RNG state), so concurrent inference is not supported; Engine
 /// serializes rows through it regardless of its thread count.
-class RramBackend : public InferenceBackend {
+class RramBackend : public InferenceBackend,
+                    public health::BackendHealthAdapter {
  public:
   RramBackend(const core::BnnModel& model, const arch::MapperConfig& config);
 
@@ -93,14 +120,32 @@ class RramBackend : public InferenceBackend {
   std::vector<float> Scores(const core::BitVector& x) override;
   std::string Describe() const override;
   EnergyBreakdown EnergyReport() const override;
+  health::BackendHealthAdapter* health_adapter() override { return this; }
+
+  // health::BackendHealthAdapter (the one physical fabric):
+  int num_chips() const override { return 1; }
+  bool SupportsReadback() const override;
+  const core::BnnModel& ChipReadback(int chip) override;
+  /// Rebuilds the fabric from the golden model; `reseed` false reuses the
+  /// original mapper seed (bit-identical generation-0 fabric).
+  void ReprogramChip(int chip, bool reseed) override;
+  /// Single chip: there is nowhere to route to, so the flag is ignored.
+  void SetChipServing(int chip, bool serving) override;
+  bool chip_serving(int chip) const override;
+  std::uint64_t chip_generation(int chip) const override;
+  void InjectChipDrift(int chip, double ber, std::uint64_t seed) override;
 
   /// The underlying mapped fabric, for aging/refresh experiments.
   arch::MappedBnn& fabric() { return fabric_; }
   const arch::MappedBnn& fabric() const { return fabric_; }
 
  private:
+  void CheckChip(int chip) const;
+
+  core::BnnModel golden_;  // healing source; must precede fabric_
   arch::MappedBnn fabric_;
   arch::MapperConfig config_;
+  std::uint64_t generation_ = 0;
 };
 
 /// A fleet of independently programmed RRAM fabrics serving one model — the
@@ -117,7 +162,8 @@ class RramBackend : public InferenceBackend {
 /// (deterministically: row i of an N-row batch over S shards always lands on
 /// chip i / ceil(N/S)). At zero device noise all chips agree bit-for-bit and
 /// results are independent of the shard count.
-class ShardedRramBackend : public InferenceBackend {
+class ShardedRramBackend : public InferenceBackend,
+                           public health::BackendHealthAdapter {
  public:
   ShardedRramBackend(const core::BnnModel& model,
                      const arch::MapperConfig& config, int num_shards);
@@ -125,10 +171,11 @@ class ShardedRramBackend : public InferenceBackend {
   std::string name() const override { return "rram-sharded"; }
   std::int64_t input_size() const override;
   std::int64_t num_classes() const override;
-  /// Single-row inference is served by chip 0.
+  /// Single-row inference is served by the first serving chip.
   std::vector<float> Scores(const core::BitVector& x) override;
-  /// Shards rows across chips (contiguous ranges, one worker per chip; on a
-  /// single-hardware-thread host the chips are served inline instead).
+  /// Shards rows across serving chips (contiguous ranges, one worker per
+  /// chip; on a single-hardware-thread host the chips are served inline
+  /// instead). Chips routed out by the health layer receive no rows.
   /// PredictPacked is inherited: argmax over this.
   std::vector<float> ScoresBatch(const core::BitMatrix& batch) override;
   std::string Describe() const override;
@@ -138,22 +185,49 @@ class ShardedRramBackend : public InferenceBackend {
   /// The backend parallelizes internally (one worker per chip); the engine
   /// must not also shard rows across threads.
   bool SupportsConcurrentInference() const override { return false; }
+  health::BackendHealthAdapter* health_adapter() override { return this; }
+
+  // health::BackendHealthAdapter (one chip per shard):
+  int num_chips() const override { return num_shards(); }
+  bool SupportsReadback() const override;
+  const core::BnnModel& ChipReadback(int chip) override;
+  /// Rebuilds one chip from the golden model without touching its siblings
+  /// (each chip's seed is independently derived — see ShardSeed). `reseed`
+  /// false reuses the chip's original seed, so the healed chip is
+  /// bit-identical to its generation-0 self.
+  void ReprogramChip(int chip, bool reseed) override;
+  void SetChipServing(int chip, bool serving) override;
+  bool chip_serving(int chip) const override;
+  std::uint64_t chip_generation(int chip) const override;
+  void InjectChipDrift(int chip, double ber, std::uint64_t seed) override;
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   arch::MappedBnn& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
 
-  /// Seed of chip `shard` derived from the base mapper seed.
-  static std::uint64_t ShardSeed(std::uint64_t base_seed, int shard);
+  /// Programming-noise seed of chip `shard` at reseed `generation`,
+  /// derived from the base mapper seed. The derivation is the reason a
+  /// single chip can be reprogrammed reproducibly: every (chip, generation)
+  /// pair maps to its own fixed seed, so rebuilding chip k never perturbs
+  /// chip j, and generation 0 of chip 0 is the base seed itself (a 1-shard
+  /// deployment reproduces the single-fabric RramBackend bit for bit).
+  static std::uint64_t ShardSeed(std::uint64_t base_seed, int shard,
+                                 std::uint64_t generation = 0);
 
  private:
-  /// Runs `serve(chip, begin, end)` for each chip's contiguous row range,
-  /// one thread per occupied chip.
+  void CheckChip(int chip) const;
+
+  /// Runs `serve(chip, begin, end)` for each serving chip's contiguous row
+  /// range, one thread per occupied chip. Throws std::runtime_error when
+  /// every chip is routed out of serving.
   void ForEachShard(
       std::int64_t rows,
       const std::function<void(std::size_t, std::int64_t, std::int64_t)>&
           serve);
 
+  core::BnnModel golden_;  // healing source
   std::vector<std::unique_ptr<arch::MappedBnn>> shards_;
+  std::vector<std::uint8_t> serving_;       // routing mask, 1 = serving
+  std::vector<std::uint64_t> generations_;  // reseed generation per chip
   arch::MapperConfig config_;
 };
 

@@ -87,6 +87,11 @@ EngineConfig& EngineConfig::WithModelSeed(std::uint64_t seed) {
   return *this;
 }
 
+EngineConfig& EngineConfig::WithHealthPolicy(const health::HealthPolicy& p) {
+  health = p;
+  return *this;
+}
+
 // ---------------------------------------------------------------------------
 // Engine lifecycle
 // ---------------------------------------------------------------------------
@@ -152,6 +157,7 @@ nn::FitResult Engine::Train(const nn::Dataset& train, const nn::Dataset& val) {
   net_ = std::move(spec.net);
   classifier_start_ = spec.classifier_start;
   compiled_.reset();
+  health_.reset();  // scoped to the backend it watched
   backend_.reset();
   const nn::FitResult fit = nn::Fit(net_, train, val, config_.train);
   trained_ = true;
@@ -167,6 +173,7 @@ const core::BnnModel& Engine::Compile() {
   }
   compiled_ = std::make_unique<core::BnnModel>(
       core::CompileClassifier(net_, classifier_start_));
+  health_.reset();
   backend_.reset();
   return *compiled_;
 }
@@ -179,6 +186,7 @@ InferenceBackend& Engine::Deploy(BackendKind kind) {
 
 InferenceBackend& Engine::Deploy(const std::string& backend_name) {
   if (!compiled_) Compile();
+  health_.reset();  // the manager's scores describe the old backend
   backend_ = MakeBackend(backend_name, *compiled_, config_.backend);
   return *backend_;
 }
@@ -348,6 +356,28 @@ InferenceBackend& Engine::backend() const {
     throw std::logic_error("Engine: no deployed backend; call Deploy() first");
   }
   return *backend_;
+}
+
+bool Engine::SupportsHealth() const {
+  return backend_ != nullptr && backend_->health_adapter() != nullptr;
+}
+
+health::HealthManager& Engine::Health() {
+  if (!backend_) {
+    throw std::logic_error("Engine::Health: no deployed backend; call "
+                           "Deploy() first");
+  }
+  health::BackendHealthAdapter* adapter = backend_->health_adapter();
+  if (adapter == nullptr) {
+    throw std::logic_error("Engine::Health: backend '" + backend_->name() +
+                           "' has no health surface (pure software "
+                           "reference)");
+  }
+  if (!health_) {
+    health_ = std::make_unique<health::HealthManager>(*compiled_, *adapter,
+                                                      config_.health);
+  }
+  return *health_;
 }
 
 EnergyBreakdown Engine::EnergyReport() const {

@@ -29,6 +29,7 @@
 #include "core/compile.h"
 #include "core/strategy.h"
 #include "engine/registry.h"
+#include "health/manager.h"
 #include "nn/dataset.h"
 #include "nn/sequential.h"
 #include "nn/trainer.h"
@@ -58,6 +59,10 @@ struct EngineConfig {
   std::uint64_t model_seed = 3;
   /// Seed of the cross-validation fold split.
   std::uint64_t fold_seed = 1234;
+  /// Fleet health estimation/healing policy of the deployed backend (see
+  /// health/health.h). A serving-side concern like `threads`: deliberately
+  /// not stored in `.rbnn` artifacts.
+  health::HealthPolicy health;
 
   EngineConfig& WithStrategy(core::BinarizationStrategy s);
   EngineConfig& WithTrain(const nn::TrainConfig& t);
@@ -71,6 +76,7 @@ struct EngineConfig {
   EngineConfig& WithThreads(int n);
   EngineConfig& WithBatchSize(std::int64_t n);
   EngineConfig& WithModelSeed(std::uint64_t seed);
+  EngineConfig& WithHealthPolicy(const health::HealthPolicy& p);
 };
 
 /// A freshly built (untrained) network plus the index of its first
@@ -173,6 +179,17 @@ class Engine {
   const core::BnnModel& compiled_model() const;
   InferenceBackend& backend() const;
 
+  /// True when the deployed backend exposes a health surface (every
+  /// substrate except the exact software reference). False before Deploy().
+  bool SupportsHealth() const;
+
+  /// The fleet health manager of the deployed backend, created lazily over
+  /// its adapter under this config's health policy and reset whenever the
+  /// backend is rebuilt (Deploy re-programs fabrics, so old scores would
+  /// describe hardware that no longer exists). Throws std::logic_error
+  /// before Deploy() and for backends with no health surface.
+  health::HealthManager& Health();
+
   /// Deployment cost figures of the live backend.
   EnergyBreakdown EnergyReport() const;
 
@@ -204,6 +221,7 @@ class Engine {
   bool trained_ = false;
   std::unique_ptr<core::BnnModel> compiled_;
   std::unique_ptr<InferenceBackend> backend_;
+  std::unique_ptr<health::HealthManager> health_;  // scoped to backend_
 };
 
 }  // namespace rrambnn::engine

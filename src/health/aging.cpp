@@ -1,0 +1,45 @@
+#include "health/aging.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rrambnn::health {
+
+AgingSimulator::AgingSimulator(BackendHealthAdapter& adapter,
+                               AgingScenario scenario)
+    : adapter_(adapter), scenario_(scenario) {
+  if (scenario_.base_ber_per_step < 0.0 || scenario_.ramp_per_step < 0.0 ||
+      scenario_.sudden_death_ber < 0.0 || scenario_.hot_multiplier < 0.0) {
+    throw std::invalid_argument("AgingScenario: negative rate");
+  }
+}
+
+double AgingSimulator::ChipBerAtStep(int chip, std::int64_t step) const {
+  double ber = scenario_.base_ber_per_step +
+               scenario_.ramp_per_step * static_cast<double>(step);
+  if (chip == scenario_.hot_chip) ber *= scenario_.hot_multiplier;
+  if (chip == scenario_.sudden_death_chip &&
+      step == scenario_.sudden_death_step) {
+    ber += scenario_.sudden_death_ber;
+  }
+  return std::clamp(ber, 0.0, 1.0);
+}
+
+std::uint64_t AgingSimulator::DriftSeed(int chip, std::int64_t step) const {
+  // Distinct primes keep every (step, chip) stream independent of its
+  // neighbours while staying reproducible from the scenario seed alone.
+  return scenario_.seed + static_cast<std::uint64_t>(step) * 1000003ull +
+         static_cast<std::uint64_t>(chip) * 7919ull;
+}
+
+void AgingSimulator::Step() {
+  for (int chip = 0; chip < adapter_.num_chips(); ++chip) {
+    const double ber = ChipBerAtStep(chip, step_);
+    if (ber > 0.0) {
+      adapter_.InjectChipDrift(chip, ber, DriftSeed(chip, step_));
+    }
+  }
+  ++step_;
+}
+
+}  // namespace rrambnn::health

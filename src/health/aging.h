@@ -1,0 +1,70 @@
+// Aging/drift scenario simulation: the testable stand-in for a fleet of
+// physically aging RRAM chips.
+//
+// The device model (rram/device.h) only draws errors at programming time;
+// what a deployed always-on monitor actually experiences is conductance
+// drift *between* reprograms. The simulator layers a time-indexed bit-error
+// process on top of the core fault-injection statistics
+// (core/fault_injection.h samples the fault sites; the adapter applies them
+// physically — 2T2R pair swaps on RRAM backends, weight-bit flips on the
+// software fault backend): a per-step BER ramp common to the fleet, an
+// optional hot-spot chip drifting faster, and an optional sudden-death chip
+// that takes a massive hit at one step. Everything is deterministic in the
+// scenario seed.
+#pragma once
+
+#include <cstdint>
+
+#include "health/adapter.h"
+
+namespace rrambnn::health {
+
+/// One simulated lifetime: chip c at step t (0-based) drifts by
+///   ber(c, t) = (base_ber_per_step + ramp_per_step * t) * hot(c)
+///               + sudden_death(c, t)
+/// newly injected errors per step (clamped to [0, 1]).
+struct AgingScenario {
+  /// Drift BER injected into every chip at every step.
+  double base_ber_per_step = 0.0;
+  /// Additional per-step BER per elapsed step (linear aging ramp).
+  double ramp_per_step = 0.0;
+  /// Chip whose drift is multiplied by hot_multiplier (-1: none).
+  int hot_chip = -1;
+  double hot_multiplier = 1.0;
+  /// Chip that additionally takes sudden_death_ber at exactly
+  /// sudden_death_step (-1: none).
+  int sudden_death_chip = -1;
+  std::int64_t sudden_death_step = -1;
+  double sudden_death_ber = 0.25;
+  /// Seed of the fault-site draws; each (step, chip) pair derives an
+  /// independent stream.
+  std::uint64_t seed = 2026;
+};
+
+class AgingSimulator {
+ public:
+  /// `adapter` must outlive the simulator.
+  AgingSimulator(BackendHealthAdapter& adapter, AgingScenario scenario);
+
+  /// Applies one time step of drift to every chip, then advances the clock.
+  void Step();
+
+  /// Steps applied so far.
+  std::int64_t step() const { return step_; }
+
+  /// The BER the scenario injects into `chip` at `step` (the schedule,
+  /// independent of simulator state).
+  double ChipBerAtStep(int chip, std::int64_t step) const;
+
+  /// Seed of the (step, chip) fault-site draw.
+  std::uint64_t DriftSeed(int chip, std::int64_t step) const;
+
+  const AgingScenario& scenario() const { return scenario_; }
+
+ private:
+  BackendHealthAdapter& adapter_;
+  AgingScenario scenario_;
+  std::int64_t step_ = 0;
+};
+
+}  // namespace rrambnn::health

@@ -39,4 +39,10 @@ int Cell2T2R::ReadXnor(const Pcsa& pcsa, int input, Rng& rng) const {
                         rng);
 }
 
+void Cell2T2R::DriftFlip() {
+  const double bl = bl_.log_resistance();
+  bl_.SetLogResistance(blb_.log_resistance());
+  blb_.SetLogResistance(bl);
+}
+
 }  // namespace rrambnn::rram

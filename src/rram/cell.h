@@ -44,6 +44,12 @@ class Cell2T2R {
   /// In-sense-amplifier binary multiply: XNOR(weight, input).
   int ReadXnor(const Pcsa& pcsa, int input, Rng& rng) const;
 
+  /// Conductance-drift event: swaps the pair's resistances, so the
+  /// differential margin crosses and the sensed weight flips relative to
+  /// its current reading (fleet health aging simulation; deterministic —
+  /// no programming pulse, no endurance cycle).
+  void DriftFlip();
+
   int programmed_weight() const { return programmed_weight_; }
   RramDevice& bl() { return bl_; }
   RramDevice& blb() { return blb_; }

@@ -28,6 +28,13 @@ class RramDevice {
   /// aging point repeatedly).
   void SetCycles(std::uint64_t n) { cycles_ = n; }
 
+  /// Overwrites the device's resistance without a programming pulse — the
+  /// drift primitive of the fleet health simulation (a conductance that
+  /// moved on its own does not count an endurance cycle).
+  void SetLogResistance(double log_resistance) {
+    log_resistance_ = log_resistance;
+  }
+
   /// Log-resistance (natural log of ohms) as seen by a sense amplifier.
   double log_resistance() const { return log_resistance_; }
   double resistance() const { return std::exp(log_resistance_); }

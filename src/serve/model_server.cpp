@@ -4,12 +4,13 @@
 #include <exception>
 #include <mutex>
 #include <ostream>
+#include <stdexcept>
 #include <utility>
 
 namespace rrambnn::serve {
 
-ModelServer::ModelServer(RegistryConfig config)
-    : registry_(std::move(config)) {}
+ModelServer::ModelServer(RegistryConfig config, HealthServingConfig health)
+    : registry_(std::move(config)), health_(health) {}
 
 Response ModelServer::Handle(const Request& request) {
   Response response;
@@ -26,6 +27,9 @@ Response ModelServer::Handle(const Request& request) {
         break;
       case RequestKind::kReload:
         response = HandleReload(request);
+        break;
+      case RequestKind::kHealth:
+        response = HandleHealth(request);
         break;
       default:
         response.ok = false;
@@ -56,10 +60,35 @@ Response ModelServer::HandlePredict(const Request& request) {
           std::chrono::steady_clock::now() - start)
           .count();
   model->RecordRequest(request.batch.dim(0), latency_us);
+  RunHealthHooks(*model, model->stats().requests);
   response.model = request.model;
   response.backend = model->engine().backend().name();
   response.latency_us = latency_us;
   return response;
+}
+
+void ModelServer::RunHealthHooks(ServedModel& model, std::uint64_t requests) {
+  engine::Engine& engine = model.engine();
+  if (!engine.SupportsHealth()) return;
+  // Drift first, then check: a due check heals whatever this interval's
+  // drift (and any earlier unchecked drift) did, so the *next* request is
+  // served by a verified fabric, while the response already written for
+  // this one was computed before any new drift landed.
+  health::BackendHealthAdapter& adapter = *engine.backend().health_adapter();
+  if (health_.drift_ber > 0.0 && health_.drift_every_requests > 0 &&
+      requests % health_.drift_every_requests == 0) {
+    for (int chip = 0; chip < adapter.num_chips(); ++chip) {
+      adapter.InjectChipDrift(
+          chip, health_.drift_ber,
+          health_.drift_seed + requests * 1000003ull +
+              static_cast<std::uint64_t>(chip) * 7919ull);
+    }
+  }
+  if (health_.check_every_requests > 0 &&
+      requests % health_.check_every_requests == 0 &&
+      adapter.SupportsReadback()) {
+    engine.Health().CheckNow();
+  }
 }
 
 Response ModelServer::HandleStatsOrList(const Request& request) {
@@ -94,6 +123,53 @@ Response ModelServer::HandleStatsOrList(const Request& request) {
       }
     }
     response.models.push_back(std::move(wire));
+  }
+  return response;
+}
+
+Response ModelServer::HandleHealth(const Request& request) {
+  Response response;
+  response.id = request.id;
+  response.kind = RequestKind::kHealth;
+  bool matched = false;
+  for (const ModelRegistry::ModelInfo& info : registry_.List()) {
+    if (!request.model.empty() && request.model != info.name) continue;
+    matched = true;
+    ModelHealthWire wire;
+    wire.name = info.name;
+    // Peek, not Acquire: a health poll must not force artifact loads,
+    // trigger hot reloads, or touch LRU recency (same rule as stats).
+    // Non-resident models answer supported=false with no chips.
+    if (const std::shared_ptr<ServedModel> model =
+            registry_.Peek(info.name)) {
+      std::lock_guard<std::mutex> lock(model->serve_mutex());
+      engine::Engine& engine = model->engine();
+      wire.backend = engine.backend().name();
+      wire.supported = engine.SupportsHealth();
+      if (wire.supported) {
+        health::HealthManager& manager = engine.Health();
+        wire.sweeps = manager.sweeps();
+        wire.reprograms = manager.total_reprograms();
+        wire.state_changes = manager.state_changes();
+        for (const health::ChipHealthScore& score : manager.scores()) {
+          ChipHealthWire chip;
+          chip.chip = static_cast<std::uint32_t>(score.chip);
+          chip.state = health::ToString(score.state);
+          chip.ewma_ber = score.ewma_ber;
+          chip.last_raw_ber = score.last_raw_ber;
+          chip.checks = score.checks;
+          chip.reprograms = score.reprograms;
+          chip.generation = score.generation;
+          chip.serving = score.serving;
+          wire.chips.push_back(std::move(chip));
+        }
+      }
+    }
+    response.health.push_back(std::move(wire));
+  }
+  if (!request.model.empty() && !matched) {
+    throw std::invalid_argument("health: unknown model '" + request.model +
+                                "'");
   }
   return response;
 }

@@ -25,9 +25,33 @@
 
 namespace rrambnn::serve {
 
+/// Fleet-health serving knobs of the daemon. Periodic checks run the
+/// engine's HealthManager sweep (estimate → classify → heal → verify) under
+/// the model's serve mutex; the drift knobs are the aging *simulation* for
+/// demos and CI smoke tests — real hardware drifts on its own.
+///
+/// Ordering per predict request: serve, then inject due drift, then run a
+/// due health check. A request is therefore always answered by a fabric the
+/// previous check left verified, so served digests stay bit-identical to
+/// in-process evaluation even while drift and healing churn between
+/// requests.
+struct HealthServingConfig {
+  /// Run a health sweep after every Nth predict request per model (0: no
+  /// periodic checks; the `health` verb still reports scores).
+  std::uint64_t check_every_requests = 0;
+  /// Simulated drift BER injected into every chip of a model's backend
+  /// after every drift interval (0: no drift simulation).
+  double drift_ber = 0.0;
+  /// Inject drift after every Nth predict request per model (0: never).
+  std::uint64_t drift_every_requests = 0;
+  /// Seed of the simulated drift draws.
+  std::uint64_t drift_seed = 40026;
+};
+
 class ModelServer {
  public:
-  explicit ModelServer(RegistryConfig config = {});
+  explicit ModelServer(RegistryConfig config = {},
+                       HealthServingConfig health = {});
 
   ModelRegistry& registry() { return registry_; }
   const ModelRegistry& registry() const { return registry_; }
@@ -64,12 +88,20 @@ class ModelServer {
   /// See docs/protocol.md §5. Returns the number of requests served.
   std::uint64_t ServeStream(std::istream& in, std::ostream& out);
 
+  const HealthServingConfig& health_config() const { return health_; }
+
  private:
   Response HandlePredict(const Request& request);
   Response HandleStatsOrList(const Request& request);
   Response HandleReload(const Request& request);
+  Response HandleHealth(const Request& request);
+
+  /// Post-serve drift/check hooks of one predict request (caller holds the
+  /// model's serve mutex; `requests` is the model's post-record counter).
+  void RunHealthHooks(ServedModel& model, std::uint64_t requests);
 
   ModelRegistry registry_;
+  HealthServingConfig health_;
   std::atomic<std::uint64_t> requests_ok_{0};
   std::atomic<std::uint64_t> requests_failed_{0};
 };

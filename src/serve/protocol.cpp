@@ -54,7 +54,7 @@ Tensor DecodeTensor(io::ByteReader& reader) {
 }
 
 RequestKind DecodeKind(std::uint8_t raw) {
-  if (raw > static_cast<std::uint8_t>(RequestKind::kList)) {
+  if (raw > static_cast<std::uint8_t>(RequestKind::kHealth)) {
     throw std::runtime_error("serve protocol: unknown request kind " +
                              std::to_string(raw));
   }
@@ -69,6 +69,7 @@ std::string ToString(RequestKind kind) {
     case RequestKind::kStats: return "stats";
     case RequestKind::kReload: return "reload";
     case RequestKind::kList: return "list";
+    case RequestKind::kHealth: return "health";
   }
   return "unknown";
 }
@@ -175,6 +176,88 @@ Request DecodeRequest(std::span<const std::uint8_t> payload) {
   return request;
 }
 
+namespace {
+
+/// Health entries travel length-prefixed — u32 byte count, then the entry —
+/// so a decoder skips any fields a newer server appended instead of
+/// misreading them (the unknown-field tolerance of docs/protocol.md §6;
+/// the frozen verbs keep their flat layouts).
+void WriteSizedEntry(io::ByteWriter& writer, io::ByteWriter&& entry) {
+  const std::vector<std::uint8_t> bytes = std::move(entry).TakeBytes();
+  writer.WriteU32(static_cast<std::uint32_t>(bytes.size()));
+  writer.WriteBytes(bytes);
+}
+
+void EncodeChipHealth(io::ByteWriter& writer, const ChipHealthWire& chip) {
+  io::ByteWriter entry;
+  entry.WriteU32(chip.chip);
+  entry.WriteString(chip.state);
+  entry.WriteF64(chip.ewma_ber);
+  entry.WriteF64(chip.last_raw_ber);
+  entry.WriteU64(chip.checks);
+  entry.WriteU64(chip.reprograms);
+  entry.WriteU64(chip.generation);
+  entry.WriteU8(chip.serving ? 1 : 0);
+  WriteSizedEntry(writer, std::move(entry));
+}
+
+void EncodeModelHealth(io::ByteWriter& writer, const ModelHealthWire& model) {
+  io::ByteWriter entry;
+  entry.WriteString(model.name);
+  entry.WriteString(model.backend);
+  entry.WriteU8(model.supported ? 1 : 0);
+  entry.WriteU64(model.sweeps);
+  entry.WriteU64(model.reprograms);
+  entry.WriteU64(model.state_changes);
+  entry.WriteU64(model.chips.size());
+  for (const ChipHealthWire& chip : model.chips) {
+    EncodeChipHealth(entry, chip);
+  }
+  WriteSizedEntry(writer, std::move(entry));
+}
+
+ChipHealthWire DecodeChipHealth(io::ByteReader& outer) {
+  const std::uint32_t size = outer.ReadU32();
+  io::ByteReader reader(outer.ReadBytes(size), "serve chip health entry");
+  ChipHealthWire chip;
+  chip.chip = reader.ReadU32();
+  chip.state = reader.ReadString();
+  chip.ewma_ber = reader.ReadF64();
+  chip.last_raw_ber = reader.ReadF64();
+  chip.checks = reader.ReadU64();
+  chip.reprograms = reader.ReadU64();
+  chip.generation = reader.ReadU64();
+  chip.serving = reader.ReadU8() != 0;
+  // Bytes past the known fields are fields appended by a newer server:
+  // skipped by the length prefix, deliberately not an error.
+  return chip;
+}
+
+ModelHealthWire DecodeModelHealth(io::ByteReader& outer) {
+  const std::uint32_t size = outer.ReadU32();
+  io::ByteReader reader(outer.ReadBytes(size), "serve model health entry");
+  ModelHealthWire model;
+  model.name = reader.ReadString();
+  model.backend = reader.ReadString();
+  model.supported = reader.ReadU8() != 0;
+  model.sweeps = reader.ReadU64();
+  model.reprograms = reader.ReadU64();
+  model.state_changes = reader.ReadU64();
+  const std::uint64_t chips = reader.ReadU64();
+  if (chips > size) {  // every chip entry is many bytes; cheap sanity cap
+    throw std::runtime_error("serve response: chip count " +
+                             std::to_string(chips) +
+                             " exceeds the entry it arrived in");
+  }
+  model.chips.reserve(static_cast<std::size_t>(chips));
+  for (std::uint64_t i = 0; i < chips; ++i) {
+    model.chips.push_back(DecodeChipHealth(reader));
+  }
+  return model;
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> EncodeResponse(const Response& response) {
   io::ByteWriter writer;
   writer.WriteU64(response.id);
@@ -212,6 +295,12 @@ std::vector<std::uint8_t> EncodeResponse(const Response& response) {
         writer.WriteU8(m.energy_available ? 1 : 0);
         writer.WriteF64(m.program_energy_pj);
         writer.WriteF64(m.per_inference_read_energy_pj);
+      }
+      break;
+    case RequestKind::kHealth:
+      writer.WriteU64(response.health.size());
+      for (const ModelHealthWire& m : response.health) {
+        EncodeModelHealth(writer, m);
       }
       break;
   }
@@ -273,6 +362,19 @@ Response DecodeResponse(std::span<const std::uint8_t> payload) {
         m.program_energy_pj = reader.ReadF64();
         m.per_inference_read_energy_pj = reader.ReadF64();
         response.models.push_back(std::move(m));
+      }
+      break;
+    }
+    case RequestKind::kHealth: {
+      const std::uint64_t n = reader.ReadU64();
+      if (n > payload.size()) {  // every entry is many bytes; cheap sanity cap
+        throw std::runtime_error("serve response: health model count " +
+                                 std::to_string(n) +
+                                 " exceeds the payload it arrived in");
+      }
+      response.health.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        response.health.push_back(DecodeModelHealth(reader));
       }
       break;
     }

@@ -9,12 +9,14 @@
 // with the artifact format's ByteWriter/ByteReader primitives (io/serde.h),
 // so every field is bounds-checked on decode and truncation fails loudly.
 //
-// Requests (the daemon's four verbs):
+// Requests (the daemon's five verbs):
 //   predict <model> <rows>   class predictions for a batch of raw input
 //                            rows (the layout the network was trained on)
 //   stats                    per-model serving statistics + energy figures
 //   reload <model>           drop the resident engine; next predict reloads
 //   list                     registered models with residency
+//   health [<model>]         per-model, per-chip fleet health (BER
+//                            estimates, states, healing counters)
 //
 // Every response echoes the request id, so a client multiplexing requests
 // can match answers; errors travel as ok=false + message instead of
@@ -41,6 +43,7 @@ enum class RequestKind : std::uint8_t {
   kStats = 1,
   kReload = 2,
   kList = 3,
+  kHealth = 4,
 };
 
 /// Wire name of a request kind ("predict", "stats", ...).
@@ -49,7 +52,8 @@ std::string ToString(RequestKind kind);
 struct Request {
   std::uint64_t id = 0;
   RequestKind kind = RequestKind::kPredict;
-  /// Target model (kPredict, kReload); unused otherwise.
+  /// Target model (kPredict, kReload); optional filter (kHealth: empty =
+  /// every model); unused otherwise.
   std::string model;
   /// Input rows, first axis = samples (kPredict). Floats travel as raw
   /// IEEE-754 bits, so served predictions are bit-identical to in-process
@@ -77,6 +81,40 @@ struct ModelStatsWire {
   double per_inference_read_energy_pj = 0.0;
 };
 
+/// Per-chip health entry of a health response. Entries travel
+/// length-prefixed on the wire, so servers may append fields without
+/// breaking older clients (see docs/protocol.md §6).
+struct ChipHealthWire {
+  std::uint32_t chip = 0;
+  /// "healthy" | "degraded" | "sick" (strings, not enum ordinals: a future
+  /// state is rendered verbatim by old clients instead of misdecoding).
+  std::string state;
+  double ewma_ber = 0.0;
+  double last_raw_ber = 0.0;
+  std::uint64_t checks = 0;
+  std::uint64_t reprograms = 0;
+  std::uint64_t generation = 0;
+  bool serving = true;
+};
+
+/// Per-model health entry of a health response (length-prefixed like
+/// ChipHealthWire).
+struct ModelHealthWire {
+  std::string name;
+  /// Serving backend name (resident models; empty otherwise).
+  std::string backend;
+  /// Whether the backend exposes a health surface at all. Non-resident
+  /// models report false with no chips (health must not force a load).
+  bool supported = false;
+  /// Completed estimation/healing sweeps.
+  std::uint64_t sweeps = 0;
+  /// Healing reprograms across all chips.
+  std::uint64_t reprograms = 0;
+  /// Chip state transitions observed.
+  std::uint64_t state_changes = 0;
+  std::vector<ChipHealthWire> chips;
+};
+
 struct Response {
   std::uint64_t id = 0;
   RequestKind kind = RequestKind::kPredict;
@@ -92,6 +130,8 @@ struct Response {
   double latency_us = 0.0;
   // -- kStats / kList --
   std::vector<ModelStatsWire> models;
+  // -- kHealth --
+  std::vector<ModelHealthWire> health;
 };
 
 // -- Frame I/O --------------------------------------------------------------

@@ -1,0 +1,109 @@
+// Tolerance-curve shape tests (the paper's central robustness claim): as
+// bit-error rate rises, accuracy of the deployed BNN stays flat through
+// the low-BER plateau (the 2T2R operating region), bends around 1e-3..1e-2
+// and collapses toward chance at high rates. Parameterized over both
+// error-bearing substrates — the software "fault" backend and the
+// device-level "rram" backend — which must reproduce the same curve shape,
+// since their fault sites are drawn from the same statistics
+// (core::ForEachFaultSite).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "health/adapter.h"
+#include "serve/demo_tasks.h"
+
+namespace rrambnn {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TrainedDemo {
+  serve::DemoTask task;
+  std::string artifact;
+};
+
+/// Trains the ECG demo model once for the whole suite (3 epochs: enough
+/// headroom above chance for a collapse to be measurable).
+const TrainedDemo& Demo() {
+  static const TrainedDemo demo = [] {
+    TrainedDemo d{serve::MakeDemoTask("ecg"), {}};
+    const fs::path dir =
+        fs::temp_directory_path() / "rrambnn_health_tolerance";
+    fs::create_directories(dir);
+    d.artifact = (dir / "ecg.rbnn").string();
+    engine::Engine trainer(serve::DemoServingConfig(3), d.task.factory);
+    (void)trainer.Train(d.task.train, d.task.val);
+    trainer.SaveArtifact(d.artifact);
+    return d;
+  }();
+  return demo;
+}
+
+/// Accuracy of the demo model on `backend` with `ber` drift injected into
+/// its (single) chip, averaged over `seeds` independent drift draws. The
+/// backend is redeployed per draw: drift accumulates, a fresh measurement
+/// needs a fresh fabric.
+double AccuracyAtBer(const std::string& backend, double ber, int seeds) {
+  const TrainedDemo& demo = Demo();
+  double total = 0.0;
+  for (int seed = 0; seed < seeds; ++seed) {
+    engine::EngineConfig config = serve::DemoServingConfig(3);
+    config.WithBackend(backend);
+    engine::Engine engine =
+        engine::Engine::FromArtifact(demo.artifact, config);
+    engine.Deploy();
+    health::BackendHealthAdapter* adapter =
+        engine.backend().health_adapter();
+    if (ber > 0.0) {
+      adapter->InjectChipDrift(0, ber,
+                               9000 + static_cast<std::uint64_t>(seed));
+    }
+    total += engine.Evaluate(demo.task.val);
+  }
+  return total / static_cast<double>(seeds);
+}
+
+class BerToleranceCurve : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BerToleranceCurve, MatchesThePaperShape) {
+  const std::string backend = GetParam();
+  const std::vector<double> bers = {0.0,  1e-3, 5e-3, 2e-2,
+                                    1e-1, 0.3,  0.5};
+  constexpr int kSeeds = 3;
+  std::vector<double> accuracy;
+  for (const double ber : bers) {
+    accuracy.push_back(AccuracyAtBer(backend, ber, kSeeds));
+  }
+
+  // Monotone non-increasing within sampling slack: more errors never help.
+  for (std::size_t i = 1; i < accuracy.size(); ++i) {
+    EXPECT_LE(accuracy[i], accuracy[i - 1] + 0.05)
+        << backend << ": accuracy rose from BER " << bers[i - 1] << " to "
+        << bers[i];
+  }
+
+  // Low-BER plateau (the knee has not started): 1e-3 costs almost nothing —
+  // the robustness that lets the paper drop ECC.
+  EXPECT_GE(accuracy[1], accuracy[0] - 0.03)
+      << backend << ": measurable loss already at BER 1e-3";
+
+  // High-BER collapse: at 0.5 the weight planes carry no information and
+  // accuracy must fall clearly below the clean model.
+  EXPECT_LE(accuracy.back(), accuracy[0] - 0.05)
+      << backend << ": no collapse at BER 0.5 (clean accuracy "
+      << accuracy[0] << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultAndRram, BerToleranceCurve,
+                         ::testing::Values("fault", "rram"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+}  // namespace
+}  // namespace rrambnn

@@ -1,0 +1,162 @@
+// Wire-format tests of the `health` verb: round-trip fidelity, and the
+// forward-compatibility rule of docs/protocol.md §6 — health entries are
+// length-prefixed, so a client must decode a response whose entries carry
+// fields appended by a newer server, skipping the unknown trailing bytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "io/serde.h"
+#include "serve/protocol.h"
+
+namespace rrambnn::serve {
+namespace {
+
+Response MakeHealthResponse() {
+  Response response;
+  response.id = 42;
+  response.kind = RequestKind::kHealth;
+  ModelHealthWire model;
+  model.name = "ecg";
+  model.backend = "rram-sharded";
+  model.supported = true;
+  model.sweeps = 7;
+  model.reprograms = 3;
+  model.state_changes = 5;
+  ChipHealthWire chip;
+  chip.chip = 2;
+  chip.state = "degraded";
+  chip.ewma_ber = 3.5e-3;
+  chip.last_raw_ber = 4.0e-3;
+  chip.checks = 9;
+  chip.reprograms = 1;
+  chip.generation = 1;
+  chip.serving = false;
+  model.chips.push_back(chip);
+  response.health.push_back(model);
+  ModelHealthWire evicted;
+  evicted.name = "eeg";
+  evicted.supported = false;  // non-resident: no backend, no chips
+  response.health.push_back(evicted);
+  return response;
+}
+
+TEST(HealthProtocol, RequestRoundTrip) {
+  Request request;
+  request.id = 11;
+  request.kind = RequestKind::kHealth;
+  request.model = "ecg";  // single-model filter
+  const Request decoded = DecodeRequest(EncodeRequest(request));
+  EXPECT_EQ(decoded.id, 11u);
+  EXPECT_EQ(decoded.kind, RequestKind::kHealth);
+  EXPECT_EQ(decoded.model, "ecg");
+}
+
+TEST(HealthProtocol, ResponseRoundTrip) {
+  const Response decoded = DecodeResponse(EncodeResponse(MakeHealthResponse()));
+  EXPECT_EQ(decoded.id, 42u);
+  EXPECT_EQ(decoded.kind, RequestKind::kHealth);
+  ASSERT_EQ(decoded.health.size(), 2u);
+  const ModelHealthWire& model = decoded.health[0];
+  EXPECT_EQ(model.name, "ecg");
+  EXPECT_EQ(model.backend, "rram-sharded");
+  EXPECT_TRUE(model.supported);
+  EXPECT_EQ(model.sweeps, 7u);
+  EXPECT_EQ(model.reprograms, 3u);
+  EXPECT_EQ(model.state_changes, 5u);
+  ASSERT_EQ(model.chips.size(), 1u);
+  const ChipHealthWire& chip = model.chips[0];
+  EXPECT_EQ(chip.chip, 2u);
+  EXPECT_EQ(chip.state, "degraded");
+  EXPECT_DOUBLE_EQ(chip.ewma_ber, 3.5e-3);
+  EXPECT_DOUBLE_EQ(chip.last_raw_ber, 4.0e-3);
+  EXPECT_EQ(chip.checks, 9u);
+  EXPECT_EQ(chip.reprograms, 1u);
+  EXPECT_EQ(chip.generation, 1u);
+  EXPECT_FALSE(chip.serving);
+  EXPECT_FALSE(decoded.health[1].supported);
+  EXPECT_TRUE(decoded.health[1].chips.empty());
+}
+
+/// Hand-encodes a health response in the documented wire layout with extra
+/// bytes appended inside each length-prefixed entry — what a newer server
+/// that grew the format would send to today's decoder.
+TEST(HealthProtocol, DecoderSkipsFieldsAppendedByNewerServers) {
+  io::ByteWriter writer;
+  writer.WriteU64(7);  // id
+  writer.WriteU8(static_cast<std::uint8_t>(RequestKind::kHealth));
+  writer.WriteU8(1);   // ok
+  writer.WriteU64(1);  // one model entry
+
+  io::ByteWriter chip;
+  chip.WriteU32(0);
+  chip.WriteString("healthy");
+  chip.WriteF64(1.0e-4);   // ewma
+  chip.WriteF64(2.0e-4);   // raw
+  chip.WriteU64(3);        // checks
+  chip.WriteU64(0);        // reprograms
+  chip.WriteU64(0);        // generation
+  chip.WriteU8(1);         // serving
+  chip.WriteF64(0.125);    // hypothetical future field (unknown today)
+  chip.WriteString("future-diagnosis");  // and another
+  const std::vector<std::uint8_t> chip_bytes = chip.TakeBytes();
+
+  io::ByteWriter model;
+  model.WriteString("ecg");
+  model.WriteString("rram");
+  model.WriteU8(1);   // supported
+  model.WriteU64(4);  // sweeps
+  model.WriteU64(2);  // reprograms
+  model.WriteU64(1);  // state changes
+  model.WriteU64(1);  // one chip
+  model.WriteU32(static_cast<std::uint32_t>(chip_bytes.size()));
+  model.WriteBytes(chip_bytes);
+  model.WriteU64(99);  // hypothetical future model-level field
+  const std::vector<std::uint8_t> model_bytes = model.TakeBytes();
+
+  writer.WriteU32(static_cast<std::uint32_t>(model_bytes.size()));
+  writer.WriteBytes(model_bytes);
+
+  const Response decoded = DecodeResponse(writer.TakeBytes());
+  ASSERT_EQ(decoded.health.size(), 1u);
+  EXPECT_EQ(decoded.health[0].name, "ecg");
+  EXPECT_EQ(decoded.health[0].sweeps, 4u);
+  ASSERT_EQ(decoded.health[0].chips.size(), 1u);
+  EXPECT_EQ(decoded.health[0].chips[0].state, "healthy");
+  EXPECT_EQ(decoded.health[0].chips[0].checks, 3u);
+  EXPECT_TRUE(decoded.health[0].chips[0].serving);
+}
+
+TEST(HealthProtocol, TruncatedEntryFailsLoudly) {
+  std::vector<std::uint8_t> bytes = EncodeResponse(MakeHealthResponse());
+  bytes.resize(bytes.size() / 2);  // cut inside an entry
+  EXPECT_THROW((void)DecodeResponse(bytes), std::runtime_error);
+}
+
+TEST(HealthProtocol, HostileChipCountIsRejected) {
+  // A model entry claiming more chips than its own byte count can hold
+  // must be rejected before any allocation loop runs away.
+  io::ByteWriter model;
+  model.WriteString("x");
+  model.WriteString("");
+  model.WriteU8(1);
+  model.WriteU64(0);
+  model.WriteU64(0);
+  model.WriteU64(0);
+  model.WriteU64(~std::uint64_t{0});  // hostile chip count
+  const std::vector<std::uint8_t> model_bytes = model.TakeBytes();
+
+  io::ByteWriter writer;
+  writer.WriteU64(1);
+  writer.WriteU8(static_cast<std::uint8_t>(RequestKind::kHealth));
+  writer.WriteU8(1);
+  writer.WriteU64(1);
+  writer.WriteU32(static_cast<std::uint32_t>(model_bytes.size()));
+  writer.WriteBytes(model_bytes);
+  EXPECT_THROW((void)DecodeResponse(writer.TakeBytes()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rrambnn::serve

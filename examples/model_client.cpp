@@ -148,10 +148,14 @@ bool PrintResponse(const serve::Response& response,
           continue;
         }
         std::printf(
-            "model=%s resident=%d backend=%s requests=%llu rows=%llu "
+            "model=%s resident=%d backend=%s load_mode=%s "
+            "resident_bytes=%llu mapped_bytes=%llu requests=%llu rows=%llu "
             "mean_latency_us=%.1f max_latency_us=%.1f rows_per_sec=%.0f "
             "energy=%s program_pj=%.1f read_pj_per_inference=%.3f\n",
             m.name.c_str(), m.resident ? 1 : 0, m.backend.c_str(),
+            m.load_mode.empty() ? "-" : m.load_mode.c_str(),
+            static_cast<unsigned long long>(m.resident_bytes),
+            static_cast<unsigned long long>(m.mapped_bytes),
             static_cast<unsigned long long>(m.requests),
             static_cast<unsigned long long>(m.rows),
             m.requests > 0 ? m.total_latency_us /

@@ -45,7 +45,8 @@ int Usage() {
       stderr,
       "usage: model_server --model NAME=PATH.rbnn [--model NAME=PATH ...]\n"
       "                    [--backend NAME] [--threads N] [--capacity N]\n"
-      "                    [--no-hot-reload]\n"
+      "                    [--no-hot-reload] [--resident-mapped] [--no-mmap]\n"
+      "                    [--lazy-verify]\n"
       "                    [--health-check-every N] [--drift-ber X]\n"
       "                    [--drift-every N] [--drift-seed N]\n"
       "                    [--listen [HOST:]PORT [--workers N]\n"
@@ -57,6 +58,11 @@ int Usage() {
       "  --threads N        per-model serving thread count override\n"
       "  --capacity N       max resident models (LRU eviction; default 8)\n"
       "  --no-hot-reload    do not watch artifact mtimes\n"
+      "  --resident-mapped  mmap-ed models never count against --capacity\n"
+      "                     and are never evicted (thousands-resident fleet)\n"
+      "  --no-mmap          copy v2 artifacts instead of mapping them\n"
+      "  --lazy-verify      defer per-chunk CRC checks to first access\n"
+      "                     (fast cold start over a large fleet)\n"
       "  --health-check-every N  run a fleet-health sweep (BER estimate,\n"
       "                     classify, heal, verify) after every Nth predict\n"
       "                     request per model (0: only on the health verb)\n"
@@ -151,6 +157,12 @@ int main(int argc, char** argv) {
       config.capacity = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--no-hot-reload") {
       config.hot_reload = false;
+    } else if (arg == "--resident-mapped") {
+      config.resident_mapped = true;
+    } else if (arg == "--no-mmap") {
+      config.load.allow_mmap = false;
+    } else if (arg == "--lazy-verify") {
+      config.load.verify = false;
     } else if (arg == "--health-check-every" && has_value) {
       health_config.check_every_requests =
           static_cast<std::uint64_t>(std::atoll(argv[++i]));

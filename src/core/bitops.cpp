@@ -243,29 +243,71 @@ BitMatrix BitMatrix::FromSignRows(std::span<const float> values,
   return m;
 }
 
-BitMatrix BitMatrix::FromWords(std::int64_t rows, std::int64_t cols,
-                               std::vector<std::uint64_t> words) {
-  BitMatrix m(rows, cols);
-  if (words.size() != m.words_.size()) {
+namespace {
+
+/// Shared validation of externally supplied packed words (FromWords and
+/// FromBorrowedWords): right count for the shape, zero padding bits.
+void CheckSuppliedWords(const char* who, std::int64_t rows, std::int64_t cols,
+                        std::int64_t words_per_row,
+                        std::span<const std::uint64_t> words) {
+  const std::size_t need = static_cast<std::size_t>(rows * words_per_row);
+  if (words.size() != need) {
     throw std::invalid_argument(
-        "BitMatrix::FromWords: " + std::to_string(words.size()) +
+        std::string(who) + ": " + std::to_string(words.size()) +
         " word(s) for a " + std::to_string(rows) + "x" + std::to_string(cols) +
-        " matrix (need " + std::to_string(m.words_.size()) + ")");
+        " matrix (need " + std::to_string(need) + ")");
   }
   const std::int64_t rem = cols % kWordBits;
   if (rem != 0) {
     const std::uint64_t pad_mask = ~((1ull << rem) - 1);
     for (std::int64_t r = 0; r < rows; ++r) {
-      if (words[static_cast<std::size_t>((r + 1) * m.words_per_row_ - 1)] &
+      if (words[static_cast<std::size_t>((r + 1) * words_per_row - 1)] &
           pad_mask) {
-        throw std::invalid_argument(
-            "BitMatrix::FromWords: nonzero padding bits in row " +
-            std::to_string(r));
+        throw std::invalid_argument(std::string(who) +
+                                    ": nonzero padding bits in row " +
+                                    std::to_string(r));
       }
     }
   }
+}
+
+}  // namespace
+
+BitMatrix BitMatrix::FromWords(std::int64_t rows, std::int64_t cols,
+                               std::vector<std::uint64_t> words) {
+  BitMatrix m(rows, cols);
+  CheckSuppliedWords("BitMatrix::FromWords", rows, cols, m.words_per_row_,
+                     words);
   m.words_ = std::move(words);
   return m;
+}
+
+BitMatrix BitMatrix::FromBorrowedWords(std::int64_t rows, std::int64_t cols,
+                                       std::span<const std::uint64_t> words,
+                                       std::shared_ptr<const void> keepalive) {
+  BitMatrix m(rows, cols);
+  CheckSuppliedWords("BitMatrix::FromBorrowedWords", rows, cols,
+                     m.words_per_row_, words);
+  m.words_.clear();
+  m.words_.shrink_to_fit();
+  m.view_ = words.data();
+  m.keepalive_ = std::move(keepalive);
+  return m;
+}
+
+void BitMatrix::EnsureOwned() {
+  if (view_ == nullptr) return;
+  words_.assign(view_, view_ + rows_ * words_per_row_);
+  view_ = nullptr;
+  keepalive_.reset();
+}
+
+bool BitMatrix::operator==(const BitMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  const std::uint64_t* a = WordData();
+  const std::uint64_t* b = other.WordData();
+  const std::int64_t n = rows_ * words_per_row_;
+  return std::equal(a, a + n, b);
 }
 
 void BitMatrix::CheckAddress(std::int64_t r, std::int64_t c) const {
@@ -277,7 +319,8 @@ void BitMatrix::CheckAddress(std::int64_t r, std::int64_t c) const {
 int BitMatrix::Get(std::int64_t r, std::int64_t c) const {
   CheckAddress(r, c);
   const bool bit =
-      (words_[static_cast<std::size_t>(r * words_per_row_ + c / kWordBits)] >>
+      (WordData()[static_cast<std::size_t>(r * words_per_row_ +
+                                           c / kWordBits)] >>
        (c % kWordBits)) &
       1ull;
   return bit ? +1 : -1;
@@ -288,6 +331,7 @@ void BitMatrix::Set(std::int64_t r, std::int64_t c, int pm1) {
   if (pm1 != +1 && pm1 != -1) {
     throw std::invalid_argument("BitMatrix::Set: value not in {-1,+1}");
   }
+  EnsureOwned();
   const std::uint64_t mask = 1ull << (c % kWordBits);
   auto& w =
       words_[static_cast<std::size_t>(r * words_per_row_ + c / kWordBits)];
@@ -300,12 +344,14 @@ void BitMatrix::Set(std::int64_t r, std::int64_t c, int pm1) {
 
 void BitMatrix::Flip(std::int64_t r, std::int64_t c) {
   CheckAddress(r, c);
+  EnsureOwned();
   words_[static_cast<std::size_t>(r * words_per_row_ + c / kWordBits)] ^=
       (1ull << (c % kWordBits));
 }
 
 void BitMatrix::FlipRow(std::int64_t r) {
   CheckAddress(r, 0);
+  EnsureOwned();
   const std::int64_t rem = cols_ % kWordBits;
   const std::uint64_t tail = rem == 0 ? ~0ull : ((1ull << rem) - 1);
   for (std::int64_t w = 0; w < words_per_row_; ++w) {
@@ -322,7 +368,7 @@ std::int64_t BitMatrix::RowXnorPopcount(std::int64_t r,
     throw std::invalid_argument("RowXnorPopcount: input size != cols");
   }
   const std::uint64_t* row =
-      words_.data() + static_cast<std::size_t>(r * words_per_row_);
+      WordData() + static_cast<std::size_t>(r * words_per_row_);
   std::int64_t count = 0;
   const std::size_t n = static_cast<std::size_t>(words_per_row_);
   if (n == 0) return 0;
@@ -338,7 +384,7 @@ BitVector BitMatrix::Row(std::int64_t r) const {
   BitVector v(cols_);
   for (std::int64_t w = 0; w < words_per_row_; ++w) {
     v.words_[static_cast<std::size_t>(w)] =
-        words_[static_cast<std::size_t>(r * words_per_row_ + w)];
+        WordData()[static_cast<std::size_t>(r * words_per_row_ + w)];
   }
   return v;
 }
@@ -348,6 +394,7 @@ void BitMatrix::SetRow(std::int64_t r, const BitVector& v) {
   if (v.size() != cols_) {
     throw std::invalid_argument("BitMatrix::SetRow: size mismatch");
   }
+  EnsureOwned();
   for (std::int64_t w = 0; w < words_per_row_; ++w) {
     words_[static_cast<std::size_t>(r * words_per_row_ + w)] =
         v.words_[static_cast<std::size_t>(w)];
@@ -361,7 +408,7 @@ void BitMatrix::ExtractRow(std::int64_t r, BitVector& out) const {
     out.words_.resize(static_cast<std::size_t>(words_per_row_));
   }
   const std::uint64_t* src =
-      words_.data() + static_cast<std::size_t>(r * words_per_row_);
+      WordData() + static_cast<std::size_t>(r * words_per_row_);
   std::copy(src, src + words_per_row_, out.words_.begin());
 }
 
@@ -370,14 +417,14 @@ BitMatrix BitMatrix::RowSlice(std::int64_t begin, std::int64_t end) const {
     throw std::invalid_argument("BitMatrix::RowSlice: bad row range");
   }
   BitMatrix out(end - begin, cols_);
-  std::copy(words_.begin() + begin * words_per_row_,
-            words_.begin() + end * words_per_row_, out.words_.begin());
+  std::copy(WordData() + begin * words_per_row_,
+            WordData() + end * words_per_row_, out.words_.begin());
   return out;
 }
 
 std::span<const std::uint64_t> BitMatrix::RowWords(std::int64_t r) const {
   CheckAddress(r, 0);
-  return {words_.data() + static_cast<std::size_t>(r * words_per_row_),
+  return {WordData() + static_cast<std::size_t>(r * words_per_row_),
           static_cast<std::size_t>(words_per_row_)};
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -65,6 +66,14 @@ class BitVector {
 };
 
 /// Row-major packed binary matrix; each row is word-aligned.
+///
+/// Storage is copy-on-write over an optional borrowed source: a matrix
+/// normally owns its words, but FromBorrowedWords builds one whose words
+/// live elsewhere (an mmap-ed artifact), pinned by a keepalive shared_ptr.
+/// Copies of a borrowed matrix share the borrow (pointer + refcount, no
+/// word copy) — which is what makes backend-by-value model copies stay
+/// zero-copy. Any mutation first materializes a private owned copy, so
+/// borrowing is never observable through the API, only through borrowed().
 class BitMatrix {
  public:
   BitMatrix() = default;
@@ -89,6 +98,15 @@ class BitMatrix {
   /// std::invalid_argument otherwise.
   static BitMatrix FromWords(std::int64_t rows, std::int64_t cols,
                              std::vector<std::uint64_t> words);
+
+  /// Builds a matrix whose words are *borrowed* from `words` — zero copy.
+  /// `keepalive` must own the memory behind `words` (a MappedArtifact or a
+  /// decompressed chunk buffer) and keeps it alive for as long as this
+  /// matrix or any copy of it borrows. Validation is identical to
+  /// FromWords (word count, zero padding bits).
+  static BitMatrix FromBorrowedWords(std::int64_t rows, std::int64_t cols,
+                                     std::span<const std::uint64_t> words,
+                                     std::shared_ptr<const void> keepalive);
 
   std::int64_t rows() const { return rows_; }
   std::int64_t cols() const { return cols_; }
@@ -124,22 +142,40 @@ class BitMatrix {
   std::span<const std::uint64_t> RowWords(std::int64_t r) const;
 
   /// All packed words, row-major with word-aligned rows (serialization).
-  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::span<const std::uint64_t> words() const {
+    return {WordData(), static_cast<std::size_t>(rows_ * words_per_row_)};
+  }
 
   std::int64_t words_per_row() const { return words_per_row_; }
 
   /// Total storage in bits (rows * cols; padding excluded).
   std::int64_t bits() const { return rows_ * cols_; }
 
-  bool operator==(const BitMatrix& other) const = default;
+  /// True while the words live in borrowed (mapped) memory.
+  bool borrowed() const { return view_ != nullptr; }
+
+  /// Forces a private owned copy of borrowed words (no-op when owned
+  /// already). The explicit form of what any mutator does implicitly.
+  void Materialize() { EnsureOwned(); }
+
+  /// Value equality of shape and bits, regardless of where the words live.
+  bool operator==(const BitMatrix& other) const;
 
  private:
   void CheckAddress(std::int64_t r, std::int64_t c) const;
+  const std::uint64_t* WordData() const {
+    return view_ != nullptr ? view_ : words_.data();
+  }
+  void EnsureOwned();
 
   std::int64_t rows_ = 0;
   std::int64_t cols_ = 0;
   std::int64_t words_per_row_ = 0;
+  /// Owned storage; empty while borrowing.
   std::vector<std::uint64_t> words_;
+  /// Borrowed storage (artifact mapping); null when owned.
+  const std::uint64_t* view_ = nullptr;
+  std::shared_ptr<const void> keepalive_;
 };
 
 /// Name of the sign-packing kernel the runtime dispatcher selected for

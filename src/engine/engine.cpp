@@ -123,27 +123,41 @@ Engine::Engine(EngineConfig config, nn::Sequential net,
       trained_(true) {}
 
 Engine Engine::FromArtifact(const std::string& path) {
-  io::LoadedArtifact artifact = io::LoadEngineArtifact(path);
+  return FromArtifact(path, io::LoadArtifactOptions{});
+}
+
+Engine Engine::FromArtifact(const std::string& path, EngineConfig config) {
+  return FromArtifact(path, std::move(config), io::LoadArtifactOptions{});
+}
+
+Engine Engine::FromArtifact(const std::string& path,
+                            const io::LoadArtifactOptions& options) {
+  io::LoadedArtifact artifact = io::LoadEngineArtifact(path, options);
   Engine engine(std::move(artifact.config), std::move(artifact.net),
                 artifact.classifier_start);
   engine.compiled_ =
       std::make_unique<core::BnnModel>(std::move(artifact.model));
+  engine.artifact_load_info_ = artifact.info;
   return engine;
 }
 
-Engine Engine::FromArtifact(const std::string& path, EngineConfig config) {
-  io::LoadedArtifact artifact = io::LoadEngineArtifact(path);
+Engine Engine::FromArtifact(const std::string& path, EngineConfig config,
+                            const io::LoadArtifactOptions& options) {
+  io::LoadedArtifact artifact = io::LoadEngineArtifact(path, options);
   Engine engine(std::move(config), std::move(artifact.net),
                 artifact.classifier_start);
   engine.compiled_ =
       std::make_unique<core::BnnModel>(std::move(artifact.model));
+  engine.artifact_load_info_ = artifact.info;
   return engine;
 }
 
-void Engine::SaveArtifact(const std::string& path) {
+void Engine::SaveArtifact(const std::string& path,
+                          const io::ArtifactWriteOptions& options) {
   RequireTrained("SaveArtifact");
   if (!compiled_) Compile();
-  io::SaveEngineArtifact(path, config_, net_, classifier_start_, *compiled_);
+  io::SaveEngineArtifact(path, config_, net_, classifier_start_, *compiled_,
+                         options);
 }
 
 nn::FitResult Engine::Train(const nn::Dataset& train, const nn::Dataset& val) {

@@ -30,6 +30,7 @@
 #include "core/strategy.h"
 #include "engine/registry.h"
 #include "health/manager.h"
+#include "io/artifact_info.h"
 #include "nn/dataset.h"
 #include "nn/sequential.h"
 #include "nn/trainer.h"
@@ -113,9 +114,18 @@ class Engine {
   /// the configuration stored in the artifact; the second replaces it with
   /// `config` (e.g. a server's thread count or backend choice) while keeping
   /// the stored network and compiled model. Throws std::runtime_error for
-  /// missing/corrupt/version-mismatched files.
+  /// missing/corrupt/version-mismatched files. The overloads taking
+  /// io::LoadArtifactOptions control the zero-copy path: a v2 artifact is
+  /// mmap-ed by default (the model's bulk data stays shared page cache);
+  /// options.allow_mmap = false forces private copies, options.verify =
+  /// false defers per-chunk CRC checks to first access. v1 artifacts always
+  /// copy. Inspect what happened through artifact_load_info().
   static Engine FromArtifact(const std::string& path);
   static Engine FromArtifact(const std::string& path, EngineConfig config);
+  static Engine FromArtifact(const std::string& path,
+                             const io::LoadArtifactOptions& options);
+  static Engine FromArtifact(const std::string& path, EngineConfig config,
+                             const io::LoadArtifactOptions& options);
 
   Engine(Engine&&) = default;
   Engine& operator=(Engine&&) = default;
@@ -134,8 +144,10 @@ class Engine {
   /// Writes the trained-and-compiled pipeline to a versioned, checksummed
   /// artifact file (compiling first if needed — so kReal strategies throw,
   /// as in Compile()). The artifact is everything a serving process needs;
-  /// load it with Engine::FromArtifact.
-  void SaveArtifact(const std::string& path);
+  /// load it with Engine::FromArtifact. `options` picks the container
+  /// version and cold-storage compression (default: v2, uncompressed).
+  void SaveArtifact(const std::string& path,
+                    const io::ArtifactWriteOptions& options = {});
 
   /// Instantiates the configured (or named) backend for the compiled model.
   /// Compiles first if needed. Returns the live backend.
@@ -199,6 +211,13 @@ class Engine {
   const EngineConfig& config() const { return config_; }
   EngineConfig& config() { return config_; }
 
+  /// How FromArtifact materialized this engine (format version, load mode,
+  /// resident vs mapped bytes). Default-constructed (version 0) for engines
+  /// not built from an artifact.
+  const io::ArtifactLoadInfo& artifact_load_info() const {
+    return artifact_load_info_;
+  }
+
  private:
   /// FromTrained delegate: pre-trained network, no factory.
   Engine(EngineConfig config, nn::Sequential net, std::size_t classifier_start);
@@ -222,6 +241,7 @@ class Engine {
   std::unique_ptr<core::BnnModel> compiled_;
   std::unique_ptr<InferenceBackend> backend_;
   std::unique_ptr<health::HealthManager> health_;  // scoped to backend_
+  io::ArtifactLoadInfo artifact_load_info_;
 };
 
 }  // namespace rrambnn::engine

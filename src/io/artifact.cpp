@@ -6,6 +6,7 @@
 
 #include "io/chunk_file.h"
 #include "io/layer_serde.h"
+#include "io/mapped_artifact.h"
 #include "io/serde.h"
 #include "io/tensor_serde.h"
 
@@ -16,6 +17,7 @@ namespace {
 constexpr char kConfigTag[] = "engine-config";
 constexpr char kNetworkTag[] = "network";
 constexpr char kCompiledTag[] = "compiled-bnn";
+constexpr char kBlobTag[] = "blob-data";
 
 void SaveDeviceParams(const rram::DeviceParams& d, ByteWriter& w) {
   w.WriteF64(d.lrs_log_mean);
@@ -162,56 +164,192 @@ void SaveEngineArtifact(const std::string& path,
                         const engine::EngineConfig& config,
                         const nn::Sequential& net,
                         std::size_t classifier_start,
-                        const core::BnnModel& model) {
+                        const core::BnnModel& model,
+                        const ArtifactWriteOptions& options) {
   if (classifier_start > net.size()) {
     throw std::invalid_argument("SaveEngineArtifact: classifier_start " +
                                 std::to_string(classifier_start) +
                                 " > network size " +
                                 std::to_string(net.size()));
   }
-  std::vector<Chunk> chunks;
-  chunks.push_back({kConfigTag, BuildConfigChunk(config, classifier_start)});
+  if (options.format_version == kFormatVersion) {
+    std::vector<Chunk> chunks;
+    chunks.push_back({kConfigTag, BuildConfigChunk(config, classifier_start)});
+    ByteWriter net_writer;
+    SaveSequential(net, net_writer);
+    chunks.push_back({kNetworkTag, net_writer.TakeBytes()});
+    ByteWriter model_writer;
+    SaveBnnModel(model, model_writer);
+    chunks.push_back({kCompiledTag, model_writer.TakeBytes()});
+    WriteChunkFile(path, chunks);
+    return;
+  }
+  if (options.format_version != kFormatVersionV2) {
+    throw std::invalid_argument(
+        "SaveEngineArtifact: unknown format version " +
+        std::to_string(options.format_version) + " (this build writes " +
+        std::to_string(kFormatVersion) + " and " +
+        std::to_string(kFormatVersionV2) + ")");
+  }
+  // v2: both value streams share one blob arena; their bulk arrays land
+  // there (64-byte aligned) and the streams carry only references. The
+  // arena becomes the page-aligned blob-data chunk a server maps.
+  BlobArena arena;
   ByteWriter net_writer;
+  net_writer.SetBlobArena(&arena);
   SaveSequential(net, net_writer);
-  chunks.push_back({kNetworkTag, net_writer.TakeBytes()});
   ByteWriter model_writer;
+  model_writer.SetBlobArena(&arena);
   SaveBnnModel(model, model_writer);
-  chunks.push_back({kCompiledTag, model_writer.TakeBytes()});
-  WriteChunkFile(path, chunks);
+
+  std::vector<ChunkSpec> chunks;
+  chunks.push_back({kConfigTag, BuildConfigChunk(config, classifier_start),
+                    /*alignment=*/8, options.compress});
+  chunks.push_back({kNetworkTag, net_writer.TakeBytes(), /*alignment=*/8,
+                    options.compress});
+  chunks.push_back({kCompiledTag, model_writer.TakeBytes(), /*alignment=*/8,
+                    options.compress});
+  chunks.push_back({kBlobTag, arena.TakeBytes(), kPageAlignment,
+                    options.compress});
+  WriteChunkFileV2(path, chunks);
 }
 
 namespace {
 
-LoadedArtifact ArtifactFromChunks(const std::vector<Chunk>& chunks,
-                                  const std::string& path) {
-  LoadedArtifact artifact;
-  ParseConfigChunk(FindChunk(chunks, kConfigTag, path), artifact.config,
-                   artifact.classifier_start);
-  {
-    ByteReader r(FindChunk(chunks, kNetworkTag, path),
-                 std::string("chunk '") + kNetworkTag + "'");
-    artifact.net = LoadSequential(r);
-    r.ExpectExhausted();
+const std::vector<std::uint8_t>* FindChunkOrNull(
+    const std::vector<Chunk>& chunks, const std::string& tag) {
+  for (const Chunk& chunk : chunks) {
+    if (chunk.tag == tag) return &chunk.payload;
   }
-  {
-    ByteReader r(FindChunk(chunks, kCompiledTag, path),
-                 std::string("chunk '") + kCompiledTag + "'");
-    artifact.model = LoadBnnModel(r);
-    r.ExpectExhausted();
-  }
+  return nullptr;
+}
+
+void CheckClassifierStart(const LoadedArtifact& artifact) {
   if (artifact.classifier_start > artifact.net.size()) {
     throw std::runtime_error("artifact corrupt: classifier_start " +
                              std::to_string(artifact.classifier_start) +
                              " > network size " +
                              std::to_string(artifact.net.size()));
   }
+}
+
+/// Decodes the value chunks of either version from in-memory payload
+/// copies. A v2 chunk set carries a blob arena; it is attached copy-mode
+/// (borrow=false), so the result owns every byte.
+LoadedArtifact ArtifactFromChunks(const std::vector<Chunk>& chunks,
+                                  const std::string& path) {
+  LoadedArtifact artifact;
+  ParseConfigChunk(FindChunk(chunks, kConfigTag, path), artifact.config,
+                   artifact.classifier_start);
+  const std::vector<std::uint8_t>* blob = FindChunkOrNull(chunks, kBlobTag);
+  {
+    ByteReader r(FindChunk(chunks, kNetworkTag, path),
+                 std::string("chunk '") + kNetworkTag + "'");
+    if (blob != nullptr) r.SetBlobSource(*blob, nullptr, /*borrow=*/false);
+    artifact.net = LoadSequential(r);
+    r.ExpectExhausted();
+  }
+  {
+    ByteReader r(FindChunk(chunks, kCompiledTag, path),
+                 std::string("chunk '") + kCompiledTag + "'");
+    if (blob != nullptr) r.SetBlobSource(*blob, nullptr, /*borrow=*/false);
+    artifact.model = LoadBnnModel(r);
+    r.ExpectExhausted();
+  }
+  CheckClassifierStart(artifact);
+  return artifact;
+}
+
+/// Decodes a v2 artifact through its mapping: structural streams are parsed
+/// (copied) out of the mapped chunks, bulk arrays resolve to borrowed views
+/// of the blob chunk when `borrow` is set.
+LoadedArtifact ArtifactFromMapped(MappedArtifact& mapped, bool borrow) {
+  LoadedArtifact artifact;
+  const MappedArtifact::ChunkView config = mapped.GetChunk(kConfigTag);
+  ParseConfigChunk({config.bytes.begin(), config.bytes.end()}, artifact.config,
+                   artifact.classifier_start);
+  const MappedArtifact::ChunkView blob = mapped.GetChunk(kBlobTag);
+  {
+    const MappedArtifact::ChunkView net = mapped.GetChunk(kNetworkTag);
+    ByteReader r(net.bytes, std::string("chunk '") + kNetworkTag + "'");
+    r.SetBlobSource(blob.bytes, blob.keepalive, borrow);
+    artifact.net = LoadSequential(r);
+    r.ExpectExhausted();
+  }
+  {
+    const MappedArtifact::ChunkView model = mapped.GetChunk(kCompiledTag);
+    ByteReader r(model.bytes, std::string("chunk '") + kCompiledTag + "'");
+    r.SetBlobSource(blob.bytes, blob.keepalive, borrow);
+    artifact.model = LoadBnnModel(r);
+    r.ExpectExhausted();
+  }
+  CheckClassifierStart(artifact);
+
+  // Accounting: structural streams always become private heap objects;
+  // the blob is heap only when it was copied or decompressed. When it is
+  // borrowed straight from the mapping, its bytes are shared page cache.
+  ArtifactLoadInfo& info = artifact.info;
+  info.format_version = kFormatVersionV2;
+  info.file_bytes = mapped.file_bytes();
+  std::uint64_t structural = 0;
+  std::uint64_t blob_raw = 0;
+  for (const V2Directory::Entry& entry : mapped.directory().entries) {
+    if (entry.tag == kBlobTag) {
+      blob_raw = entry.raw_bytes;
+    } else {
+      structural += entry.raw_bytes;
+    }
+  }
+  const bool blob_from_map =
+      borrow && blob.codec == ChunkCodec::kRaw && mapped.mapped();
+  if (blob_from_map) {
+    info.mode = ArtifactLoadMode::kMapped;
+    info.mapped_bytes = blob_raw;
+    info.resident_bytes = structural;
+  } else {
+    info.mode = (borrow && blob.codec == ChunkCodec::kRlz)
+                    ? ArtifactLoadMode::kDecompressed
+                    : ArtifactLoadMode::kCopied;
+    info.mapped_bytes = 0;
+    info.resident_bytes = structural + blob_raw;
+  }
   return artifact;
 }
 
 }  // namespace
 
-LoadedArtifact LoadEngineArtifact(const std::string& path) {
-  return ArtifactFromChunks(ReadChunkFile(path), path);
+LoadedArtifact LoadEngineArtifact(const std::string& path,
+                                  const LoadArtifactOptions& options) {
+  const std::uint32_t version = ProbeArtifactVersion(path);
+  if (version == kFormatVersionV2) {
+    MappedArtifact::Options open_options;
+    open_options.verify = options.verify;
+    const std::shared_ptr<MappedArtifact> mapped =
+        MappedArtifact::Open(path, open_options);
+    return ArtifactFromMapped(*mapped, options.allow_mmap);
+  }
+  // v1 (or any future version ReadChunkFile learns first): stream-copy.
+  ChunkFileInfo file_info;
+  LoadedArtifact artifact =
+      ArtifactFromChunks(ReadChunkFile(path, &file_info), path);
+  artifact.info.format_version = file_info.version;
+  artifact.info.mode = ArtifactLoadMode::kCopied;
+  artifact.info.file_bytes = file_info.file_bytes;
+  for (const auto& chunk : file_info.chunks) {
+    artifact.info.resident_bytes += chunk.bytes;
+  }
+  return artifact;
+}
+
+void MigrateArtifact(const std::string& src, const std::string& dst,
+                     const ArtifactWriteOptions& options) {
+  // Copy-load the source (no mapping to keep alive across the rewrite of
+  // possibly the same path), then re-save under the requested container.
+  LoadArtifactOptions load;
+  load.allow_mmap = false;
+  const LoadedArtifact artifact = LoadEngineArtifact(src, load);
+  SaveEngineArtifact(dst, artifact.config, artifact.net,
+                     artifact.classifier_start, artifact.model, options);
 }
 
 std::string DescribeArtifact(const std::string& path) {
@@ -226,7 +364,12 @@ std::string DescribeArtifact(const std::string& path) {
      << " bytes, " << info.chunks.size() << " chunk(s)\n";
   for (const auto& chunk : info.chunks) {
     os << "  chunk '" << chunk.tag << "': " << chunk.bytes << " bytes, crc32 "
-       << chunk.crc32 << "\n";
+       << chunk.crc32 << ", offset " << chunk.offset << ", align "
+       << chunk.alignment;
+    if (chunk.codec == static_cast<std::uint32_t>(ChunkCodec::kRlz)) {
+      os << ", rlz-compressed to " << chunk.stored_bytes << " bytes";
+    }
+    os << "\n";
   }
   os << "config: strategy=" << core::ToString(artifact.config.strategy)
      << ", backend=" << artifact.config.backend_name

@@ -1,0 +1,70 @@
+// Load/save policy and provenance types of the artifact layer.
+//
+// Split out of io/artifact.h so engine/engine.h can expose them on
+// Engine::FromArtifact without a circular include (artifact.h includes
+// engine.h for EngineConfig).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "io/chunk_file.h"
+
+namespace rrambnn::io {
+
+/// How the bulk data (bit planes, float tensors) of a loaded artifact lives
+/// in this process.
+enum class ArtifactLoadMode : std::uint8_t {
+  kCopied = 0,        ///< private heap copies (v1, or mmap declined/unavailable)
+  kMapped = 1,        ///< zero-copy views into a shared file mapping (v2)
+  kDecompressed = 2,  ///< views into heap buffers inflated from RLZ chunks
+};
+
+inline const char* ToString(ArtifactLoadMode mode) {
+  switch (mode) {
+    case ArtifactLoadMode::kCopied: return "copied";
+    case ArtifactLoadMode::kMapped: return "mapped";
+    case ArtifactLoadMode::kDecompressed: return "decompressed";
+  }
+  return "unknown";
+}
+
+/// Where a loaded artifact's bytes ended up: the memory-accounting half of
+/// every fleet-sizing question ("what does model #973 actually cost me?").
+struct ArtifactLoadInfo {
+  std::uint32_t format_version = 0;
+  ArtifactLoadMode mode = ArtifactLoadMode::kCopied;
+  std::uint64_t file_bytes = 0;
+  /// Bytes pinned in the shared file mapping (page cache, shared between
+  /// every process serving this artifact). Zero unless mode == kMapped.
+  std::uint64_t mapped_bytes = 0;
+  /// Private heap bytes this load owns: structural streams are always
+  /// copied; bulk data is counted here only when copied or decompressed.
+  std::uint64_t resident_bytes = 0;
+};
+
+/// Knobs of the zero-copy load path.
+struct LoadArtifactOptions {
+  /// Map v2 bulk chunks instead of copying them. Copy fallback is automatic
+  /// for v1 containers and non-POSIX builds; set false to force it
+  /// everywhere (e.g. the file lives on storage that may disappear).
+  bool allow_mmap = true;
+  /// Eagerly CRC-sweep every chunk at open. Setting false — the
+  /// thousands-resident fleet mode, where sweeping every cold model would
+  /// re-read the whole fleet — trusts raw mapped chunks to the filesystem
+  /// (no CRC at all); compressed and heap-fallback chunks, whose bytes
+  /// must be materialized anyway, still verify on first access.
+  bool verify = true;
+};
+
+/// Knobs of SaveEngineArtifact.
+struct ArtifactWriteOptions {
+  /// Container version to emit: kFormatVersion (v1, sequential framing) or
+  /// kFormatVersionV2 (directory + page-aligned mmap-able bulk data).
+  std::uint32_t format_version = kFormatVersionV2;
+  /// v2 only: store the bulk-data chunk RLZ-compressed (cold storage). Kept
+  /// only when actually smaller; loading decompresses transparently.
+  bool compress = false;
+};
+
+}  // namespace rrambnn::io

@@ -12,106 +12,189 @@
 #include <unistd.h>
 #endif
 
+#include "io/codec.h"
 #include "io/serde.h"
 
 namespace rrambnn::io {
 
 namespace {
 
-constexpr char kMagic[8] = {'R', 'R', 'A', 'M', 'B', 'N', 'N', '\0'};
-
-std::vector<std::uint8_t> ReadFileBytes(const std::string& path) {
-  // ifstream happily opens a directory (and tellg answers LLONG_MAX for
-  // it); reject non-files up front instead of attempting that allocation.
-  std::error_code ec;
-  if (!std::filesystem::is_regular_file(path, ec)) {
-    throw std::runtime_error("artifact: '" + path +
-                             "' is not a readable regular file");
-  }
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
-    throw std::runtime_error("artifact: cannot open '" + path +
-                             "' for reading");
-  }
-  const std::streamsize size = in.tellg();
-  if (size < 0) {
-    throw std::runtime_error("artifact: cannot determine size of '" + path +
-                             "'");
-  }
-  in.seekg(0, std::ios::beg);
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  if (size > 0 &&
-      !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
-    throw std::runtime_error("artifact: failed reading '" + path + "'");
-  }
-  return bytes;
+std::uint64_t AlignUp(std::uint64_t value, std::uint64_t alignment) {
+  return (value + alignment - 1) / alignment * alignment;
 }
 
-/// Parses and validates the container in one pass; `chunks` (payload
-/// copies) and `info` (directory summary) are each filled when non-null.
-void ParseChunkFile(const std::string& path, std::vector<Chunk>* chunks,
-                    ChunkFileInfo* info) {
-  const std::vector<std::uint8_t> bytes = ReadFileBytes(path);
-  ByteReader reader(bytes, "chunk file '" + path + "'");
+bool IsPowerOfTwo(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
-  const std::span<const std::uint8_t> magic = reader.ReadBytes(sizeof(kMagic));
-  if (std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+/// Sequential little-endian cursor over an InputFile: the v1 framing
+/// reader. Each field is a small positional read; payloads are read
+/// straight into their destination buffer, so peak memory is one chunk.
+class FileCursor {
+ public:
+  FileCursor(const InputFile& file, std::string context)
+      : file_(file), context_(std::move(context)) {}
+
+  std::uint64_t pos() const { return pos_; }
+  std::uint64_t remaining() const { return file_.size() - pos_; }
+
+  void Require(std::uint64_t n) const {
+    if (remaining() < n) {
+      throw std::runtime_error("artifact truncated while reading " + context_ +
+                               ": need " + std::to_string(n) +
+                               " byte(s) at " + std::to_string(pos_) +
+                               ", have " + std::to_string(remaining()));
+    }
+  }
+
+  void ReadInto(void* dst, std::uint64_t n) {
+    Require(n);
+    file_.ReadAt(pos_, dst, n);
+    pos_ += n;
+  }
+
+  std::uint32_t ReadU32() {
+    std::uint8_t b[4];
+    ReadInto(b, 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t ReadU64() {
+    std::uint8_t b[8];
+    ReadInto(b, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+
+  std::string ReadString() {
+    const std::uint64_t n = ReadU64();
+    Require(n);
+    std::string s(static_cast<std::size_t>(n), '\0');
+    if (n > 0) ReadInto(s.data(), n);
+    return s;
+  }
+
+ private:
+  const InputFile& file_;
+  std::uint64_t pos_ = 0;
+  std::string context_;
+};
+
+void CheckMagic(const std::uint8_t* bytes, const std::string& path) {
+  if (std::memcmp(bytes, kArtifactMagic, sizeof(kArtifactMagic)) != 0) {
     throw std::runtime_error("artifact: '" + path +
                              "' is not an rrambnn artifact (bad magic)");
   }
-  const std::uint32_t version = reader.ReadU32();
-  if (version != kFormatVersion) {
-    throw std::runtime_error(
-        "artifact: '" + path + "' has format version " +
-        std::to_string(version) + "; this build reads version " +
-        std::to_string(kFormatVersion) +
-        " (re-save the artifact with a matching build)");
-  }
-  const std::uint32_t count = reader.ReadU32();
-  if (info != nullptr) {
-    info->version = version;
-    info->file_bytes = bytes.size();
-  }
+}
+
+/// Streams a v1 container chunk by chunk; `chunks` (payload copies) and
+/// `info` (directory summary) are each filled when non-null. The cursor is
+/// positioned just past the version field.
+void ParseV1Body(const InputFile& file, FileCursor& cursor,
+                 std::vector<Chunk>* chunks, ChunkFileInfo* info) {
+  const std::uint32_t count = cursor.ReadU32();
+  std::vector<std::uint8_t> payload;
   for (std::uint32_t i = 0; i < count; ++i) {
-    const std::string tag = reader.ReadString();
-    const std::uint64_t size = reader.ReadU64();
-    const std::uint32_t stored_crc = reader.ReadU32();
-    const std::span<const std::uint8_t> payload = reader.ReadBytes(size);
+    std::string tag = cursor.ReadString();
+    const std::uint64_t size = cursor.ReadU64();
+    const std::uint32_t stored_crc = cursor.ReadU32();
+    const std::uint64_t offset = cursor.pos();
+    cursor.Require(size);
+    payload.resize(static_cast<std::size_t>(size));
+    if (size > 0) cursor.ReadInto(payload.data(), size);
     const std::uint32_t actual_crc = Crc32(payload);
     if (actual_crc != stored_crc) {
-      throw std::runtime_error("artifact: chunk '" + tag + "' of '" + path +
-                               "' failed its CRC-32 check (stored " +
+      throw std::runtime_error("artifact: chunk '" + tag + "' of '" +
+                               file.path() + "' failed its CRC-32 check (stored " +
                                std::to_string(stored_crc) + ", computed " +
                                std::to_string(actual_crc) +
                                "): file is corrupted");
     }
-    if (chunks != nullptr) {
-      chunks->push_back(Chunk{tag, {payload.begin(), payload.end()}});
-    }
     if (info != nullptr) {
-      info->chunks.push_back({tag, size, stored_crc});
+      info->chunks.push_back({tag, size, stored_crc, offset, /*alignment=*/1,
+                              static_cast<std::uint32_t>(ChunkCodec::kRaw),
+                              /*stored_bytes=*/size});
+    }
+    if (chunks != nullptr) {
+      chunks->push_back(Chunk{std::move(tag), std::move(payload)});
+      payload.clear();
     }
   }
-  reader.ExpectExhausted();
+  if (cursor.remaining() != 0) {
+    throw std::runtime_error("artifact corrupt: chunk file '" + file.path() +
+                             "' has " + std::to_string(cursor.remaining()) +
+                             " unexpected trailing byte(s)");
+  }
 }
 
-}  // namespace
-
-std::string TempSavePath(const std::string& path) { return path + ".saving"; }
-
-void WriteChunkFile(const std::string& path,
-                    const std::vector<Chunk>& chunks) {
-  ByteWriter writer;
-  writer.WriteBytes(std::span<const std::uint8_t>(
-      reinterpret_cast<const std::uint8_t*>(kMagic), sizeof(kMagic)));
-  writer.WriteU32(kFormatVersion);
-  writer.WriteU32(static_cast<std::uint32_t>(chunks.size()));
-  for (const Chunk& chunk : chunks) {
-    writer.WriteString(chunk.tag);
-    writer.WriteU64(chunk.payload.size());
-    writer.WriteU32(Crc32(chunk.payload));
-    writer.WriteBytes(chunk.payload);
+/// Reads, CRC-checks and (if compressed) inflates one v2 chunk's payload.
+std::vector<std::uint8_t> ReadV2Payload(const InputFile& file,
+                                        const V2Directory::Entry& entry) {
+  std::vector<std::uint8_t> stored(
+      static_cast<std::size_t>(entry.stored_bytes));
+  if (entry.stored_bytes > 0) {
+    file.ReadAt(entry.payload_offset, stored.data(), entry.stored_bytes);
   }
+  const std::uint32_t actual_crc = Crc32(stored);
+  if (actual_crc != entry.crc32) {
+    throw std::runtime_error("artifact: chunk '" + entry.tag + "' of '" +
+                             file.path() + "' failed its CRC-32 check (stored " +
+                             std::to_string(entry.crc32) + ", computed " +
+                             std::to_string(actual_crc) +
+                             "): file is corrupted");
+  }
+  if (entry.codec == ChunkCodec::kRlz) {
+    return RlzDecompress(stored, entry.raw_bytes);
+  }
+  return stored;
+}
+
+/// Parses and validates either container version in one pass, streaming
+/// chunks off disk; `chunks` and `info` are each filled when non-null.
+void ParseChunkFile(const std::string& path, std::vector<Chunk>* chunks,
+                    ChunkFileInfo* info) {
+  InputFile file(path);
+  FileCursor cursor(file, "chunk file '" + path + "'");
+  std::uint8_t magic[sizeof(kArtifactMagic)];
+  cursor.ReadInto(magic, sizeof(magic));
+  CheckMagic(magic, path);
+  const std::uint32_t version = cursor.ReadU32();
+  if (info != nullptr) {
+    info->version = version;
+    info->file_bytes = file.size();
+  }
+  if (version == kFormatVersion) {
+    ParseV1Body(file, cursor, chunks, info);
+    return;
+  }
+  if (version != kFormatVersionV2) {
+    throw std::runtime_error(
+        "artifact: '" + path + "' has format version " +
+        std::to_string(version) + "; this build reads versions " +
+        std::to_string(kFormatVersion) + " and " +
+        std::to_string(kFormatVersionV2) +
+        " (re-save the artifact with a matching build)");
+  }
+  const V2Directory directory = ReadV2Directory(file);
+  for (const V2Directory::Entry& entry : directory.entries) {
+    std::vector<std::uint8_t> payload = ReadV2Payload(file, entry);
+    if (info != nullptr) {
+      info->chunks.push_back({entry.tag, entry.raw_bytes, entry.crc32,
+                              entry.payload_offset, entry.alignment,
+                              static_cast<std::uint32_t>(entry.codec),
+                              entry.stored_bytes});
+    }
+    if (chunks != nullptr) {
+      chunks->push_back(Chunk{entry.tag, std::move(payload)});
+    }
+  }
+}
+
+/// Stages `bytes` at TempSavePath(path), fsyncs, and renames over `path`.
+/// Shared atomic-commit tail of both container writers.
+void CommitFileAtomically(const std::string& path,
+                          const std::vector<std::uint8_t>& bytes) {
   // Never touch the destination until the full container is durably on
   // disk: a serving process may be hot-loading `path` while we save, and a
   // crash or full disk mid-write must not leave a truncated artifact at the
@@ -125,8 +208,8 @@ void WriteChunkFile(const std::string& path,
       throw std::runtime_error("artifact: cannot open temp file '" + tmp_path +
                                "' for writing '" + path + "'");
     }
-    out.write(reinterpret_cast<const char*>(writer.bytes().data()),
-              static_cast<std::streamsize>(writer.bytes().size()));
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
     out.close();
     if (!out) {
       std::remove(tmp_path.c_str());
@@ -171,6 +254,283 @@ void WriteChunkFile(const std::string& path,
     }
   }
 #endif
+}
+
+}  // namespace
+
+InputFile::InputFile(std::string path) : path_(std::move(path)) {
+  // An open() on a directory succeeds and a later read answers EISDIR (or,
+  // with stdio, garbage sizes); reject non-files up front.
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path_, ec)) {
+    throw std::runtime_error("artifact: '" + path_ +
+                             "' is not a readable regular file");
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  fd_ = ::open(path_.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    throw std::runtime_error("artifact: cannot open '" + path_ +
+                             "' for reading");
+  }
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("artifact: cannot determine size of '" + path_ +
+                             "'");
+  }
+  size_ = static_cast<std::uint64_t>(end);
+#else
+  file_ = std::fopen(path_.c_str(), "rb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("artifact: cannot open '" + path_ +
+                             "' for reading");
+  }
+  size_ = static_cast<std::uint64_t>(std::filesystem::file_size(path_));
+#endif
+}
+
+InputFile::~InputFile() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (fd_ >= 0) ::close(fd_);
+#else
+  if (file_ != nullptr) std::fclose(file_);
+#endif
+}
+
+void InputFile::ReadAt(std::uint64_t offset, void* dst,
+                       std::uint64_t n) const {
+  if (offset > size_ || n > size_ - offset) {
+    throw std::runtime_error("artifact truncated: read of " +
+                             std::to_string(n) + " byte(s) at offset " +
+                             std::to_string(offset) + " of '" + path_ +
+                             "' (" + std::to_string(size_) + " bytes)");
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  std::uint8_t* out = static_cast<std::uint8_t*>(dst);
+  std::uint64_t done = 0;
+  while (done < n) {
+    const ssize_t got =
+        ::pread(fd_, out + done, static_cast<std::size_t>(n - done),
+                static_cast<off_t>(offset + done));
+    if (got < 0) {
+      throw std::runtime_error("artifact: read error on '" + path_ + "'");
+    }
+    if (got == 0) {
+      throw std::runtime_error("artifact: '" + path_ +
+                               "' shrank while being read");
+    }
+    done += static_cast<std::uint64_t>(got);
+  }
+#else
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fread(dst, 1, static_cast<std::size_t>(n), file_) !=
+          static_cast<std::size_t>(n)) {
+    throw std::runtime_error("artifact: read error on '" + path_ + "'");
+  }
+#endif
+}
+
+V2Directory ReadV2Directory(const InputFile& file) {
+  const std::string& path = file.path();
+  if (file.size() < kV2HeaderBytes) {
+    throw std::runtime_error("artifact: '" + path +
+                             "' is shorter than a v2 header");
+  }
+  std::uint8_t header[kV2HeaderBytes];
+  file.ReadAt(0, header, sizeof(header));
+  CheckMagic(header, path);
+  ByteReader head(std::span<const std::uint8_t>(header + 8, sizeof(header) - 8),
+                  "v2 header of '" + path + "'");
+  const std::uint32_t version = head.ReadU32();
+  if (version != kFormatVersionV2) {
+    throw std::runtime_error("artifact: '" + path + "' has format version " +
+                             std::to_string(version) +
+                             ", expected a v2 container");
+  }
+  const std::uint32_t chunk_count = head.ReadU32();
+  const std::uint64_t directory_bytes = head.ReadU64();
+  const std::uint32_t directory_crc = head.ReadU32();
+  (void)head.ReadU32();  // reserved
+
+  if (directory_bytes > file.size() - kV2HeaderBytes) {
+    throw std::runtime_error("artifact: '" + path +
+                             "' declares a directory of " +
+                             std::to_string(directory_bytes) +
+                             " byte(s) past the end of the file");
+  }
+  std::vector<std::uint8_t> dir_bytes(
+      static_cast<std::size_t>(directory_bytes));
+  if (directory_bytes > 0) {
+    file.ReadAt(kV2HeaderBytes, dir_bytes.data(), directory_bytes);
+  }
+  const std::uint32_t actual_crc = Crc32(dir_bytes);
+  if (actual_crc != directory_crc) {
+    throw std::runtime_error("artifact: directory of '" + path +
+                             "' failed its CRC-32 check (stored " +
+                             std::to_string(directory_crc) + ", computed " +
+                             std::to_string(actual_crc) +
+                             "): file is corrupted");
+  }
+
+  V2Directory directory;
+  directory.directory_bytes = directory_bytes;
+  ByteReader reader(dir_bytes, "v2 directory of '" + path + "'");
+  std::uint64_t min_offset = kV2HeaderBytes + directory_bytes;
+  for (std::uint32_t i = 0; i < chunk_count; ++i) {
+    V2Directory::Entry entry;
+    entry.tag = reader.ReadString();
+    entry.payload_offset = reader.ReadU64();
+    entry.stored_bytes = reader.ReadU64();
+    entry.raw_bytes = reader.ReadU64();
+    const std::uint32_t codec = reader.ReadU32();
+    entry.crc32 = reader.ReadU32();
+    entry.alignment = reader.ReadU64();
+    if (codec != static_cast<std::uint32_t>(ChunkCodec::kRaw) &&
+        codec != static_cast<std::uint32_t>(ChunkCodec::kRlz)) {
+      throw std::runtime_error("artifact: chunk '" + entry.tag + "' of '" +
+                               path + "' uses unknown codec " +
+                               std::to_string(codec));
+    }
+    entry.codec = static_cast<ChunkCodec>(codec);
+    if (!IsPowerOfTwo(entry.alignment)) {
+      throw std::runtime_error("artifact: chunk '" + entry.tag + "' of '" +
+                               path + "' declares invalid alignment " +
+                               std::to_string(entry.alignment));
+    }
+    if (entry.payload_offset % entry.alignment != 0) {
+      throw std::runtime_error(
+          "artifact: chunk '" + entry.tag + "' of '" + path + "' at offset " +
+          std::to_string(entry.payload_offset) +
+          " violates its declared alignment of " +
+          std::to_string(entry.alignment) + ": file is corrupted");
+    }
+    if (entry.payload_offset < min_offset) {
+      throw std::runtime_error(
+          "artifact: chunk '" + entry.tag + "' of '" + path + "' at offset " +
+          std::to_string(entry.payload_offset) +
+          " overlaps the preceding chunk or directory: file is corrupted");
+    }
+    if (entry.payload_offset > file.size() ||
+        entry.stored_bytes > file.size() - entry.payload_offset) {
+      throw std::runtime_error(
+          "artifact: chunk '" + entry.tag + "' of '" + path + "' ([" +
+          std::to_string(entry.payload_offset) + ", +" +
+          std::to_string(entry.stored_bytes) +
+          ")) extends past the end of the " + std::to_string(file.size()) +
+          "-byte file: file is truncated");
+    }
+    if (entry.codec == ChunkCodec::kRaw &&
+        entry.raw_bytes != entry.stored_bytes) {
+      throw std::runtime_error("artifact: uncompressed chunk '" + entry.tag +
+                               "' of '" + path + "' declares " +
+                               std::to_string(entry.raw_bytes) +
+                               " raw byte(s) but stores " +
+                               std::to_string(entry.stored_bytes));
+    }
+    min_offset = entry.payload_offset + entry.stored_bytes;
+    directory.entries.push_back(std::move(entry));
+  }
+  reader.ExpectExhausted();
+  return directory;
+}
+
+std::uint32_t ProbeArtifactVersion(const std::string& path) {
+  InputFile file(path);
+  FileCursor cursor(file, "chunk file '" + path + "'");
+  std::uint8_t magic[sizeof(kArtifactMagic)];
+  cursor.ReadInto(magic, sizeof(magic));
+  CheckMagic(magic, path);
+  return cursor.ReadU32();
+}
+
+std::string TempSavePath(const std::string& path) { return path + ".saving"; }
+
+void WriteChunkFile(const std::string& path,
+                    const std::vector<Chunk>& chunks) {
+  ByteWriter writer;
+  writer.WriteBytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kArtifactMagic),
+      sizeof(kArtifactMagic)));
+  writer.WriteU32(kFormatVersion);
+  writer.WriteU32(static_cast<std::uint32_t>(chunks.size()));
+  for (const Chunk& chunk : chunks) {
+    writer.WriteString(chunk.tag);
+    writer.WriteU64(chunk.payload.size());
+    writer.WriteU32(Crc32(chunk.payload));
+    writer.WriteBytes(chunk.payload);
+  }
+  CommitFileAtomically(path, writer.bytes());
+}
+
+void WriteChunkFileV2(const std::string& path,
+                      const std::vector<ChunkSpec>& chunks) {
+  struct Stored {
+    const std::vector<std::uint8_t>* bytes;  // payload or compressed
+    std::vector<std::uint8_t> compressed;
+    ChunkCodec codec = ChunkCodec::kRaw;
+    std::uint64_t offset = 0;
+  };
+  std::vector<Stored> stored(chunks.size());
+  std::uint64_t directory_bytes = 0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const ChunkSpec& spec = chunks[i];
+    if (!IsPowerOfTwo(spec.alignment)) {
+      throw std::runtime_error("artifact: chunk '" + spec.tag +
+                               "' requests invalid alignment " +
+                               std::to_string(spec.alignment));
+    }
+    stored[i].bytes = &spec.payload;
+    if (spec.compress) {
+      stored[i].compressed = RlzCompress(spec.payload);
+      // Keep the compressed form only when it pays: near-random packed bit
+      // planes expand slightly under any LZ, and raw keeps them mmap-able.
+      if (stored[i].compressed.size() < spec.payload.size()) {
+        stored[i].bytes = &stored[i].compressed;
+        stored[i].codec = ChunkCodec::kRlz;
+      }
+    }
+    // tag framing + offset/stored/raw u64s + codec/crc u32s + alignment u64.
+    directory_bytes += 8 + spec.tag.size() + 8 + 8 + 8 + 4 + 4 + 8;
+  }
+  std::uint64_t cursor = kV2HeaderBytes + directory_bytes;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    cursor = AlignUp(cursor, chunks[i].alignment);
+    stored[i].offset = cursor;
+    cursor += stored[i].bytes->size();
+  }
+
+  ByteWriter directory;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const ChunkSpec& spec = chunks[i];
+    directory.WriteString(spec.tag);
+    directory.WriteU64(stored[i].offset);
+    directory.WriteU64(stored[i].bytes->size());
+    directory.WriteU64(spec.payload.size());
+    directory.WriteU32(static_cast<std::uint32_t>(stored[i].codec));
+    directory.WriteU32(Crc32(*stored[i].bytes));
+    directory.WriteU64(spec.alignment);
+  }
+  if (directory.bytes().size() != directory_bytes) {
+    throw std::logic_error("artifact: v2 directory size accounting is wrong");
+  }
+
+  ByteWriter writer;
+  writer.WriteBytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kArtifactMagic),
+      sizeof(kArtifactMagic)));
+  writer.WriteU32(kFormatVersionV2);
+  writer.WriteU32(static_cast<std::uint32_t>(chunks.size()));
+  writer.WriteU64(directory_bytes);
+  writer.WriteU32(Crc32(directory.bytes()));
+  writer.WriteU32(0);  // reserved
+  writer.WriteBytes(directory.bytes());
+  std::vector<std::uint8_t> file = writer.TakeBytes();
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    file.resize(static_cast<std::size_t>(stored[i].offset), 0);
+    file.insert(file.end(), stored[i].bytes->begin(), stored[i].bytes->end());
+  }
+  CommitFileAtomically(path, file);
 }
 
 std::vector<Chunk> ReadChunkFile(const std::string& path,

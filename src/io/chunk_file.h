@@ -1,30 +1,76 @@
 // Chunked artifact container: magic + format version + checksummed chunks.
 //
-// On-disk layout (all integers little-endian):
+// Two on-disk layouts share the magic "RRAMBNN\0" (all integers
+// little-endian):
 //
-//   bytes 0..7   magic "RRAMBNN\0"
-//   u32          format version (kFormatVersion)
+// Version 1 — sequential framing, read by copying:
+//
+//   bytes 0..7   magic
+//   u32          format version (1)
 //   u32          chunk count
 //   per chunk:   tag (u64-length-prefixed string)
 //                u64 payload size
 //                u32 CRC-32 of the payload
 //                payload bytes
 //
-// The reader rejects wrong magic, unknown versions, CRC mismatches,
-// truncation and trailing garbage with descriptive std::runtime_errors.
-// Unknown chunk *tags* are preserved and ignored by consumers, which is the
-// forward-compatibility seam: additions ship as new chunks, anything that
-// changes the meaning of an existing chunk bumps kFormatVersion.
+// Version 2 — directory + aligned payloads, built to be mmap-ed in place:
+//
+//   bytes 0..7   magic
+//   u32          format version (2)
+//   u32          chunk count
+//   u64          directory bytes
+//   u32          CRC-32 of the directory bytes
+//   u32          reserved (0)
+//   directory    per chunk: tag (u64-length-prefixed string)
+//                           u64 payload offset (absolute, in file)
+//                           u64 stored bytes   (on disk)
+//                           u64 raw bytes      (after decompression)
+//                           u32 codec          (ChunkCodec)
+//                           u32 CRC-32 of the *stored* bytes
+//                           u64 alignment      (payload offset guarantee)
+//   payloads     each at its recorded offset, zero padding between; offsets
+//                are monotonically increasing, so the directory alone bounds
+//                every chunk without touching payload bytes.
+//
+// Readers of either version reject wrong magic, unknown versions, CRC
+// mismatches, truncation, misalignment and trailing garbage with
+// descriptive std::runtime_errors. Unknown chunk *tags* are preserved and
+// ignored by consumers, which is the forward-compatibility seam: additions
+// ship as new chunks, anything that changes the meaning of an existing
+// chunk bumps the format version.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rrambnn::io {
 
-/// Current artifact format version. Readers accept exactly this version.
+/// First-generation artifact format: sequential framing, copy-on-load.
 constexpr std::uint32_t kFormatVersion = 1;
+
+/// Directory-based artifact format with aligned, directly mmap-able
+/// payloads and optional per-chunk compression.
+constexpr std::uint32_t kFormatVersionV2 = 2;
+
+/// Alignment WriteChunkFileV2 gives bulk-data chunks so a mapped payload
+/// starts on an OS page (4 KiB covers every platform we target).
+constexpr std::uint64_t kPageAlignment = 4096;
+
+/// Fixed v2 header size: magic + version + count + directory framing.
+constexpr std::uint64_t kV2HeaderBytes = 32;
+
+/// Shared file magic of both container versions.
+inline constexpr char kArtifactMagic[8] = {'R', 'R', 'A', 'M',
+                                           'B', 'N', 'N', '\0'};
+
+/// How a v2 chunk's bytes are stored on disk.
+enum class ChunkCodec : std::uint32_t {
+  kRaw = 0,  ///< stored bytes are the payload (mmap-able in place)
+  kRlz = 1,  ///< stored bytes are an io/codec.h RLZ stream of the payload
+};
 
 /// One tagged, checksummed payload of a chunk file.
 struct Chunk {
@@ -32,16 +78,96 @@ struct Chunk {
   std::vector<std::uint8_t> payload;
 };
 
-/// Writes a chunk file atomically: the container is fully written, closed
-/// and fsync-ed as the sibling temp file TempSavePath(path), then renamed
-/// over `path` (with a best-effort directory sync), so a crash, full disk,
-/// power loss or failed write mid-save never corrupts an existing artifact
-/// at `path` (a serving process may be hot-loading it). Throws
-/// std::runtime_error when the file cannot be written; the temp file is
-/// removed on failure and the destination is left untouched.
+/// A chunk plus its v2 placement policy, for WriteChunkFileV2.
+struct ChunkSpec {
+  std::string tag;
+  std::vector<std::uint8_t> payload;
+  /// Required alignment of the payload's file offset (power of two).
+  /// Bulk-data chunks use kPageAlignment so they can be mapped; small
+  /// structural chunks get away with 8.
+  std::uint64_t alignment = 8;
+  /// Ask for RLZ cold storage. The writer keeps the compressed form only
+  /// when it is actually smaller; incompressible chunks (packed random-ish
+  /// bit planes) fall back to kRaw so they stay mmap-able.
+  bool compress = false;
+};
+
+/// Positional read access to a regular file. On POSIX builds every read is
+/// a pread (no shared cursor, no whole-file slurp); elsewhere it degrades
+/// to buffered stdio seeks. Constructor throws std::runtime_error when
+/// `path` is not a readable regular file.
+class InputFile {
+ public:
+  explicit InputFile(std::string path);
+  ~InputFile();
+  InputFile(const InputFile&) = delete;
+  InputFile& operator=(const InputFile&) = delete;
+  InputFile(InputFile&& other) noexcept
+      : path_(std::move(other.path_)),
+        size_(other.size_),
+        fd_(other.fd_),
+        file_(other.file_) {
+    other.fd_ = -1;
+    other.file_ = nullptr;
+  }
+  InputFile& operator=(InputFile&&) = delete;
+
+  std::uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+  /// Underlying descriptor for mmap; -1 on non-POSIX builds.
+  int fd() const { return fd_; }
+
+  /// Reads exactly `n` bytes at absolute `offset`; throws on short read.
+  void ReadAt(std::uint64_t offset, void* dst, std::uint64_t n) const;
+
+ private:
+  std::string path_;
+  std::uint64_t size_ = 0;
+  int fd_ = -1;
+  std::FILE* file_ = nullptr;  // fallback when pread is unavailable
+};
+
+/// Parsed and structurally validated v2 header + directory: bounds, codec
+/// values, alignment and offset monotonicity are all checked against the
+/// file size, so every entry is safe to pread or map. Payload CRCs are
+/// *not* verified here (that is the reader's lazy-vs-eager policy call);
+/// the directory's own CRC is.
+struct V2Directory {
+  std::uint64_t directory_bytes = 0;
+  struct Entry {
+    std::string tag;
+    std::uint64_t payload_offset = 0;
+    std::uint64_t stored_bytes = 0;
+    std::uint64_t raw_bytes = 0;
+    ChunkCodec codec = ChunkCodec::kRaw;
+    std::uint32_t crc32 = 0;
+    std::uint64_t alignment = 1;
+  };
+  std::vector<Entry> entries;
+};
+
+V2Directory ReadV2Directory(const InputFile& file);
+
+/// Reads magic + version of the artifact at `path` (wrong magic throws).
+/// The cheap dispatch point between the copy loader and the mapped loader.
+std::uint32_t ProbeArtifactVersion(const std::string& path);
+
+/// Writes a version-1 chunk file atomically: the container is fully
+/// written, closed and fsync-ed as the sibling temp file TempSavePath(path),
+/// then renamed over `path` (with a best-effort directory sync), so a
+/// crash, full disk, power loss or failed write mid-save never corrupts an
+/// existing artifact at `path` (a serving process may be hot-loading it).
+/// Throws std::runtime_error when the file cannot be written; the temp file
+/// is removed on failure and the destination is left untouched.
 void WriteChunkFile(const std::string& path, const std::vector<Chunk>& chunks);
 
-/// Sibling temp path WriteChunkFile stages its output at before the rename
+/// Writes a version-2 chunk file with the same atomic-commit protocol.
+/// Payload offsets honor each spec's alignment; chunks flagged `compress`
+/// are stored as RLZ streams when that is smaller.
+void WriteChunkFileV2(const std::string& path,
+                      const std::vector<ChunkSpec>& chunks);
+
+/// Sibling temp path the writers stage their output at before the rename
 /// (`path + ".saving"`). Deterministic so operators can spot and clean up
 /// leftovers from a hard crash; concurrent savers of the same destination
 /// are not supported (they would race on this staging file).
@@ -49,22 +175,33 @@ std::string TempSavePath(const std::string& path);
 
 struct ChunkFileInfo;
 
-/// Reads and fully validates a chunk file (magic, version, CRCs, sizes).
-/// When `info` is non-null the container directory is reported through it
-/// in the same pass (one file read, one CRC sweep).
+/// Reads and fully validates a chunk file of either version (magic,
+/// version, CRCs, sizes, alignment), returning decompressed payload copies.
+/// Chunks stream off disk one at a time — peak memory is the largest chunk,
+/// not the file. When `info` is non-null the container directory is
+/// reported through it in the same pass.
 std::vector<Chunk> ReadChunkFile(const std::string& path,
                                  ChunkFileInfo* info = nullptr);
 
 /// Directory metadata of a chunk file (for the inspect CLI): validates
-/// framing and CRCs like ReadChunkFile but reports instead of returning
-/// payloads.
+/// framing and stored-byte CRCs like ReadChunkFile but reports instead of
+/// returning payloads.
 struct ChunkFileInfo {
   std::uint32_t version = 0;
   std::uint64_t file_bytes = 0;
   struct Entry {
     std::string tag;
+    /// Raw (decompressed) payload bytes.
     std::uint64_t bytes = 0;
     std::uint32_t crc32 = 0;
+    /// Absolute file offset of the stored payload (both versions report it).
+    std::uint64_t offset = 0;
+    /// Offset alignment the container guarantees (1 for v1 framing).
+    std::uint64_t alignment = 1;
+    /// ChunkCodec as stored; always kRaw for v1.
+    std::uint32_t codec = 0;
+    /// Bytes on disk (== bytes unless compressed).
+    std::uint64_t stored_bytes = 0;
   };
   std::vector<Entry> chunks;
 };

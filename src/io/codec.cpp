@@ -1,0 +1,170 @@
+#include "io/codec.h"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace rrambnn::io {
+
+namespace {
+
+// Token layout (LZ4 block idiom): one byte, high nibble = literal-run
+// length, low nibble = match length - kMinMatch; nibble value 15 means "read
+// extension bytes" (each 0xFF adds 255, the first other byte terminates).
+// After the literals, a u16 little-endian back-reference offset (1..65535)
+// and the match bytes it denotes follow — except for the final token of a
+// stream, which may end after its literals.
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr int kHashBits = 15;
+
+std::uint32_t Hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void WriteLength(std::vector<std::uint8_t>& out, std::size_t extra) {
+  while (extra >= 255) {
+    out.push_back(0xFF);
+    extra -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(extra));
+}
+
+}  // namespace
+
+std::size_t RlzMaxCompressedBytes(std::size_t raw_bytes) {
+  // One token byte + one extension byte per 255 literals, plus slack for the
+  // final partial run.
+  return raw_bytes + raw_bytes / 255 + 16;
+}
+
+std::vector<std::uint8_t> RlzCompress(std::span<const std::uint8_t> raw) {
+  std::vector<std::uint8_t> out;
+  if (raw.empty()) return out;
+  out.reserve(raw.size() / 2 + 64);
+
+  std::array<std::size_t, std::size_t{1} << kHashBits> table;
+  table.fill(SIZE_MAX);
+
+  const std::uint8_t* base = raw.data();
+  const std::size_t n = raw.size();
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+
+  auto emit = [&](std::size_t literals_end, std::size_t match_len,
+                  std::size_t offset) {
+    const std::size_t lit = literals_end - literal_start;
+    const std::size_t mat = match_len == 0 ? 0 : match_len - kMinMatch;
+    const std::uint8_t token =
+        static_cast<std::uint8_t>((std::min<std::size_t>(lit, 15) << 4) |
+                                  std::min<std::size_t>(mat, 15));
+    out.push_back(token);
+    if (lit >= 15) WriteLength(out, lit - 15);
+    out.insert(out.end(), base + literal_start, base + literals_end);
+    if (match_len != 0) {
+      if (mat >= 15) WriteLength(out, mat - 15);
+      out.push_back(static_cast<std::uint8_t>(offset & 0xFF));
+      out.push_back(static_cast<std::uint8_t>(offset >> 8));
+    }
+  };
+
+  while (pos + kMinMatch <= n) {
+    const std::uint32_t h = Hash4(base + pos);
+    const std::size_t cand = table[h];
+    table[h] = pos;
+    if (cand != SIZE_MAX && pos - cand <= kMaxOffset &&
+        std::memcmp(base + cand, base + pos, kMinMatch) == 0) {
+      std::size_t len = kMinMatch;
+      while (pos + len < n && base[cand + len] == base[pos + len]) ++len;
+      emit(pos, len, pos - cand);
+      pos += len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  emit(n, 0, 0);  // final literal-only token (possibly zero literals)
+  return out;
+}
+
+std::vector<std::uint8_t> RlzDecompress(std::span<const std::uint8_t> stream,
+                                        std::uint64_t raw_bytes) {
+  std::vector<std::uint8_t> out;
+  if (raw_bytes == 0) {
+    if (!stream.empty()) {
+      throw std::runtime_error(
+          "codec: nonempty stream for an empty chunk (corrupted cold "
+          "storage)");
+    }
+    return out;
+  }
+  out.reserve(static_cast<std::size_t>(raw_bytes));
+
+  std::size_t pos = 0;
+  const std::size_t n = stream.size();
+  auto need = [&](std::size_t k, const char* what) {
+    if (n - pos < k) {
+      throw std::runtime_error(std::string("codec: stream truncated while "
+                                           "reading ") +
+                               what);
+    }
+  };
+  auto read_length = [&](std::size_t nibble) {
+    std::size_t len = nibble;
+    if (nibble == 15) {
+      while (true) {
+        need(1, "length extension");
+        const std::uint8_t b = stream[pos++];
+        len += b;
+        if (b != 0xFF) break;
+      }
+    }
+    return len;
+  };
+
+  while (pos < n) {
+    const std::uint8_t token = stream[pos++];
+    const std::size_t lit = read_length(token >> 4);
+    need(lit, "literals");
+    if (out.size() + lit > raw_bytes) {
+      throw std::runtime_error("codec: stream decodes past the declared "
+                               "chunk size (corrupted cold storage)");
+    }
+    out.insert(out.end(), stream.begin() + pos, stream.begin() + pos + lit);
+    pos += lit;
+    if (pos == n) break;  // final token carries no match
+
+    const std::size_t match = read_length(token & 0x0F) + kMinMatch;
+    need(2, "match offset");
+    const std::size_t offset = static_cast<std::size_t>(stream[pos]) |
+                               (static_cast<std::size_t>(stream[pos + 1]) << 8);
+    pos += 2;
+    if (offset == 0 || offset > out.size()) {
+      throw std::runtime_error("codec: back-reference offset " +
+                               std::to_string(offset) +
+                               " outside the decoded prefix (corrupted cold "
+                               "storage)");
+    }
+    if (out.size() + match > raw_bytes) {
+      throw std::runtime_error("codec: stream decodes past the declared "
+                               "chunk size (corrupted cold storage)");
+    }
+    // Byte-wise copy: offsets smaller than the match length legitimately
+    // replicate the overlapping run (RLE through LZ).
+    std::size_t src = out.size() - offset;
+    for (std::size_t i = 0; i < match; ++i) out.push_back(out[src + i]);
+  }
+  if (out.size() != raw_bytes) {
+    throw std::runtime_error("codec: stream decoded to " +
+                             std::to_string(out.size()) + " byte(s), chunk "
+                             "directory declares " +
+                             std::to_string(raw_bytes) +
+                             " (corrupted cold storage)");
+  }
+  return out;
+}
+
+}  // namespace rrambnn::io

@@ -1,0 +1,39 @@
+// Self-contained byte codec for cold-storage artifact chunks.
+//
+// `.rbnn` v2 files may store any chunk compressed (io::ChunkCodec::kRlz in
+// the container directory). The codec is a small LZ4-style LZ77: greedy
+// hash-table matcher, token = literal-run + back-reference, 64 KiB window.
+// It is deliberately self-contained — no zlib/lz4 dependency the build
+// image may lack — and tuned for the artifact workload: float weight blocks
+// and structural streams compress usefully; near-random packed bit planes
+// pass through with bounded expansion instead of failing.
+//
+// The decompressor is fully bounds-checked and throws std::runtime_error on
+// any malformed stream (hostile or corrupted cold storage must fail loudly,
+// never write out of bounds); the exact output size is carried out-of-band
+// by the chunk directory and enforced here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rrambnn::io {
+
+/// Worst-case compressed size for `raw_bytes` of input (incompressible data
+/// expands by the literal-run framing only: < 0.5% + constant).
+std::size_t RlzMaxCompressedBytes(std::size_t raw_bytes);
+
+/// Compresses `raw` into a fresh buffer. Round trip is exact:
+/// RlzDecompress(RlzCompress(raw), raw.size()) == raw. Empty input yields an
+/// empty stream.
+std::vector<std::uint8_t> RlzCompress(std::span<const std::uint8_t> raw);
+
+/// Decompresses a stream produced by RlzCompress. `raw_bytes` is the exact
+/// expected output size (from the chunk directory); a stream that decodes to
+/// any other length, references data before the output start, or ends
+/// mid-token throws std::runtime_error.
+std::vector<std::uint8_t> RlzDecompress(std::span<const std::uint8_t> stream,
+                                        std::uint64_t raw_bytes);
+
+}  // namespace rrambnn::io

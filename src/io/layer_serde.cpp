@@ -65,6 +65,7 @@ LayerSerde DenseSerde() {
         nn::DenseOptions opt;
         opt.binary = r.ReadU8() != 0;
         opt.use_bias = r.ReadU8() != 0;
+        opt.skip_init = true;  // parameters are overwritten just below
         Rng rng(kLoadRngSeed);
         auto layer = std::make_unique<nn::Dense>(in, out, rng, opt);
         LoadParamInto(layer->weight(), r, "Dense weight");
@@ -106,6 +107,7 @@ LayerSerde Conv2dSerde() {
         opt.pad_w = r.ReadI64();
         opt.binary = r.ReadU8() != 0;
         opt.use_bias = r.ReadU8() != 0;
+        opt.skip_init = true;  // parameters are overwritten just below
         Rng rng(kLoadRngSeed);
         auto layer = std::make_unique<nn::Conv2d>(in_ch, out_ch, kh, kw, rng,
                                                   opt);
@@ -144,6 +146,7 @@ LayerSerde DepthwiseConv2dSerde() {
         opt.pad_h = r.ReadI64();
         opt.pad_w = r.ReadI64();
         opt.use_bias = r.ReadU8() != 0;
+        opt.skip_init = true;  // parameters are overwritten just below
         Rng rng(kLoadRngSeed);
         auto layer =
             std::make_unique<nn::DepthwiseConv2d>(channels, kh, kw, rng, opt);
@@ -295,6 +298,9 @@ void SaveSequential(const nn::Sequential& net, ByteWriter& w) {
     const LayerSerde& serde = registry.ForLayer(*layer);
     w.WriteString(serde.tag);
     ByteWriter payload;
+    // The per-layer sub-stream inherits the arena so parameter tensors land
+    // in the shared blob chunk (v2), not inline in the layer payload.
+    payload.SetBlobArena(w.blob_arena());
     serde.save(*layer, payload);
     w.WriteU64(payload.bytes().size());
     w.WriteBytes(payload.bytes());
@@ -310,6 +316,10 @@ nn::Sequential LoadSequential(ByteReader& r) {
     const std::uint64_t size = r.ReadU64();
     ByteReader payload(r.ReadBytes(size),
                        "layer " + std::to_string(i) + " ('" + tag + "')");
+    if (r.has_blob_source()) {
+      payload.SetBlobSource(r.blob_source(), r.blob_keepalive(),
+                            r.blob_borrow());
+    }
     try {
       net.Add(registry.ForTag(tag).load(payload));
     } catch (const std::invalid_argument& e) {

@@ -1,0 +1,149 @@
+#include "io/mapped_artifact.h"
+
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#endif
+
+#include "io/codec.h"
+#include "io/serde.h"
+
+namespace rrambnn::io {
+
+MappedArtifact::MappedArtifact(InputFile file, V2Directory directory)
+    : file_(std::move(file)), directory_(std::move(directory)) {
+  verified_.resize(directory_.entries.size(), false);
+  heap_chunks_.resize(directory_.entries.size());
+}
+
+std::shared_ptr<MappedArtifact> MappedArtifact::Open(const std::string& path,
+                                                     const Options& options) {
+  InputFile file(path);
+  V2Directory directory = ReadV2Directory(file);
+  // Can't use make_shared with a private constructor; new is fine here.
+  std::shared_ptr<MappedArtifact> artifact(
+      new MappedArtifact(std::move(file), std::move(directory)));
+  artifact->verify_ = options.verify;
+#if defined(__unix__) || defined(__APPLE__)
+  if (artifact->file_.size() > 0) {
+    void* base = ::mmap(nullptr, static_cast<std::size_t>(artifact->file_.size()),
+                        PROT_READ, MAP_SHARED, artifact->file_.fd(), 0);
+    if (base == MAP_FAILED) {
+      throw std::runtime_error("artifact: cannot map '" + path + "'");
+    }
+    artifact->map_base_ = static_cast<const std::uint8_t*>(base);
+    artifact->map_bytes_ = artifact->file_.size();
+    // A fleet process maps thousands of these and touches each sparsely;
+    // default readahead would drag whole cold files into the page cache.
+    (void)::madvise(base, static_cast<std::size_t>(artifact->map_bytes_),
+                    MADV_RANDOM);
+  }
+#endif
+  if (options.verify) {
+    std::lock_guard<std::mutex> lock(artifact->mutex_);
+    for (std::size_t i = 0; i < artifact->directory_.entries.size(); ++i) {
+      artifact->VerifyChunkLocked(i);
+    }
+  }
+  return artifact;
+}
+
+MappedArtifact::~MappedArtifact() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (map_base_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(map_base_),
+             static_cast<std::size_t>(map_bytes_));
+  }
+#endif
+}
+
+bool MappedArtifact::HasChunk(const std::string& tag) const {
+  for (const V2Directory::Entry& entry : directory_.entries) {
+    if (entry.tag == tag) return true;
+  }
+  return false;
+}
+
+const V2Directory::Entry& MappedArtifact::FindEntry(
+    const std::string& tag) const {
+  for (const V2Directory::Entry& entry : directory_.entries) {
+    if (entry.tag == tag) return entry;
+  }
+  throw std::runtime_error("artifact: '" + path() + "' has no '" + tag +
+                           "' chunk (not an engine artifact?)");
+}
+
+std::span<const std::uint8_t> MappedArtifact::StoredBytes(
+    std::size_t index, std::vector<std::uint8_t>& scratch) {
+  const V2Directory::Entry& entry = directory_.entries[index];
+  if (map_base_ != nullptr) {
+    // ReadV2Directory proved [offset, offset + stored) is inside the file.
+    return {map_base_ + entry.payload_offset,
+            static_cast<std::size_t>(entry.stored_bytes)};
+  }
+  scratch.resize(static_cast<std::size_t>(entry.stored_bytes));
+  if (entry.stored_bytes > 0) {
+    file_.ReadAt(entry.payload_offset, scratch.data(), entry.stored_bytes);
+  }
+  return scratch;
+}
+
+void MappedArtifact::VerifyChunkLocked(std::size_t index) {
+  if (verified_[index]) return;
+  const V2Directory::Entry& entry = directory_.entries[index];
+  std::vector<std::uint8_t> scratch;
+  const std::span<const std::uint8_t> stored = StoredBytes(index, scratch);
+  const std::uint32_t actual_crc = Crc32(stored);
+  if (actual_crc != entry.crc32) {
+    throw std::runtime_error("artifact: chunk '" + entry.tag + "' of '" +
+                             path() + "' failed its CRC-32 check (stored " +
+                             std::to_string(entry.crc32) + ", computed " +
+                             std::to_string(actual_crc) +
+                             "): file is corrupted");
+  }
+  verified_[index] = true;
+}
+
+MappedArtifact::ChunkView MappedArtifact::GetChunk(const std::string& tag) {
+  const V2Directory::Entry& entry = FindEntry(tag);
+  const std::size_t index =
+      static_cast<std::size_t>(&entry - directory_.entries.data());
+  std::lock_guard<std::mutex> lock(mutex_);
+  // With verify=false, a raw mapped chunk stays untouched — checking its
+  // CRC would fault in every page of a payload the caller may never read.
+  // Anything that must be materialized gets checked regardless.
+  const bool raw_mapped = entry.codec == ChunkCodec::kRaw && map_base_ != nullptr;
+  if (verify_ || !raw_mapped) VerifyChunkLocked(index);
+
+  ChunkView view;
+  view.codec = entry.codec;
+  if (raw_mapped) {
+    view.bytes = {map_base_ + entry.payload_offset,
+                  static_cast<std::size_t>(entry.raw_bytes)};
+    view.keepalive = shared_from_this();
+    return view;
+  }
+  // Compressed chunk, or heap fallback: materialize once and cache. The
+  // keepalive is the buffer itself, so these views do not pin the mapping.
+  if (heap_chunks_[index] == nullptr) {
+    std::vector<std::uint8_t> scratch;
+    const std::span<const std::uint8_t> stored = StoredBytes(index, scratch);
+    if (entry.codec == ChunkCodec::kRlz) {
+      heap_chunks_[index] = std::make_shared<const std::vector<std::uint8_t>>(
+          RlzDecompress(stored, entry.raw_bytes));
+    } else if (!scratch.empty() || stored.empty()) {
+      heap_chunks_[index] = std::make_shared<const std::vector<std::uint8_t>>(
+          std::move(scratch));
+    } else {
+      heap_chunks_[index] = std::make_shared<const std::vector<std::uint8_t>>(
+          stored.begin(), stored.end());
+    }
+  }
+  view.bytes = *heap_chunks_[index];
+  view.keepalive = heap_chunks_[index];
+  return view;
+}
+
+}  // namespace rrambnn::io

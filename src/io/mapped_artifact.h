@@ -1,0 +1,103 @@
+// Zero-copy access to a v2 artifact: open once, mmap read-only, hand out
+// borrowed views of chunk payloads.
+//
+// A MappedArtifact is the serving-side counterpart of WriteChunkFileV2.
+// Raw chunks resolve to spans pointing straight into the shared file
+// mapping — no copy, no private dirty pages, and the kernel page cache
+// de-duplicates the bytes across every process serving the same model.
+// Compressed chunks inflate once into a cached heap buffer and resolve to
+// views of that. Either way the view carries a keepalive shared_ptr that
+// pins its backing memory, so a view outliving the MappedArtifact handle
+// is safe by construction.
+//
+// Integrity policy: the header and directory are always validated at Open
+// (bounds, alignment, monotonic offsets, directory CRC) — after that, every
+// payload access is provably inside the file. Payload CRCs are swept
+// eagerly when Options.verify is set (the default). With verify=false —
+// the thousands-resident fleet mode, which must not read every cold byte
+// at start-up — raw mapped chunks are trusted to the filesystem and never
+// CRC'd, while compressed and heap-fallback chunks (whose bytes must be
+// materialized anyway) are still checked on first access.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/chunk_file.h"
+
+namespace rrambnn::io {
+
+class MappedArtifact : public std::enable_shared_from_this<MappedArtifact> {
+ public:
+  struct Options {
+    /// CRC-sweep every chunk at open. When false, raw mapped chunks skip
+    /// their CRC entirely (the mapping is trusted, keeping lazy opens
+    /// O(directory) instead of O(file)); chunks that must be materialized
+    /// — compressed or heap-fallback — still verify on first access.
+    bool verify = true;
+  };
+
+  /// Opens and maps the v2 artifact at `path`. Throws std::runtime_error on
+  /// anything structurally wrong: not a v2 container, truncated at or past
+  /// any boundary, misaligned offsets, CRC mismatch (when verifying).
+  static std::shared_ptr<MappedArtifact> Open(const std::string& path,
+                                              const Options& options);
+  static std::shared_ptr<MappedArtifact> Open(const std::string& path) {
+    return Open(path, Options{});
+  }
+
+  ~MappedArtifact();
+  MappedArtifact(const MappedArtifact&) = delete;
+  MappedArtifact& operator=(const MappedArtifact&) = delete;
+
+  const std::string& path() const { return file_.path(); }
+  std::uint64_t file_bytes() const { return file_.size(); }
+  const V2Directory& directory() const { return directory_; }
+  /// True when an actual mmap backs raw chunks (POSIX); false on the heap
+  /// fallback, where raw chunks read into cached buffers instead.
+  bool mapped() const { return map_base_ != nullptr; }
+
+  /// A chunk payload plus the ownership that keeps it valid.
+  struct ChunkView {
+    std::span<const std::uint8_t> bytes;  ///< raw (decompressed) payload
+    /// Pins `bytes`: the MappedArtifact itself for mapped raw chunks, the
+    /// cached heap buffer for decompressed / fallback-read ones.
+    std::shared_ptr<const void> keepalive;
+    ChunkCodec codec = ChunkCodec::kRaw;  ///< how the chunk was stored
+  };
+
+  bool HasChunk(const std::string& tag) const;
+  /// Resolves chunk `tag`, verifying its CRC first if it has not been
+  /// checked yet. Throws std::runtime_error for unknown tags, CRC failures
+  /// and corrupt compressed streams.
+  ChunkView GetChunk(const std::string& tag);
+
+ private:
+  MappedArtifact(InputFile file, V2Directory directory);
+
+  const V2Directory::Entry& FindEntry(const std::string& tag) const;
+  /// Stored (possibly compressed) bytes of entry `index`: a view of the
+  /// mapping, or pread into `scratch` on the heap fallback.
+  std::span<const std::uint8_t> StoredBytes(std::size_t index,
+                                            std::vector<std::uint8_t>& scratch);
+  void VerifyChunkLocked(std::size_t index);
+
+  InputFile file_;
+  V2Directory directory_;
+  const std::uint8_t* map_base_ = nullptr;
+  std::uint64_t map_bytes_ = 0;
+
+  bool verify_ = true;
+
+  std::mutex mutex_;
+  std::vector<bool> verified_;
+  /// Lazily filled: decompressed payloads, and raw payloads on the heap
+  /// fallback. One slot per directory entry.
+  std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> heap_chunks_;
+};
+
+}  // namespace rrambnn::io

@@ -32,6 +32,14 @@ std::uint32_t Crc32(std::span<const std::uint8_t> bytes) {
   return crc ^ 0xFFFFFFFFu;
 }
 
+BlobArena::Ref BlobArena::Append(std::span<const std::uint8_t> bytes) {
+  const std::uint64_t aligned =
+      (bytes_.size() + kBlobAlignment - 1) / kBlobAlignment * kBlobAlignment;
+  bytes_.resize(static_cast<std::size_t>(aligned), 0);
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+  return Ref{aligned, bytes.size()};
+}
+
 void ByteWriter::WriteU8(std::uint8_t v) { bytes_.push_back(v); }
 
 void ByteWriter::WriteU32(std::uint32_t v) {
@@ -132,6 +140,37 @@ std::span<const std::uint8_t> ByteReader::ReadBytes(std::uint64_t n) {
   std::span<const std::uint8_t> out(data_ + pos_, static_cast<std::size_t>(n));
   pos_ += n;
   return out;
+}
+
+void ByteReader::SetBlobSource(std::span<const std::uint8_t> blob,
+                               std::shared_ptr<const void> keepalive,
+                               bool borrow) {
+  blob_ = blob;
+  blob_keepalive_ = std::move(keepalive);
+  blob_borrow_ = borrow;
+}
+
+std::span<const std::uint8_t> ByteReader::ReadBlobRef() {
+  if (!has_blob_source()) {
+    throw std::runtime_error("artifact corrupt: " + context_ +
+                             " references a blob arena but none is attached "
+                             "(v2 payload in a v1 container?)");
+  }
+  const std::uint64_t offset = ReadU64();
+  const std::uint64_t bytes = ReadU64();
+  if (offset % kBlobAlignment != 0) {
+    throw std::runtime_error("artifact corrupt: " + context_ +
+                             " holds a blob reference at misaligned offset " +
+                             std::to_string(offset));
+  }
+  if (offset > blob_.size() || bytes > blob_.size() - offset) {
+    throw std::runtime_error(
+        "artifact corrupt: " + context_ + " references blob bytes [" +
+        std::to_string(offset) + ", +" + std::to_string(bytes) +
+        ") outside the " + std::to_string(blob_.size()) + "-byte arena");
+  }
+  return blob_.subspan(static_cast<std::size_t>(offset),
+                       static_cast<std::size_t>(bytes));
 }
 
 void ByteReader::ExpectExhausted() const {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -17,6 +18,34 @@ namespace rrambnn::io {
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a byte range; the chunk
 /// checksum of the artifact format. Crc32("123456789") == 0xCBF43926.
 std::uint32_t Crc32(std::span<const std::uint8_t> bytes);
+
+/// Alignment of every payload inside a BlobArena, and therefore of every
+/// bulk array in a mapped v2 artifact: generous enough for any numeric
+/// element type and a full cacheline.
+constexpr std::uint64_t kBlobAlignment = 64;
+
+/// Bulk-payload arena of the v2 artifact format. Structural streams stay in
+/// ByteWriter; large numeric arrays (packed bit-plane words, float tensor
+/// data) are appended here at kBlobAlignment boundaries and referenced from
+/// the stream by (offset, bytes). Written page-aligned into the container,
+/// the arena is what a serving process maps instead of copies.
+class BlobArena {
+ public:
+  struct Ref {
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Appends `bytes` at the next kBlobAlignment boundary (zero padding in
+  /// between) and returns where they landed.
+  Ref Append(std::span<const std::uint8_t> bytes);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
 
 /// Appends little-endian primitives to a growable byte buffer.
 class ByteWriter {
@@ -33,11 +62,19 @@ class ByteWriter {
   /// Raw bytes, no length prefix.
   void WriteBytes(std::span<const std::uint8_t> bytes);
 
+  /// Attaches a blob arena (not owned). While attached, the value
+  /// serializers (tensor_serde) route bulk arrays to the arena as
+  /// (offset, bytes) references — the v2 artifact layout. Null detaches;
+  /// serializers then inline the data (v1 layout).
+  void SetBlobArena(BlobArena* arena) { arena_ = arena; }
+  BlobArena* blob_arena() const { return arena_; }
+
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
   std::vector<std::uint8_t> TakeBytes() { return std::move(bytes_); }
 
  private:
   std::vector<std::uint8_t> bytes_;
+  BlobArena* arena_ = nullptr;
 };
 
 /// Parses little-endian primitives out of a byte range. Every read is
@@ -66,6 +103,30 @@ class ByteReader {
   /// payloads longer than the structure they claim to encode.
   void ExpectExhausted() const;
 
+  // -- Blob source (v2 artifacts) -------------------------------------------
+
+  /// Attaches the blob arena this stream's (offset, bytes) references point
+  /// into. `keepalive` owns the arena memory (a MappedArtifact or a
+  /// decompressed buffer); when `borrow` is true the value deserializers
+  /// build zero-copy views pinned by it, otherwise they copy out (the
+  /// explicit copy fallback).
+  void SetBlobSource(std::span<const std::uint8_t> blob,
+                     std::shared_ptr<const void> keepalive, bool borrow);
+  bool has_blob_source() const { return blob_.data() != nullptr; }
+  /// The attached blob bytes (empty span when none) — for propagating the
+  /// source onto nested sub-stream readers.
+  std::span<const std::uint8_t> blob_source() const { return blob_; }
+  bool blob_borrow() const { return blob_borrow_; }
+  const std::shared_ptr<const void>& blob_keepalive() const {
+    return blob_keepalive_;
+  }
+
+  /// Reads a (u64 offset, u64 bytes) arena reference from the stream and
+  /// resolves it: in-bounds within the attached blob and offset aligned to
+  /// kBlobAlignment, else std::runtime_error (a corrupt reference must never
+  /// become an out-of-bounds mapped read).
+  std::span<const std::uint8_t> ReadBlobRef();
+
  private:
   void Require(std::uint64_t n) const;
 
@@ -73,6 +134,9 @@ class ByteReader {
   std::uint64_t size_;
   std::uint64_t pos_ = 0;
   std::string context_;
+  std::span<const std::uint8_t> blob_;
+  std::shared_ptr<const void> blob_keepalive_;
+  bool blob_borrow_ = false;
 };
 
 }  // namespace rrambnn::io

@@ -1,5 +1,7 @@
 #include "io/tensor_serde.h"
 
+#include <bit>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
@@ -21,11 +23,84 @@ void CheckCountFitsPayload(const ByteReader& r, std::uint64_t count,
   }
 }
 
+// -- Blob arena routing (the v2 artifact layout) -----------------------------
+//
+// The on-disk blob encoding is little-endian elements back to back. On an LE
+// host (every deployment target) that is exactly the in-memory layout, so
+// writes are one memcpy-equivalent Append and reads can *borrow* the bytes
+// in place — the zero-copy load path. A BE host converts element-wise on
+// both sides and never borrows; bit-identity across hosts is preserved, only
+// the zero-copy property is LE-only.
+
+constexpr bool kHostIsLittleEndian =
+    std::endian::native == std::endian::little;
+
+template <typename T>
+std::span<const std::uint8_t> AsBytes(std::span<const T> values) {
+  return {reinterpret_cast<const std::uint8_t*>(values.data()),
+          values.size() * sizeof(T)};
+}
+
+/// True when `p` may be reinterpreted as a T* (the blob arena aligns to 64,
+/// so this only fails for a hand-corrupted directory).
+template <typename T>
+bool AlignedFor(const std::uint8_t* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % alignof(T) == 0;
+}
+
+BlobArena::Ref AppendF32Blob(BlobArena& arena, std::span<const float> values) {
+  if constexpr (kHostIsLittleEndian) {
+    return arena.Append(AsBytes(values));
+  } else {
+    ByteWriter tmp;
+    for (const float v : values) tmp.WriteF32(v);
+    return arena.Append(tmp.bytes());
+  }
+}
+
+BlobArena::Ref AppendU64Blob(BlobArena& arena,
+                             std::span<const std::uint64_t> values) {
+  if constexpr (kHostIsLittleEndian) {
+    return arena.Append(AsBytes(values));
+  } else {
+    ByteWriter tmp;
+    for (const std::uint64_t v : values) tmp.WriteU64(v);
+    return arena.Append(tmp.bytes());
+  }
+}
+
+/// Resolves a blob reference of exactly `count` elements of width
+/// `elem_bytes`, throwing on any size mismatch.
+std::span<const std::uint8_t> ReadSizedBlob(ByteReader& r, std::uint64_t count,
+                                            std::uint64_t elem_bytes,
+                                            const char* what) {
+  const std::span<const std::uint8_t> blob = r.ReadBlobRef();
+  if (count > std::numeric_limits<std::uint64_t>::max() / elem_bytes ||
+      blob.size() != count * elem_bytes) {
+    throw std::runtime_error("artifact corrupt: " + std::string(what) +
+                             " blob holds " + std::to_string(blob.size()) +
+                             " byte(s), structure declares " +
+                             std::to_string(count) + " element(s)");
+  }
+  return blob;
+}
+
 }  // namespace
 
 void SaveTensor(const Tensor& t, ByteWriter& w) {
   w.WriteU32(static_cast<std::uint32_t>(t.rank()));
   for (const std::int64_t d : t.shape()) w.WriteI64(d);
+  // Rank 0 is the default-constructed tensor and carries no elements; the
+  // loader returns before reading any, so neither layout writes any.
+  if (t.rank() == 0) return;
+  if (BlobArena* arena = w.blob_arena()) {
+    const BlobArena::Ref ref = AppendF32Blob(
+        *arena, std::span<const float>(t.data(),
+                                       static_cast<std::size_t>(t.size())));
+    w.WriteU64(ref.offset);
+    w.WriteU64(ref.bytes);
+    return;
+  }
   for (std::int64_t i = 0; i < t.size(); ++i) w.WriteF32(t[i]);
 }
 
@@ -54,6 +129,27 @@ Tensor LoadTensor(ByteReader& r) {
     }
     n *= static_cast<std::uint64_t>(d);
   }
+  if (r.has_blob_source()) {
+    const std::span<const std::uint8_t> blob =
+        ReadSizedBlob(r, n, sizeof(float), "tensor element");
+    if constexpr (kHostIsLittleEndian) {
+      if (r.blob_borrow() && AlignedFor<float>(blob.data())) {
+        return Tensor::FromBorrowed(
+            std::move(shape),
+            {reinterpret_cast<const float*>(blob.data()),
+             static_cast<std::size_t>(n)},
+            r.blob_keepalive());
+      }
+      std::vector<float> data(static_cast<std::size_t>(n));
+      std::memcpy(data.data(), blob.data(), blob.size());
+      return Tensor(std::move(shape), std::move(data));
+    } else {
+      ByteReader blob_reader(blob, "tensor element blob");
+      std::vector<float> data(static_cast<std::size_t>(n));
+      for (auto& v : data) v = blob_reader.ReadF32();
+      return Tensor(std::move(shape), std::move(data));
+    }
+  }
   CheckCountFitsPayload(r, n, sizeof(float), "tensor element");
   std::vector<float> data(static_cast<std::size_t>(n));
   for (auto& v : data) v = r.ReadF32();
@@ -63,6 +159,12 @@ Tensor LoadTensor(ByteReader& r) {
 void SaveBitMatrix(const core::BitMatrix& m, ByteWriter& w) {
   w.WriteI64(m.rows());
   w.WriteI64(m.cols());
+  if (BlobArena* arena = w.blob_arena()) {
+    const BlobArena::Ref ref = AppendU64Blob(*arena, m.words());
+    w.WriteU64(ref.offset);
+    w.WriteU64(ref.bytes);
+    return;
+  }
   for (const std::uint64_t word : m.words()) w.WriteU64(word);
 }
 
@@ -82,6 +184,31 @@ core::BitMatrix LoadBitMatrix(ByteReader& r) {
   }
   const std::uint64_t word_count = static_cast<std::uint64_t>(rows) *
                                    words_per_row;
+  if (r.has_blob_source()) {
+    const std::span<const std::uint8_t> blob = ReadSizedBlob(
+        r, word_count, sizeof(std::uint64_t), "bit-matrix word");
+    try {
+      if constexpr (kHostIsLittleEndian) {
+        if (r.blob_borrow() && AlignedFor<std::uint64_t>(blob.data())) {
+          return core::BitMatrix::FromBorrowedWords(
+              rows, cols,
+              {reinterpret_cast<const std::uint64_t*>(blob.data()),
+               static_cast<std::size_t>(word_count)},
+              r.blob_keepalive());
+        }
+        std::vector<std::uint64_t> words(static_cast<std::size_t>(word_count));
+        std::memcpy(words.data(), blob.data(), blob.size());
+        return core::BitMatrix::FromWords(rows, cols, std::move(words));
+      } else {
+        ByteReader blob_reader(blob, "bit-matrix word blob");
+        std::vector<std::uint64_t> words(static_cast<std::size_t>(word_count));
+        for (auto& word : words) word = blob_reader.ReadU64();
+        return core::BitMatrix::FromWords(rows, cols, std::move(words));
+      }
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error(std::string("artifact corrupt: ") + e.what());
+    }
+  }
   CheckCountFitsPayload(r, word_count, sizeof(std::uint64_t),
                         "bit-matrix word");
   std::vector<std::uint64_t> words(static_cast<std::size_t>(word_count));

@@ -21,12 +21,14 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
   }
   const std::int64_t patch = in_channels_ * kernel_h_ * kernel_w_;
   weight_.value = Tensor({out_channels_, patch});
-  weight_.grad = Tensor({out_channels_, patch});
   weight_.latent_binary = options_.binary;
-  GlorotUniform(weight_.value, patch, out_channels_, rng);
+  if (!options_.skip_init) {
+    weight_.grad = Tensor({out_channels_, patch});
+    GlorotUniform(weight_.value, patch, out_channels_, rng);
+  }
   if (options_.use_bias) {
     bias_.value = Tensor({out_channels_});
-    bias_.grad = Tensor({out_channels_});
+    if (!options_.skip_init) bias_.grad = Tensor({out_channels_});
   }
 }
 

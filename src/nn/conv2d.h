@@ -20,6 +20,9 @@ struct Conv2dOptions {
   std::int64_t pad_w = 0;
   bool binary = false;
   bool use_bias = true;
+  /// Deserialization fast path: no random init, no grad allocations (see
+  /// DenseOptions::skip_init — loaded layers are never trained).
+  bool skip_init = false;
 };
 
 class Conv2d : public Layer {

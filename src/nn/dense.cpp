@@ -16,12 +16,14 @@ Dense::Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng,
     throw std::invalid_argument("Dense: non-positive feature counts");
   }
   weight_.value = Tensor({out_features_, in_features_});
-  weight_.grad = Tensor({out_features_, in_features_});
   weight_.latent_binary = options_.binary;
-  GlorotUniform(weight_.value, in_features_, out_features_, rng);
+  if (!options_.skip_init) {
+    weight_.grad = Tensor({out_features_, in_features_});
+    GlorotUniform(weight_.value, in_features_, out_features_, rng);
+  }
   if (options_.use_bias) {
     bias_.value = Tensor({out_features_});
-    bias_.grad = Tensor({out_features_});
+    if (!options_.skip_init) bias_.grad = Tensor({out_features_});
   }
 }
 

@@ -17,6 +17,12 @@ namespace rrambnn::nn {
 struct DenseOptions {
   bool binary = false;
   bool use_bias = true;
+  /// Deserialization fast path: skip the random weight init (the loader
+  /// overwrites every parameter) and the gradient allocations. A skip_init
+  /// layer must not be trained — Backward assumes allocated grads — which
+  /// artifact-loaded engines structurally cannot be (they have no
+  /// ModelFactory to retrain from).
+  bool skip_init = false;
 };
 
 class Dense : public Layer {

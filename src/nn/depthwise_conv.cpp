@@ -18,12 +18,14 @@ DepthwiseConv2d::DepthwiseConv2d(std::int64_t channels, std::int64_t kernel_h,
         "DepthwiseConv2d: non-positive constructor argument");
   }
   weight_.value = Tensor({channels_, kernel_h_ * kernel_w_});
-  weight_.grad = Tensor({channels_, kernel_h_ * kernel_w_});
-  GlorotUniform(weight_.value, kernel_h_ * kernel_w_, kernel_h_ * kernel_w_,
-                rng);
+  if (!options_.skip_init) {
+    weight_.grad = Tensor({channels_, kernel_h_ * kernel_w_});
+    GlorotUniform(weight_.value, kernel_h_ * kernel_w_, kernel_h_ * kernel_w_,
+                  rng);
+  }
   if (options_.use_bias) {
     bias_.value = Tensor({channels_});
-    bias_.grad = Tensor({channels_});
+    if (!options_.skip_init) bias_.grad = Tensor({channels_});
   }
 }
 

@@ -16,6 +16,9 @@ struct DepthwiseConv2dOptions {
   std::int64_t pad_h = 0;
   std::int64_t pad_w = 0;
   bool use_bias = true;
+  /// Deserialization fast path: no random init, no grad allocations (see
+  /// DenseOptions::skip_init — loaded layers are never trained).
+  bool skip_init = false;
 };
 
 class DepthwiseConv2d : public Layer {

@@ -131,6 +131,13 @@ std::vector<ModelRegistry::ModelInfo> ModelRegistry::List() const {
     info.resident = entry.model != nullptr;
     info.generation = entry.last_generation;
     if (entry.stats) info.stats = entry.stats->snapshot();
+    if (entry.model) {
+      const io::ArtifactLoadInfo& load =
+          entry.model->engine().artifact_load_info();
+      info.load_mode = load.mode;
+      info.resident_bytes = load.resident_bytes;
+      info.mapped_bytes = load.mapped_bytes;
+    }
     infos.push_back(std::move(info));
   }
   return infos;  // std::map iteration is already name-sorted
@@ -144,6 +151,18 @@ std::size_t ModelRegistry::resident_count() const {
     if (entry.model) ++count;
   }
   return count;
+}
+
+std::uint64_t ModelRegistry::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t bytes = 0;
+  for (const auto& [name, entry] : entries_) {
+    (void)name;
+    if (entry.model) {
+      bytes += entry.model->engine().artifact_load_info().resident_bytes;
+    }
+  }
+  return bytes;
 }
 
 std::uint64_t ModelRegistry::loads() const {
@@ -164,7 +183,8 @@ std::shared_ptr<ServedModel> ModelRegistry::LoadLocked(const std::string& name,
   // engine under a fresh watermark would mask the update).
   std::error_code ec;
   const fs::file_time_type mtime = fs::last_write_time(entry.path, ec);
-  engine::Engine engine = engine::Engine::FromArtifact(entry.path);
+  engine::Engine engine = engine::Engine::FromArtifact(entry.path,
+                                                       config_.load);
   if (!config_.backend_override.empty()) {
     engine.config().WithBackend(config_.backend_override);
   }
@@ -185,6 +205,14 @@ void ModelRegistry::EvictOverCapacityLocked(const std::string& keep) {
     auto victim = entries_.end();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
       if (!it->second.model) continue;
+      if (config_.resident_mapped &&
+          it->second.model->engine().artifact_load_info().mode ==
+              io::ArtifactLoadMode::kMapped) {
+        // Thousands-resident mode: a mapped model pins only its structural
+        // copies (the bulk planes are reclaimable page cache), so it neither
+        // consumes capacity nor is ever a victim.
+        continue;
+      }
       ++resident;
       if (it->first == keep) continue;
       if (victim == entries_.end() ||

@@ -37,6 +37,16 @@ struct RegistryConfig {
   std::string backend_override;
   /// > 0: override the per-model serving thread count from the artifact.
   int threads_override = 0;
+  /// Thousands-resident fleet mode: models whose bulk data is mmap-ed
+  /// (ArtifactLoadMode::kMapped) do not count against `capacity` and are
+  /// never LRU-evicted — their bit planes live in the kernel page cache
+  /// (shared, reclaimable) and each model pins only its small structural
+  /// copies. Copied and decompressed models still obey the LRU bound:
+  /// they hold private heap bytes that eviction actually frees.
+  bool resident_mapped = false;
+  /// Zero-copy load policy forwarded to Engine::FromArtifact (mmap vs copy,
+  /// eager vs first-touch CRC verification).
+  io::LoadArtifactOptions load;
 };
 
 /// Serving statistics of one resident model, accumulated by the server loop.
@@ -89,6 +99,7 @@ class ServedModel {
   std::filesystem::file_time_type loaded_mtime() const { return mtime_; }
 
   engine::Engine& engine() { return engine_; }
+  const engine::Engine& engine() const { return engine_; }
   /// Hold while calling engine().Predict/Evaluate — see class comment.
   std::mutex& serve_mutex() { return serve_mutex_; }
 
@@ -143,6 +154,14 @@ class ModelRegistry {
     bool resident = false;
     std::uint64_t generation = 0;
     ModelStats stats;
+    /// How the resident engine's artifact was materialized (copied / mapped
+    /// / decompressed); kCopied with zero bytes when not resident.
+    io::ArtifactLoadMode load_mode = io::ArtifactLoadMode::kCopied;
+    /// Private heap bytes of the resident engine's artifact data (zero when
+    /// not resident).
+    std::uint64_t resident_bytes = 0;
+    /// Bytes served from the shared file mapping (zero unless mapped).
+    std::uint64_t mapped_bytes = 0;
   };
   /// Every registered model with residency and statistics, sorted by name.
   /// Statistics persist across eviction and hot reload (they live with the
@@ -150,6 +169,10 @@ class ModelRegistry {
   std::vector<ModelInfo> List() const;
 
   std::size_t resident_count() const;
+  /// Summed private heap bytes of every resident engine's artifact data —
+  /// what the fleet actually costs this process (mapped bulk bytes are
+  /// page-cache-shared and excluded).
+  std::uint64_t resident_bytes() const;
   /// Total artifact loads (initial, hot and forced reloads all count).
   std::uint64_t loads() const;
   /// Models dropped by the LRU capacity bound (reload drops not included).

@@ -101,6 +101,11 @@ Response ModelServer::HandleStatsOrList(const Request& request) {
     wire.path = info.path;
     wire.resident = info.resident;
     wire.generation = info.generation;
+    if (info.resident) {
+      wire.resident_bytes = info.resident_bytes;
+      wire.mapped_bytes = info.mapped_bytes;
+      wire.load_mode = io::ToString(info.load_mode);
+    }
     if (request.kind == RequestKind::kStats) {
       wire.requests = info.stats.requests;
       wire.rows = info.stats.rows;

@@ -178,10 +178,10 @@ Request DecodeRequest(std::span<const std::uint8_t> payload) {
 
 namespace {
 
-/// Health entries travel length-prefixed — u32 byte count, then the entry —
-/// so a decoder skips any fields a newer server appended instead of
-/// misreading them (the unknown-field tolerance of docs/protocol.md §6;
-/// the frozen verbs keep their flat layouts).
+/// Health and stats/list entries travel length-prefixed — u32 byte count,
+/// then the entry — so a decoder skips any fields a newer server appended
+/// instead of misreading them (the unknown-field tolerance of
+/// docs/protocol.md §6; predict and reload keep their flat layouts).
 void WriteSizedEntry(io::ByteWriter& writer, io::ByteWriter&& entry) {
   const std::vector<std::uint8_t> bytes = std::move(entry).TakeBytes();
   writer.WriteU32(static_cast<std::uint32_t>(bytes.size()));
@@ -233,6 +233,55 @@ ChipHealthWire DecodeChipHealth(io::ByteReader& outer) {
   return chip;
 }
 
+void EncodeModelStats(io::ByteWriter& writer, const ModelStatsWire& m) {
+  io::ByteWriter entry;
+  entry.WriteString(m.name);
+  entry.WriteString(m.path);
+  entry.WriteU8(m.resident ? 1 : 0);
+  entry.WriteU64(m.generation);
+  entry.WriteString(m.backend);
+  entry.WriteU64(m.requests);
+  entry.WriteU64(m.rows);
+  entry.WriteF64(m.total_latency_us);
+  entry.WriteF64(m.max_latency_us);
+  entry.WriteF64(m.rows_per_sec);
+  entry.WriteU8(m.energy_available ? 1 : 0);
+  entry.WriteF64(m.program_energy_pj);
+  entry.WriteF64(m.per_inference_read_energy_pj);
+  entry.WriteU64(m.resident_bytes);
+  entry.WriteU64(m.mapped_bytes);
+  entry.WriteString(m.load_mode);
+  WriteSizedEntry(writer, std::move(entry));
+}
+
+ModelStatsWire DecodeModelStats(io::ByteReader& outer) {
+  const std::uint32_t size = outer.ReadU32();
+  io::ByteReader reader(outer.ReadBytes(size), "serve model stats entry");
+  ModelStatsWire m;
+  m.name = reader.ReadString();
+  m.path = reader.ReadString();
+  m.resident = reader.ReadU8() != 0;
+  m.generation = reader.ReadU64();
+  m.backend = reader.ReadString();
+  m.requests = reader.ReadU64();
+  m.rows = reader.ReadU64();
+  m.total_latency_us = reader.ReadF64();
+  m.max_latency_us = reader.ReadF64();
+  m.rows_per_sec = reader.ReadF64();
+  m.energy_available = reader.ReadU8() != 0;
+  m.program_energy_pj = reader.ReadF64();
+  m.per_inference_read_energy_pj = reader.ReadF64();
+  // Fleet-memory fields (revision 2). An entry from a server predating them
+  // simply ends here — they keep their zero values, mirroring how bytes
+  // past the known fields are skipped rather than misread.
+  if (!reader.exhausted()) {
+    m.resident_bytes = reader.ReadU64();
+    m.mapped_bytes = reader.ReadU64();
+    m.load_mode = reader.ReadString();
+  }
+  return m;
+}
+
 ModelHealthWire DecodeModelHealth(io::ByteReader& outer) {
   const std::uint32_t size = outer.ReadU32();
   io::ByteReader reader(outer.ReadBytes(size), "serve model health entry");
@@ -282,19 +331,7 @@ std::vector<std::uint8_t> EncodeResponse(const Response& response) {
     case RequestKind::kList:
       writer.WriteU64(response.models.size());
       for (const ModelStatsWire& m : response.models) {
-        writer.WriteString(m.name);
-        writer.WriteString(m.path);
-        writer.WriteU8(m.resident ? 1 : 0);
-        writer.WriteU64(m.generation);
-        writer.WriteString(m.backend);
-        writer.WriteU64(m.requests);
-        writer.WriteU64(m.rows);
-        writer.WriteF64(m.total_latency_us);
-        writer.WriteF64(m.max_latency_us);
-        writer.WriteF64(m.rows_per_sec);
-        writer.WriteU8(m.energy_available ? 1 : 0);
-        writer.WriteF64(m.program_energy_pj);
-        writer.WriteF64(m.per_inference_read_energy_pj);
+        EncodeModelStats(writer, m);
       }
       break;
     case RequestKind::kHealth:
@@ -346,22 +383,9 @@ Response DecodeResponse(std::span<const std::uint8_t> payload) {
                                  std::to_string(n) +
                                  " exceeds the payload it arrived in");
       }
+      response.models.reserve(static_cast<std::size_t>(n));
       for (std::uint64_t i = 0; i < n; ++i) {
-        ModelStatsWire m;
-        m.name = reader.ReadString();
-        m.path = reader.ReadString();
-        m.resident = reader.ReadU8() != 0;
-        m.generation = reader.ReadU64();
-        m.backend = reader.ReadString();
-        m.requests = reader.ReadU64();
-        m.rows = reader.ReadU64();
-        m.total_latency_us = reader.ReadF64();
-        m.max_latency_us = reader.ReadF64();
-        m.rows_per_sec = reader.ReadF64();
-        m.energy_available = reader.ReadU8() != 0;
-        m.program_energy_pj = reader.ReadF64();
-        m.per_inference_read_energy_pj = reader.ReadF64();
-        response.models.push_back(std::move(m));
+        response.models.push_back(DecodeModelStats(reader));
       }
       break;
     }

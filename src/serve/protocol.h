@@ -61,7 +61,10 @@ struct Request {
   Tensor batch;
 };
 
-/// Per-model statistics entry of a stats/list response.
+/// Per-model statistics entry of a stats/list response. Entries travel
+/// length-prefixed on the wire (protocol revision 2, see docs/protocol.md
+/// §6): decoders skip fields a newer server appended, and fields a newer
+/// client expects but an older server omitted decode to their zero values.
 struct ModelStatsWire {
   std::string name;
   std::string path;
@@ -79,6 +82,16 @@ struct ModelStatsWire {
   bool energy_available = false;
   double program_energy_pj = 0.0;
   double per_inference_read_energy_pj = 0.0;
+  /// Private heap bytes of the resident engine's artifact data (zero when
+  /// not resident).
+  std::uint64_t resident_bytes = 0;
+  /// Bytes served zero-copy from the shared file mapping (zero unless the
+  /// artifact is mmap-ed).
+  std::uint64_t mapped_bytes = 0;
+  /// "copied" | "mapped" | "decompressed" for resident models (strings, not
+  /// enum ordinals — a future mode renders verbatim on old clients); empty
+  /// when not resident.
+  std::string load_mode;
 };
 
 /// Per-chip health entry of a health response. Entries travel

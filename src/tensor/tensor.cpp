@@ -68,6 +68,44 @@ Tensor Tensor::FromList2d(
   return Tensor({r, c}, std::move(data));
 }
 
+Tensor Tensor::FromBorrowed(Shape shape, std::span<const float> data,
+                            std::shared_ptr<const void> keepalive) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  if (static_cast<std::int64_t>(data.size()) != NumElements(t.shape_)) {
+    throw std::invalid_argument("Tensor::FromBorrowed: data size " +
+                                std::to_string(data.size()) +
+                                " does not match shape " +
+                                ShapeToString(t.shape_));
+  }
+  if (data.empty()) return t;  // nothing to borrow; plain empty owned tensor
+  t.view_ = data;
+  t.keepalive_ = std::move(keepalive);
+  return t;
+}
+
+void Tensor::MaterializeSlow() {
+  data_.assign(view_.begin(), view_.end());
+  view_ = {};
+  keepalive_.reset();
+}
+
+const std::vector<float>& Tensor::vec() const {
+  if (view_.data() != nullptr) {
+    throw std::logic_error(
+        "Tensor::vec() const: tensor borrows mapped memory and has no "
+        "vector; call Materialize() or read through data()");
+  }
+  return data_;
+}
+
+bool Tensor::operator==(const Tensor& other) const {
+  if (shape_ != other.shape_) return false;
+  const float* a = ReadData();
+  const float* b = other.ReadData();
+  return std::equal(a, a + size(), b);
+}
+
 std::int64_t Tensor::dim(std::int64_t i) const {
   const auto r = rank();
   if (i < 0) i += r;
@@ -86,32 +124,32 @@ void Tensor::CheckIndex(std::int64_t i, std::int64_t d) const {
   }
 }
 
-float& Tensor::at(std::int64_t i0) {
+std::int64_t Tensor::Offset1(std::int64_t i0) const {
   if (rank() != 1) throw std::invalid_argument("at(i): tensor is not rank 1");
   CheckIndex(i0, 0);
-  return data_[static_cast<std::size_t>(i0)];
+  return i0;
 }
 
-float& Tensor::at(std::int64_t i0, std::int64_t i1) {
+std::int64_t Tensor::Offset2(std::int64_t i0, std::int64_t i1) const {
   if (rank() != 2) throw std::invalid_argument("at(i,j): tensor is not rank 2");
   CheckIndex(i0, 0);
   CheckIndex(i1, 1);
-  return data_[static_cast<std::size_t>(i0 * shape_[1] + i1)];
+  return i0 * shape_[1] + i1;
 }
 
-float& Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2) {
+std::int64_t Tensor::Offset3(std::int64_t i0, std::int64_t i1,
+                             std::int64_t i2) const {
   if (rank() != 3) {
     throw std::invalid_argument("at(i,j,k): tensor is not rank 3");
   }
   CheckIndex(i0, 0);
   CheckIndex(i1, 1);
   CheckIndex(i2, 2);
-  return data_[static_cast<std::size_t>((i0 * shape_[1] + i1) * shape_[2] +
-                                        i2)];
+  return (i0 * shape_[1] + i1) * shape_[2] + i2;
 }
 
-float& Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
-                  std::int64_t i3) {
+std::int64_t Tensor::Offset4(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                             std::int64_t i3) const {
   if (rank() != 4) {
     throw std::invalid_argument("at(i,j,k,l): tensor is not rank 4");
   }
@@ -119,22 +157,46 @@ float& Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
   CheckIndex(i1, 1);
   CheckIndex(i2, 2);
   CheckIndex(i3, 3);
-  return data_[static_cast<std::size_t>(
-      ((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3)];
+  return ((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3;
+}
+
+float& Tensor::at(std::int64_t i0) {
+  const std::int64_t off = Offset1(i0);
+  EnsureOwned();
+  return data_[static_cast<std::size_t>(off)];
+}
+
+float& Tensor::at(std::int64_t i0, std::int64_t i1) {
+  const std::int64_t off = Offset2(i0, i1);
+  EnsureOwned();
+  return data_[static_cast<std::size_t>(off)];
+}
+
+float& Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2) {
+  const std::int64_t off = Offset3(i0, i1, i2);
+  EnsureOwned();
+  return data_[static_cast<std::size_t>(off)];
+}
+
+float& Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                  std::int64_t i3) {
+  const std::int64_t off = Offset4(i0, i1, i2, i3);
+  EnsureOwned();
+  return data_[static_cast<std::size_t>(off)];
 }
 
 float Tensor::at(std::int64_t i0) const {
-  return const_cast<Tensor*>(this)->at(i0);
+  return ReadData()[static_cast<std::size_t>(Offset1(i0))];
 }
 float Tensor::at(std::int64_t i0, std::int64_t i1) const {
-  return const_cast<Tensor*>(this)->at(i0, i1);
+  return ReadData()[static_cast<std::size_t>(Offset2(i0, i1))];
 }
 float Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2) const {
-  return const_cast<Tensor*>(this)->at(i0, i1, i2);
+  return ReadData()[static_cast<std::size_t>(Offset3(i0, i1, i2))];
 }
 float Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
                  std::int64_t i3) const {
-  return const_cast<Tensor*>(this)->at(i0, i1, i2, i3);
+  return ReadData()[static_cast<std::size_t>(Offset4(i0, i1, i2, i3))];
 }
 
 std::int64_t Tensor::Offset(const Shape& index) const {
@@ -173,13 +235,20 @@ Tensor Tensor::Reshape(Shape new_shape) const {
                                 ShapeToString(shape_) + " -> " +
                                 ShapeToString(new_shape));
   }
+  // A reshape of a borrowed tensor shares the borrow: same elements, new
+  // shape, no materialization.
   Tensor out;
   out.shape_ = std::move(new_shape);
   out.data_ = data_;
+  out.view_ = view_;
+  out.keepalive_ = keepalive_;
   return out;
 }
 
-void Tensor::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+void Tensor::Fill(float value) {
+  EnsureOwned();
+  std::fill(data_.begin(), data_.end(), value);
+}
 
 Tensor& Tensor::operator+=(const Tensor& other) {
   if (shape_ != other.shape_) {
@@ -187,7 +256,9 @@ Tensor& Tensor::operator+=(const Tensor& other) {
                                 ShapeToString(shape_) + " vs " +
                                 ShapeToString(other.shape_));
   }
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  EnsureOwned();
+  const float* src = other.ReadData();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += src[i];
   return *this;
 }
 
@@ -197,11 +268,14 @@ Tensor& Tensor::operator-=(const Tensor& other) {
                                 ShapeToString(shape_) + " vs " +
                                 ShapeToString(other.shape_));
   }
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  EnsureOwned();
+  const float* src = other.ReadData();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= src[i];
   return *this;
 }
 
 Tensor& Tensor::operator*=(float s) {
+  EnsureOwned();
   for (float& v : data_) v *= s;
   return *this;
 }
@@ -211,8 +285,10 @@ Tensor Tensor::Hadamard(const Tensor& a, const Tensor& b) {
     throw std::invalid_argument("Hadamard: shape mismatch");
   }
   Tensor out = a;
+  out.EnsureOwned();
+  const float* src = b.ReadData();
   for (std::size_t i = 0; i < out.data_.size(); ++i) {
-    out.data_[i] *= b.data_[i];
+    out.data_[i] *= src[i];
   }
   return out;
 }
@@ -222,10 +298,9 @@ Tensor Tensor::Row(std::int64_t r) const {
   CheckIndex(r, 0);
   Shape row_shape(shape_.begin() + 1, shape_.end());
   const std::int64_t stride = NumElements(row_shape);
-  std::vector<float> row(data_.begin() + static_cast<std::ptrdiff_t>(r * stride),
-                         data_.begin() +
-                             static_cast<std::ptrdiff_t>((r + 1) * stride));
-  return Tensor(std::move(row_shape), std::move(row));
+  const float* base = ReadData() + r * stride;
+  return Tensor(std::move(row_shape),
+                std::vector<float>(base, base + stride));
 }
 
 void Tensor::SetRow(std::int64_t r, const Tensor& src) {
@@ -237,19 +312,21 @@ void Tensor::SetRow(std::int64_t r, const Tensor& src) {
                                 ShapeToString(row_shape) + ", got " +
                                 ShapeToString(src.shape()));
   }
+  EnsureOwned();
   const std::int64_t stride = NumElements(row_shape);
-  std::copy(src.data_.begin(), src.data_.end(),
+  std::copy(src.ReadData(), src.ReadData() + stride,
             data_.begin() + static_cast<std::ptrdiff_t>(r * stride));
 }
 
 double Tensor::Sum() const {
-  return std::accumulate(data_.begin(), data_.end(), 0.0);
+  const float* p = ReadData();
+  return std::accumulate(p, p + size(), 0.0);
 }
 
 std::int64_t Tensor::Argmax() const {
-  if (data_.empty()) throw std::invalid_argument("Argmax: empty tensor");
-  return std::distance(data_.begin(),
-                       std::max_element(data_.begin(), data_.end()));
+  if (empty()) throw std::invalid_argument("Argmax: empty tensor");
+  const float* p = ReadData();
+  return std::distance(p, std::max_element(p, p + size()));
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {

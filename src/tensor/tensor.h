@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,13 @@ std::int64_t NumElements(const Shape& shape);
 std::string ShapeToString(const Shape& shape);
 
 /// Dense float32 tensor with row-major contiguous storage.
+///
+/// Storage is copy-on-write over an optional borrowed source: a tensor
+/// normally owns its elements, but FromBorrowed builds one whose data lives
+/// elsewhere (an mmap-ed artifact), pinned by a keepalive shared_ptr.
+/// Copies of a borrowed tensor share the borrow; every mutating accessor
+/// first materializes a private owned copy, so borrowing is never
+/// observable through values, only through borrowed().
 class Tensor {
  public:
   Tensor() = default;
@@ -47,23 +56,52 @@ class Tensor {
   static Tensor FromList2d(
       std::initializer_list<std::initializer_list<float>> rows);
 
+  /// Tensor whose elements are *borrowed* from `data` — zero copy.
+  /// `keepalive` must own the memory behind `data` (a MappedArtifact or a
+  /// decompressed chunk buffer) and keeps it alive for as long as this
+  /// tensor or any copy of it borrows. data.size() must equal
+  /// NumElements(shape).
+  static Tensor FromBorrowed(Shape shape, std::span<const float> data,
+                             std::shared_ptr<const void> keepalive);
+
   const Shape& shape() const { return shape_; }
   std::int64_t rank() const { return static_cast<std::int64_t>(shape_.size()); }
-  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
-  bool empty() const { return data_.empty(); }
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(view_.data() != nullptr ? view_.size()
+                                                             : data_.size());
+  }
+  bool empty() const { return size() == 0; }
 
   /// Dimension i; negative indices count from the back (dim(-1) = last).
   std::int64_t dim(std::int64_t i) const;
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  std::vector<float>& vec() { return data_; }
-  const std::vector<float>& vec() const { return data_; }
+  float* data() {
+    EnsureOwned();
+    return data_.data();
+  }
+  const float* data() const { return ReadData(); }
+  std::vector<float>& vec() {
+    EnsureOwned();
+    return data_;
+  }
+  /// Owned storage as a vector; throws std::logic_error on a borrowed
+  /// tensor (call Materialize() first, or read through data()).
+  const std::vector<float>& vec() const;
 
-  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
-  float operator[](std::int64_t i) const {
+  float& operator[](std::int64_t i) {
+    EnsureOwned();
     return data_[static_cast<std::size_t>(i)];
   }
+  float operator[](std::int64_t i) const {
+    return ReadData()[static_cast<std::size_t>(i)];
+  }
+
+  /// True while the elements live in borrowed (mapped) memory.
+  bool borrowed() const { return view_.data() != nullptr; }
+
+  /// Forces a private owned copy of borrowed elements (no-op when owned
+  /// already). The explicit form of what any mutating accessor does.
+  void Materialize() { EnsureOwned(); }
 
   /// Bounds-checked multi-index access (rank 1..4).
   float& at(std::int64_t i0);
@@ -112,13 +150,31 @@ class Tensor {
   /// Index of the maximum element (first on ties). Requires non-empty.
   std::int64_t Argmax() const;
 
-  bool operator==(const Tensor& other) const = default;
+  /// Value equality of shape and elements (IEEE float ==, so NaN-bearing
+  /// tensors never compare equal), regardless of where the elements live.
+  bool operator==(const Tensor& other) const;
 
  private:
   void CheckIndex(std::int64_t i, std::int64_t d) const;
+  const float* ReadData() const {
+    return view_.data() != nullptr ? view_.data() : data_.data();
+  }
+  void EnsureOwned() {
+    if (view_.data() != nullptr) MaterializeSlow();
+  }
+  void MaterializeSlow();
+  std::int64_t Offset1(std::int64_t i0) const;
+  std::int64_t Offset2(std::int64_t i0, std::int64_t i1) const;
+  std::int64_t Offset3(std::int64_t i0, std::int64_t i1, std::int64_t i2) const;
+  std::int64_t Offset4(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                       std::int64_t i3) const;
 
   Shape shape_;
+  /// Owned storage; empty while borrowing.
   std::vector<float> data_;
+  /// Borrowed storage (artifact mapping); empty when owned.
+  std::span<const float> view_;
+  std::shared_ptr<const void> keepalive_;
 };
 
 /// 2-D matrix multiply: [m,k] x [k,n] -> [m,n].

@@ -155,6 +155,95 @@ TEST_F(SavedEcgArtifact, PredictionsBitIdenticalOnAllBackends) {
   }
 }
 
+/// Container format is a storage decision, never a numerical one: the same
+/// trained pipeline stored as v1 (copied), v2 (mmap-ed zero-copy, plus the
+/// forced-copy and lazy-verify variants) and v2c (RLZ cold storage) must
+/// predict bit-identically on every backend.
+TEST_F(SavedEcgArtifact, AllFormatsBitIdenticalOnAllBackends) {
+  struct Variant {
+    const char* name;
+    io::ArtifactWriteOptions write;
+    io::LoadArtifactOptions load;
+    io::ArtifactLoadMode expect_mode;
+  };
+  const Variant variants[] = {
+      {"v1", {io::kFormatVersion, false}, {true, true},
+       io::ArtifactLoadMode::kCopied},
+      {"v2-mmap", {io::kFormatVersionV2, false}, {true, true},
+       io::ArtifactLoadMode::kMapped},
+      {"v2-copy", {io::kFormatVersionV2, false}, {false, true},
+       io::ArtifactLoadMode::kCopied},
+      {"v2-lazy", {io::kFormatVersionV2, false}, {true, false},
+       io::ArtifactLoadMode::kMapped},
+      {"v2c", {io::kFormatVersionV2, true}, {true, true},
+       io::ArtifactLoadMode::kDecompressed},
+  };
+  for (const std::string backend :
+       {"reference", "fault", "rram", "rram-sharded"}) {
+    engine_->Deploy(backend);
+    const std::vector<std::int64_t> expected = engine_->Predict(data_->x);
+    for (const Variant& v : variants) {
+      TempFile file(std::string("fmt_") + v.name + ".rbnn");
+      engine_->SaveArtifact(file.path(), v.write);
+      Engine loaded = Engine::FromArtifact(file.path(), v.load);
+      EXPECT_EQ(loaded.artifact_load_info().mode, v.expect_mode) << v.name;
+      loaded.Deploy(backend);
+      EXPECT_EQ(loaded.Predict(data_->x), expected)
+          << v.name << " on " << backend;
+    }
+  }
+}
+
+/// The memory story behind the fleet mode: a mapped engine's private bytes
+/// are the structural chunks only; its bulk bit-planes stay attributed to
+/// the shared file mapping.
+TEST_F(SavedEcgArtifact, LoadInfoAccountsResidentAndMappedBytes) {
+  TempFile v2(std::string("info.rbnn"));
+  engine_->SaveArtifact(v2.path(),
+                        {io::kFormatVersionV2, /*compress=*/false});
+
+  Engine mapped = Engine::FromArtifact(v2.path());
+  const io::ArtifactLoadInfo& mi = mapped.artifact_load_info();
+  EXPECT_EQ(mi.format_version, io::kFormatVersionV2);
+  EXPECT_EQ(mi.mode, io::ArtifactLoadMode::kMapped);
+  EXPECT_GT(mi.mapped_bytes, 0u);
+  EXPECT_LT(mi.resident_bytes, mi.mapped_bytes);
+
+  Engine copied = Engine::FromArtifact(v2.path(), io::LoadArtifactOptions{
+                                                      /*allow_mmap=*/false,
+                                                      /*verify=*/true});
+  const io::ArtifactLoadInfo& ci = copied.artifact_load_info();
+  EXPECT_EQ(ci.mode, io::ArtifactLoadMode::kCopied);
+  EXPECT_EQ(ci.mapped_bytes, 0u);
+  // The copy privatizes what the mapped load shares.
+  EXPECT_GT(ci.resident_bytes, mi.resident_bytes);
+}
+
+/// Migration rewrites the container, never the model: v1 -> v2 -> v2c and
+/// back to v1 keeps predictions bit-identical, and each hop lands in the
+/// requested container version.
+TEST_F(SavedEcgArtifact, MigrationChainPreservesPredictions) {
+  engine_->Deploy("reference");
+  const std::vector<std::int64_t> expected = engine_->Predict(data_->x);
+
+  TempFile v1("mig_v1.rbnn"), v2("mig_v2.rbnn"), v2c("mig_v2c.rbnn"),
+      back("mig_back.rbnn");
+  engine_->SaveArtifact(v1.path(), {io::kFormatVersion, false});
+  io::MigrateArtifact(v1.path(), v2.path(), {io::kFormatVersionV2, false});
+  io::MigrateArtifact(v2.path(), v2c.path(), {io::kFormatVersionV2, true});
+  io::MigrateArtifact(v2c.path(), back.path(), {io::kFormatVersion, false});
+
+  EXPECT_EQ(io::ProbeArtifactVersion(v2.path()), io::kFormatVersionV2);
+  EXPECT_EQ(io::ProbeArtifactVersion(v2c.path()), io::kFormatVersionV2);
+  EXPECT_EQ(io::ProbeArtifactVersion(back.path()), io::kFormatVersion);
+  for (const std::string& path :
+       {v2.path(), v2c.path(), back.path()}) {
+    Engine loaded = Engine::FromArtifact(path);
+    loaded.Deploy("reference");
+    EXPECT_EQ(loaded.Predict(data_->x), expected) << path;
+  }
+}
+
 /// A multi-model server loads artifacts from several request threads at
 /// once; concurrent FromArtifact calls on the same file must each stand up
 /// an independent, fully correct engine.
@@ -251,7 +340,7 @@ TEST_F(SavedEcgArtifact, VersionBumpedArtifactRejected) {
     bytes.assign(std::istreambuf_iterator<char>(in), {});
   }
   TempFile bumped("bumped.rbnn");
-  bytes[8] = static_cast<char>(io::kFormatVersion + 1);
+  bytes[8] = 0x7F;  // a version no build has ever emitted
   {
     std::ofstream out(bumped.path(), std::ios::binary);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));

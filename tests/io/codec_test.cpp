@@ -1,0 +1,129 @@
+// The cold-storage codec contract: exact round trips on every payload
+// shape the artifact writer produces, bounded expansion on incompressible
+// bit planes, and loud rejection of every malformed stream a corrupted or
+// hostile cold file could present (never an out-of-bounds write).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "io/codec.h"
+#include "tensor/rng.h"
+
+namespace rrambnn::io {
+namespace {
+
+std::vector<std::uint8_t> RoundTrip(const std::vector<std::uint8_t>& raw) {
+  return RlzDecompress(RlzCompress(raw), raw.size());
+}
+
+TEST(RlzCodecTest, EmptyInputRoundTrips) {
+  EXPECT_TRUE(RlzCompress({}).empty());
+  EXPECT_TRUE(RlzDecompress({}, 0).empty());
+}
+
+TEST(RlzCodecTest, TinyInputsRoundTrip) {
+  std::vector<std::uint8_t> raw;
+  for (std::size_t n = 1; n <= 8; ++n) {
+    raw.push_back(static_cast<std::uint8_t>(n - 1));
+    EXPECT_EQ(RoundTrip(raw), raw) << "n=" << n;
+  }
+}
+
+TEST(RlzCodecTest, RepetitiveDataCompressesAndRoundTrips) {
+  // Zero runs dominate freshly allocated weight buffers; the overlapping
+  // back-reference (RLE through LZ) must reproduce them exactly.
+  std::vector<std::uint8_t> raw(64 * 1024, 0);
+  for (std::size_t i = 0; i < raw.size(); i += 97) raw[i] = 0xAB;
+  const std::vector<std::uint8_t> stream = RlzCompress(raw);
+  EXPECT_LT(stream.size(), raw.size() / 4);
+  EXPECT_EQ(RlzDecompress(stream, raw.size()), raw);
+}
+
+TEST(RlzCodecTest, StructuredFloatsRoundTrip) {
+  // Float-weight-like payload: low-entropy exponent bytes every 4th byte.
+  Rng rng(11);
+  std::vector<std::uint8_t> raw(48 * 1024);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    raw[i] = (i % 4 == 3) ? 0x3E
+                          : static_cast<std::uint8_t>(rng.UniformInt(256));
+  }
+  EXPECT_EQ(RoundTrip(raw), raw);
+}
+
+TEST(RlzCodecTest, IncompressibleDataStaysWithinDeclaredBound) {
+  Rng rng(7);
+  std::vector<std::uint8_t> raw(96 * 1024);
+  for (auto& b : raw) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  const std::vector<std::uint8_t> stream = RlzCompress(raw);
+  EXPECT_LE(stream.size(), RlzMaxCompressedBytes(raw.size()));
+  EXPECT_EQ(RlzDecompress(stream, raw.size()), raw);
+}
+
+TEST(RlzCodecTest, LongLiteralAndMatchExtensionsRoundTrip) {
+  // > 15 literals and > 15+kMinMatch match bytes force the 0xFF length
+  // extension encoding on both nibbles.
+  std::vector<std::uint8_t> raw;
+  Rng rng(3);
+  for (int i = 0; i < 600; ++i) {
+    raw.push_back(static_cast<std::uint8_t>(rng.UniformInt(256)));
+  }
+  raw.insert(raw.end(), 2000, 0x55);  // long match run
+  EXPECT_EQ(RoundTrip(raw), raw);
+}
+
+TEST(RlzCodecTest, NonemptyStreamForEmptyChunkThrows) {
+  const std::vector<std::uint8_t> stream = {0x00};
+  EXPECT_THROW(RlzDecompress(stream, 0), std::runtime_error);
+}
+
+TEST(RlzCodecTest, TruncatedStreamThrows) {
+  // A long run (one match-heavy token) plus a distinct literal tail, so
+  // every truncation point below cuts mid-token or mid-literals.
+  std::vector<std::uint8_t> raw(4096, 0x42);
+  for (std::uint8_t b : {0x01, 0x23, 0x45, 0x67}) raw.push_back(b);
+  const std::vector<std::uint8_t> stream = RlzCompress(raw);
+  for (std::size_t keep : {std::size_t{1}, stream.size() / 2,
+                           stream.size() - 1}) {
+    std::vector<std::uint8_t> cut(stream.begin(), stream.begin() + keep);
+    EXPECT_THROW(RlzDecompress(cut, raw.size()), std::runtime_error)
+        << "kept " << keep << " of " << stream.size();
+  }
+}
+
+TEST(RlzCodecTest, WrongDeclaredSizeThrows) {
+  std::vector<std::uint8_t> raw(1024);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    raw[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  const std::vector<std::uint8_t> stream = RlzCompress(raw);
+  EXPECT_THROW(RlzDecompress(stream, raw.size() - 1), std::runtime_error);
+  EXPECT_THROW(RlzDecompress(stream, raw.size() + 1), std::runtime_error);
+}
+
+TEST(RlzCodecTest, ZeroOffsetBackReferenceThrows) {
+  // Hand-built token: 4 literals then a match with offset 0 (never emitted
+  // by the compressor, trivially hostile).
+  const std::vector<std::uint8_t> stream = {0x40, 'a', 'b', 'c', 'd',
+                                            0x00, 0x00};
+  EXPECT_THROW(RlzDecompress(stream, 8), std::runtime_error);
+}
+
+TEST(RlzCodecTest, BackReferenceBeforeStreamStartThrows) {
+  // 4 literals, then a match whose offset (9) reaches before the decoded
+  // prefix — the classic out-of-bounds-read probe.
+  const std::vector<std::uint8_t> stream = {0x40, 'a', 'b', 'c', 'd',
+                                            0x09, 0x00};
+  EXPECT_THROW(RlzDecompress(stream, 8), std::runtime_error);
+}
+
+TEST(RlzCodecTest, UnterminatedLengthExtensionThrows) {
+  // Literal nibble 15 demands extension bytes; a stream of 0xFF never
+  // terminates the length and must not be read past its end.
+  const std::vector<std::uint8_t> stream = {0xF0, 0xFF, 0xFF};
+  EXPECT_THROW(RlzDecompress(stream, 1024), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rrambnn::io

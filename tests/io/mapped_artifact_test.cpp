@@ -1,0 +1,257 @@
+// Hostile-input coverage of the zero-copy v2 reader: a MappedArtifact must
+// reject truncation at every structural boundary (including exactly at a
+// page-aligned payload), CRC-corrupt chunks, and misaligned directory
+// offsets — and its lazy-verify mode must trust only what the contract says
+// it trusts (raw mapped payloads), never a chunk it has to materialize.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/chunk_file.h"
+#include "io/mapped_artifact.h"
+#include "io/serde.h"
+
+namespace rrambnn::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_((fs::temp_directory_path() /
+               ("rrambnn_mapped_test_" + name)).string()) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<std::uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), {}};
+}
+
+void WriteAll(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::uint64_t LoadU64(const std::vector<std::uint8_t>& bytes,
+                      std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | bytes[at + i];
+  return v;
+}
+
+void StoreU64(std::vector<std::uint8_t>& bytes, std::size_t at,
+              std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes[at + i] = (v >> (8 * i)) & 0xFF;
+}
+
+/// Byte position of entry `index`'s payload_offset field inside the
+/// serialized directory (header layout in chunk_file.h).
+std::size_t OffsetFieldAt(const std::vector<std::uint8_t>& bytes,
+                          std::size_t index) {
+  std::size_t pos = kV2HeaderBytes;
+  for (std::size_t i = 0;; ++i) {
+    const std::uint64_t tag_len = LoadU64(bytes, pos);
+    pos += 8 + tag_len;
+    if (i == index) return pos;
+    pos += 8 + 8 + 8 + 4 + 4 + 8;  // offset, stored, raw, codec, crc, align
+  }
+}
+
+/// Recomputes the directory CRC after a directory edit, so directory-level
+/// validation (alignment, bounds) is reached instead of the CRC guard.
+void ResealDirectory(std::vector<std::uint8_t>& bytes) {
+  const std::uint64_t dir_bytes = LoadU64(bytes, 16);
+  const std::uint32_t crc =
+      Crc32({bytes.data() + kV2HeaderBytes,
+             static_cast<std::size_t>(dir_bytes)});
+  for (int i = 0; i < 4; ++i) bytes[24 + i] = (crc >> (8 * i)) & 0xFF;
+}
+
+/// A v2 container with the shapes the engine writer produces: a small
+/// 8-aligned structural chunk, a page-aligned raw bulk chunk, and a
+/// page-aligned chunk stored compressed.
+class MappedArtifactFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<TempFile>("hostile.rbnn");
+    meta_payload_ = {1, 2, 3, 4, 5, 6, 7};
+    blob_payload_.resize(8000);
+    for (std::size_t i = 0; i < blob_payload_.size(); ++i) {
+      blob_payload_[i] = static_cast<std::uint8_t>(i * 31 + (i >> 8));
+    }
+    cold_payload_.assign(6000, 0x5A);  // compressible, stays kRlz on disk
+    WriteChunkFileV2(
+        file_->path(),
+        {{"meta", meta_payload_, 8, false},
+         {"blob", blob_payload_, kPageAlignment, false},
+         {"cold", cold_payload_, kPageAlignment, true}});
+  }
+
+  std::unique_ptr<TempFile> file_;
+  std::vector<std::uint8_t> meta_payload_;
+  std::vector<std::uint8_t> blob_payload_;
+  std::vector<std::uint8_t> cold_payload_;
+};
+
+TEST_F(MappedArtifactFile, ChunksResolveToExactPayloads) {
+  auto artifact = MappedArtifact::Open(file_->path());
+  for (const auto* expected : {&meta_payload_, &blob_payload_, &cold_payload_}) {
+    const char* tag = expected == &meta_payload_  ? "meta"
+                      : expected == &blob_payload_ ? "blob"
+                                                   : "cold";
+    ASSERT_TRUE(artifact->HasChunk(tag));
+    const MappedArtifact::ChunkView view = artifact->GetChunk(tag);
+    ASSERT_EQ(view.bytes.size(), expected->size()) << tag;
+    EXPECT_EQ(std::vector<std::uint8_t>(view.bytes.begin(), view.bytes.end()),
+              *expected)
+        << tag;
+  }
+  EXPECT_FALSE(artifact->HasChunk("nonexistent"));
+  EXPECT_THROW(artifact->GetChunk("nonexistent"), std::runtime_error);
+}
+
+TEST_F(MappedArtifactFile, BulkChunkIsPageAlignedAndCompressedChunkSmaller) {
+  auto artifact = MappedArtifact::Open(file_->path());
+  for (const V2Directory::Entry& entry : artifact->directory().entries) {
+    if (entry.tag == "blob") {
+      EXPECT_EQ(entry.payload_offset % kPageAlignment, 0u);
+      EXPECT_EQ(entry.codec, ChunkCodec::kRaw);
+    }
+    if (entry.tag == "cold") {
+      EXPECT_EQ(entry.codec, ChunkCodec::kRlz);
+      EXPECT_LT(entry.stored_bytes, entry.raw_bytes);
+    }
+  }
+}
+
+TEST_F(MappedArtifactFile, ViewOutlivesTheArtifactHandle) {
+  MappedArtifact::ChunkView view;
+  {
+    auto artifact = MappedArtifact::Open(file_->path());
+    view = artifact->GetChunk("blob");
+  }
+  // The keepalive pins the mapping after the last handle is dropped.
+  ASSERT_EQ(view.bytes.size(), blob_payload_.size());
+  EXPECT_EQ(std::vector<std::uint8_t>(view.bytes.begin(), view.bytes.end()),
+            blob_payload_);
+}
+
+TEST_F(MappedArtifactFile, TruncatedAtPageBoundaryRejected) {
+  std::vector<std::uint8_t> bytes = ReadAll(file_->path());
+  // Cut exactly at the bulk payload's page-aligned offset: header and
+  // directory still parse, but the blob entry's extent fails the bounds
+  // check against the shrunken file.
+  auto probe = MappedArtifact::Open(file_->path());
+  std::uint64_t blob_offset = 0;
+  for (const V2Directory::Entry& entry : probe->directory().entries) {
+    if (entry.tag == "blob") blob_offset = entry.payload_offset;
+  }
+  probe.reset();
+  ASSERT_EQ(blob_offset % kPageAlignment, 0u);
+  bytes.resize(static_cast<std::size_t>(blob_offset));
+
+  TempFile cut("truncated_page.rbnn");
+  WriteAll(cut.path(), bytes);
+  EXPECT_THROW(MappedArtifact::Open(cut.path()), std::runtime_error);
+}
+
+TEST_F(MappedArtifactFile, TruncatedInsideDirectoryRejected) {
+  std::vector<std::uint8_t> bytes = ReadAll(file_->path());
+  bytes.resize(kV2HeaderBytes + 4);  // mid-directory
+  TempFile cut("truncated_dir.rbnn");
+  WriteAll(cut.path(), bytes);
+  EXPECT_THROW(MappedArtifact::Open(cut.path()), std::runtime_error);
+}
+
+TEST_F(MappedArtifactFile, CrcCorruptMappedChunkRejectedEagerly) {
+  std::vector<std::uint8_t> bytes = ReadAll(file_->path());
+  auto probe = MappedArtifact::Open(file_->path());
+  std::uint64_t blob_offset = 0;
+  for (const V2Directory::Entry& entry : probe->directory().entries) {
+    if (entry.tag == "blob") blob_offset = entry.payload_offset;
+  }
+  probe.reset();
+  bytes[static_cast<std::size_t>(blob_offset) + 100] ^= 0x01;
+  TempFile corrupt("crc_blob.rbnn");
+  WriteAll(corrupt.path(), bytes);
+  // Eager verify (the default) sweeps payload CRCs at open.
+  EXPECT_THROW(MappedArtifact::Open(corrupt.path()), std::runtime_error);
+}
+
+TEST_F(MappedArtifactFile, LazyModeStillVerifiesMaterializedChunks) {
+  std::vector<std::uint8_t> bytes = ReadAll(file_->path());
+  auto probe = MappedArtifact::Open(file_->path());
+  std::uint64_t cold_offset = 0;
+  for (const V2Directory::Entry& entry : probe->directory().entries) {
+    if (entry.tag == "cold") cold_offset = entry.payload_offset;
+  }
+  probe.reset();
+  bytes[static_cast<std::size_t>(cold_offset) + 3] ^= 0x01;
+  TempFile corrupt("crc_cold.rbnn");
+  WriteAll(corrupt.path(), bytes);
+
+  // verify=false trusts raw *mapped* payloads only; a compressed chunk is
+  // materialized, so its corruption must still be caught on first access.
+  MappedArtifact::Options lazy;
+  lazy.verify = false;
+  auto artifact = MappedArtifact::Open(corrupt.path(), lazy);
+  (void)artifact->GetChunk("meta");  // intact chunks still resolve
+  (void)artifact->GetChunk("blob");
+  EXPECT_THROW(artifact->GetChunk("cold"), std::runtime_error);
+}
+
+TEST_F(MappedArtifactFile, MisalignedV2OffsetRejected) {
+  std::vector<std::uint8_t> bytes = ReadAll(file_->path());
+  // Nudge the structural chunk's offset off its 8-byte alignment and
+  // re-seal the directory CRC, so the alignment check itself must fire.
+  const std::size_t field = OffsetFieldAt(bytes, 0);
+  StoreU64(bytes, field, LoadU64(bytes, field) + 1);
+  ResealDirectory(bytes);
+  TempFile skewed("misaligned.rbnn");
+  WriteAll(skewed.path(), bytes);
+  try {
+    MappedArtifact::Open(skewed.path());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("alignment"), std::string::npos);
+  }
+}
+
+TEST_F(MappedArtifactFile, DirectoryEditWithoutResealRejected) {
+  std::vector<std::uint8_t> bytes = ReadAll(file_->path());
+  const std::size_t field = OffsetFieldAt(bytes, 0);
+  StoreU64(bytes, field, LoadU64(bytes, field) + 8);  // aligned, but unsealed
+  TempFile tampered("tampered_dir.rbnn");
+  WriteAll(tampered.path(), bytes);
+  try {
+    MappedArtifact::Open(tampered.path());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("directory"), std::string::npos);
+  }
+}
+
+TEST_F(MappedArtifactFile, V1ContainerRejectedByMappedReader) {
+  TempFile v1("v1.rbnn");
+  WriteChunkFile(v1.path(), {{"meta", meta_payload_}});
+  EXPECT_THROW(MappedArtifact::Open(v1.path()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rrambnn::io

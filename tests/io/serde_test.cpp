@@ -274,7 +274,7 @@ TEST(ChunkFileTest, VersionBumpRejected) {
   TempFile file("version.bin");
   WriteChunkFile(file.path(), {{"alpha", {1, 2, 3}}});
   std::vector<std::uint8_t> bytes = ReadAll(file.path());
-  bytes[8] = static_cast<std::uint8_t>(kFormatVersion + 1);  // LE u32 at 8
+  bytes[8] = 0x7F;  // LE u32 at 8: a version no build has ever emitted
   WriteAll(file.path(), bytes);
   try {
     ReadChunkFile(file.path());

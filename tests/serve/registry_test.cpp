@@ -292,5 +292,53 @@ TEST(ModelRegistry, ConcurrentAcquireUnderEvictionPressure) {
   EXPECT_GT(registry.evictions(), 0u);
 }
 
+/// The thousands-resident fleet mode: mapped models neither count against
+/// capacity nor get evicted — their bulk bytes live in the shared page
+/// cache, so keeping them "resident" costs only the structural chunks.
+TEST(ModelRegistry, ResidentMappedModelsExemptFromEviction) {
+  CopiedArtifacts artifacts(4);
+  RegistryConfig config;
+  config.capacity = 1;  // would evict aggressively in the default mode
+  config.resident_mapped = true;
+  ModelRegistry registry(config);
+  artifacts.RegisterAll(registry);
+
+  for (int i = 0; i < 4; ++i) (void)registry.Acquire(artifacts.name(i));
+  EXPECT_EQ(registry.resident_count(), 4u);  // all stay, capacity 1
+  EXPECT_EQ(registry.evictions(), 0u);
+  EXPECT_GT(registry.resident_bytes(), 0u);
+
+  std::uint64_t summed = 0;
+  for (const ModelRegistry::ModelInfo& info : registry.List()) {
+    ASSERT_TRUE(info.resident) << info.name;
+    EXPECT_EQ(info.load_mode, io::ArtifactLoadMode::kMapped) << info.name;
+    EXPECT_GT(info.mapped_bytes, info.resident_bytes) << info.name;
+    summed += info.resident_bytes;
+  }
+  EXPECT_EQ(registry.resident_bytes(), summed);
+}
+
+/// Forced-copy loads stay under LRU discipline even in resident-mapped
+/// mode: the exemption is for models whose bulk bytes are reclaimable page
+/// cache, not for private copies.
+TEST(ModelRegistry, CopiedModelsStillObeyLruInResidentMappedMode) {
+  CopiedArtifacts artifacts(3);
+  RegistryConfig config;
+  config.capacity = 2;
+  config.resident_mapped = true;
+  config.load.allow_mmap = false;  // every load is a private copy
+  ModelRegistry registry(config);
+  artifacts.RegisterAll(registry);
+
+  for (int i = 0; i < 3; ++i) (void)registry.Acquire(artifacts.name(i));
+  EXPECT_EQ(registry.resident_count(), 2u);
+  EXPECT_EQ(registry.evictions(), 1u);
+  for (const ModelRegistry::ModelInfo& info : registry.List()) {
+    if (!info.resident) continue;
+    EXPECT_EQ(info.load_mode, io::ArtifactLoadMode::kCopied) << info.name;
+    EXPECT_EQ(info.mapped_bytes, 0u) << info.name;
+  }
+}
+
 }  // namespace
 }  // namespace rrambnn::serve

@@ -1,0 +1,169 @@
+// Wire-format tests of the stats/list verbs after the revision-2 move to
+// length-prefixed entries (docs/protocol.md §6): round trips carry the new
+// fleet-memory fields, an entry from an older server (no tail fields) keeps
+// its zero defaults, an entry from a newer server (extra tail bytes) is
+// decoded by skipping the unknown suffix, and truncation fails loudly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "io/serde.h"
+#include "serve/protocol.h"
+
+namespace rrambnn::serve {
+namespace {
+
+ModelStatsWire MakeStats() {
+  ModelStatsWire m;
+  m.name = "ecg";
+  m.path = "/models/ecg.rbnn";
+  m.resident = true;
+  m.generation = 3;
+  m.backend = "rram";
+  m.requests = 17;
+  m.rows = 1700;
+  m.total_latency_us = 5200.0;
+  m.max_latency_us = 900.0;
+  m.rows_per_sec = 320.0;
+  m.energy_available = true;
+  m.program_energy_pj = 1.5e6;
+  m.per_inference_read_energy_pj = 42.0;
+  m.resident_bytes = 3548;
+  m.mapped_bytes = 1049696;
+  m.load_mode = "mapped";
+  return m;
+}
+
+Response MakeStatsResponse() {
+  Response response;
+  response.id = 9;
+  response.kind = RequestKind::kStats;
+  response.models.push_back(MakeStats());
+  ModelStatsWire cold;
+  cold.name = "eeg";
+  cold.path = "/models/eeg.rbnn";
+  cold.resident = false;  // not loaded: no backend, no load fields
+  response.models.push_back(cold);
+  return response;
+}
+
+TEST(StatsProtocol, ResponseRoundTripCarriesLoadFields) {
+  const Response decoded = DecodeResponse(EncodeResponse(MakeStatsResponse()));
+  EXPECT_EQ(decoded.id, 9u);
+  ASSERT_EQ(decoded.models.size(), 2u);
+  const ModelStatsWire& m = decoded.models[0];
+  EXPECT_EQ(m.name, "ecg");
+  EXPECT_EQ(m.backend, "rram");
+  EXPECT_TRUE(m.resident);
+  EXPECT_EQ(m.generation, 3u);
+  EXPECT_EQ(m.requests, 17u);
+  EXPECT_EQ(m.rows, 1700u);
+  EXPECT_DOUBLE_EQ(m.rows_per_sec, 320.0);
+  EXPECT_EQ(m.resident_bytes, 3548u);
+  EXPECT_EQ(m.mapped_bytes, 1049696u);
+  EXPECT_EQ(m.load_mode, "mapped");
+  EXPECT_FALSE(decoded.models[1].resident);
+  EXPECT_TRUE(decoded.models[1].load_mode.empty());
+}
+
+/// Hand-encodes a revision-1 stats entry — everything up to the energy
+/// fields, none of the fleet-memory tail. Today's decoder must accept it
+/// and leave the missing fields at their zero values.
+TEST(StatsProtocol, EntryWithoutLoadFieldsKeepsZeroDefaults) {
+  io::ByteWriter entry;
+  entry.WriteString("ecg");
+  entry.WriteString("/m.rbnn");
+  entry.WriteU8(1);    // resident
+  entry.WriteU64(2);   // generation
+  entry.WriteString("reference");
+  entry.WriteU64(5);   // requests
+  entry.WriteU64(50);  // rows
+  entry.WriteF64(100.0);
+  entry.WriteF64(10.0);
+  entry.WriteF64(500.0);
+  entry.WriteU8(0);    // energy_available
+  entry.WriteF64(0.0);
+  entry.WriteF64(0.0);
+  const std::vector<std::uint8_t> entry_bytes = entry.TakeBytes();
+
+  io::ByteWriter writer;
+  writer.WriteU64(4);  // id
+  writer.WriteU8(static_cast<std::uint8_t>(RequestKind::kStats));
+  writer.WriteU8(1);   // ok
+  writer.WriteU64(1);  // one entry
+  writer.WriteU32(static_cast<std::uint32_t>(entry_bytes.size()));
+  writer.WriteBytes(entry_bytes);
+
+  const Response decoded = DecodeResponse(writer.TakeBytes());
+  ASSERT_EQ(decoded.models.size(), 1u);
+  const ModelStatsWire& m = decoded.models[0];
+  EXPECT_EQ(m.name, "ecg");
+  EXPECT_EQ(m.requests, 5u);
+  EXPECT_EQ(m.resident_bytes, 0u);
+  EXPECT_EQ(m.mapped_bytes, 0u);
+  EXPECT_TRUE(m.load_mode.empty());
+}
+
+/// The reverse compatibility direction: a future server appends fields
+/// after load_mode inside the sized entry; today's decoder reads what it
+/// knows and skips the rest.
+TEST(StatsProtocol, DecoderSkipsFieldsAppendedByNewerServers) {
+  std::vector<std::uint8_t> bytes;
+  {
+    io::ByteWriter entry;
+    entry.WriteString("ecg");
+    entry.WriteString("/m.rbnn");
+    entry.WriteU8(1);
+    entry.WriteU64(1);
+    entry.WriteString("rram");
+    entry.WriteU64(7);
+    entry.WriteU64(70);
+    entry.WriteF64(1.0);
+    entry.WriteF64(1.0);
+    entry.WriteF64(1.0);
+    entry.WriteU8(0);
+    entry.WriteF64(0.0);
+    entry.WriteF64(0.0);
+    entry.WriteU64(1111);       // resident_bytes
+    entry.WriteU64(2222);       // mapped_bytes
+    entry.WriteString("mapped");
+    entry.WriteF64(3.25);       // hypothetical future field
+    entry.WriteString("future-annotation");  // and another
+    const std::vector<std::uint8_t> entry_bytes = entry.TakeBytes();
+
+    io::ByteWriter writer;
+    writer.WriteU64(5);
+    writer.WriteU8(static_cast<std::uint8_t>(RequestKind::kList));
+    writer.WriteU8(1);
+    writer.WriteU64(1);
+    writer.WriteU32(static_cast<std::uint32_t>(entry_bytes.size()));
+    writer.WriteBytes(entry_bytes);
+    bytes = writer.TakeBytes();
+  }
+  const Response decoded = DecodeResponse(bytes);
+  ASSERT_EQ(decoded.models.size(), 1u);
+  EXPECT_EQ(decoded.models[0].requests, 7u);
+  EXPECT_EQ(decoded.models[0].resident_bytes, 1111u);
+  EXPECT_EQ(decoded.models[0].mapped_bytes, 2222u);
+  EXPECT_EQ(decoded.models[0].load_mode, "mapped");
+}
+
+TEST(StatsProtocol, TruncatedEntryFailsLoudly) {
+  std::vector<std::uint8_t> bytes = EncodeResponse(MakeStatsResponse());
+  bytes.resize(bytes.size() / 2);  // cut inside an entry
+  EXPECT_THROW((void)DecodeResponse(bytes), std::runtime_error);
+}
+
+TEST(StatsProtocol, HostileModelCountIsRejected) {
+  io::ByteWriter writer;
+  writer.WriteU64(1);
+  writer.WriteU8(static_cast<std::uint8_t>(RequestKind::kStats));
+  writer.WriteU8(1);
+  writer.WriteU64(~std::uint64_t{0});  // hostile model count
+  EXPECT_THROW((void)DecodeResponse(writer.TakeBytes()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rrambnn::serve

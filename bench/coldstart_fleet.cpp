@@ -31,6 +31,8 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -162,7 +164,7 @@ FleetResult MeasureFleet(const FormatSpec& spec, const std::string& artifact,
     const std::shared_ptr<serve::ServedModel> model =
         registry.Acquire(names[next]);
     next = (next + 1) % static_cast<std::size_t>(rotation);
-    std::lock_guard<std::mutex> lock(model->serve_mutex());
+    std::shared_lock<std::shared_mutex> lock(model->serve_mutex());
     (void)model->engine().Predict(batch);
     served += rows;
     elapsed = Seconds(serve_start);

@@ -35,11 +35,15 @@
 // answers are bit-identical to in-process serving on both transports.
 // Exits nonzero with a clear message on connection refused, a truncated
 // response, or any error response.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/demo_tasks.h"
@@ -60,10 +64,13 @@ int Usage() {
       "  model_client request health [<model>] [--id N]\n"
       "  model_client decode [--task MODEL=TASK ...]\n"
       "  model_client --connect HOST:PORT <verb> [<model>] [--task TASK]\n"
-      "               [--id N]\n"
+      "               [--id N] [--concurrency N] [--requests N]\n"
       "`request` writes one framed request to stdout; `decode` reads framed\n"
       "responses from stdin; `--connect` round-trips one request over TCP\n"
-      "and prints what decode would.\n");
+      "and prints what decode would. With --concurrency N a predict becomes a\n"
+      "load generator: N connections each pipeline --requests predicts\n"
+      "(default 32) and the client reports aggregate rows/sec plus p50/p99\n"
+      "latency, verifying every response digest along the way.\n");
   return 2;
 }
 
@@ -177,6 +184,10 @@ bool PrintResponse(const serve::Response& response,
 struct VerbArgs {
   serve::Request request;
   std::vector<std::int64_t> labels;
+  /// --connect load-gen mode: > 0 runs `concurrency` connections, each
+  /// pipelining `requests` predicts (0 = ordinary single round-trip).
+  int concurrency = 0;
+  int requests = 32;
 };
 
 /// Parses `<verb> [<model>] [--task T] [--id N]` starting at argv[start].
@@ -200,6 +211,10 @@ bool ParseVerb(int argc, char** argv, int start, VerbArgs* out) {
       task = argv[++i];
     } else if (arg == "--id" && has_value) {
       out->request.id = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--concurrency" && has_value) {
+      out->concurrency = std::atoi(argv[++i]);
+    } else if (arg == "--requests" && has_value) {
+      out->requests = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -267,6 +282,127 @@ int RunDecode(int argc, char** argv) {
   return any_error ? 1 : 0;
 }
 
+/// --concurrency load generator: `concurrency` threads each hold one TCP
+/// connection and pipeline `requests` predict frames through it with a
+/// bounded in-flight window (so neither side's flow control can deadlock a
+/// client that refuses to read). Every response digest is checked against
+/// the first — a load test that silently served wrong answers would be
+/// worse than useless. Prints aggregate rows/sec and per-request p50/p99.
+int RunLoadGen(const std::string& host, std::uint16_t port,
+               const VerbArgs& verb) {
+  if (verb.request.kind != serve::RequestKind::kPredict) {
+    std::fprintf(stderr, "model_client: --concurrency needs a predict verb\n");
+    return 2;
+  }
+  const int connections = verb.concurrency;
+  const int requests = std::max(verb.requests, 1);
+  const std::int64_t rows = verb.request.batch.dim(0);
+  constexpr std::size_t kWindow = 4;  // frames in flight per connection
+
+  std::mutex mutex;  // guards the aggregates below
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<std::size_t>(connections) *
+                       static_cast<std::size_t>(requests));
+  std::uint64_t reference_digest = 0;
+  bool have_reference = false;
+  std::uint64_t digest_mismatches = 0;
+  std::vector<std::string> failures;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(connections));
+  for (int c = 0; c < connections; ++c) {
+    pool.emplace_back([&, c] {
+      try {
+        serve::TcpClient client(host, port);
+        std::vector<std::chrono::steady_clock::time_point> sent_at(
+            static_cast<std::size_t>(requests));
+        std::vector<double> local_us;
+        local_us.reserve(static_cast<std::size_t>(requests));
+        std::uint64_t local_mismatches = 0;
+        std::uint64_t local_digest = 0;
+        bool local_have_digest = false;
+        int sent = 0;
+        int received = 0;
+        while (received < requests) {
+          while (sent < requests &&
+                 static_cast<std::size_t>(sent - received) < kWindow) {
+            serve::Request request = verb.request;
+            request.id = static_cast<std::uint64_t>(c) * 1000000u +
+                         static_cast<std::uint64_t>(sent) + 1;
+            sent_at[static_cast<std::size_t>(sent)] =
+                std::chrono::steady_clock::now();
+            client.Send(request);
+            ++sent;
+          }
+          const serve::Response response = client.Receive();
+          const auto now = std::chrono::steady_clock::now();
+          if (!response.ok) {
+            throw std::runtime_error("error response: " + response.error);
+          }
+          local_us.push_back(
+              std::chrono::duration<double, std::micro>(
+                  now - sent_at[static_cast<std::size_t>(received)])
+                  .count());
+          const std::uint64_t digest =
+              serve::PredictionDigest(response.predictions);
+          if (!local_have_digest) {
+            local_digest = digest;
+            local_have_digest = true;
+          } else if (digest != local_digest) {
+            ++local_mismatches;
+          }
+          ++received;
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        latencies_us.insert(latencies_us.end(), local_us.begin(),
+                            local_us.end());
+        if (!have_reference) {
+          reference_digest = local_digest;
+          have_reference = true;
+        } else if (local_digest != reference_digest) {
+          ++digest_mismatches;
+        }
+        digest_mismatches += local_mismatches;
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(mutex);
+        failures.push_back("connection " + std::to_string(c) + ": " +
+                           e.what());
+      }
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  for (const std::string& failure : failures) {
+    std::fprintf(stderr, "model_client: %s\n", failure.c_str());
+  }
+  if (latencies_us.empty()) return 1;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const auto percentile = [&](double p) {
+    const std::size_t index = std::min(
+        latencies_us.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(latencies_us.size())));
+    return latencies_us[index];
+  };
+  const std::uint64_t total_rows =
+      static_cast<std::uint64_t>(latencies_us.size()) *
+      static_cast<std::uint64_t>(rows);
+  std::printf(
+      "connections=%d requests_per_conn=%d rows_per_request=%lld "
+      "digest=%016llx digest_mismatches=%llu\n"
+      "rows_per_sec=%.0f p50_us=%.0f p99_us=%.0f wall_s=%.3f\n",
+      connections, requests, static_cast<long long>(rows),
+      static_cast<unsigned long long>(reference_digest),
+      static_cast<unsigned long long>(digest_mismatches),
+      static_cast<double>(total_rows) / wall_s, percentile(0.50),
+      percentile(0.99), wall_s);
+  return (digest_mismatches == 0 && failures.empty()) ? 0 : 1;
+}
+
 int RunConnect(int argc, char** argv) {
   if (argc < 4) return Usage();
   const std::string spec = argv[2];
@@ -289,6 +425,9 @@ int RunConnect(int argc, char** argv) {
   }
   VerbArgs verb;
   if (!ParseVerb(argc, argv, 3, &verb)) return Usage();
+  if (verb.concurrency > 0) {
+    return RunLoadGen(host, static_cast<std::uint16_t>(port), verb);
+  }
   std::map<std::string, std::vector<std::int64_t>> labels;
   if (!verb.labels.empty() && !verb.request.model.empty()) {
     labels[verb.request.model] = std::move(verb.labels);

@@ -49,7 +49,7 @@ int Usage() {
       "                    [--lazy-verify]\n"
       "                    [--health-check-every N] [--drift-ber X]\n"
       "                    [--drift-every N] [--drift-seed N]\n"
-      "                    [--listen [HOST:]PORT [--workers N]\n"
+      "                    [--listen [HOST:]PORT [--loops N] [--workers N]\n"
       "                     [--max-connections N] [--idle-timeout-ms N]\n"
       "                     [--poll] [--port-file PATH]]\n"
       "default: reads framed requests on stdin, writes responses on stdout\n"
@@ -73,7 +73,10 @@ int Usage() {
       "  --drift-seed N     seed of the simulated drift draws\n"
       "  --listen [H:]PORT  serve over TCP instead of stdio (port 0 picks an\n"
       "                     ephemeral port; SIGTERM drains gracefully)\n"
-      "  --workers N        TCP request worker threads (default 4)\n"
+      "  --loops N          TCP event-loop threads, each with its own\n"
+      "                     SO_REUSEPORT listener and connection table\n"
+      "                     (default 1)\n"
+      "  --workers N        TCP request worker threads per loop (default 4)\n"
       "  --max-connections N  concurrent TCP connection cap (default 256)\n"
       "  --idle-timeout-ms N  close TCP connections idle this long\n"
       "  --poll             use the portable poll() event backend\n"
@@ -181,6 +184,9 @@ int main(int argc, char** argv) {
         return Usage();
       }
       listen = true;
+    } else if (arg == "--loops" && has_value) {
+      tcp_config.event_loops = static_cast<std::size_t>(
+          std::atoll(argv[++i]));
     } else if (arg == "--workers" && has_value) {
       tcp_config.worker_threads = static_cast<std::size_t>(
           std::atoll(argv[++i]));

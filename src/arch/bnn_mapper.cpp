@@ -298,6 +298,10 @@ std::vector<std::int64_t> MappedBnn::PredictBatch(const Tensor& features) {
   return preds;
 }
 
+void MappedBnn::WarmReadback() {
+  if (DeterministicReads()) Planes();
+}
+
 void MappedBnn::InjectDrift(double ber, Rng& rng) {
   planes_.reset();  // device state changes: the readback planes are stale
   snapshot_.reset();

@@ -75,6 +75,13 @@ class MappedBnn {
   /// DeterministicReads(); rebuilt lazily after Stress().
   const core::BnnModel& ReadbackSnapshot();
 
+  /// Eagerly builds the readback planes when reads are deterministic (no-op
+  /// on a stochastic fabric). The planes are otherwise built lazily on the
+  /// first batch, which mutates the fabric — callers that will serve batches
+  /// from several threads under a shared lock must warm them first, while
+  /// they still hold the fabric exclusively (construction, reprogram, drift).
+  void WarmReadback();
+
   /// Ages all devices, then optionally reprograms (refresh).
   void Stress(std::uint64_t cycles, bool reprogram_after);
 

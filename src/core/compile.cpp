@@ -181,6 +181,18 @@ Tensor ForwardPrefix(nn::Sequential& model, const Tensor& x,
   return y;
 }
 
+Tensor InferPrefix(const nn::Sequential& model, const Tensor& x,
+                   std::size_t end_layer) {
+  if (end_layer > model.size()) {
+    throw std::invalid_argument("InferPrefix: end_layer out of range");
+  }
+  Tensor y = x;
+  for (std::size_t i = 0; i < end_layer; ++i) {
+    y = model[i].Infer(y);
+  }
+  return y;
+}
+
 double HybridAccuracy(nn::Sequential& feature_extractor, std::size_t split,
                       const BnnModel& classifier, const nn::Dataset& data,
                       std::int64_t batch_size) {

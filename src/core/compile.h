@@ -27,6 +27,12 @@ BnnModel CompileClassifier(const nn::Sequential& model,
 Tensor ForwardPrefix(nn::Sequential& model, const Tensor& x,
                      std::size_t end_layer);
 
+/// Same prefix evaluation via the side-effect-free Layer::Infer path:
+/// bit-identical to ForwardPrefix but writes nothing to the model, so many
+/// threads may run it at once on a frozen network (the serving hot path).
+Tensor InferPrefix(const nn::Sequential& model, const Tensor& x,
+                   std::size_t end_layer);
+
 /// Accuracy of the hybrid pipeline: float feature extractor (layers
 /// [0, split)) followed by the compiled binary classifier.
 double HybridAccuracy(nn::Sequential& feature_extractor, std::size_t split,

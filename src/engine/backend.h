@@ -85,6 +85,17 @@ class InferenceBackend {
   /// the multi-threaded result is identical to the single-threaded one.
   virtual bool SupportsConcurrentInference() const { return false; }
 
+  /// True when the whole serving path (ScoresBatch/PredictPacked) is
+  /// read-only: concurrent callers holding only a *shared* lock on the model
+  /// observe bit-identical results with no internal mutation — every scratch
+  /// buffer is per-call and every readback plane/snapshot is built eagerly,
+  /// never lazily under the reader lock. The serving daemon uses this to run
+  /// many predicts on one model in parallel; mutating operations (drift
+  /// injection, reprogramming, hot reload) still require the exclusive lock.
+  /// Distinct from SupportsConcurrentInference: that one only promises
+  /// per-row Scores() purity for the engine's own worker sharding.
+  virtual bool concurrent_readers() const { return false; }
+
   /// Health introspection/healing surface of this backend's physical
   /// substrate (see health/adapter.h), or null when the substrate has no
   /// notion of device health (the exact software reference). The adapter is

@@ -134,11 +134,25 @@ EnergyBreakdown FaultInjectionBackend::EnergyReport() const {
 
 RramBackend::RramBackend(const core::BnnModel& model,
                          const arch::MapperConfig& config)
-    : golden_(model), fabric_(golden_, config), config_(config) {}
+    : golden_(model),
+      fabric_(golden_, config),
+      config_(config),
+      concurrent_readers_(fabric_.DeterministicReads()) {
+  // Build the readback planes now, while the fabric is held exclusively:
+  // the first deterministic batch would otherwise build them lazily, which
+  // mutates the fabric under what may be only a shared serving lock.
+  fabric_.WarmReadback();
+}
 
 std::vector<float> RramBackend::Scores(const core::BitVector& x) {
   return fabric_.Scores(x);
 }
+
+std::vector<float> RramBackend::ScoresBatch(const core::BitMatrix& batch) {
+  return fabric_.ScoresBatch(batch);
+}
+
+bool RramBackend::concurrent_readers() const { return concurrent_readers_; }
 
 void RramBackend::CheckChip(int chip) const {
   if (chip != 0) {
@@ -162,6 +176,7 @@ void RramBackend::ReprogramChip(int chip, bool reseed) {
   arch::MapperConfig config = config_;
   config.seed = ShardedRramBackend::ShardSeed(config_.seed, 0, generation_);
   fabric_ = arch::MappedBnn(golden_, config);
+  fabric_.WarmReadback();
 }
 
 void RramBackend::SetChipServing(int chip, bool serving) {
@@ -183,6 +198,7 @@ void RramBackend::InjectChipDrift(int chip, double ber, std::uint64_t seed) {
   CheckChip(chip);
   Rng rng(seed);
   fabric_.InjectDrift(ber, rng);
+  fabric_.WarmReadback();  // drift reset the planes; rebuild before serving
 }
 
 std::string RramBackend::Describe() const {
@@ -235,7 +251,11 @@ std::uint64_t ShardedRramBackend::ShardSeed(std::uint64_t base_seed,
 ShardedRramBackend::ShardedRramBackend(const core::BnnModel& model,
                                        const arch::MapperConfig& config,
                                        int num_shards)
-    : golden_(model), config_(config) {
+    : golden_(model),
+      config_(config),
+      // == MappedBnn::DeterministicReads() for every chip: the shards all
+      // share this device config, and reprogramming only changes seeds.
+      concurrent_readers_(config.device.sense_offset_sigma == 0.0) {
   if (num_shards < 1) {
     throw std::invalid_argument(
         "ShardedRramBackend: need >= 1 shard, got " +
@@ -246,6 +266,7 @@ ShardedRramBackend::ShardedRramBackend(const core::BnnModel& model,
     arch::MapperConfig chip = config;
     chip.seed = ShardSeed(config.seed, s);
     shards_.push_back(std::make_unique<arch::MappedBnn>(golden_, chip));
+    shards_.back()->WarmReadback();  // see RramBackend: no lazy build later
   }
   serving_.assign(shards_.size(), 1);
   generations_.assign(shards_.size(), 0);
@@ -263,6 +284,12 @@ bool ShardedRramBackend::SupportsReadback() const {
   return shards_.front()->DeterministicReads();
 }
 
+bool ShardedRramBackend::concurrent_readers() const {
+  // All shards share the device config, so the cached construction-time
+  // answer speaks for the fleet across reprograms.
+  return concurrent_readers_;
+}
+
 const core::BnnModel& ShardedRramBackend::ChipReadback(int chip) {
   CheckChip(chip);
   return shards_[static_cast<std::size_t>(chip)]->ReadbackSnapshot();
@@ -276,6 +303,7 @@ void ShardedRramBackend::ReprogramChip(int chip, bool reseed) {
   config.seed = ShardSeed(config_.seed, chip, generation);
   shards_[static_cast<std::size_t>(chip)] =
       std::make_unique<arch::MappedBnn>(golden_, config);
+  shards_[static_cast<std::size_t>(chip)]->WarmReadback();
 }
 
 void ShardedRramBackend::SetChipServing(int chip, bool serving) {
@@ -298,6 +326,7 @@ void ShardedRramBackend::InjectChipDrift(int chip, double ber,
   CheckChip(chip);
   Rng rng(seed);
   shards_[static_cast<std::size_t>(chip)]->InjectDrift(ber, rng);
+  shards_[static_cast<std::size_t>(chip)]->WarmReadback();
 }
 
 std::int64_t ShardedRramBackend::input_size() const {

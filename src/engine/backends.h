@@ -49,6 +49,8 @@ class ReferenceBackend : public InferenceBackend {
   std::string Describe() const override;
   EnergyBreakdown EnergyReport() const override;
   bool SupportsConcurrentInference() const override { return true; }
+  /// The model is immutable: serving is pure, readers never conflict.
+  bool concurrent_readers() const override { return true; }
 
   const core::BnnModel& model() const { return model_; }
 
@@ -77,6 +79,9 @@ class FaultInjectionBackend : public InferenceBackend,
   std::string Describe() const override;
   EnergyBreakdown EnergyReport() const override;
   bool SupportsConcurrentInference() const override { return true; }
+  /// Pure between health interventions; drift/reprogram mutate the model and
+  /// must hold the exclusive serving lock (they do — see serve/model_server).
+  bool concurrent_readers() const override { return true; }
   health::BackendHealthAdapter* health_adapter() override { return this; }
 
   // health::BackendHealthAdapter (the one software "chip"):
@@ -118,8 +123,16 @@ class RramBackend : public InferenceBackend,
   std::int64_t input_size() const override { return fabric_.input_size(); }
   std::int64_t num_classes() const override { return fabric_.num_classes(); }
   std::vector<float> Scores(const core::BitVector& x) override;
+  /// With deterministic senses the batch is served through the fabric's
+  /// packed readback snapshot (bit-plane GEMM, locals only); stochastic
+  /// fabrics fall back to the per-row transactional path.
+  std::vector<float> ScoresBatch(const core::BitMatrix& batch) override;
   std::string Describe() const override;
   EnergyBreakdown EnergyReport() const override;
+  /// True for deterministic senses: the batch path reads the eagerly built
+  /// readback planes and touches no per-call fabric state. A stochastic
+  /// fabric advances device RNG on every read and stays exclusive.
+  bool concurrent_readers() const override;
   health::BackendHealthAdapter* health_adapter() override { return this; }
 
   // health::BackendHealthAdapter (the one physical fabric):
@@ -146,6 +159,11 @@ class RramBackend : public InferenceBackend,
   arch::MappedBnn fabric_;
   arch::MapperConfig config_;
   std::uint64_t generation_ = 0;
+  /// Cached at construction: concurrent_readers() is read lock-free by the
+  /// serving layer to pick its lock mode, while ReprogramChip (exclusive)
+  /// replaces fabric_ — the capability must not dereference live fabric
+  /// state. Determinism is a device-corner property and never changes.
+  const bool concurrent_readers_;
 };
 
 /// A fleet of independently programmed RRAM fabrics serving one model — the
@@ -185,6 +203,11 @@ class ShardedRramBackend : public InferenceBackend,
   /// The backend parallelizes internally (one worker per chip); the engine
   /// must not also shard rows across threads.
   bool SupportsConcurrentInference() const override { return false; }
+  /// True when every shard has deterministic senses: each chip's batch path
+  /// reads its eagerly built readback planes, so whole batches from several
+  /// reader threads interleave safely. Routing/drift/reprogram still need
+  /// the exclusive serving lock.
+  bool concurrent_readers() const override;
   health::BackendHealthAdapter* health_adapter() override { return this; }
 
   // health::BackendHealthAdapter (one chip per shard):
@@ -229,6 +252,9 @@ class ShardedRramBackend : public InferenceBackend,
   std::vector<std::uint8_t> serving_;       // routing mask, 1 = serving
   std::vector<std::uint64_t> generations_;  // reseed generation per chip
   arch::MapperConfig config_;
+  /// Cached at construction: read lock-free by the serving layer while
+  /// ReprogramChip (exclusive) swaps shard pointers — see RramBackend.
+  const bool concurrent_readers_;
 };
 
 }  // namespace rrambnn::engine

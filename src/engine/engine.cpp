@@ -226,7 +226,7 @@ Tensor Engine::Features(const Tensor& x) {
     Tensor batch(batch_shape,
                  std::vector<float>(x.data() + start * sample_elems,
                                     x.data() + stop * sample_elems));
-    Tensor out = core::ForwardPrefix(net_, batch, classifier_start_);
+    Tensor out = core::InferPrefix(net_, batch, classifier_start_);
     if (out.rank() > 2) out = out.Reshape({stop - start, -1});
     if (features.dim(1) == 0) {
       features = Tensor({n, out.dim(1)});

@@ -195,6 +195,15 @@ class Engine {
   /// substrate except the exact software reference). False before Deploy().
   bool SupportsHealth() const;
 
+  /// True when Predict() on this deployed engine is a pure read — the
+  /// backend's serving path mutates nothing (see
+  /// InferenceBackend::concurrent_readers) and the float feature prefix runs
+  /// through the side-effect-free Layer::Infer chain — so many threads may
+  /// Predict() at once under a shared lock. False before Deploy().
+  bool SupportsConcurrentPredict() const {
+    return backend_ != nullptr && backend_->concurrent_readers();
+  }
+
   /// The fleet health manager of the deployed backend, created lazily over
   /// its adapter under this config's health policy and reset whenever the
   /// backend is rebuilt (Deploy re-programs fabrics, so old scores would

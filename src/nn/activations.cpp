@@ -15,6 +15,14 @@ Tensor Relu::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor Relu::Infer(const Tensor& x) const {
+  Tensor y = x;
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    if (y[i] < 0.0f) y[i] = 0.0f;
+  }
+  return y;
+}
+
 Tensor Relu::Backward(const Tensor& grad_out) {
   if (grad_out.shape() != cached_input_.shape()) {
     throw std::invalid_argument("ReLU::Backward: shape mismatch");
@@ -28,6 +36,15 @@ Tensor Relu::Backward(const Tensor& grad_out) {
 
 Tensor HardTanh::Forward(const Tensor& x, bool /*training*/) {
   cached_input_ = x;
+  Tensor y = x;
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    if (y[i] > 1.0f) y[i] = 1.0f;
+    if (y[i] < -1.0f) y[i] = -1.0f;
+  }
+  return y;
+}
+
+Tensor HardTanh::Infer(const Tensor& x) const {
   Tensor y = x;
   for (std::int64_t i = 0; i < y.size(); ++i) {
     if (y[i] > 1.0f) y[i] = 1.0f;
@@ -55,6 +72,12 @@ Tensor SignSte::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor SignSte::Infer(const Tensor& x) const {
+  Tensor y = x;
+  for (std::int64_t i = 0; i < y.size(); ++i) y[i] = SignBin(y[i]);
+  return y;
+}
+
 Tensor SignSte::Backward(const Tensor& grad_out) {
   if (grad_out.shape() != cached_input_.shape()) {
     throw std::invalid_argument("Sign::Backward: shape mismatch");
@@ -73,6 +96,13 @@ Tensor Flatten::Forward(const Tensor& x, bool /*training*/) {
     throw std::invalid_argument("Flatten: expected rank >= 2");
   }
   cached_shape_ = x.shape();
+  return x.Reshape({x.dim(0), -1});
+}
+
+Tensor Flatten::Infer(const Tensor& x) const {
+  if (x.rank() < 2) {
+    throw std::invalid_argument("Flatten: expected rank >= 2");
+  }
   return x.Reshape({x.dim(0), -1});
 }
 

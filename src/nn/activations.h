@@ -14,6 +14,7 @@ namespace rrambnn::nn {
 class Relu : public Layer {
  public:
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Infer(const Tensor& x) const override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return "ReLU"; }
   Shape OutputShape(const Shape& in) const override { return in; }
@@ -26,6 +27,7 @@ class Relu : public Layer {
 class HardTanh : public Layer {
  public:
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Infer(const Tensor& x) const override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return "HardTanh"; }
   Shape OutputShape(const Shape& in) const override { return in; }
@@ -38,6 +40,7 @@ class HardTanh : public Layer {
 class SignSte : public Layer {
  public:
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Infer(const Tensor& x) const override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return "Sign"; }
   Shape OutputShape(const Shape& in) const override { return in; }
@@ -50,6 +53,7 @@ class SignSte : public Layer {
 class Flatten : public Layer {
  public:
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Infer(const Tensor& x) const override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return "Flatten"; }
   Shape OutputShape(const Shape& in) const override;

@@ -124,6 +124,25 @@ Tensor BatchNorm::Forward(const Tensor& x, bool training) {
   return y;
 }
 
+Tensor BatchNorm::Infer(const Tensor& x) const {
+  const Reduction r = MakeReduction(x.shape(), num_features_);
+  Tensor y(x.shape());
+  // Same arithmetic (and evaluation order) as the eval branch of Forward so
+  // the outputs are bit-identical — only the Backward caches are skipped.
+  for (std::int64_t f = 0; f < r.features; ++f) {
+    const float inv_std = 1.0f / std::sqrt(running_var_[f] + options_.eps);
+    const float g = gamma_.value[f], b = beta_.value[f], m = running_mean_[f];
+    for (std::int64_t n = 0; n < r.batch; ++n) {
+      for (std::int64_t s = 0; s < r.spatial; ++s) {
+        const std::int64_t i = r.Index(f, n, s);
+        const float xhat = (x[i] - m) * inv_std;
+        y[i] = g * xhat + b;
+      }
+    }
+  }
+  return y;
+}
+
 Tensor BatchNorm::Backward(const Tensor& grad_out) {
   if (grad_out.shape() != cached_shape_) {
     throw std::invalid_argument("BatchNorm::Backward: shape mismatch");

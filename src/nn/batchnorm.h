@@ -22,6 +22,7 @@ class BatchNorm : public Layer {
   explicit BatchNorm(std::int64_t num_features, BatchNormOptions options = {});
 
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Infer(const Tensor& x) const override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<Param*> Params() override;
   std::string Name() const override { return "BatchNorm"; }

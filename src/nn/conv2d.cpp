@@ -92,6 +92,36 @@ Tensor Conv2d::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor Conv2d::Infer(const Tensor& x) const {
+  if (x.rank() != 4) {
+    throw std::invalid_argument("Conv2d::Infer: expected [N, C, H, W]");
+  }
+  const ConvGeometry geom = GeometryFor({x.dim(1), x.dim(2), x.dim(3)});
+  const std::int64_t n = x.dim(0);
+  const std::int64_t patch = geom.PatchSize();
+  const std::int64_t q = geom.NumPatches();
+
+  Tensor y({n, out_channels_, geom.OutH(), geom.OutW()});
+  const Tensor w_eff = EffectiveWeight();
+  std::vector<float> cols(static_cast<std::size_t>(patch * q));
+  for (std::int64_t s = 0; s < n; ++s) {
+    Im2Col(x.data() + s * in_channels_ * geom.in_h * geom.in_w, geom,
+           cols.data());
+    GemmAccumulate(w_eff.data(), cols.data(), y.data() + s * out_channels_ * q,
+                   out_channels_, patch, q);
+  }
+  if (options_.use_bias) {
+    for (std::int64_t s = 0; s < n; ++s) {
+      for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+        float* plane = y.data() + (s * out_channels_ + oc) * q;
+        const float b = bias_.value[oc];
+        for (std::int64_t i = 0; i < q; ++i) plane[i] += b;
+      }
+    }
+  }
+  return y;
+}
+
 Tensor Conv2d::Backward(const Tensor& grad_out) {
   const std::int64_t n = cached_batch_;
   const std::int64_t patch = geom_.PatchSize();

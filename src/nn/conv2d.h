@@ -32,6 +32,7 @@ class Conv2d : public Layer {
          Conv2dOptions options = {});
 
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Infer(const Tensor& x) const override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<Param*> Params() override;
   std::string Name() const override {

@@ -58,6 +58,28 @@ Tensor Dense::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor Dense::Infer(const Tensor& x) const {
+  if (x.rank() != 2 || x.dim(1) != in_features_) {
+    throw std::invalid_argument("Dense::Infer: expected [N, " +
+                                std::to_string(in_features_) + "], got " +
+                                ShapeToString(x.shape()));
+  }
+  const std::int64_t n = x.dim(0);
+  Tensor y({n, out_features_});
+  const Tensor w_eff = EffectiveWeight();
+  GemmTransBAccumulate(x.data(), w_eff.data(), y.data(), n, in_features_,
+                       out_features_);
+  if (options_.use_bias) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      float* row = y.data() + i * out_features_;
+      for (std::int64_t j = 0; j < out_features_; ++j) {
+        row[j] += bias_.value[j];
+      }
+    }
+  }
+  return y;
+}
+
 Tensor Dense::Backward(const Tensor& grad_out) {
   const std::int64_t n = cached_input_.dim(0);
   if (grad_out.rank() != 2 || grad_out.dim(0) != n ||

@@ -86,6 +86,42 @@ Tensor DepthwiseConv2d::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor DepthwiseConv2d::Infer(const Tensor& x) const {
+  if (x.rank() != 4) {
+    throw std::invalid_argument(
+        "DepthwiseConv2d::Infer: expected [N, C, H, W]");
+  }
+  const ConvGeometry geom = GeometryFor({x.dim(1), x.dim(2), x.dim(3)});
+  const std::int64_t n = x.dim(0);
+  const std::int64_t oh = geom.OutH(), ow = geom.OutW();
+  Tensor y({n, channels_, oh, ow});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float* plane =
+          x.data() + (s * channels_ + c) * geom.in_h * geom.in_w;
+      const float* ker = weight_.value.data() + c * kernel_h_ * kernel_w_;
+      float* out = y.data() + (s * channels_ + c) * oh * ow;
+      const float b = options_.use_bias ? bias_.value[c] : 0.0f;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float acc = b;
+          for (std::int64_t ky = 0; ky < kernel_h_; ++ky) {
+            const std::int64_t iy = oy * geom.stride_h + ky - geom.pad_h;
+            if (iy < 0 || iy >= geom.in_h) continue;
+            for (std::int64_t kx = 0; kx < kernel_w_; ++kx) {
+              const std::int64_t ix = ox * geom.stride_w + kx - geom.pad_w;
+              if (ix < 0 || ix >= geom.in_w) continue;
+              acc += ker[ky * kernel_w_ + kx] * plane[iy * geom.in_w + ix];
+            }
+          }
+          out[oy * ow + ox] = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
 Tensor DepthwiseConv2d::Backward(const Tensor& grad_out) {
   const std::int64_t n = cached_input_.dim(0);
   const std::int64_t oh = geom_.OutH(), ow = geom_.OutW();

@@ -28,6 +28,7 @@ class DepthwiseConv2d : public Layer {
                   DepthwiseConv2dOptions options = {});
 
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Infer(const Tensor& x) const override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<Param*> Params() override;
   std::string Name() const override { return "DepthwiseConv2d"; }

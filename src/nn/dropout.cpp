@@ -25,6 +25,8 @@ Tensor Dropout::Forward(const Tensor& x, bool training) {
   return y;
 }
 
+Tensor Dropout::Infer(const Tensor& x) const { return x; }
+
 Tensor Dropout::Backward(const Tensor& grad_out) {
   if (!cached_training_ || keep_prob_ >= 1.0f) return grad_out;
   if (grad_out.shape() != mask_.shape()) {

@@ -14,6 +14,7 @@ class Dropout : public Layer {
   Dropout(float keep_prob, Rng& rng);
 
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Infer(const Tensor& x) const override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return "Dropout"; }
   Shape OutputShape(const Shape& in) const override { return in; }

@@ -46,6 +46,14 @@ class Layer {
   /// collection. Implementations cache activations needed by Backward.
   virtual Tensor Forward(const Tensor& x, bool training) = 0;
 
+  /// Inference-mode forward with no side effects: writes nothing to the
+  /// layer (no Backward caches, no running stats, no RNG draws), so many
+  /// threads may Infer() through one layer at once — the serving path of
+  /// concurrent shared-lock predicts. Bit-identical to
+  /// Forward(x, /*training=*/false) for every layer (Backward still
+  /// requires a preceding Forward).
+  virtual Tensor Infer(const Tensor& x) const = 0;
+
   /// Propagates `grad_out` (dL/d output) and returns dL/d input, accumulating
   /// parameter gradients into Params(). Must be preceded by Forward().
   virtual Tensor Backward(const Tensor& grad_out) = 0;

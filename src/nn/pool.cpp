@@ -85,6 +85,49 @@ Tensor Pool2d::Forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor Pool2d::Infer(const Tensor& x) const {
+  if (x.rank() != 4) {
+    throw std::invalid_argument("Pool2d::Infer: expected [N, C, H, W]");
+  }
+  const ConvGeometry geom = GeometryFor({x.dim(1), x.dim(2), x.dim(3)});
+  const std::int64_t oh = geom.OutH(), ow = geom.OutW();
+  const std::int64_t planes = x.dim(0) * x.dim(1);
+  Tensor y({x.dim(0), x.dim(1), oh, ow});
+
+  const float inv_area = 1.0f / static_cast<float>(kernel_h_ * kernel_w_);
+  for (std::int64_t p = 0; p < planes; ++p) {
+    const float* plane = x.data() + p * geom.in_h * geom.in_w;
+    float* out = y.data() + p * oh * ow;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        if (kind_ == PoolKind::kMax) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int64_t ky = 0; ky < kernel_h_; ++ky) {
+            const std::int64_t iy = oy * stride_h_ + ky;
+            for (std::int64_t kx = 0; kx < kernel_w_; ++kx) {
+              const std::int64_t ix = ox * stride_w_ + kx;
+              const float v = plane[iy * geom.in_w + ix];
+              if (v > best) best = v;
+            }
+          }
+          out[oy * ow + ox] = best;
+        } else {
+          float acc = 0.0f;
+          for (std::int64_t ky = 0; ky < kernel_h_; ++ky) {
+            const std::int64_t iy = oy * stride_h_ + ky;
+            for (std::int64_t kx = 0; kx < kernel_w_; ++kx) {
+              const std::int64_t ix = ox * stride_w_ + kx;
+              acc += plane[iy * geom.in_w + ix];
+            }
+          }
+          out[oy * ow + ox] = acc * inv_area;
+        }
+      }
+    }
+  }
+  return y;
+}
+
 Tensor Pool2d::Backward(const Tensor& grad_out) {
   const std::int64_t oh = geom_.OutH(), ow = geom_.OutW();
   const std::int64_t planes = cached_batch_ * cached_channels_;
@@ -130,6 +173,21 @@ Tensor GlobalAvgPool::Forward(const Tensor& x, bool /*training*/) {
     throw std::invalid_argument("GlobalAvgPool: expected [N, C, H, W]");
   }
   cached_shape_ = x.shape();
+  const std::int64_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
+  Tensor y({n, c});
+  for (std::int64_t p = 0; p < n * c; ++p) {
+    const float* plane = x.data() + p * hw;
+    float acc = 0.0f;
+    for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+    y[p] = acc / static_cast<float>(hw);
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::Infer(const Tensor& x) const {
+  if (x.rank() != 4) {
+    throw std::invalid_argument("GlobalAvgPool: expected [N, C, H, W]");
+  }
   const std::int64_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
   Tensor y({n, c});
   for (std::int64_t p = 0; p < n * c; ++p) {

@@ -24,6 +24,7 @@ class Pool2d : public Layer {
          Pool2dOptions options = {});
 
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Infer(const Tensor& x) const override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override {
     return kind_ == PoolKind::kMax ? "MaxPool2d" : "AvgPool2d";
@@ -58,6 +59,7 @@ class Pool2d : public Layer {
 class GlobalAvgPool : public Layer {
  public:
   Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Infer(const Tensor& x) const override;
   Tensor Backward(const Tensor& grad_out) override;
   std::string Name() const override { return "GlobalAvgPool"; }
   Shape OutputShape(const Shape& in) const override;

@@ -11,6 +11,12 @@ Tensor Sequential::Forward(const Tensor& x, bool training) {
   return y;
 }
 
+Tensor Sequential::Infer(const Tensor& x) const {
+  Tensor y = x;
+  for (const auto& layer : layers_) y = layer->Infer(y);
+  return y;
+}
+
 Tensor Sequential::Backward(const Tensor& grad_out) {
   Tensor g = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

@@ -29,6 +29,9 @@ class Sequential {
   void Add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
 
   Tensor Forward(const Tensor& x, bool training);
+  /// Side-effect-free inference chain (see Layer::Infer): safe to call from
+  /// many threads at once on a frozen model.
+  Tensor Infer(const Tensor& x) const;
   Tensor Backward(const Tensor& grad_out);
 
   std::vector<Param*> Params();

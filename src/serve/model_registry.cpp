@@ -14,16 +14,24 @@ namespace fs = std::filesystem;
 // ---------------------------------------------------------------------------
 
 void StatsCell::RecordRequest(std::int64_t rows, double latency_us) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.requests += 1;
-  stats_.rows += static_cast<std::uint64_t>(rows);
-  stats_.total_latency_us += latency_us;
-  stats_.max_latency_us = std::max(stats_.max_latency_us, latency_us);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  rows_.fetch_add(static_cast<std::uint64_t>(rows),
+                  std::memory_order_relaxed);
+  total_latency_us_.fetch_add(latency_us, std::memory_order_relaxed);
+  double seen = max_latency_us_.load(std::memory_order_relaxed);
+  while (latency_us > seen &&
+         !max_latency_us_.compare_exchange_weak(seen, latency_us,
+                                                std::memory_order_relaxed)) {
+  }
 }
 
 ModelStats StatsCell::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  ModelStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.rows = rows_.load(std::memory_order_relaxed);
+  stats.total_latency_us = total_latency_us_.load(std::memory_order_relaxed);
+  stats.max_latency_us = max_latency_us_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 ServedModel::ServedModel(std::string name, std::string path,

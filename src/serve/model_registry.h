@@ -12,11 +12,13 @@
 // in-flight request.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -69,21 +71,31 @@ struct ModelStats {
 /// Shared statistics cell of one registered model. Owned by the registry
 /// entry (not the resident engine), so counters survive LRU eviction and
 /// hot reloads — a fleet operator's `stats` view spans the model's whole
-/// serving history in this process.
+/// serving history in this process. Lock-free: concurrent shared-lock
+/// predicts record through atomic counters rather than funneling every
+/// request through one stats mutex. snapshot() reads the counters
+/// individually, so a snapshot racing a record may mix fields from two
+/// adjacent requests — fine for monitoring, and each counter is itself
+/// never torn or lost.
 class StatsCell {
  public:
   void RecordRequest(std::int64_t rows, double latency_us);
   ModelStats snapshot() const;
 
  private:
-  mutable std::mutex mutex_;
-  ModelStats stats_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> rows_{0};
+  std::atomic<double> total_latency_us_{0.0};
+  std::atomic<double> max_latency_us_{0.0};
 };
 
 /// One resident model: a deployed Engine plus its serving statistics and the
-/// per-model serve mutex (backends own hidden state — a simulated RRAM chip
-/// is one physical resource — so requests to the same model are serialized;
-/// requests to different models run concurrently).
+/// per-model serve lock. The lock is reader/writer: backends whose serving
+/// path is a pure read (engine().SupportsConcurrentPredict()) take shared
+/// locks and predict concurrently on one model, while anything that mutates
+/// the engine — health drift/heal hooks, a stochastic-fabric predict (the
+/// simulated RRAM chip is one physical resource whose RNG state advances on
+/// every read), reload bookkeeping — takes the exclusive lock.
 class ServedModel {
  public:
   ServedModel(std::string name, std::string path, engine::Engine engine,
@@ -100,8 +112,9 @@ class ServedModel {
 
   engine::Engine& engine() { return engine_; }
   const engine::Engine& engine() const { return engine_; }
-  /// Hold while calling engine().Predict/Evaluate — see class comment.
-  std::mutex& serve_mutex() { return serve_mutex_; }
+  /// Hold while calling into engine() — see class comment. Shared for pure
+  /// reads on concurrent-reader backends, exclusive for everything else.
+  std::shared_mutex& serve_mutex() { return serve_mutex_; }
 
   void RecordRequest(std::int64_t rows, double latency_us);
   ModelStats stats() const;
@@ -112,7 +125,7 @@ class ServedModel {
   engine::Engine engine_;
   std::filesystem::file_time_type mtime_;
   std::uint64_t generation_ = 0;
-  std::mutex serve_mutex_;
+  std::shared_mutex serve_mutex_;
   std::shared_ptr<StatsCell> stats_;
 };
 

@@ -4,6 +4,7 @@
 #include <exception>
 #include <mutex>
 #include <ostream>
+#include <shared_mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -50,20 +51,45 @@ Response ModelServer::HandlePredict(const Request& request) {
   response.id = request.id;
   response.kind = RequestKind::kPredict;
   const std::shared_ptr<ServedModel> model = registry_.Acquire(request.model);
-  // One request at a time per model (simulated RRAM chips are stateful
-  // physical resources); requests to *different* models run concurrently.
-  std::lock_guard<std::mutex> lock(model->serve_mutex());
-  const auto start = std::chrono::steady_clock::now();
-  response.predictions = model->engine().Predict(request.batch);
-  const double latency_us =
-      std::chrono::duration<double, std::micro>(
-          std::chrono::steady_clock::now() - start)
-          .count();
-  model->RecordRequest(request.batch.dim(0), latency_us);
-  RunHealthHooks(*model, model->stats().requests);
+  engine::Engine& engine = model->engine();
+  // Reader/writer serving policy. When the deployed backend's serving path
+  // is a pure read (SupportsConcurrentPredict) and no per-request health
+  // hooks are configured, predicts on one model hold only the *shared* lock
+  // and run in parallel. Health hooks mutate the backend (drift injection,
+  // heal reprograms), and the PR 6 invariant — serve, then drift, then a due
+  // check heals before the *next* request — requires the whole
+  // serve->drift->check sequence to be atomic per request, so a
+  // hook-serving model keeps the exclusive lock. Stochastic-fabric backends
+  // (concurrent_readers() false) are one physical resource whose device RNG
+  // advances on every read and always serve exclusively.
+  const bool hooks_active =
+      engine.SupportsHealth() &&
+      ((health_.drift_ber > 0.0 && health_.drift_every_requests > 0) ||
+       health_.check_every_requests > 0);
+  if (!hooks_active && engine.SupportsConcurrentPredict()) {
+    std::shared_lock<std::shared_mutex> lock(model->serve_mutex());
+    const auto start = std::chrono::steady_clock::now();
+    response.predictions = engine.Predict(request.batch);
+    const double latency_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    model->RecordRequest(request.batch.dim(0), latency_us);
+    response.latency_us = latency_us;
+  } else {
+    std::unique_lock<std::shared_mutex> lock(model->serve_mutex());
+    const auto start = std::chrono::steady_clock::now();
+    response.predictions = engine.Predict(request.batch);
+    const double latency_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    model->RecordRequest(request.batch.dim(0), latency_us);
+    RunHealthHooks(*model, model->stats().requests);
+    response.latency_us = latency_us;
+  }
   response.model = request.model;
-  response.backend = model->engine().backend().name();
-  response.latency_us = latency_us;
+  response.backend = engine.backend().name();
   return response;
 }
 
@@ -118,7 +144,9 @@ Response ModelServer::HandleStatsOrList(const Request& request) {
       // reorder eviction priority under the serving traffic).
       if (const std::shared_ptr<ServedModel> model =
               registry_.Peek(info.name)) {
-        std::lock_guard<std::mutex> lock(model->serve_mutex());
+        // Pure reads only below: a shared lock keeps stats polling off the
+        // serving critical path.
+        std::shared_lock<std::shared_mutex> lock(model->serve_mutex());
         wire.backend = model->engine().backend().name();
         const engine::EnergyBreakdown energy = model->engine().EnergyReport();
         wire.energy_available = energy.available;
@@ -147,7 +175,9 @@ Response ModelServer::HandleHealth(const Request& request) {
     // Non-resident models answer supported=false with no chips.
     if (const std::shared_ptr<ServedModel> model =
             registry_.Peek(info.name)) {
-      std::lock_guard<std::mutex> lock(model->serve_mutex());
+      // Exclusive: engine.Health() lazily constructs the manager on first
+      // use, which is a write even though the poll itself only reads scores.
+      std::unique_lock<std::shared_mutex> lock(model->serve_mutex());
       engine::Engine& engine = model->engine();
       wire.backend = engine.backend().name();
       wire.supported = engine.SupportsHealth();

@@ -134,189 +134,165 @@ std::optional<std::vector<std::uint8_t>> FrameAssembler::Next() {
 
 TcpServer::TcpServer(ModelServer& server, TcpServerConfig config)
     : server_(server), config_(std::move(config)) {
+  if (config_.event_loops == 0) config_.event_loops = 1;
   if (config_.worker_threads == 0) config_.worker_threads = 1;
 }
 
 TcpServer::~TcpServer() {
   // Defensive cleanup for a server that was never Run() (or whose Start()
   // threw): Run() itself leaves everything closed and joined.
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    workers_stop_ = true;
-  }
-  queue_cv_.notify_all();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-  for (auto& [fd, conn] : connections_) {
-    std::lock_guard<std::mutex> lock(conn->mutex);
-    conn->closed = true;
-    ::close(fd);
-  }
-  connections_.clear();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  for (const int fd : wake_fds_) {
-    if (fd >= 0) ::close(fd);
+  for (const std::unique_ptr<Loop>& lp : loops_) {
+    {
+      std::lock_guard<std::mutex> lock(lp->queue_mutex);
+      lp->workers_stop = true;
+    }
+    lp->queue_cv.notify_all();
+    for (std::thread& worker : lp->workers) {
+      if (worker.joinable()) worker.join();
+    }
+    for (auto& [fd, conn] : lp->connections) {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      conn->closed = true;
+      ::close(fd);
+    }
+    lp->connections.clear();
+    if (lp->listen_fd >= 0) ::close(lp->listen_fd);
+    for (const int fd : lp->wake_fds) {
+      if (fd >= 0) ::close(fd);
+    }
   }
 }
 
 std::uint16_t TcpServer::Start() {
-  loop_ = MakeEventLoop(config_.force_poll);
+  loops_.reserve(config_.event_loops);
+  for (std::size_t i = 0; i < config_.event_loops; ++i) {
+    auto lp = std::make_unique<Loop>();
+    lp->index = i;
+    lp->loop = MakeEventLoop(config_.force_poll);
 
-  if (::pipe(wake_fds_) < 0) ThrowErrno("tcp: wake pipe failed");
-  SetNonBlocking(wake_fds_[0]);
-  SetNonBlocking(wake_fds_[1]);
+    if (::pipe(lp->wake_fds) < 0) ThrowErrno("tcp: wake pipe failed");
+    SetNonBlocking(lp->wake_fds[0]);
+    SetNonBlocking(lp->wake_fds[1]);
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) ThrowErrno("tcp: socket failed");
-  const int one = 1;
-  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr = MakeAddress(config_.host, config_.port);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) < 0) {
-    ThrowErrno("tcp: bind to " + config_.host + ":" +
-               std::to_string(config_.port) + " failed");
-  }
-  if (::listen(listen_fd_, 128) < 0) ThrowErrno("tcp: listen failed");
-  SetNonBlocking(listen_fd_);
+    lp->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (lp->listen_fd < 0) ThrowErrno("tcp: socket failed");
+    const int one = 1;
+    (void)::setsockopt(lp->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof(one));
+    if (config_.event_loops > 1) {
+      // Socket sharding: every loop binds its own listener to the same
+      // host:port and the kernel load-balances incoming connections across
+      // them. Must be set on every listener before any bind.
+      if (::setsockopt(lp->listen_fd, SOL_SOCKET, SO_REUSEPORT, &one,
+                       sizeof(one)) < 0) {
+        ThrowErrno("tcp: setsockopt(SO_REUSEPORT) failed");
+      }
+    }
+    // Loop 0 may bind an ephemeral port (config.port == 0); later loops
+    // join the port it resolved.
+    const std::uint16_t bind_port = i == 0 ? config_.port : port_;
+    sockaddr_in addr = MakeAddress(config_.host, bind_port);
+    if (::bind(lp->listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      ThrowErrno("tcp: bind to " + config_.host + ":" +
+                 std::to_string(bind_port) + " failed");
+    }
+    if (::listen(lp->listen_fd, 128) < 0) ThrowErrno("tcp: listen failed");
+    SetNonBlocking(lp->listen_fd);
 
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) < 0) {
-    ThrowErrno("tcp: getsockname failed");
-  }
-  port_ = ntohs(bound.sin_port);
+    if (i == 0) {
+      sockaddr_in bound{};
+      socklen_t bound_len = sizeof(bound);
+      if (::getsockname(lp->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                        &bound_len) < 0) {
+        ThrowErrno("tcp: getsockname failed");
+      }
+      port_ = ntohs(bound.sin_port);
+    }
 
-  loop_->Add(listen_fd_, /*want_read=*/true, /*want_write=*/false);
-  loop_->Add(wake_fds_[0], /*want_read=*/true, /*want_write=*/false);
+    lp->loop->Add(lp->listen_fd, /*want_read=*/true, /*want_write=*/false);
+    lp->loop->Add(lp->wake_fds[0], /*want_read=*/true, /*want_write=*/false);
 
-  workers_.reserve(config_.worker_threads);
-  for (std::size_t i = 0; i < config_.worker_threads; ++i) {
-    workers_.emplace_back([this] { WorkerMain(); });
+    lp->workers.reserve(config_.worker_threads);
+    Loop* raw = lp.get();
+    for (std::size_t w = 0; w < config_.worker_threads; ++w) {
+      lp->workers.emplace_back([this, raw] { WorkerMain(*raw); });
+    }
+    loops_.push_back(std::move(lp));
   }
   if (config_.log_connections) {
     std::fprintf(stderr,
-                 "tcp: listening on %s:%u (%s backend, %zu workers, "
-                 "capacity %zu connections)\n",
+                 "tcp: listening on %s:%u (%s backend, %zu loop(s) x %zu "
+                 "workers, capacity %zu connections)\n",
                  config_.host.c_str(), static_cast<unsigned>(port_),
-                 loop_->name(), config_.worker_threads,
-                 config_.max_connections);
+                 loops_.front()->loop->name(), loops_.size(),
+                 config_.worker_threads, config_.max_connections);
   }
   return port_;
 }
 
 const char* TcpServer::loop_name() const {
-  return loop_ ? loop_->name() : "unstarted";
+  return loops_.empty() ? "unstarted" : loops_.front()->loop->name();
 }
 
 void TcpServer::RequestStop() {
   stop_requested_.store(true, std::memory_order_release);
-  // One byte on the self-pipe interrupts a blocked Wait. write() is
-  // async-signal-safe; a full pipe is fine (the loop is already awake).
-  if (wake_fds_[1] >= 0) {
-    const char byte = 'S';
-    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  // One byte on each loop's self-pipe interrupts its blocked Wait. write()
+  // is async-signal-safe; a full pipe is fine (that loop is already awake).
+  for (const std::unique_ptr<Loop>& lp : loops_) {
+    if (lp->wake_fds[1] >= 0) {
+      const char byte = 'S';
+      [[maybe_unused]] const ssize_t n = ::write(lp->wake_fds[1], &byte, 1);
+    }
   }
 }
 
-void TcpServer::Wake() {
-  if (wake_fds_[1] >= 0) {
+void TcpServer::Wake(Loop& lp) {
+  if (lp.wake_fds[1] >= 0) {
     const char byte = 'W';
-    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+    [[maybe_unused]] const ssize_t n = ::write(lp.wake_fds[1], &byte, 1);
   }
 }
 
-void TcpServer::DrainWakePipe() {
+void TcpServer::DrainWakePipe(Loop& lp) {
   char buf[256];
-  while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+  while (::read(lp.wake_fds[0], buf, sizeof(buf)) > 0) {
   }
 }
 
-int TcpServer::WaitTimeoutMs() const {
-  if (draining_) return 20;
+int TcpServer::WaitTimeoutMs(const Loop& lp) const {
+  if (lp.draining) return 20;
   if (config_.idle_timeout_ms > 0) {
     return std::clamp(config_.idle_timeout_ms / 2, 10, 500);
   }
   return 500;  // heartbeat; stop/flush wakeups arrive via the self-pipe
 }
 
+std::size_t TcpServer::TotalActive() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Loop>& lp : loops_) {
+    total += static_cast<std::size_t>(
+        lp->active.load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
 void TcpServer::Run() {
-  if (!loop_) {
+  if (loops_.empty()) {
     throw std::logic_error("tcp: Run() before Start()");
   }
-  std::vector<IoEvent> events;
-  while (!(draining_ && connections_.empty())) {
-    loop_->Wait(events, WaitTimeoutMs());
-
-    if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
-      BeginDrain();
-    }
-
-    for (const IoEvent& event : events) {
-      if (event.fd == wake_fds_[0]) {
-        DrainWakePipe();
-        continue;
-      }
-      if (event.fd == listen_fd_) {
-        AcceptPending();
-        continue;
-      }
-      const auto it = connections_.find(event.fd);
-      if (it == connections_.end()) continue;  // closed earlier in this batch
-      const std::shared_ptr<Connection> conn = it->second;
-      if (event.error) {
-        CloseConnection(conn, "socket error");
-        continue;
-      }
-      if (event.readable || event.hangup) {
-        HandleReadable(conn);
-        if (connections_.find(event.fd) == connections_.end()) continue;
-      }
-      if (event.writable) {
-        FlushConnection(conn);
-      }
-    }
-
-    // Worker output since the last pass: flush it and update write interest.
-    std::vector<std::shared_ptr<Connection>> to_flush;
-    {
-      std::lock_guard<std::mutex> lock(flush_mutex_);
-      to_flush.swap(flush_list_);
-    }
-    for (const std::shared_ptr<Connection>& conn : to_flush) {
-      FlushConnection(conn);
-    }
-
-    if (config_.idle_timeout_ms > 0) CloseIdleConnections();
-
-    if (draining_ && !connections_.empty() &&
-        std::chrono::steady_clock::now() >= drain_deadline_) {
-      if (config_.log_connections) {
-        std::fprintf(stderr, "tcp: drain timeout, dropping %zu connection(s)\n",
-                     connections_.size());
-      }
-      while (!connections_.empty()) {
-        CloseConnection(connections_.begin()->second, "drain timeout");
-      }
-    }
+  // Loop 0 runs here (so a plain single-loop server stays one thread);
+  // every further loop gets its own thread. Each loop drains and tears
+  // down independently — Run() returns once all of them have.
+  std::vector<std::thread> loop_threads;
+  loop_threads.reserve(loops_.size() - 1);
+  for (std::size_t i = 1; i < loops_.size(); ++i) {
+    Loop* raw = loops_[i].get();
+    loop_threads.emplace_back([this, raw] { LoopMain(*raw); });
   }
+  LoopMain(*loops_.front());
+  for (std::thread& t : loop_threads) t.join();
 
-  // Drained: tear down the worker pool and the remaining fds.
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    workers_stop_ = true;
-  }
-  queue_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
-  workers_.clear();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  // The wake pipe stays open until destruction: RequestStop may be called
-  // from a signal handler racing this teardown, and its write must hit our
-  // own pipe, never a recycled descriptor.
   if (config_.log_connections) {
     const TcpServerStats s = stats();
     std::fprintf(stderr,
@@ -329,41 +305,118 @@ void TcpServer::Run() {
   }
 }
 
-void TcpServer::BeginDrain() {
-  draining_ = true;
-  drain_deadline_ = std::chrono::steady_clock::now() +
-                    std::chrono::milliseconds(config_.drain_timeout_ms);
-  if (listen_fd_ >= 0) {
-    loop_->Remove(listen_fd_);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+void TcpServer::LoopMain(Loop& lp) {
+  std::vector<IoEvent> events;
+  while (!(lp.draining && lp.connections.empty())) {
+    lp.loop->Wait(events, WaitTimeoutMs(lp));
+
+    if (stop_requested_.load(std::memory_order_acquire) && !lp.draining) {
+      BeginDrain(lp);
+    }
+
+    for (const IoEvent& event : events) {
+      if (event.fd == lp.wake_fds[0]) {
+        DrainWakePipe(lp);
+        continue;
+      }
+      if (event.fd == lp.listen_fd) {
+        AcceptPending(lp);
+        continue;
+      }
+      const auto it = lp.connections.find(event.fd);
+      if (it == lp.connections.end()) continue;  // closed earlier this batch
+      const std::shared_ptr<Connection> conn = it->second;
+      if (event.error) {
+        CloseConnection(lp, conn, "socket error");
+        continue;
+      }
+      if (event.readable || event.hangup) {
+        HandleReadable(lp, conn);
+        if (lp.connections.find(event.fd) == lp.connections.end()) continue;
+      }
+      if (event.writable) {
+        FlushConnection(lp, conn);
+      }
+    }
+
+    // Worker output since the last pass: flush it and update write interest.
+    std::vector<std::shared_ptr<Connection>> to_flush;
+    {
+      std::lock_guard<std::mutex> lock(lp.flush_mutex);
+      to_flush.swap(lp.flush_list);
+    }
+    for (const std::shared_ptr<Connection>& conn : to_flush) {
+      FlushConnection(lp, conn);
+    }
+
+    if (config_.idle_timeout_ms > 0) CloseIdleConnections(lp);
+
+    if (lp.draining && !lp.connections.empty() &&
+        std::chrono::steady_clock::now() >= lp.drain_deadline) {
+      if (config_.log_connections) {
+        std::fprintf(stderr,
+                     "tcp: loop %zu drain timeout, dropping %zu "
+                     "connection(s)\n",
+                     lp.index, lp.connections.size());
+      }
+      while (!lp.connections.empty()) {
+        CloseConnection(lp, lp.connections.begin()->second, "drain timeout");
+      }
+    }
+  }
+
+  // This loop is drained: tear down its worker pool and listener.
+  {
+    std::lock_guard<std::mutex> lock(lp.queue_mutex);
+    lp.workers_stop = true;
+  }
+  lp.queue_cv.notify_all();
+  for (std::thread& worker : lp.workers) worker.join();
+  lp.workers.clear();
+  if (lp.listen_fd >= 0) {
+    ::close(lp.listen_fd);
+    lp.listen_fd = -1;
+  }
+  // The wake pipe stays open until destruction: RequestStop may be called
+  // from a signal handler racing this teardown, and its write must hit our
+  // own pipe, never a recycled descriptor.
+}
+
+void TcpServer::BeginDrain(Loop& lp) {
+  lp.draining = true;
+  lp.drain_deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(config_.drain_timeout_ms);
+  if (lp.listen_fd >= 0) {
+    lp.loop->Remove(lp.listen_fd);
+    ::close(lp.listen_fd);
+    lp.listen_fd = -1;
   }
   if (config_.log_connections) {
-    std::fprintf(stderr, "tcp: draining %zu connection(s)\n",
-                 connections_.size());
+    std::fprintf(stderr, "tcp: loop %zu draining %zu connection(s)\n",
+                 lp.index, lp.connections.size());
   }
   // Snapshot: FlushConnection may close (and erase) connections.
   std::vector<std::shared_ptr<Connection>> conns;
-  conns.reserve(connections_.size());
-  for (const auto& [fd, conn] : connections_) conns.push_back(conn);
+  conns.reserve(lp.connections.size());
+  for (const auto& [fd, conn] : lp.connections) conns.push_back(conn);
   for (const std::shared_ptr<Connection>& conn : conns) {
     if (!conn->input_closed) {
       conn->input_closed = true;  // no new requests during drain
-      loop_->Modify(conn->fd, /*want_read=*/false, conn->want_write);
+      lp.loop->Modify(conn->fd, /*want_read=*/false, conn->want_write);
     }
     {
       std::lock_guard<std::mutex> lock(conn->mutex);
       conn->close_after_flush = true;
     }
-    FlushConnection(conn);
+    FlushConnection(lp, conn);
   }
 }
 
-void TcpServer::AcceptPending() {
+void TcpServer::AcceptPending(Loop& lp) {
   for (;;) {
     sockaddr_in addr{};
     socklen_t addr_len = sizeof(addr);
-    const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+    const int fd = ::accept(lp.listen_fd, reinterpret_cast<sockaddr*>(&addr),
                             &addr_len);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -373,11 +426,12 @@ void TcpServer::AcceptPending() {
       }
       break;
     }
-    if (connections_.size() >= config_.max_connections) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.refused_over_capacity;
-      }
+    // Capacity is a fleet-wide budget summed over every loop's atomic
+    // counter. Loops race on the sum, so a burst across loops can briefly
+    // overshoot by at most loops-1 connections — an accepted looseness;
+    // each loop's own table stays exact.
+    if (TotalActive() >= config_.max_connections) {
+      lp.refused_over_capacity.fetch_add(1, std::memory_order_relaxed);
       if (config_.log_connections) {
         std::fprintf(stderr, "tcp: refusing %s (at capacity %zu)\n",
                      PeerName(addr).c_str(), config_.max_connections);
@@ -394,25 +448,24 @@ void TcpServer::AcceptPending() {
     SetNoDelay(fd);
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
-    conn->id = ++next_connection_id_;
+    conn->id = next_connection_id_.fetch_add(1, std::memory_order_relaxed) + 1;
     conn->peer = PeerName(addr);
+    conn->owner = &lp;
     conn->last_activity = std::chrono::steady_clock::now();
-    connections_.emplace(fd, conn);
-    loop_->Add(fd, /*want_read=*/true, /*want_write=*/false);
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.accepted;
-      stats_.active = connections_.size();
-    }
+    lp.connections.emplace(fd, conn);
+    lp.loop->Add(fd, /*want_read=*/true, /*want_write=*/false);
+    lp.accepted.fetch_add(1, std::memory_order_relaxed);
+    lp.active.store(lp.connections.size(), std::memory_order_relaxed);
     if (config_.log_connections) {
-      std::fprintf(stderr, "tcp: conn#%llu %s open (%zu active)\n",
+      std::fprintf(stderr, "tcp: conn#%llu %s open on loop %zu (%zu active)\n",
                    static_cast<unsigned long long>(conn->id),
-                   conn->peer.c_str(), connections_.size());
+                   conn->peer.c_str(), lp.index, lp.connections.size());
     }
   }
 }
 
-void TcpServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
+void TcpServer::HandleReadable(Loop& lp,
+                               const std::shared_ptr<Connection>& conn) {
   if (conn->input_closed) return;
   for (;;) {
     std::uint8_t buf[65536];
@@ -424,13 +477,13 @@ void TcpServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
         while (std::optional<std::vector<std::uint8_t>> frame =
                    conn->assembler.Next()) {
           ++conn->frames_in;
-          ScheduleWork(conn, std::move(*frame));
+          ScheduleWork(lp, conn, std::move(*frame));
         }
       } catch (const std::exception& e) {
         // Oversized/hostile length prefix: no later byte of this stream can
         // be trusted. Answer an error after in-flight responses and close —
         // this connection only; every other one is unaffected.
-        FailConnection(conn, e.what());
+        FailConnection(lp, conn, e.what());
         return;
       }
       // Flow control: a client that pipelines requests without draining
@@ -444,7 +497,7 @@ void TcpServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
       }
       if (backlog > config_.max_buffered_bytes) {
         conn->reads_paused = true;
-        loop_->Modify(conn->fd, /*want_read=*/false, conn->want_write);
+        lp.loop->Modify(conn->fd, /*want_read=*/false, conn->want_write);
         return;
       }
       continue;
@@ -454,36 +507,35 @@ void TcpServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
         // The stream ended inside a frame — same answer as the stdio
         // loop's ReadFrame: a final id=0 corruption error, not a silent
         // drop of the truncated tail.
-        FailConnection(conn,
+        FailConnection(lp, conn,
                        "stream ended inside a frame (" +
                            std::to_string(conn->assembler.buffered()) +
                            " trailing byte(s))");
         return;
       }
       conn->input_closed = true;
-      loop_->Modify(conn->fd, /*want_read=*/false, conn->want_write);
+      lp.loop->Modify(conn->fd, /*want_read=*/false, conn->want_write);
       {
         std::lock_guard<std::mutex> lock(conn->mutex);
         conn->close_after_flush = true;
       }
-      FlushConnection(conn);
+      FlushConnection(lp, conn);
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return;
     if (errno == EINTR) continue;
-    CloseConnection(conn, std::string("read failed: ") + std::strerror(errno));
+    CloseConnection(lp, conn,
+                    std::string("read failed: ") + std::strerror(errno));
     return;
   }
 }
 
-void TcpServer::FailConnection(const std::shared_ptr<Connection>& conn,
+void TcpServer::FailConnection(Loop& lp,
+                               const std::shared_ptr<Connection>& conn,
                                const std::string& message) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.protocol_errors;
-  }
+  lp.protocol_errors.fetch_add(1, std::memory_order_relaxed);
   conn->input_closed = true;
-  loop_->Modify(conn->fd, /*want_read=*/false, conn->want_write);
+  lp.loop->Modify(conn->fd, /*want_read=*/false, conn->want_write);
   {
     std::lock_guard<std::mutex> lock(conn->mutex);
     ++conn->errors;
@@ -491,10 +543,11 @@ void TcpServer::FailConnection(const std::shared_ptr<Connection>& conn,
     conn->fail_pending = true;
     conn->close_after_flush = true;
   }
-  FlushConnection(conn);
+  FlushConnection(lp, conn);
 }
 
-void TcpServer::ScheduleWork(const std::shared_ptr<Connection>& conn,
+void TcpServer::ScheduleWork(Loop& lp,
+                             const std::shared_ptr<Connection>& conn,
                              std::vector<std::uint8_t> frame) {
   bool enqueue = false;
   {
@@ -508,14 +561,15 @@ void TcpServer::ScheduleWork(const std::shared_ptr<Connection>& conn,
   }
   if (enqueue) {
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      work_queue_.push_back(conn);
+      std::lock_guard<std::mutex> lock(lp.queue_mutex);
+      lp.work_queue.push_back(conn);
     }
-    queue_cv_.notify_one();
+    lp.queue_cv.notify_one();
   }
 }
 
-bool TcpServer::FlushConnection(const std::shared_ptr<Connection>& conn) {
+bool TcpServer::FlushConnection(Loop& lp,
+                                const std::shared_ptr<Connection>& conn) {
   bool close_now = false;
   bool want_write = false;
   std::string close_reason;
@@ -572,7 +626,7 @@ bool TcpServer::FlushConnection(const std::shared_ptr<Connection>& conn) {
     }
   }
   if (close_now) {
-    CloseConnection(conn, close_reason);
+    CloseConnection(lp, conn, close_reason);
     return false;
   }
   // Resume a flow-controlled connection once its backlog has halved.
@@ -590,13 +644,14 @@ bool TcpServer::FlushConnection(const std::shared_ptr<Connection>& conn) {
   }
   if (want_write != conn->want_write || resumed) {
     conn->want_write = want_write;
-    loop_->Modify(conn->fd, !conn->input_closed && !conn->reads_paused,
-                  want_write);
+    lp.loop->Modify(conn->fd, !conn->input_closed && !conn->reads_paused,
+                    want_write);
   }
   return true;
 }
 
-void TcpServer::CloseConnection(const std::shared_ptr<Connection>& conn,
+void TcpServer::CloseConnection(Loop& lp,
+                                const std::shared_ptr<Connection>& conn,
                                 const std::string& reason) {
   std::uint64_t errors = 0;
   {
@@ -605,29 +660,26 @@ void TcpServer::CloseConnection(const std::shared_ptr<Connection>& conn,
     conn->closed = true;
     errors = conn->errors;
   }
-  loop_->Remove(conn->fd);
+  lp.loop->Remove(conn->fd);
   ::close(conn->fd);
-  connections_.erase(conn->fd);
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.active = connections_.size();
-  }
+  lp.connections.erase(conn->fd);
+  lp.active.store(lp.connections.size(), std::memory_order_relaxed);
   if (config_.log_connections) {
     std::fprintf(stderr,
                  "tcp: conn#%llu %s closed after %llu frame(s), %llu "
-                 "error(s): %s (%zu active)\n",
+                 "error(s): %s (%zu active on loop %zu)\n",
                  static_cast<unsigned long long>(conn->id), conn->peer.c_str(),
                  static_cast<unsigned long long>(conn->frames_in),
                  static_cast<unsigned long long>(errors), reason.c_str(),
-                 connections_.size());
+                 lp.connections.size(), lp.index);
   }
 }
 
-void TcpServer::CloseIdleConnections() {
+void TcpServer::CloseIdleConnections(Loop& lp) {
   const auto now = std::chrono::steady_clock::now();
   const auto limit = std::chrono::milliseconds(config_.idle_timeout_ms);
   std::vector<std::shared_ptr<Connection>> idle;
-  for (const auto& [fd, conn] : connections_) {
+  for (const auto& [fd, conn] : lp.connections) {
     if (now - conn->last_activity < limit) continue;
     {
       std::lock_guard<std::mutex> lock(conn->mutex);
@@ -638,24 +690,22 @@ void TcpServer::CloseIdleConnections() {
     idle.push_back(conn);
   }
   for (const std::shared_ptr<Connection>& conn : idle) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.idle_closed;
-    }
-    CloseConnection(conn, "idle timeout");
+    lp.idle_closed.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(lp, conn, "idle timeout");
   }
 }
 
-void TcpServer::WorkerMain() {
+void TcpServer::WorkerMain(Loop& lp) {
   for (;;) {
     std::shared_ptr<Connection> conn;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock,
-                     [this] { return workers_stop_ || !work_queue_.empty(); });
-      if (work_queue_.empty()) return;  // workers_stop_
-      conn = std::move(work_queue_.front());
-      work_queue_.pop_front();
+      std::unique_lock<std::mutex> lock(lp.queue_mutex);
+      lp.queue_cv.wait(lock, [&lp] {
+        return lp.workers_stop || !lp.work_queue.empty();
+      });
+      if (lp.work_queue.empty()) return;  // workers_stop
+      conn = std::move(lp.work_queue.front());
+      lp.work_queue.pop_front();
     }
 
     std::vector<std::uint8_t> frame;
@@ -683,10 +733,9 @@ void TcpServer::WorkerMain() {
       server_.RecordUndecodable();
     }
     std::vector<std::uint8_t> framed = FrameBytes(EncodeResponse(response));
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.frames_served;
-      if (!response.ok) ++stats_.request_errors;
+    lp.frames_served.fetch_add(1, std::memory_order_relaxed);
+    if (!response.ok) {
+      lp.request_errors.fetch_add(1, std::memory_order_relaxed);
     }
 
     bool requeue = false;
@@ -705,22 +754,46 @@ void TcpServer::WorkerMain() {
     }
     if (requeue) {
       {
-        std::lock_guard<std::mutex> lock(queue_mutex_);
-        work_queue_.push_back(conn);
+        std::lock_guard<std::mutex> lock(lp.queue_mutex);
+        lp.work_queue.push_back(conn);
       }
-      queue_cv_.notify_one();
+      lp.queue_cv.notify_one();
     }
     {
-      std::lock_guard<std::mutex> lock(flush_mutex_);
-      flush_list_.push_back(std::move(conn));
+      std::lock_guard<std::mutex> lock(lp.flush_mutex);
+      lp.flush_list.push_back(std::move(conn));
     }
-    Wake();
+    Wake(lp);
   }
 }
 
+TcpServerStats TcpServer::loop_stats(std::size_t loop) const {
+  const Loop& lp = *loops_.at(loop);
+  TcpServerStats s;
+  s.accepted = lp.accepted.load(std::memory_order_relaxed);
+  s.active = lp.active.load(std::memory_order_relaxed);
+  s.frames_served = lp.frames_served.load(std::memory_order_relaxed);
+  s.request_errors = lp.request_errors.load(std::memory_order_relaxed);
+  s.protocol_errors = lp.protocol_errors.load(std::memory_order_relaxed);
+  s.idle_closed = lp.idle_closed.load(std::memory_order_relaxed);
+  s.refused_over_capacity =
+      lp.refused_over_capacity.load(std::memory_order_relaxed);
+  return s;
+}
+
 TcpServerStats TcpServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  TcpServerStats total;
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    const TcpServerStats s = loop_stats(i);
+    total.accepted += s.accepted;
+    total.active += s.active;
+    total.frames_served += s.frames_served;
+    total.request_errors += s.request_errors;
+    total.protocol_errors += s.protocol_errors;
+    total.idle_closed += s.idle_closed;
+    total.refused_over_capacity += s.refused_over_capacity;
+  }
+  return total;
 }
 
 // ---------------------------------------------------------------------------
@@ -778,6 +851,7 @@ void TcpClient::ShutdownWrite() {
 }
 
 void TcpClient::Close() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;

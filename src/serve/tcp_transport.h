@@ -1,33 +1,40 @@
 // Concurrent TCP transport of the model-serving daemon: the network front
-// end the stdio daemon loop (model_server.h) was missing. One event-loop
-// thread (event_loop.h: epoll, or poll as the portable fallback) owns every
-// socket and multiplexes many concurrent connections; complete request
-// frames are handed to a small worker pool that routes them through the
-// same ModelServer::Handle the pipe mode uses — every verb behaves
-// identically over stdio and TCP, and served predictions stay bit-identical
-// to in-process eval.
+// end the stdio daemon loop (model_server.h) was missing. N event-loop
+// threads (event_loop.h: epoll, or poll as the portable fallback) share the
+// listen address via SO_REUSEPORT socket sharding: each loop owns its own
+// listener, fd set and connection table, so the kernel spreads incoming
+// connections across loops and no accept lock or cross-loop fd migration
+// ever exists. Complete request frames are handed to each loop's own worker
+// pool, which routes them through the same ModelServer::Handle the pipe
+// mode uses — every verb behaves identically over stdio and TCP, and served
+// predictions stay bit-identical to in-process eval.
 //
 //   serve::ModelServer server(registry_config);
 //   server.registry().Register("ecg", "ecg.rbnn");
 //   serve::TcpServer tcp(server);
 //   const std::uint16_t port = tcp.Start();   // bind + listen + workers
-//   tcp.Run();                                // event loop until RequestStop
+//   tcp.Run();                                // event loops until RequestStop
 //
 // Threading / ownership (see docs/engine.md "TCP transport"):
-//   - the Run() thread owns the listen socket, the event loop and the
-//     connection table; it does all reads, writes and fd lifecycle;
-//   - workers only ever touch Connection state behind its mutex (pending
-//     frames in, encoded response bytes out) and wake the loop through a
-//     self-pipe — interest sets are never mutated cross-thread;
+//   - each loop thread owns its listen socket, event loop and connection
+//     table; it does all reads, writes and fd lifecycle for its own
+//     connections — a connection lives and dies on the loop that accepted
+//     it;
+//   - a loop's workers only ever touch Connection state behind its mutex
+//     (pending frames in, encoded response bytes out) and wake their own
+//     loop through its self-pipe — interest sets are never mutated
+//     cross-thread;
 //   - frames of one connection are processed in arrival order (responses
 //     come back in request order); different connections proceed in
-//     parallel, bounded by the worker count and per-model serve mutexes.
+//     parallel, bounded by the worker count and per-model serve locks
+//     (shared-reader predicts on one model overlap — see model_registry.h).
 //
 // Lifecycle: per-connection incremental frame reassembly (partial reads,
 // coalesced frames), write backpressure via EPOLLOUT/POLLOUT, an idle
-// timeout, a max-connections cap, per-connection error isolation (a
-// malformed or vanished client closes only its own connection), and a
-// SIGTERM-friendly graceful drain (RequestStop is async-signal-safe).
+// timeout, a max-connections cap summed across loops, per-connection error
+// isolation (a malformed or vanished client closes only its own
+// connection), and a SIGTERM-friendly graceful drain coordinated across
+// loops (RequestStop is async-signal-safe).
 #pragma once
 
 #include <atomic>
@@ -75,8 +82,16 @@ struct TcpServerConfig {
   std::string host = "127.0.0.1";
   /// 0 picks a kernel-assigned ephemeral port (resolved by Start()).
   std::uint16_t port = 0;
+  /// Event-loop threads, each with its own SO_REUSEPORT listener on the
+  /// same host:port, fd set, connection table and worker pool. The kernel
+  /// spreads connections across loops; a connection is pinned to the loop
+  /// that accepted it for its whole life.
+  std::size_t event_loops = 1;
+  /// Request worker threads *per loop* (total workers = event_loops *
+  /// worker_threads).
   std::size_t worker_threads = 4;
-  /// Connections accepted beyond this are closed immediately.
+  /// Connections accepted beyond this (summed over all loops) are closed
+  /// immediately.
   std::size_t max_connections = 256;
   /// > 0: close connections with no traffic for this long.
   int idle_timeout_ms = 0;
@@ -94,7 +109,8 @@ struct TcpServerConfig {
   bool log_connections = true;
 };
 
-/// Counters of one TcpServer, snapshot by stats().
+/// Counters of one TcpServer. stats() aggregates over every loop;
+/// loop_stats(i) is one loop's own view.
 struct TcpServerStats {
   std::uint64_t accepted = 0;
   std::uint64_t active = 0;
@@ -118,19 +134,21 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds, listens and spawns the worker pool. Returns the bound port
-  /// (resolving an ephemeral config.port == 0). Throws std::runtime_error
-  /// when the address cannot be bound.
+  /// Binds every loop's listener, listens and spawns the worker pools.
+  /// Returns the bound port (resolving an ephemeral config.port == 0: loop
+  /// 0 binds first and the rest join its kernel-assigned port). Throws
+  /// std::runtime_error when the address cannot be bound.
   std::uint16_t Start();
 
-  /// Runs the event loop on the calling thread: accepts, reads, dispatches
-  /// and writes until RequestStop() completes a graceful drain. Joins the
-  /// worker pool before returning.
+  /// Runs loop 0 on the calling thread and loops 1..N-1 on their own
+  /// threads: accepts, reads, dispatches and writes until RequestStop()
+  /// completes a graceful drain on every loop. Joins the loop threads and
+  /// every worker pool before returning.
   void Run();
 
   /// Requests a graceful drain: stop accepting, finish in-flight requests,
   /// flush responses, then Run() returns. Async-signal-safe (an atomic
-  /// store and one write() to the wake pipe), so a SIGTERM handler may
+  /// store and one write() per loop wake pipe), so a SIGTERM handler may
   /// call it directly. Idempotent.
   void RequestStop();
 
@@ -139,13 +157,22 @@ class TcpServer {
   /// The event backend actually in use ("epoll" or "poll").
   const char* loop_name() const;
 
+  /// Number of event loops (valid after Start()).
+  std::size_t num_loops() const { return loops_.size(); }
+
+  /// Counters aggregated over every loop.
   TcpServerStats stats() const;
+  /// One loop's own counters (loop < num_loops()).
+  TcpServerStats loop_stats(std::size_t loop) const;
 
  private:
+  struct Loop;
+
   struct Connection {
     int fd = -1;
     std::uint64_t id = 0;  // monotonic accept counter, for log lines
     std::string peer;      // "ip:port" of the remote end
+    Loop* owner = nullptr; // the loop that accepted this connection
     // -- loop-thread-only state --
     FrameAssembler assembler;
     bool want_write = false;   // mirror of the registered interest set
@@ -170,55 +197,77 @@ class TcpServer {
     bool fail_pending = false;
   };
 
-  void AcceptPending();
-  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  /// One event loop's whole world: its listener, fd multiplexer, connection
+  /// table, worker pool and counters. Nothing here is shared between loops
+  /// (the shared-nothing design is what removes the accept lock and the
+  /// global queue mutex); only the atomic counters are read cross-thread,
+  /// by stats() and the capacity check.
+  struct Loop {
+    std::size_t index = 0;
+    std::unique_ptr<EventLoop> loop;
+    int listen_fd = -1;
+    int wake_fds[2] = {-1, -1};  // self-pipe: [0] read (loop), [1] write (any)
+    bool draining = false;
+    std::chrono::steady_clock::time_point drain_deadline;
+
+    // Connection table: this loop's thread only. Workers hold shared_ptrs.
+    std::map<int, std::shared_ptr<Connection>> connections;
+
+    // This loop's worker pool and hand-off queue.
+    std::vector<std::thread> workers;
+    std::mutex queue_mutex;
+    std::condition_variable queue_cv;
+    std::deque<std::shared_ptr<Connection>> work_queue;
+    bool workers_stop = false;
+
+    // Connections with fresh worker output, awaiting a loop-thread flush.
+    std::mutex flush_mutex;
+    std::vector<std::shared_ptr<Connection>> flush_list;
+
+    // Per-loop counters (see TcpServerStats). `active` is written only by
+    // the owning loop thread but read by other loops' capacity checks and
+    // by stats() — the atomic is what fixes the old
+    // `stats_.active = connections_.size()` cross-thread race.
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> active{0};
+    std::atomic<std::uint64_t> frames_served{0};
+    std::atomic<std::uint64_t> request_errors{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> idle_closed{0};
+    std::atomic<std::uint64_t> refused_over_capacity{0};
+  };
+
+  void LoopMain(Loop& lp);
+  void AcceptPending(Loop& lp);
+  void HandleReadable(Loop& lp, const std::shared_ptr<Connection>& conn);
   /// Writes as much buffered output as the socket accepts; updates write
   /// interest; closes when flushed and close_after_flush. Returns false if
   /// the connection was closed.
-  bool FlushConnection(const std::shared_ptr<Connection>& conn);
-  void CloseConnection(const std::shared_ptr<Connection>& conn,
+  bool FlushConnection(Loop& lp, const std::shared_ptr<Connection>& conn);
+  void CloseConnection(Loop& lp, const std::shared_ptr<Connection>& conn,
                        const std::string& reason);
   /// Queues an error response + close on a connection whose stream can no
   /// longer be trusted (loop thread).
-  void FailConnection(const std::shared_ptr<Connection>& conn,
+  void FailConnection(Loop& lp, const std::shared_ptr<Connection>& conn,
                       const std::string& message);
-  void ScheduleWork(const std::shared_ptr<Connection>& conn,
+  void ScheduleWork(Loop& lp, const std::shared_ptr<Connection>& conn,
                     std::vector<std::uint8_t> frame);
-  void WorkerMain();
-  void Wake();
-  void DrainWakePipe();
-  void BeginDrain();
-  void CloseIdleConnections();
-  int WaitTimeoutMs() const;
+  void WorkerMain(Loop& lp);
+  void Wake(Loop& lp);
+  void DrainWakePipe(Loop& lp);
+  void BeginDrain(Loop& lp);
+  void CloseIdleConnections(Loop& lp);
+  int WaitTimeoutMs(const Loop& lp) const;
+  /// Live connections summed over every loop (the capacity check).
+  std::size_t TotalActive() const;
 
   ModelServer& server_;
   TcpServerConfig config_;
 
-  std::unique_ptr<EventLoop> loop_;
-  int listen_fd_ = -1;
-  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] read (loop), [1] write (any)
+  std::vector<std::unique_ptr<Loop>> loops_;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_requested_{false};
-  bool draining_ = false;
-  std::chrono::steady_clock::time_point drain_deadline_;
-
-  // Connection table: loop thread only. Workers hold shared_ptrs.
-  std::map<int, std::shared_ptr<Connection>> connections_;
-  std::uint64_t next_connection_id_ = 0;
-
-  // Worker pool.
-  std::vector<std::thread> workers_;
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<Connection>> work_queue_;
-  bool workers_stop_ = false;
-
-  // Connections with fresh worker output, awaiting a loop-thread flush.
-  std::mutex flush_mutex_;
-  std::vector<std::shared_ptr<Connection>> flush_list_;
-
-  mutable std::mutex stats_mutex_;
-  TcpServerStats stats_;
+  std::atomic<std::uint64_t> next_connection_id_{0};
 };
 
 /// Small blocking client of the TCP transport: one connection, framed

@@ -10,6 +10,8 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -275,7 +277,7 @@ TEST(ModelRegistry, ConcurrentAcquireUnderEvictionPressure) {
         for (int i = 0; i < kIters; ++i) {
           const std::shared_ptr<ServedModel> model =
               registry.Acquire(artifacts.name((t + i) % 3));
-          std::lock_guard<std::mutex> lock(model->serve_mutex());
+          std::unique_lock<std::shared_mutex> lock(model->serve_mutex());
           if (model->engine().Predict(slice) != expected) ++mismatches;
         }
       } catch (...) {

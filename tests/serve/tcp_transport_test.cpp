@@ -451,5 +451,152 @@ TEST(TcpTransport, ManyConcurrentClientsAllServedCorrectly) {
   EXPECT_GE(server.tcp().stats().accepted, 8u);
 }
 
+// ---------------------------------------------------------------------------
+// Multi-loop (SO_REUSEPORT) serving
+// ---------------------------------------------------------------------------
+
+/// The acceptance property again, multi-loop edition: with 2 event loops
+/// (each its own listener, fd set and worker pool) concurrent clients are
+/// kernel-sharded across loops and every served prediction is still
+/// bit-identical to the in-process answer, on all four backends.
+TEST(TcpTransportMultiLoop, PredictBitIdenticalOnAllBackendsAcrossLoops) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  for (const std::string backend :
+       {"reference", "fault", "rram", "rram-sharded"}) {
+    RegistryConfig registry_config;
+    registry_config.backend_override = backend;
+    TcpServerConfig tcp_config = QuietConfig();
+    tcp_config.event_loops = 2;
+    TestServer server(registry_config, tcp_config);
+    ASSERT_EQ(server.tcp().num_loops(), 2u);
+    const std::vector<std::int64_t> expected =
+        InProcessPredictions(backend, shared.data.x);
+
+    constexpr int kClients = 6;
+    std::vector<std::thread> threads;
+    std::vector<int> failures(kClients, 1);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        TcpClient client("127.0.0.1", server.port());
+        for (int i = 0; i < 2; ++i) {
+          const Response response = client.Roundtrip(PredictRequest(
+              static_cast<std::uint64_t>(c * 10 + i), "ecg", shared.data.x));
+          if (!response.ok || response.predictions != expected) return;
+        }
+        failures[c] = 0;
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (int c = 0; c < kClients; ++c) {
+      EXPECT_EQ(failures[c], 0) << backend << " client " << c;
+    }
+
+    // Aggregated stats are exactly the sum of the per-loop cells.
+    const TcpServerStats total = server.tcp().stats();
+    TcpServerStats summed;
+    for (std::size_t l = 0; l < server.tcp().num_loops(); ++l) {
+      const TcpServerStats s = server.tcp().loop_stats(l);
+      summed.accepted += s.accepted;
+      summed.frames_served += s.frames_served;
+      summed.request_errors += s.request_errors;
+      summed.protocol_errors += s.protocol_errors;
+    }
+    EXPECT_EQ(total.accepted, summed.accepted) << backend;
+    EXPECT_EQ(total.frames_served, summed.frames_served) << backend;
+    EXPECT_EQ(total.accepted, static_cast<std::uint64_t>(kClients))
+        << backend;
+    EXPECT_EQ(total.frames_served,
+              static_cast<std::uint64_t>(kClients * 2))
+        << backend;
+    EXPECT_EQ(total.request_errors, 0u) << backend;
+    EXPECT_EQ(total.protocol_errors, 0u) << backend;
+  }
+}
+
+/// Drain with N loops: RequestStop wakes every loop, each closes its own
+/// listener, flushes pipelined responses on its own connections, and Run()
+/// returns only after all loops drained. Clients must receive every
+/// response they are owed, then clean EOF — on whichever loop the kernel
+/// put them.
+TEST(TcpTransportMultiLoop, GracefulDrainFlushesEveryLoopsConnections) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  TcpServerConfig tcp_config = QuietConfig();
+  tcp_config.event_loops = 3;
+  auto server = std::make_unique<TestServer>(RegistryConfig{}, tcp_config);
+
+  constexpr int kClients = 5;
+  std::vector<std::unique_ptr<TcpClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(
+        std::make_unique<TcpClient>("127.0.0.1", server->port()));
+    // Two pipelined requests, responses not yet read: the drain owes both.
+    clients[static_cast<std::size_t>(c)]->Send(
+        PredictRequest(static_cast<std::uint64_t>(c * 10 + 1), "ecg",
+                       shared.data.x));
+    clients[static_cast<std::size_t>(c)]->Send(
+        PredictRequest(static_cast<std::uint64_t>(c * 10 + 2), "ecg",
+                       shared.data.x));
+  }
+
+  // Wait until every request has been read and answered into each
+  // connection's outbound path: drain only owes responses for requests the
+  // loops already consumed (bytes still in a socket's receive queue when
+  // input closes are dropped by contract).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(20);
+  while (server->tcp().stats().frames_served <
+             static_cast<std::uint64_t>(kClients * 2) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server->tcp().stats().frames_served,
+            static_cast<std::uint64_t>(kClients * 2));
+
+  // Destruction requests the stop (waking all 3 loops), flushes every
+  // owed response into the sockets, closes, and joins Run(). The
+  // responses are small enough to land in kernel buffers, so the reset
+  // completes without any client reading first.
+  server.reset();
+  for (int c = 0; c < kClients; ++c) {
+    TcpClient& client = *clients[static_cast<std::size_t>(c)];
+    for (int i = 1; i <= 2; ++i) {
+      const Response response = client.Receive();
+      EXPECT_TRUE(response.ok) << "client " << c << ": " << response.error;
+      EXPECT_EQ(response.id, static_cast<std::uint64_t>(c * 10 + i));
+    }
+    EXPECT_THROW((void)client.Receive(), std::runtime_error)
+        << "client " << c << " expected EOF after drain";
+  }
+}
+
+/// The ephemeral-port contract with loops > 1: loop 0 binds port 0, every
+/// other loop joins the resolved port, and clients land on one shared
+/// host:port regardless of which loop accepts.
+TEST(TcpTransportMultiLoop, EphemeralPortSharedByAllLoops) {
+  TcpServerConfig tcp_config = QuietConfig();
+  tcp_config.event_loops = 4;
+  TestServer server({}, tcp_config);
+  ASSERT_EQ(server.tcp().num_loops(), 4u);
+  ASSERT_NE(server.port(), 0);
+
+  for (int c = 0; c < 8; ++c) {
+    TcpClient client("127.0.0.1", server.port());
+    EXPECT_TRUE(
+        client.Roundtrip(VerbRequest(static_cast<std::uint64_t>(c + 1),
+                                     RequestKind::kList))
+            .ok);
+  }
+  EXPECT_EQ(server.tcp().stats().accepted, 8u);
+  // Each loop notices its clients' hangups asynchronously; poll the gauge
+  // down instead of racing the close processing.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (server.tcp().stats().active != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.tcp().stats().active, 0u);
+}
+
 }  // namespace
 }  // namespace rrambnn::serve

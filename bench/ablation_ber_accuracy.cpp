@@ -34,7 +34,7 @@ int main() {
     return engine::ModelSpec{std::move(built.net), built.classifier_start};
   });
   (void)eng.Train(train, val);
-  const core::BnnModel& clean = eng.Compile();
+  const core::BnnProgram& clean = eng.Compile();
 
   eng.Deploy("reference");
   const double base = eng.Evaluate(val);

@@ -1,7 +1,7 @@
 // Artifact CLI: the train-once / serve-anywhere lifecycle as a command-line
 // workflow, and the cross-process bit-identity check CI leans on.
 //
-//   artifact_tool save <path>  [--task ecg|eeg] [--epochs N]
+//   artifact_tool save <path>  [--task ecg|eeg|image] [--epochs N]
 //                              [--format v1|v2|v2c]
 //       trains a bench-scale binarized-classifier model on the synthetic
 //       task, compiles it, saves the artifact (default format v2;
@@ -13,7 +13,7 @@
 //       prints the artifact report (chunks with offsets, alignment and
 //       compressed sizes, config, architecture, model).
 //
-//   artifact_tool eval <path> [--task ecg|eeg] [--backend NAME|all]
+//   artifact_tool eval <path> [--task ecg|eeg|image] [--backend NAME|all]
 //                              [--threads N] [--no-mmap]
 //       loads the artifact with Engine::FromArtifact (no Train/Compile in
 //       this process), regenerates the same seeded validation set, serves
@@ -130,10 +130,10 @@ int Migrate(const std::string& src, const std::string& dst,
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  artifact_tool save <path> [--task ecg|eeg] [--epochs N]\n"
+               "  artifact_tool save <path> [--task ecg|eeg|image] [--epochs N]\n"
                "                [--format v1|v2|v2c]\n"
                "  artifact_tool inspect <path>\n"
-               "  artifact_tool eval <path> [--task ecg|eeg] "
+               "  artifact_tool eval <path> [--task ecg|eeg|image] "
                "[--backend NAME|all] [--threads N] [--no-mmap]\n"
                "  artifact_tool migrate <src> <dst> [--format v1|v2|v2c]\n");
   return 2;

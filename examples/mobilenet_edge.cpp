@@ -1,20 +1,33 @@
-// Scenario: a vision model for an edge device (paper Sec. IV). Trains the
-// scaled MobileNet V1 with its float classifier and with the paper's
-// binarized two-layer classifier, then reports accuracy and the share of
-// parameters the binarization moves into dense RRAM storage — including a
-// stochastic-input-encoding demo (the ref [14] extension).
+// Scenario: a vision model for an edge device (paper Sec. IV), served
+// end-to-end. Trains the scaled MobileNet V1 with the fully binarized
+// backbone (binary depthwise/pointwise blocks + the paper's two-layer
+// binarized classifier) through the Engine, compiles it to a multi-stage
+// packed BnnProgram, saves a v2 `.rbnn` artifact, reloads it the way a
+// serving daemon would, and proves the loaded pipeline answers
+// bit-identically to the in-process one on every backend.
+//
+//   ./build/example_mobilenet_edge [artifact.rbnn]
+//
+// The artifact it writes serves directly under the daemon too:
+//   ./build/example_model_server --model mobilenet=mobilenet_edge.rbnn
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "core/compile.h"
 #include "core/memory_analysis.h"
-#include "core/stochastic.h"
 #include "data/image_synth.h"
+#include "engine/engine.h"
 #include "models/mobilenet.h"
-#include "nn/trainer.h"
+#include "rram/device_params.h"
+#include "serve/demo_tasks.h"
 
 using namespace rrambnn;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : std::string("mobilenet_edge.rbnn");
+
   const std::int64_t n = 600;
   Rng rng(3);
   data::ImageSynthConfig ic;
@@ -28,55 +41,65 @@ int main() {
   nn::TrainConfig tc;
   tc.epochs = 12;
   tc.batch_size = 32;
-  tc.learning_rate = 2e-3f;
+  tc.learning_rate = 5e-3f;
 
-  std::printf("MobileNet V1 (scaled) on the synthetic vision task\n\n");
-  double base_acc = 0.0;
-  {
-    auto cfg = models::MobileNetConfig::BenchScale(16);
-    Rng mrng(11);
-    auto built = models::BuildMobileNetV1(cfg, mrng);
-    base_acc = nn::Fit(built.net, train, val, tc).final_val_accuracy;
-    std::printf("original classifier:  top-1 %.1f%%\n", 100.0 * base_acc);
+  std::printf("MobileNet V1 (scaled, binary backbone) on the synthetic "
+              "vision task\n\n");
+
+  // The demo device corner: real programming noise (weak bits),
+  // deterministic senses — digests stay comparable across processes.
+  rram::DeviceParams device;
+  device.weak_prob_ref = 5e-3;
+  device.sense_offset_sigma = 0.0;
+  engine::EngineConfig cfg;
+  cfg.WithStrategy(core::BinarizationStrategy::kBinaryClassifier)
+      .WithTrain(tc)
+      .WithDevice(device)
+      .WithFaultBer(1e-3)
+      .WithRramShards(2)
+      .WithModelSeed(11);
+  engine::Engine eng(cfg, [](const engine::EngineConfig&, Rng& mrng) {
+    auto mc = models::MobileNetConfig::BenchScale(16);
+    mc.binary_classifier = true;
+    mc.binary_convs = true;
+    auto built = models::BuildMobileNetV1(mc, mrng);
+    return engine::ModelSpec{std::move(built.net), built.classifier_start};
+  });
+
+  const nn::FitResult fit = eng.Train(train, val);
+  std::printf("trained: top-1 %.1f%%\n", 100.0 * fit.final_val_accuracy);
+
+  const core::BnnProgram& program = eng.Compile();
+  std::printf("compiled program: %s\n", program.Describe().c_str());
+  std::printf("  %lld binary weights = %s in RRAM\n",
+              static_cast<long long>(program.TotalWeightBits()),
+              core::FormatBytes(program.TotalWeightBits() / 8.0).c_str());
+
+  eng.SaveArtifact(path);
+  std::printf("saved v2 artifact: %s\n\n", path.c_str());
+
+  // The serve half: reload the artifact like a daemon and check that every
+  // backend answers the exact predictions of the in-process engine.
+  engine::Engine served = engine::Engine::FromArtifact(path);
+  bool all_match = true;
+  for (const std::string& backend : serve::AllBackendNames()) {
+    eng.Deploy(backend);
+    const std::uint64_t local = serve::PredictionDigest(eng.Predict(val.x));
+    served.Deploy(backend);
+    const std::uint64_t loaded =
+        serve::PredictionDigest(served.Predict(val.x));
+    const bool match = local == loaded;
+    all_match = all_match && match;
+    std::printf("backend %-12s in-process %016llx  reloaded %016llx  %s\n",
+                backend.c_str(), static_cast<unsigned long long>(local),
+                static_cast<unsigned long long>(loaded),
+                match ? "MATCH" : "MISMATCH");
   }
-  {
-    auto cfg = models::MobileNetConfig::BenchScale(16);
-    cfg.binary_classifier = true;
-    Rng mrng(11);
-    auto built = models::BuildMobileNetV1(cfg, mrng);
-    const double acc = nn::Fit(built.net, train, val, tc).final_val_accuracy;
-    std::printf("binarized classifier: top-1 %.1f%% (gap %.1f points)\n",
-                100.0 * acc, 100.0 * (base_acc - acc));
 
-    const auto compiled =
-        core::CompileClassifier(built.net, built.classifier_start);
-    std::printf("compiled classifier: %lld binary weights = %s\n",
-                static_cast<long long>(compiled.TotalWeightBits()),
-                core::FormatBytes(compiled.TotalWeightBits() / 8.0).c_str());
-
-    // Stochastic input encoding (ref [14]): feed the classifier stochastic
-    // bitstreams instead of deterministic signs of the pooled features.
-    Tensor features = core::ForwardPrefix(built.net, val.x,
-                                          built.classifier_start);
-    Rng srng(17);
-    std::int64_t hits_det = 0, hits_sto = 0;
-    const std::int64_t f = features.dim(1);
-    for (std::int64_t i = 0; i < val.size(); ++i) {
-      const std::span<const float> row(features.data() + i * f,
-                                       static_cast<std::size_t>(f));
-      const auto det = compiled.Predict(core::BitVector::FromSigns(row));
-      const auto sto =
-          core::StochasticEncoder::Predict(compiled, row, 15, srng);
-      hits_det += det == val.y[static_cast<std::size_t>(i)];
-      hits_sto += sto == val.y[static_cast<std::size_t>(i)];
-    }
-    std::printf("deterministic sign input: %.1f%% | stochastic 15-stream "
-                "input: %.1f%%\n",
-                100.0 * hits_det / val.size(), 100.0 * hits_sto / val.size());
-  }
-  std::printf("\nPaper conclusion (Sec. IV): classifier binarization is "
-              "accuracy-neutral even on a\nconvolution-dominated model, "
-              "though the memory savings are smaller than for the\n"
-              "classifier-dominated biomedical networks.\n");
-  return 0;
+  std::printf("\nPaper conclusion (Sec. IV): the whole backbone after the "
+              "float stem lowers into\npacked XNOR-popcount stages, so a "
+              "convolution-dominated model serves from dense\nRRAM storage "
+              "with the same train-once / serve-anywhere artifact as the "
+              "biomedical\nnetworks.\n");
+  return all_match ? 0 : 1;
 }

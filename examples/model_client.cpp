@@ -5,7 +5,7 @@
 //   responses from stdin, so a full serving session is a shell pipeline
 //   (see model_server.cpp for the canonical one):
 //
-//     model_client request predict <model> --task ecg|eeg [--id N]
+//     model_client request predict <model> --task ecg|eeg|image [--id N]
 //         one predict frame carrying the task's full seeded validation set
 //         (the same rows artifact_tool eval serves)
 //     model_client request stats|list [--id N]
@@ -18,7 +18,7 @@
 //   TCP mode — connects to a --listen daemon, round-trips one request and
 //   prints the same output decode would:
 //
-//     model_client --connect HOST:PORT predict <model> --task ecg|eeg
+//     model_client --connect HOST:PORT predict <model> --task ecg|eeg|image
 //     model_client --connect HOST:PORT stats|list
 //     model_client --connect HOST:PORT reload <model>
 //     model_client --connect HOST:PORT health [<model>]
@@ -58,7 +58,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  model_client request predict <model> --task ecg|eeg [--id N]\n"
+      "  model_client request predict <model> --task ecg|eeg|image [--id N]\n"
       "  model_client request stats|list [--id N]\n"
       "  model_client request reload <model> [--id N]\n"
       "  model_client request health [<model>] [--id N]\n"
@@ -222,7 +222,7 @@ bool ParseVerb(int argc, char** argv, int start, VerbArgs* out) {
   }
   if (verb == "predict") {
     if (task.empty()) {
-      std::fprintf(stderr, "model_client: predict needs --task ecg|eeg\n");
+      std::fprintf(stderr, "model_client: predict needs --task ecg|eeg|image\n");
       return false;
     }
     out->request.kind = serve::RequestKind::kPredict;

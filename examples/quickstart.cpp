@@ -60,9 +60,9 @@ int main() {
   std::printf("trained: val accuracy %.1f%%\n",
               100.0 * fit.final_val_accuracy);
 
-  const core::BnnModel& compiled = eng.Compile();
-  std::printf("compiled classifier: %zu hidden layer(s), %lld weight bits\n",
-              compiled.num_hidden(),
+  const core::BnnProgram& compiled = eng.Compile();
+  std::printf("compiled classifier: %zu GEMM stage(s), %lld weight bits\n",
+              compiled.num_gemm_stages(),
               static_cast<long long>(compiled.TotalWeightBits()));
 
   eng.Deploy("reference");

@@ -14,17 +14,39 @@ std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
 }
 }  // namespace
 
-MappedBnn::MappedBnn(const core::BnnModel& model, const MapperConfig& config)
-    : model_(model), config_(config) {
-  model_.Validate();
+/// Answers the program's popcount requests with fabric reads, so device
+/// non-idealities flow through every stage kind unchanged.
+class MappedBnn::FabricOracle final : public core::StagePopcounter {
+ public:
+  explicit FabricOracle(MappedBnn& self) : self_(self) {}
+
+  void StagePopcounts(std::size_t gemm_index, const core::BitVector& x,
+                      std::int64_t row_begin, std::int64_t row_end,
+                      std::int64_t* out) override {
+    self_.LayerPopcounts(self_.layers_[gemm_index], x, row_begin, row_end,
+                         out);
+  }
+
+ private:
+  MappedBnn& self_;
+};
+
+MappedBnn::MappedBnn(const core::BnnProgram& program,
+                     const MapperConfig& config)
+    : program_(program), config_(config) {
+  program_.Validate();
   if (config.macro_rows <= 0 || config.macro_cols <= 0) {
     throw std::invalid_argument("MappedBnn: non-positive macro geometry");
   }
-  for (const auto& hidden : model_.hidden()) {
-    layers_.push_back(MapMatrix(hidden.weights));
+  for (const core::PackedGemmStage* gemm : program_.GemmStages()) {
+    MappedLayer layer = MapMatrix(gemm->weights);
+    layer.reads_per_inference = gemm->num_patches();
+    layers_.push_back(std::move(layer));
   }
-  layers_.push_back(MapMatrix(model_.output().weights));
 }
+
+MappedBnn::MappedBnn(const core::BnnModel& model, const MapperConfig& config)
+    : MappedBnn(core::BnnProgram::FromClassifier(model), config) {}
 
 MappedBnn::MappedLayer MappedBnn::MapMatrix(const core::BitMatrix& weights) {
   MappedLayer layer;
@@ -63,13 +85,17 @@ MappedBnn::MappedLayer MappedBnn::MapMatrix(const core::BitMatrix& weights) {
   return layer;
 }
 
-const std::vector<std::int64_t>& MappedBnn::LayerPopcounts(
-    MappedLayer& layer, const core::BitVector& x) {
+void MappedBnn::LayerPopcounts(MappedLayer& layer, const core::BitVector& x,
+                               std::int64_t row_begin, std::int64_t row_end,
+                               std::int64_t* out) {
   if (x.size() != layer.in_features) {
     throw std::invalid_argument("MappedBnn: input width mismatch");
   }
+  if (row_begin < 0 || row_end > layer.out_features || row_begin >= row_end) {
+    throw std::invalid_argument("MappedBnn: row range out of bounds");
+  }
   // Slice the input into per-column-tile {-1,+1} segments once. The segment
-  // buffers are member scratch reused across the rows of a batch.
+  // buffers are member scratch reused across the reads of a batch.
   if (tile_input_scratch_.size() < static_cast<std::size_t>(layer.col_tiles)) {
     tile_input_scratch_.resize(static_cast<std::size_t>(layer.col_tiles));
   }
@@ -83,50 +109,29 @@ const std::vector<std::int64_t>& MappedBnn::LayerPopcounts(
       seg[static_cast<std::size_t>(c - begin)] = x.Get(c);
     }
   }
-  std::vector<std::int64_t>& popcounts = popcount_scratch_;
-  popcounts.assign(static_cast<std::size_t>(layer.out_features), 0);
-  for (std::int64_t rt = 0; rt < layer.row_tiles; ++rt) {
-    const std::int64_t rows_here = std::min(
-        config_.macro_rows, layer.out_features - rt * config_.macro_rows);
+  std::fill(out, out + (row_end - row_begin), std::int64_t{0});
+  const std::int64_t rt0 = row_begin / config_.macro_rows;
+  const std::int64_t rt1 = (row_end - 1) / config_.macro_rows;
+  for (std::int64_t rt = rt0; rt <= rt1; ++rt) {
+    const std::int64_t tile_begin = rt * config_.macro_rows;
+    const std::int64_t rows_here =
+        std::min(config_.macro_rows, layer.out_features - tile_begin);
+    const std::int64_t lo = std::max(row_begin, tile_begin);
+    const std::int64_t hi = std::min(row_end, tile_begin + rows_here);
     for (std::int64_t ct = 0; ct < layer.col_tiles; ++ct) {
       XnorMacro& macro =
           *layer.macros[static_cast<std::size_t>(rt * layer.col_tiles + ct)];
       const auto& seg = tile_input_scratch_[static_cast<std::size_t>(ct)];
-      for (std::int64_t r = 0; r < rows_here; ++r) {
-        popcounts[static_cast<std::size_t>(rt * config_.macro_rows + r)] +=
-            macro.RowXnorPopcount(r, seg);
+      for (std::int64_t row = lo; row < hi; ++row) {
+        out[row - row_begin] += macro.RowXnorPopcount(row - tile_begin, seg);
       }
     }
   }
-  return popcounts;
 }
 
 std::vector<float> MappedBnn::Scores(const core::BitVector& x) {
-  core::BitVector activ = x;
-  for (std::size_t l = 0; l < model_.num_hidden(); ++l) {
-    const auto& spec = model_.hidden()[l];
-    const std::vector<std::int64_t>& pops = LayerPopcounts(layers_[l], activ);
-    core::BitVector next(spec.out_features());
-    for (std::int64_t j = 0; j < spec.out_features(); ++j) {
-      next.Set(j, pops[static_cast<std::size_t>(j)] >=
-                          spec.thresholds[static_cast<std::size_t>(j)]
-                      ? +1
-                      : -1);
-    }
-    activ = std::move(next);
-  }
-  const auto& out_spec = model_.output();
-  const std::vector<std::int64_t>& pops =
-      LayerPopcounts(layers_.back(), activ);
-  std::vector<float> scores(static_cast<std::size_t>(out_spec.num_classes()));
-  for (std::int64_t k = 0; k < out_spec.num_classes(); ++k) {
-    const auto dot = static_cast<float>(2 * pops[static_cast<std::size_t>(k)] -
-                                        out_spec.in_features());
-    scores[static_cast<std::size_t>(k)] =
-        out_spec.scale[static_cast<std::size_t>(k)] * dot +
-        out_spec.offset[static_cast<std::size_t>(k)];
-  }
-  return scores;
+  FabricOracle oracle(*this);
+  return program_.ScoresWith(x, oracle);
 }
 
 std::int64_t MappedBnn::Predict(const core::BitVector& x) {
@@ -187,30 +192,37 @@ const MappedBnn::ReadbackPlanes& MappedBnn::Planes() {
   return *planes_;
 }
 
-const core::BnnModel& MappedBnn::ReadbackSnapshot() {
+const core::BnnProgram& MappedBnn::ReadbackSnapshot() {
   if (snapshot_) return *snapshot_;
   const ReadbackPlanes& planes = Planes();
-  auto snapshot = std::make_unique<core::BnnModel>();
-  for (std::size_t l = 0; l < model_.num_hidden(); ++l) {
-    core::BnnDenseLayer hidden;
-    hidden.weights = planes.weights[l];
-    hidden.thresholds = model_.hidden()[l].thresholds;
-    for (std::size_t j = 0; j < hidden.thresholds.size(); ++j) {
-      hidden.thresholds[j] -= planes.pad_errors[l][j];
+  auto snapshot = std::make_unique<core::BnnProgram>(program_);
+  std::size_t gi = 0;
+  for (core::ProgramStage& stage : snapshot->stages()) {
+    if (stage.kind != core::StageKind::kPackedGemm) continue;
+    core::PackedGemmStage& g = stage.gemm;
+    g.weights = planes.weights[gi];
+    const std::vector<std::int32_t>& pad = planes.pad_errors[gi];
+    if (g.is_output) {
+      for (std::size_t k = 0; k < g.offset.size(); ++k) {
+        g.offset[k] += g.scale[k] * 2.0f * static_cast<float>(pad[k]);
+      }
+    } else if (g.per_pixel_thresholds) {
+      // The padding term is a property of the weight row, so it shifts the
+      // threshold of every output pixel of that unit equally.
+      const std::int64_t patches = g.num_patches();
+      for (std::int64_t u = 0; u < g.units(); ++u) {
+        for (std::int64_t p = 0; p < patches; ++p) {
+          g.thresholds[static_cast<std::size_t>(u * patches + p)] -=
+              pad[static_cast<std::size_t>(u)];
+        }
+      }
+    } else {
+      for (std::size_t j = 0; j < g.thresholds.size(); ++j) {
+        g.thresholds[j] -= pad[j];
+      }
     }
-    snapshot->AddHidden(std::move(hidden));
+    ++gi;
   }
-  const auto& out_spec = model_.output();
-  core::BnnOutputLayer out;
-  out.weights = planes.weights.back();
-  out.scale = out_spec.scale;
-  out.offset = out_spec.offset;
-  for (std::size_t k = 0; k < out.offset.size(); ++k) {
-    out.offset[k] +=
-        out.scale[k] * 2.0f *
-        static_cast<float>(planes.pad_errors.back()[k]);
-  }
-  snapshot->SetOutput(std::move(out));
   snapshot_ = std::move(snapshot);
   return *snapshot_;
 }
@@ -219,11 +231,11 @@ std::vector<float> MappedBnn::ScoresBatch(const core::BitMatrix& batch) {
   if (batch.cols() != input_size()) {
     throw std::invalid_argument("MappedBnn::ScoresBatch: width mismatch");
   }
-  const std::int64_t n = batch.rows();
-  const std::int64_t m = num_classes();
   if (!DeterministicReads()) {
     // Stochastic senses: serve the batch through the per-row transaction-
     // level simulation (same RNG draw order as repeated Scores() calls).
+    const std::int64_t n = batch.rows();
+    const std::int64_t m = num_classes();
     std::vector<float> out(static_cast<std::size_t>(n * m));
     core::BitVector x;
     for (std::int64_t i = 0; i < n; ++i) {
@@ -236,44 +248,14 @@ std::vector<float> MappedBnn::ScoresBatch(const core::BitMatrix& batch) {
 
   // Deterministic senses: serve through the readback planes and the packed
   // bit-plane GEMM. Padding read errors are applied as integer popcount
-  // biases, so every comparison and float expression below matches the
+  // biases, so every comparison and float expression matches the
   // transaction-level path bit for bit.
   const ReadbackPlanes& planes = Planes();
-  std::vector<std::int32_t> pops;
-  const core::BitMatrix* cur = &batch;
-  core::BitMatrix act;
-  for (std::size_t l = 0; l < model_.num_hidden(); ++l) {
-    const auto& spec = model_.hidden()[l];
-    core::XnorPopcountGemm(*cur, planes.weights[l], pops);
-    const std::int64_t width = spec.out_features();
-    core::BitMatrix next(n, width);
-    const std::vector<std::int32_t>& pad = planes.pad_errors[l];
-    for (std::int64_t i = 0; i < n; ++i) {
-      const std::int32_t* row = pops.data() + i * width;
-      for (std::int64_t j = 0; j < width; ++j) {
-        const std::size_t sj = static_cast<std::size_t>(j);
-        if (row[j] + pad[sj] >= spec.thresholds[sj]) next.Set(i, j, +1);
-      }
-    }
-    act = std::move(next);
-    cur = &act;
+  std::vector<core::StageSubstrate> substrates(planes.weights.size());
+  for (std::size_t l = 0; l < planes.weights.size(); ++l) {
+    substrates[l] = {&planes.weights[l], planes.pad_errors[l].data()};
   }
-  const auto& out_spec = model_.output();
-  core::XnorPopcountGemm(*cur, planes.weights.back(), pops);
-  const std::vector<std::int32_t>& pad = planes.pad_errors.back();
-  std::vector<float> scores(static_cast<std::size_t>(n * m));
-  for (std::int64_t i = 0; i < n; ++i) {
-    const std::int32_t* row = pops.data() + i * m;
-    float* out_row = scores.data() + i * m;
-    for (std::int64_t k = 0; k < m; ++k) {
-      const std::size_t sk = static_cast<std::size_t>(k);
-      const auto dot = static_cast<float>(
-          2 * (static_cast<std::int64_t>(row[k]) + pad[sk]) -
-          out_spec.in_features());
-      out_row[k] = out_spec.scale[sk] * dot + out_spec.offset[sk];
-    }
-  }
-  return scores;
+  return program_.ScoresBatch(batch, substrates);
 }
 
 std::vector<std::int64_t> MappedBnn::PredictPacked(
@@ -364,19 +346,21 @@ CostReport MappedBnn::ProgrammingCost() const {
 CostReport MappedBnn::InferenceCost() const {
   CostReport cost;
   for (const auto& layer : layers_) {
-    // One inference activates every row of every macro once.
+    // One fabric read activates every row of every macro once; conv /
+    // depthwise regions are read once per output pixel.
+    const double reads = static_cast<double>(layer.reads_per_inference);
     const double row_energy =
         RowReadEnergyPj(config_.energy, config_.macro_cols);
     const double rows =
         static_cast<double>(layer.macros.size()) *
-        static_cast<double>(config_.macro_rows);
+        static_cast<double>(config_.macro_rows) * reads;
     cost.read_energy_pj += row_energy * rows;
     cost.sense_ops += static_cast<std::uint64_t>(
         rows * static_cast<double>(config_.macro_cols));
-    // Row tiles of one layer read in parallel across macros; rows within a
-    // macro are sequential.
+    // Row tiles of one region read in parallel across macros; rows within a
+    // macro (and successive pixel reads) are sequential.
     cost.latency_us += config_.energy.sense_latency_ns * 1e-3 *
-                       static_cast<double>(config_.macro_rows);
+                       static_cast<double>(config_.macro_rows) * reads;
   }
   return cost;
 }

@@ -1,0 +1,684 @@
+#include "core/bnn_program.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+
+#include "core/bitgemm.h"
+
+namespace rrambnn::core {
+
+namespace {
+
+// -- Word-level bit-field gather ---------------------------------------------
+//
+// The im2col patch builder moves runs of contiguous input bits (the kx taps
+// of one (channel, ky) kernel row are adjacent along W in CHW bit order)
+// with one field extract + one field deposit per run instead of per-bit
+// Get/Set. A run is at most kernel_w <= 64 bits, so it spans at most two
+// source and two destination words.
+
+/// Bits [bit, bit + len) of `words` as the low bits of a word; len in
+/// [1, 64], bit + len must not exceed the span's bit capacity.
+std::uint64_t ExtractField(std::span<const std::uint64_t> words,
+                           std::int64_t bit, int len) {
+  const auto w = static_cast<std::size_t>(bit >> 6);
+  const int off = static_cast<int>(bit & 63);
+  std::uint64_t v = words[w] >> off;
+  if (off + len > 64) v |= words[w + 1] << (64 - off);
+  if (len == 64) return v;
+  return v & ((std::uint64_t{1} << len) - 1);
+}
+
+/// ORs the low `len` bits of `value` into `words` at bit offset `bit`.
+/// The destination bits must be zero (freshly zeroed patch buffer).
+void DepositField(std::uint64_t* words, std::int64_t bit, int len,
+                  std::uint64_t value) {
+  const auto w = static_cast<std::size_t>(bit >> 6);
+  const int off = static_cast<int>(bit & 63);
+  words[w] |= value << off;
+  if (off + len > 64) words[w + 1] |= value >> (64 - off);
+}
+
+/// Gathers the patch of output pixel (oy, ox) over channels
+/// [c_begin, c_end) from one packed CHW activation row into `dst`
+/// (pre-zeroed; patch bit layout (c - c_begin)*kh*kw + ky*kw + kx).
+/// Out-of-range padded taps are left as bit 0 (-1).
+void GatherPatch(std::span<const std::uint64_t> src, const StageGeometry& g,
+                 std::int64_t c_begin, std::int64_t c_end, std::int64_t oy,
+                 std::int64_t ox, std::uint64_t* dst) {
+  const std::int64_t h = g.in_h, w = g.in_w;
+  const std::int64_t kh = g.kernel_h, kw = g.kernel_w;
+  const std::int64_t y0 = oy * g.stride_h - g.pad_h;
+  const std::int64_t x0 = ox * g.stride_w - g.pad_w;
+  for (std::int64_t c = c_begin; c < c_end; ++c) {
+    const std::int64_t dst_base = (c - c_begin) * kh * kw;
+    for (std::int64_t ky = 0; ky < kh; ++ky) {
+      const std::int64_t iy = y0 + ky;
+      if (iy < 0 || iy >= h) continue;
+      const std::int64_t kx0 = x0 < 0 ? -x0 : 0;
+      const std::int64_t kx1 = std::min(kw, w - x0);
+      if (kx1 <= kx0) continue;
+      const int len = static_cast<int>(kx1 - kx0);
+      const std::uint64_t bits =
+          ExtractField(src, c * h * w + iy * w + x0 + kx0, len);
+      DepositField(dst, dst_base + ky * kw + kx0, len, bits);
+    }
+  }
+}
+
+std::int32_t StageThreshold(const PackedGemmStage& g, std::int64_t unit,
+                            std::int64_t patch) {
+  const std::size_t idx =
+      g.per_pixel_thresholds
+          ? static_cast<std::size_t>(unit * g.num_patches() + patch)
+          : static_cast<std::size_t>(unit);
+  return g.thresholds[idx];
+}
+
+/// Max pooling over {-1,+1} bits: a window is +1 iff any bit is set, i.e.
+/// any extracted kernel-row field is nonzero. Pooling has no padding, so
+/// every window lies fully inside the input.
+BitMatrix PoolBatch(const BitMatrix& batch, const StageGeometry& g) {
+  const std::int64_t c_n = g.in_channels, h = g.in_h, w = g.in_w;
+  const std::int64_t oh = g.OutH(), ow = g.OutW();
+  BitMatrix out(batch.rows(), c_n * oh * ow);
+  for (std::int64_t i = 0; i < batch.rows(); ++i) {
+    const std::span<const std::uint64_t> src = batch.RowWords(i);
+    for (std::int64_t c = 0; c < c_n; ++c) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          bool any = false;
+          for (std::int64_t ky = 0; ky < g.kernel_h && !any; ++ky) {
+            const std::int64_t iy = oy * g.stride_h + ky;
+            any = ExtractField(src, c * h * w + iy * w + ox * g.stride_w,
+                               static_cast<int>(g.kernel_w)) != 0;
+          }
+          if (any) out.Set(i, c * oh * ow + oy * ow + ox, +1);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+BitVector PoolRow(const BitVector& x, const StageGeometry& g) {
+  const std::int64_t c_n = g.in_channels, h = g.in_h, w = g.in_w;
+  const std::int64_t oh = g.OutH(), ow = g.OutW();
+  BitVector out(c_n * oh * ow);
+  for (std::int64_t c = 0; c < c_n; ++c) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        bool any = false;
+        for (std::int64_t ky = 0; ky < g.kernel_h && !any; ++ky) {
+          for (std::int64_t kx = 0; kx < g.kernel_w && !any; ++kx) {
+            any = x.Get(c * h * w + (oy * g.stride_h + ky) * w +
+                        ox * g.stride_w + kx) > 0;
+          }
+        }
+        if (any) out.Set(c * oh * ow + oy * ow + ox, +1);
+      }
+    }
+  }
+  return out;
+}
+
+/// Patch of one packed activation vector as a BitVector (the transactional
+/// single-row path's gather).
+BitVector GatherPatchVector(const BitVector& x, const StageGeometry& g,
+                            std::int64_t c_begin, std::int64_t c_end,
+                            std::int64_t oy, std::int64_t ox) {
+  const std::int64_t patch_bits =
+      (c_end - c_begin) * g.kernel_h * g.kernel_w;
+  std::vector<std::uint64_t> words(
+      static_cast<std::size_t>((patch_bits + 63) / 64), 0);
+  GatherPatch(x.words(), g, c_begin, c_end, oy, ox, words.data());
+  return BitMatrix::FromWords(1, patch_bits, std::move(words)).Row(0);
+}
+
+/// Default popcount oracle: the program's own weight matrices.
+class WeightPopcounter final : public StagePopcounter {
+ public:
+  explicit WeightPopcounter(const BnnProgram& program)
+      : weights_([&program] {
+          std::vector<const BitMatrix*> w;
+          for (const PackedGemmStage* g : program.GemmStages()) {
+            w.push_back(&g->weights);
+          }
+          return w;
+        }()) {}
+
+  void StagePopcounts(std::size_t gemm_index, const BitVector& x,
+                      std::int64_t row_begin, std::int64_t row_end,
+                      std::int64_t* out) override {
+    const BitMatrix& w = *weights_[gemm_index];
+    for (std::int64_t r = row_begin; r < row_end; ++r) {
+      out[r - row_begin] = w.RowXnorPopcount(r, x);
+    }
+  }
+
+ private:
+  const std::vector<const BitMatrix*> weights_;
+};
+
+}  // namespace
+
+BitMatrix BuildPatchMatrix(const BitMatrix& batch, const StageGeometry& geom,
+                           std::int64_t c_begin, std::int64_t c_end) {
+  if (c_begin < 0 || c_end <= c_begin || c_end > geom.in_channels) {
+    throw std::invalid_argument("BuildPatchMatrix: bad channel range");
+  }
+  if (geom.kernel_w > 64) {
+    throw std::invalid_argument(
+        "BuildPatchMatrix: kernel_w > 64 exceeds the word-gather contract");
+  }
+  if (batch.cols() != geom.in_channels * geom.in_h * geom.in_w) {
+    throw std::invalid_argument("BuildPatchMatrix: batch width mismatch");
+  }
+  const std::int64_t oh = geom.OutH(), ow = geom.OutW();
+  const std::int64_t patches = oh * ow;
+  const std::int64_t patch_bits =
+      (c_end - c_begin) * geom.kernel_h * geom.kernel_w;
+  const std::int64_t wpr = (patch_bits + 63) / 64;
+  const std::int64_t n = batch.rows();
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(n * patches * wpr),
+                                   0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::span<const std::uint64_t> src = batch.RowWords(i);
+    std::uint64_t* dst = words.data() + i * patches * wpr;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox, dst += wpr) {
+        GatherPatch(src, geom, c_begin, c_end, oy, ox, dst);
+      }
+    }
+  }
+  return BitMatrix::FromWords(n * patches, patch_bits, std::move(words));
+}
+
+BnnProgram BnnProgram::FromClassifier(const BnnModel& model) {
+  BnnProgram program;
+  program.SetInputShape({model.input_size(), 1, 1});
+  for (const BnnDenseLayer& layer : model.hidden()) {
+    ProgramStage stage;
+    stage.kind = StageKind::kPackedGemm;
+    stage.gemm.lowering = GemmLowering::kDense;
+    stage.gemm.weights = layer.weights;
+    stage.gemm.thresholds = layer.thresholds;
+    stage.out_shape = {layer.out_features(), 1, 1};
+    program.AddStage(std::move(stage));
+  }
+  const BnnOutputLayer& out = model.output();
+  ProgramStage stage;
+  stage.kind = StageKind::kPackedGemm;
+  stage.gemm.lowering = GemmLowering::kDense;
+  stage.gemm.weights = out.weights;
+  stage.gemm.is_output = true;
+  stage.gemm.scale = out.scale;
+  stage.gemm.offset = out.offset;
+  stage.out_shape = {out.num_classes(), 1, 1};
+  program.AddStage(std::move(stage));
+  return program;
+}
+
+BnnModel BnnProgram::ToClassifier() const {
+  if (!IsPureDense() || stages_.empty() || !stages_.back().gemm.is_output) {
+    throw std::logic_error(
+        "BnnProgram: not a pure dense classifier; no BnnModel form exists");
+  }
+  BnnModel model;
+  for (std::size_t i = 0; i + 1 < stages_.size(); ++i) {
+    BnnDenseLayer layer;
+    layer.weights = stages_[i].gemm.weights;
+    layer.thresholds = stages_[i].gemm.thresholds;
+    model.AddHidden(std::move(layer));
+  }
+  BnnOutputLayer out;
+  out.weights = stages_.back().gemm.weights;
+  out.scale = stages_.back().gemm.scale;
+  out.offset = stages_.back().gemm.offset;
+  model.SetOutput(std::move(out));
+  return model;
+}
+
+bool BnnProgram::IsPureDense() const {
+  return std::all_of(stages_.begin(), stages_.end(), [](const ProgramStage& s) {
+    return s.kind == StageKind::kPackedGemm &&
+           s.gemm.lowering == GemmLowering::kDense;
+  });
+}
+
+void BnnProgram::AddStage(ProgramStage stage) {
+  stages_.push_back(std::move(stage));
+}
+
+std::int64_t BnnProgram::num_classes() const {
+  if (stages_.empty() || stages_.back().kind != StageKind::kPackedGemm) {
+    return 0;
+  }
+  return stages_.back().gemm.units();
+}
+
+std::size_t BnnProgram::num_gemm_stages() const {
+  return static_cast<std::size_t>(
+      std::count_if(stages_.begin(), stages_.end(), [](const ProgramStage& s) {
+        return s.kind == StageKind::kPackedGemm;
+      }));
+}
+
+std::vector<const PackedGemmStage*> BnnProgram::GemmStages() const {
+  std::vector<const PackedGemmStage*> out;
+  for (const ProgramStage& stage : stages_) {
+    if (stage.kind == StageKind::kPackedGemm) out.push_back(&stage.gemm);
+  }
+  return out;
+}
+
+std::vector<float> BnnProgram::Scores(const BitVector& x) const {
+  WeightPopcounter pop(*this);
+  return ScoresWith(x, pop);
+}
+
+std::vector<float> BnnProgram::ScoresWith(const BitVector& x,
+                                          StagePopcounter& pop) const {
+  if (x.size() != input_size()) {
+    throw std::invalid_argument("BnnProgram: input size mismatch");
+  }
+  BitVector act = x;
+  std::size_t gi = 0;
+  std::vector<std::int64_t> pops;
+  for (const ProgramStage& stage : stages_) {
+    switch (stage.kind) {
+      case StageKind::kPackedGemm: {
+        const PackedGemmStage& g = stage.gemm;
+        const std::int64_t units = g.units();
+        if (g.is_output) {
+          pops.resize(static_cast<std::size_t>(units));
+          pop.StagePopcounts(gi, act, 0, units, pops.data());
+          std::vector<float> scores(static_cast<std::size_t>(units));
+          for (std::int64_t k = 0; k < units; ++k) {
+            const auto dot = static_cast<float>(2 * pops[k] - g.weights.cols());
+            scores[static_cast<std::size_t>(k)] =
+                g.scale[static_cast<std::size_t>(k)] * dot +
+                g.offset[static_cast<std::size_t>(k)];
+          }
+          return scores;
+        }
+        BitVector next(g.out_bits());
+        switch (g.lowering) {
+          case GemmLowering::kDense: {
+            pops.resize(static_cast<std::size_t>(units));
+            pop.StagePopcounts(gi, act, 0, units, pops.data());
+            for (std::int64_t u = 0; u < units; ++u) {
+              if (pops[u] >= g.thresholds[static_cast<std::size_t>(u)]) {
+                next.Set(u, +1);
+              }
+            }
+            break;
+          }
+          case GemmLowering::kConv: {
+            const std::int64_t patches = g.num_patches();
+            const std::int64_t ow = g.geom.OutW();
+            pops.resize(static_cast<std::size_t>(units));
+            for (std::int64_t p = 0; p < patches; ++p) {
+              const BitVector patch = GatherPatchVector(
+                  act, g.geom, 0, g.geom.in_channels, p / ow, p % ow);
+              pop.StagePopcounts(gi, patch, 0, units, pops.data());
+              for (std::int64_t u = 0; u < units; ++u) {
+                if (pops[u] >= StageThreshold(g, u, p)) {
+                  next.Set(u * patches + p, +1);
+                }
+              }
+            }
+            break;
+          }
+          case GemmLowering::kDepthwise: {
+            const std::int64_t patches = g.num_patches();
+            const std::int64_t ow = g.geom.OutW();
+            for (std::int64_t c = 0; c < units; ++c) {
+              for (std::int64_t p = 0; p < patches; ++p) {
+                const BitVector patch =
+                    GatherPatchVector(act, g.geom, c, c + 1, p / ow, p % ow);
+                std::int64_t count = 0;
+                pop.StagePopcounts(gi, patch, c, c + 1, &count);
+                if (count >= StageThreshold(g, c, p)) {
+                  next.Set(c * patches + p, +1);
+                }
+              }
+            }
+            break;
+          }
+        }
+        act = std::move(next);
+        ++gi;
+        break;
+      }
+      case StageKind::kPool:
+        act = PoolRow(act, stage.pool.geom);
+        break;
+      case StageKind::kReshape:
+      case StageKind::kSign:
+        break;
+    }
+  }
+  throw std::invalid_argument("BnnProgram: program has no output stage");
+}
+
+std::vector<float> BnnProgram::ScoresBatch(
+    const BitMatrix& batch, std::span<const StageSubstrate> substrates) const {
+  if (batch.cols() != input_size()) {
+    throw std::invalid_argument("BnnProgram: batch width mismatch");
+  }
+  if (!substrates.empty() && substrates.size() != num_gemm_stages()) {
+    throw std::invalid_argument("BnnProgram: substrate count mismatch");
+  }
+  const std::int64_t n = batch.rows();
+  const BitMatrix* cur = &batch;
+  BitMatrix act;
+  std::vector<std::int32_t> pops;  // shared popcount scratch across stages
+  std::size_t gi = 0;
+  for (const ProgramStage& stage : stages_) {
+    switch (stage.kind) {
+      case StageKind::kPackedGemm: {
+        const PackedGemmStage& g = stage.gemm;
+        const BitMatrix* w = &g.weights;
+        const std::int32_t* bias = nullptr;
+        if (!substrates.empty()) {
+          w = substrates[gi].weights;
+          bias = substrates[gi].pop_bias;
+        }
+        const std::int64_t units = g.units();
+        if (g.is_output) {
+          XnorPopcountGemm(*cur, *w, pops);
+          std::vector<float> scores(static_cast<std::size_t>(n * units));
+          for (std::int64_t i = 0; i < n; ++i) {
+            const std::int32_t* row = pops.data() + i * units;
+            float* out = scores.data() + i * units;
+            for (std::int64_t k = 0; k < units; ++k) {
+              // Same int -> float conversion and affine as the per-row path
+              // and the mapper's snapshot path, so floats are bit-identical.
+              const std::int64_t count =
+                  static_cast<std::int64_t>(row[k]) + (bias ? bias[k] : 0);
+              const auto dot =
+                  static_cast<float>(2 * count - g.weights.cols());
+              out[k] = g.scale[static_cast<std::size_t>(k)] * dot +
+                       g.offset[static_cast<std::size_t>(k)];
+            }
+          }
+          return scores;
+        }
+        BitMatrix next(n, g.out_bits());
+        switch (g.lowering) {
+          case GemmLowering::kDense: {
+            XnorPopcountGemm(*cur, *w, pops);
+            for (std::int64_t i = 0; i < n; ++i) {
+              const std::int32_t* row = pops.data() + i * units;
+              for (std::int64_t u = 0; u < units; ++u) {
+                if (row[u] + (bias ? bias[u] : 0) >=
+                    g.thresholds[static_cast<std::size_t>(u)]) {
+                  next.Set(i, u, +1);
+                }
+              }
+            }
+            break;
+          }
+          case GemmLowering::kConv: {
+            const std::int64_t patches = g.num_patches();
+            const BitMatrix im2col =
+                BuildPatchMatrix(*cur, g.geom, 0, g.geom.in_channels);
+            XnorPopcountGemm(im2col, *w, pops);
+            for (std::int64_t i = 0; i < n; ++i) {
+              for (std::int64_t p = 0; p < patches; ++p) {
+                const std::int32_t* row = pops.data() + (i * patches + p) * units;
+                for (std::int64_t u = 0; u < units; ++u) {
+                  if (row[u] + (bias ? bias[u] : 0) >=
+                      StageThreshold(g, u, p)) {
+                    next.Set(i, u * patches + p, +1);
+                  }
+                }
+              }
+            }
+            break;
+          }
+          case GemmLowering::kDepthwise: {
+            const std::int64_t patches = g.num_patches();
+            for (std::int64_t c = 0; c < units; ++c) {
+              const BitMatrix im2col = BuildPatchMatrix(*cur, g.geom, c, c + 1);
+              const BitMatrix w_row = w->RowSlice(c, c + 1);
+              XnorPopcountGemm(im2col, w_row, pops);
+              const std::int32_t b = bias ? bias[c] : 0;
+              for (std::int64_t i = 0; i < n; ++i) {
+                for (std::int64_t p = 0; p < patches; ++p) {
+                  if (pops[static_cast<std::size_t>(i * patches + p)] + b >=
+                      StageThreshold(g, c, p)) {
+                    next.Set(i, c * patches + p, +1);
+                  }
+                }
+              }
+            }
+            break;
+          }
+        }
+        act = std::move(next);
+        cur = &act;
+        ++gi;
+        break;
+      }
+      case StageKind::kPool:
+        act = PoolBatch(*cur, stage.pool.geom);
+        cur = &act;
+        break;
+      case StageKind::kReshape:
+      case StageKind::kSign:
+        break;
+    }
+  }
+  throw std::invalid_argument("BnnProgram: program has no output stage");
+}
+
+std::int64_t BnnProgram::Predict(const BitVector& x) const {
+  const std::vector<float> s = Scores(x);
+  return std::distance(s.begin(), std::max_element(s.begin(), s.end()));
+}
+
+std::vector<std::int64_t> BnnProgram::PredictPacked(
+    const BitMatrix& batch) const {
+  return ArgmaxRows(ScoresBatch(batch), batch.rows(), num_classes());
+}
+
+std::vector<std::int64_t> BnnProgram::PredictBatch(
+    const Tensor& features) const {
+  if (features.rank() != 2) {
+    throw std::invalid_argument("PredictBatch: expected [N, F]");
+  }
+  const std::int64_t n = features.dim(0), f = features.dim(1);
+  if (f != input_size()) {
+    throw std::invalid_argument("PredictBatch: feature width mismatch");
+  }
+  const BitMatrix packed = BitMatrix::FromSignRows(
+      std::span<const float>(features.data(), static_cast<std::size_t>(n * f)),
+      n, f);
+  return PredictPacked(packed);
+}
+
+std::int64_t BnnProgram::TotalWeightBits() const {
+  std::int64_t bits = 0;
+  for (const ProgramStage& stage : stages_) {
+    if (stage.kind == StageKind::kPackedGemm) bits += stage.gemm.weights.bits();
+  }
+  return bits;
+}
+
+namespace {
+
+void CheckGeometry(const StageGeometry& g, const StageShape& in,
+                   std::size_t index, const char* what) {
+  const std::string at = std::string("BnnProgram: stage ") +
+                         std::to_string(index) + " (" + what + ") ";
+  if (g.in_channels != in.c || g.in_h != in.h || g.in_w != in.w) {
+    throw std::invalid_argument(at + "geometry does not match input shape");
+  }
+  if (g.kernel_h < 1 || g.kernel_w < 1 || g.stride_h < 1 || g.stride_w < 1 ||
+      g.pad_h < 0 || g.pad_w < 0) {
+    throw std::invalid_argument(at + "has a non-positive kernel/stride");
+  }
+  if (g.kernel_w > 64) {
+    throw std::invalid_argument(
+        at + "kernel_w > 64 exceeds the word-gather contract");
+  }
+  if (g.OutH() < 1 || g.OutW() < 1) {
+    throw std::invalid_argument(at + "kernel does not fit the input");
+  }
+}
+
+void CheckThresholds(const PackedGemmStage& g, std::size_t index) {
+  const std::size_t expected = static_cast<std::size_t>(
+      g.per_pixel_thresholds ? g.units() * g.num_patches() : g.units());
+  if (g.thresholds.size() != expected) {
+    throw std::invalid_argument("BnnProgram: stage " + std::to_string(index) +
+                                " threshold count mismatch");
+  }
+}
+
+}  // namespace
+
+void BnnProgram::Validate() const {
+  if (input_shape_.c < 1 || input_shape_.h < 1 || input_shape_.w < 1) {
+    throw std::invalid_argument("BnnProgram: non-positive input shape");
+  }
+  if (stages_.empty()) {
+    throw std::invalid_argument("BnnProgram: empty program");
+  }
+  StageShape shape = input_shape_;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const ProgramStage& stage = stages_[i];
+    const bool last = i + 1 == stages_.size();
+    switch (stage.kind) {
+      case StageKind::kPackedGemm: {
+        const PackedGemmStage& g = stage.gemm;
+        if (g.is_output != last || (last && g.lowering != GemmLowering::kDense)) {
+          throw std::invalid_argument(
+              "BnnProgram: the output stage must be the final dense stage");
+        }
+        switch (g.lowering) {
+          case GemmLowering::kDense:
+            if (g.weights.cols() != shape.bits()) {
+              throw std::invalid_argument("BnnProgram: stage " +
+                                          std::to_string(i) +
+                                          " input width mismatch");
+            }
+            break;
+          case GemmLowering::kConv:
+            CheckGeometry(g.geom, shape, i, "conv");
+            if (g.weights.cols() != g.geom.PatchSize()) {
+              throw std::invalid_argument("BnnProgram: stage " +
+                                          std::to_string(i) +
+                                          " conv patch width mismatch");
+            }
+            break;
+          case GemmLowering::kDepthwise:
+            CheckGeometry(g.geom, shape, i, "dwconv");
+            if (g.weights.rows() != g.geom.in_channels ||
+                g.weights.cols() != g.geom.ChannelPatchSize()) {
+              throw std::invalid_argument("BnnProgram: stage " +
+                                          std::to_string(i) +
+                                          " depthwise weight shape mismatch");
+            }
+            break;
+        }
+        if (g.is_output) {
+          if (!g.thresholds.empty() ||
+              g.scale.size() != static_cast<std::size_t>(g.units()) ||
+              g.offset.size() != static_cast<std::size_t>(g.units())) {
+            throw std::invalid_argument(
+                "BnnProgram: output stage affine size mismatch");
+          }
+          shape = {g.units(), 1, 1};
+        } else {
+          CheckThresholds(g, i);
+          shape = g.lowering == GemmLowering::kDense
+                      ? StageShape{g.units(), 1, 1}
+                      : StageShape{g.units(), g.geom.OutH(), g.geom.OutW()};
+        }
+        break;
+      }
+      case StageKind::kPool:
+        CheckGeometry(stage.pool.geom, shape, i, "pool");
+        if (stage.pool.geom.padded()) {
+          throw std::invalid_argument("BnnProgram: padded pooling unsupported");
+        }
+        shape = {shape.c, stage.pool.geom.OutH(), stage.pool.geom.OutW()};
+        break;
+      case StageKind::kReshape:
+        if (stage.out_shape.bits() != shape.bits()) {
+          throw std::invalid_argument("BnnProgram: reshape changes bit count");
+        }
+        shape = stage.out_shape;
+        break;
+      case StageKind::kSign:
+        break;
+    }
+    if (!(stage.out_shape == shape)) {
+      throw std::invalid_argument("BnnProgram: stage " + std::to_string(i) +
+                                  " output shape mismatch");
+    }
+  }
+  if (stages_.back().kind != StageKind::kPackedGemm ||
+      !stages_.back().gemm.is_output) {
+    throw std::invalid_argument("BnnProgram: program has no output stage");
+  }
+}
+
+std::string BnnProgram::Describe() const {
+  auto geo = [](const StageGeometry& g) {
+    std::string s = std::to_string(g.kernel_h) + "x" +
+                    std::to_string(g.kernel_w) + "/s" +
+                    std::to_string(g.stride_h);
+    if (g.stride_w != g.stride_h) s += "x" + std::to_string(g.stride_w);
+    if (g.padded()) {
+      s += " p" + std::to_string(g.pad_h);
+      if (g.pad_w != g.pad_h) s += "x" + std::to_string(g.pad_w);
+    }
+    return s;
+  };
+  auto shape3 = [](const StageGeometry& g) {
+    return std::to_string(g.in_channels) + "x" + std::to_string(g.in_h) + "x" +
+           std::to_string(g.in_w);
+  };
+  std::string out;
+  for (const ProgramStage& stage : stages_) {
+    if (!out.empty()) out += " | ";
+    switch (stage.kind) {
+      case StageKind::kPackedGemm: {
+        const PackedGemmStage& g = stage.gemm;
+        switch (g.lowering) {
+          case GemmLowering::kDense:
+            out += "dense " + std::to_string(g.weights.cols()) + "->" +
+                   std::to_string(g.units());
+            break;
+          case GemmLowering::kConv:
+            out += "conv " + shape3(g.geom) + "->" + std::to_string(g.units()) +
+                   " " + geo(g.geom);
+            break;
+          case GemmLowering::kDepthwise:
+            out += "dwconv " + shape3(g.geom) + " " + geo(g.geom);
+            break;
+        }
+        if (g.is_output) out += " (output)";
+        break;
+      }
+      case StageKind::kPool:
+        out += "pool " + geo(stage.pool.geom);
+        break;
+      case StageKind::kReshape:
+        out += "reshape " + std::to_string(stage.out_shape.bits());
+        break;
+      case StageKind::kSign:
+        out += "sign";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rrambnn::core

@@ -41,4 +41,15 @@ FaultInjectionReport InjectWeightFaults(BnnModel& model, double ber,
   return report;
 }
 
+FaultInjectionReport InjectWeightFaults(BnnProgram& program, double ber,
+                                        Rng& rng) {
+  FaultInjectionReport report;
+  for (auto& stage : program.stages()) {
+    if (stage.kind != StageKind::kPackedGemm) continue;
+    report.total_bits += stage.gemm.weights.bits();
+    report.flipped_bits += InjectFaults(stage.gemm.weights, ber, rng);
+  }
+  return report;
+}
+
 }  // namespace rrambnn::core

@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "core/bnn_model.h"
+#include "core/bnn_program.h"
 #include "tensor/rng.h"
 
 namespace rrambnn::core {
@@ -35,5 +36,11 @@ std::int64_t InjectFaults(BitMatrix& matrix, double ber, Rng& rng);
 
 /// Applies InjectFaults to every layer of a compiled model.
 FaultInjectionReport InjectWeightFaults(BnnModel& model, double ber, Rng& rng);
+
+/// Applies InjectFaults to every GEMM stage of a compiled program, in stage
+/// order (for a pure-dense program the draw order matches the BnnModel
+/// overload bit for bit).
+FaultInjectionReport InjectWeightFaults(BnnProgram& program, double ber,
+                                        Rng& rng);
 
 }  // namespace rrambnn::core

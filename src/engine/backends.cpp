@@ -13,10 +13,10 @@ namespace rrambnn::engine {
 
 namespace {
 
-std::string ModelShapeString(std::int64_t in, std::size_t hidden,
-                             std::int64_t classes) {
-  return std::to_string(in) + " inputs, " + std::to_string(hidden) +
-         " hidden layer(s), " + std::to_string(classes) + " classes";
+std::string ProgramShapeString(const core::BnnProgram& program) {
+  return std::to_string(program.input_size()) + " inputs, [" +
+         program.Describe() + "], " +
+         std::to_string(program.TotalWeightBits()) + " weight bits";
 }
 
 }  // namespace
@@ -25,25 +25,26 @@ std::string ModelShapeString(std::int64_t in, std::size_t hidden,
 // ReferenceBackend
 // ---------------------------------------------------------------------------
 
-ReferenceBackend::ReferenceBackend(core::BnnModel model)
-    : model_(std::move(model)) {
-  model_.Validate();
+ReferenceBackend::ReferenceBackend(core::BnnProgram program)
+    : program_(std::move(program)) {
+  program_.Validate();
 }
 
+ReferenceBackend::ReferenceBackend(const core::BnnModel& model)
+    : ReferenceBackend(core::BnnProgram::FromClassifier(model)) {}
+
 std::vector<float> ReferenceBackend::Scores(const core::BitVector& x) {
-  return model_.Scores(x);
+  return program_.Scores(x);
 }
 
 std::vector<float> ReferenceBackend::ScoresBatch(
     const core::BitMatrix& batch) {
-  return model_.ScoresBatch(batch);
+  return program_.ScoresBatch(batch);
 }
 
 std::string ReferenceBackend::Describe() const {
   return "reference: exact XNOR-popcount software model (" +
-         ModelShapeString(model_.input_size(), model_.num_hidden(),
-                          model_.num_classes()) +
-         ", " + std::to_string(model_.TotalWeightBits()) + " weight bits)";
+         ProgramShapeString(program_) + ")";
 }
 
 EnergyBreakdown ReferenceBackend::EnergyReport() const {
@@ -54,14 +55,19 @@ EnergyBreakdown ReferenceBackend::EnergyReport() const {
 // FaultInjectionBackend
 // ---------------------------------------------------------------------------
 
-FaultInjectionBackend::FaultInjectionBackend(core::BnnModel model, double ber,
-                                             std::uint64_t seed)
-    : model_(std::move(model)), ber_(ber), seed_(seed) {
-  model_.Validate();
-  golden_ = model_;  // pre-fault copy: the healing source
+FaultInjectionBackend::FaultInjectionBackend(core::BnnProgram program,
+                                             double ber, std::uint64_t seed)
+    : program_(std::move(program)), ber_(ber), seed_(seed) {
+  program_.Validate();
+  golden_ = program_;  // pre-fault copy: the healing source
   Rng rng(seed_);
-  report_ = core::InjectWeightFaults(model_, ber_, rng);
+  report_ = core::InjectWeightFaults(program_, ber_, rng);
 }
+
+FaultInjectionBackend::FaultInjectionBackend(const core::BnnModel& model,
+                                             double ber, std::uint64_t seed)
+    : FaultInjectionBackend(core::BnnProgram::FromClassifier(model), ber,
+                            seed) {}
 
 void FaultInjectionBackend::CheckChip(int chip) const {
   if (chip != 0) {
@@ -70,17 +76,17 @@ void FaultInjectionBackend::CheckChip(int chip) const {
   }
 }
 
-const core::BnnModel& FaultInjectionBackend::ChipReadback(int chip) {
+const core::BnnProgram& FaultInjectionBackend::ChipReadback(int chip) {
   CheckChip(chip);
-  return model_;  // the faulted model is exactly what the substrate reads
+  return program_;  // the faulted program is exactly what the substrate reads
 }
 
 void FaultInjectionBackend::ReprogramChip(int chip, bool reseed) {
   CheckChip(chip);
   if (reseed) ++generation_;
-  model_ = golden_;
+  program_ = golden_;
   Rng rng(ShardedRramBackend::ShardSeed(seed_, 0, generation_));
-  report_ = core::InjectWeightFaults(model_, ber_, rng);
+  report_ = core::InjectWeightFaults(program_, ber_, rng);
 }
 
 void FaultInjectionBackend::SetChipServing(int chip, bool serving) {
@@ -102,16 +108,16 @@ void FaultInjectionBackend::InjectChipDrift(int chip, double ber,
                                             std::uint64_t seed) {
   CheckChip(chip);
   Rng rng(seed);
-  core::InjectWeightFaults(model_, ber, rng);
+  core::InjectWeightFaults(program_, ber, rng);
 }
 
 std::vector<float> FaultInjectionBackend::Scores(const core::BitVector& x) {
-  return model_.Scores(x);
+  return program_.Scores(x);
 }
 
 std::vector<float> FaultInjectionBackend::ScoresBatch(
     const core::BitMatrix& batch) {
-  return model_.ScoresBatch(batch);
+  return program_.ScoresBatch(batch);
 }
 
 std::string FaultInjectionBackend::Describe() const {
@@ -132,9 +138,9 @@ EnergyBreakdown FaultInjectionBackend::EnergyReport() const {
 // RramBackend
 // ---------------------------------------------------------------------------
 
-RramBackend::RramBackend(const core::BnnModel& model,
+RramBackend::RramBackend(const core::BnnProgram& program,
                          const arch::MapperConfig& config)
-    : golden_(model),
+    : golden_(program),
       fabric_(golden_, config),
       config_(config),
       concurrent_readers_(fabric_.DeterministicReads()) {
@@ -143,6 +149,10 @@ RramBackend::RramBackend(const core::BnnModel& model,
   // mutates the fabric under what may be only a shared serving lock.
   fabric_.WarmReadback();
 }
+
+RramBackend::RramBackend(const core::BnnModel& model,
+                         const arch::MapperConfig& config)
+    : RramBackend(core::BnnProgram::FromClassifier(model), config) {}
 
 std::vector<float> RramBackend::Scores(const core::BitVector& x) {
   return fabric_.Scores(x);
@@ -165,7 +175,7 @@ bool RramBackend::SupportsReadback() const {
   return fabric_.DeterministicReads();
 }
 
-const core::BnnModel& RramBackend::ChipReadback(int chip) {
+const core::BnnProgram& RramBackend::ChipReadback(int chip) {
   CheckChip(chip);
   return fabric_.ReadbackSnapshot();
 }
@@ -248,10 +258,10 @@ std::uint64_t ShardedRramBackend::ShardSeed(std::uint64_t base_seed,
   return seed;
 }
 
-ShardedRramBackend::ShardedRramBackend(const core::BnnModel& model,
+ShardedRramBackend::ShardedRramBackend(const core::BnnProgram& program,
                                        const arch::MapperConfig& config,
                                        int num_shards)
-    : golden_(model),
+    : golden_(program),
       config_(config),
       // == MappedBnn::DeterministicReads() for every chip: the shards all
       // share this device config, and reprogramming only changes seeds.
@@ -272,6 +282,12 @@ ShardedRramBackend::ShardedRramBackend(const core::BnnModel& model,
   generations_.assign(shards_.size(), 0);
 }
 
+ShardedRramBackend::ShardedRramBackend(const core::BnnModel& model,
+                                       const arch::MapperConfig& config,
+                                       int num_shards)
+    : ShardedRramBackend(core::BnnProgram::FromClassifier(model), config,
+                         num_shards) {}
+
 void ShardedRramBackend::CheckChip(int chip) const {
   if (chip < 0 || chip >= num_shards()) {
     throw std::out_of_range("ShardedRramBackend: chip " +
@@ -290,7 +306,7 @@ bool ShardedRramBackend::concurrent_readers() const {
   return concurrent_readers_;
 }
 
-const core::BnnModel& ShardedRramBackend::ChipReadback(int chip) {
+const core::BnnProgram& ShardedRramBackend::ChipReadback(int chip) {
   CheckChip(chip);
   return shards_[static_cast<std::size_t>(chip)]->ReadbackSnapshot();
 }

@@ -1,5 +1,9 @@
 // The three built-in execution backends (see engine/backend.h) and the
-// parameter bundle the registry hands every factory.
+// parameter bundle the registry hands every factory. Every backend executes
+// a compiled core::BnnProgram — dense classifiers and im2col-lowered conv
+// networks run through the same substrates; the BnnModel constructors are
+// conveniences that lift the dense special case via
+// core::BnnProgram::FromClassifier.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +14,7 @@
 
 #include "arch/bnn_mapper.h"
 #include "core/bnn_model.h"
+#include "core/bnn_program.h"
 #include "core/fault_injection.h"
 #include "engine/backend.h"
 #include "health/adapter.h"
@@ -35,59 +40,64 @@ struct BackendSpec {
   int rram_shards = 4;
 };
 
-/// Exact software execution of the compiled model — the golden reference the
-/// other substrates are measured against.
+/// Exact software execution of the compiled program — the golden reference
+/// the other substrates are measured against.
 class ReferenceBackend : public InferenceBackend {
  public:
-  explicit ReferenceBackend(core::BnnModel model);
+  explicit ReferenceBackend(core::BnnProgram program);
+  explicit ReferenceBackend(const core::BnnModel& model);
 
   std::string name() const override { return "reference"; }
-  std::int64_t input_size() const override { return model_.input_size(); }
-  std::int64_t num_classes() const override { return model_.num_classes(); }
+  std::int64_t input_size() const override { return program_.input_size(); }
+  std::int64_t num_classes() const override { return program_.num_classes(); }
   std::vector<float> Scores(const core::BitVector& x) override;
   std::vector<float> ScoresBatch(const core::BitMatrix& batch) override;
   std::string Describe() const override;
   EnergyBreakdown EnergyReport() const override;
   bool SupportsConcurrentInference() const override { return true; }
-  /// The model is immutable: serving is pure, readers never conflict.
+  /// The program is immutable: serving is pure, readers never conflict.
   bool concurrent_readers() const override { return true; }
 
-  const core::BnnModel& model() const { return model_; }
+  const core::BnnProgram& program() const { return program_; }
 
  private:
-  const core::BnnModel model_;
+  const core::BnnProgram program_;
 };
 
-/// Software model with independent weight-bit flips applied once at
+/// Software program with independent weight-bit flips applied once at
 /// construction — the ideal-BER sweep substrate of Sec. II-B. Between
 /// health interventions (drift injection, healing reprograms) the faulted
-/// model is immutable, so inference is pure. As a health "chip" it is its
-/// own readback: the faulted model *is* what the substrate reads, drift is
+/// program is immutable, so inference is pure. As a health "chip" it is its
+/// own readback: the faulted program *is* what the substrate reads, drift is
 /// further weight-fault injection, and a reprogram restores the golden
-/// model and re-draws the construction-time faults (same seed unless
+/// program and re-draws the construction-time faults (same seed unless
 /// reseeded, so a default heal is bit-identical to generation 0).
 class FaultInjectionBackend : public InferenceBackend,
                               public health::BackendHealthAdapter {
  public:
-  FaultInjectionBackend(core::BnnModel model, double ber, std::uint64_t seed);
+  FaultInjectionBackend(core::BnnProgram program, double ber,
+                        std::uint64_t seed);
+  FaultInjectionBackend(const core::BnnModel& model, double ber,
+                        std::uint64_t seed);
 
   std::string name() const override { return "fault"; }
-  std::int64_t input_size() const override { return model_.input_size(); }
-  std::int64_t num_classes() const override { return model_.num_classes(); }
+  std::int64_t input_size() const override { return program_.input_size(); }
+  std::int64_t num_classes() const override { return program_.num_classes(); }
   std::vector<float> Scores(const core::BitVector& x) override;
   std::vector<float> ScoresBatch(const core::BitMatrix& batch) override;
   std::string Describe() const override;
   EnergyBreakdown EnergyReport() const override;
   bool SupportsConcurrentInference() const override { return true; }
-  /// Pure between health interventions; drift/reprogram mutate the model and
-  /// must hold the exclusive serving lock (they do — see serve/model_server).
+  /// Pure between health interventions; drift/reprogram mutate the program
+  /// and must hold the exclusive serving lock (they do — see
+  /// serve/model_server).
   bool concurrent_readers() const override { return true; }
   health::BackendHealthAdapter* health_adapter() override { return this; }
 
   // health::BackendHealthAdapter (the one software "chip"):
   int num_chips() const override { return 1; }
   bool SupportsReadback() const override { return true; }
-  const core::BnnModel& ChipReadback(int chip) override;
+  const core::BnnProgram& ChipReadback(int chip) override;
   void ReprogramChip(int chip, bool reseed) override;
   /// Single chip: there is nowhere to route to, so the flag is ignored.
   void SetChipServing(int chip, bool serving) override;
@@ -101,8 +111,8 @@ class FaultInjectionBackend : public InferenceBackend,
  private:
   void CheckChip(int chip) const;
 
-  core::BnnModel model_;
-  core::BnnModel golden_;  // pre-fault copy, the healing source
+  core::BnnProgram program_;
+  core::BnnProgram golden_;  // pre-fault copy, the healing source
   double ber_ = 0.0;
   std::uint64_t seed_ = 0;
   std::uint64_t generation_ = 0;
@@ -117,6 +127,8 @@ class FaultInjectionBackend : public InferenceBackend,
 class RramBackend : public InferenceBackend,
                     public health::BackendHealthAdapter {
  public:
+  RramBackend(const core::BnnProgram& program,
+              const arch::MapperConfig& config);
   RramBackend(const core::BnnModel& model, const arch::MapperConfig& config);
 
   std::string name() const override { return "rram"; }
@@ -138,8 +150,8 @@ class RramBackend : public InferenceBackend,
   // health::BackendHealthAdapter (the one physical fabric):
   int num_chips() const override { return 1; }
   bool SupportsReadback() const override;
-  const core::BnnModel& ChipReadback(int chip) override;
-  /// Rebuilds the fabric from the golden model; `reseed` false reuses the
+  const core::BnnProgram& ChipReadback(int chip) override;
+  /// Rebuilds the fabric from the golden program; `reseed` false reuses the
   /// original mapper seed (bit-identical generation-0 fabric).
   void ReprogramChip(int chip, bool reseed) override;
   /// Single chip: there is nowhere to route to, so the flag is ignored.
@@ -155,7 +167,7 @@ class RramBackend : public InferenceBackend,
  private:
   void CheckChip(int chip) const;
 
-  core::BnnModel golden_;  // healing source; must precede fabric_
+  core::BnnProgram golden_;  // healing source; must precede fabric_
   arch::MappedBnn fabric_;
   arch::MapperConfig config_;
   std::uint64_t generation_ = 0;
@@ -166,9 +178,9 @@ class RramBackend : public InferenceBackend,
   const bool concurrent_readers_;
 };
 
-/// A fleet of independently programmed RRAM fabrics serving one model — the
-/// multi-macro parallelism of Yin et al.'s monolithic chip lifted to chip
-/// level. Every shard is a full MappedBnn programmed under its own
+/// A fleet of independently programmed RRAM fabrics serving one program —
+/// the multi-macro parallelism of Yin et al.'s monolithic chip lifted to
+/// chip level. Every shard is a full MappedBnn programmed under its own
 /// programming-noise seed (derived from the base seed; chip 0 reproduces the
 /// single-fabric RramBackend exactly), so batch rows can be sharded across
 /// chips concurrently: contiguous row ranges, one worker thread per chip.
@@ -183,6 +195,8 @@ class RramBackend : public InferenceBackend,
 class ShardedRramBackend : public InferenceBackend,
                            public health::BackendHealthAdapter {
  public:
+  ShardedRramBackend(const core::BnnProgram& program,
+                     const arch::MapperConfig& config, int num_shards);
   ShardedRramBackend(const core::BnnModel& model,
                      const arch::MapperConfig& config, int num_shards);
 
@@ -213,8 +227,8 @@ class ShardedRramBackend : public InferenceBackend,
   // health::BackendHealthAdapter (one chip per shard):
   int num_chips() const override { return num_shards(); }
   bool SupportsReadback() const override;
-  const core::BnnModel& ChipReadback(int chip) override;
-  /// Rebuilds one chip from the golden model without touching its siblings
+  const core::BnnProgram& ChipReadback(int chip) override;
+  /// Rebuilds one chip from the golden program without touching its siblings
   /// (each chip's seed is independently derived — see ShardSeed). `reseed`
   /// false reuses the chip's original seed, so the healed chip is
   /// bit-identical to its generation-0 self.
@@ -247,7 +261,7 @@ class ShardedRramBackend : public InferenceBackend,
       const std::function<void(std::size_t, std::int64_t, std::int64_t)>&
           serve);
 
-  core::BnnModel golden_;  // healing source
+  core::BnnProgram golden_;  // healing source
   std::vector<std::unique_ptr<arch::MappedBnn>> shards_;
   std::vector<std::uint8_t> serving_;       // routing mask, 1 = serving
   std::vector<std::uint64_t> generations_;  // reseed generation per chip

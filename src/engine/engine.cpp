@@ -104,7 +104,8 @@ Engine::Engine(EngineConfig config, ModelFactory factory)
 }
 
 Engine Engine::FromTrained(EngineConfig config, nn::Sequential net,
-                           std::size_t classifier_start) {
+                           std::size_t classifier_start,
+                           std::vector<std::int64_t> sample_shape) {
   if (classifier_start > net.size()) {
     throw std::invalid_argument(
         "Engine::FromTrained: classifier_start " +
@@ -112,6 +113,7 @@ Engine Engine::FromTrained(EngineConfig config, nn::Sequential net,
         std::to_string(net.size()));
   }
   Engine engine(std::move(config), std::move(net), classifier_start);
+  engine.sample_shape_ = std::move(sample_shape);
   return engine;
 }
 
@@ -136,7 +138,7 @@ Engine Engine::FromArtifact(const std::string& path,
   Engine engine(std::move(artifact.config), std::move(artifact.net),
                 artifact.classifier_start);
   engine.compiled_ =
-      std::make_unique<core::BnnModel>(std::move(artifact.model));
+      std::make_unique<core::BnnProgram>(std::move(artifact.program));
   engine.artifact_load_info_ = artifact.info;
   return engine;
 }
@@ -147,7 +149,7 @@ Engine Engine::FromArtifact(const std::string& path, EngineConfig config,
   Engine engine(std::move(config), std::move(artifact.net),
                 artifact.classifier_start);
   engine.compiled_ =
-      std::make_unique<core::BnnModel>(std::move(artifact.model));
+      std::make_unique<core::BnnProgram>(std::move(artifact.program));
   engine.artifact_load_info_ = artifact.info;
   return engine;
 }
@@ -170,7 +172,9 @@ nn::FitResult Engine::Train(const nn::Dataset& train, const nn::Dataset& val) {
   ModelSpec spec = factory_(config_, rng);
   net_ = std::move(spec.net);
   classifier_start_ = spec.classifier_start;
+  sample_shape_.assign(train.x.shape().begin() + 1, train.x.shape().end());
   compiled_.reset();
+  compiled_dense_.reset();
   health_.reset();  // scoped to the backend it watched
   backend_.reset();
   const nn::FitResult fit = nn::Fit(net_, train, val, config_.train);
@@ -178,15 +182,31 @@ nn::FitResult Engine::Train(const nn::Dataset& train, const nn::Dataset& val) {
   return fit;
 }
 
-const core::BnnModel& Engine::Compile() {
+const core::BnnProgram& Engine::Compile() {
   RequireTrained("Compile");
   if (config_.strategy == core::BinarizationStrategy::kReal) {
     throw std::logic_error(
         "Engine::Compile: strategy kReal has no binarized classifier to "
         "compile; use Evaluate() on the float network instead");
   }
-  compiled_ = std::make_unique<core::BnnModel>(
-      core::CompileClassifier(net_, classifier_start_));
+  // The per-operator walk needs the activation shape entering the classifier
+  // (conv stages carry spatial extent). Fold a zero probe sample through the
+  // float prefix: shapes are data-independent and Infer mutates nothing.
+  core::StageShape input_shape{};
+  if (!sample_shape_.empty()) {
+    Shape probe_shape;
+    probe_shape.push_back(1);
+    probe_shape.insert(probe_shape.end(), sample_shape_.begin(),
+                       sample_shape_.end());
+    const Tensor out = core::InferPrefix(net_, Tensor(probe_shape),
+                                         classifier_start_);
+    input_shape = out.rank() == 4
+                      ? core::StageShape{out.dim(1), out.dim(2), out.dim(3)}
+                      : core::StageShape{out.size(), 1, 1};
+  }
+  compiled_ = std::make_unique<core::BnnProgram>(
+      core::CompileProgram(net_, classifier_start_, input_shape));
+  compiled_dense_.reset();
   health_.reset();
   backend_.reset();
   return *compiled_;
@@ -358,11 +378,23 @@ const nn::Sequential& Engine::net() const {
   return net_;
 }
 
+const core::BnnProgram& Engine::compiled_program() const {
+  if (!compiled_) {
+    throw std::logic_error("Engine: no compiled program; call Compile() first");
+  }
+  return *compiled_;
+}
+
 const core::BnnModel& Engine::compiled_model() const {
   if (!compiled_) {
     throw std::logic_error("Engine: no compiled model; call Compile() first");
   }
-  return *compiled_;
+  if (!compiled_dense_) {
+    // Throws std::logic_error for programs with conv/pool stages.
+    compiled_dense_ =
+        std::make_unique<core::BnnModel>(compiled_->ToClassifier());
+  }
+  return *compiled_dense_;
 }
 
 InferenceBackend& Engine::backend() const {
@@ -403,7 +435,7 @@ std::string Engine::Describe() const {
   os << "Engine[" << core::ToString(config_.strategy) << "]";
   os << " trained=" << (trained_ ? "yes" : "no");
   if (compiled_) {
-    os << ", compiled: " << compiled_->num_hidden() << " hidden layer(s), "
+    os << ", compiled: [" << compiled_->Describe() << "], "
        << compiled_->TotalWeightBits() << " weight bits";
   }
   if (backend_) {

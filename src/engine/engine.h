@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/bnn_program.h"
 #include "core/compile.h"
 #include "core/strategy.h"
 #include "engine/registry.h"
@@ -104,8 +105,13 @@ class Engine {
   Engine(EngineConfig config, ModelFactory factory);
 
   /// Engine around an externally trained network (skips Train()).
+  /// `sample_shape` is the per-sample input shape (the dims after the batch
+  /// axis, e.g. {C, H, W} for image nets); it lets Compile() derive the
+  /// spatial extent entering the classifier. Omit it for dense classifiers,
+  /// whose input width is read off the first BinaryDense layer.
   static Engine FromTrained(EngineConfig config, nn::Sequential net,
-                            std::size_t classifier_start);
+                            std::size_t classifier_start,
+                            std::vector<std::int64_t> sample_shape = {});
 
   /// Engine rebuilt from a saved artifact (see io/artifact.h): trained and
   /// compiled on arrival, so Deploy()/Evaluate()/Predict() work with no
@@ -136,10 +142,12 @@ class Engine {
   /// Compile()/Deploy() state.
   nn::FitResult Train(const nn::Dataset& train, const nn::Dataset& val);
 
-  /// Folds the trained classifier into the deployable XNOR-popcount model.
-  /// Throws std::logic_error before Train() and for the kReal strategy
-  /// (nothing is binarized).
-  const core::BnnModel& Compile();
+  /// Compiles the trained classifier into the deployable multi-stage packed
+  /// program (conv/depthwise stages lowered through packed im2col, BN folded
+  /// into integer thresholds; a dense-only classifier yields the one-GEMM
+  /// special case). Throws std::logic_error before Train() and for the kReal
+  /// strategy (nothing is binarized).
+  const core::BnnProgram& Compile();
 
   /// Writes the trained-and-compiled pipeline to a versioned, checksummed
   /// artifact file (compiling first if needed — so kReal strategies throw,
@@ -188,6 +196,13 @@ class Engine {
   nn::Sequential& net();
   const nn::Sequential& net() const;
   std::size_t classifier_start() const { return classifier_start_; }
+  /// The compiled multi-stage program. Throws std::logic_error before
+  /// Compile().
+  const core::BnnProgram& compiled_program() const;
+  /// Dense-classifier view of the compiled program (lazily materialized and
+  /// cached). Throws std::logic_error before Compile() and for programs with
+  /// conv/pool stages, which have no BnnModel equivalent — use
+  /// compiled_program() there.
   const core::BnnModel& compiled_model() const;
   InferenceBackend& backend() const;
 
@@ -246,8 +261,15 @@ class Engine {
   ModelFactory factory_;
   nn::Sequential net_;
   std::size_t classifier_start_ = 0;
+  /// Per-sample input dims (shape minus the batch axis), captured by Train()
+  /// from the training set or passed to FromTrained; Compile() folds them
+  /// through the float prefix to learn the classifier's input StageShape.
+  /// Empty means "unknown": fine for dense classifiers, fatal for conv.
+  std::vector<std::int64_t> sample_shape_;
   bool trained_ = false;
-  std::unique_ptr<core::BnnModel> compiled_;
+  std::unique_ptr<core::BnnProgram> compiled_;
+  /// compiled_model() compatibility cache (ToClassifier of *compiled_).
+  mutable std::unique_ptr<core::BnnModel> compiled_dense_;
   std::unique_ptr<InferenceBackend> backend_;
   std::unique_ptr<health::HealthManager> health_;  // scoped to backend_
   io::ArtifactLoadInfo artifact_load_info_;

@@ -21,21 +21,23 @@ std::string ToString(BackendKind kind) {
 
 BackendRegistry::BackendRegistry() {
   Register("reference",
-           [](const core::BnnModel& model, const BackendSpec& /*spec*/) {
-             return std::make_unique<ReferenceBackend>(model);
+           [](const core::BnnProgram& program, const BackendSpec& /*spec*/) {
+             return std::make_unique<ReferenceBackend>(program);
            });
-  Register("rram", [](const core::BnnModel& model, const BackendSpec& spec) {
-    return std::make_unique<RramBackend>(model, spec.mapper);
-  });
+  Register("rram",
+           [](const core::BnnProgram& program, const BackendSpec& spec) {
+             return std::make_unique<RramBackend>(program, spec.mapper);
+           });
   Register("rram-sharded",
-           [](const core::BnnModel& model, const BackendSpec& spec) {
-             return std::make_unique<ShardedRramBackend>(model, spec.mapper,
+           [](const core::BnnProgram& program, const BackendSpec& spec) {
+             return std::make_unique<ShardedRramBackend>(program, spec.mapper,
                                                          spec.rram_shards);
            });
-  Register("fault", [](const core::BnnModel& model, const BackendSpec& spec) {
-    return std::make_unique<FaultInjectionBackend>(model, spec.fault_ber,
-                                                   spec.fault_seed);
-  });
+  Register("fault",
+           [](const core::BnnProgram& program, const BackendSpec& spec) {
+             return std::make_unique<FaultInjectionBackend>(
+                 program, spec.fault_ber, spec.fault_seed);
+           });
 }
 
 BackendRegistry& BackendRegistry::Instance() {
@@ -63,7 +65,7 @@ std::vector<std::string> BackendRegistry::Names() const {
 }
 
 std::unique_ptr<InferenceBackend> BackendRegistry::Create(
-    const std::string& name, const core::BnnModel& model,
+    const std::string& name, const core::BnnProgram& program,
     const BackendSpec& spec) const {
   const auto it = factories_.find(name);
   if (it == factories_.end()) {
@@ -75,13 +77,25 @@ std::unique_ptr<InferenceBackend> BackendRegistry::Create(
     throw std::invalid_argument("BackendRegistry: unknown backend \"" + name +
                                 "\"; registered: " + known);
   }
-  return it->second(model, spec);
+  return it->second(program, spec);
+}
+
+std::unique_ptr<InferenceBackend> MakeBackend(const std::string& name,
+                                              const core::BnnProgram& program,
+                                              const BackendSpec& spec) {
+  return BackendRegistry::Instance().Create(name, program, spec);
+}
+
+std::unique_ptr<InferenceBackend> MakeBackend(BackendKind kind,
+                                              const core::BnnProgram& program,
+                                              const BackendSpec& spec) {
+  return MakeBackend(ToString(kind), program, spec);
 }
 
 std::unique_ptr<InferenceBackend> MakeBackend(const std::string& name,
                                               const core::BnnModel& model,
                                               const BackendSpec& spec) {
-  return BackendRegistry::Instance().Create(name, model, spec);
+  return MakeBackend(name, core::BnnProgram::FromClassifier(model), spec);
 }
 
 std::unique_ptr<InferenceBackend> MakeBackend(BackendKind kind,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/bnn_model.h"
+#include "core/bnn_program.h"
 #include "engine/backends.h"
 
 namespace rrambnn::engine {
@@ -25,9 +26,9 @@ enum class BackendKind {
 /// Registry key of a built-in backend.
 std::string ToString(BackendKind kind);
 
-/// Builds a backend for a compiled model under the given parameters.
+/// Builds a backend for a compiled program under the given parameters.
 using BackendFactory = std::function<std::unique_ptr<InferenceBackend>(
-    const core::BnnModel& model, const BackendSpec& spec)>;
+    const core::BnnProgram& program, const BackendSpec& spec)>;
 
 /// Process-wide name -> factory map. The three built-in backends are
 /// registered on first access.
@@ -46,7 +47,7 @@ class BackendRegistry {
   /// Instantiates backend `name`; throws std::invalid_argument for unknown
   /// names (the message lists what is registered).
   std::unique_ptr<InferenceBackend> Create(const std::string& name,
-                                           const core::BnnModel& model,
+                                           const core::BnnProgram& program,
                                            const BackendSpec& spec) const;
 
  private:
@@ -55,7 +56,15 @@ class BackendRegistry {
   std::map<std::string, BackendFactory> factories_;
 };
 
-/// Convenience wrapper over BackendRegistry::Instance().Create.
+/// Convenience wrappers over BackendRegistry::Instance().Create. The
+/// BnnModel overloads lift the dense classifier through
+/// core::BnnProgram::FromClassifier.
+std::unique_ptr<InferenceBackend> MakeBackend(const std::string& name,
+                                              const core::BnnProgram& program,
+                                              const BackendSpec& spec);
+std::unique_ptr<InferenceBackend> MakeBackend(BackendKind kind,
+                                              const core::BnnProgram& program,
+                                              const BackendSpec& spec);
 std::unique_ptr<InferenceBackend> MakeBackend(const std::string& name,
                                               const core::BnnModel& model,
                                               const BackendSpec& spec);

@@ -9,13 +9,13 @@
 // (engine::InferenceBackend::health_adapter() returns null).
 //
 // The adapter deliberately depends only on core: the health layer compares
-// what a chip *reads back* against the golden compiled model, so every
+// what a chip *reads back* against the golden compiled program, so every
 // estimate is grounded in the same bit planes the serving path uses.
 #pragma once
 
 #include <cstdint>
 
-#include "core/bnn_model.h"
+#include "core/bnn_program.h"
 
 namespace rrambnn::health {
 
@@ -31,13 +31,13 @@ class BackendHealthAdapter {
   /// Estimation requires readback; drift injection and reprogramming do not.
   virtual bool SupportsReadback() const = 0;
 
-  /// The chip's deployed model exactly as its hardware reads it —
+  /// The chip's deployed program exactly as its hardware reads it —
   /// programming errors and accumulated drift included. Valid until the
   /// next state change (drift, reprogram) of the same chip. Throws
   /// std::logic_error when !SupportsReadback().
-  virtual const core::BnnModel& ChipReadback(int chip) = 0;
+  virtual const core::BnnProgram& ChipReadback(int chip) = 0;
 
-  /// Rebuilds the chip from the golden model (a full reprogram of every
+  /// Rebuilds the chip from the golden program (a full reprogram of every
   /// device). With `reseed` false the chip's original derived seed is
   /// reused, so the healed fabric is bit-identical to its generation-0
   /// self; with `reseed` true a fresh generation seed is derived (a

@@ -52,6 +52,22 @@ BerEstimate DiffBitErrors(const core::BnnModel& golden,
   return estimate;
 }
 
+BerEstimate DiffBitErrors(const core::BnnProgram& golden,
+                          const core::BnnProgram& readback) {
+  const auto g = golden.GemmStages();
+  const auto r = readback.GemmStages();
+  if (g.size() != r.size()) {
+    throw std::invalid_argument("DiffBitErrors: GEMM stage count mismatch (" +
+                                std::to_string(g.size()) + " vs " +
+                                std::to_string(r.size()) + ")");
+  }
+  BerEstimate estimate;
+  for (std::size_t l = 0; l < g.size(); ++l) {
+    DiffPlane(g[l]->weights, r[l]->weights, "stage", estimate);
+  }
+  return estimate;
+}
+
 ChipState Classify(double ewma_ber, const HealthPolicy& policy) {
   if (ewma_ber >= policy.sick_ber) return ChipState::kSick;
   if (ewma_ber >= policy.degraded_ber) return ChipState::kDegraded;

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/bnn_model.h"
+#include "core/bnn_program.h"
 
 namespace rrambnn::health {
 
@@ -71,6 +72,11 @@ struct BerEstimate {
 /// with the golden model, never structurally.
 BerEstimate DiffBitErrors(const core::BnnModel& golden,
                           const core::BnnModel& readback);
+
+/// Same diff over the GEMM-stage weight planes of two compiled programs, in
+/// stage order (pooling / reshape / sign stages store no bits).
+BerEstimate DiffBitErrors(const core::BnnProgram& golden,
+                          const core::BnnProgram& readback);
 
 /// Classification of a smoothed BER under a policy's thresholds.
 ChipState Classify(double ewma_ber, const HealthPolicy& policy);

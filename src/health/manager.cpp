@@ -14,7 +14,7 @@ std::string ToString(HealthEvent::Kind kind) {
   return "unknown";
 }
 
-HealthManager::HealthManager(const core::BnnModel& golden,
+HealthManager::HealthManager(const core::BnnProgram& golden,
                              BackendHealthAdapter& adapter,
                              HealthPolicy policy)
     : golden_(golden), adapter_(adapter), policy_(policy) {

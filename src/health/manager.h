@@ -51,7 +51,7 @@ class HealthManager {
  public:
   /// `golden` and `adapter` must outlive the manager (engine::Engine owns
   /// both and hands out a manager scoped to its deployed backend).
-  HealthManager(const core::BnnModel& golden, BackendHealthAdapter& adapter,
+  HealthManager(const core::BnnProgram& golden, BackendHealthAdapter& adapter,
                 HealthPolicy policy);
 
   /// One full estimation/healing sweep over every chip. Requires
@@ -81,7 +81,7 @@ class HealthManager {
   /// Observes a raw BER: updates EWMA, state and the event log.
   void Observe(ChipHealthScore& score, double raw, bool reset_history);
 
-  const core::BnnModel& golden_;
+  const core::BnnProgram& golden_;
   BackendHealthAdapter& adapter_;
   HealthPolicy policy_;
   std::vector<ChipHealthScore> scores_;

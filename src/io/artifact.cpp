@@ -17,7 +17,24 @@ namespace {
 constexpr char kConfigTag[] = "engine-config";
 constexpr char kNetworkTag[] = "network";
 constexpr char kCompiledTag[] = "compiled-bnn";
+constexpr char kProgramTag[] = "compiled-program";
 constexpr char kBlobTag[] = "blob-data";
+
+/// Encodes the compiled program under the tag that keeps dense artifacts
+/// byte-stable: a pure-dense program writes the legacy "compiled-bnn"
+/// BnnModel stream (identical to the pre-program writer), anything with
+/// conv/pool stages writes the "compiled-program" stage list.
+std::pair<const char*, std::vector<std::uint8_t>> BuildCompiledChunk(
+    const core::BnnProgram& program, BlobArena* arena) {
+  ByteWriter w;
+  if (arena != nullptr) w.SetBlobArena(arena);
+  if (program.IsPureDense()) {
+    SaveBnnModel(program.ToClassifier(), w);
+    return {kCompiledTag, w.TakeBytes()};
+  }
+  SaveBnnProgram(program, w);
+  return {kProgramTag, w.TakeBytes()};
+}
 
 void SaveDeviceParams(const rram::DeviceParams& d, ByteWriter& w) {
   w.WriteF64(d.lrs_log_mean);
@@ -164,7 +181,7 @@ void SaveEngineArtifact(const std::string& path,
                         const engine::EngineConfig& config,
                         const nn::Sequential& net,
                         std::size_t classifier_start,
-                        const core::BnnModel& model,
+                        const core::BnnProgram& program,
                         const ArtifactWriteOptions& options) {
   if (classifier_start > net.size()) {
     throw std::invalid_argument("SaveEngineArtifact: classifier_start " +
@@ -178,9 +195,9 @@ void SaveEngineArtifact(const std::string& path,
     ByteWriter net_writer;
     SaveSequential(net, net_writer);
     chunks.push_back({kNetworkTag, net_writer.TakeBytes()});
-    ByteWriter model_writer;
-    SaveBnnModel(model, model_writer);
-    chunks.push_back({kCompiledTag, model_writer.TakeBytes()});
+    auto [compiled_tag, compiled_bytes] =
+        BuildCompiledChunk(program, /*arena=*/nullptr);
+    chunks.push_back({compiled_tag, std::move(compiled_bytes)});
     WriteChunkFile(path, chunks);
     return;
   }
@@ -198,20 +215,28 @@ void SaveEngineArtifact(const std::string& path,
   ByteWriter net_writer;
   net_writer.SetBlobArena(&arena);
   SaveSequential(net, net_writer);
-  ByteWriter model_writer;
-  model_writer.SetBlobArena(&arena);
-  SaveBnnModel(model, model_writer);
+  auto [compiled_tag, compiled_bytes] = BuildCompiledChunk(program, &arena);
 
   std::vector<ChunkSpec> chunks;
   chunks.push_back({kConfigTag, BuildConfigChunk(config, classifier_start),
                     /*alignment=*/8, options.compress});
   chunks.push_back({kNetworkTag, net_writer.TakeBytes(), /*alignment=*/8,
                     options.compress});
-  chunks.push_back({kCompiledTag, model_writer.TakeBytes(), /*alignment=*/8,
+  chunks.push_back({compiled_tag, std::move(compiled_bytes), /*alignment=*/8,
                     options.compress});
   chunks.push_back({kBlobTag, arena.TakeBytes(), kPageAlignment,
                     options.compress});
   WriteChunkFileV2(path, chunks);
+}
+
+void SaveEngineArtifact(const std::string& path,
+                        const engine::EngineConfig& config,
+                        const nn::Sequential& net,
+                        std::size_t classifier_start,
+                        const core::BnnModel& model,
+                        const ArtifactWriteOptions& options) {
+  SaveEngineArtifact(path, config, net, classifier_start,
+                     core::BnnProgram::FromClassifier(model), options);
 }
 
 namespace {
@@ -249,11 +274,17 @@ LoadedArtifact ArtifactFromChunks(const std::vector<Chunk>& chunks,
     artifact.net = LoadSequential(r);
     r.ExpectExhausted();
   }
-  {
+  if (const std::vector<std::uint8_t>* program =
+          FindChunkOrNull(chunks, kProgramTag)) {
+    ByteReader r(*program, std::string("chunk '") + kProgramTag + "'");
+    if (blob != nullptr) r.SetBlobSource(*blob, nullptr, /*borrow=*/false);
+    artifact.program = LoadBnnProgram(r);
+    r.ExpectExhausted();
+  } else {
     ByteReader r(FindChunk(chunks, kCompiledTag, path),
                  std::string("chunk '") + kCompiledTag + "'");
     if (blob != nullptr) r.SetBlobSource(*blob, nullptr, /*borrow=*/false);
-    artifact.model = LoadBnnModel(r);
+    artifact.program = core::BnnProgram::FromClassifier(LoadBnnModel(r));
     r.ExpectExhausted();
   }
   CheckClassifierStart(artifact);
@@ -276,11 +307,17 @@ LoadedArtifact ArtifactFromMapped(MappedArtifact& mapped, bool borrow) {
     artifact.net = LoadSequential(r);
     r.ExpectExhausted();
   }
-  {
+  if (mapped.HasChunk(kProgramTag)) {
+    const MappedArtifact::ChunkView program = mapped.GetChunk(kProgramTag);
+    ByteReader r(program.bytes, std::string("chunk '") + kProgramTag + "'");
+    r.SetBlobSource(blob.bytes, blob.keepalive, borrow);
+    artifact.program = LoadBnnProgram(r);
+    r.ExpectExhausted();
+  } else {
     const MappedArtifact::ChunkView model = mapped.GetChunk(kCompiledTag);
     ByteReader r(model.bytes, std::string("chunk '") + kCompiledTag + "'");
     r.SetBlobSource(blob.bytes, blob.keepalive, borrow);
-    artifact.model = LoadBnnModel(r);
+    artifact.program = core::BnnProgram::FromClassifier(LoadBnnModel(r));
     r.ExpectExhausted();
   }
   CheckClassifierStart(artifact);
@@ -349,7 +386,7 @@ void MigrateArtifact(const std::string& src, const std::string& dst,
   load.allow_mmap = false;
   const LoadedArtifact artifact = LoadEngineArtifact(src, load);
   SaveEngineArtifact(dst, artifact.config, artifact.net,
-                     artifact.classifier_start, artifact.model, options);
+                     artifact.classifier_start, artifact.program, options);
 }
 
 std::string DescribeArtifact(const std::string& path) {
@@ -388,10 +425,64 @@ std::string DescribeArtifact(const std::string& path) {
        << (i == artifact.classifier_start ? "   <- classifier start" : "")
        << "\n";
   }
-  os << "compiled model: " << artifact.model.num_hidden()
-     << " hidden layer(s), input " << artifact.model.input_size() << ", "
-     << artifact.model.num_classes() << " classes, "
-     << artifact.model.TotalWeightBits() << " weight bits\n";
+  if (artifact.program.IsPureDense()) {
+    const core::BnnModel model = artifact.program.ToClassifier();
+    os << "compiled model: " << model.num_hidden()
+       << " hidden layer(s), input " << model.input_size() << ", "
+       << model.num_classes() << " classes, " << model.TotalWeightBits()
+       << " weight bits\n";
+    return os.str();
+  }
+  const core::BnnProgram& program = artifact.program;
+  const core::StageShape& in = program.input_shape();
+  os << "compiled program: " << program.num_stages() << " stage(s) ("
+     << program.num_gemm_stages() << " GEMM), input " << in.c << "x" << in.h
+     << "x" << in.w << ", " << program.num_classes() << " classes, "
+     << program.TotalWeightBits() << " weight bits\n";
+  for (std::size_t i = 0; i < program.stages().size(); ++i) {
+    const core::ProgramStage& stage = program.stages()[i];
+    os << "  stage [" << i << "] ";
+    switch (stage.kind) {
+      case core::StageKind::kPackedGemm: {
+        const core::PackedGemmStage& g = stage.gemm;
+        switch (g.lowering) {
+          case core::GemmLowering::kDense:
+            os << "dense " << g.weights.cols() << "->" << g.units();
+            break;
+          case core::GemmLowering::kConv:
+            os << "conv " << g.geom.in_channels << "x" << g.geom.in_h << "x"
+               << g.geom.in_w << "->" << g.units() << " " << g.geom.kernel_h
+               << "x" << g.geom.kernel_w << "/s" << g.geom.stride_h << " p"
+               << g.geom.pad_h;
+            break;
+          case core::GemmLowering::kDepthwise:
+            os << "depthwise " << g.geom.in_channels << "x" << g.geom.in_h
+               << "x" << g.geom.in_w << " " << g.geom.kernel_h << "x"
+               << g.geom.kernel_w << "/s" << g.geom.stride_h << " p"
+               << g.geom.pad_h;
+            break;
+        }
+        if (g.is_output) os << " (output)";
+        os << ", " << g.weights.words().size() * sizeof(std::uint64_t)
+           << " packed weight bytes, " << g.thresholds.size()
+           << " threshold(s)"
+           << (g.per_pixel_thresholds ? " (per-pixel)" : "");
+        break;
+      }
+      case core::StageKind::kPool:
+        os << "maxpool " << stage.pool.geom.kernel_h << "x"
+           << stage.pool.geom.kernel_w << "/s" << stage.pool.geom.stride_h;
+        break;
+      case core::StageKind::kReshape:
+        os << "flatten";
+        break;
+      case core::StageKind::kSign:
+        os << "sign";
+        break;
+    }
+    os << " -> " << stage.out_shape.c << "x" << stage.out_shape.h << "x"
+       << stage.out_shape.w << "\n";
+  }
   return os.str();
 }
 

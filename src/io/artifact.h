@@ -13,7 +13,13 @@
 //                          parameter tensors and BatchNorm running
 //                          statistics round-trip bit-exactly)
 //   chunk "compiled-bnn"   the compiled core::BnnModel (packed bit planes,
-//                          integer thresholds, output affine)
+//                          integer thresholds, output affine) — written for
+//                          pure-dense programs, byte-for-byte as before the
+//                          multi-stage compiler existed
+//   chunk "compiled-program"  the compiled core::BnnProgram stage list —
+//                          written instead of "compiled-bnn" when the
+//                          classifier has conv/pool stages (which a BnnModel
+//                          cannot express)
 //
 // A v2 container adds a fourth chunk:
 //
@@ -38,6 +44,7 @@
 #include <string>
 
 #include "core/bnn_model.h"
+#include "core/bnn_program.h"
 #include "engine/engine.h"
 #include "io/artifact_info.h"
 #include "nn/sequential.h"
@@ -51,19 +58,30 @@ namespace rrambnn::io {
 void SaveEngineArtifact(const std::string& path,
                         const engine::EngineConfig& config,
                         const nn::Sequential& net, std::size_t classifier_start,
+                        const core::BnnProgram& program,
+                        const ArtifactWriteOptions& options = {});
+
+/// Dense-classifier convenience: lifts `model` through
+/// core::BnnProgram::FromClassifier. Produces the same bytes the pre-program
+/// writer did.
+void SaveEngineArtifact(const std::string& path,
+                        const engine::EngineConfig& config,
+                        const nn::Sequential& net, std::size_t classifier_start,
                         const core::BnnModel& model,
                         const ArtifactWriteOptions& options = {});
 
 /// Everything SaveEngineArtifact wrote, reconstructed, plus where its bytes
-/// live now (info). When info.mode is kMapped, the model's bit planes and
+/// live now (info). When info.mode is kMapped, the program's bit planes and
 /// tensors are zero-copy views pinned to the file mapping; copying them
 /// (backends do, by value) shares the mapping, and any mutation
-/// materializes a private copy automatically.
+/// materializes a private copy automatically. Artifacts carrying only the
+/// legacy "compiled-bnn" chunk arrive lifted through
+/// core::BnnProgram::FromClassifier.
 struct LoadedArtifact {
   engine::EngineConfig config;
   nn::Sequential net;
   std::size_t classifier_start = 0;
-  core::BnnModel model;
+  core::BnnProgram program;
   ArtifactLoadInfo info;
 };
 

@@ -135,6 +135,10 @@ LayerSerde DepthwiseConv2dSerde() {
         w.WriteU8(c.options().use_bias ? 1 : 0);
         SaveTensor(c.weight().value, w);
         if (c.options().use_bias) SaveTensor(c.bias().value, w);
+        // Appended after the original payload so artifacts written before
+        // the flag existed (no trailing byte) still load; see the tolerant
+        // read below.
+        w.WriteU8(c.options().binary ? 1 : 0);
       },
       [](ByteReader& r) -> nn::LayerPtr {
         const std::int64_t channels = r.ReadI64();
@@ -154,6 +158,9 @@ LayerSerde DepthwiseConv2dSerde() {
         if (opt.use_bias) {
           LoadParamInto(layer->bias(), r, "DepthwiseConv2d bias");
         }
+        // The binary flag trails the tensors; payloads written before it
+        // existed simply end here (the flag then defaults to float mode).
+        if (r.remaining() > 0 && r.ReadU8() != 0) layer->SetBinary(true);
         return layer;
       }};
 }

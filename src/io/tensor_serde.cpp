@@ -271,4 +271,140 @@ core::BnnModel LoadBnnModel(ByteReader& r) {
   return model;
 }
 
+namespace {
+
+void SaveStageGeometry(const core::StageGeometry& g, ByteWriter& w) {
+  w.WriteI64(g.in_channels);
+  w.WriteI64(g.in_h);
+  w.WriteI64(g.in_w);
+  w.WriteI64(g.kernel_h);
+  w.WriteI64(g.kernel_w);
+  w.WriteI64(g.stride_h);
+  w.WriteI64(g.stride_w);
+  w.WriteI64(g.pad_h);
+  w.WriteI64(g.pad_w);
+}
+
+core::StageGeometry LoadStageGeometry(ByteReader& r) {
+  core::StageGeometry g;
+  g.in_channels = r.ReadI64();
+  g.in_h = r.ReadI64();
+  g.in_w = r.ReadI64();
+  g.kernel_h = r.ReadI64();
+  g.kernel_w = r.ReadI64();
+  g.stride_h = r.ReadI64();
+  g.stride_w = r.ReadI64();
+  g.pad_h = r.ReadI64();
+  g.pad_w = r.ReadI64();
+  return g;
+}
+
+void SaveStageShape(const core::StageShape& s, ByteWriter& w) {
+  w.WriteI64(s.c);
+  w.WriteI64(s.h);
+  w.WriteI64(s.w);
+}
+
+core::StageShape LoadStageShape(ByteReader& r) {
+  core::StageShape s;
+  s.c = r.ReadI64();
+  s.h = r.ReadI64();
+  s.w = r.ReadI64();
+  return s;
+}
+
+}  // namespace
+
+void SaveBnnProgram(const core::BnnProgram& program, ByteWriter& w) {
+  SaveStageShape(program.input_shape(), w);
+  w.WriteU64(program.num_stages());
+  for (const core::ProgramStage& stage : program.stages()) {
+    w.WriteU8(static_cast<std::uint8_t>(stage.kind));
+    switch (stage.kind) {
+      case core::StageKind::kPackedGemm: {
+        const core::PackedGemmStage& g = stage.gemm;
+        w.WriteU8(static_cast<std::uint8_t>(g.lowering));
+        w.WriteU8(g.is_output ? 1 : 0);
+        w.WriteU8(g.per_pixel_thresholds ? 1 : 0);
+        SaveStageGeometry(g.geom, w);
+        SaveBitMatrix(g.weights, w);
+        w.WriteU64(g.thresholds.size());
+        for (const std::int32_t t : g.thresholds) w.WriteI32(t);
+        w.WriteU64(g.scale.size());
+        for (const float s : g.scale) w.WriteF32(s);
+        w.WriteU64(g.offset.size());
+        for (const float o : g.offset) w.WriteF32(o);
+        break;
+      }
+      case core::StageKind::kPool:
+        SaveStageGeometry(stage.pool.geom, w);
+        break;
+      case core::StageKind::kReshape:
+      case core::StageKind::kSign:
+        break;  // pure shape/identity markers: no payload
+    }
+    SaveStageShape(stage.out_shape, w);
+  }
+}
+
+core::BnnProgram LoadBnnProgram(ByteReader& r) {
+  core::BnnProgram program;
+  program.SetInputShape(LoadStageShape(r));
+  const std::uint64_t num_stages = r.ReadU64();
+  for (std::uint64_t i = 0; i < num_stages; ++i) {
+    core::ProgramStage stage;
+    const std::uint8_t kind = r.ReadU8();
+    if (kind > static_cast<std::uint8_t>(core::StageKind::kSign)) {
+      throw std::runtime_error("artifact corrupt: unknown program stage kind " +
+                               std::to_string(kind));
+    }
+    stage.kind = static_cast<core::StageKind>(kind);
+    switch (stage.kind) {
+      case core::StageKind::kPackedGemm: {
+        core::PackedGemmStage& g = stage.gemm;
+        const std::uint8_t lowering = r.ReadU8();
+        if (lowering >
+            static_cast<std::uint8_t>(core::GemmLowering::kDepthwise)) {
+          throw std::runtime_error(
+              "artifact corrupt: unknown GEMM stage lowering " +
+              std::to_string(lowering));
+        }
+        g.lowering = static_cast<core::GemmLowering>(lowering);
+        g.is_output = r.ReadU8() != 0;
+        g.per_pixel_thresholds = r.ReadU8() != 0;
+        g.geom = LoadStageGeometry(r);
+        g.weights = LoadBitMatrix(r);
+        const std::uint64_t num_thresholds = r.ReadU64();
+        CheckCountFitsPayload(r, num_thresholds, sizeof(std::int32_t),
+                              "stage threshold");
+        g.thresholds.resize(static_cast<std::size_t>(num_thresholds));
+        for (auto& t : g.thresholds) t = r.ReadI32();
+        const std::uint64_t num_scale = r.ReadU64();
+        CheckCountFitsPayload(r, num_scale, sizeof(float), "stage scale");
+        g.scale.resize(static_cast<std::size_t>(num_scale));
+        for (auto& s : g.scale) s = r.ReadF32();
+        const std::uint64_t num_offset = r.ReadU64();
+        CheckCountFitsPayload(r, num_offset, sizeof(float), "stage offset");
+        g.offset.resize(static_cast<std::size_t>(num_offset));
+        for (auto& o : g.offset) o = r.ReadF32();
+        break;
+      }
+      case core::StageKind::kPool:
+        stage.pool.geom = LoadStageGeometry(r);
+        break;
+      case core::StageKind::kReshape:
+      case core::StageKind::kSign:
+        break;
+    }
+    stage.out_shape = LoadStageShape(r);
+    program.AddStage(std::move(stage));
+  }
+  try {
+    program.Validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("artifact corrupt: ") + e.what());
+  }
+  return program;
+}
+
 }  // namespace rrambnn::io

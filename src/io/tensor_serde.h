@@ -6,6 +6,7 @@
 #pragma once
 
 #include "core/bnn_model.h"
+#include "core/bnn_program.h"
 #include "io/serde.h"
 #include "tensor/tensor.h"
 
@@ -22,5 +23,14 @@ core::BitMatrix LoadBitMatrix(ByteReader& r);
 /// result (layer chaining, threshold ranges) before returning it.
 void SaveBnnModel(const core::BnnModel& model, ByteWriter& w);
 core::BnnModel LoadBnnModel(ByteReader& r);
+
+/// The compiled multi-stage program: input shape plus the ordered stage
+/// list (per-stage kind/lowering flags, spatial geometry, packed weight
+/// planes, thresholds and the output affine). Stage weights route through
+/// the blob arena like every other bit plane, so a v2 program artifact
+/// stays mmap-consumable. LoadBnnProgram validates the result (stage
+/// chaining, geometry, threshold ranges) before returning it.
+void SaveBnnProgram(const core::BnnProgram& program, ByteWriter& w);
+core::BnnProgram LoadBnnProgram(ByteReader& r);
 
 }  // namespace rrambnn::io

@@ -34,11 +34,97 @@ std::int64_t Scaled(std::int64_t channels, double multiplier) {
   return std::max<std::int64_t>(
       8, static_cast<std::int64_t>(channels * multiplier));
 }
+
+std::int64_t ConvOut(std::int64_t size, std::int64_t kernel, std::int64_t pad,
+                     std::int64_t stride) {
+  return (size + 2 * pad - kernel) / stride + 1;
+}
+
+/// Fully binarized backbone (binary_convs): everything after the float stem
+/// lowers to a packed multi-stage BnnProgram.
+BuiltMobileNet BuildBinaryConvMobileNet(const MobileNetConfig& config,
+                                        Rng& rng) {
+  BuiltMobileNet built;
+  nn::Sequential& net = built.net;
+
+  const std::int64_t stem = Scaled(config.stem_channels,
+                                   config.width_multiplier);
+  net.Emplace<nn::Conv2d>(
+      config.input_channels, stem, std::int64_t{3}, std::int64_t{3}, rng,
+      nn::Conv2dOptions{.stride_h = config.stem_stride,
+                        .stride_w = config.stem_stride,
+                        .pad_h = 1,
+                        .pad_w = 1,
+                        .use_bias = false});
+  net.Emplace<nn::BatchNorm>(stem);
+  net.Emplace<nn::Relu>();
+  // Re-centers the post-ReLU (non-negative) stem features so the backbone's
+  // first sign binarization carries information; stays with the float
+  // prefix (same rationale as the binary_classifier head's extra BN).
+  net.Emplace<nn::BatchNorm>(stem);
+
+  built.classifier_start = net.size();
+  net.Emplace<nn::SignSte>();
+
+  std::int64_t size = ConvOut(config.input_size, 3, 1, config.stem_stride);
+  std::int64_t in_ch = stem;
+  for (const MobileNetBlock& block : config.blocks) {
+    const std::int64_t out_ch =
+        Scaled(block.out_channels, config.width_multiplier);
+    net.Emplace<nn::DepthwiseConv2d>(
+        in_ch, std::int64_t{3}, std::int64_t{3}, rng,
+        nn::DepthwiseConv2dOptions{.stride_h = block.stride,
+                                   .stride_w = block.stride,
+                                   .pad_h = 1,
+                                   .pad_w = 1,
+                                   .binary = true,
+                                   .use_bias = false});
+    net.Emplace<nn::BatchNorm>(in_ch);
+    net.Emplace<nn::SignSte>();
+    net.Emplace<nn::Conv2d>(
+        in_ch, out_ch, std::int64_t{1}, std::int64_t{1}, rng,
+        nn::Conv2dOptions{.binary = true, .use_bias = false});
+    net.Emplace<nn::BatchNorm>(out_ch);
+    net.Emplace<nn::SignSte>();
+    size = ConvOut(size, 3, 1, block.stride);
+    in_ch = out_ch;
+  }
+
+  // GlobalAvgPool has no packed lowering (averaging ±1 is not a popcount
+  // threshold); a 2x2 max-pool — OR over the window — is, and keeps the
+  // flattened feature count small.
+  if (size < 2) {
+    throw std::invalid_argument(
+        "BuildMobileNetV1: binary_convs needs >= 2x2 spatial output before "
+        "the final max-pool");
+  }
+  net.Emplace<nn::Pool2d>(nn::PoolKind::kMax, std::int64_t{2},
+                          std::int64_t{2});
+  size /= 2;
+  net.Emplace<nn::Flatten>();
+
+  const std::int64_t features = in_ch * size * size;
+  net.Emplace<nn::Dense>(features, config.binary_hidden, rng,
+                         nn::DenseOptions{.binary = true});
+  net.Emplace<nn::BatchNorm>(config.binary_hidden);
+  net.Emplace<nn::SignSte>();
+  net.Emplace<nn::Dense>(config.binary_hidden, config.num_classes, rng,
+                         nn::DenseOptions{.binary = true});
+  net.Emplace<nn::BatchNorm>(config.num_classes);
+  return built;
+}
 }  // namespace
 
 BuiltMobileNet BuildMobileNetV1(const MobileNetConfig& config, Rng& rng) {
   if (config.blocks.empty()) {
     throw std::invalid_argument("BuildMobileNetV1: empty block list");
+  }
+  if (config.binary_convs) {
+    if (!config.binary_classifier) {
+      throw std::invalid_argument(
+          "BuildMobileNetV1: binary_convs requires binary_classifier");
+    }
+    return BuildBinaryConvMobileNet(config, rng);
   }
   BuiltMobileNet built;
   nn::Sequential& net = built.net;

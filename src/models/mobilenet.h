@@ -42,6 +42,14 @@ struct MobileNetConfig {
   /// binarized classifier with `binary_hidden` units.
   bool binary_classifier = false;
   std::int64_t binary_hidden = 2816;
+  /// When true (requires binary_classifier), binarizes the
+  /// depthwise-separable blocks too and moves them into the compiled
+  /// classifier: the net becomes float stem | Sign, binary DW+PW blocks
+  /// with BatchNorm+Sign between GEMMs, MaxPool 2x2, Flatten, the two-layer
+  /// binary classifier. Every stage after the stem lowers into a packed
+  /// core::BnnProgram (GlobalAvgPool is not lowerable, hence the max-pool
+  /// swap), so the whole backbone serves from RRAM.
+  bool binary_convs = false;
 
   static MobileNetConfig PaperScale();
   /// CPU-trainable: 32x32 inputs, width 0.25, shallow block list.

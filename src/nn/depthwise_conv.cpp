@@ -18,6 +18,7 @@ DepthwiseConv2d::DepthwiseConv2d(std::int64_t channels, std::int64_t kernel_h,
         "DepthwiseConv2d: non-positive constructor argument");
   }
   weight_.value = Tensor({channels_, kernel_h_ * kernel_w_});
+  weight_.latent_binary = options_.binary;
   if (!options_.skip_init) {
     weight_.grad = Tensor({channels_, kernel_h_ * kernel_w_});
     GlorotUniform(weight_.value, kernel_h_ * kernel_w_, kernel_h_ * kernel_w_,
@@ -49,6 +50,13 @@ ConvGeometry DepthwiseConv2d::GeometryFor(const Shape& sample_shape) const {
   return g;
 }
 
+Tensor DepthwiseConv2d::EffectiveWeight() const {
+  if (!options_.binary) return weight_.value;
+  Tensor w = weight_.value;
+  for (std::int64_t i = 0; i < w.size(); ++i) w[i] = SignBin(w[i]);
+  return w;
+}
+
 Tensor DepthwiseConv2d::Forward(const Tensor& x, bool /*training*/) {
   if (x.rank() != 4) {
     throw std::invalid_argument(
@@ -59,11 +67,12 @@ Tensor DepthwiseConv2d::Forward(const Tensor& x, bool /*training*/) {
   const std::int64_t n = x.dim(0);
   const std::int64_t oh = geom_.OutH(), ow = geom_.OutW();
   Tensor y({n, channels_, oh, ow});
+  const Tensor w_eff = EffectiveWeight();
   for (std::int64_t s = 0; s < n; ++s) {
     for (std::int64_t c = 0; c < channels_; ++c) {
       const float* plane =
           x.data() + (s * channels_ + c) * geom_.in_h * geom_.in_w;
-      const float* ker = weight_.value.data() + c * kernel_h_ * kernel_w_;
+      const float* ker = w_eff.data() + c * kernel_h_ * kernel_w_;
       float* out = y.data() + (s * channels_ + c) * oh * ow;
       const float b = options_.use_bias ? bias_.value[c] : 0.0f;
       for (std::int64_t oy = 0; oy < oh; ++oy) {
@@ -95,11 +104,12 @@ Tensor DepthwiseConv2d::Infer(const Tensor& x) const {
   const std::int64_t n = x.dim(0);
   const std::int64_t oh = geom.OutH(), ow = geom.OutW();
   Tensor y({n, channels_, oh, ow});
+  const Tensor w_eff = EffectiveWeight();
   for (std::int64_t s = 0; s < n; ++s) {
     for (std::int64_t c = 0; c < channels_; ++c) {
       const float* plane =
           x.data() + (s * channels_ + c) * geom.in_h * geom.in_w;
-      const float* ker = weight_.value.data() + c * kernel_h_ * kernel_w_;
+      const float* ker = w_eff.data() + c * kernel_h_ * kernel_w_;
       float* out = y.data() + (s * channels_ + c) * oh * ow;
       const float b = options_.use_bias ? bias_.value[c] : 0.0f;
       for (std::int64_t oy = 0; oy < oh; ++oy) {
@@ -132,12 +142,15 @@ Tensor DepthwiseConv2d::Backward(const Tensor& grad_out) {
         "DepthwiseConv2d::Backward: gradient shape mismatch");
   }
   Tensor grad_in({n, channels_, geom_.in_h, geom_.in_w});
+  // Straight-through estimator in binary mode: dX flows through the
+  // effective (sign) weights, dW accumulates on the latent floats.
+  const Tensor w_eff = EffectiveWeight();
   for (std::int64_t s = 0; s < n; ++s) {
     for (std::int64_t c = 0; c < channels_; ++c) {
       const float* plane =
           cached_input_.data() + (s * channels_ + c) * geom_.in_h * geom_.in_w;
       const float* gy = grad_out.data() + (s * channels_ + c) * oh * ow;
-      const float* ker = weight_.value.data() + c * kernel_h_ * kernel_w_;
+      const float* ker = w_eff.data() + c * kernel_h_ * kernel_w_;
       float* gker = weight_.grad.data() + c * kernel_h_ * kernel_w_;
       float* gx = grad_in.data() + (s * channels_ + c) * geom_.in_h * geom_.in_w;
       float gb = 0.0f;
@@ -174,10 +187,16 @@ Shape DepthwiseConv2d::OutputShape(const Shape& in) const {
 }
 
 std::string DepthwiseConv2d::Describe() const {
-  return "DepthwiseConv2d " + std::to_string(channels_) + " k=" +
-         std::to_string(kernel_h_) + "x" + std::to_string(kernel_w_) +
-         " s=" + std::to_string(options_.stride_h) + "x" +
-         std::to_string(options_.stride_w);
+  std::string out = Name() + " " + std::to_string(channels_) + " k=" +
+                    std::to_string(kernel_h_) + "x" +
+                    std::to_string(kernel_w_) + " s=" +
+                    std::to_string(options_.stride_h) + "x" +
+                    std::to_string(options_.stride_w);
+  if (options_.pad_h != 0 || options_.pad_w != 0) {
+    out += " p=" + std::to_string(options_.pad_h) + "x" +
+           std::to_string(options_.pad_w);
+  }
+  return out;
 }
 
 }  // namespace rrambnn::nn

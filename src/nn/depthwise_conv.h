@@ -15,6 +15,7 @@ struct DepthwiseConv2dOptions {
   std::int64_t stride_w = 1;
   std::int64_t pad_h = 0;
   std::int64_t pad_w = 0;
+  bool binary = false;
   bool use_bias = true;
   /// Deserialization fast path: no random init, no grad allocations (see
   /// DenseOptions::skip_init — loaded layers are never trained).
@@ -31,7 +32,9 @@ class DepthwiseConv2d : public Layer {
   Tensor Infer(const Tensor& x) const override;
   Tensor Backward(const Tensor& grad_out) override;
   std::vector<Param*> Params() override;
-  std::string Name() const override { return "DepthwiseConv2d"; }
+  std::string Name() const override {
+    return options_.binary ? "BinaryDepthwiseConv2d" : "DepthwiseConv2d";
+  }
   Shape OutputShape(const Shape& in) const override;
   std::string Describe() const override;
 
@@ -39,6 +42,17 @@ class DepthwiseConv2d : public Layer {
   std::int64_t kernel_h() const { return kernel_h_; }
   std::int64_t kernel_w() const { return kernel_w_; }
   const DepthwiseConv2dOptions& options() const { return options_; }
+  bool binary() const { return options_.binary; }
+  /// Deserialization hook: the binary flag trails the serialized payload
+  /// (backward compatibility with artifacts written before it existed), so
+  /// the loader learns it only after construction.
+  void SetBinary(bool binary) {
+    options_.binary = binary;
+    weight_.latent_binary = binary;
+  }
+
+  /// sign(W) in binary mode, W otherwise.
+  Tensor EffectiveWeight() const;
 
   /// Weights stored [channels, kernel_h * kernel_w].
   const Param& weight() const { return weight_; }

@@ -5,9 +5,16 @@
 
 #include "data/ecg_synth.h"
 #include "data/eeg_synth.h"
+#include "data/image_synth.h"
 #include "data/preprocess.h"
 #include "models/ecg_model.h"
 #include "models/eeg_model.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/depthwise_conv.h"
+#include "nn/pool.h"
 
 namespace rrambnn::serve {
 
@@ -41,8 +48,56 @@ DemoTask MakeDemoTask(const std::string& name) {
       auto built = models::BuildEegNet(mc, mrng);
       return engine::ModelSpec{std::move(built.net), built.classifier_start};
     };
+  } else if (name == "image") {
+    // Tiny synthetic image classification: exercises the multi-stage conv
+    // compile path (binary conv, depthwise conv, max-pool) end-to-end while
+    // staying small enough for CI smoke runs.
+    data::ImageSynthConfig dc;
+    dc.size = 12;
+    dc.channels = 2;
+    dc.num_classes = 4;
+    data = data::MakeImageDataset(dc, 260, rng);
+    factory = [](const engine::EngineConfig&, Rng& mrng) {
+      nn::Sequential net;
+      // Float stem: standard conv keeps full-precision features at the
+      // input, as in the paper's first-layer convention.
+      net.Emplace<nn::Conv2d>(std::int64_t{2}, std::int64_t{8},
+                              std::int64_t{3}, std::int64_t{3}, mrng,
+                              nn::Conv2dOptions{.pad_h = 1, .pad_w = 1});
+      net.Emplace<nn::BatchNorm>(std::int64_t{8});
+      net.Emplace<nn::Relu>();
+      // Re-centers the post-ReLU (non-negative) stem features so the first
+      // sign binarization carries information.
+      net.Emplace<nn::BatchNorm>(std::int64_t{8});
+      const std::size_t classifier_start = net.size();
+      net.Emplace<nn::SignSte>();
+      net.Emplace<nn::Conv2d>(
+          std::int64_t{8}, std::int64_t{16}, std::int64_t{3}, std::int64_t{3},
+          mrng,
+          nn::Conv2dOptions{
+              .pad_h = 1, .pad_w = 1, .binary = true, .use_bias = false});
+      net.Emplace<nn::BatchNorm>(std::int64_t{16});
+      net.Emplace<nn::SignSte>();
+      net.Emplace<nn::Pool2d>(nn::PoolKind::kMax, std::int64_t{2},
+                              std::int64_t{2});
+      net.Emplace<nn::DepthwiseConv2d>(
+          std::int64_t{16}, std::int64_t{3}, std::int64_t{3}, mrng,
+          nn::DepthwiseConv2dOptions{
+              .pad_h = 1, .pad_w = 1, .binary = true, .use_bias = false});
+      net.Emplace<nn::BatchNorm>(std::int64_t{16});
+      net.Emplace<nn::SignSte>();
+      net.Emplace<nn::Flatten>();
+      net.Emplace<nn::Dense>(std::int64_t{16 * 6 * 6}, std::int64_t{128},
+                             mrng, nn::DenseOptions{.binary = true});
+      net.Emplace<nn::BatchNorm>(std::int64_t{128});
+      net.Emplace<nn::SignSte>();
+      net.Emplace<nn::Dense>(std::int64_t{128}, std::int64_t{4}, mrng,
+                             nn::DenseOptions{.binary = true});
+      net.Emplace<nn::BatchNorm>(std::int64_t{4});
+      return engine::ModelSpec{std::move(net), classifier_start};
+    };
   } else {
-    throw std::invalid_argument("unknown task '" + name + "' (ecg|eeg)");
+    throw std::invalid_argument("unknown task '" + name + "' (ecg|eeg|image)");
   }
   std::vector<std::int64_t> tr, va;
   for (std::int64_t i = 0; i < 200; ++i) tr.push_back(i);

@@ -26,9 +26,11 @@ struct DemoTask {
   engine::ModelFactory factory;
 };
 
-/// Builds the task `name` ("ecg" | "eeg"); seeds are fixed so every process
-/// regenerates identical data. Throws std::invalid_argument for unknown
-/// names.
+/// Builds the task `name` ("ecg" | "eeg" | "image"); seeds are fixed so
+/// every process regenerates identical data. "image" trains a small
+/// conv/depthwise/pool classifier that compiles to a multi-stage
+/// core::BnnProgram — the conv serving smoke path. Throws
+/// std::invalid_argument for unknown names.
 DemoTask MakeDemoTask(const std::string& name);
 
 /// The device corner the demo artifacts are saved under: real programming

@@ -194,7 +194,7 @@ TEST(MappedBnn, BatchedSnapshotExactUnderProgrammingErrors) {
   const auto& snapshot = batch_fabric.ReadbackSnapshot();
   for (std::int64_t r = 0; r < hidden; ++r) {
     for (std::int64_t c = 0; c < in; ++c) {
-      if (snapshot.hidden()[0].weights.Get(r, c) !=
+      if (snapshot.stages()[0].gemm.weights.Get(r, c) !=
           model.hidden()[0].weights.Get(r, c)) {
         ++errors;
       }

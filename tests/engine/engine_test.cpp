@@ -100,8 +100,8 @@ TEST(BackendRegistry, UnknownNameThrowsWithRegisteredList) {
 TEST(BackendRegistry, CustomBackendSelectableByName) {
   BackendRegistry::Instance().Register(
       "custom-reference",
-      [](const core::BnnModel& model, const BackendSpec& /*spec*/) {
-        return std::make_unique<ReferenceBackend>(model);
+      [](const core::BnnProgram& program, const BackendSpec& /*spec*/) {
+        return std::make_unique<ReferenceBackend>(program);
       });
   Engine eng = MakeTrainedEngine();
   InferenceBackend& backend = eng.Deploy("custom-reference");

@@ -44,20 +44,22 @@ core::BnnModel MakeModel(std::int64_t in, std::int64_t hidden,
   return model;
 }
 
-/// In-memory chip fleet: each chip is a BnnModel copy of the golden one;
-/// drift is software weight-fault injection, reprogramming restores the
+/// In-memory chip fleet: each chip is a compiled-program copy of the golden
+/// one; drift is software weight-fault injection, reprogramming restores the
 /// golden copy. Lets every manager decision be tested without hardware.
 class FakeAdapter : public BackendHealthAdapter {
  public:
   FakeAdapter(const core::BnnModel& golden, int chips)
-      : golden_(golden),
-        chips_(static_cast<std::size_t>(chips), golden),
+      : golden_(core::BnnProgram::FromClassifier(golden)),
+        chips_(static_cast<std::size_t>(chips), golden_),
         serving_(static_cast<std::size_t>(chips), true),
         generations_(static_cast<std::size_t>(chips), 0) {}
 
+  const core::BnnProgram& golden() const { return golden_; }
+
   int num_chips() const override { return static_cast<int>(chips_.size()); }
   bool SupportsReadback() const override { return readback_; }
-  const core::BnnModel& ChipReadback(int chip) override {
+  const core::BnnProgram& ChipReadback(int chip) override {
     return chips_[static_cast<std::size_t>(chip)];
   }
   void ReprogramChip(int chip, bool reseed) override {
@@ -86,8 +88,8 @@ class FakeAdapter : public BackendHealthAdapter {
   }
 
  private:
-  core::BnnModel golden_;
-  std::vector<core::BnnModel> chips_;
+  core::BnnProgram golden_;
+  std::vector<core::BnnProgram> chips_;
   std::vector<bool> serving_;
   std::vector<std::uint64_t> generations_;
   bool readback_ = true;
@@ -134,15 +136,15 @@ TEST(HealthManager, PolicyValidation) {
   FakeAdapter adapter(golden, 1);
   HealthPolicy bad_alpha;
   bad_alpha.ewma_alpha = 0.0;
-  EXPECT_THROW(HealthManager(golden, adapter, bad_alpha),
+  EXPECT_THROW(HealthManager(adapter.golden(), adapter, bad_alpha),
                std::invalid_argument);
   bad_alpha.ewma_alpha = 1.5;
-  EXPECT_THROW(HealthManager(golden, adapter, bad_alpha),
+  EXPECT_THROW(HealthManager(adapter.golden(), adapter, bad_alpha),
                std::invalid_argument);
   HealthPolicy crossed;
   crossed.degraded_ber = 0.1;
   crossed.sick_ber = 0.01;
-  EXPECT_THROW(HealthManager(golden, adapter, crossed),
+  EXPECT_THROW(HealthManager(adapter.golden(), adapter, crossed),
                std::invalid_argument);
 }
 
@@ -150,7 +152,7 @@ TEST(HealthManager, CheckNowRequiresReadback) {
   const core::BnnModel golden = MakeModel(32, 16, 2, 5);
   FakeAdapter adapter(golden, 1);
   adapter.set_readback(false);
-  HealthManager manager(golden, adapter, HealthPolicy{});
+  HealthManager manager(adapter.golden(), adapter, HealthPolicy{});
   EXPECT_THROW(manager.CheckNow(), std::logic_error);
 }
 
@@ -160,7 +162,7 @@ TEST(HealthManager, EwmaSeedsOnFirstCheckThenSmooths) {
   HealthPolicy policy;
   policy.auto_heal = false;
   policy.route_around_sick = false;
-  HealthManager manager(golden, adapter, policy);
+  HealthManager manager(adapter.golden(), adapter, policy);
 
   adapter.InjectChipDrift(0, 0.05, 11);
   const ChipHealthScore first = manager.CheckNow()[0];
@@ -184,7 +186,7 @@ TEST(HealthManager, StateTransitionsAreRecorded) {
   HealthPolicy policy;
   policy.auto_heal = false;
   policy.route_around_sick = false;
-  HealthManager manager(golden, adapter, policy);
+  HealthManager manager(adapter.golden(), adapter, policy);
 
   EXPECT_EQ(manager.CheckNow()[0].state, ChipState::kHealthy);
   adapter.InjectChipDrift(0, 0.2, 21);
@@ -200,7 +202,7 @@ TEST(HealthManager, StateTransitionsAreRecorded) {
 TEST(HealthManager, AutoHealReprogramsVerifiesAndResetsHistory) {
   const core::BnnModel golden = MakeModel(128, 64, 2, 8);
   FakeAdapter adapter(golden, 1);
-  HealthManager manager(golden, adapter, HealthPolicy{});
+  HealthManager manager(adapter.golden(), adapter, HealthPolicy{});
 
   adapter.InjectChipDrift(0, 0.05, 31);
   const ChipHealthScore score = manager.CheckNow()[0];
@@ -230,7 +232,7 @@ TEST(HealthManager, ReseedingHealAdvancesGeneration) {
   FakeAdapter adapter(golden, 1);
   HealthPolicy policy;
   policy.reprogram_reseed = true;
-  HealthManager manager(golden, adapter, policy);
+  HealthManager manager(adapter.golden(), adapter, policy);
   adapter.InjectChipDrift(0, 0.05, 41);
   EXPECT_EQ(manager.CheckNow()[0].generation, 1u);
 }
@@ -241,7 +243,7 @@ TEST(HealthManager, RoutesAroundSickAndRestoresAfterRecovery) {
   HealthPolicy policy;
   policy.auto_heal = false;  // observe the route-around path in isolation
   policy.ewma_alpha = 1.0;   // no smoothing: state tracks the latest raw
-  HealthManager manager(golden, adapter, policy);
+  HealthManager manager(adapter.golden(), adapter, policy);
 
   adapter.InjectChipDrift(0, 0.2, 51);
   manager.CheckNow();
@@ -269,7 +271,7 @@ TEST(HealthManager, NeverRoutesOffTheLastServingChip) {
   FakeAdapter adapter(golden, 2);
   HealthPolicy policy;
   policy.auto_heal = false;
-  HealthManager manager(golden, adapter, policy);
+  HealthManager manager(adapter.golden(), adapter, policy);
 
   // Both chips go sick: the first is routed off, the second must keep
   // serving — a fleet with zero serving chips answers nothing.
@@ -344,7 +346,9 @@ TEST(AgingScenario, StepInjectsDriftIntoEveryChip) {
   AgingSimulator aging(adapter, scenario);
   aging.Step();
   for (int chip = 0; chip < 2; ++chip) {
-    EXPECT_GT(DiffBitErrors(golden, adapter.ChipReadback(chip)).error_bits, 0)
+    EXPECT_GT(
+        DiffBitErrors(adapter.golden(), adapter.ChipReadback(chip)).error_bits,
+        0)
         << "chip " << chip;
   }
 }

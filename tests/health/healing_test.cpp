@@ -69,7 +69,7 @@ TEST(ShardedHealing, ReprogramRestoresTheChipBitIdentically) {
 
   // Snapshot every chip's generation-0 readback (copies: the references
   // are invalidated by device-state changes).
-  std::vector<core::BnnModel> gen0;
+  std::vector<core::BnnProgram> gen0;
   for (int chip = 0; chip < 4; ++chip) {
     gen0.push_back(backend.ChipReadback(chip));
   }
@@ -100,7 +100,7 @@ TEST(ShardedHealing, ReprogramRestoresTheChipBitIdentically) {
 TEST(ShardedHealing, ReseededReprogramIsAPhysicallyNewFabric) {
   const core::BnnModel model = MakeRandomModel(96, 64, 2, 21);
   engine::ShardedRramBackend backend(model, AgedDeterministicCorner(), 2);
-  const core::BnnModel gen0 = backend.ChipReadback(0);
+  const core::BnnProgram gen0 = backend.ChipReadback(0);
 
   backend.ReprogramChip(0, /*reseed=*/true);
   EXPECT_EQ(backend.chip_generation(0), 1u);
@@ -111,7 +111,7 @@ TEST(ShardedHealing, ReseededReprogramIsAPhysicallyNewFabric) {
 
   // Reprogramming the reseeded chip without a new reseed reproduces
   // generation 1, not generation 0.
-  const core::BnnModel gen1 = backend.ChipReadback(0);
+  const core::BnnProgram gen1 = backend.ChipReadback(0);
   backend.ReprogramChip(0, /*reseed=*/false);
   EXPECT_EQ(backend.chip_generation(0), 1u);
   EXPECT_EQ(health::DiffBitErrors(gen1, backend.ChipReadback(0)).error_bits,

@@ -48,8 +48,8 @@ std::atomic<int> g_max_in_flight{0};
 /// (distinct Handle() callers), not the engine's own row sharding.
 class InstrumentedBackend : public engine::InferenceBackend {
  public:
-  explicit InstrumentedBackend(core::BnnModel model)
-      : inner_(std::move(model)) {}
+  explicit InstrumentedBackend(core::BnnProgram program)
+      : inner_(std::move(program)) {}
 
   std::string name() const override { return "instrumented"; }
   std::int64_t input_size() const override { return inner_.input_size(); }
@@ -82,8 +82,8 @@ void RegisterInstrumentedBackend() {
   static const bool once = [] {
     engine::BackendRegistry::Instance().Register(
         "instrumented",
-        [](const core::BnnModel& model, const engine::BackendSpec&) {
-          return std::make_unique<InstrumentedBackend>(model);
+        [](const core::BnnProgram& program, const engine::BackendSpec&) {
+          return std::make_unique<InstrumentedBackend>(program);
         });
     return true;
   }();

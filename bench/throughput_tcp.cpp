@@ -31,6 +31,13 @@
 // multi-loop rows/sec over the single-loop baseline at the same client
 // count, maximized over counts >= 32 (1.0 = no win; on a single-core host
 // expect noise around 1.0 — the loops time-slice instead of running).
+//
+// A final per-backend `admission` arm reruns the largest client count on
+// one event loop with the queue-depth cap on (--max-queued-frames
+// semantics, cap 16): clients retry Overloaded responses with a short
+// backoff, and the JSON records accepted/shed counts plus the p50/p99 of
+// the *accepted* requests — overload now degrades into sheds with bounded
+// accepted-latency instead of unbounded queueing.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -72,6 +79,22 @@ struct RunResult {
   double p50_us = 0.0;
   double p99_us = 0.0;
   double mean_us = 0.0;
+};
+
+// One admission-control cell: the largest client count on one loop with the
+// per-loop queue cap engaged. Latencies cover accepted requests only; sheds
+// (Overloaded answers, retried by the client after a short backoff) are
+// counted, not timed — the point is that the accepted path stays fast.
+struct AdmissionResult {
+  std::string backend;
+  int clients = 0;
+  int loops = 1;
+  std::size_t max_queued_frames = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  double rows_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
 };
 
 double Percentile(std::vector<double>& sorted_latencies, double q) {
@@ -116,6 +139,7 @@ int main(int argc, char** argv) {
   const std::int64_t rows_per_request = task.val.x.dim(0);
 
   std::vector<RunResult> results;
+  std::vector<AdmissionResult> admission_results;
   for (const std::string backend : {"reference", "rram-sharded"}) {
     // In-process ground truth + warmup loads, before any timing.
     serve::RegistryConfig registry_config;
@@ -223,6 +247,103 @@ int main(int argc, char** argv) {
           result.p99_us, static_cast<unsigned long long>(result.requests));
      }
     }
+
+    // -- Admission-control arm ----------------------------------------------
+    // Rerun the heaviest client count on a single loop with the per-loop
+    // queue cap on. Without the cap this cell queues without bound and the
+    // tail latency is the queue; with it, excess load is answered Overloaded
+    // from the event loop and the accepted requests keep a bounded tail.
+    {
+      const int clients = client_counts.back();
+      serve::TcpServerConfig tcp_config;
+      tcp_config.log_connections = false;
+      tcp_config.worker_threads = kAliases;
+      tcp_config.event_loops = 1;
+      tcp_config.max_connections = 512;
+      tcp_config.max_queued_frames = 16;
+      serve::TcpServer tcp(server, tcp_config);
+      const std::uint16_t port = tcp.Start();
+      std::thread loop([&tcp] { tcp.Run(); });
+
+      std::vector<std::vector<double>> latencies(
+          static_cast<std::size_t>(clients));
+      std::atomic<std::uint64_t> total_accepted{0};
+      std::atomic<std::uint64_t> total_shed{0};
+      std::atomic<bool> digest_mismatch{false};
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::duration<double>(min_seconds);
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::thread> client_threads;
+      for (int c = 0; c < clients; ++c) {
+        client_threads.emplace_back([&, c] {
+          serve::TcpClient client("127.0.0.1", port);
+          const std::string& alias =
+              aliases[static_cast<std::size_t>(c % kAliases)];
+          std::uint64_t id = 0;
+          for (;;) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const serve::Response response =
+                client.Roundtrip(PredictRequest(++id, alias, task.val.x));
+            const double us = std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+            if (!response.ok &&
+                response.code == serve::ErrorCode::kOverloaded) {
+              total_shed.fetch_add(1);
+              std::this_thread::sleep_for(std::chrono::microseconds(200));
+            } else if (!response.ok ||
+                       serve::PredictionDigest(response.predictions) !=
+                           expected_digest) {
+              digest_mismatch.store(true);
+              return;
+            } else {
+              latencies[static_cast<std::size_t>(c)].push_back(us);
+              total_accepted.fetch_add(1);
+            }
+            if (std::chrono::steady_clock::now() >= deadline) break;
+          }
+        });
+      }
+      for (std::thread& t : client_threads) t.join();
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      tcp.RequestStop();
+      loop.join();
+      if (digest_mismatch.load()) {
+        std::fprintf(stderr,
+                     "TCP-served digest mismatch on %s (admission arm, %d "
+                     "clients)\n",
+                     backend.c_str(), clients);
+        return 1;
+      }
+
+      std::vector<double> merged;
+      for (const std::vector<double>& per_client : latencies) {
+        merged.insert(merged.end(), per_client.begin(), per_client.end());
+      }
+      std::sort(merged.begin(), merged.end());
+
+      AdmissionResult admission;
+      admission.backend = backend;
+      admission.clients = clients;
+      admission.loops = 1;
+      admission.max_queued_frames = tcp_config.max_queued_frames;
+      admission.accepted = total_accepted.load();
+      admission.shed = total_shed.load();
+      admission.rows_per_sec =
+          static_cast<double>(admission.accepted * rows_per_request) / elapsed;
+      admission.p50_us = Percentile(merged, 0.50);
+      admission.p99_us = Percentile(merged, 0.99);
+      admission_results.push_back(admission);
+      std::printf(
+          "%-14s %3d client(s) x 1 loop, queue cap %zu  %10.0f rows/s  "
+          "p50=%.0fus p99=%.0fus (accepted=%llu shed=%llu)\n",
+          backend.c_str(), clients, admission.max_queued_frames,
+          admission.rows_per_sec, admission.p50_us, admission.p99_us,
+          static_cast<unsigned long long>(admission.accepted),
+          static_cast<unsigned long long>(admission.shed));
+    }
   }
 
   // Acceptance ratio: best multi-loop rows/sec over the single-loop
@@ -285,6 +406,21 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(r.requests), r.rows_per_sec,
                  r.p50_us, r.p99_us, r.mean_us,
                  i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"admission\": [\n");
+  for (std::size_t i = 0; i < admission_results.size(); ++i) {
+    const AdmissionResult& a = admission_results[i];
+    std::fprintf(out,
+                 "    {\"backend\": \"%s\", \"clients\": %d, \"loops\": %d, "
+                 "\"max_queued_frames\": %zu, \"accepted\": %llu, "
+                 "\"shed\": %llu, \"rows_per_sec\": %.1f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                 a.backend.c_str(), a.clients, a.loops, a.max_queued_frames,
+                 static_cast<unsigned long long>(a.accepted),
+                 static_cast<unsigned long long>(a.shed), a.rows_per_sec,
+                 a.p50_us, a.p99_us,
+                 i + 1 < admission_results.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"multiloop_speedup\": [\n");

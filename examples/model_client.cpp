@@ -36,7 +36,9 @@
 // Exits nonzero with a clear message on connection refused, a truncated
 // response, or any error response.
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -47,6 +49,7 @@
 #include <vector>
 
 #include "serve/demo_tasks.h"
+#include "serve/model_registry.h"
 #include "serve/protocol.h"
 #include "serve/tcp_transport.h"
 
@@ -64,13 +67,18 @@ int Usage() {
       "  model_client request health [<model>] [--id N]\n"
       "  model_client decode [--task MODEL=TASK ...]\n"
       "  model_client --connect HOST:PORT <verb> [<model>] [--task TASK]\n"
-      "               [--id N] [--concurrency N] [--requests N]\n"
+      "               [--id N] [--deadline-ms N] [--concurrency N]\n"
+      "               [--requests N]\n"
       "`request` writes one framed request to stdout; `decode` reads framed\n"
       "responses from stdin; `--connect` round-trips one request over TCP\n"
-      "and prints what decode would. With --concurrency N a predict becomes a\n"
-      "load generator: N connections each pipeline --requests predicts\n"
-      "(default 32) and the client reports aggregate rows/sec plus p50/p99\n"
-      "latency, verifying every response digest along the way.\n");
+      "and prints what decode would. --deadline-ms attaches a per-request\n"
+      "deadline to predicts (requires a revision-3 server). With\n"
+      "--concurrency N a predict becomes a load generator: N connections\n"
+      "each pipeline --requests predicts (default 32) and the client reports\n"
+      "aggregate rows/sec plus log-bucketed p50/p99/p99.9 latency of the\n"
+      "accepted requests, verifying every response digest along the way;\n"
+      "retryable sheds and deadline expiries are counted separately from\n"
+      "hard errors.\n");
   return 2;
 }
 
@@ -211,6 +219,9 @@ bool ParseVerb(int argc, char** argv, int start, VerbArgs* out) {
       task = argv[++i];
     } else if (arg == "--id" && has_value) {
       out->request.id = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--deadline-ms" && has_value) {
+      out->request.deadline_ms =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--concurrency" && has_value) {
       out->concurrency = std::atoi(argv[++i]);
     } else if (arg == "--requests" && has_value) {
@@ -282,12 +293,55 @@ int RunDecode(int argc, char** argv) {
   return any_error ? 1 : 0;
 }
 
+/// Bounded-memory latency sample: the same log-bucketed histogram the
+/// server keeps per model (serve::kLatencyBuckets powers of two in µs), so
+/// a million-request soak costs a fixed few hundred bytes instead of one
+/// double per request. Percentiles come back as the upper bound of the
+/// bucket holding the rank — the resolution the server's own histogram
+/// metric offers.
+struct LatencySample {
+  std::array<std::uint64_t, serve::kLatencyBuckets> buckets{};
+  std::uint64_t count = 0;
+  double max_us = 0.0;
+
+  void Record(double us) {
+    ++buckets[serve::LatencyBucketIndex(us)];
+    ++count;
+    max_us = std::max(max_us, us);
+  }
+  void Merge(const LatencySample& other) {
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      buckets[i] += other.buckets[i];
+    }
+    count += other.count;
+    max_us = std::max(max_us, other.max_us);
+  }
+  double Percentile(double q) const {
+    if (count == 0) return 0.0;
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      cumulative += buckets[i];
+      if (cumulative >= rank) {
+        const double upper = serve::LatencyBucketUpperUs(i);
+        return std::isinf(upper) ? max_us : std::min(upper, max_us);
+      }
+    }
+    return max_us;
+  }
+};
+
 /// --concurrency load generator: `concurrency` threads each hold one TCP
 /// connection and pipeline `requests` predict frames through it with a
 /// bounded in-flight window (so neither side's flow control can deadlock a
-/// client that refuses to read). Every response digest is checked against
-/// the first — a load test that silently served wrong answers would be
-/// worse than useless. Prints aggregate rows/sec and per-request p50/p99.
+/// client that refuses to read). Every accepted response's digest is
+/// checked against the first — a load test that silently served wrong
+/// answers would be worse than useless. Retryable sheds (admission
+/// control) and deadline expiries are *expected* under overload and are
+/// counted, not treated as failures; any other error response aborts the
+/// connection as a hard error. Prints aggregate rows/sec of the accepted
+/// requests plus log-bucketed p50/p99/p99.9.
 int RunLoadGen(const std::string& host, std::uint16_t port,
                const VerbArgs& verb) {
   if (verb.request.kind != serve::RequestKind::kPredict) {
@@ -300,9 +354,10 @@ int RunLoadGen(const std::string& host, std::uint16_t port,
   constexpr std::size_t kWindow = 4;  // frames in flight per connection
 
   std::mutex mutex;  // guards the aggregates below
-  std::vector<double> latencies_us;
-  latencies_us.reserve(static_cast<std::size_t>(connections) *
-                       static_cast<std::size_t>(requests));
+  LatencySample latency;
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_exceeded = 0;
   std::uint64_t reference_digest = 0;
   bool have_reference = false;
   std::uint64_t digest_mismatches = 0;
@@ -313,23 +368,25 @@ int RunLoadGen(const std::string& host, std::uint16_t port,
   pool.reserve(static_cast<std::size_t>(connections));
   for (int c = 0; c < connections; ++c) {
     pool.emplace_back([&, c] {
+      const std::uint64_t id_base = static_cast<std::uint64_t>(c) * 1000000u;
+      LatencySample local_latency;
+      std::uint64_t local_accepted = 0;
+      std::uint64_t local_shed = 0;
+      std::uint64_t local_deadline = 0;
+      std::uint64_t local_mismatches = 0;
+      std::uint64_t local_digest = 0;
+      bool local_have_digest = false;
       try {
         serve::TcpClient client(host, port);
         std::vector<std::chrono::steady_clock::time_point> sent_at(
             static_cast<std::size_t>(requests));
-        std::vector<double> local_us;
-        local_us.reserve(static_cast<std::size_t>(requests));
-        std::uint64_t local_mismatches = 0;
-        std::uint64_t local_digest = 0;
-        bool local_have_digest = false;
         int sent = 0;
         int received = 0;
         while (received < requests) {
           while (sent < requests &&
                  static_cast<std::size_t>(sent - received) < kWindow) {
             serve::Request request = verb.request;
-            request.id = static_cast<std::uint64_t>(c) * 1000000u +
-                         static_cast<std::uint64_t>(sent) + 1;
+            request.id = id_base + static_cast<std::uint64_t>(sent) + 1;
             sent_at[static_cast<std::size_t>(sent)] =
                 std::chrono::steady_clock::now();
             client.Send(request);
@@ -337,13 +394,30 @@ int RunLoadGen(const std::string& host, std::uint16_t port,
           }
           const serve::Response response = client.Receive();
           const auto now = std::chrono::steady_clock::now();
+          ++received;
           if (!response.ok) {
+            // Retryable tiers are the server keeping its latency promise
+            // under overload — count them, keep the connection going.
+            if (response.code == serve::ErrorCode::kOverloaded) {
+              ++local_shed;
+              continue;
+            }
+            if (response.code == serve::ErrorCode::kDeadlineExceeded) {
+              ++local_deadline;
+              continue;
+            }
             throw std::runtime_error("error response: " + response.error);
           }
-          local_us.push_back(
-              std::chrono::duration<double, std::micro>(
-                  now - sent_at[static_cast<std::size_t>(received)])
-                  .count());
+          ++local_accepted;
+          // Sheds are answered from the event loop and may overtake queued
+          // frames, so responses can arrive out of send order: pair each
+          // latency with its own send time by id.
+          const std::uint64_t index = response.id - id_base - 1;
+          if (index < sent_at.size()) {
+            local_latency.Record(std::chrono::duration<double, std::micro>(
+                                     now - sent_at[index])
+                                     .count());
+          }
           const std::uint64_t digest =
               serve::PredictionDigest(response.predictions);
           if (!local_have_digest) {
@@ -352,23 +426,26 @@ int RunLoadGen(const std::string& host, std::uint16_t port,
           } else if (digest != local_digest) {
             ++local_mismatches;
           }
-          ++received;
         }
+      } catch (const std::exception& e) {
         std::lock_guard<std::mutex> lock(mutex);
-        latencies_us.insert(latencies_us.end(), local_us.begin(),
-                            local_us.end());
+        failures.push_back("connection " + std::to_string(c) + ": " +
+                           e.what());
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      latency.Merge(local_latency);
+      accepted += local_accepted;
+      shed += local_shed;
+      deadline_exceeded += local_deadline;
+      if (local_have_digest) {
         if (!have_reference) {
           reference_digest = local_digest;
           have_reference = true;
         } else if (local_digest != reference_digest) {
           ++digest_mismatches;
         }
-        digest_mismatches += local_mismatches;
-      } catch (const std::exception& e) {
-        std::lock_guard<std::mutex> lock(mutex);
-        failures.push_back("connection " + std::to_string(c) + ": " +
-                           e.what());
       }
+      digest_mismatches += local_mismatches;
     });
   }
   for (std::thread& thread : pool) thread.join();
@@ -380,26 +457,23 @@ int RunLoadGen(const std::string& host, std::uint16_t port,
   for (const std::string& failure : failures) {
     std::fprintf(stderr, "model_client: %s\n", failure.c_str());
   }
-  if (latencies_us.empty()) return 1;
-  std::sort(latencies_us.begin(), latencies_us.end());
-  const auto percentile = [&](double p) {
-    const std::size_t index = std::min(
-        latencies_us.size() - 1,
-        static_cast<std::size_t>(p * static_cast<double>(latencies_us.size())));
-    return latencies_us[index];
-  };
   const std::uint64_t total_rows =
-      static_cast<std::uint64_t>(latencies_us.size()) *
-      static_cast<std::uint64_t>(rows);
+      accepted * static_cast<std::uint64_t>(rows);
   std::printf(
       "connections=%d requests_per_conn=%d rows_per_request=%lld "
-      "digest=%016llx digest_mismatches=%llu\n"
-      "rows_per_sec=%.0f p50_us=%.0f p99_us=%.0f wall_s=%.3f\n",
+      "digest=%016llx digest_mismatches=%llu accepted=%llu shed=%llu "
+      "deadline_exceeded=%llu\n"
+      "rows_per_sec=%.0f p50_us=%.0f p99_us=%.0f p999_us=%.0f wall_s=%.3f\n",
       connections, requests, static_cast<long long>(rows),
       static_cast<unsigned long long>(reference_digest),
       static_cast<unsigned long long>(digest_mismatches),
-      static_cast<double>(total_rows) / wall_s, percentile(0.50),
-      percentile(0.99), wall_s);
+      static_cast<unsigned long long>(accepted),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(deadline_exceeded),
+      wall_s > 0 ? static_cast<double>(total_rows) / wall_s : 0.0,
+      latency.Percentile(0.50), latency.Percentile(0.99),
+      latency.Percentile(0.999), wall_s);
+  if (accepted == 0 && shed == 0 && deadline_exceeded == 0) return 1;
   return (digest_mismatches == 0 && failures.empty()) ? 0 : 1;
 }
 

@@ -49,8 +49,11 @@ int Usage() {
       "                    [--lazy-verify]\n"
       "                    [--health-check-every N] [--drift-ber X]\n"
       "                    [--drift-every N] [--drift-seed N]\n"
+      "                    [--default-deadline-ms N] [--max-inflight N]\n"
+      "                    [--max-inflight-global N]\n"
       "                    [--listen [HOST:]PORT [--loops N] [--workers N]\n"
       "                     [--max-connections N] [--idle-timeout-ms N]\n"
+      "                     [--max-queued-frames N]\n"
       "                     [--poll] [--port-file PATH]]\n"
       "default: reads framed requests on stdin, writes responses on stdout\n"
       "  --backend NAME     serve every model on this backend instead of the\n"
@@ -71,14 +74,25 @@ int Usage() {
       "  --drift-every N    inject drift after every Nth predict request per\n"
       "                     model (0: no drift simulation)\n"
       "  --drift-seed N     seed of the simulated drift draws\n"
+      "  --default-deadline-ms N  apply this deadline (ms from arrival) to\n"
+      "                     predicts that carry none; expired requests are\n"
+      "                     answered deadline-exceeded without predicting\n"
+      "  --max-inflight N   shed predicts beyond N in flight on one model\n"
+      "                     with a retryable overloaded error (0: unlimited)\n"
+      "  --max-inflight-global N  same cap across every model\n"
       "  --listen [H:]PORT  serve over TCP instead of stdio (port 0 picks an\n"
-      "                     ephemeral port; SIGTERM drains gracefully)\n"
+      "                     ephemeral port; SIGTERM drains gracefully; the\n"
+      "                     same port answers HTTP GET /metrics with\n"
+      "                     Prometheus text exposition)\n"
       "  --loops N          TCP event-loop threads, each with its own\n"
       "                     SO_REUSEPORT listener and connection table\n"
       "                     (default 1)\n"
       "  --workers N        TCP request worker threads per loop (default 4)\n"
       "  --max-connections N  concurrent TCP connection cap (default 256)\n"
       "  --idle-timeout-ms N  close TCP connections idle this long\n"
+      "  --max-queued-frames N  per-loop queue-depth cap: predict frames\n"
+      "                     arriving while N are already waiting for a worker\n"
+      "                     are shed with a retryable overloaded error\n"
       "  --poll             use the portable poll() event backend\n"
       "  --port-file PATH   write the bound TCP port to PATH (for scripts\n"
       "                     that listen on an ephemeral port)\n");
@@ -116,9 +130,13 @@ bool ParseListenSpec(const std::string& spec, serve::TcpServerConfig* config) {
 
 void PrintExitSummary(const serve::ModelServer& server) {
   std::fprintf(stderr,
-               "model_server: %llu request(s) ok, %llu failed\n",
+               "model_server: %llu request(s) ok, %llu failed (of which "
+               "%llu shed, %llu deadline-exceeded)\n",
                static_cast<unsigned long long>(server.requests_ok()),
-               static_cast<unsigned long long>(server.requests_failed()));
+               static_cast<unsigned long long>(server.requests_failed()),
+               static_cast<unsigned long long>(server.shed_total()),
+               static_cast<unsigned long long>(
+                   server.deadline_exceeded_total()));
   for (const auto& info : server.registry().List()) {
     const serve::ModelStats& s = info.stats;
     std::fprintf(stderr,
@@ -136,6 +154,7 @@ void PrintExitSummary(const serve::ModelServer& server) {
 int main(int argc, char** argv) {
   serve::RegistryConfig config;
   serve::HealthServingConfig health_config;
+  serve::ServingLimits limits;
   serve::TcpServerConfig tcp_config;
   bool listen = false;
   std::string port_file;
@@ -177,6 +196,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--drift-seed" && has_value) {
       health_config.drift_seed =
           static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--default-deadline-ms" && has_value) {
+      limits.default_deadline_ms =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--max-inflight" && has_value) {
+      limits.max_inflight_per_model =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--max-inflight-global" && has_value) {
+      limits.max_inflight_global =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--max-queued-frames" && has_value) {
+      tcp_config.max_queued_frames =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--listen" && has_value) {
       if (!ParseListenSpec(argv[++i], &tcp_config)) {
         std::fprintf(stderr, "bad --listen spec '%s' (want [HOST:]PORT)\n",
@@ -209,7 +240,7 @@ int main(int argc, char** argv) {
     return Usage();
   }
   try {
-    serve::ModelServer server(config, health_config);
+    serve::ModelServer server(config, health_config, limits);
     for (const auto& [name, path] : models) {
       server.registry().Register(name, path);
       std::fprintf(stderr, "model_server: registered %s = %s\n", name.c_str(),
@@ -234,10 +265,24 @@ int main(int argc, char** argv) {
                  config.backend_override.empty()
                      ? ""
                      : (", backend " + config.backend_override).c_str());
+    if (limits.default_deadline_ms > 0 || limits.max_inflight_per_model > 0 ||
+        limits.max_inflight_global > 0 || tcp_config.max_queued_frames > 0) {
+      std::fprintf(
+          stderr,
+          "model_server: limits: deadline=%llums inflight/model=%zu "
+          "inflight=%zu queued-frames/loop=%zu (0 = unlimited)\n",
+          static_cast<unsigned long long>(limits.default_deadline_ms),
+          limits.max_inflight_per_model, limits.max_inflight_global,
+          tcp_config.max_queued_frames);
+    }
 
     if (listen) {
       serve::TcpServer tcp(server, tcp_config);
       const std::uint16_t port = tcp.Start();
+      std::fprintf(stderr,
+                   "model_server: metrics at http://%s:%u/metrics (same "
+                   "port as the framed protocol)\n",
+                   tcp_config.host.c_str(), static_cast<unsigned>(port));
       if (!port_file.empty()) {
         std::FILE* f = std::fopen(port_file.c_str(), "w");
         if (!f) {

@@ -1,0 +1,320 @@
+#include "serve/metrics.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serve/model_server.h"
+#include "serve/tcp_transport.h"
+
+namespace rrambnn::serve {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// One label pair, already escaped and quoted.
+std::string Label(const char* key, const std::string& value) {
+  return std::string(key) + "=\"" + EscapeLabelValue(value) + "\"";
+}
+
+/// Incremental exposition text builder: one Family() per metric name, then
+/// its Sample() lines.
+class Exposition {
+ public:
+  void Family(const char* name, const char* type, const char* help) {
+    name_ = name;
+    out_ += "# HELP ";
+    out_ += name;
+    out_ += ' ';
+    out_ += help;
+    out_ += "\n# TYPE ";
+    out_ += name;
+    out_ += ' ';
+    out_ += type;
+    out_ += '\n';
+  }
+
+  /// `suffix` extends the family name ("_bucket", "_sum", ...); `labels`
+  /// arrive pre-rendered by Label().
+  void Sample(const std::string& value, std::vector<std::string> labels = {},
+              const char* suffix = "") {
+    out_ += name_;
+    out_ += suffix;
+    if (!labels.empty()) {
+      out_ += '{';
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i > 0) out_ += ',';
+        out_ += labels[i];
+      }
+      out_ += '}';
+    }
+    out_ += ' ';
+    out_ += value;
+    out_ += '\n';
+  }
+  void Sample(std::uint64_t value, std::vector<std::string> labels = {},
+              const char* suffix = "") {
+    Sample(std::to_string(value), std::move(labels), suffix);
+  }
+  void Sample(double value, std::vector<std::string> labels = {},
+              const char* suffix = "") {
+    Sample(FormatDouble(value), std::move(labels), suffix);
+  }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+  std::string name_;
+};
+
+void RenderServerMetrics(Exposition& exp, ModelServer& server) {
+  exp.Family("rrambnn_requests_total", "counter",
+             "Requests answered across every transport, by result.");
+  exp.Sample(server.requests_ok(), {Label("result", "ok")});
+  exp.Sample(server.requests_failed(), {Label("result", "error")});
+
+  exp.Family("rrambnn_shed_total", "counter",
+             "Predict requests shed by admission control (retryable).");
+  exp.Sample(server.shed_total());
+
+  exp.Family("rrambnn_deadline_exceeded_total", "counter",
+             "Predict requests whose deadline expired before serving.");
+  exp.Sample(server.deadline_exceeded_total());
+
+  exp.Family("rrambnn_inflight_predicts", "gauge",
+             "Predicts currently admitted across every model.");
+  exp.Sample(server.inflight_global());
+
+  const ModelRegistry& registry = server.registry();
+  exp.Family("rrambnn_registry_resident_models", "gauge",
+             "Models currently resident (loaded and deployed).");
+  exp.Sample(static_cast<std::uint64_t>(registry.resident_count()));
+  exp.Family("rrambnn_registry_resident_bytes", "gauge",
+             "Private heap bytes of every resident engine's artifact data.");
+  exp.Sample(registry.resident_bytes());
+  exp.Family("rrambnn_registry_loads_total", "counter",
+             "Artifact loads (initial, hot and forced reloads).");
+  exp.Sample(registry.loads());
+  exp.Family("rrambnn_registry_evictions_total", "counter",
+             "Models dropped by the LRU capacity bound.");
+  exp.Sample(registry.evictions());
+}
+
+void RenderModelMetrics(Exposition& exp, ModelServer& server) {
+  const std::vector<ModelRegistry::ModelInfo> infos =
+      server.registry().List();
+
+  exp.Family("rrambnn_model_requests_total", "counter",
+             "Predict requests served per model.");
+  for (const auto& info : infos) {
+    exp.Sample(info.stats.requests, {Label("model", info.name)});
+  }
+  exp.Family("rrambnn_model_rows_total", "counter",
+             "Input rows served per model.");
+  for (const auto& info : infos) {
+    exp.Sample(info.stats.rows, {Label("model", info.name)});
+  }
+  exp.Family("rrambnn_model_shed_total", "counter",
+             "Predict requests shed by admission control per model.");
+  for (const auto& info : infos) {
+    exp.Sample(info.stats.shed, {Label("model", info.name)});
+  }
+  exp.Family("rrambnn_model_deadline_exceeded_total", "counter",
+             "Deadline-expired predict requests per model.");
+  for (const auto& info : infos) {
+    exp.Sample(info.stats.deadline_exceeded, {Label("model", info.name)});
+  }
+  exp.Family("rrambnn_model_inflight", "gauge",
+             "Predicts currently admitted per model.");
+  for (const auto& info : infos) {
+    exp.Sample(info.stats.inflight, {Label("model", info.name)});
+  }
+  exp.Family("rrambnn_model_resident", "gauge",
+             "Whether the model is currently resident (1) or not (0).");
+  for (const auto& info : infos) {
+    exp.Sample(static_cast<std::uint64_t>(info.resident ? 1 : 0),
+               {Label("model", info.name)});
+  }
+  exp.Family("rrambnn_model_resident_bytes", "gauge",
+             "Private heap bytes of the model's resident artifact data.");
+  for (const auto& info : infos) {
+    exp.Sample(info.resident_bytes, {Label("model", info.name)});
+  }
+  exp.Family("rrambnn_model_mapped_bytes", "gauge",
+             "Bytes served zero-copy from the model's file mapping.");
+  for (const auto& info : infos) {
+    exp.Sample(info.mapped_bytes, {Label("model", info.name)});
+  }
+
+  exp.Family("rrambnn_model_latency_us", "histogram",
+             "Server-side predict latency per model in microseconds "
+             "(log-bucketed: le doubles per bucket).");
+  for (const auto& info : infos) {
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+      cumulative += info.stats.latency_buckets[i];
+      exp.Sample(cumulative,
+                 {Label("model", info.name),
+                  Label("le", FormatDouble(LatencyBucketUpperUs(i)))},
+                 "_bucket");
+    }
+    exp.Sample(info.stats.total_latency_us, {Label("model", info.name)},
+               "_sum");
+    exp.Sample(info.stats.requests, {Label("model", info.name)}, "_count");
+  }
+}
+
+void RenderTcpMetrics(Exposition& exp, const TcpServer& tcp) {
+  const std::size_t loops = tcp.num_loops();
+  const auto each = [&](auto&& pick) {
+    for (std::size_t i = 0; i < loops; ++i) {
+      exp.Sample(pick(tcp.loop_stats(i)), {Label("loop", std::to_string(i))});
+    }
+  };
+  exp.Family("rrambnn_tcp_connections", "gauge",
+             "Open connections per event loop.");
+  each([](const TcpServerStats& s) { return s.active; });
+  exp.Family("rrambnn_tcp_accepted_total", "counter",
+             "Connections accepted per event loop.");
+  each([](const TcpServerStats& s) { return s.accepted; });
+  exp.Family("rrambnn_tcp_frames_served_total", "counter",
+             "Request frames answered per event loop.");
+  each([](const TcpServerStats& s) { return s.frames_served; });
+  exp.Family("rrambnn_tcp_queued_frames", "gauge",
+             "Request frames waiting for a worker per event loop.");
+  each([](const TcpServerStats& s) { return s.queued_frames; });
+  exp.Family("rrambnn_tcp_shed_queue_full_total", "counter",
+             "Predict frames shed at the queue-depth cap per event loop.");
+  each([](const TcpServerStats& s) { return s.shed_queue_full; });
+  exp.Family("rrambnn_tcp_request_errors_total", "counter",
+             "ok=false responses per event loop.");
+  each([](const TcpServerStats& s) { return s.request_errors; });
+  exp.Family("rrambnn_tcp_protocol_errors_total", "counter",
+             "Oversized or undecodable frames per event loop.");
+  each([](const TcpServerStats& s) { return s.protocol_errors; });
+  exp.Family("rrambnn_tcp_idle_closed_total", "counter",
+             "Connections closed by the idle timeout per event loop.");
+  each([](const TcpServerStats& s) { return s.idle_closed; });
+  exp.Family("rrambnn_tcp_refused_over_capacity_total", "counter",
+             "Connections refused at the connection cap per event loop.");
+  each([](const TcpServerStats& s) { return s.refused_over_capacity; });
+  exp.Family("rrambnn_tcp_http_requests_total", "counter",
+             "HTTP (metrics-scrape) requests answered per event loop.");
+  each([](const TcpServerStats& s) { return s.http_requests; });
+}
+
+void RenderHealthMetrics(Exposition& exp, ModelServer& server) {
+  const std::vector<ModelHealthWire> health = server.CollectHealth("");
+
+  exp.Family("rrambnn_health_supported", "gauge",
+             "Whether the model's resident backend exposes a health "
+             "surface.");
+  for (const auto& m : health) {
+    exp.Sample(static_cast<std::uint64_t>(m.supported ? 1 : 0),
+               {Label("model", m.name)});
+  }
+  exp.Family("rrambnn_health_sweeps_total", "counter",
+             "Completed estimation/healing sweeps per model.");
+  for (const auto& m : health) {
+    if (m.supported) exp.Sample(m.sweeps, {Label("model", m.name)});
+  }
+  exp.Family("rrambnn_health_reprograms_total", "counter",
+             "Healing reprograms across all chips per model.");
+  for (const auto& m : health) {
+    if (m.supported) exp.Sample(m.reprograms, {Label("model", m.name)});
+  }
+  exp.Family("rrambnn_health_state_changes_total", "counter",
+             "Chip state transitions per model.");
+  for (const auto& m : health) {
+    if (m.supported) exp.Sample(m.state_changes, {Label("model", m.name)});
+  }
+  exp.Family("rrambnn_health_chip_ewma_ber", "gauge",
+             "EWMA bit-error-rate estimate per chip.");
+  for (const auto& m : health) {
+    for (const auto& c : m.chips) {
+      exp.Sample(c.ewma_ber, {Label("model", m.name),
+                              Label("chip", std::to_string(c.chip))});
+    }
+  }
+  exp.Family("rrambnn_health_chip_last_raw_ber", "gauge",
+             "Most recent raw bit-error-rate estimate per chip.");
+  for (const auto& m : health) {
+    for (const auto& c : m.chips) {
+      exp.Sample(c.last_raw_ber, {Label("model", m.name),
+                                  Label("chip", std::to_string(c.chip))});
+    }
+  }
+  exp.Family("rrambnn_health_chip_serving", "gauge",
+             "Whether the chip currently receives batch rows.");
+  for (const auto& m : health) {
+    for (const auto& c : m.chips) {
+      exp.Sample(static_cast<std::uint64_t>(c.serving ? 1 : 0),
+                 {Label("model", m.name),
+                  Label("chip", std::to_string(c.chip))});
+    }
+  }
+  exp.Family("rrambnn_health_chip_checks_total", "counter",
+             "BER estimation checks per chip.");
+  for (const auto& m : health) {
+    for (const auto& c : m.chips) {
+      exp.Sample(c.checks, {Label("model", m.name),
+                            Label("chip", std::to_string(c.chip))});
+    }
+  }
+  exp.Family("rrambnn_health_chip_reprograms_total", "counter",
+             "Healing reprograms per chip.");
+  for (const auto& m : health) {
+    for (const auto& c : m.chips) {
+      exp.Sample(c.reprograms, {Label("model", m.name),
+                                Label("chip", std::to_string(c.chip))});
+    }
+  }
+  exp.Family("rrambnn_health_chip_state", "gauge",
+             "Chip health classification (1 on the current state's "
+             "series).");
+  for (const auto& m : health) {
+    for (const auto& c : m.chips) {
+      exp.Sample(std::uint64_t{1}, {Label("model", m.name),
+                                    Label("chip", std::to_string(c.chip)),
+                                    Label("state", c.state)});
+    }
+  }
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char ch : value) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += ch; break;
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusMetrics(ModelServer& server,
+                                    const TcpServer* tcp) {
+  Exposition exp;
+  RenderServerMetrics(exp, server);
+  RenderModelMetrics(exp, server);
+  if (tcp != nullptr) RenderTcpMetrics(exp, *tcp);
+  RenderHealthMetrics(exp, server);
+  return exp.Take();
+}
+
+}  // namespace rrambnn::serve

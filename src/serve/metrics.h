@@ -1,0 +1,33 @@
+// Prometheus text-exposition rendering of the serving daemon's whole
+// metric surface: per-model request/row/shed counters and latency
+// histograms (the log-bucketed StatsCell cells of model_registry.h),
+// registry residency gauges, per-loop TCP connection/queue gauges and
+// fleet-health BER gauges (src/health/ via ModelServer::CollectHealth).
+//
+// The TCP front end serves this text on the same port as the framed
+// protocol: an HTTP `GET /metrics` is sniffed apart from length-prefixed
+// frames by its first four bytes (see tcp_transport.h). Format: Prometheus
+// text exposition 0.0.4 — `# HELP`/`# TYPE` headers, histogram
+// `_bucket{le=...}`/`_sum`/`_count` series, escaped label values. The
+// metric inventory is documented in docs/engine.md "Observability".
+#pragma once
+
+#include <string>
+
+namespace rrambnn::serve {
+
+class ModelServer;
+class TcpServer;
+
+/// Renders every metric of `server` (and of `tcp`'s loops when non-null —
+/// a stdio-only daemon or a unit test passes nullptr). Safe to call from
+/// any thread; reads atomics and Peek-based registry snapshots, never
+/// forcing artifact loads.
+std::string RenderPrometheusMetrics(ModelServer& server,
+                                    const TcpServer* tcp = nullptr);
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline become \\, \" and \n.
+std::string EscapeLabelValue(const std::string& value);
+
+}  // namespace rrambnn::serve

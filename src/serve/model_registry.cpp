@@ -1,6 +1,9 @@
 #include "serve/model_registry.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <system_error>
 #include <utility>
@@ -8,6 +11,49 @@
 namespace rrambnn::serve {
 
 namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Latency histogram geometry
+// ---------------------------------------------------------------------------
+
+double LatencyBucketUpperUs(std::size_t i) {
+  if (i + 1 >= kLatencyBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(1ull << i);
+}
+
+std::size_t LatencyBucketIndex(double latency_us) {
+  if (!(latency_us > 1.0)) return 0;  // also catches NaN and negatives
+  // ceil(log2(us)) without floating-point log: the index of the smallest
+  // power-of-two bound that is >= the latency.
+  const double ceiled = std::ceil(latency_us);
+  if (ceiled > static_cast<double>(1ull << (kLatencyBuckets - 2))) {
+    return kLatencyBuckets - 1;  // the unbounded bucket
+  }
+  const auto v = static_cast<std::uint64_t>(ceiled);
+  return static_cast<std::size_t>(std::bit_width(v - 1));
+}
+
+double ModelStats::LatencyPercentileUs(double q) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : latency_buckets) total += count;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+    seen += latency_buckets[i];
+    if (seen >= rank) {
+      const double upper = LatencyBucketUpperUs(i);
+      // The unbounded bucket has no finite upper edge; the tracked maximum
+      // is the tightest honest answer there.
+      return std::isinf(upper) ? max_latency_us : upper;
+    }
+  }
+  return max_latency_us;
+}
 
 // ---------------------------------------------------------------------------
 // ServedModel
@@ -18,6 +64,8 @@ void StatsCell::RecordRequest(std::int64_t rows, double latency_us) {
   rows_.fetch_add(static_cast<std::uint64_t>(rows),
                   std::memory_order_relaxed);
   total_latency_us_.fetch_add(latency_us, std::memory_order_relaxed);
+  latency_buckets_[LatencyBucketIndex(latency_us)].fetch_add(
+      1, std::memory_order_relaxed);
   double seen = max_latency_us_.load(std::memory_order_relaxed);
   while (latency_us > seen &&
          !max_latency_us_.compare_exchange_weak(seen, latency_us,
@@ -31,6 +79,14 @@ ModelStats StatsCell::snapshot() const {
   stats.rows = rows_.load(std::memory_order_relaxed);
   stats.total_latency_us = total_latency_us_.load(std::memory_order_relaxed);
   stats.max_latency_us = max_latency_us_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+    stats.latency_buckets[i] =
+        latency_buckets_[i].load(std::memory_order_relaxed);
+  }
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.inflight = inflight_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -116,6 +172,13 @@ std::shared_ptr<ServedModel> ModelRegistry::Peek(
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(name);
   return it == entries_.end() ? nullptr : it->second.model;
+}
+
+std::shared_ptr<StatsCell> ModelRegistry::StatsFor(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.stats;
 }
 
 void ModelRegistry::Reload(const std::string& name) {

@@ -12,7 +12,9 @@
 // in-flight request.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <filesystem>
 #include <map>
@@ -51,12 +53,39 @@ struct RegistryConfig {
   io::LoadArtifactOptions load;
 };
 
+/// Log-bucketed latency histogram geometry, shared by the stats cells, the
+/// revision-3 wire entries (protocol.h) and the metrics endpoint
+/// (metrics.h): bucket i counts requests whose latency was at most 2^i
+/// microseconds, and the last bucket is unbounded (+Inf). Power-of-two
+/// bounds keep the cell a fixed array of relaxed atomic adds — no locks on
+/// the predict path — at a 2x worst-case resolution, plenty for
+/// p50/p99/p999 monitoring across the microsecond-to-minute span one
+/// geometry must cover (reference sub-ms predicts and multi-second
+/// transactional rram ones).
+constexpr std::size_t kLatencyBuckets = 28;
+
+/// Upper bound of bucket i in microseconds; +infinity for the last bucket.
+double LatencyBucketUpperUs(std::size_t i);
+
+/// The bucket a request latency lands in.
+std::size_t LatencyBucketIndex(double latency_us);
+
 /// Serving statistics of one resident model, accumulated by the server loop.
 struct ModelStats {
   std::uint64_t requests = 0;
   std::uint64_t rows = 0;
   double total_latency_us = 0.0;
   double max_latency_us = 0.0;
+  /// Per-bucket (not cumulative) request counts of the log-bucketed latency
+  /// histogram — see kLatencyBuckets for the geometry.
+  std::array<std::uint64_t, kLatencyBuckets> latency_buckets{};
+  /// Predict requests rejected by admission control (retryable Overloaded).
+  std::uint64_t shed = 0;
+  /// Predict requests whose deadline expired before serving.
+  std::uint64_t deadline_exceeded = 0;
+  /// Predicts currently admitted and not yet answered (a gauge, not a
+  /// counter: includes serve-lock wait and the Predict call itself).
+  std::uint64_t inflight = 0;
 
   /// Aggregate serving throughput (rows over summed request latency).
   double RowsPerSec() const {
@@ -66,6 +95,10 @@ struct ModelStats {
     return requests > 0 ? total_latency_us / static_cast<double>(requests)
                         : 0.0;
   }
+  /// Upper-bound latency estimate at quantile q in [0, 1] from the log
+  /// buckets (resolution: one power of two; the top bucket answers
+  /// max_latency_us). Zero when no requests were recorded.
+  double LatencyPercentileUs(double q) const;
 };
 
 /// Shared statistics cell of one registered model. Owned by the registry
@@ -80,6 +113,21 @@ struct ModelStats {
 class StatsCell {
  public:
   void RecordRequest(std::int64_t rows, double latency_us);
+
+  /// Admission bookkeeping of one predict: BeginRequest returns the
+  /// in-flight count including this request (the number the admission cap
+  /// is checked against) and EndRequest releases the slot. Callers pair
+  /// them RAII-style; a shed request releases before answering.
+  std::uint64_t BeginRequest() {
+    return inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  void EndRequest() { inflight_.fetch_sub(1, std::memory_order_relaxed); }
+
+  void RecordShed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordDeadlineExceeded() {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   ModelStats snapshot() const;
 
  private:
@@ -87,6 +135,10 @@ class StatsCell {
   std::atomic<std::uint64_t> rows_{0};
   std::atomic<double> total_latency_us_{0.0};
   std::atomic<double> max_latency_us_{0.0};
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_buckets_{};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> inflight_{0};
 };
 
 /// One resident model: a deployed Engine plus its serving statistics and the
@@ -118,6 +170,9 @@ class ServedModel {
 
   void RecordRequest(std::int64_t rows, double latency_us);
   ModelStats stats() const;
+  /// The registration's shared stats cell (outlives this resident engine;
+  /// admission control and the metrics endpoint record through it).
+  const std::shared_ptr<StatsCell>& stats_cell() const { return stats_; }
 
  private:
   std::string name_;
@@ -154,6 +209,12 @@ class ModelRegistry {
   /// operator polling stats must not reorder eviction priority or force
   /// artifact loads). Unknown names also answer null.
   std::shared_ptr<ServedModel> Peek(const std::string& name) const;
+
+  /// The shared stats cell of `name`, or null for unknown names — a pure
+  /// read like Peek, but answered even when the model is not resident
+  /// (admission control must count sheds and deadline misses for models it
+  /// never got to load).
+  std::shared_ptr<StatsCell> StatsFor(const std::string& name) const;
 
   /// Drops the resident engine of `name` (if any); the next Acquire reloads
   /// from disk regardless of mtime. Throws std::invalid_argument for

@@ -10,17 +10,19 @@
 
 namespace rrambnn::serve {
 
-ModelServer::ModelServer(RegistryConfig config, HealthServingConfig health)
-    : registry_(std::move(config)), health_(health) {}
+ModelServer::ModelServer(RegistryConfig config, HealthServingConfig health,
+                         ServingLimits limits)
+    : registry_(std::move(config)), health_(health), limits_(limits) {}
 
-Response ModelServer::Handle(const Request& request) {
+Response ModelServer::Handle(const Request& request,
+                             const RequestContext& ctx) {
   Response response;
   response.id = request.id;
   response.kind = request.kind;
   try {
     switch (request.kind) {
       case RequestKind::kPredict:
-        response = HandlePredict(request);
+        response = HandlePredict(request, ctx);
         break;
       case RequestKind::kStats:
       case RequestKind::kList:
@@ -46,12 +48,95 @@ Response ModelServer::Handle(const Request& request) {
   return response;
 }
 
-Response ModelServer::HandlePredict(const Request& request) {
+Response ModelServer::RefuseRequest(std::uint64_t id, ErrorCode code,
+                                    StatsCell* cell,
+                                    const std::string& why) {
+  if (code == ErrorCode::kOverloaded) {
+    shed_total_.fetch_add(1, std::memory_order_relaxed);
+    if (cell) cell->RecordShed();
+  } else if (code == ErrorCode::kDeadlineExceeded) {
+    deadline_exceeded_total_.fetch_add(1, std::memory_order_relaxed);
+    if (cell) cell->RecordDeadlineExceeded();
+  }
+  Response response;
+  response.id = id;
+  response.kind = RequestKind::kPredict;
+  response.ok = false;
+  response.code = code;
+  response.error = why;
+  return response;
+}
+
+Response ModelServer::ShedRequest(std::uint64_t id, const std::string& model,
+                                  const std::string& why) {
+  const std::shared_ptr<StatsCell> cell =
+      model.empty() ? nullptr : registry_.StatsFor(model);
+  // Handle() never saw this request, so its ok/failed accounting happens
+  // here instead.
+  requests_failed_.fetch_add(1, std::memory_order_relaxed);
+  return RefuseRequest(id, ErrorCode::kOverloaded, cell.get(), why);
+}
+
+Response ModelServer::HandlePredict(const Request& request,
+                                    const RequestContext& ctx) {
   Response response;
   response.id = request.id;
   response.kind = RequestKind::kPredict;
+
+  // Deadline: the request's own budget wins over the server default.
+  // Checked against transport arrival — queue wait spends the budget — and
+  // again after the serve lock, so a request that waited out its deadline
+  // behind a slow exclusive predict is refused instead of served late.
+  const std::uint64_t deadline_ms =
+      request.deadline_ms > 0 ? request.deadline_ms
+                              : limits_.default_deadline_ms;
+  const auto deadline = ctx.arrival + std::chrono::milliseconds(deadline_ms);
+  const bool has_deadline = deadline_ms > 0;
+  if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+    const std::shared_ptr<StatsCell> cell = registry_.StatsFor(request.model);
+    return RefuseRequest(
+        request.id, ErrorCode::kDeadlineExceeded, cell.get(),
+        "deadline of " + std::to_string(deadline_ms) +
+            " ms expired before serving (queued too long; the predict "
+            "never ran)");
+  }
+
   const std::shared_ptr<ServedModel> model = registry_.Acquire(request.model);
   engine::Engine& engine = model->engine();
+
+  // Admission control: claim the global and per-model in-flight slots, and
+  // shed — retryable, before any engine work — when a cap is exceeded. The
+  // slot spans lock wait + predict, so the caps bound exactly the queueing
+  // that used to grow without limit.
+  StatsCell& cell = *model->stats_cell();
+  const std::uint64_t global_inflight =
+      inflight_global_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t model_inflight = cell.BeginRequest();
+  struct SlotRelease {
+    std::atomic<std::uint64_t>& global;
+    StatsCell& cell;
+    ~SlotRelease() {
+      global.fetch_sub(1, std::memory_order_relaxed);
+      cell.EndRequest();
+    }
+  } release{inflight_global_, cell};
+  if (limits_.max_inflight_global > 0 &&
+      global_inflight > limits_.max_inflight_global) {
+    return RefuseRequest(
+        request.id, ErrorCode::kOverloaded, &cell,
+        "overloaded: " + std::to_string(global_inflight) +
+            " predicts in flight exceeds the global cap of " +
+            std::to_string(limits_.max_inflight_global) + " (retryable)");
+  }
+  if (limits_.max_inflight_per_model > 0 &&
+      model_inflight > limits_.max_inflight_per_model) {
+    return RefuseRequest(
+        request.id, ErrorCode::kOverloaded, &cell,
+        "overloaded: " + std::to_string(model_inflight) +
+            " predicts in flight on '" + request.model +
+            "' exceeds the per-model cap of " +
+            std::to_string(limits_.max_inflight_per_model) + " (retryable)");
+  }
   // Reader/writer serving policy. When the deployed backend's serving path
   // is a pure read (SupportsConcurrentPredict) and no per-request health
   // hooks are configured, predicts on one model hold only the *shared* lock
@@ -66,27 +151,38 @@ Response ModelServer::HandlePredict(const Request& request) {
       engine.SupportsHealth() &&
       ((health_.drift_ber > 0.0 && health_.drift_every_requests > 0) ||
        health_.check_every_requests > 0);
+  // Post-lock deadline recheck + timed predict, shared by both lock modes.
+  // Sets `expired` when the deadline ran out while waiting for the lock —
+  // the predict never runs.
+  bool expired = false;
+  const auto serve_locked = [&] {
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      expired = true;
+      return;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    response.predictions = engine.Predict(request.batch);
+    const double latency_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    model->RecordRequest(request.batch.dim(0), latency_us);
+    response.latency_us = latency_us;
+  };
   if (!hooks_active && engine.SupportsConcurrentPredict()) {
     std::shared_lock<std::shared_mutex> lock(model->serve_mutex());
-    const auto start = std::chrono::steady_clock::now();
-    response.predictions = engine.Predict(request.batch);
-    const double latency_us =
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - start)
-            .count();
-    model->RecordRequest(request.batch.dim(0), latency_us);
-    response.latency_us = latency_us;
+    serve_locked();
   } else {
     std::unique_lock<std::shared_mutex> lock(model->serve_mutex());
-    const auto start = std::chrono::steady_clock::now();
-    response.predictions = engine.Predict(request.batch);
-    const double latency_us =
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - start)
-            .count();
-    model->RecordRequest(request.batch.dim(0), latency_us);
-    RunHealthHooks(*model, model->stats().requests);
-    response.latency_us = latency_us;
+    serve_locked();
+    if (!expired) RunHealthHooks(*model, model->stats().requests);
+  }
+  if (expired) {
+    return RefuseRequest(
+        request.id, ErrorCode::kDeadlineExceeded, &cell,
+        "deadline of " + std::to_string(deadline_ms) +
+            " ms expired waiting for the serve lock (the predict never "
+            "ran)");
   }
   response.model = request.model;
   response.backend = engine.backend().name();
@@ -138,6 +234,11 @@ Response ModelServer::HandleStatsOrList(const Request& request) {
       wire.total_latency_us = info.stats.total_latency_us;
       wire.max_latency_us = info.stats.max_latency_us;
       wire.rows_per_sec = info.stats.RowsPerSec();
+      wire.shed = info.stats.shed;
+      wire.deadline_exceeded = info.stats.deadline_exceeded;
+      wire.inflight = info.stats.inflight;
+      wire.latency_buckets.assign(info.stats.latency_buckets.begin(),
+                                  info.stats.latency_buckets.end());
       // Live backend/energy figures via Peek, a pure read: a stats request
       // must never force-load an artifact, trigger a hot reload, or touch
       // LRU recency (Acquire here would make an operator polling stats
@@ -164,10 +265,19 @@ Response ModelServer::HandleHealth(const Request& request) {
   Response response;
   response.id = request.id;
   response.kind = RequestKind::kHealth;
-  bool matched = false;
+  response.health = CollectHealth(request.model);
+  if (!request.model.empty() && response.health.empty()) {
+    throw std::invalid_argument("health: unknown model '" + request.model +
+                                "'");
+  }
+  return response;
+}
+
+std::vector<ModelHealthWire> ModelServer::CollectHealth(
+    const std::string& filter) {
+  std::vector<ModelHealthWire> health;
   for (const ModelRegistry::ModelInfo& info : registry_.List()) {
-    if (!request.model.empty() && request.model != info.name) continue;
-    matched = true;
+    if (!filter.empty() && filter != info.name) continue;
     ModelHealthWire wire;
     wire.name = info.name;
     // Peek, not Acquire: a health poll must not force artifact loads,
@@ -200,13 +310,9 @@ Response ModelServer::HandleHealth(const Request& request) {
         }
       }
     }
-    response.health.push_back(std::move(wire));
+    health.push_back(std::move(wire));
   }
-  if (!request.model.empty() && !matched) {
-    throw std::invalid_argument("health: unknown model '" + request.model +
-                                "'");
-  }
-  return response;
+  return health;
 }
 
 Response ModelServer::HandleReload(const Request& request) {

@@ -17,8 +17,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 #include "serve/model_registry.h"
 #include "serve/protocol.h"
@@ -48,20 +51,54 @@ struct HealthServingConfig {
   std::uint64_t drift_seed = 40026;
 };
 
+/// Overload-protection policy of the daemon. Zero values keep the
+/// historical unbounded behavior; see docs/engine.md "Observability".
+struct ServingLimits {
+  /// Deadline applied to predict requests that do not carry their own
+  /// (milliseconds from transport arrival; 0 = none). Expired requests are
+  /// answered ErrorCode::kDeadlineExceeded without running the predict.
+  std::uint64_t default_deadline_ms = 0;
+  /// Predicts admitted concurrently on one model beyond this are shed with
+  /// a retryable ErrorCode::kOverloaded (0 = unlimited). "Admitted" spans
+  /// serve-lock wait plus the Predict call, so the cap bounds queueing on
+  /// the per-model serve mutex, not just running predicts.
+  std::size_t max_inflight_per_model = 0;
+  /// Same cap summed across every model (0 = unlimited).
+  std::size_t max_inflight_global = 0;
+};
+
+/// Transport-supplied context of one request. Deadlines are measured from
+/// `arrival` — when the complete frame was received — so time spent queued
+/// behind other work counts against the budget.
+struct RequestContext {
+  std::chrono::steady_clock::time_point arrival =
+      std::chrono::steady_clock::now();
+};
+
 class ModelServer {
  public:
   explicit ModelServer(RegistryConfig config = {},
-                       HealthServingConfig health = {});
+                       HealthServingConfig health = {},
+                       ServingLimits limits = {});
 
   ModelRegistry& registry() { return registry_; }
   const ModelRegistry& registry() const { return registry_; }
 
   /// Handles one decoded request (the testable seam of the daemon): routes
-  /// by kind, times and records predict calls, and converts every
-  /// request-level failure (unknown model, corrupt artifact, geometry
-  /// mismatch) into an ok=false response instead of throwing. Thread-safe:
-  /// the TCP transport (tcp_transport.h) calls it from a worker pool.
-  Response Handle(const Request& request);
+  /// by kind, times and records predict calls, enforces deadlines and
+  /// admission caps, and converts every request-level failure (unknown
+  /// model, corrupt artifact, geometry mismatch) into an ok=false response
+  /// instead of throwing. Thread-safe: the TCP transport (tcp_transport.h)
+  /// calls it from a worker pool. The context defaults to "arrived now" for
+  /// callers with no transport queue (stdio loop, tests).
+  Response Handle(const Request& request, const RequestContext& ctx = {});
+
+  /// Builds the retryable Overloaded response of a request shed *before*
+  /// reaching Handle — the TCP transport's queue-depth cap — and records it
+  /// in the shed and failure counters. `model` may be empty when the
+  /// transport did not decode that far.
+  Response ShedRequest(std::uint64_t id, const std::string& model,
+                       const std::string& why);
 
   /// Requests answered ok=true / ok=false across every transport, for the
   /// daemon's operability summary. Frames whose payload never decoded into
@@ -89,12 +126,37 @@ class ModelServer {
   std::uint64_t ServeStream(std::istream& in, std::ostream& out);
 
   const HealthServingConfig& health_config() const { return health_; }
+  const ServingLimits& limits() const { return limits_; }
+
+  /// Predict requests shed by admission control (including transport-level
+  /// queue-cap sheds reported through ShedRequest).
+  std::uint64_t shed_total() const {
+    return shed_total_.load(std::memory_order_relaxed);
+  }
+  /// Predict requests answered kDeadlineExceeded.
+  std::uint64_t deadline_exceeded_total() const {
+    return deadline_exceeded_total_.load(std::memory_order_relaxed);
+  }
+  /// Predicts currently admitted across every model (gauge).
+  std::uint64_t inflight_global() const {
+    return inflight_global_.load(std::memory_order_relaxed);
+  }
+
+  /// Health wires of every registered model (empty `filter`) or the one
+  /// named — the health verb's payload, shared with the metrics endpoint.
+  /// Pure Peek-based read: never forces loads or touches LRU recency.
+  std::vector<ModelHealthWire> CollectHealth(const std::string& filter);
 
  private:
-  Response HandlePredict(const Request& request);
+  Response HandlePredict(const Request& request, const RequestContext& ctx);
   Response HandleStatsOrList(const Request& request);
   Response HandleReload(const Request& request);
   Response HandleHealth(const Request& request);
+
+  /// ok=false response carrying an error tier; records the matching
+  /// counters (per-model when `cell` is non-null).
+  Response RefuseRequest(std::uint64_t id, ErrorCode code, StatsCell* cell,
+                         const std::string& why);
 
   /// Post-serve drift/check hooks of one predict request (caller holds the
   /// model's serve mutex; `requests` is the model's post-record counter).
@@ -102,8 +164,12 @@ class ModelServer {
 
   ModelRegistry registry_;
   HealthServingConfig health_;
+  ServingLimits limits_;
   std::atomic<std::uint64_t> requests_ok_{0};
   std::atomic<std::uint64_t> requests_failed_{0};
+  std::atomic<std::uint64_t> shed_total_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_total_{0};
+  std::atomic<std::uint64_t> inflight_global_{0};
 };
 
 }  // namespace rrambnn::serve

@@ -74,6 +74,15 @@ std::string ToString(RequestKind kind) {
   return "unknown";
 }
 
+std::string ToString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kGeneric: return "generic";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+  }
+  return "unknown";
+}
+
 // ---------------------------------------------------------------------------
 // Frame I/O
 // ---------------------------------------------------------------------------
@@ -159,6 +168,12 @@ std::vector<std::uint8_t> EncodeRequest(const Request& request) {
   writer.WriteString(request.model);
   if (request.kind == RequestKind::kPredict) {
     EncodeTensor(writer, request.batch);
+    // Optional trailing deadline (revision 3): written only when the client
+    // actually set one, so deadline-free predicts stay byte-identical to
+    // the frozen revision-2 layout and keep working against old servers.
+    if (request.deadline_ms > 0) {
+      writer.WriteU64(request.deadline_ms);
+    }
   }
   return writer.TakeBytes();
 }
@@ -171,6 +186,9 @@ Request DecodeRequest(std::span<const std::uint8_t> payload) {
   request.model = reader.ReadString();
   if (request.kind == RequestKind::kPredict) {
     request.batch = DecodeTensor(reader);
+    if (!reader.exhausted()) {
+      request.deadline_ms = reader.ReadU64();
+    }
   }
   reader.ExpectExhausted();
   return request;
@@ -251,6 +269,13 @@ void EncodeModelStats(io::ByteWriter& writer, const ModelStatsWire& m) {
   entry.WriteU64(m.resident_bytes);
   entry.WriteU64(m.mapped_bytes);
   entry.WriteString(m.load_mode);
+  entry.WriteU64(m.shed);
+  entry.WriteU64(m.deadline_exceeded);
+  entry.WriteU64(m.inflight);
+  entry.WriteU32(static_cast<std::uint32_t>(m.latency_buckets.size()));
+  for (const std::uint64_t count : m.latency_buckets) {
+    entry.WriteU64(count);
+  }
   WriteSizedEntry(writer, std::move(entry));
 }
 
@@ -278,6 +303,23 @@ ModelStatsWire DecodeModelStats(io::ByteReader& outer) {
     m.resident_bytes = reader.ReadU64();
     m.mapped_bytes = reader.ReadU64();
     m.load_mode = reader.ReadString();
+  }
+  // Admission counters + latency histogram (revision 3): same rule again —
+  // a revision-2 entry ends above and these stay zero/empty.
+  if (!reader.exhausted()) {
+    m.shed = reader.ReadU64();
+    m.deadline_exceeded = reader.ReadU64();
+    m.inflight = reader.ReadU64();
+    const std::uint32_t buckets = reader.ReadU32();
+    if (buckets > size) {  // every bucket is 8 bytes; cheap sanity cap
+      throw std::runtime_error("serve response: histogram bucket count " +
+                               std::to_string(buckets) +
+                               " exceeds the entry it arrived in");
+    }
+    m.latency_buckets.reserve(buckets);
+    for (std::uint32_t i = 0; i < buckets; ++i) {
+      m.latency_buckets.push_back(reader.ReadU64());
+    }
   }
   return m;
 }
@@ -314,6 +356,13 @@ std::vector<std::uint8_t> EncodeResponse(const Response& response) {
   writer.WriteU8(response.ok ? 1 : 0);
   if (!response.ok) {
     writer.WriteString(response.error);
+    // Optional trailing code (revision 3): generic errors — the only tier
+    // that predates codes — keep the historical byte layout, so revision-2
+    // clients only ever see coded errors once the operator turns on
+    // deadlines or admission control (which needs new clients anyway).
+    if (response.code != ErrorCode::kGeneric) {
+      writer.WriteU8(static_cast<std::uint8_t>(response.code));
+    }
     return writer.TakeBytes();
   }
   switch (response.kind) {
@@ -352,6 +401,11 @@ Response DecodeResponse(std::span<const std::uint8_t> payload) {
   response.ok = reader.ReadU8() != 0;
   if (!response.ok) {
     response.error = reader.ReadString();
+    if (!reader.exhausted()) {
+      // A code this build does not know decodes verbatim; callers compare
+      // against the tiers they understand and fall back to generic.
+      response.code = static_cast<ErrorCode>(reader.ReadU8());
+    }
     reader.ExpectExhausted();
     return response;
   }

@@ -49,6 +49,25 @@ enum class RequestKind : std::uint8_t {
 /// Wire name of a request kind ("predict", "stats", ...).
 std::string ToString(RequestKind kind);
 
+/// Machine-readable classification of an ok=false response. Travels as an
+/// optional trailing byte of the error payload (revision 3, docs/protocol.md
+/// §5.4): kGeneric errors stay byte-identical to the historical encoding,
+/// so only the two new tiers — which exist only once an operator enables
+/// deadlines or admission control — require revision-3 clients.
+enum class ErrorCode : std::uint8_t {
+  /// The request itself failed (unknown model, corrupt artifact, geometry
+  /// mismatch); retrying the same request will fail the same way.
+  kGeneric = 0,
+  /// Shed by admission control before doing any work — retryable: the same
+  /// request succeeds once load subsides.
+  kOverloaded = 1,
+  /// The request's deadline expired before serving; the predict never ran.
+  kDeadlineExceeded = 2,
+};
+
+/// Wire name of an error code ("generic", "overloaded", ...).
+std::string ToString(ErrorCode code);
+
 struct Request {
   std::uint64_t id = 0;
   RequestKind kind = RequestKind::kPredict;
@@ -59,6 +78,14 @@ struct Request {
   /// IEEE-754 bits, so served predictions are bit-identical to in-process
   /// ones.
   Tensor batch;
+  /// kPredict only: milliseconds after transport arrival by which the
+  /// response must start serving; past it the server answers
+  /// ErrorCode::kDeadlineExceeded instead of predicting. 0 = no deadline
+  /// (the server's --default-deadline-ms may still apply one). Encoded as
+  /// an optional trailing field only when nonzero — a revision-2 server
+  /// rejects deadline-carrying predicts as undecodable, so clients opt in
+  /// per request (docs/protocol.md §3.1).
+  std::uint64_t deadline_ms = 0;
 };
 
 /// Per-model statistics entry of a stats/list response. Entries travel
@@ -92,6 +119,13 @@ struct ModelStatsWire {
   /// enum ordinals — a future mode renders verbatim on old clients); empty
   /// when not resident.
   std::string load_mode;
+  /// Revision-3 fields: admission control counters and the log-bucketed
+  /// latency histogram (bucket i counts requests of at most 2^i µs; see
+  /// model_registry.h). Zero / empty from revision ≤ 2 servers.
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t inflight = 0;
+  std::vector<std::uint64_t> latency_buckets;
 };
 
 /// Per-chip health entry of a health response. Entries travel
@@ -135,6 +169,10 @@ struct Response {
   /// Failure description when !ok (the request itself was understood; a
   /// frame that cannot be decoded at all terminates the stream instead).
   std::string error;
+  /// Failure classification when !ok — clients branch on it to decide
+  /// retryability (kOverloaded retries, kDeadlineExceeded means the work
+  /// never ran). kGeneric from revision ≤ 2 servers.
+  ErrorCode code = ErrorCode::kGeneric;
   // -- kPredict --
   std::string model;
   std::string backend;

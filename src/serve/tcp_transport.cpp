@@ -1,5 +1,7 @@
 #include "serve/tcp_transport.h"
 
+#include "serve/metrics.h"
+
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
@@ -349,10 +351,13 @@ void TcpServer::LoopMain(Loop& lp) {
       FlushConnection(lp, conn);
     }
 
-    if (config_.idle_timeout_ms > 0) CloseIdleConnections(lp);
+    // One clock read covers both the idle sweep and the drain-deadline
+    // check: under hundreds of connections per loop, per-connection now()
+    // calls were measurable in the idle path.
+    const auto now = std::chrono::steady_clock::now();
+    if (config_.idle_timeout_ms > 0) CloseIdleConnections(lp, now);
 
-    if (lp.draining && !lp.connections.empty() &&
-        std::chrono::steady_clock::now() >= lp.drain_deadline) {
+    if (lp.draining && !lp.connections.empty() && now >= lp.drain_deadline) {
       if (config_.log_connections) {
         std::fprintf(stderr,
                      "tcp: loop %zu drain timeout, dropping %zu "
@@ -472,18 +477,10 @@ void TcpServer::HandleReadable(Loop& lp,
     const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
       conn->last_activity = std::chrono::steady_clock::now();
-      try {
-        conn->assembler.Feed(buf, static_cast<std::size_t>(n));
-        while (std::optional<std::vector<std::uint8_t>> frame =
-                   conn->assembler.Next()) {
-          ++conn->frames_in;
-          ScheduleWork(lp, conn, std::move(*frame));
-        }
-      } catch (const std::exception& e) {
-        // Oversized/hostile length prefix: no later byte of this stream can
-        // be trusted. Answer an error after in-flight responses and close —
-        // this connection only; every other one is unaffected.
-        FailConnection(lp, conn, e.what());
+      if (!DeliverBytes(lp, conn, buf, static_cast<std::size_t>(n))) return;
+      if (conn->input_closed) {
+        // An HTTP connection stops reading once its one GET is scheduled.
+        lp.loop->Modify(conn->fd, /*want_read=*/false, conn->want_write);
         return;
       }
       // Flow control: a client that pipelines requests without draining
@@ -503,6 +500,20 @@ void TcpServer::HandleReadable(Loop& lp,
       continue;
     }
     if (n == 0) {  // peer half-closed: serve what arrived, then close
+      if (!conn->mode_known && !conn->sniff.empty()) {
+        // Fewer than four bytes ever arrived: whatever protocol this was,
+        // it ended inside its opening bytes.
+        FailConnection(lp, conn,
+                       "stream ended inside a frame (" +
+                           std::to_string(conn->sniff.size()) +
+                           " trailing byte(s))");
+        return;
+      }
+      if (conn->mode_http) {
+        // EOF before the header terminator: nobody to answer.
+        CloseConnection(lp, conn, "http request truncated");
+        return;
+      }
       if (conn->assembler.buffered() > 0) {
         // The stream ended inside a frame — same answer as the stdio
         // loop's ReadFrame: a final id=0 corruption error, not a silent
@@ -530,6 +541,156 @@ void TcpServer::HandleReadable(Loop& lp,
   }
 }
 
+bool TcpServer::DeliverBytes(Loop& lp,
+                             const std::shared_ptr<Connection>& conn,
+                             const std::uint8_t* data, std::size_t n) {
+  if (!conn->mode_known) {
+    conn->sniff.insert(conn->sniff.end(), data, data + n);
+    if (conn->sniff.size() < 4) return true;  // mode still undecided
+    static constexpr std::uint8_t kGet[4] = {'G', 'E', 'T', ' '};
+    conn->mode_http = std::equal(kGet, kGet + 4, conn->sniff.begin());
+    conn->mode_known = true;
+    const std::vector<std::uint8_t> first = std::move(conn->sniff);
+    conn->sniff = {};
+    return conn->mode_http
+               ? DeliverHttp(lp, conn, first.data(), first.size())
+               : DeliverFrames(lp, conn, first.data(), first.size());
+  }
+  return conn->mode_http ? DeliverHttp(lp, conn, data, n)
+                         : DeliverFrames(lp, conn, data, n);
+}
+
+bool TcpServer::DeliverFrames(Loop& lp,
+                              const std::shared_ptr<Connection>& conn,
+                              const std::uint8_t* data, std::size_t n) {
+  try {
+    conn->assembler.Feed(data, n);
+    while (std::optional<std::vector<std::uint8_t>> frame =
+               conn->assembler.Next()) {
+      ++conn->frames_in;
+      WorkItem item;
+      item.frame = std::move(*frame);
+      item.arrival = conn->last_activity;
+      ScheduleWork(lp, conn, std::move(item));
+    }
+  } catch (const std::exception& e) {
+    // Oversized/hostile length prefix: no later byte of this stream can
+    // be trusted. Answer an error after in-flight responses and close —
+    // this connection only; every other one is unaffected.
+    FailConnection(lp, conn, e.what());
+    return false;
+  }
+  return true;
+}
+
+bool TcpServer::DeliverHttp(Loop& lp,
+                            const std::shared_ptr<Connection>& conn,
+                            const std::uint8_t* data, std::size_t n) {
+  constexpr std::size_t kMaxHttpHeaderBytes = 8192;
+  conn->http_buffer.append(reinterpret_cast<const char*>(data), n);
+  if (conn->http_buffer.size() > kMaxHttpHeaderBytes) {
+    FailHttp(lp, conn, "431 Request Header Fields Too Large",
+             "request header too large\n");
+    return false;
+  }
+  // The request is complete at the header terminator (tolerating bare-LF
+  // clients); body-carrying methods never sniff as "GET ".
+  std::size_t end = conn->http_buffer.find("\r\n\r\n");
+  if (end == std::string::npos) end = conn->http_buffer.find("\n\n");
+  if (end == std::string::npos) return true;  // need more header bytes
+  const std::size_t line_end = conn->http_buffer.find_first_of("\r\n");
+  const std::string line = conn->http_buffer.substr(0, line_end);
+  // Request line: "GET <target> HTTP/1.x". The sniff guaranteed the method.
+  const std::size_t target_begin = line.find(' ');
+  const std::size_t target_end =
+      target_begin == std::string::npos
+          ? std::string::npos
+          : line.find(' ', target_begin + 1);
+  if (target_begin == std::string::npos || target_end == std::string::npos ||
+      target_end <= target_begin + 1) {
+    FailHttp(lp, conn, "400 Bad Request", "malformed request line\n");
+    return false;
+  }
+  WorkItem item;
+  item.http = true;
+  item.http_target =
+      line.substr(target_begin + 1, target_end - target_begin - 1);
+  item.arrival = conn->last_activity;
+  conn->http_buffer.clear();
+  // One request per connection (HTTP/1.0 semantics, Connection: close):
+  // stop reading now and close once the response has flushed.
+  conn->input_closed = true;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->close_after_flush = true;
+  }
+  ScheduleWork(lp, conn, std::move(item));
+  return true;
+}
+
+namespace {
+
+/// Raw bytes of a complete HTTP/1.0 response (always Connection: close —
+/// one request per sniffed-HTTP connection).
+std::vector<std::uint8_t> HttpResponseBytes(const std::string& status,
+                                            const std::string& content_type,
+                                            const std::string& body) {
+  std::string head = "HTTP/1.0 " + status +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(head.size() + body.size());
+  bytes.insert(bytes.end(), head.begin(), head.end());
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  return bytes;
+}
+
+/// Peeks the request id and model name out of an undecoded predict frame
+/// (id u64 | kind u8 | model string) so a queue-cap shed can echo them.
+/// Returns false when the frame is not a predict or too short to tell —
+/// those pass through to a worker for the normal decode path.
+bool PeekPredictHeader(const std::vector<std::uint8_t>& frame,
+                       std::uint64_t& id, std::string& model) {
+  if (frame.size() < 9) return false;
+  const auto le64 = [](const std::uint8_t* p) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+  };
+  if (frame[8] != static_cast<std::uint8_t>(RequestKind::kPredict)) {
+    return false;
+  }
+  id = le64(frame.data());
+  if (frame.size() >= 17) {
+    const std::uint64_t len = le64(frame.data() + 9);
+    if (len <= frame.size() - 17) {
+      model.assign(frame.begin() + 17,
+                   frame.begin() + 17 + static_cast<std::ptrdiff_t>(len));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void TcpServer::FailHttp(Loop& lp, const std::shared_ptr<Connection>& conn,
+                         const std::string& status, const std::string& body) {
+  lp.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+  conn->input_closed = true;
+  lp.loop->Modify(conn->fd, /*want_read=*/false, conn->want_write);
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    ++conn->errors;
+    std::vector<std::uint8_t> raw =
+        HttpResponseBytes(status, "text/plain; charset=utf-8", body);
+    conn->buffered_bytes += raw.size();
+    conn->outbox.push_back(std::move(raw));
+    conn->close_after_flush = true;
+  }
+  FlushConnection(lp, conn);
+}
+
 void TcpServer::FailConnection(Loop& lp,
                                const std::shared_ptr<Connection>& conn,
                                const std::string& message) {
@@ -548,12 +709,53 @@ void TcpServer::FailConnection(Loop& lp,
 
 void TcpServer::ScheduleWork(Loop& lp,
                              const std::shared_ptr<Connection>& conn,
-                             std::vector<std::uint8_t> frame) {
+                             WorkItem item) {
+  // Queue-depth admission: while this loop's worker backlog is at the cap,
+  // predict frames are answered Overloaded right here instead of joining
+  // it — the unbounded queue (not worker concurrency) is what blew up tail
+  // latency at 320 clients. Non-predict verbs and scrapes still pass:
+  // observing and administering an overloaded daemon must keep working.
+  if (!item.http && config_.max_queued_frames > 0 &&
+      lp.queued_frames.load(std::memory_order_relaxed) >=
+          config_.max_queued_frames) {
+    std::uint64_t id = 0;
+    std::string model;
+    if (PeekPredictHeader(item.frame, id, model)) {
+      const Response shed = server_.ShedRequest(
+          id, model,
+          "overloaded: event loop " + std::to_string(lp.index) +
+              " has " + std::to_string(config_.max_queued_frames) +
+              " request frames queued (retryable)");
+      lp.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+      lp.request_errors.fetch_add(1, std::memory_order_relaxed);
+      std::vector<std::uint8_t> framed = FrameBytes(EncodeResponse(shed));
+      bool queued = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        if (!conn->closed) {
+          ++conn->errors;
+          conn->buffered_bytes += framed.size();
+          conn->outbox.push_back(std::move(framed));
+          queued = true;
+        }
+      }
+      if (queued) {
+        // Loop thread: the flush list is drained later this same
+        // iteration, after event processing (no self-wake needed).
+        std::lock_guard<std::mutex> lock(lp.flush_mutex);
+        lp.flush_list.push_back(conn);
+      }
+      return;
+    }
+  }
+  if (!item.http) {
+    lp.queued_frames.fetch_add(1, std::memory_order_relaxed);
+  }
   bool enqueue = false;
   {
     std::lock_guard<std::mutex> lock(conn->mutex);
-    conn->buffered_bytes += frame.size();
-    conn->pending.push_back(std::move(frame));
+    conn->buffered_bytes += item.frame.size();
+    conn->pending.push_back(std::move(item));
     if (!conn->busy) {
       conn->busy = true;
       enqueue = true;
@@ -654,11 +856,21 @@ void TcpServer::CloseConnection(Loop& lp,
                                 const std::shared_ptr<Connection>& conn,
                                 const std::string& reason) {
   std::uint64_t errors = 0;
+  std::uint64_t dropped_frames = 0;
   {
     std::lock_guard<std::mutex> lock(conn->mutex);
     if (conn->closed) return;
     conn->closed = true;
     errors = conn->errors;
+    // Queued work dies with the connection; workers skip closed
+    // connections without popping, so the gauge must be settled here.
+    for (const WorkItem& item : conn->pending) {
+      if (!item.http) ++dropped_frames;
+    }
+    conn->pending.clear();
+  }
+  if (dropped_frames > 0) {
+    lp.queued_frames.fetch_sub(dropped_frames, std::memory_order_relaxed);
   }
   lp.loop->Remove(conn->fd);
   ::close(conn->fd);
@@ -675,8 +887,8 @@ void TcpServer::CloseConnection(Loop& lp,
   }
 }
 
-void TcpServer::CloseIdleConnections(Loop& lp) {
-  const auto now = std::chrono::steady_clock::now();
+void TcpServer::CloseIdleConnections(
+    Loop& lp, std::chrono::steady_clock::time_point now) {
   const auto limit = std::chrono::milliseconds(config_.idle_timeout_ms);
   std::vector<std::shared_ptr<Connection>> idle;
   for (const auto& [fd, conn] : lp.connections) {
@@ -708,44 +920,69 @@ void TcpServer::WorkerMain(Loop& lp) {
       lp.work_queue.pop_front();
     }
 
-    std::vector<std::uint8_t> frame;
+    WorkItem item;
     {
       std::lock_guard<std::mutex> lock(conn->mutex);
       if (conn->pending.empty() || conn->closed) {
         conn->busy = false;
         continue;
       }
-      frame = std::move(conn->pending.front());
+      item = std::move(conn->pending.front());
       conn->pending.pop_front();
-      conn->buffered_bytes -= frame.size();
+      conn->buffered_bytes -= item.frame.size();
+    }
+    if (!item.http) {
+      lp.queued_frames.fetch_sub(1, std::memory_order_relaxed);
     }
 
-    // The same request path as the stdio daemon loop: decode errors answer
-    // id=0 (the id cannot be trusted past the failure), request-level
-    // failures come back ok=false from Handle itself.
-    Response response;
-    try {
-      response = server_.Handle(DecodeRequest(frame));
-    } catch (const std::exception& e) {
-      response.id = 0;
-      response.ok = false;
-      response.error = std::string("undecodable request: ") + e.what();
-      server_.RecordUndecodable();
-    }
-    std::vector<std::uint8_t> framed = FrameBytes(EncodeResponse(response));
-    lp.frames_served.fetch_add(1, std::memory_order_relaxed);
-    if (!response.ok) {
-      lp.request_errors.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::uint8_t> out;  // response bytes (framed or raw HTTP)
+    bool is_error = false;
+    if (item.http) {
+      // Metrics rendering happens on a worker, not the loop thread: it
+      // walks registry snapshots and per-model serve locks (health gauges)
+      // and must not stall accepts/reads behind a slow scrape.
+      if (item.http_target == "/metrics") {
+        out = HttpResponseBytes(
+            "200 OK", "text/plain; version=0.0.4; charset=utf-8",
+            RenderPrometheusMetrics(server_, this));
+      } else {
+        out = HttpResponseBytes("404 Not Found", "text/plain; charset=utf-8",
+                                "not found; the metrics endpoint is "
+                                "/metrics\n");
+        is_error = true;
+      }
+      lp.http_requests.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // The same request path as the stdio daemon loop: decode errors
+      // answer id=0 (the id cannot be trusted past the failure),
+      // request-level failures come back ok=false from Handle itself.
+      Response response;
+      try {
+        RequestContext ctx;
+        ctx.arrival = item.arrival;
+        response = server_.Handle(DecodeRequest(item.frame), ctx);
+      } catch (const std::exception& e) {
+        response.id = 0;
+        response.ok = false;
+        response.error = std::string("undecodable request: ") + e.what();
+        server_.RecordUndecodable();
+      }
+      out = FrameBytes(EncodeResponse(response));
+      lp.frames_served.fetch_add(1, std::memory_order_relaxed);
+      if (!response.ok) {
+        lp.request_errors.fetch_add(1, std::memory_order_relaxed);
+        is_error = true;
+      }
     }
 
     bool requeue = false;
     {
       std::lock_guard<std::mutex> lock(conn->mutex);
       if (!conn->closed) {
-        conn->buffered_bytes += framed.size();
-        conn->outbox.push_back(std::move(framed));
+        conn->buffered_bytes += out.size();
+        conn->outbox.push_back(std::move(out));
       }
-      if (!response.ok) ++conn->errors;
+      if (is_error) ++conn->errors;
       if (!conn->pending.empty() && !conn->closed) {
         requeue = true;  // stay busy; round-robin via the back of the queue
       } else {
@@ -778,6 +1015,9 @@ TcpServerStats TcpServer::loop_stats(std::size_t loop) const {
   s.idle_closed = lp.idle_closed.load(std::memory_order_relaxed);
   s.refused_over_capacity =
       lp.refused_over_capacity.load(std::memory_order_relaxed);
+  s.queued_frames = lp.queued_frames.load(std::memory_order_relaxed);
+  s.shed_queue_full = lp.shed_queue_full.load(std::memory_order_relaxed);
+  s.http_requests = lp.http_requests.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -792,6 +1032,9 @@ TcpServerStats TcpServer::stats() const {
     total.protocol_errors += s.protocol_errors;
     total.idle_closed += s.idle_closed;
     total.refused_over_capacity += s.refused_over_capacity;
+    total.queued_frames += s.queued_frames;
+    total.shed_queue_full += s.shed_queue_full;
+    total.http_requests += s.http_requests;
   }
   return total;
 }

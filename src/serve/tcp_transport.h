@@ -9,6 +9,15 @@
 // mode uses — every verb behaves identically over stdio and TCP, and served
 // predictions stay bit-identical to in-process eval.
 //
+// The same port also answers plaintext HTTP `GET /metrics` scrapes
+// (Prometheus exposition, metrics.h): the first four bytes of a connection
+// decide frames-vs-HTTP, an HTTP connection answers exactly one GET and
+// closes, and a malformed HTTP request fails only its own connection.
+// Overload protection lives here too: a per-loop queue-depth cap sheds
+// predict frames with a retryable Overloaded error while the worker queue
+// is full, and every frame carries its arrival time so ModelServer can
+// expire deadline-carrying requests that waited too long.
+//
 //   serve::ModelServer server(registry_config);
 //   server.registry().Register("ecg", "ecg.rbnn");
 //   serve::TcpServer tcp(server);
@@ -100,6 +109,13 @@ struct TcpServerConfig {
   /// resumes once the backlog halves — a client that pipelines requests
   /// without draining responses stalls itself, not the server.
   std::size_t max_buffered_bytes = 32u << 20;  // 32 MiB
+  /// Queue-depth admission cap: while a loop already has this many request
+  /// frames waiting for a worker, further *predict* frames are answered
+  /// immediately with a retryable Overloaded error instead of queueing
+  /// (0 = unbounded, the historical behavior). Non-predict verbs (stats,
+  /// list, reload, health) and metrics scrapes bypass the cap — an operator
+  /// must be able to observe a daemon precisely when it is overloaded.
+  std::size_t max_queued_frames = 0;
   /// Force-close window of a graceful drain: connections that have not
   /// flushed this long after RequestStop are dropped.
   int drain_timeout_ms = 5000;
@@ -121,6 +137,13 @@ struct TcpServerStats {
   std::uint64_t protocol_errors = 0;
   std::uint64_t idle_closed = 0;
   std::uint64_t refused_over_capacity = 0;
+  /// Request frames currently waiting for a worker (gauge, not counter).
+  std::uint64_t queued_frames = 0;
+  /// Predict frames shed at the queue-depth cap (answered Overloaded
+  /// without reaching a worker; counted in request_errors too).
+  std::uint64_t shed_queue_full = 0;
+  /// HTTP requests (metrics scrapes and 404s) answered on the frame port.
+  std::uint64_t http_requests = 0;
 };
 
 class TcpServer {
@@ -168,6 +191,16 @@ class TcpServer {
  private:
   struct Loop;
 
+  /// One unit of worker work: a complete request frame (with its arrival
+  /// time, the deadline anchor), or — http=true — an HTTP GET to answer
+  /// with `http_target`'s resource (the /metrics endpoint).
+  struct WorkItem {
+    std::vector<std::uint8_t> frame;
+    bool http = false;
+    std::string http_target;
+    std::chrono::steady_clock::time_point arrival;
+  };
+
   struct Connection {
     int fd = -1;
     std::uint64_t id = 0;  // monotonic accept counter, for log lines
@@ -175,6 +208,14 @@ class TcpServer {
     Loop* owner = nullptr; // the loop that accepted this connection
     // -- loop-thread-only state --
     FrameAssembler assembler;
+    // Same-port protocol sniffing: the first four bytes decide whether this
+    // connection speaks length-prefixed frames or HTTP ("GET " — as a
+    // little-endian length prefix that would be a ~542 MB frame, far past
+    // kMaxFrameBytes, so the two protocols cannot be confused).
+    bool mode_known = false;
+    bool mode_http = false;
+    std::vector<std::uint8_t> sniff;  // bytes seen before the mode decision
+    std::string http_buffer;          // accumulated HTTP header bytes
     bool want_write = false;   // mirror of the registered interest set
     bool input_closed = false; // peer half-closed or reading was abandoned
     bool reads_paused = false; // flow control: backlog over the byte cap
@@ -183,7 +224,7 @@ class TcpServer {
     // -- cross-thread state, guarded by mutex --
     std::mutex mutex;
     std::uint64_t errors = 0;  // ok=false responses + protocol errors
-    std::deque<std::vector<std::uint8_t>> pending;  // complete request frames
+    std::deque<WorkItem> pending;  // complete requests awaiting a worker
     bool busy = false;          // a worker currently owns this connection
     std::deque<std::vector<std::uint8_t>> outbox;   // framed response bytes
     std::size_t outbox_offset = 0;  // sent prefix of outbox.front()
@@ -235,11 +276,30 @@ class TcpServer {
     std::atomic<std::uint64_t> protocol_errors{0};
     std::atomic<std::uint64_t> idle_closed{0};
     std::atomic<std::uint64_t> refused_over_capacity{0};
+    std::atomic<std::uint64_t> queued_frames{0};
+    std::atomic<std::uint64_t> shed_queue_full{0};
+    std::atomic<std::uint64_t> http_requests{0};
   };
 
   void LoopMain(Loop& lp);
   void AcceptPending(Loop& lp);
   void HandleReadable(Loop& lp, const std::shared_ptr<Connection>& conn);
+  /// Routes freshly received bytes by the connection's sniffed mode
+  /// (buffering until the first four bytes decide it). Returns false when
+  /// the connection failed or was closed — stop processing it.
+  bool DeliverBytes(Loop& lp, const std::shared_ptr<Connection>& conn,
+                    const std::uint8_t* data, std::size_t n);
+  /// Frame-mode byte delivery: reassembly + per-frame scheduling.
+  bool DeliverFrames(Loop& lp, const std::shared_ptr<Connection>& conn,
+                     const std::uint8_t* data, std::size_t n);
+  /// HTTP-mode byte delivery: header accumulation, request-line parsing and
+  /// scheduling of the one GET this connection gets to make.
+  bool DeliverHttp(Loop& lp, const std::shared_ptr<Connection>& conn,
+                   const std::uint8_t* data, std::size_t n);
+  /// Queues a raw (unframed) HTTP error response and closes after flushing
+  /// — the HTTP analogue of FailConnection, loop thread only.
+  void FailHttp(Loop& lp, const std::shared_ptr<Connection>& conn,
+                const std::string& status, const std::string& body);
   /// Writes as much buffered output as the socket accepts; updates write
   /// interest; closes when flushed and close_after_flush. Returns false if
   /// the connection was closed.
@@ -250,13 +310,18 @@ class TcpServer {
   /// longer be trusted (loop thread).
   void FailConnection(Loop& lp, const std::shared_ptr<Connection>& conn,
                       const std::string& message);
+  /// Hands one work item to the loop's worker pool — unless it is a
+  /// predict frame arriving over the queue-depth cap, which is answered
+  /// with a retryable Overloaded error right here on the loop thread
+  /// (admission control sheds before the queue grows, not after).
   void ScheduleWork(Loop& lp, const std::shared_ptr<Connection>& conn,
-                    std::vector<std::uint8_t> frame);
+                    WorkItem item);
   void WorkerMain(Loop& lp);
   void Wake(Loop& lp);
   void DrainWakePipe(Loop& lp);
   void BeginDrain(Loop& lp);
-  void CloseIdleConnections(Loop& lp);
+  void CloseIdleConnections(Loop& lp,
+                            std::chrono::steady_clock::time_point now);
   int WaitTimeoutMs(const Loop& lp) const;
   /// Live connections summed over every loop (the capacity check).
   std::size_t TotalActive() const;

@@ -1,0 +1,318 @@
+// The observability surface: Prometheus exposition rendering (golden
+// format lines, label escaping, cumulative histogram buckets), the TCP
+// front end's same-port HTTP sniffing (200 scrape with valid content type,
+// 404 on unknown targets, 400/431 on malformed requests isolated to their
+// own connection), and counter monotonicity when scraping a server that is
+// actively serving predicts.
+#include "serve/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+
+#include "serve/model_server.h"
+#include "serve/tcp_transport.h"
+#include "serve_test_util.h"
+
+namespace rrambnn::serve {
+namespace {
+
+Request PredictRequest(std::uint64_t id, const std::string& model,
+                       const Tensor& batch) {
+  Request request;
+  request.id = id;
+  request.kind = RequestKind::kPredict;
+  request.model = model;
+  request.batch = batch;
+  return request;
+}
+
+/// True when `text` contains `line` as one whole line.
+bool HasLine(const std::string& text, const std::string& line) {
+  return text.find(line + "\n") == 0 ||
+         text.find("\n" + line + "\n") != std::string::npos;
+}
+
+/// The numeric sample of the exact series `prefix` ("name{labels}"), or -1.
+double SampleValue(const std::string& text, const std::string& prefix) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.size() > prefix.size() + 1 && line.compare(0, prefix.size(), prefix) == 0 &&
+        line[prefix.size()] == ' ') {
+      return std::stod(line.substr(prefix.size() + 1));
+    }
+  }
+  return -1.0;
+}
+
+TEST(MetricsRender, EscapeLabelValueHandlesQuotesBackslashesNewlines) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
+/// Golden exposition shape: every family announces # HELP and # TYPE, the
+/// server-wide counters carry their result labels, and a served predict
+/// shows up in the per-model series and in the histogram's _count.
+TEST(MetricsRender, GoldenExpositionAfterOnePredict) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  ModelServer server;
+  server.registry().Register("ecg", shared.path);
+  const Response response =
+      server.Handle(PredictRequest(1, "ecg", shared.data.x));
+  ASSERT_TRUE(response.ok) << response.error;
+
+  const std::string text = RenderPrometheusMetrics(server);
+  EXPECT_TRUE(HasLine(text,
+                      "# HELP rrambnn_requests_total Requests answered "
+                      "across every transport, by result."))
+      << text.substr(0, 400);
+  EXPECT_TRUE(HasLine(text, "# TYPE rrambnn_requests_total counter"));
+  EXPECT_TRUE(HasLine(text, "rrambnn_requests_total{result=\"ok\"} 1"));
+  EXPECT_TRUE(HasLine(text, "rrambnn_requests_total{result=\"error\"} 0"));
+  EXPECT_TRUE(HasLine(text, "rrambnn_shed_total 0"));
+  EXPECT_TRUE(HasLine(text, "rrambnn_deadline_exceeded_total 0"));
+  EXPECT_TRUE(HasLine(text, "rrambnn_inflight_predicts 0"));
+  EXPECT_TRUE(HasLine(text, "rrambnn_registry_resident_models 1"));
+  EXPECT_TRUE(HasLine(text, "rrambnn_model_requests_total{model=\"ecg\"} 1"));
+  EXPECT_TRUE(HasLine(text, "# TYPE rrambnn_model_latency_us histogram"));
+  EXPECT_TRUE(HasLine(text, "rrambnn_model_latency_us_count{model=\"ecg\"} 1"));
+  EXPECT_EQ(SampleValue(
+                text, "rrambnn_model_latency_us_bucket{model=\"ecg\",le=\"+Inf\"}"),
+            1.0);
+  // Health families render even for health-less backends (supported=0).
+  EXPECT_TRUE(HasLine(text, "rrambnn_health_supported{model=\"ecg\"} 0"));
+  // No TCP server attached: no per-loop series.
+  EXPECT_EQ(text.find("rrambnn_tcp_"), std::string::npos);
+}
+
+/// The histogram's `le` buckets must be cumulative and non-decreasing, and
+/// the last (+Inf) bucket must equal _count — the Prometheus contract that
+/// makes histogram_quantile() work.
+TEST(MetricsRender, HistogramBucketsAreCumulativeAndEndAtCount) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  ModelServer server;
+  server.registry().Register("ecg", shared.path);
+  constexpr int kRequests = 5;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(server.Handle(PredictRequest(i + 1, "ecg", shared.data.x)).ok);
+  }
+
+  const std::string text = RenderPrometheusMetrics(server);
+  std::istringstream in(text);
+  std::string line;
+  std::vector<double> buckets;
+  const std::string prefix = "rrambnn_model_latency_us_bucket{model=\"ecg\",";
+  while (std::getline(in, line)) {
+    if (line.compare(0, prefix.size(), prefix) == 0) {
+      buckets.push_back(std::stod(line.substr(line.rfind(' ') + 1)));
+    }
+  }
+  ASSERT_EQ(buckets.size(), kLatencyBuckets);
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i], buckets[i - 1]) << "bucket " << i << " decreased";
+  }
+  EXPECT_EQ(buckets.back(), kRequests);
+  EXPECT_EQ(SampleValue(text, "rrambnn_model_latency_us_count{model=\"ecg\"}"),
+            kRequests);
+}
+
+/// A hostile model name renders as an escaped label value, keeping the
+/// exposition parseable.
+TEST(MetricsRender, HostileModelNamesAreEscapedInLabels) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  ModelServer server;
+  server.registry().Register("ec\"g\\evil\nname", shared.path);
+  const std::string text = RenderPrometheusMetrics(server);
+  EXPECT_TRUE(HasLine(
+      text, "rrambnn_model_requests_total{model=\"ec\\\"g\\\\evil\\nname\"} 0"))
+      << text;
+}
+
+// ---------------------------------------------------------------------------
+// Same-port HTTP scraping of a live TCP daemon
+// ---------------------------------------------------------------------------
+
+TcpServerConfig QuietConfig() {
+  TcpServerConfig config;
+  config.log_connections = false;
+  config.worker_threads = 2;
+  return config;
+}
+
+class TestServer {
+ public:
+  explicit TestServer(RegistryConfig registry_config = {},
+                      TcpServerConfig tcp_config = QuietConfig())
+      : server_(registry_config), tcp_(server_, tcp_config) {
+    server_.registry().Register("ecg", GetSharedArtifact().path);
+    port_ = tcp_.Start();
+    thread_ = std::thread([this] { tcp_.Run(); });
+  }
+  ~TestServer() {
+    tcp_.RequestStop();
+    thread_.join();
+  }
+  std::uint16_t port() const { return port_; }
+  ModelServer& server() { return server_; }
+  TcpServer& tcp() { return tcp_; }
+
+ private:
+  ModelServer server_;
+  TcpServer tcp_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+/// Sends raw bytes on a fresh connection to the daemon port and reads the
+/// whole response until the server closes (HTTP mode always does).
+std::string RawHttpExchange(std::uint16_t port, const std::string& request) {
+  TcpClient client("127.0.0.1", port);
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(client.fd(), request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(client.fd(), buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+TEST(MetricsHttp, ScrapeReturnsValidExpositionOnTheFramedPort) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  TestServer server;
+  {
+    TcpClient client("127.0.0.1", server.port());
+    ASSERT_TRUE(
+        client.Roundtrip(PredictRequest(1, "ecg", shared.data.x)).ok);
+  }
+  const std::string response =
+      RawHttpExchange(server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response;
+  EXPECT_NE(response.find(
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+            std::string::npos);
+  const std::string body = response.substr(response.find("\r\n\r\n") + 4);
+  EXPECT_TRUE(HasLine(body, "rrambnn_requests_total{result=\"ok\"} 1"));
+  // The TCP sections render with the loop label.
+  EXPECT_GE(SampleValue(body, "rrambnn_tcp_accepted_total{loop=\"0\"}"), 2.0);
+  EXPECT_EQ(SampleValue(body, "rrambnn_tcp_http_requests_total{loop=\"0\"}"),
+            0.0);  // rendered mid-request: this scrape not yet counted
+  EXPECT_TRUE(HasLine(body, "# TYPE rrambnn_model_latency_us histogram"));
+  EXPECT_EQ(SampleValue(
+                body, "rrambnn_model_latency_us_bucket{model=\"ecg\",le=\"+Inf\"}"),
+            1.0);
+  // The scrape was counted once it finished.
+  EXPECT_EQ(server.tcp().stats().http_requests, 1u);
+}
+
+TEST(MetricsHttp, UnknownTargetAnswers404) {
+  TestServer server;
+  const std::string response =
+      RawHttpExchange(server.port(), "GET /favicon.ico HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u) << response;
+  EXPECT_NE(response.find("/metrics"), std::string::npos);
+}
+
+/// Counters scraped while a load thread hammers predicts must be valid and
+/// monotone between two scrapes — the soak property of the scrape path.
+TEST(MetricsHttp, CountersAreMonotoneUnderConcurrentLoad) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  TestServer server;
+
+  {
+    // At least one completed predict before the first scrape: on a single
+    // core the load thread may not get scheduled between scrapes at all.
+    TcpClient warmup("127.0.0.1", server.port());
+    ASSERT_TRUE(warmup.Roundtrip(PredictRequest(1, "ecg", shared.data.x)).ok);
+  }
+  std::atomic<bool> stop{false};
+  std::thread load([&] {
+    TcpClient client("127.0.0.1", server.port());
+    std::uint64_t id = 100;
+    while (!stop.load()) {
+      if (!client.Roundtrip(PredictRequest(++id, "ecg", shared.data.x)).ok) {
+        break;
+      }
+    }
+  });
+
+  double previous = -1.0;
+  for (int scrape = 0; scrape < 4; ++scrape) {
+    const std::string response =
+        RawHttpExchange(server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+    ASSERT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response;
+    const std::string body = response.substr(response.find("\r\n\r\n") + 4);
+    const double ok = SampleValue(body, "rrambnn_requests_total{result=\"ok\"}");
+    ASSERT_GE(ok, previous) << "ok counter went backwards";
+    previous = ok;
+  }
+  stop.store(true);
+  load.join();
+  EXPECT_GT(previous, 0.0);
+  EXPECT_EQ(server.tcp().stats().http_requests, 4u);
+}
+
+/// Malformed HTTP on one connection (bad request line, oversized header)
+/// answers an error and closes that connection only — a framed-protocol
+/// connection keeps serving throughout.
+TEST(MetricsHttp, MalformedHttpIsIsolatedFromFramedConnections) {
+  const SharedArtifact& shared = GetSharedArtifact();
+  TestServer server;
+  TcpClient frames("127.0.0.1", server.port());
+  ASSERT_TRUE(frames.Roundtrip(PredictRequest(1, "ecg", shared.data.x)).ok);
+
+  const std::string bad_line =
+      RawHttpExchange(server.port(), "GET /nothing-after-target\r\n\r\n");
+  EXPECT_EQ(bad_line.rfind("HTTP/1.0 400 Bad Request\r\n", 0), 0u) << bad_line;
+
+  const std::string huge(16 * 1024, 'x');
+  const std::string too_large =
+      RawHttpExchange(server.port(), "GET /metrics HTTP/1.0\r\nH: " + huge);
+  EXPECT_EQ(
+      too_large.rfind("HTTP/1.0 431 Request Header Fields Too Large\r\n", 0),
+      0u)
+      << too_large.substr(0, 120);
+
+  // The framed connection survived both failures.
+  const Response after = frames.Roundtrip(PredictRequest(2, "ecg", shared.data.x));
+  EXPECT_TRUE(after.ok) << after.error;
+  EXPECT_EQ(after.predictions, InProcessPredictions("reference", shared.data.x));
+  EXPECT_GE(server.tcp().stats().protocol_errors, 2u);
+}
+
+/// A truncated GET (client disconnects mid-header) closes quietly without
+/// wedging the loop.
+TEST(MetricsHttp, TruncatedHttpRequestClosesQuietly) {
+  TestServer server;
+  {
+    TcpClient client("127.0.0.1", server.port());
+    const std::string partial = "GET /met";
+    ASSERT_EQ(::send(client.fd(), partial.data(), partial.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(partial.size()));
+  }  // disconnect before the header terminator
+  // The daemon still serves new connections.
+  const std::string response =
+      RawHttpExchange(server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+}
+
+}  // namespace
+}  // namespace rrambnn::serve

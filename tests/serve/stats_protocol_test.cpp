@@ -1,15 +1,22 @@
-// Wire-format tests of the stats/list verbs after the revision-2 move to
-// length-prefixed entries (docs/protocol.md §6): round trips carry the new
-// fleet-memory fields, an entry from an older server (no tail fields) keeps
-// its zero defaults, an entry from a newer server (extra tail bytes) is
-// decoded by skipping the unknown suffix, and truncation fails loudly.
+// Wire-format tests of the stats/list verbs across the length-prefixed
+// entry revisions (docs/protocol.md §6): round trips carry the revision-2
+// fleet-memory fields and the revision-3 admission counters + latency
+// histogram, an entry from an older server keeps its zero defaults in both
+// directions (rev-1 → rev-3 and rev-2 → rev-3), an entry from a newer
+// server (extra tail bytes after the revision-3 fields) is decoded by
+// skipping the unknown suffix, a revision-2 client reading a revision-3
+// entry byte stream finds its known fields at the same offsets, error
+// responses round-trip their optional trailing code, and truncation fails
+// loudly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
 
 #include "io/serde.h"
+#include "serve/model_registry.h"
 #include "serve/protocol.h"
 
 namespace rrambnn::serve {
@@ -33,7 +40,46 @@ ModelStatsWire MakeStats() {
   m.resident_bytes = 3548;
   m.mapped_bytes = 1049696;
   m.load_mode = "mapped";
+  m.shed = 4;
+  m.deadline_exceeded = 2;
+  m.inflight = 1;
+  m.latency_buckets.assign(kLatencyBuckets, 0);
+  m.latency_buckets[3] = 9;
+  m.latency_buckets[10] = 8;
   return m;
+}
+
+/// Writes the revision-2 prefix of a stats entry — everything up to and
+/// including load_mode, none of the revision-3 tail.
+void WriteRev2Fields(io::ByteWriter& entry) {
+  entry.WriteString("ecg");
+  entry.WriteString("/m.rbnn");
+  entry.WriteU8(1);   // resident
+  entry.WriteU64(1);  // generation
+  entry.WriteString("rram");
+  entry.WriteU64(7);   // requests
+  entry.WriteU64(70);  // rows
+  entry.WriteF64(1.0);
+  entry.WriteF64(1.0);
+  entry.WriteF64(1.0);
+  entry.WriteU8(0);  // energy_available
+  entry.WriteF64(0.0);
+  entry.WriteF64(0.0);
+  entry.WriteU64(1111);  // resident_bytes
+  entry.WriteU64(2222);  // mapped_bytes
+  entry.WriteString("mapped");
+}
+
+/// Wraps one hand-built sized entry into a kList response payload.
+std::vector<std::uint8_t> WrapEntry(const std::vector<std::uint8_t>& entry) {
+  io::ByteWriter writer;
+  writer.WriteU64(5);  // id
+  writer.WriteU8(static_cast<std::uint8_t>(RequestKind::kList));
+  writer.WriteU8(1);   // ok
+  writer.WriteU64(1);  // one entry
+  writer.WriteU32(static_cast<std::uint32_t>(entry.size()));
+  writer.WriteBytes(entry);
+  return writer.TakeBytes();
 }
 
 Response MakeStatsResponse() {
@@ -64,6 +110,12 @@ TEST(StatsProtocol, ResponseRoundTripCarriesLoadFields) {
   EXPECT_EQ(m.resident_bytes, 3548u);
   EXPECT_EQ(m.mapped_bytes, 1049696u);
   EXPECT_EQ(m.load_mode, "mapped");
+  EXPECT_EQ(m.shed, 4u);
+  EXPECT_EQ(m.deadline_exceeded, 2u);
+  EXPECT_EQ(m.inflight, 1u);
+  ASSERT_EQ(m.latency_buckets.size(), kLatencyBuckets);
+  EXPECT_EQ(m.latency_buckets[3], 9u);
+  EXPECT_EQ(m.latency_buckets[10], 8u);
   EXPECT_FALSE(decoded.models[1].resident);
   EXPECT_TRUE(decoded.models[1].load_mode.empty());
 }
@@ -104,50 +156,159 @@ TEST(StatsProtocol, EntryWithoutLoadFieldsKeepsZeroDefaults) {
   EXPECT_EQ(m.resident_bytes, 0u);
   EXPECT_EQ(m.mapped_bytes, 0u);
   EXPECT_TRUE(m.load_mode.empty());
+  EXPECT_EQ(m.shed, 0u);
+  EXPECT_EQ(m.deadline_exceeded, 0u);
+  EXPECT_EQ(m.inflight, 0u);
+  EXPECT_TRUE(m.latency_buckets.empty());
+}
+
+/// A revision-2 entry — ends at load_mode, no admission counters and no
+/// histogram. Today's decoder leaves the revision-3 fields at zero/empty.
+TEST(StatsProtocol, Rev2EntryDecodesWithZeroAdmissionFields) {
+  io::ByteWriter entry;
+  WriteRev2Fields(entry);
+  const Response decoded = DecodeResponse(WrapEntry(entry.TakeBytes()));
+  ASSERT_EQ(decoded.models.size(), 1u);
+  const ModelStatsWire& m = decoded.models[0];
+  EXPECT_EQ(m.requests, 7u);
+  EXPECT_EQ(m.resident_bytes, 1111u);
+  EXPECT_EQ(m.load_mode, "mapped");
+  EXPECT_EQ(m.shed, 0u);
+  EXPECT_EQ(m.deadline_exceeded, 0u);
+  EXPECT_EQ(m.inflight, 0u);
+  EXPECT_TRUE(m.latency_buckets.empty());
 }
 
 /// The reverse compatibility direction: a future server appends fields
-/// after load_mode inside the sized entry; today's decoder reads what it
-/// knows and skips the rest.
+/// after today's revision-3 tail inside the sized entry; today's decoder
+/// reads what it knows and skips the rest.
 TEST(StatsProtocol, DecoderSkipsFieldsAppendedByNewerServers) {
-  std::vector<std::uint8_t> bytes;
-  {
-    io::ByteWriter entry;
-    entry.WriteString("ecg");
-    entry.WriteString("/m.rbnn");
-    entry.WriteU8(1);
-    entry.WriteU64(1);
-    entry.WriteString("rram");
-    entry.WriteU64(7);
-    entry.WriteU64(70);
-    entry.WriteF64(1.0);
-    entry.WriteF64(1.0);
-    entry.WriteF64(1.0);
-    entry.WriteU8(0);
-    entry.WriteF64(0.0);
-    entry.WriteF64(0.0);
-    entry.WriteU64(1111);       // resident_bytes
-    entry.WriteU64(2222);       // mapped_bytes
-    entry.WriteString("mapped");
-    entry.WriteF64(3.25);       // hypothetical future field
-    entry.WriteString("future-annotation");  // and another
-    const std::vector<std::uint8_t> entry_bytes = entry.TakeBytes();
-
-    io::ByteWriter writer;
-    writer.WriteU64(5);
-    writer.WriteU8(static_cast<std::uint8_t>(RequestKind::kList));
-    writer.WriteU8(1);
-    writer.WriteU64(1);
-    writer.WriteU32(static_cast<std::uint32_t>(entry_bytes.size()));
-    writer.WriteBytes(entry_bytes);
-    bytes = writer.TakeBytes();
-  }
-  const Response decoded = DecodeResponse(bytes);
+  io::ByteWriter entry;
+  WriteRev2Fields(entry);
+  entry.WriteU64(3);   // shed
+  entry.WriteU64(1);   // deadline_exceeded
+  entry.WriteU64(0);   // inflight
+  entry.WriteU32(2);   // two histogram buckets
+  entry.WriteU64(5);
+  entry.WriteU64(2);
+  entry.WriteF64(3.25);                    // hypothetical future field
+  entry.WriteString("future-annotation");  // and another
+  const Response decoded = DecodeResponse(WrapEntry(entry.TakeBytes()));
   ASSERT_EQ(decoded.models.size(), 1u);
-  EXPECT_EQ(decoded.models[0].requests, 7u);
-  EXPECT_EQ(decoded.models[0].resident_bytes, 1111u);
-  EXPECT_EQ(decoded.models[0].mapped_bytes, 2222u);
-  EXPECT_EQ(decoded.models[0].load_mode, "mapped");
+  const ModelStatsWire& m = decoded.models[0];
+  EXPECT_EQ(m.requests, 7u);
+  EXPECT_EQ(m.resident_bytes, 1111u);
+  EXPECT_EQ(m.load_mode, "mapped");
+  EXPECT_EQ(m.shed, 3u);
+  EXPECT_EQ(m.deadline_exceeded, 1u);
+  ASSERT_EQ(m.latency_buckets.size(), 2u);
+  EXPECT_EQ(m.latency_buckets[0], 5u);
+  EXPECT_EQ(m.latency_buckets[1], 2u);
+}
+
+/// A revision-2 client reading a revision-3 byte stream: hand-parses only
+/// the fields it knows from the encoder's actual output, byte for byte,
+/// and never touches the histogram tail — the sized-entry prefix tells it
+/// where the next entry starts regardless.
+TEST(StatsProtocol, Rev2ClientFindsKnownFieldsInRev3Entry) {
+  const std::vector<std::uint8_t> bytes =
+      EncodeResponse(MakeStatsResponse());
+  io::ByteReader reader(bytes, "rev-2 client view");
+  EXPECT_EQ(reader.ReadU64(), 9u);  // id
+  EXPECT_EQ(reader.ReadU8(),
+            static_cast<std::uint8_t>(RequestKind::kStats));
+  EXPECT_EQ(reader.ReadU8(), 1u);   // ok
+  EXPECT_EQ(reader.ReadU64(), 2u);  // two entries
+  const std::uint32_t size = reader.ReadU32();
+  io::ByteReader entry(reader.ReadBytes(size), "rev-2 entry view");
+  EXPECT_EQ(entry.ReadString(), "ecg");
+  EXPECT_EQ(entry.ReadString(), "/models/ecg.rbnn");
+  EXPECT_EQ(entry.ReadU8(), 1u);    // resident
+  EXPECT_EQ(entry.ReadU64(), 3u);   // generation
+  EXPECT_EQ(entry.ReadString(), "rram");
+  EXPECT_EQ(entry.ReadU64(), 17u);    // requests
+  EXPECT_EQ(entry.ReadU64(), 1700u);  // rows
+  EXPECT_DOUBLE_EQ(entry.ReadF64(), 5200.0);
+  EXPECT_DOUBLE_EQ(entry.ReadF64(), 900.0);
+  EXPECT_DOUBLE_EQ(entry.ReadF64(), 320.0);
+  EXPECT_EQ(entry.ReadU8(), 1u);  // energy_available
+  EXPECT_DOUBLE_EQ(entry.ReadF64(), 1.5e6);
+  EXPECT_DOUBLE_EQ(entry.ReadF64(), 42.0);
+  EXPECT_EQ(entry.ReadU64(), 3548u);     // resident_bytes
+  EXPECT_EQ(entry.ReadU64(), 1049696u);  // mapped_bytes
+  EXPECT_EQ(entry.ReadString(), "mapped");
+  // A revision-2 decoder stops here; the unread remainder is exactly the
+  // revision-3 tail (3 u64 counters + u32 count + 28 u64 buckets).
+  EXPECT_FALSE(entry.exhausted());
+  // The second (cold) entry is intact right after the sized first one.
+  const std::uint32_t cold_size = reader.ReadU32();
+  io::ByteReader cold(reader.ReadBytes(cold_size), "rev-2 cold entry");
+  EXPECT_EQ(cold.ReadString(), "eeg");
+}
+
+/// Hostile revision-3 histogram bucket counts must fail loudly instead of
+/// attempting a multi-gigabyte reserve.
+TEST(StatsProtocol, HostileBucketCountIsRejected) {
+  io::ByteWriter entry;
+  WriteRev2Fields(entry);
+  entry.WriteU64(0);
+  entry.WriteU64(0);
+  entry.WriteU64(0);
+  entry.WriteU32(0x7fffffff);  // hostile bucket count
+  EXPECT_THROW((void)DecodeResponse(WrapEntry(entry.TakeBytes())),
+               std::runtime_error);
+}
+
+/// Generic errors keep the frozen pre-revision-3 byte layout: no trailing
+/// code byte. A coded error is exactly one byte longer and shares the
+/// generic encoding as a prefix.
+TEST(StatsProtocol, GenericErrorStaysByteIdenticalCodedAddsOneByte) {
+  Response generic;
+  generic.id = 12;
+  generic.kind = RequestKind::kPredict;
+  generic.ok = false;
+  generic.error = "boom";
+  const std::vector<std::uint8_t> generic_bytes = EncodeResponse(generic);
+
+  Response coded = generic;
+  coded.code = ErrorCode::kOverloaded;
+  const std::vector<std::uint8_t> coded_bytes = EncodeResponse(coded);
+  ASSERT_EQ(coded_bytes.size(), generic_bytes.size() + 1);
+  EXPECT_TRUE(std::equal(generic_bytes.begin(), generic_bytes.end(),
+                         coded_bytes.begin()));
+  EXPECT_EQ(coded_bytes.back(),
+            static_cast<std::uint8_t>(ErrorCode::kOverloaded));
+
+  // Both directions decode: the old layout yields kGeneric, the coded
+  // layout round-trips its tier.
+  EXPECT_EQ(DecodeResponse(generic_bytes).code, ErrorCode::kGeneric);
+  const Response redecoded = DecodeResponse(coded_bytes);
+  EXPECT_EQ(redecoded.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(redecoded.error, "boom");
+  coded.code = ErrorCode::kDeadlineExceeded;
+  EXPECT_EQ(DecodeResponse(EncodeResponse(coded)).code,
+            ErrorCode::kDeadlineExceeded);
+}
+
+/// Deadline-free predicts keep the frozen revision-2 request layout; a
+/// deadline appends exactly one trailing u64.
+TEST(StatsProtocol, PredictDeadlineIsOptionalTrailingField) {
+  Request request;
+  request.id = 3;
+  request.kind = RequestKind::kPredict;
+  request.model = "ecg";
+  request.batch = Tensor({1, 2});
+  request.batch.vec() = {0.5f, -0.5f};
+  const std::vector<std::uint8_t> plain = EncodeRequest(request);
+
+  request.deadline_ms = 250;
+  const std::vector<std::uint8_t> with_deadline = EncodeRequest(request);
+  ASSERT_EQ(with_deadline.size(), plain.size() + 8);
+  EXPECT_TRUE(
+      std::equal(plain.begin(), plain.end(), with_deadline.begin()));
+
+  EXPECT_EQ(DecodeRequest(plain).deadline_ms, 0u);
+  EXPECT_EQ(DecodeRequest(with_deadline).deadline_ms, 250u);
 }
 
 TEST(StatsProtocol, TruncatedEntryFailsLoudly) {
